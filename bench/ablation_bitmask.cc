@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Ablation for the §III-D claim that bit-granularity meta-data cache
+ * writes are "essential for efficient co-processing": without the
+ * 32-bit write-enable mask, every sub-word tag update becomes an
+ * explicit read followed by an explicit write (two cache operations).
+ */
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace flexcore;
+using namespace flexcore::bench;
+
+int
+main()
+{
+    const auto suite = fullSuite();
+    const struct
+    {
+        MonitorKind kind;
+        const char *name;
+        u32 period;
+    } extensions[] = {
+        {MonitorKind::kUmc, "UMC", 2},
+        {MonitorKind::kDift, "DIFT", 2},
+        {MonitorKind::kBc, "BC", 2},
+    };
+
+    std::printf("Ablation: bit-granularity meta-data writes "
+                "(SS III-D)\n\n");
+    std::printf("Geomean normalized time, with / without the 32-bit "
+                "write-enable mask\n");
+    std::printf("(without it every sub-word tag update is an explicit "
+                "read followed by an explicit write)\n\n");
+    std::printf("%-10s %22s %22s\n", "Extension", "fabric @ 0.5X",
+                "fabric @ 0.25X");
+    hr(60);
+    for (const auto &ext : extensions) {
+        std::printf("%-10s", ext.name);
+        for (u32 period : {2u, 4u}) {
+            std::vector<double> with_mask, without_mask;
+            for (const Workload &workload : suite) {
+                const u64 base = baselineCycles(workload);
+                FabricParams on;
+                on.bitmask_writes = true;
+                with_mask.push_back(
+                    normalizedTime(workload, ext.kind,
+                                   ImplMode::kFlexFabric, period, base,
+                                   {}, on));
+                FabricParams off;
+                off.bitmask_writes = false;
+                without_mask.push_back(
+                    normalizedTime(workload, ext.kind,
+                                   ImplMode::kFlexFabric, period, base,
+                                   {}, off));
+            }
+            const double g_on = geomean(with_mask);
+            const double g_off = geomean(without_mask);
+            std::printf("   %5.2fx->%5.2fx (+%2.0f%%)", g_on, g_off,
+                        100.0 * (g_off / g_on - 1.0));
+            std::fflush(stdout);
+        }
+        std::printf("\n");
+    }
+    std::printf("\n(SEC keeps no meta-data and is unaffected. The "
+                "effect grows as the fabric clock drops because the "
+                "doubled cache occupancy eats directly into a budget "
+                "that is already saturated.)\n");
+    return 0;
+}

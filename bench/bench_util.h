@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Shared helpers for the paper-reproduction bench binaries.
+ */
+
+#ifndef FLEXCORE_BENCH_BENCH_UTIL_H_
+#define FLEXCORE_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "sim/runner.h"
+
+namespace flexcore::bench {
+
+/** Table IV / figure runs use the full-scale benchmark suite. */
+inline std::vector<Workload>
+fullSuite()
+{
+    return benchmarkSuite(WorkloadScale::kFull);
+}
+
+/** Baseline cycle count for one workload. */
+inline u64
+baselineCycles(const Workload &workload)
+{
+    SystemConfig config;
+    return runWorkloadChecked(workload, config).result.cycles;
+}
+
+/** Normalized execution time of one monitored configuration. */
+inline double
+normalizedTime(const Workload &workload, MonitorKind monitor,
+               ImplMode mode, u32 flex_period, u64 baseline_cycles,
+               FlexInterface::Params iface = {},
+               FabricParams fabric_overrides = {})
+{
+    SystemConfig config;
+    config.monitor = monitor;
+    config.mode = mode;
+    config.flex_period = flex_period;
+    config.iface = iface;
+    config.fabric = fabric_overrides;
+    const SimOutcome outcome = runWorkloadChecked(workload, config);
+    return static_cast<double>(outcome.result.cycles) /
+           static_cast<double>(baseline_cycles);
+}
+
+inline void
+hr(int width = 110)
+{
+    for (int i = 0; i < width; ++i)
+        std::putchar('-');
+    std::putchar('\n');
+}
+
+}  // namespace flexcore::bench
+
+#endif  // FLEXCORE_BENCH_BENCH_UTIL_H_

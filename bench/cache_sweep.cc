@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Design-space study: sensitivity of the baseline CPI and of the
+ * DIFT/FlexCore overhead to the L1 D-cache size. The paper fixes
+ * 32 KB L1s (§V-A); this sweep shows how monitoring overheads shift
+ * when the core itself is more or less memory-bound — a smaller D$
+ * raises baseline CPI, which *reduces* relative fabric pressure (the
+ * fabric budget is per-cycle, not per-instruction).
+ */
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace flexcore;
+using namespace flexcore::bench;
+
+int
+main()
+{
+    const auto suite = fullSuite();
+    const u32 sizes_kb[] = {8, 16, 32, 64};
+
+    std::printf("Design space: L1 D-cache size vs baseline CPI and "
+                "DIFT overhead (fabric at 0.5X)\n\n");
+    std::printf("%-8s %14s %16s\n", "D$", "baseline CPI*", "DIFT 0.5X");
+    hr(42);
+
+    for (u32 size_kb : sizes_kb) {
+        double cpi_sum = 0;
+        std::vector<double> ratios;
+        for (const Workload &workload : suite) {
+            SystemConfig base;
+            base.core.dcache.size_bytes = size_kb * 1024;
+            const SimOutcome b = runWorkloadChecked(workload, base);
+            cpi_sum += static_cast<double>(b.result.cycles) /
+                       static_cast<double>(b.result.instructions);
+
+            SystemConfig flex = base;
+            flex.monitor = MonitorKind::kDift;
+            flex.mode = ImplMode::kFlexFabric;
+            const SimOutcome f = runWorkloadChecked(workload, flex);
+            ratios.push_back(static_cast<double>(f.result.cycles) /
+                             static_cast<double>(b.result.cycles));
+        }
+        std::printf("%3uKB    %13.2f %15.3fx\n", size_kb,
+                    cpi_sum / suite.size(), geomean(ratios));
+        std::fflush(stdout);
+    }
+    std::printf("\n* arithmetic mean over the suite. Monitoring "
+                "overhead falls as the core becomes memory-bound: the "
+                "decoupled fabric hides behind the core's own stalls.\n");
+    return 0;
+}

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Reproduces Figure 4: the percentage of committed instructions that
+ * the CFGR-configured interface forwards to the reconfigurable fabric,
+ * for each extension and benchmark.
+ */
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace flexcore;
+using namespace flexcore::bench;
+
+int
+main()
+{
+    const auto suite = fullSuite();
+    const struct
+    {
+        MonitorKind kind;
+        const char *name;
+    } extensions[] = {
+        {MonitorKind::kUmc, "UMC"},
+        {MonitorKind::kDift, "DIFT"},
+        {MonitorKind::kBc, "BC"},
+        {MonitorKind::kSec, "SEC"},
+    };
+
+    std::printf("Figure 4: %% of committed instructions forwarded to "
+                "the fabric\n\n");
+    std::printf("%-14s", "Benchmark");
+    for (const auto &ext : extensions)
+        std::printf(" %8s", ext.name);
+    std::printf("\n");
+    hr(52);
+
+    std::vector<double> sums(4, 0.0);
+    for (const Workload &workload : suite) {
+        std::printf("%-14s", workload.name.c_str());
+        unsigned i = 0;
+        for (const auto &ext : extensions) {
+            SystemConfig config;
+            config.monitor = ext.kind;
+            config.mode = ImplMode::kFlexFabric;
+            const SimOutcome outcome =
+                runWorkloadChecked(workload, config);
+            std::printf(" %7.1f%%", 100.0 * outcome.fwd_fraction);
+            sums[i++] += outcome.fwd_fraction;
+            std::fflush(stdout);
+        }
+        std::printf("\n");
+    }
+    hr(52);
+    std::printf("%-14s", "average");
+    for (double sum : sums)
+        std::printf(" %7.1f%%", 100.0 * sum / suite.size());
+    std::printf("\n\nShape check (paper): UMC forwards only loads/"
+                "stores (smallest); DIFT the most (ALU+mem+jumps);\n"
+                "BC arithmetic+mem; SEC ALU only.\n");
+    return 0;
+}

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulator's hot components:
+ * instruction decode, cache lookups, the forward FIFO path, monitor
+ * packet processing, whole-system simulation throughput, and the
+ * assembler. These guard the simulator's own performance (Table IV
+ * sweeps run hundreds of full simulations).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "assembler/assembler.h"
+#include "common/rng.h"
+#include "isa/encoding.h"
+#include "memory/cache.h"
+#include "monitors/dift.h"
+#include "sim/runner.h"
+
+using namespace flexcore;
+
+namespace {
+
+void
+BM_Decode(benchmark::State &state)
+{
+    Rng rng(7);
+    std::vector<u32> words;
+    for (int i = 0; i < 1024; ++i) {
+        Instruction inst;
+        inst.op = Op::kAdd;
+        inst.rd = rng.below(32);
+        inst.rs1 = rng.below(32);
+        inst.has_imm = true;
+        inst.simm = static_cast<s32>(rng.below(4096));
+        words.push_back(encode(inst));
+    }
+    size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(decode(words[i++ & 1023]));
+    }
+}
+BENCHMARK(BM_Decode);
+
+void
+BM_CacheAccess(benchmark::State &state)
+{
+    StatGroup stats("bench");
+    Cache cache(&stats, "l1", {32 * 1024, 32, 4});
+    Rng rng(11);
+    std::vector<Addr> addrs;
+    for (int i = 0; i < 4096; ++i)
+        addrs.push_back(rng.below(1u << 18) & ~3u);
+    size_t i = 0;
+    for (auto _ : state) {
+        const Addr addr = addrs[i++ & 4095];
+        if (!cache.access(addr))
+            cache.fill(addr);
+    }
+}
+BENCHMARK(BM_CacheAccess);
+
+void
+BM_DiftProcess(benchmark::State &state)
+{
+    DiftMonitor monitor;
+    CommitPacket pkt;
+    pkt.di.op = Op::kAdd;
+    pkt.di.type = kTypeAluAdd;
+    pkt.di.valid = true;
+    pkt.opcode = kTypeAluAdd;
+    pkt.src1 = 9;
+    pkt.src2 = 10;
+    pkt.dest = 11;
+    for (auto _ : state) {
+        MonitorResult result;
+        monitor.process(pkt, &result);
+        benchmark::DoNotOptimize(result);
+    }
+}
+BENCHMARK(BM_DiftProcess);
+
+void
+BM_Assemble(benchmark::State &state)
+{
+    const Workload workload = makeBitcount(WorkloadScale::kTest);
+    for (auto _ : state) {
+        Assembler assembler;
+        Program program;
+        const bool ok = assembler.assemble(workload.source, &program);
+        benchmark::DoNotOptimize(ok);
+    }
+}
+BENCHMARK(BM_Assemble);
+
+void
+BM_SimBaseline(benchmark::State &state)
+{
+    const Workload workload = makeSha(WorkloadScale::kTest);
+    const Program program = Assembler::assembleOrDie(workload.source);
+    u64 cycles_per_run = 0;
+    for (auto _ : state) {
+        SystemConfig config;
+        System system(config);
+        system.load(program);
+        const RunResult result = system.run();
+        cycles_per_run = result.cycles;
+        benchmark::DoNotOptimize(result.cycles);
+    }
+    // items/s == simulated cycles per second of host time.
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<s64>(cycles_per_run));
+}
+BENCHMARK(BM_SimBaseline);
+
+void
+BM_SimDiftFabric(benchmark::State &state)
+{
+    const Workload workload = makeSha(WorkloadScale::kTest);
+    const Program program = Assembler::assembleOrDie(workload.source);
+    for (auto _ : state) {
+        SystemConfig config;
+        config.monitor = MonitorKind::kDift;
+        config.mode = ImplMode::kFlexFabric;
+        System system(config);
+        system.load(program);
+        const RunResult result = system.run();
+        benchmark::DoNotOptimize(result.cycles);
+    }
+}
+BENCHMARK(BM_SimDiftFabric);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Reproduces the software-monitoring comparison of §V-C: the same
+ * extensions implemented as inline software instrumentation on the
+ * same core (LIFT-class DIFT, Purify-class UMC, table-based bounds
+ * checking, duplication-based soft-error checking) versus FlexCore at
+ * its synthesis-derived fabric clock and the full-ASIC variant.
+ *
+ * Paper reference points: software DIFT 3.6x (LIFT, aggressively
+ * optimized) to 37x; Purify-class UMC up to 5.5x; software bounds
+ * checking up to 1.69x with extensive compiler optimization.
+ */
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace flexcore;
+using namespace flexcore::bench;
+
+int
+main()
+{
+    const auto suite = fullSuite();
+    const struct
+    {
+        MonitorKind kind;
+        const char *name;
+        u32 period;
+    } extensions[] = {
+        {MonitorKind::kUmc, "UMC", 2},
+        {MonitorKind::kDift, "DIFT", 2},
+        {MonitorKind::kBc, "BC", 2},
+        {MonitorKind::kSec, "SEC", 4},
+    };
+
+    std::printf("Software instrumentation vs FlexCore vs ASIC "
+                "(normalized execution time, geomean)\n\n");
+    std::printf("%-10s %10s %10s %10s   %s\n", "Extension", "ASIC",
+                "FlexCore", "Software", "FlexCore advantage over SW");
+    hr(80);
+
+    for (const auto &ext : extensions) {
+        std::vector<double> asic, flex, soft;
+        for (const Workload &workload : suite) {
+            const u64 base = baselineCycles(workload);
+            asic.push_back(normalizedTime(workload, ext.kind,
+                                          ImplMode::kAsic, 1, base));
+            flex.push_back(normalizedTime(workload, ext.kind,
+                                          ImplMode::kFlexFabric,
+                                          ext.period, base));
+            soft.push_back(normalizedTime(workload, ext.kind,
+                                          ImplMode::kSoftware, 1, base));
+        }
+        const double g_asic = geomean(asic);
+        const double g_flex = geomean(flex);
+        const double g_soft = geomean(soft);
+        std::printf("%-10s %9.2fx %9.2fx %9.2fx   %.1fx faster\n",
+                    ext.name, g_asic, g_flex, g_soft,
+                    g_soft / g_flex);
+        std::fflush(stdout);
+    }
+    std::printf("\nShape check (paper): software DIFT ~3.6x+ even with "
+                "aggressive optimization; Purify-class UMC up to 5.5x;\n"
+                "software overheads hit hardest on simple in-order "
+                "cores, while FlexCore stays within ~1.2x.\n");
+    return 0;
+}

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Reproduces Table II: the core-fabric interface fields and their bit
+ * widths, generated directly from the CommitPacket specification so
+ * the table always reflects the implemented interface.
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "flexcore/packet.h"
+
+using namespace flexcore;
+
+int
+main()
+{
+    std::printf("Table II: the FlexCore interface between the core and "
+                "the fabric\n\n");
+    std::printf("%-8s %-8s %4s  %s\n", "Module", "Field", "Bits",
+                "Description");
+    for (const PacketFieldSpec &spec : packetFieldSpecs()) {
+        if (spec.bits == 0)
+            continue;
+        std::printf("%-8s %-8s %4u  %s\n",
+                    std::string(spec.module).c_str(),
+                    std::string(spec.name).c_str(), spec.bits,
+                    std::string(spec.desc).c_str());
+    }
+    std::printf("\nForward-FIFO entry width: %u bits "
+                "(paper: PC..DEST fields of Table II)\n",
+                ffifoEntryBits());
+    return 0;
+}

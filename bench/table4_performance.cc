@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Reproduces Table IV: execution time of each MiBench-class benchmark
+ * under UMC / DIFT / BC / SEC, normalized to the unmodified Leon3
+ * baseline, for the full-ASIC implementation (1X) and FlexCore with
+ * the fabric at half (0.5X) and one quarter (0.25X) of the core clock.
+ *
+ * The paper's headline operating points are 0.5X for UMC/DIFT/BC and
+ * 0.25X for SEC (set by the fabric synthesis frequencies in Table III).
+ */
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace flexcore;
+using namespace flexcore::bench;
+
+int
+main()
+{
+    const auto suite = fullSuite();
+    const struct
+    {
+        MonitorKind kind;
+        const char *name;
+    } extensions[] = {
+        {MonitorKind::kUmc, "UMC"},
+        {MonitorKind::kDift, "DIFT"},
+        {MonitorKind::kBc, "BC"},
+        {MonitorKind::kSec, "SEC"},
+    };
+
+    std::printf("Table IV: normalized execution time "
+                "(baseline Leon3 = 1.00)\n");
+    std::printf("%-14s", "Benchmark");
+    for (const auto &ext : extensions)
+        std::printf(" | %4s (1X) (0.5X) (0.25X)", ext.name);
+    std::printf("\n");
+    hr(125);
+
+    std::vector<std::vector<double>> columns(12);
+    for (const Workload &workload : suite) {
+        const u64 base = baselineCycles(workload);
+        std::printf("%-14s", workload.name.c_str());
+        unsigned column = 0;
+        for (const auto &ext : extensions) {
+            const double asic = normalizedTime(
+                workload, ext.kind, ImplMode::kAsic, 1, base);
+            const double half = normalizedTime(
+                workload, ext.kind, ImplMode::kFlexFabric, 2, base);
+            const double quarter = normalizedTime(
+                workload, ext.kind, ImplMode::kFlexFabric, 4, base);
+            std::printf(" |  %4.2f      %4.2f    %4.2f ", asic, half,
+                        quarter);
+            columns[column++].push_back(asic);
+            columns[column++].push_back(half);
+            columns[column++].push_back(quarter);
+            std::fflush(stdout);
+        }
+        std::printf("\n");
+    }
+    hr(125);
+    std::printf("%-14s", "geomean");
+    for (unsigned column = 0; column < columns.size(); column += 3) {
+        std::printf(" |  %4.2f      %4.2f    %4.2f ",
+                    geomean(columns[column]), geomean(columns[column + 1]),
+                    geomean(columns[column + 2]));
+    }
+    std::printf("\n\n");
+
+    std::printf("Paper's operating points (fabric clock from synthesis):"
+                " UMC/DIFT/BC at 0.5X, SEC at 0.25X.\n");
+    std::printf("Paper geomeans for comparison: UMC 1.02, DIFT 1.18, "
+                "BC 1.17 (all 0.5X); SEC 1.40 (0.25X).\n");
+    return 0;
+}

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * BC in action: color-based array bound checking catches a classic
+ * off-by-one memset past a colored allocation, while the in-bounds
+ * variant completes. Also shows the packed 8-bit memory tags (location
+ * color in the low nibble, stored-pointer color in the high nibble).
+ */
+
+#include <cstdio>
+
+#include "assembler/assembler.h"
+#include "monitors/bc.h"
+#include "sim/system.h"
+#include "workloads/scenarios.h"
+
+using namespace flexcore;
+
+int
+main()
+{
+    std::printf("=== BC: color-based array bound checking ===\n\n");
+
+    SystemConfig config;
+    config.monitor = MonitorKind::kBc;
+    config.mode = ImplMode::kFlexFabric;
+
+    const Workload overflow = scenarioBcOverflow();
+    System bad_system(config);
+    const Program bad_prog =
+        Assembler::assembleOrDie(overflow.source);
+    bad_system.load(bad_prog);
+    const RunResult bad = bad_system.run();
+    std::printf("[%s]\n", overflow.name.c_str());
+    std::printf("  memset walks one element past arr[4] (color 5)\n");
+    std::printf("  result: %s (%s) at pc=0x%x\n\n",
+                std::string(exitName(bad.exit)).c_str(),
+                bad.trap_reason.c_str(), bad.trap.pc);
+
+    const Workload clean = scenarioBcClean();
+    System ok_system(config);
+    const Program ok_prog = Assembler::assembleOrDie(clean.source);
+    ok_system.load(ok_prog);
+    const RunResult ok = ok_system.run();
+    std::printf("[%s]\n", clean.name.c_str());
+    std::printf("  stays within the four colored elements\n");
+    std::printf("  result: %s, output: %s\n",
+                std::string(exitName(ok.exit)).c_str(),
+                ok.console.c_str());
+
+    // Peek at the colors the monitor assigned.
+    const auto *bc = static_cast<BcMonitor *>(ok_system.monitor());
+    u32 arr_addr = 0;
+    ok_prog.lookupSymbol("arr", &arr_addr);
+    std::printf("  mem colors: arr[0]=%u arr[3]=%u canary=%u\n",
+                bc->memColor(arr_addr), bc->memColor(arr_addr + 12),
+                bc->memColor(arr_addr + 16));
+
+    const bool pass = bad.exit == RunResult::Exit::kMonitorTrap &&
+                      ok.exit == RunResult::Exit::kExited;
+    std::printf("\n%s\n", pass ? "BC caught the overflow and let the "
+                                 "correct program finish."
+                               : "UNEXPECTED RESULT");
+    return pass ? 0 : 1;
+}

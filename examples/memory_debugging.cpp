@@ -1,0 +1,60 @@
+/**
+ * @file
+ * UMC in action: the uninitialized-memory checker catches a program
+ * reading a freshly "allocated" word before writing it, while the
+ * fixed program runs cleanly. Also inspects the monitor's functional
+ * tag state after the run.
+ */
+
+#include <cstdio>
+
+#include "assembler/assembler.h"
+#include "monitors/umc.h"
+#include "sim/system.h"
+#include "workloads/scenarios.h"
+
+using namespace flexcore;
+
+int
+main()
+{
+    std::printf("=== UMC: uninitialized memory checking ===\n\n");
+
+    SystemConfig config;
+    config.monitor = MonitorKind::kUmc;
+    config.mode = ImplMode::kFlexFabric;
+
+    const Workload buggy = scenarioUmcBug();
+    System bug_system(config);
+    bug_system.load(Assembler::assembleOrDie(buggy.source));
+    const RunResult bug = bug_system.run();
+    std::printf("[%s]\n", buggy.name.c_str());
+    std::printf("  reads heap word +4 before initializing it\n");
+    std::printf("  result: %s (%s) at pc=0x%x\n\n",
+                std::string(exitName(bug.exit)).c_str(),
+                bug.trap_reason.c_str(), bug.trap.pc);
+
+    const Workload clean = scenarioUmcClean();
+    System ok_system(config);
+    ok_system.load(Assembler::assembleOrDie(clean.source));
+    const RunResult ok = ok_system.run();
+    std::printf("[%s]\n", clean.name.c_str());
+    std::printf("  initializes both words first\n");
+    std::printf("  result: %s, output: %s\n",
+                std::string(exitName(ok.exit)).c_str(),
+                ok.console.c_str());
+
+    // Inspect the monitor's functional tag state after the clean run.
+    const auto *umc = static_cast<UmcMonitor *>(ok_system.monitor());
+    std::printf("  tag state: [0x20000]=%s [0x20004]=%s [0x20008]=%s\n",
+                umc->initialized(0x20000) ? "init" : "uninit",
+                umc->initialized(0x20004) ? "init" : "uninit",
+                umc->initialized(0x20008) ? "init" : "uninit");
+
+    const bool pass = bug.exit == RunResult::Exit::kMonitorTrap &&
+                      ok.exit == RunResult::Exit::kExited;
+    std::printf("\n%s\n", pass ? "UMC caught the bug and let the fixed "
+                                 "program finish."
+                               : "UNEXPECTED RESULT");
+    return pass ? 0 : 1;
+}

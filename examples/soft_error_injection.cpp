@@ -1,0 +1,76 @@
+/**
+ * @file
+ * SEC in action: transient faults are injected into the main core's
+ * ALU at a configurable rate; the soft-error checker re-executes every
+ * forwarded ALU operation on the fabric and traps on the first
+ * mismatch. Without fault injection the same program runs cleanly.
+ */
+
+#include <cstdio>
+
+#include "assembler/assembler.h"
+#include "monitors/sec.h"
+#include "sim/system.h"
+#include "workloads/scenarios.h"
+
+using namespace flexcore;
+
+namespace {
+
+RunResult
+runSec(const Workload &workload, double fault_rate, u64 seed,
+       u64 *checks, u64 *errors)
+{
+    SystemConfig config;
+    config.monitor = MonitorKind::kSec;
+    config.mode = ImplMode::kFlexFabric;
+    config.fault_rate = fault_rate;
+    config.fault_seed = seed;
+    System system(config);
+    system.load(Assembler::assembleOrDie(workload.source));
+    const RunResult result = system.run();
+    const auto *sec = static_cast<SecMonitor *>(system.monitor());
+    *checks = sec->checksPerformed();
+    *errors = sec->errorsDetected();
+    return result;
+}
+
+}  // namespace
+
+int
+main()
+{
+    const Workload workload = scenarioSecWorkload();
+    std::printf("=== SEC: soft-error checking with fault injection "
+                "===\n\n");
+
+    u64 checks = 0, errors = 0;
+    const RunResult clean = runSec(workload, 0.0, 1, &checks, &errors);
+    std::printf("fault rate 0:      %s after %llu ALU checks, "
+                "%llu errors\n",
+                std::string(exitName(clean.exit)).c_str(),
+                static_cast<unsigned long long>(checks),
+                static_cast<unsigned long long>(errors));
+
+    int detected = 0;
+    const int kTrials = 5;
+    for (int trial = 0; trial < kTrials; ++trial) {
+        const RunResult faulty =
+            runSec(workload, 1e-4, 1000 + trial, &checks, &errors);
+        const bool caught =
+            faulty.exit == RunResult::Exit::kMonitorTrap;
+        detected += caught;
+        std::printf("fault rate 1e-4 (seed %d): %s after %llu checks "
+                    "(%s)\n",
+                    1000 + trial,
+                    std::string(exitName(faulty.exit)).c_str(),
+                    static_cast<unsigned long long>(checks),
+                    caught ? faulty.trap_reason.c_str()
+                           : "fault residue aliased or none injected");
+    }
+    std::printf("\nSEC detected injected faults in %d/%d faulty runs "
+                "and stayed silent on the clean run.\n",
+                detected, kTrials);
+    return clean.exit == RunResult::Exit::kExited && detected > 0 ? 0
+                                                                  : 1;
+}

@@ -1,0 +1,35 @@
+; Recursive Fibonacci — deliberately naive so the call tree runs much
+; deeper than the 8 register windows: good for watching window
+; spill/fill behavior.
+;
+;   ./build/tools/flexcore-run --stats programs/fibonacci.s
+;   ./build/tools/flexcore-run --monitor umc programs/fibonacci.s
+;
+        .org 0x1000
+_start: set 0x003ffff0, %sp
+        mov 15, %o0
+        call fib
+        nop
+        ta 2                    ; print fib(15) = 610
+        mov 10, %o0
+        ta 1
+        mov 0, %o0
+        ta 0
+        nop
+
+fib:    save %sp, -96, %sp
+        cmp %i0, 2
+        bl base                 ; fib(0)=0, fib(1)=1
+        nop
+        sub %i0, 1, %o0
+        call fib
+        nop
+        mov %o0, %l0            ; fib(n-1)
+        sub %i0, 2, %o0
+        call fib
+        nop
+        add %l0, %o0, %i0
+        ret
+        restore
+base:   ret
+        restore %i0, 0, %o0     ; returns n itself (0 or 1)

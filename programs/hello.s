@@ -1,0 +1,20 @@
+; Hello world for the FlexCore simulator.
+;
+;   ./build/tools/flexcore-run programs/hello.s
+;
+        .org 0x1000
+_start: set 0x003ffff0, %sp
+        set msg, %l0
+loop:   ldub [%l0], %o0
+        tst %o0
+        be done
+        nop
+        ta 1                    ; putchar(%o0)
+        ba loop
+        add %l0, 1, %l0
+done:   mov 0, %o0
+        ta 0                    ; exit(0)
+        nop
+
+        .align 4
+msg:    .asciz "hello, flexcore!\n"

@@ -1,0 +1,50 @@
+; A classic control-flow hijack: "network input" (tainted by the OS
+; with m.setmtag) is copied past the end of its destination buffer,
+; overwriting an adjacent function pointer; the program then calls
+; through it.
+;
+;   ./build/tools/flexcore-run programs/overflow_attack.s
+;       -> crashes with an illegal-instruction core trap (the jump
+;          lands in attacker-chosen memory)
+;
+;   ./build/tools/flexcore-run --monitor dift programs/overflow_attack.s
+;       -> DIFT tracks the taint through the copy and traps the
+;          indirect jump *as the attack happens* (exit status 125)
+;
+        .org 0x1000
+_start: set 0x003ffff0, %sp
+
+        ; The OS taints the 4-word "network" buffer.
+        set input, %l0
+        m.setmtag [%l0], 1
+        m.setmtag [%l0+4], 1
+        m.setmtag [%l0+8], 1
+        m.setmtag [%l0+12], 1
+
+        ; Buggy memcpy: 4 words into a 2-word destination.
+        set dest, %l1
+        mov 0, %l2
+copy:   sll %l2, 2, %o0
+        ld [%l0+%o0], %o1
+        st %o1, [%l1+%o0]
+        add %l2, 1, %l2
+        cmp %l2, 4
+        bne copy
+        nop
+
+        ; Dispatch through the (now attacker-controlled) pointer.
+        set fptr, %l3
+        ld [%l3], %l4
+        jmpl %l4, %o7
+        nop
+        mov 0, %o0
+        ta 0
+        nop
+
+handler: retl
+        nop
+
+        .align 4
+input:  .word 0x41414141, 0x41414141, 0x00044440, 0x42424242
+dest:   .word 0, 0
+fptr:   .word handler

@@ -1,0 +1,26 @@
+#!/bin/sh
+# Full local CI: configure, build, run the test suite, regenerate every
+# table/figure, and run all examples. Exits nonzero on any failure.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure
+
+echo "== examples =="
+for example in build/examples/*; do
+    [ -f "$example" ] && [ -x "$example" ] || continue
+    echo "-- $example"
+    "$example" > /dev/null
+done
+
+echo "== benches =="
+for bench in build/bench/*; do
+    [ -f "$bench" ] && [ -x "$bench" ] || continue
+    echo "-- $bench"
+    "$bench" > /dev/null
+done
+
+echo "All checks passed."

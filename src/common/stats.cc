@@ -1,0 +1,76 @@
+#include "common/stats.h"
+
+#include <sstream>
+
+namespace flexcore {
+
+Counter::Counter(StatGroup *group, std::string name, std::string desc)
+    : name_(std::move(name)), desc_(std::move(desc))
+{
+    if (group)
+        group->registerCounter(this);
+}
+
+StatGroup::StatGroup(std::string name, StatGroup *parent)
+    : name_(std::move(name))
+{
+    if (parent)
+        parent->registerChild(this);
+}
+
+void
+StatGroup::registerCounter(Counter *counter)
+{
+    counters_.push_back(counter);
+}
+
+void
+StatGroup::registerChild(StatGroup *child)
+{
+    children_.push_back(child);
+}
+
+void
+StatGroup::resetAll()
+{
+    for (Counter *c : counters_)
+        c->reset();
+    for (StatGroup *g : children_)
+        g->resetAll();
+}
+
+std::string
+StatGroup::dump(const std::string &prefix) const
+{
+    std::ostringstream oss;
+    const std::string path = prefix.empty() ? name_ : prefix + "." + name_;
+    for (const Counter *c : counters_) {
+        oss << path << "." << c->name() << " " << c->value()
+            << " # " << c->desc() << "\n";
+    }
+    for (const StatGroup *g : children_)
+        oss << g->dump(path);
+    return oss.str();
+}
+
+u64
+StatGroup::lookup(const std::string &dotted_path) const
+{
+    const auto dot = dotted_path.find('.');
+    if (dot == std::string::npos) {
+        for (const Counter *c : counters_) {
+            if (c->name() == dotted_path)
+                return c->value();
+        }
+        return 0;
+    }
+    const std::string head = dotted_path.substr(0, dot);
+    const std::string tail = dotted_path.substr(dot + 1);
+    for (const StatGroup *g : children_) {
+        if (g->name() == head)
+            return g->lookup(tail);
+    }
+    return 0;
+}
+
+}  // namespace flexcore

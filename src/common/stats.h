@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Lightweight statistics registry. Every simulated component owns a
+ * StatGroup; counters register themselves with a name so end-of-run
+ * reports can be produced generically.
+ */
+
+#ifndef FLEXCORE_COMMON_STATS_H_
+#define FLEXCORE_COMMON_STATS_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+
+namespace flexcore {
+
+class StatGroup;
+
+/** A named 64-bit event counter. */
+class Counter
+{
+  public:
+    Counter() = default;
+    Counter(StatGroup *group, std::string name, std::string desc);
+
+    Counter &operator++() { ++value_; return *this; }
+    Counter &operator+=(u64 n) { value_ += n; return *this; }
+    void reset() { value_ = 0; }
+
+    u64 value() const { return value_; }
+    const std::string &name() const { return name_; }
+    const std::string &desc() const { return desc_; }
+
+  private:
+    std::string name_;
+    std::string desc_;
+    u64 value_ = 0;
+};
+
+/**
+ * A collection of counters belonging to one component. Groups form a
+ * tree through the parent pointer so a System can enumerate everything.
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name, StatGroup *parent = nullptr);
+
+    /** Register a counter; called by the Counter constructor. */
+    void registerCounter(Counter *counter);
+    void registerChild(StatGroup *child);
+
+    const std::string &name() const { return name_; }
+    const std::vector<Counter *> &counters() const { return counters_; }
+    const std::vector<StatGroup *> &children() const { return children_; }
+
+    /** Reset all counters in this group and its descendants. */
+    void resetAll();
+
+    /**
+     * Render "group.counter value # desc" lines for this group and its
+     * descendants, one per counter.
+     */
+    std::string dump(const std::string &prefix = "") const;
+
+    /** Find a counter value by dotted path ("core.cycles"); 0 if absent. */
+    u64 lookup(const std::string &dotted_path) const;
+
+  private:
+    std::string name_;
+    std::vector<Counter *> counters_;
+    std::vector<StatGroup *> children_;
+};
+
+}  // namespace flexcore
+
+#endif  // FLEXCORE_COMMON_STATS_H_

@@ -1,0 +1,692 @@
+#include "core/core.h"
+
+#include "common/log.h"
+#include "isa/encoding.h"
+
+namespace flexcore {
+
+Core::Core(StatGroup *parent, Memory *memory, Bus *bus, CoreParams params)
+    : mem_(memory),
+      bus_(bus),
+      params_(params),
+      icache_(parent, "icache", params.icache),
+      dcache_(parent, "dcache", params.dcache),
+      store_buffer_(parent, bus, params.store_buffer_depth),
+      stats_("core", parent),
+      instructions_(&stats_, "instructions", "instructions committed"),
+      micro_ops_(&stats_, "micro_ops",
+                 "spill/fill and instrumentation micro-ops"),
+      latency_stall_cycles_(&stats_, "latency_stalls",
+                            "fixed-latency stall cycles"),
+      imiss_wait_cycles_(&stats_, "imiss_wait", "I-cache refill cycles"),
+      dmiss_wait_cycles_(&stats_, "dmiss_wait", "D-cache refill cycles"),
+      sb_wait_cycles_(&stats_, "sb_wait", "store-buffer-full cycles"),
+      ack_wait_cycles_(&stats_, "ack_wait", "CACK wait cycles"),
+      bfifo_wait_cycles_(&stats_, "bfifo_wait", "BFIFO wait cycles"),
+      drain_cycles_(&stats_, "drain_cycles", "fabric drain cycles at exit"),
+      window_spills_(&stats_, "window_spills", "window overflow traps"),
+      window_fills_(&stats_, "window_fills", "window underflow traps")
+{
+}
+
+void
+Core::loadProgram(const Program &program)
+{
+    mem_->writeBlock(program.base(), program.image().data(),
+                     program.size());
+    pc_ = program.entry();
+    npc_ = pc_ + 4;
+    regs_ = RegWindowFile();
+    regs_.write(kRegSp, params_.stack_top);
+    regs_.write(kRegFp, params_.stack_top);
+    icc_ = Icc{};
+    y_ = 0;
+    depth_ = 1;
+    spilled_ = 0;
+    state_ = State::kReady;
+    stall_ = 0;
+    fetch_retry_ = false;
+    micro_queue_.clear();
+    halted_ = false;
+    exit_code_ = 0;
+    trap_ = TrapInfo{};
+    console_.clear();
+}
+
+unsigned
+Core::windowSlot(unsigned window, unsigned arch_reg) const
+{
+    return physRegIndex(window, arch_reg);
+}
+
+u32
+Core::operand2(const Instruction &inst) const
+{
+    return inst.has_imm ? static_cast<u32>(inst.simm)
+                        : regs_.read(inst.rs2);
+}
+
+void
+Core::raiseTrap(TrapKind kind, Addr pc, std::string detail)
+{
+    // Before taking a core-side trap the core must wait for the
+    // co-processor to finish all pending instructions (§III-C); if a
+    // monitor trap arrives during the drain it takes precedence, since
+    // the monitored fault is the root cause.
+    if (kind != TrapKind::kMonitor && iface_ && !iface_->empty()) {
+        pending_trap_.kind = kind;
+        pending_trap_.pc = pc;
+        pending_trap_.detail = std::move(detail);
+        state_ = State::kDrainTrap;
+        return;
+    }
+    trap_.kind = kind;
+    trap_.pc = pc;
+    trap_.detail = std::move(detail);
+    halted_ = true;
+}
+
+void
+Core::takeMonitorTrap()
+{
+    iface_->ackTrap();   // PACK
+    raiseTrap(TrapKind::kMonitor, iface_->trapPc(),
+              "monitor check failed");
+}
+
+void
+Core::tick(Cycle now)
+{
+    now_ = now;
+    if (halted_)
+        return;
+
+    // Imprecise monitor exception, taken at the next commit boundary.
+    if (iface_ && iface_->trapPending()) {
+        takeMonitorTrap();
+        return;
+    }
+
+    switch (state_) {
+      case State::kReady:
+        if (stall_ > 0) {
+            --stall_;
+            ++latency_stall_cycles_;
+            return;
+        }
+        startWork();
+        break;
+      case State::kWaitBus:
+        if (wait_is_fetch_)
+            ++imiss_wait_cycles_;
+        else
+            ++dmiss_wait_cycles_;
+        break;
+      case State::kWaitStoreBuffer:
+        if (store_buffer_.push(cur_.store_addr)) {
+            state_ = State::kCommitPending;
+            tryCommit();
+        } else {
+            ++sb_wait_cycles_;
+        }
+        break;
+      case State::kCommitPending:
+        tryCommit();
+        break;
+      case State::kCommitStall:
+        tryCommit();
+        break;
+      case State::kWaitAck:
+        if (iface_->ackReady()) {
+            iface_->consumeAck();
+            finishInstruction();
+        } else {
+            ++ack_wait_cycles_;
+        }
+        break;
+      case State::kWaitBfifo:
+        if (auto value = iface_->popBfifo()) {
+            regs_.write(cur_.cpread_rd, *value);
+            finishInstruction();
+        } else {
+            ++bfifo_wait_cycles_;
+        }
+        break;
+      case State::kDrainExit:
+        if (!iface_ || iface_->empty())
+            halted_ = true;
+        else
+            ++drain_cycles_;
+        break;
+      case State::kDrainTrap:
+        if (!iface_ || iface_->empty()) {
+            trap_ = pending_trap_;
+            halted_ = true;
+        } else {
+            ++drain_cycles_;
+        }
+        break;
+    }
+}
+
+void
+Core::startWork()
+{
+    if (!micro_queue_.empty()) {
+        execMicroOp();
+        return;
+    }
+    if (!fetchTimingOk())
+        return;
+
+    const Instruction inst = decode(mem_->read32(pc_));
+    if (!inst.valid) {
+        raiseTrap(TrapKind::kIllegalInstr, pc_, "undecodable instruction");
+        return;
+    }
+    executeInstruction(inst);
+}
+
+bool
+Core::fetchTimingOk()
+{
+    if (fetch_retry_) {
+        fetch_retry_ = false;
+        return true;
+    }
+    if (icache_.access(pc_))
+        return true;
+    wait_is_fetch_ = true;
+    state_ = State::kWaitBus;
+    BusRequest req;
+    req.op = BusOp::kReadLine;
+    req.addr = pc_ & ~(params_.icache.line_bytes - 1);
+    req.on_complete = [this]() {
+        icache_.fill(pc_ & ~(params_.icache.line_bytes - 1));
+        fetch_retry_ = true;
+        state_ = State::kReady;
+    };
+    bus_->request(std::move(req));
+    return false;
+}
+
+void
+Core::execMicroOp()
+{
+    const MicroOp op = micro_queue_.front();
+    micro_queue_.pop_front();
+    ++micro_ops_;
+
+    cur_ = ExecContext{};
+    cur_.is_micro = true;
+    cur_.skip_offer = !op.forward;
+    cur_.pkt.pc = pc_;
+
+    switch (op.kind) {
+      case MicroOp::Kind::kAlu:
+        // One-cycle filler instruction; nothing else to do.
+        return;
+      case MicroOp::Kind::kLoad: {
+        const u32 value = mem_->read32(op.addr);
+        if (op.forward)
+            regs_.writePhys(op.phys_reg, value);
+        cur_.pkt.opcode = kTypeLoadWord;
+        cur_.pkt.addr = op.addr;
+        cur_.pkt.res = value;
+        cur_.pkt.dest = static_cast<u16>(op.phys_reg);
+        cur_.pkt.di.op = Op::kLd;
+        cur_.pkt.di.type = kTypeLoadWord;
+        cur_.pkt.di.valid = true;
+        cur_.extra_stall = params_.load_extra;
+        if (dcache_.access(op.addr)) {
+            state_ = State::kCommitPending;
+            tryCommit();
+        } else {
+            wait_is_fetch_ = false;
+            state_ = State::kWaitBus;
+            const Addr line = op.addr & ~(params_.dcache.line_bytes - 1);
+            BusRequest req;
+            req.op = BusOp::kReadLine;
+            req.addr = line;
+            req.on_complete = [this, line]() {
+                dcache_.fill(line);
+                state_ = State::kCommitPending;
+            };
+            bus_->request(std::move(req));
+        }
+        return;
+      }
+      case MicroOp::Kind::kStore: {
+        if (op.forward)
+            mem_->write32(op.addr, op.store_value);
+        cur_.pkt.opcode = kTypeStoreWord;
+        cur_.pkt.addr = op.addr;
+        cur_.pkt.res = op.store_value;
+        cur_.pkt.dest = static_cast<u16>(op.phys_reg);
+        cur_.pkt.di.op = Op::kSt;
+        cur_.pkt.di.type = kTypeStoreWord;
+        cur_.pkt.di.valid = true;
+        cur_.is_store = true;
+        cur_.store_addr = op.addr;
+        dcache_.access(op.addr);   // write-through, no allocate
+        scheduleStoreThenCommit();
+        return;
+      }
+    }
+}
+
+void
+Core::scheduleStoreThenCommit()
+{
+    if (store_buffer_.push(cur_.store_addr)) {
+        state_ = State::kCommitPending;
+        tryCommit();
+    } else {
+        state_ = State::kWaitStoreBuffer;
+    }
+}
+
+void
+Core::enqueueWindowSpill()
+{
+    ++window_spills_;
+    const unsigned w_spill = (regs_.cwp() + depth_ - 1) % kNumWindows;
+    const Addr sp = regs_.readPhys(windowSlot(w_spill, kRegSp));
+    for (unsigned k = 0; k < 16; ++k) {
+        const unsigned arch = kRegL0 + k;   // l0-l7 then i0-i7
+        MicroOp op;
+        op.kind = MicroOp::Kind::kStore;
+        op.addr = sp + 4 * k;
+        op.phys_reg = static_cast<u16>(windowSlot(w_spill, arch));
+        op.store_value = regs_.readPhys(op.phys_reg);
+        op.forward = true;
+        micro_queue_.push_back(op);
+    }
+    --depth_;
+    ++spilled_;
+    stall_ += params_.trap_overhead;
+}
+
+void
+Core::enqueueWindowFill()
+{
+    ++window_fills_;
+    const unsigned w_fill = (regs_.cwp() + 1) % kNumWindows;
+    const Addr sp = regs_.readPhys(windowSlot(w_fill, kRegSp));
+    for (unsigned k = 0; k < 16; ++k) {
+        const unsigned arch = kRegL0 + k;
+        MicroOp op;
+        op.kind = MicroOp::Kind::kLoad;
+        op.addr = sp + 4 * k;
+        op.phys_reg = static_cast<u16>(windowSlot(w_fill, arch));
+        op.forward = true;
+        micro_queue_.push_back(op);
+    }
+    ++depth_;
+    --spilled_;
+    stall_ += params_.trap_overhead;
+}
+
+void
+Core::executeInstruction(const Instruction &inst)
+{
+    // Window overflow/underflow traps fire *before* the save/restore
+    // executes, exactly like the SPARC trap handlers: the spill/fill
+    // micro-ops run first and the instruction then re-executes.
+    if (inst.op == Op::kSave && depth_ == kNumWindows - 1) {
+        enqueueWindowSpill();
+        return;
+    }
+    if (inst.op == Op::kRestore && depth_ == 1) {
+        if (spilled_ == 0) {
+            raiseTrap(TrapKind::kWindowError, pc_,
+                      "restore without caller frame");
+            return;
+        }
+        enqueueWindowFill();
+        return;
+    }
+
+    cur_ = ExecContext{};
+    CommitPacket &pkt = cur_.pkt;
+    pkt.pc = pc_;
+    pkt.inst = inst.raw;
+    pkt.opcode = static_cast<u8>(inst.type);
+    pkt.di = inst;
+
+    const u32 a = regs_.read(inst.rs1);
+    const u32 b = operand2(inst);
+    pkt.srcv1 = a;
+    pkt.srcv2 = b;
+    if (inst.readsRs1())
+        pkt.src1 = static_cast<u16>(regs_.physIndex(inst.rs1));
+    if (inst.readsRs2())
+        pkt.src2 = static_cast<u16>(regs_.physIndex(inst.rs2));
+    pkt.decode = (inst.writesRd() ? 1u : 0u) |
+                 (isLoad(inst.op) ? 2u : 0u) |
+                 (isStore(inst.op) ? 4u : 0u) |
+                 (inst.has_imm ? 8u : 0u) |
+                 (static_cast<u32>(inst.cpop_fn) << 8);
+    pkt.extra = regs_.cwp() | (depth_ << 8);
+
+    bool needs_dcache_load = false;
+    Addr ea = 0;
+
+    switch (inst.op) {
+      case Op::kSethi: {
+        const u32 value = inst.imm22 << 10;
+        regs_.write(inst.rd, value);
+        pkt.res = value;
+        pkt.dest = static_cast<u16>(regs_.physIndex(inst.rd));
+        advancePc();
+        break;
+      }
+
+      case Op::kAdd: case Op::kAddcc:
+      case Op::kSub: case Op::kSubcc:
+      case Op::kAnd: case Op::kAndcc:
+      case Op::kOr: case Op::kOrcc:
+      case Op::kXor: case Op::kXorcc:
+      case Op::kAndn: case Op::kOrn: case Op::kXnor:
+      case Op::kSll: case Op::kSrl: case Op::kSra:
+      case Op::kUmul: case Op::kSmul:
+      case Op::kUmulcc: case Op::kSmulcc:
+      case Op::kUdiv: case Op::kSdiv: {
+        const AluResult result = alu_.execute(inst.op, a, b, y_);
+        if (result.div_by_zero) {
+            raiseTrap(TrapKind::kDivByZero, pc_, "division by zero");
+            return;
+        }
+        regs_.write(inst.rd, result.value);
+        if (result.writes_y)
+            y_ = result.y_out;
+        if (writesIcc(inst.op))
+            icc_ = result.icc;
+        pkt.res = result.value;
+        pkt.dest = static_cast<u16>(regs_.physIndex(inst.rd));
+        if (inst.type == kTypeMul)
+            cur_.extra_stall += params_.mul_extra;
+        else if (inst.type == kTypeDiv)
+            cur_.extra_stall += params_.div_extra;
+        advancePc();
+        break;
+      }
+
+      case Op::kSave: {
+        regs_.decrementCwp();
+        ++depth_;
+        regs_.write(inst.rd, a + b);
+        pkt.res = a + b;
+        pkt.dest = static_cast<u16>(regs_.physIndex(inst.rd));
+        advancePc();
+        break;
+      }
+      case Op::kRestore: {
+        regs_.incrementCwp();
+        --depth_;
+        regs_.write(inst.rd, a + b);
+        pkt.res = a + b;
+        pkt.dest = static_cast<u16>(regs_.physIndex(inst.rd));
+        advancePc();
+        break;
+      }
+
+      case Op::kLd: case Op::kLdub: case Op::kLduh: {
+        ea = a + b;
+        pkt.addr = ea;
+        const unsigned align =
+            inst.op == Op::kLd ? 3 : (inst.op == Op::kLduh ? 1 : 0);
+        if (ea & align) {
+            raiseTrap(TrapKind::kMemAlign, pc_, "misaligned load");
+            return;
+        }
+        u32 value = 0;
+        switch (inst.op) {
+          case Op::kLd: value = mem_->read32(ea); break;
+          case Op::kLdub: value = mem_->read8(ea); break;
+          default: value = mem_->read16(ea); break;
+        }
+        regs_.write(inst.rd, value);
+        pkt.res = value;
+        pkt.dest = static_cast<u16>(regs_.physIndex(inst.rd));
+        cur_.extra_stall += params_.load_extra;
+        needs_dcache_load = true;
+        advancePc();
+        break;
+      }
+
+      case Op::kSt: case Op::kStb: case Op::kSth: {
+        ea = a + b;
+        pkt.addr = ea;
+        const unsigned align =
+            inst.op == Op::kSt ? 3 : (inst.op == Op::kSth ? 1 : 0);
+        if (ea & align) {
+            raiseTrap(TrapKind::kMemAlign, pc_, "misaligned store");
+            return;
+        }
+        const u32 value = regs_.read(inst.rd);
+        switch (inst.op) {
+          case Op::kSt: mem_->write32(ea, value); break;
+          case Op::kStb: mem_->write8(ea, static_cast<u8>(value)); break;
+          default: mem_->write16(ea, static_cast<u16>(value)); break;
+        }
+        pkt.res = value;
+        // DEST carries the store-data register so monitors can read
+        // its tag.
+        pkt.dest = static_cast<u16>(regs_.physIndex(inst.rd));
+        cur_.is_store = true;
+        cur_.store_addr = ea;
+        dcache_.access(ea);   // write-through, no allocate
+        advancePc();
+        break;
+      }
+
+      case Op::kBicc: {
+        const Addr target = pc_ + 4u * static_cast<u32>(inst.disp);
+        const bool taken = Alu::evalCond(inst.cond, icc_);
+        pkt.branch = taken;
+        pkt.res = target;
+        if (inst.cond == Cond::kA && inst.annul) {
+            pc_ = target;
+            npc_ = target + 4;
+            cur_.extra_stall +=
+                params_.annul_extra + params_.branch_taken_extra;
+        } else if (taken) {
+            pc_ = npc_;
+            npc_ = target;
+            cur_.extra_stall += params_.branch_taken_extra;
+        } else if (inst.annul) {
+            pc_ = npc_ + 4;
+            npc_ = npc_ + 8;
+            cur_.extra_stall += params_.annul_extra;
+        } else {
+            pc_ = npc_;
+            npc_ = npc_ + 4;
+        }
+        break;
+      }
+
+      case Op::kCall: {
+        const Addr target = pc_ + 4u * static_cast<u32>(inst.disp);
+        regs_.write(kRegO7, pc_);
+        pkt.res = target;
+        pkt.branch = true;
+        pkt.dest = static_cast<u16>(regs_.physIndex(kRegO7));
+        cur_.extra_stall += params_.call_extra;
+        pc_ = npc_;
+        npc_ = target;
+        break;
+      }
+
+      case Op::kJmpl: {
+        const Addr target = a + b;
+        if (target & 3) {
+            raiseTrap(TrapKind::kMemAlign, pc_, "misaligned jump target");
+            return;
+        }
+        regs_.write(inst.rd, pc_);
+        pkt.res = target;
+        pkt.addr = target;
+        pkt.branch = true;
+        pkt.dest = static_cast<u16>(regs_.physIndex(inst.rd));
+        cur_.extra_stall += params_.jmpl_extra;
+        pc_ = npc_;
+        npc_ = target;
+        break;
+      }
+
+      case Op::kRdy: {
+        regs_.write(inst.rd, y_);
+        pkt.res = y_;
+        pkt.dest = static_cast<u16>(regs_.physIndex(inst.rd));
+        advancePc();
+        break;
+      }
+      case Op::kWry: {
+        y_ = a;
+        pkt.res = y_;
+        advancePc();
+        break;
+      }
+
+      case Op::kTicc: {
+        if (Alu::evalCond(inst.cond, icc_)) {
+            const u32 trap_no = (a + b) & 0x7f;
+            switch (static_cast<SysTrap>(trap_no)) {
+              case SysTrap::kExit:
+                cur_.is_exit = true;
+                exit_code_ = regs_.read(kRegO0);
+                break;
+              case SysTrap::kPutChar:
+                console_ += static_cast<char>(regs_.read(kRegO0) & 0xff);
+                break;
+              case SysTrap::kPutInt:
+                console_ +=
+                    std::to_string(static_cast<s32>(regs_.read(kRegO0)));
+                break;
+              default:
+                raiseTrap(TrapKind::kBadSyscall, pc_,
+                          "unknown software trap " +
+                              std::to_string(trap_no));
+                return;
+            }
+        }
+        advancePc();
+        break;
+      }
+
+      case Op::kCpop1: case Op::kCpop2: {
+        // The core computes rs1 + operand2 as a convenience address and
+        // exposes rs1's value in RES; all semantics live in the fabric.
+        ea = a + b;
+        pkt.addr = ea;
+        pkt.res = a;
+        pkt.src1 = static_cast<u16>(regs_.physIndex(inst.rs1));
+        if (inst.cpop_fn == CpopFn::kReadTag) {
+            cur_.is_cpread = true;
+            cur_.cpread_rd = inst.rd;
+            pkt.dest = static_cast<u16>(regs_.physIndex(inst.rd));
+            if (!iface_)
+                regs_.write(inst.rd, 0);
+        } else {
+            // SetRegTag/SetMemTag carry the tag value in the rd field.
+            pkt.dest = inst.rd;
+        }
+        advancePc();
+        break;
+      }
+
+      case Op::kInvalid:
+      case Op::kNumOps:
+        raiseTrap(TrapKind::kIllegalInstr, pc_, "illegal opcode");
+        return;
+    }
+
+    pkt.cond = icc_.packed();
+
+    if (cur_.is_store) {
+        scheduleStoreThenCommit();
+        return;
+    }
+    if (needs_dcache_load && !dcache_.access(ea)) {
+        wait_is_fetch_ = false;
+        state_ = State::kWaitBus;
+        const Addr line = ea & ~(params_.dcache.line_bytes - 1);
+        BusRequest req;
+        req.op = BusOp::kReadLine;
+        req.addr = line;
+        req.on_complete = [this, line]() {
+            dcache_.fill(line);
+            state_ = State::kCommitPending;
+        };
+        bus_->request(std::move(req));
+        return;
+    }
+    state_ = State::kCommitPending;
+    tryCommit();
+}
+
+void
+Core::tryCommit()
+{
+    if (iface_ && !cur_.skip_offer) {
+        switch (iface_->offer(cur_.pkt, now_)) {
+          case CommitAction::kStall:
+            state_ = State::kCommitStall;
+            return;
+          case CommitAction::kWaitAck:
+            state_ = State::kWaitAck;
+            return;
+          case CommitAction::kProceed:
+            break;
+        }
+    }
+    if (cur_.is_cpread && iface_) {
+        state_ = State::kWaitBfifo;
+        return;
+    }
+    finishInstruction();
+}
+
+void
+Core::finishInstruction()
+{
+    if (!cur_.is_micro) {
+        ++instructions_;
+        ++committed_by_type_[cur_.pkt.opcode];
+        if (tracer_)
+            tracer_(now_, cur_.pkt.pc, cur_.pkt.di);
+        if (swmon_) {
+            sw_expansion_.clear();
+            swmon_->expand(cur_.pkt.di, cur_.pkt.addr, &sw_expansion_);
+            for (const SwMicroOp &sw : sw_expansion_) {
+                MicroOp op;
+                switch (sw.kind) {
+                  case SwMicroOp::Kind::kAlu:
+                    op.kind = MicroOp::Kind::kAlu;
+                    break;
+                  case SwMicroOp::Kind::kLoad:
+                    op.kind = MicroOp::Kind::kLoad;
+                    break;
+                  case SwMicroOp::Kind::kStore:
+                    op.kind = MicroOp::Kind::kStore;
+                    break;
+                }
+                op.addr = sw.addr;
+                op.forward = false;
+                micro_queue_.push_back(op);
+            }
+        }
+    }
+    stall_ += cur_.extra_stall;
+    state_ = cur_.is_exit ? State::kDrainExit : State::kReady;
+}
+
+void
+Core::advancePc()
+{
+    pc_ = npc_;
+    npc_ += 4;
+}
+
+}  // namespace flexcore

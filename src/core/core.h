@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Cycle-level timing model of a Leon3-class SPARC V8 core: 7-stage
+ * single-issue in-order pipeline abstracted as one commit per cycle
+ * plus explicit stall sources (I-cache misses, load delay, multi-cycle
+ * mul/div, annulled delay slots, store-buffer backpressure, window
+ * spill/fill microcode, and forward-FIFO backpressure from the
+ * FlexCore interface at the commit stage).
+ */
+
+#ifndef FLEXCORE_CORE_CORE_H_
+#define FLEXCORE_CORE_CORE_H_
+
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "assembler/program.h"
+#include "common/stats.h"
+#include "core/alu.h"
+#include "core/regfile.h"
+#include "core/trap.h"
+#include "flexcore/interface.h"
+#include "memory/bus.h"
+#include "memory/cache.h"
+#include "memory/memory.h"
+#include "memory/store_buffer.h"
+#include "monitors/software.h"
+
+namespace flexcore {
+
+struct CoreParams
+{
+    CacheParams icache{32 * 1024, 32, 4};
+    CacheParams dcache{32 * 1024, 32, 4};
+    u32 store_buffer_depth = 8;
+
+    // Stall cycles beyond the base 1-cycle commit.
+    u32 load_extra = 1;       //!< Leon3 load-delay cycle
+    u32 mul_extra = 3;
+    u32 div_extra = 34;
+    u32 branch_taken_extra = 1;  //!< fetch-redirect bubble not covered
+                                 //!< by the delay slot (7-stage pipe)
+    u32 call_extra = 1;
+    u32 jmpl_extra = 2;       //!< register-indirect target resolves late
+    u32 annul_extra = 1;      //!< annulled delay slot bubble
+    u32 trap_overhead = 8;    //!< window spill/fill microcode entry
+
+    Addr stack_top = 0x00400000;  //!< initial %sp
+};
+
+class Core
+{
+  public:
+    Core(StatGroup *parent, Memory *memory, Bus *bus, CoreParams params);
+
+    /** Attach the FlexCore interface (null = unmodified baseline). */
+    void attachInterface(FlexInterface *iface) { iface_ = iface; }
+
+    /** Attach a software instrumentation model (software-mode runs). */
+    void attachSoftwareMonitor(const SoftwareMonitor *monitor)
+    {
+        swmon_ = monitor;
+    }
+
+    /** Per-committed-instruction hook (debug tracing). */
+    using Tracer = std::function<void(Cycle, Addr, const Instruction &)>;
+    void setTracer(Tracer tracer) { tracer_ = std::move(tracer); }
+
+    /** Load an assembled program and reset architectural state. */
+    void loadProgram(const Program &program);
+
+    /** Advance one core-clock cycle. */
+    void tick(Cycle now);
+
+    bool halted() const { return halted_; }
+    u32 exitCode() const { return exit_code_; }
+    const TrapInfo &trap() const { return trap_; }
+    const std::string &consoleOutput() const { return console_; }
+
+    u64 instructions() const { return instructions_.value(); }
+    u64 committedOfType(InstrType type) const
+    {
+        return committed_by_type_[type];
+    }
+
+    RegWindowFile &regs() { return regs_; }
+    Alu &alu() { return alu_; }
+    Cache &icache() { return icache_; }
+    Cache &dcache() { return dcache_; }
+    StoreBuffer &storeBuffer() { return store_buffer_; }
+
+  private:
+    enum class State : u8 {
+        kReady,            //!< fetch/execute a new instruction
+        kWaitBus,          //!< blocked on an I/D refill
+        kWaitStoreBuffer,  //!< store buffer full, retrying
+        kCommitPending,    //!< memory done; try the interface
+        kCommitStall,      //!< FFIFO full under kAlways/kWaitAck
+        kWaitAck,          //!< waiting for CACK
+        kWaitBfifo,        //!< 'read from co-processor' outstanding
+        kDrainExit,        //!< program exited; draining the fabric
+        kDrainTrap,        //!< core trap raised; draining the fabric
+                           //!< first so a monitor trap can take
+                           //!< precedence (§III-C)
+    };
+
+    /** One spill/fill or instrumentation micro-operation. */
+    struct MicroOp
+    {
+        enum class Kind : u8 { kAlu, kLoad, kStore };
+        Kind kind = Kind::kAlu;
+        Addr addr = 0;
+        u16 phys_reg = 0;
+        u32 store_value = 0;
+        bool forward = false;   //!< forward to the fabric (spill/fill)
+    };
+
+    /** Context of the instruction currently in the commit pipeline. */
+    struct ExecContext
+    {
+        CommitPacket pkt;
+        u32 extra_stall = 0;
+        bool skip_offer = false;   //!< unforwarded micro-op
+        bool is_micro = false;
+        bool is_cpread = false;
+        unsigned cpread_rd = 0;
+        bool is_exit = false;
+        Addr store_addr = 0;
+        bool is_store = false;
+    };
+
+    void startWork();
+    void execMicroOp();
+    bool fetchTimingOk();
+    void executeInstruction(const Instruction &inst);
+    void scheduleStoreThenCommit();
+    void tryCommit();
+    void finishInstruction();
+    void raiseTrap(TrapKind kind, Addr pc, std::string detail);
+    void takeMonitorTrap();
+
+    void enqueueWindowSpill();
+    void enqueueWindowFill();
+    unsigned windowSlot(unsigned window, unsigned arch_reg) const;
+
+    u32 operand2(const Instruction &inst) const;
+    void advancePc();
+
+    Memory *mem_;
+    Bus *bus_;
+    CoreParams params_;
+    FlexInterface *iface_ = nullptr;
+    const SoftwareMonitor *swmon_ = nullptr;
+    Tracer tracer_;
+
+    // Architectural state.
+    RegWindowFile regs_;
+    Alu alu_;
+    Icc icc_;
+    u32 y_ = 0;
+    Addr pc_ = 0;
+    Addr npc_ = 4;
+    unsigned depth_ = 1;      //!< live register windows
+    unsigned spilled_ = 0;    //!< windows spilled to memory
+
+    // Timing state.
+    Cache icache_;
+    Cache dcache_;
+    StoreBuffer store_buffer_;
+    State state_ = State::kReady;
+    u32 stall_ = 0;
+    bool fetch_retry_ = false;   //!< refill done; skip the I$ recheck
+    std::deque<MicroOp> micro_queue_;
+    ExecContext cur_;
+
+    // Run status.
+    bool halted_ = false;
+    u32 exit_code_ = 0;
+    TrapInfo trap_;
+    TrapInfo pending_trap_;   //!< core trap held while draining
+    std::string console_;
+    Cycle now_ = 0;
+    std::vector<SwMicroOp> sw_expansion_;   // scratch
+
+    // Statistics.
+    StatGroup stats_;
+    Counter instructions_;
+    Counter micro_ops_;
+    Counter latency_stall_cycles_;
+    Counter imiss_wait_cycles_;
+    Counter dmiss_wait_cycles_;
+    Counter sb_wait_cycles_;
+    Counter ack_wait_cycles_;
+    Counter bfifo_wait_cycles_;
+    Counter drain_cycles_;
+    Counter window_spills_;
+    Counter window_fills_;
+    u64 committed_by_type_[kNumInstrTypes] = {};
+    bool wait_is_fetch_ = false;
+};
+
+}  // namespace flexcore
+
+#endif  // FLEXCORE_CORE_CORE_H_

@@ -1,0 +1,20 @@
+#include "core/trap.h"
+
+namespace flexcore {
+
+std::string_view
+trapKindName(TrapKind kind)
+{
+    switch (kind) {
+      case TrapKind::kNone: return "none";
+      case TrapKind::kMonitor: return "monitor";
+      case TrapKind::kDivByZero: return "div_by_zero";
+      case TrapKind::kMemAlign: return "mem_align";
+      case TrapKind::kIllegalInstr: return "illegal_instr";
+      case TrapKind::kWindowError: return "window_error";
+      case TrapKind::kBadSyscall: return "bad_syscall";
+    }
+    return "?";
+}
+
+}  // namespace flexcore

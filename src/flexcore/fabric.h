@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Timing model of the reconfigurable fabric (or, at period 1 with no
+ * synchronizers, of an ASIC extension). The fabric runs at an integer
+ * divisor of the core clock, dequeues at most one FFIFO packet per
+ * fabric cycle into a pipelined monitor, and freezes while a meta-data
+ * cache miss is serviced over the shared bus. Extra meta-data cache
+ * operations beyond a packet's first (e.g. the read+write of a BC
+ * store, or read-modify-write when bit-mask writes are disabled) block
+ * packet input for one fabric cycle each, exactly like a structural
+ * hazard on the single cache port.
+ */
+
+#ifndef FLEXCORE_FLEXCORE_FABRIC_H_
+#define FLEXCORE_FLEXCORE_FABRIC_H_
+
+#include <deque>
+#include <vector>
+
+#include "common/stats.h"
+#include "flexcore/interface.h"
+#include "memory/bus.h"
+#include "memory/meta_cache.h"
+#include "monitors/monitor.h"
+
+namespace flexcore {
+
+/**
+ * Optional meta-data TLB (§III-B: "optionally a TLB if virtual memory
+ * is supported"). The paper's prototype omits it, so it defaults off;
+ * when enabled, every meta-data access is translated first, and a TLB
+ * miss freezes the fabric for a page-table walk on the shared bus.
+ */
+struct MetaTlbParams
+{
+    bool enabled = false;
+    u32 entries = 16;        //!< direct-mapped
+    u32 page_shift = 12;     //!< 4 KB pages
+};
+
+struct FabricParams
+{
+    /** Core cycles per fabric cycle: 1 = ASIC/1X, 2 = 0.5X, 4 = 0.25X. */
+    u32 period = 2;
+    /** Core-side instruction pre-decoding (§III-C; ablation knob). */
+    bool predecode = true;
+    CacheParams meta_cache{4 * 1024, 32, 4};
+    /** Bit-granularity meta-data writes (§III-D; ablation knob). */
+    bool bitmask_writes = true;
+    MetaTlbParams tlb;
+};
+
+class Fabric
+{
+  public:
+    Fabric(StatGroup *parent, FlexInterface *iface, Bus *bus,
+           Monitor *monitor, FabricParams params);
+
+    /** Advance one *core* cycle (internally divided to fabric cycles). */
+    void tick(Cycle now);
+
+    /** True when no packet is buffered or in flight. */
+    bool idle() const;
+
+    MetaCache &metaCache() { return meta_cache_; }
+    Monitor *monitor() { return monitor_; }
+    const FabricParams &params() const { return params_; }
+
+    u64 packetsProcessed() const { return packets_.value(); }
+    u64 metaStallCycles() const { return meta_stall_cycles_.value(); }
+    u64 tlbMisses() const { return tlb_misses_.value(); }
+
+  private:
+    /** Deferred side effects applied when a packet leaves the pipe. */
+    struct InFlight
+    {
+        u32 remaining = 0;   // fabric cycles until completion
+        bool wants_ack = false;
+        bool trap = false;
+        const char *trap_reason = nullptr;
+        bool has_bfifo = false;
+        u32 bfifo = 0;
+        Addr pc = 0;
+    };
+
+    void fabricCycle(Cycle now);
+    /** Access the meta cache; returns false if frozen on a miss. */
+    bool metaAccess(const MetaAccess &op);
+    /** TLB lookup; returns false if frozen on a table walk. */
+    bool tlbLookup(Addr meta_addr);
+
+    FlexInterface *iface_;
+    Bus *bus_;
+    Monitor *monitor_;
+    FabricParams params_;
+    MetaCache meta_cache_;
+
+    u32 divider_ = 0;
+    bool frozen_ = false;          // waiting on a meta refill
+    u32 decode_phase_ = 0;         // LUT-decoder occupancy (no predecode)
+    std::deque<InFlight> pipe_;
+
+    /** Direct-mapped meta-data TLB entries (valid + tag = VPN). */
+    struct TlbEntry
+    {
+        bool valid = false;
+        u32 vpn = 0;
+    };
+    std::vector<TlbEntry> tlb_;
+
+    // A dequeued packet whose extra cache ops are still draining.
+    bool have_pending_ = false;
+    InFlight pending_effects_;
+    std::array<MetaAccess, 4> pending_ops_;
+    unsigned pending_num_ops_ = 0;
+    unsigned pending_idx_ = 0;
+    u32 pending_extra_input_block_ = 0;   // e.g. LUT decode w/o predecode
+
+    StatGroup stats_;
+    Counter packets_;
+    Counter meta_accesses_;
+    Counter meta_misses_;
+    Counter meta_stall_cycles_;
+    Counter input_block_cycles_;
+    Counter tlb_hits_;
+    Counter tlb_misses_;
+};
+
+}  // namespace flexcore
+
+#endif  // FLEXCORE_FLEXCORE_FABRIC_H_

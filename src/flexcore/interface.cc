@@ -1,0 +1,86 @@
+#include "flexcore/interface.h"
+
+namespace flexcore {
+
+FlexInterface::FlexInterface(StatGroup *parent, Params params)
+    : params_(params),
+      stats_("interface", parent),
+      forwarded_(&stats_, "forwarded", "packets pushed to the FFIFO"),
+      dropped_(&stats_, "dropped",
+               "packets dropped under the if-not-full policy"),
+      commit_stalls_(&stats_, "commit_stalls",
+                     "cycles commit stalled on a full FFIFO"),
+      traps_(&stats_, "traps", "TRAP assertions from the fabric")
+{
+}
+
+CommitAction
+FlexInterface::offer(const CommitPacket &packet, Cycle now)
+{
+    const InstrType type = static_cast<InstrType>(packet.opcode);
+    switch (cfgr_.policy(type)) {
+      case ForwardPolicy::kIgnore:
+        return CommitAction::kProceed;
+      case ForwardPolicy::kIfNotFull:
+        if (fifoFull()) {
+            ++dropped_;
+            return CommitAction::kProceed;
+        }
+        break;
+      case ForwardPolicy::kAlways:
+        if (fifoFull()) {
+            ++commit_stalls_;
+            return CommitAction::kStall;
+        }
+        break;
+      case ForwardPolicy::kWaitAck:
+        if (fifoFull()) {
+            ++commit_stalls_;
+            return CommitAction::kStall;
+        }
+        break;
+    }
+
+    const bool wait_ack = cfgr_.policy(type) == ForwardPolicy::kWaitAck;
+    Entry entry;
+    entry.packet = packet;
+    entry.packet.wants_ack = wait_ack;
+    entry.ready_at = now + params_.sync_cycles;
+    fifo_.push_back(std::move(entry));
+    fabric_idle_ = false;
+    ++forwarded_;
+    ++forwarded_by_type_[type];
+    return wait_ack ? CommitAction::kWaitAck : CommitAction::kProceed;
+}
+
+std::optional<CommitPacket>
+FlexInterface::popReady(Cycle now)
+{
+    if (fifo_.empty() || fifo_.front().ready_at > now)
+        return std::nullopt;
+    CommitPacket packet = std::move(fifo_.front().packet);
+    fifo_.pop_front();
+    return packet;
+}
+
+std::optional<u32>
+FlexInterface::popBfifo()
+{
+    if (bfifo_.empty())
+        return std::nullopt;
+    const u32 value = bfifo_.front();
+    bfifo_.pop_front();
+    return value;
+}
+
+void
+FlexInterface::raiseTrap(Addr pc)
+{
+    if (!trap_pending_) {
+        trap_pending_ = true;
+        trap_pc_ = pc;
+    }
+    ++traps_;
+}
+
+}  // namespace flexcore

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * The core-fabric interface module (§III-C): forwarding configuration
+ * register, forward FIFO with clock-domain-crossing latency, back FIFO
+ * (BFIFO) for 'read from co-processor' values, and the CTRL signals
+ * (CACK, EMPTY, TRAP, PACK).
+ */
+
+#ifndef FLEXCORE_FLEXCORE_INTERFACE_H_
+#define FLEXCORE_FLEXCORE_INTERFACE_H_
+
+#include <deque>
+#include <optional>
+
+#include "common/stats.h"
+#include "flexcore/cfgr.h"
+#include "flexcore/packet.h"
+
+namespace flexcore {
+
+/** Outcome of offering a committing instruction to the interface. */
+enum class CommitAction : u8 {
+    kProceed,    //!< commit may complete this cycle
+    kStall,      //!< FIFO full under kAlways/kWaitAck: retry next cycle
+    kWaitAck,    //!< enqueued; commit must wait for CACK
+};
+
+class FlexInterface
+{
+  public:
+    struct Params
+    {
+        u32 fifo_depth = 64;     //!< forward FIFO entries (§V-A default)
+        u32 sync_cycles = 1;     //!< CDC synchronizer latency, core cycles
+    };
+
+    FlexInterface(StatGroup *parent, Params params);
+
+    Cfgr &cfgr() { return cfgr_; }
+    const Cfgr &cfgr() const { return cfgr_; }
+
+    // ---- Core side ----
+
+    /**
+     * Offer a committing instruction. Applies the CFGR policy for its
+     * class; pushes a packet when the policy and occupancy allow.
+     */
+    CommitAction offer(const CommitPacket &packet, Cycle now);
+
+    /** TRAP signal from the fabric; sticky until acknowledged (PACK). */
+    bool trapPending() const { return trap_pending_; }
+    Addr trapPc() const { return trap_pc_; }
+    /** PACK: acknowledge the trap. */
+    void ackTrap() { trap_pending_ = false; }
+
+    /** CACK arrived for the in-flight wait-ack instruction. */
+    bool ackReady() const { return ack_ready_; }
+    void consumeAck() { ack_ready_ = false; }
+
+    /** Pop a BFIFO value if available ('read from co-processor'). */
+    std::optional<u32> popBfifo();
+
+    /** EMPTY: no packet queued and the fabric pipeline is drained. */
+    bool empty() const { return fifo_.empty() && fabric_idle_; }
+
+    // ---- Fabric side ----
+
+    /** Dequeue the next packet whose synchronizer delay has elapsed. */
+    std::optional<CommitPacket> popReady(Cycle now);
+
+    /** Fabric reports pipeline-idle status each fabric cycle. */
+    void setFabricIdle(bool idle) { fabric_idle_ = idle; }
+
+    /** CACK for a completed wait-ack packet. */
+    void signalAck() { ack_ready_ = true; }
+
+    /** Push a 'read from co-processor' return value. */
+    void pushBfifo(u32 value) { bfifo_.push_back(value); }
+
+    /** Fabric raises an exception (imprecise; PC is informational). */
+    void raiseTrap(Addr pc);
+
+    // ---- Introspection / statistics ----
+
+    u32 fifoDepth() const { return params_.fifo_depth; }
+    size_t fifoSize() const { return fifo_.size(); }
+    bool fifoFull() const { return fifo_.size() >= params_.fifo_depth; }
+
+    u64 forwardedCount() const { return forwarded_.value(); }
+    u64 droppedCount() const { return dropped_.value(); }
+    u64 stallCycles() const { return commit_stalls_.value(); }
+    u64 forwardedOfType(InstrType type) const
+    {
+        return forwarded_by_type_[type];
+    }
+
+  private:
+    struct Entry
+    {
+        CommitPacket packet;
+        Cycle ready_at;
+    };
+
+    Params params_;
+    Cfgr cfgr_;
+    std::deque<Entry> fifo_;
+    std::deque<u32> bfifo_;
+    bool fabric_idle_ = true;
+    bool ack_ready_ = false;
+    bool trap_pending_ = false;
+    Addr trap_pc_ = 0;
+
+    StatGroup stats_;
+    Counter forwarded_;
+    Counter dropped_;
+    Counter commit_stalls_;
+    Counter traps_;
+    u64 forwarded_by_type_[kNumInstrTypes] = {};
+};
+
+}  // namespace flexcore
+
+#endif  // FLEXCORE_FLEXCORE_INTERFACE_H_

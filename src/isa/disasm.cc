@@ -1,0 +1,127 @@
+#include "isa/disasm.h"
+
+#include <sstream>
+
+#include "isa/encoding.h"
+#include "isa/registers.h"
+
+namespace flexcore {
+
+namespace {
+
+std::string
+hex(u32 value)
+{
+    std::ostringstream oss;
+    oss << "0x" << std::hex << value;
+    return oss.str();
+}
+
+std::string
+regOrImm(const Instruction &inst)
+{
+    if (inst.has_imm)
+        return std::to_string(inst.simm);
+    return archRegName(inst.rs2);
+}
+
+std::string
+memOperand(const Instruction &inst)
+{
+    std::string out = "[" + archRegName(inst.rs1);
+    if (inst.has_imm) {
+        if (inst.simm > 0)
+            out += "+" + std::to_string(inst.simm);
+        else if (inst.simm < 0)
+            out += std::to_string(inst.simm);
+    } else {
+        // Always print the index register (even %g0) so the text
+        // re-assembles to the exact register-form encoding.
+        out += "+" + archRegName(inst.rs2);
+    }
+    return out + "]";
+}
+
+std::string_view
+cpopFnName(CpopFn fn)
+{
+    switch (fn) {
+      case CpopFn::kSetRegTag: return "m.settag";
+      case CpopFn::kClearRegTag: return "m.clrtag";
+      case CpopFn::kSetMemTag: return "m.setmtag";
+      case CpopFn::kClearMemTag: return "m.clrmtag";
+      case CpopFn::kSetPolicy: return "m.policy";
+      case CpopFn::kReadTag: return "m.read";
+      case CpopFn::kSetBase: return "m.base";
+      default: return "m.unknown";
+    }
+}
+
+}  // namespace
+
+std::string
+disassemble(const Instruction &inst, Addr pc)
+{
+    if (!inst.valid)
+        return "<invalid " + hex(inst.raw) + ">";
+
+    std::ostringstream oss;
+    switch (inst.op) {
+      case Op::kSethi:
+        if (inst.type == kTypeNop)
+            return "nop";
+        oss << "sethi " << hex(inst.imm22) << ", "
+            << archRegName(inst.rd);
+        break;
+      case Op::kBicc:
+        oss << "b" << condName(inst.cond) << (inst.annul ? ",a " : " ")
+            << hex(pc + 4u * static_cast<u32>(inst.disp));
+        break;
+      case Op::kCall:
+        oss << "call " << hex(pc + 4u * static_cast<u32>(inst.disp));
+        break;
+      case Op::kLd: case Op::kLdub: case Op::kLduh:
+        oss << opName(inst.op) << " " << memOperand(inst) << ", "
+            << archRegName(inst.rd);
+        break;
+      case Op::kSt: case Op::kStb: case Op::kSth:
+        oss << opName(inst.op) << " " << archRegName(inst.rd) << ", "
+            << memOperand(inst);
+        break;
+      case Op::kJmpl:
+        oss << "jmpl " << archRegName(inst.rs1) << "+" << regOrImm(inst)
+            << ", " << archRegName(inst.rd);
+        break;
+      case Op::kRdy:
+        oss << "rd %y, " << archRegName(inst.rd);
+        break;
+      case Op::kWry:
+        oss << "wr " << archRegName(inst.rs1) << ", %y";
+        break;
+      case Op::kTicc:
+        oss << "t" << condName(inst.cond) << " " << regOrImm(inst);
+        break;
+      case Op::kCpop1:
+      case Op::kCpop2:
+        oss << cpopFnName(inst.cpop_fn) << " " << archRegName(inst.rs1);
+        if (inst.has_imm)
+            oss << ", " << inst.simm;
+        else
+            oss << ", " << archRegName(inst.rs2);
+        oss << ", " << archRegName(inst.rd);
+        break;
+      default:
+        oss << opName(inst.op) << " " << archRegName(inst.rs1) << ", "
+            << regOrImm(inst) << ", " << archRegName(inst.rd);
+        break;
+    }
+    return oss.str();
+}
+
+std::string
+disassemble(u32 word, Addr pc)
+{
+    return disassemble(decode(word), pc);
+}
+
+}  // namespace flexcore

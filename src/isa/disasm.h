@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Disassembler: renders a decoded instruction in SPARC assembly syntax
+ * (the same syntax the assembler accepts, so round-trips are testable).
+ */
+
+#ifndef FLEXCORE_ISA_DISASM_H_
+#define FLEXCORE_ISA_DISASM_H_
+
+#include <string>
+
+#include "common/types.h"
+#include "isa/instruction.h"
+
+namespace flexcore {
+
+/**
+ * Disassemble @p inst. @p pc is used to render branch/call targets as
+ * absolute addresses.
+ */
+std::string disassemble(const Instruction &inst, Addr pc = 0);
+
+/** Convenience: decode then disassemble a raw word. */
+std::string disassemble(u32 word, Addr pc = 0);
+
+}  // namespace flexcore
+
+#endif  // FLEXCORE_ISA_DISASM_H_

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Decoded-instruction representation. The core's decode stage produces
+ * this struct; the core-to-fabric interface forwards selected fields of
+ * it (plus runtime values) in a CommitPacket.
+ */
+
+#ifndef FLEXCORE_ISA_INSTRUCTION_H_
+#define FLEXCORE_ISA_INSTRUCTION_H_
+
+#include "common/types.h"
+#include "isa/opcodes.h"
+
+namespace flexcore {
+
+/** A fully decoded SPARC-subset instruction. */
+struct Instruction
+{
+    u32 raw = 0;                     //!< original 32-bit encoding
+    Op op = Op::kInvalid;            //!< mnemonic-level opcode
+    InstrType type = kTypeNop;       //!< CFGR forwarding class
+    Cond cond = Cond::kA;            //!< condition (Bicc/Ticc)
+    bool annul = false;              //!< Bicc annul bit
+    u8 rd = 0;                       //!< destination architectural reg
+    u8 rs1 = 0;                      //!< source 1 architectural reg
+    u8 rs2 = 0;                      //!< source 2 architectural reg
+    bool has_imm = false;            //!< i bit: rs2 replaced by simm
+    s32 simm = 0;                    //!< simm13 (simm9 for CPop)
+    u32 imm22 = 0;                   //!< SETHI immediate
+    s32 disp = 0;                    //!< branch/call displacement (words)
+    CpopFn cpop_fn = CpopFn::kSetRegTag;  //!< CPop function field
+    bool valid = false;              //!< decoded successfully
+
+    /** True if this instruction reads rs1 as a register operand. */
+    bool readsRs1() const;
+    /** True if this instruction reads rs2 as a register operand. */
+    bool readsRs2() const;
+    /** True if this instruction writes rd. */
+    bool writesRd() const;
+};
+
+/** The canonical NOP (sethi 0, %g0). */
+Instruction makeNop();
+
+}  // namespace flexcore
+
+#endif  // FLEXCORE_ISA_INSTRUCTION_H_

@@ -1,0 +1,57 @@
+#include "memory/bus.h"
+
+namespace flexcore {
+
+Bus::Bus(StatGroup *parent, const SdramTimings &timings)
+    : timings_(timings),
+      stats_("bus", parent),
+      line_reads_(&stats_, "line_reads", "cache line refills"),
+      line_writes_(&stats_, "line_writes", "dirty line writebacks"),
+      word_writes_(&stats_, "word_writes", "write-through stores"),
+      busy_cycles_(&stats_, "busy_cycles", "cycles the bus was occupied"),
+      queue_cycles_(&stats_, "queue_cycles",
+                    "aggregate cycles requests spent queued")
+{
+}
+
+void
+Bus::request(BusRequest req)
+{
+    switch (req.op) {
+      case BusOp::kReadLine: ++line_reads_; break;
+      case BusOp::kWriteLine: ++line_writes_; break;
+      case BusOp::kWriteWord: ++word_writes_; break;
+    }
+    queue_.push_back(std::move(req));
+    if (!active_)
+        startNext();
+}
+
+void
+Bus::startNext()
+{
+    current_ = std::move(queue_.front());
+    queue_.pop_front();
+    remaining_ = timings_.cost(current_.op);
+    active_ = true;
+}
+
+void
+Bus::tick()
+{
+    if (active_) {
+        ++busy_cycles_;
+        if (--remaining_ == 0) {
+            active_ = false;
+            // Move the callback out first: it may enqueue new requests.
+            auto done = std::move(current_.on_complete);
+            if (!queue_.empty())
+                startNext();
+            if (done)
+                done();
+        }
+    }
+    queue_cycles_ += queue_.size();
+}
+
+}  // namespace flexcore

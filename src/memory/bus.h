@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Shared memory bus with an FCFS transaction queue. The main core's
+ * I/D refills, the write-through store buffer, and the meta-data
+ * cache's refills/writebacks all compete here; a long meta-data refill
+ * therefore delays core misses exactly as described in §V-C.
+ */
+
+#ifndef FLEXCORE_MEMORY_BUS_H_
+#define FLEXCORE_MEMORY_BUS_H_
+
+#include <deque>
+#include <functional>
+
+#include "common/stats.h"
+#include "common/types.h"
+#include "memory/sdram.h"
+
+namespace flexcore {
+
+/** One queued bus transaction. */
+struct BusRequest
+{
+    BusOp op = BusOp::kReadLine;
+    Addr addr = 0;
+    /** Invoked on the cycle the transaction completes. May be empty. */
+    std::function<void()> on_complete;
+};
+
+class Bus
+{
+  public:
+    Bus(StatGroup *parent, const SdramTimings &timings);
+
+    /** Enqueue a transaction (FCFS). */
+    void request(BusRequest req);
+
+    /** Advance one core-clock cycle. */
+    void tick();
+
+    /** True when no transaction is active or queued. */
+    bool idle() const { return !active_ && queue_.empty(); }
+
+    /** Transactions waiting behind the active one. */
+    size_t queueDepth() const { return queue_.size(); }
+
+    const StatGroup &stats() const { return stats_; }
+
+  private:
+    void startNext();
+
+    SdramTimings timings_;
+    std::deque<BusRequest> queue_;
+    bool active_ = false;
+    BusRequest current_;
+    u32 remaining_ = 0;
+
+    StatGroup stats_;
+    Counter line_reads_;
+    Counter line_writes_;
+    Counter word_writes_;
+    Counter busy_cycles_;
+    Counter queue_cycles_;
+};
+
+}  // namespace flexcore
+
+#endif  // FLEXCORE_MEMORY_BUS_H_

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Timing-only set-associative cache with true-LRU replacement. Holds
+ * tags and per-line dirty bits, never data (the functional image lives
+ * in Memory). Serves both the Leon3 L1 caches (write-through,
+ * no-allocate: dirty bits unused) and, via the dirty-bit support, the
+ * write-back meta-data cache.
+ */
+
+#ifndef FLEXCORE_MEMORY_CACHE_H_
+#define FLEXCORE_MEMORY_CACHE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+
+namespace flexcore {
+
+struct CacheParams
+{
+    u32 size_bytes = 32 * 1024;
+    u32 line_bytes = 32;
+    u32 assoc = 4;
+};
+
+class Cache
+{
+  public:
+    Cache(StatGroup *parent, const std::string &name, CacheParams params);
+
+    /** Result of a fill: whether a dirty victim must be written back. */
+    struct FillResult
+    {
+        bool evicted_dirty = false;
+        Addr victim_addr = 0;
+    };
+
+    /**
+     * Look up @p addr; updates LRU and the line's dirty bit on a hit.
+     * Counts the access in the hit/miss statistics.
+     */
+    bool access(Addr addr, bool set_dirty = false);
+
+    /** Probe without updating LRU or statistics. */
+    bool contains(Addr addr) const;
+
+    /**
+     * Allocate a line for @p addr (after a miss was serviced),
+     * evicting the LRU way. @p dirty marks the new line dirty
+     * (write-allocate stores).
+     */
+    FillResult fill(Addr addr, bool dirty = false);
+
+    /** Invalidate everything (used between benchmark runs). */
+    void invalidateAll();
+
+    u64 hits() const { return hits_.value(); }
+    u64 misses() const { return misses_.value(); }
+
+    const CacheParams &params() const { return params_; }
+
+  private:
+    struct Line
+    {
+        bool valid = false;
+        bool dirty = false;
+        u32 tag = 0;
+        u64 lru = 0;    // larger == more recently used
+    };
+
+    u32 setIndex(Addr addr) const;
+    u32 tagOf(Addr addr) const;
+
+    CacheParams params_;
+    u32 num_sets_;
+    u32 line_shift_;
+    std::vector<Line> lines_;   // num_sets_ * assoc, set-major
+    u64 use_clock_ = 0;
+
+    StatGroup stats_;
+    Counter accesses_;
+    Counter hits_;
+    Counter misses_;
+    Counter writebacks_;
+};
+
+}  // namespace flexcore
+
+#endif  // FLEXCORE_MEMORY_CACHE_H_

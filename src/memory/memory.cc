@@ -1,0 +1,103 @@
+#include "memory/memory.h"
+
+#include <cstring>
+
+#include "common/log.h"
+
+namespace flexcore {
+
+const u8 Memory::kZeroPage[Memory::kPageSize] = {};
+
+u8 *
+Memory::pageFor(Addr addr)
+{
+    const u32 page = addr >> kPageShift;
+    auto it = pages_.find(page);
+    if (it == pages_.end()) {
+        auto storage = std::make_unique<u8[]>(kPageSize);
+        std::memset(storage.get(), 0, kPageSize);
+        it = pages_.emplace(page, std::move(storage)).first;
+    }
+    return it->second.get();
+}
+
+const u8 *
+Memory::pageForRead(Addr addr) const
+{
+    const u32 page = addr >> kPageShift;
+    const auto it = pages_.find(page);
+    return it == pages_.end() ? kZeroPage : it->second.get();
+}
+
+u8
+Memory::read8(Addr addr) const
+{
+    return pageForRead(addr)[addr & (kPageSize - 1)];
+}
+
+u16
+Memory::read16(Addr addr) const
+{
+    if (addr & 1)
+        FLEX_PANIC("unaligned 16-bit read at ", addr);
+    const u8 *page = pageForRead(addr);
+    const u32 off = addr & (kPageSize - 1);
+    return static_cast<u16>((page[off] << 8) | page[off + 1]);
+}
+
+u32
+Memory::read32(Addr addr) const
+{
+    if (addr & 3)
+        FLEX_PANIC("unaligned 32-bit read at ", addr);
+    const u8 *page = pageForRead(addr);
+    const u32 off = addr & (kPageSize - 1);
+    return (u32{page[off]} << 24) | (u32{page[off + 1]} << 16) |
+           (u32{page[off + 2]} << 8) | u32{page[off + 3]};
+}
+
+void
+Memory::write8(Addr addr, u8 value)
+{
+    pageFor(addr)[addr & (kPageSize - 1)] = value;
+}
+
+void
+Memory::write16(Addr addr, u16 value)
+{
+    if (addr & 1)
+        FLEX_PANIC("unaligned 16-bit write at ", addr);
+    u8 *page = pageFor(addr);
+    const u32 off = addr & (kPageSize - 1);
+    page[off] = static_cast<u8>(value >> 8);
+    page[off + 1] = static_cast<u8>(value);
+}
+
+void
+Memory::write32(Addr addr, u32 value)
+{
+    if (addr & 3)
+        FLEX_PANIC("unaligned 32-bit write at ", addr);
+    u8 *page = pageFor(addr);
+    const u32 off = addr & (kPageSize - 1);
+    page[off] = static_cast<u8>(value >> 24);
+    page[off + 1] = static_cast<u8>(value >> 16);
+    page[off + 2] = static_cast<u8>(value >> 8);
+    page[off + 3] = static_cast<u8>(value);
+}
+
+void
+Memory::writeBlock(Addr addr, const u8 *data, u32 size)
+{
+    for (u32 i = 0; i < size; ++i)
+        write8(addr + i, data[i]);
+}
+
+void
+Memory::readBlock(Addr addr, u8 *data, u32 size) const
+{
+    for (u32 i = 0; i < size; ++i)
+        data[i] = read8(addr + i);
+}
+
+}  // namespace flexcore

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Functional backing memory: a sparse, page-allocated flat byte store
+ * covering the full 32-bit physical address space. Big-endian accessors
+ * match the SPARC ISA.
+ */
+
+#ifndef FLEXCORE_MEMORY_MEMORY_H_
+#define FLEXCORE_MEMORY_MEMORY_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+
+namespace flexcore {
+
+class Memory
+{
+  public:
+    static constexpr u32 kPageShift = 12;
+    static constexpr u32 kPageSize = 1u << kPageShift;
+
+    u8 read8(Addr addr) const;
+    u16 read16(Addr addr) const;    // addr must be 2-byte aligned
+    u32 read32(Addr addr) const;    // addr must be 4-byte aligned
+
+    void write8(Addr addr, u8 value);
+    void write16(Addr addr, u16 value);
+    void write32(Addr addr, u32 value);
+
+    /** Bulk copy-in used by the program loader. */
+    void writeBlock(Addr addr, const u8 *data, u32 size);
+
+    /** Bulk copy-out used by tests and golden-model checks. */
+    void readBlock(Addr addr, u8 *data, u32 size) const;
+
+    /** Number of pages that have been touched. */
+    size_t allocatedPages() const { return pages_.size(); }
+
+  private:
+    u8 *pageFor(Addr addr);
+    const u8 *pageForRead(Addr addr) const;
+
+    std::unordered_map<u32, std::unique_ptr<u8[]>> pages_;
+    static const u8 kZeroPage[kPageSize];
+};
+
+}  // namespace flexcore
+
+#endif  // FLEXCORE_MEMORY_MEMORY_H_

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * SDRAM timing parameters. The paper's prototype has no L2; both the
+ * Leon3 L1 caches and the meta-data cache refill directly from off-chip
+ * SDRAM over the shared memory bus, so one transaction's occupancy is
+ * what creates the bus contention discussed in §V-C.
+ */
+
+#ifndef FLEXCORE_MEMORY_SDRAM_H_
+#define FLEXCORE_MEMORY_SDRAM_H_
+
+#include "common/types.h"
+
+namespace flexcore {
+
+/** Kinds of bus/SDRAM transactions. */
+enum class BusOp : u8 {
+    kReadLine,    // 32-byte cache line refill
+    kWriteWord,   // write-through word/halfword/byte store
+    kWriteLine,   // meta-data cache dirty-line writeback
+};
+
+/**
+ * Occupancy of the shared bus + SDRAM for each transaction type, in
+ * core-clock cycles. Defaults approximate a 100 MHz-class SDR SDRAM
+ * behind an AMBA AHB as in the Leon3 reference design: a line refill
+ * costs row activation plus a burst of 8 words.
+ */
+struct SdramTimings
+{
+    u32 line_read = 30;
+    u32 line_write = 26;
+    u32 word_write = 3;
+
+    u32 cost(BusOp op) const
+    {
+        switch (op) {
+          case BusOp::kReadLine: return line_read;
+          case BusOp::kWriteLine: return line_write;
+          case BusOp::kWriteWord: return word_write;
+        }
+        return 1;
+    }
+};
+
+}  // namespace flexcore
+
+#endif  // FLEXCORE_MEMORY_SDRAM_H_

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Write-through store buffer between the Leon3 core and the shared
+ * bus. Stores retire into the buffer in one cycle; the buffer drains
+ * one entry at a time through the bus. A full buffer stalls the core.
+ */
+
+#ifndef FLEXCORE_MEMORY_STORE_BUFFER_H_
+#define FLEXCORE_MEMORY_STORE_BUFFER_H_
+
+#include <deque>
+
+#include "common/stats.h"
+#include "common/types.h"
+#include "memory/bus.h"
+
+namespace flexcore {
+
+class StoreBuffer
+{
+  public:
+    StoreBuffer(StatGroup *parent, Bus *bus, u32 depth = 8);
+
+    /** True when no entry can be accepted this cycle. */
+    bool full() const { return entries_.size() >= depth_; }
+    bool empty() const { return entries_.empty() && !draining_; }
+
+    /**
+     * Accept a store. Returns false (and counts a stall) when full; the
+     * core must retry next cycle.
+     */
+    bool push(Addr addr);
+
+    /** Advance one cycle: issue the head entry to the bus if idle. */
+    void tick();
+
+  private:
+    Bus *bus_;
+    u32 depth_;
+    std::deque<Addr> entries_;
+    bool draining_ = false;   // head entry is on the bus
+
+    StatGroup stats_;
+    Counter stores_;
+    Counter full_stalls_;
+};
+
+}  // namespace flexcore
+
+#endif  // FLEXCORE_MEMORY_STORE_BUFFER_H_

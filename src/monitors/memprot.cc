@@ -1,0 +1,72 @@
+#include "monitors/memprot.h"
+
+namespace flexcore {
+
+void
+MemProtMonitor::configureCfgr(Cfgr *cfgr) const
+{
+    cfgr->setAll(ForwardPolicy::kIgnore);
+    for (InstrType type :
+         {kTypeLoadWord, kTypeLoadByte, kTypeLoadHalf, kTypeStoreWord,
+          kTypeStoreByte, kTypeStoreHalf, kTypeCpop1, kTypeCpop2}) {
+        cfgr->setPolicy(type, ForwardPolicy::kAlways);
+    }
+}
+
+void
+MemProtMonitor::process(const CommitPacket &packet,
+                        MonitorResult *result)
+{
+    const Instruction &di = packet.di;
+    if (di.op == Op::kCpop1 || di.op == Op::kCpop2) {
+        handleCpop(packet, result);
+        return;
+    }
+    if (!isLoad(di.op) && !isStore(di.op))
+        return;
+
+    const Perm perm = permission(packet.addr);
+    result->addOp(metaAddr(packet.addr), false);
+    if (!(policy_ & 1))
+        return;
+    if (perm == kPermNoAccess) {
+        result->setTrap(isLoad(di.op)
+                            ? "load from no-access word"
+                            : "store to no-access word");
+        return;
+    }
+    if (perm == kPermReadOnly && isStore(di.op))
+        result->setTrap("store to read-only word");
+}
+
+void
+MemProtMonitor::handleCpop(const CommitPacket &packet,
+                           MonitorResult *result)
+{
+    switch (packet.di.cpop_fn) {
+      case CpopFn::kSetMemTag:
+        mem_tags_.write(packet.addr,
+                        static_cast<u8>(packet.dest & 0x3));
+        result->addOp(metaAddr(packet.addr), true);
+        break;
+      case CpopFn::kClearMemTag:
+        mem_tags_.write(packet.addr, kPermDefault);
+        result->addOp(metaAddr(packet.addr), true);
+        break;
+      case CpopFn::kReadTag:
+        result->has_bfifo = true;
+        result->bfifo = permission(packet.addr);
+        result->addOp(metaAddr(packet.addr), false);
+        break;
+      case CpopFn::kSetPolicy:
+        policy_ = packet.addr;
+        break;
+      case CpopFn::kSetBase:
+        meta_base_ = packet.res;
+        break;
+      default:
+        break;
+    }
+}
+
+}  // namespace flexcore

@@ -1,0 +1,45 @@
+#include "monitors/monitor.h"
+
+namespace flexcore {
+
+u8
+TagStore::read(Addr data_addr) const
+{
+    const u32 page = data_addr >> kPageShift;
+    const auto it = pages_.find(page);
+    if (it == pages_.end())
+        return 0;
+    return it->second[(data_addr >> 2) & (kWordsPerPage - 1)];
+}
+
+void
+TagStore::write(Addr data_addr, u8 tag)
+{
+    const u32 page = data_addr >> kPageShift;
+    auto it = pages_.find(page);
+    if (it == pages_.end()) {
+        if (tag == 0)
+            return;
+        it = pages_.emplace(page, std::array<u8, kWordsPerPage>{}).first;
+    }
+    it->second[(data_addr >> 2) & (kWordsPerPage - 1)] = tag;
+}
+
+Monitor::Monitor() = default;
+
+void
+Monitor::onProgramLoad(Addr /*base*/, u32 /*size*/)
+{
+}
+
+void
+Monitor::reset()
+{
+    mem_tags_.clear();
+    reg_tags_.clear();
+    meta_base_ = kDefaultMetaBase;
+    policy_ = 1;
+    last_trap_reason_.clear();
+}
+
+}  // namespace flexcore

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Base class for FlexCore monitoring extensions ("co-processors" in the
+ * paper's terminology) plus the shared per-word tag store. A Monitor's
+ * functional semantics run when the fabric dequeues its packet; the
+ * fabric models timing (pipeline occupancy, meta-data cache misses)
+ * around the MetaAccess list the monitor reports.
+ */
+
+#ifndef FLEXCORE_MONITORS_MONITOR_H_
+#define FLEXCORE_MONITORS_MONITOR_H_
+
+#include <array>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "common/types.h"
+#include "flexcore/cfgr.h"
+#include "flexcore/packet.h"
+#include "flexcore/shadow_regfile.h"
+#include "memory/meta_cache.h"
+
+namespace flexcore {
+
+/** Default meta-data region base (managed by the OS per §III-F). */
+inline constexpr Addr kDefaultMetaBase = 0x40000000;
+
+/** One meta-data cache access required by a packet. */
+struct MetaAccess
+{
+    Addr addr = 0;
+    bool is_write = false;
+};
+
+/** Functional outcome of processing one packet. */
+struct MonitorResult
+{
+    std::array<MetaAccess, 2> ops;
+    unsigned num_ops = 0;
+    bool trap = false;
+    const char *trap_reason = nullptr;
+    bool has_bfifo = false;
+    u32 bfifo = 0;
+
+    void
+    addOp(Addr addr, bool is_write)
+    {
+        if (num_ops >= ops.size())
+            return;   // a packet never needs more than two accesses
+        ops[num_ops].addr = addr;
+        ops[num_ops].is_write = is_write;
+        ++num_ops;
+    }
+
+    void
+    setTrap(const char *reason)
+    {
+        trap = true;
+        trap_reason = reason;
+    }
+};
+
+/**
+ * Per-word tag storage (functional meta-data state). Tags are keyed by
+ * the *data* word address; widths up to 8 bits. Page-granular backing
+ * keeps lookups fast for multi-megabyte workloads.
+ */
+class TagStore
+{
+  public:
+    static constexpr u32 kPageShift = 12;          // 4 KB of data words
+    static constexpr u32 kWordsPerPage = 1u << (kPageShift - 2);
+
+    u8 read(Addr data_addr) const;
+    void write(Addr data_addr, u8 tag);
+    void clear() { pages_.clear(); }
+
+  private:
+    std::unordered_map<u32, std::array<u8, kWordsPerPage>> pages_;
+};
+
+class Monitor
+{
+  public:
+    Monitor();
+    virtual ~Monitor() = default;
+
+    virtual std::string_view name() const = 0;
+
+    /** Pipeline depth in fabric cycles (§IV: 3 to 6 stages). */
+    virtual unsigned pipelineDepth() const = 0;
+
+    /** Meta-data width per data word (0 = stateless, e.g. SEC). */
+    virtual unsigned tagBitsPerWord() const = 0;
+
+    /** Program the CFGR with this extension's forwarding classes. */
+    virtual void configureCfgr(Cfgr *cfgr) const = 0;
+
+    /** Functional semantics for one forwarded packet. */
+    virtual void process(const CommitPacket &packet,
+                         MonitorResult *result) = 0;
+
+    /**
+     * Hook invoked when a program image is loaded (models the OS
+     * initializing meta-data for statically initialized memory).
+     */
+    virtual void onProgramLoad(Addr base, u32 size);
+
+    /** Reset all meta-data state between runs. */
+    virtual void reset();
+
+    /** Human-readable reason of the most recent trap request. */
+    const std::string &lastTrapReason() const { return last_trap_reason_; }
+    void noteTrap(const char *reason) { last_trap_reason_ = reason; }
+
+    Addr metaBase() const { return meta_base_; }
+    void setMetaBase(Addr base) { meta_base_ = base; }
+
+    u32 policy() const { return policy_; }
+    void setPolicy(u32 policy) { policy_ = policy; }
+
+    /** Meta-data byte address for a data address under this monitor. */
+    Addr
+    metaAddr(Addr data_addr) const
+    {
+        return MetaCache::metaByteAddr(meta_base_, data_addr,
+                                       tagBitsPerWord());
+    }
+
+  protected:
+    TagStore mem_tags_;
+    ShadowRegFile reg_tags_;
+    Addr meta_base_ = kDefaultMetaBase;
+    u32 policy_ = 1;   //!< bit 0: checks raise traps
+    std::string last_trap_reason_;
+};
+
+}  // namespace flexcore
+
+#endif  // FLEXCORE_MONITORS_MONITOR_H_

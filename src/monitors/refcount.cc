@@ -1,0 +1,104 @@
+#include "monitors/refcount.h"
+
+namespace flexcore {
+
+void
+RefCountMonitor::configureCfgr(Cfgr *cfgr) const
+{
+    cfgr->setAll(ForwardPolicy::kIgnore);
+    // Only stores mutate pointer slots; loads are irrelevant.
+    for (InstrType type : {kTypeStoreWord, kTypeCpop1, kTypeCpop2})
+        cfgr->setPolicy(type, ForwardPolicy::kAlways);
+}
+
+s32
+RefCountMonitor::refCount(Addr base) const
+{
+    const auto it = counts_.find(base);
+    return it == counts_.end() ? 0 : it->second;
+}
+
+void
+RefCountMonitor::adjust(Addr object, s32 delta)
+{
+    if (object == 0)
+        return;   // null pointers are not references
+    s32 &count = counts_[object];
+    count += delta;
+    if (count <= 0) {
+        ++zero_events_;
+        counts_.erase(object);
+    }
+}
+
+void
+RefCountMonitor::process(const CommitPacket &packet,
+                         MonitorResult *result)
+{
+    const Instruction &di = packet.di;
+
+    if (di.op == Op::kCpop1 || di.op == Op::kCpop2) {
+        switch (di.cpop_fn) {
+          case CpopFn::kSetMemTag: {
+            // Declare a pointer slot. Its current content (if the
+            // program initialized it before declaring) is unknown to
+            // us; slots are expected to be declared while null.
+            mem_tags_.write(packet.addr, 1);
+            slot_values_[packet.addr & ~3u] = 0;
+            result->addOp(metaAddr(packet.addr), true);
+            break;
+          }
+          case CpopFn::kClearMemTag: {
+            // Retire a slot: its outgoing reference is dropped.
+            const Addr slot = packet.addr & ~3u;
+            const auto it = slot_values_.find(slot);
+            if (it != slot_values_.end()) {
+                adjust(it->second, -1);
+                slot_values_.erase(it);
+            }
+            mem_tags_.write(packet.addr, 0);
+            result->addOp(metaAddr(packet.addr), true);
+            break;
+          }
+          case CpopFn::kReadTag:
+            result->has_bfifo = true;
+            result->bfifo =
+                static_cast<u32>(refCount(packet.addr & ~3u));
+            break;
+          case CpopFn::kSetPolicy:
+            policy_ = packet.addr;
+            break;
+          case CpopFn::kSetBase:
+            meta_base_ = packet.res;
+            break;
+          default:
+            break;
+        }
+        return;
+    }
+
+    if (di.op != Op::kSt)
+        return;
+
+    const Addr slot = packet.addr & ~3u;
+    result->addOp(metaAddr(packet.addr), false);
+    if (mem_tags_.read(packet.addr) == 0)
+        return;   // not a declared pointer slot
+
+    // RES carries the stored value: the new pointer target.
+    auto &shadow = slot_values_[slot];
+    adjust(shadow, -1);
+    adjust(packet.res, +1);
+    shadow = packet.res;
+}
+
+void
+RefCountMonitor::reset()
+{
+    Monitor::reset();
+    slot_values_.clear();
+    counts_.clear();
+    zero_events_ = 0;
+}
+
+}  // namespace flexcore

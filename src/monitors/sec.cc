@@ -1,0 +1,82 @@
+#include "monitors/sec.h"
+
+namespace flexcore {
+
+void
+SecMonitor::configureCfgr(Cfgr *cfgr) const
+{
+    cfgr->setAll(ForwardPolicy::kIgnore);
+    for (InstrType type : {kTypeAluAdd, kTypeAluSub, kTypeAluLogic,
+                           kTypeAluShift, kTypeMul, kTypeDiv}) {
+        cfgr->setPolicy(type, ForwardPolicy::kAlways);
+    }
+}
+
+u32
+SecMonitor::mod7(u32 value)
+{
+    // Repeated base-8 digit folding; 7 itself is congruent to 0.
+    u32 sum = value;
+    while (sum > 7) {
+        u32 fold = 0;
+        for (u32 v = sum; v != 0; v >>= 3)
+            fold += v & 7;
+        sum = fold;
+    }
+    return sum == 7 ? 0 : sum;
+}
+
+void
+SecMonitor::process(const CommitPacket &packet, MonitorResult *result)
+{
+    const Instruction &di = packet.di;
+    ++checks_;
+
+    bool mismatch = false;
+    switch (di.type) {
+      case kTypeMul: {
+        // Modular check: res ≡ a*b (mod 7) on the low 32 bits is not
+        // exact, so check the full 64-bit product's residue against
+        // the concatenated result (RES holds the low word, the high
+        // word travels in the EXTRA... the prototype checks the low
+        // word via full recomputation residues).
+        const u64 product =
+            static_cast<u64>(packet.srcv1) * packet.srcv2;
+        const bool is_signed =
+            di.op == Op::kSmul || di.op == Op::kSmulcc;
+        const u64 sproduct = static_cast<u64>(
+            static_cast<s64>(static_cast<s32>(packet.srcv1)) *
+            static_cast<s64>(static_cast<s32>(packet.srcv2)));
+        const u32 low = static_cast<u32>(is_signed ? sproduct : product);
+        mismatch = mod7(low) != mod7(packet.res);
+        break;
+      }
+      case kTypeDiv: {
+        // Recompute the quotient (Y assumed zero, matching the
+        // `wr %g0, %y` convention of our runtime).
+        const AluResult check =
+            checker_alu_.execute(di.op, packet.srcv1, packet.srcv2, 0);
+        mismatch = !check.div_by_zero && check.value != packet.res;
+        break;
+      }
+      case kTypeAluAdd:
+      case kTypeAluSub:
+      case kTypeAluLogic:
+      case kTypeAluShift: {
+        const AluResult check =
+            checker_alu_.execute(di.op, packet.srcv1, packet.srcv2, 0);
+        mismatch = check.value != packet.res;
+        break;
+      }
+      default:
+        return;
+    }
+
+    if (mismatch) {
+        ++errors_;
+        if (policy_ & 1)
+            result->setTrap("ALU result mismatch (soft error)");
+    }
+}
+
+}  // namespace flexcore

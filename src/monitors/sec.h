@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Soft Error Check (SEC, §IV-D): verifies every ALU result from the
+ * main core. Additions, subtractions, logic, and shifts are re-executed
+ * bit-exactly; multiplications are verified with modular arithmetic
+ * (mod the Mersenne number 7), and divisions by recomputation. SEC
+ * keeps no meta-data and needs no meta-data cache.
+ */
+
+#ifndef FLEXCORE_MONITORS_SEC_H_
+#define FLEXCORE_MONITORS_SEC_H_
+
+#include "core/alu.h"
+#include "monitors/monitor.h"
+
+namespace flexcore {
+
+class SecMonitor : public Monitor
+{
+  public:
+    std::string_view name() const override { return "sec"; }
+    unsigned pipelineDepth() const override { return 6; }
+    unsigned tagBitsPerWord() const override { return 0; }
+
+    void configureCfgr(Cfgr *cfgr) const override;
+    void process(const CommitPacket &packet,
+                 MonitorResult *result) override;
+
+    u64 checksPerformed() const { return checks_; }
+    u64 errorsDetected() const { return errors_; }
+
+    /** Residue of a value modulo the Mersenne number 2^3 - 1 = 7. */
+    static u32 mod7(u32 value);
+
+  private:
+    Alu checker_alu_;   //!< fault-free re-execution unit
+    u64 checks_ = 0;
+    u64 errors_ = 0;
+};
+
+}  // namespace flexcore
+
+#endif  // FLEXCORE_MONITORS_SEC_H_

@@ -1,0 +1,91 @@
+#include "monitors/watch.h"
+
+namespace flexcore {
+
+void
+WatchMonitor::configureCfgr(Cfgr *cfgr) const
+{
+    cfgr->setAll(ForwardPolicy::kIgnore);
+    for (InstrType type :
+         {kTypeLoadWord, kTypeLoadByte, kTypeLoadHalf, kTypeStoreWord,
+          kTypeStoreByte, kTypeStoreHalf, kTypeCpop1, kTypeCpop2}) {
+        cfgr->setPolicy(type, ForwardPolicy::kAlways);
+    }
+}
+
+void
+WatchMonitor::process(const CommitPacket &packet, MonitorResult *result)
+{
+    const Instruction &di = packet.di;
+
+    if (di.op == Op::kCpop1 || di.op == Op::kCpop2) {
+        switch (di.cpop_fn) {
+          case CpopFn::kSetMemTag:
+            mem_tags_.write(packet.addr,
+                            static_cast<u8>(packet.dest & 0x3));
+            result->addOp(metaAddr(packet.addr), true);
+            break;
+          case CpopFn::kClearMemTag:
+            mem_tags_.write(packet.addr, kNotWatched);
+            result->addOp(metaAddr(packet.addr), true);
+            break;
+          case CpopFn::kReadTag:
+            result->has_bfifo = true;
+            switch (static_cast<Selector>(di.simm & 0xff)) {
+              case kSelHits:
+                result->bfifo = static_cast<u32>(hits_);
+                break;
+              case kSelLoadHits:
+                result->bfifo = static_cast<u32>(load_hits_);
+                break;
+              case kSelStoreHits:
+                result->bfifo = static_cast<u32>(store_hits_);
+                break;
+              default:
+                result->bfifo = 0;
+                break;
+            }
+            break;
+          case CpopFn::kSetPolicy:
+            policy_ = packet.addr;
+            break;
+          case CpopFn::kSetBase:
+            meta_base_ = packet.res;
+            break;
+          default:
+            break;
+        }
+        return;
+    }
+
+    if (!isLoad(di.op) && !isStore(di.op))
+        return;
+
+    const Mode watch_mode = mode(packet.addr);
+    result->addOp(metaAddr(packet.addr), false);
+    if (watch_mode == kNotWatched)
+        return;
+
+    ++hits_;
+    if (isLoad(di.op))
+        ++load_hits_;
+    else
+        ++store_hits_;
+
+    if (!(policy_ & 1))
+        return;
+    if (watch_mode == kTrapAccess ||
+        (watch_mode == kTrapStore && isStore(di.op))) {
+        result->setTrap(isStore(di.op) ? "watchpoint hit (store)"
+                                       : "watchpoint hit (load)");
+    }
+}
+
+void
+WatchMonitor::reset()
+{
+    Monitor::reset();
+    hits_ = load_hits_ = store_hits_ = 0;
+}
+
+}  // namespace flexcore

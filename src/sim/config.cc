@@ -1,0 +1,91 @@
+#include "sim/config.h"
+
+#include "common/log.h"
+#include "monitors/bc.h"
+#include "monitors/dift.h"
+#include "monitors/memprot.h"
+#include "monitors/prof.h"
+#include "monitors/refcount.h"
+#include "monitors/watch.h"
+#include "monitors/sec.h"
+#include "monitors/umc.h"
+
+namespace flexcore {
+
+std::string_view
+monitorKindName(MonitorKind kind)
+{
+    switch (kind) {
+      case MonitorKind::kNone: return "none";
+      case MonitorKind::kUmc: return "umc";
+      case MonitorKind::kDift: return "dift";
+      case MonitorKind::kBc: return "bc";
+      case MonitorKind::kSec: return "sec";
+      case MonitorKind::kProf: return "prof";
+      case MonitorKind::kMemProt: return "memprot";
+      case MonitorKind::kWatch: return "watch";
+      case MonitorKind::kRefCount: return "refcnt";
+    }
+    return "?";
+}
+
+std::string_view
+implModeName(ImplMode mode)
+{
+    switch (mode) {
+      case ImplMode::kBaseline: return "baseline";
+      case ImplMode::kAsic: return "asic";
+      case ImplMode::kFlexFabric: return "flexcore";
+      case ImplMode::kSoftware: return "software";
+    }
+    return "?";
+}
+
+std::unique_ptr<Monitor>
+makeMonitor(MonitorKind kind, unsigned dift_tag_bits)
+{
+    switch (kind) {
+      case MonitorKind::kNone: return nullptr;
+      case MonitorKind::kUmc: return std::make_unique<UmcMonitor>();
+      case MonitorKind::kDift:
+        return std::make_unique<DiftMonitor>(dift_tag_bits);
+      case MonitorKind::kBc: return std::make_unique<BcMonitor>();
+      case MonitorKind::kSec: return std::make_unique<SecMonitor>();
+      case MonitorKind::kProf: return std::make_unique<ProfMonitor>();
+      case MonitorKind::kMemProt:
+        return std::make_unique<MemProtMonitor>();
+      case MonitorKind::kWatch:
+        return std::make_unique<WatchMonitor>();
+      case MonitorKind::kRefCount:
+        return std::make_unique<RefCountMonitor>();
+    }
+    return nullptr;
+}
+
+u32
+defaultFlexPeriod(MonitorKind kind)
+{
+    return kind == MonitorKind::kSec ? 4 : 2;
+}
+
+void
+SystemConfig::finalize()
+{
+    if (mode == ImplMode::kBaseline || mode == ImplMode::kSoftware) {
+        if (monitor != MonitorKind::kNone && mode == ImplMode::kBaseline)
+            monitor = MonitorKind::kNone;
+        return;
+    }
+    if (monitor == MonitorKind::kNone)
+        FLEX_FATAL("ASIC/FlexCore mode requires a monitor kind");
+    if (mode == ImplMode::kAsic) {
+        fabric.period = 1;
+        iface.sync_cycles = 0;   // same clock domain, direct taps
+    } else {
+        fabric.period =
+            flex_period ? flex_period : defaultFlexPeriod(monitor);
+        iface.sync_cycles = 1;
+    }
+}
+
+}  // namespace flexcore

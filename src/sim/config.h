@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Top-level simulation configuration: which monitoring extension runs,
+ * in which implementation (baseline / ASIC / FlexCore fabric /
+ * software instrumentation), and all structural parameters.
+ */
+
+#ifndef FLEXCORE_SIM_CONFIG_H_
+#define FLEXCORE_SIM_CONFIG_H_
+
+#include <memory>
+#include <string_view>
+
+#include "core/core.h"
+#include "flexcore/fabric.h"
+#include "monitors/monitor.h"
+
+namespace flexcore {
+
+enum class MonitorKind : u8 {
+    kNone,
+    kUmc,      //!< uninitialized memory check
+    kDift,     //!< dynamic information flow tracking
+    kBc,       //!< color-based array bound check
+    kSec,      //!< soft-error check
+    kProf,     //!< custom performance/working-set profiler (§II-B)
+    kMemProt,  //!< Mondrian-style fine-grained memory protection
+    kWatch,    //!< iWatcher-style hardware watchpoints
+    kRefCount, //!< reference-counting GC support (pure bookkeeping)
+};
+
+enum class ImplMode : u8 {
+    kBaseline,    //!< unmodified Leon3
+    kAsic,        //!< extension in custom hardware at the core clock
+    kFlexFabric,  //!< extension on the reconfigurable fabric
+    kSoftware,    //!< inline software instrumentation on the core
+};
+
+std::string_view monitorKindName(MonitorKind kind);
+std::string_view implModeName(ImplMode mode);
+
+/**
+ * Construct a fresh monitor instance of the given kind (null = none).
+ * @p dift_tag_bits selects the DIFT taint-tag width (1 or 4).
+ */
+std::unique_ptr<Monitor> makeMonitor(MonitorKind kind,
+                                     unsigned dift_tag_bits = 1);
+
+/**
+ * Fabric clock divisor used in the paper's evaluation: UMC/DIFT/BC run
+ * at half the core clock, SEC at one quarter (from the synthesis
+ * frequency estimates, §V-C).
+ */
+u32 defaultFlexPeriod(MonitorKind kind);
+
+struct SystemConfig
+{
+    MonitorKind monitor = MonitorKind::kNone;
+    ImplMode mode = ImplMode::kBaseline;
+
+    CoreParams core;
+    SdramTimings sdram;
+    FlexInterface::Params iface;
+    FabricParams fabric;
+
+    /** 0 = pick defaultFlexPeriod(monitor) for kFlexFabric runs. */
+    u32 flex_period = 0;
+
+    /** DIFT taint-tag width: 1 (default) or 4 (multi-source labels). */
+    u32 dift_tag_bits = 1;
+
+    /**
+     * Force precise monitor exceptions: every forwarded class uses the
+     * CFGR wait-for-acknowledgement policy, so commit stalls until the
+     * co-processor finishes each instruction (§III-C's discussion of
+     * precise exceptions on in-order cores).
+     */
+    bool precise_exceptions = false;
+
+    u64 max_cycles = 500'000'000;
+
+    /** ALU transient-fault injection (exercises SEC). */
+    double fault_rate = 0.0;
+    u64 fault_seed = 1;
+
+    /** Resolve mode-dependent parameters (period, sync latency). */
+    void finalize();
+};
+
+}  // namespace flexcore
+
+#endif  // FLEXCORE_SIM_CONFIG_H_

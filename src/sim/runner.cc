@@ -1,0 +1,68 @@
+#include "sim/runner.h"
+
+#include <cmath>
+
+#include "assembler/assembler.h"
+#include "common/log.h"
+
+namespace flexcore {
+
+SimOutcome
+runSource(const std::string &source, SystemConfig config)
+{
+    const Program program = Assembler::assembleOrDie(source);
+    System system(std::move(config));
+    system.load(program);
+
+    SimOutcome outcome;
+    outcome.result = system.run();
+    if (FlexInterface *iface = system.iface()) {
+        outcome.forwarded = iface->forwardedCount();
+        outcome.dropped = iface->droppedCount();
+        outcome.commit_stalls = iface->stallCycles();
+        if (outcome.result.instructions > 0) {
+            outcome.fwd_fraction =
+                static_cast<double>(outcome.forwarded) /
+                static_cast<double>(outcome.result.instructions);
+        }
+    }
+    if (Fabric *fabric = system.fabric()) {
+        outcome.meta_misses = fabric->metaCache().misses();
+        outcome.meta_accesses =
+            fabric->metaCache().misses() + fabric->metaCache().hits();
+    }
+    return outcome;
+}
+
+SimOutcome
+runWorkloadChecked(const Workload &workload, SystemConfig config)
+{
+    SimOutcome outcome = runSource(workload.source, std::move(config));
+    if (outcome.result.exit != RunResult::Exit::kExited) {
+        FLEX_FATAL("workload '", workload.name, "' did not exit cleanly: ",
+                   exitName(outcome.result.exit), " (",
+                   outcome.result.trap_reason, ") after ",
+                   outcome.result.cycles, " cycles at pc=",
+                   outcome.result.trap.pc);
+    }
+    if (outcome.result.console != workload.expected_console) {
+        FLEX_FATAL("workload '", workload.name,
+                   "' output mismatch:\n  expected: ",
+                   workload.expected_console,
+                   "\n  actual:   ", outcome.result.console);
+    }
+    return outcome;
+}
+
+double
+geomean(const std::vector<double> &values)
+{
+    if (values.empty())
+        FLEX_PANIC("geomean of empty vector");
+    double log_sum = 0.0;
+    for (double v : values)
+        log_sum += std::log(v);
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+}  // namespace flexcore

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Experiment-level helpers shared by tests, benches, and examples:
+ * assemble-and-run, functional verification against golden output, and
+ * the summary numbers each experiment reports.
+ */
+
+#ifndef FLEXCORE_SIM_RUNNER_H_
+#define FLEXCORE_SIM_RUNNER_H_
+
+#include <vector>
+
+#include "sim/system.h"
+#include "workloads/workload.h"
+
+namespace flexcore {
+
+/** Everything an experiment needs from one run. */
+struct SimOutcome
+{
+    RunResult result;
+    u64 forwarded = 0;       //!< packets pushed into the FFIFO
+    u64 dropped = 0;
+    u64 commit_stalls = 0;   //!< cycles commit stalled on a full FFIFO
+    u64 meta_misses = 0;
+    u64 meta_accesses = 0;
+    double fwd_fraction = 0; //!< forwarded / committed instructions
+};
+
+/** Assemble @p source and run it under @p config. */
+SimOutcome runSource(const std::string &source, SystemConfig config);
+
+/**
+ * Run a workload and verify its console output against the golden
+ * model; calls FLEX_FATAL on a functional mismatch or abnormal exit so
+ * every benchmark number comes from a verified run.
+ */
+SimOutcome runWorkloadChecked(const Workload &workload,
+                              SystemConfig config);
+
+/** Geometric mean of a non-empty vector. */
+double geomean(const std::vector<double> &values);
+
+}  // namespace flexcore
+
+#endif  // FLEXCORE_SIM_RUNNER_H_

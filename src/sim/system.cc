@@ -1,0 +1,128 @@
+#include "sim/system.h"
+
+#include "monitors/software.h"
+
+namespace flexcore {
+
+std::string_view
+exitName(RunResult::Exit exit)
+{
+    switch (exit) {
+      case RunResult::Exit::kExited: return "exited";
+      case RunResult::Exit::kMonitorTrap: return "monitor_trap";
+      case RunResult::Exit::kCoreTrap: return "core_trap";
+      case RunResult::Exit::kMaxCycles: return "max_cycles";
+    }
+    return "?";
+}
+
+namespace {
+
+const SoftwareMonitor *
+softwareModelFor(MonitorKind kind)
+{
+    switch (kind) {
+      case MonitorKind::kUmc: return softwareUmc();
+      case MonitorKind::kDift: return softwareDift();
+      case MonitorKind::kBc: return softwareBc();
+      case MonitorKind::kSec: return softwareSec();
+      case MonitorKind::kProf:
+      case MonitorKind::kMemProt:
+      case MonitorKind::kWatch:
+      case MonitorKind::kRefCount:
+      case MonitorKind::kNone: return nullptr;
+    }
+    return nullptr;
+}
+
+}  // namespace
+
+System::System(SystemConfig config)
+    : config_(std::move(config)), stats_("system")
+{
+    config_.finalize();
+    memory_ = std::make_unique<Memory>();
+    bus_ = std::make_unique<Bus>(&stats_, config_.sdram);
+    core_ = std::make_unique<Core>(&stats_, memory_.get(), bus_.get(),
+                                   config_.core);
+
+    if (config_.mode == ImplMode::kAsic ||
+        config_.mode == ImplMode::kFlexFabric) {
+        monitor_ = makeMonitor(config_.monitor, config_.dift_tag_bits);
+        iface_ = std::make_unique<FlexInterface>(&stats_, config_.iface);
+        fabric_ = std::make_unique<Fabric>(&stats_, iface_.get(),
+                                           bus_.get(), monitor_.get(),
+                                           config_.fabric);
+        core_->attachInterface(iface_.get());
+    } else if (config_.mode == ImplMode::kSoftware) {
+        core_->attachSoftwareMonitor(softwareModelFor(config_.monitor));
+    }
+
+    if (config_.fault_rate > 0.0) {
+        core_->alu().enableFaultInjection(config_.fault_rate,
+                                          config_.fault_seed);
+    }
+}
+
+System::~System() = default;
+
+void
+System::load(const Program &program)
+{
+    core_->loadProgram(program);
+    if (monitor_) {
+        monitor_->reset();
+        monitor_->onProgramLoad(program.base(), program.size());
+        monitor_->configureCfgr(&iface_->cfgr());
+        if (config_.precise_exceptions) {
+            // Precise monitoring (§III-C): commit waits for the
+            // co-processor's acknowledgement on every forwarded class.
+            Cfgr &cfgr = iface_->cfgr();
+            for (unsigned t = 0; t < kNumInstrTypes; ++t) {
+                const auto type = static_cast<InstrType>(t);
+                if (cfgr.policy(type) != ForwardPolicy::kIgnore)
+                    cfgr.setPolicy(type, ForwardPolicy::kWaitAck);
+            }
+        }
+    }
+}
+
+void
+System::tick()
+{
+    bus_->tick();
+    if (fabric_)
+        fabric_->tick(now_);
+    core_->tick(now_);
+    core_->storeBuffer().tick();
+    ++now_;
+}
+
+RunResult
+System::run()
+{
+    while (!core_->halted() && now_ < config_.max_cycles)
+        tick();
+
+    RunResult result;
+    result.cycles = now_;
+    result.instructions = core_->instructions();
+    result.console = core_->consoleOutput();
+    result.exit_code = core_->exitCode();
+    result.trap = core_->trap();
+    if (!core_->halted()) {
+        result.exit = RunResult::Exit::kMaxCycles;
+    } else if (core_->trap().kind == TrapKind::kMonitor) {
+        result.exit = RunResult::Exit::kMonitorTrap;
+        if (monitor_)
+            result.trap_reason = monitor_->lastTrapReason();
+    } else if (core_->trap().pending()) {
+        result.exit = RunResult::Exit::kCoreTrap;
+        result.trap_reason = core_->trap().detail;
+    } else {
+        result.exit = RunResult::Exit::kExited;
+    }
+    return result;
+}
+
+}  // namespace flexcore

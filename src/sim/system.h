@@ -1,0 +1,79 @@
+/**
+ * @file
+ * The full simulated system: memory, shared bus, Leon3-class core,
+ * and (depending on the configuration) the FlexCore interface, the
+ * reconfigurable fabric or ASIC extension, or a software
+ * instrumentation model.
+ */
+
+#ifndef FLEXCORE_SIM_SYSTEM_H_
+#define FLEXCORE_SIM_SYSTEM_H_
+
+#include <memory>
+#include <string>
+
+#include "sim/config.h"
+
+namespace flexcore {
+
+/** Outcome of a simulation run. */
+struct RunResult
+{
+    enum class Exit : u8 {
+        kExited,        //!< program executed `ta 0`
+        kMonitorTrap,   //!< a monitor check failed
+        kCoreTrap,      //!< core-detected error (div-by-zero, ...)
+        kMaxCycles,     //!< cycle limit reached
+    };
+
+    Exit exit = Exit::kMaxCycles;
+    u32 exit_code = 0;
+    TrapInfo trap;
+    std::string trap_reason;    //!< monitor-provided detail
+    Cycle cycles = 0;
+    u64 instructions = 0;
+    std::string console;
+};
+
+std::string_view exitName(RunResult::Exit exit);
+
+class System
+{
+  public:
+    explicit System(SystemConfig config);
+    ~System();
+
+    /** Load a program image and configure the monitor/CFGR. */
+    void load(const Program &program);
+
+    /** Run until the program halts, a trap fires, or max_cycles. */
+    RunResult run();
+
+    /** Single-cycle step (for tests). */
+    void tick();
+
+    const SystemConfig &config() const { return config_; }
+    Memory &memory() { return *memory_; }
+    Bus &bus() { return *bus_; }
+    Core &core() { return *core_; }
+    FlexInterface *iface() { return iface_.get(); }
+    Fabric *fabric() { return fabric_.get(); }
+    Monitor *monitor() { return monitor_.get(); }
+    StatGroup &stats() { return stats_; }
+    Cycle cycles() const { return now_; }
+
+  private:
+    SystemConfig config_;
+    StatGroup stats_;
+    std::unique_ptr<Memory> memory_;
+    std::unique_ptr<Bus> bus_;
+    std::unique_ptr<Core> core_;
+    std::unique_ptr<Monitor> monitor_;
+    std::unique_ptr<FlexInterface> iface_;
+    std::unique_ptr<Fabric> fabric_;
+    Cycle now_ = 0;
+};
+
+}  // namespace flexcore
+
+#endif  // FLEXCORE_SIM_SYSTEM_H_

@@ -1,0 +1,44 @@
+#include "synth/asic_model.h"
+
+namespace flexcore {
+
+double
+AsicModel::extraAreaUm2(const AsicResources &resources)
+{
+    return resources.sram_bits * kSramBitAreaUm2 +
+           resources.sram_macros * kSramMacroPeripheryUm2 +
+           resources.gates * kGateAreaUm2;
+}
+
+double
+AsicModel::fmaxMhz(unsigned tapped_groups)
+{
+    const double base_period_ns = 1000.0 / kBaselineFreqMhz;
+    const double period_ns =
+        base_period_ns + tapped_groups * kTapDelayPsPerGroup / 1000.0;
+    return 1000.0 / period_ns;
+}
+
+double
+AsicModel::extraPowerMw(const AsicResources &resources)
+{
+    const double sram_area = resources.sram_bits * kSramBitAreaUm2 +
+                             resources.sram_macros *
+                                 kSramMacroPeripheryUm2;
+    const double logic_area = resources.gates * kGateAreaUm2;
+    return sram_area * kSramPowerPerUm2 +
+           logic_area * kLogicPowerPerUm2;
+}
+
+AsicEstimate
+AsicModel::estimateWithExtension(const AsicResources &resources,
+                                 unsigned tapped_groups)
+{
+    AsicEstimate est;
+    est.area_um2 = kBaselineAreaUm2 + extraAreaUm2(resources);
+    est.fmax_mhz = fmaxMhz(tapped_groups);
+    est.power_mw = kBaselinePowerMw + extraPowerMw(resources);
+    return est;
+}
+
+}  // namespace flexcore

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * ASIC area / frequency / power models for a 65 nm standard-cell flow
+ * (Synopsys DC class, §V-A). The unmodified Leon3 numbers from the
+ * paper (835,525 µm², 365 mW, 465 MHz with 32 KB L1s) anchor the
+ * model; extensions add SRAM-macro area (memory-compiler-style
+ * bits + periphery), standard-cell gate area, a small frequency
+ * penalty proportional to how many internal pipeline signal groups
+ * they tap, and power from per-structure densities at the paper's
+ * fixed 0.1 toggle rate.
+ */
+
+#ifndef FLEXCORE_SYNTH_ASIC_MODEL_H_
+#define FLEXCORE_SYNTH_ASIC_MODEL_H_
+
+#include "synth/resources.h"
+
+namespace flexcore {
+
+struct AsicEstimate
+{
+    double area_um2 = 0;
+    double fmax_mhz = 0;
+    double power_mw = 0;
+};
+
+class AsicModel
+{
+  public:
+    // Calibration anchors from Table III.
+    static constexpr double kBaselineAreaUm2 = 835525.0;
+    static constexpr double kBaselinePowerMw = 365.0;
+    static constexpr double kBaselineFreqMhz = 465.0;
+
+    // 65 nm macro/cell coefficients.
+    static constexpr double kSramBitAreaUm2 = 1.1;
+    static constexpr double kSramMacroPeripheryUm2 = 8000.0;
+    static constexpr double kGateAreaUm2 = 1.7;
+
+    // Power densities (mW per µm² at 465 MHz, toggle rate 0.1).
+    static constexpr double kLogicPowerPerUm2 = 0.00016;
+    static constexpr double kSramPowerPerUm2 = 0.00025;
+
+    // Critical-path loading added per tapped commit-stage signal group.
+    static constexpr double kTapDelayPsPerGroup = 4.7;
+
+    /** Area added by an extension's resources. */
+    static double extraAreaUm2(const AsicResources &resources);
+
+    /** Core frequency with @p tapped_groups pipeline taps. */
+    static double fmaxMhz(unsigned tapped_groups);
+
+    /** Power added by an extension's resources. */
+    static double extraPowerMw(const AsicResources &resources);
+
+    /** Estimate for Leon3 + extension (absolute, Table III style). */
+    static AsicEstimate estimateWithExtension(
+        const AsicResources &resources, unsigned tapped_groups);
+};
+
+}  // namespace flexcore
+
+#endif  // FLEXCORE_SYNTH_ASIC_MODEL_H_

@@ -1,0 +1,30 @@
+#include "synth/fpga_model.h"
+
+namespace flexcore {
+
+double
+FpgaModel::fmaxMhz(double critical_levels)
+{
+    const double period_ns =
+        critical_levels * kLevelDelayNs + kBaseDelayNs;
+    return 1000.0 / period_ns;
+}
+
+double
+FpgaModel::powerMw(u32 luts, double fmhz)
+{
+    return kClockBaseMw + kDynPerLutMhzMw * luts * fmhz;
+}
+
+FpgaEstimate
+FpgaModel::estimate(const FpgaResources &resources)
+{
+    FpgaEstimate est;
+    est.luts = resources.luts;
+    est.area_um2 = areaUm2(resources.luts);
+    est.fmax_mhz = fmaxMhz(resources.critical_levels);
+    est.dynamic_power_mw = powerMw(resources.luts, est.fmax_mhz);
+    return est;
+}
+
+}  // namespace flexcore

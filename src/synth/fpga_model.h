@@ -1,0 +1,54 @@
+/**
+ * @file
+ * FPGA area / frequency / power models for extensions mapped onto the
+ * Virtex-5-class reconfigurable fabric, following the paper's
+ * methodology (§V-A): the Kuon-Rose tile-area model for area (807 µm²
+ * per 6-LUT at 65 nm), a LUT-level critical-path model for frequency,
+ * and a Virtex-5-power-spreadsheet-style model with toggle rate 0.1
+ * and static probability 0.5 for dynamic power.
+ */
+
+#ifndef FLEXCORE_SYNTH_FPGA_MODEL_H_
+#define FLEXCORE_SYNTH_FPGA_MODEL_H_
+
+#include "synth/resources.h"
+
+namespace flexcore {
+
+struct FpgaEstimate
+{
+    u32 luts = 0;
+    double area_um2 = 0;
+    double fmax_mhz = 0;
+    double dynamic_power_mw = 0;
+};
+
+class FpgaModel
+{
+  public:
+    /** Kuon-Rose: CLB tile of 10 6-LUTs is 8,069 µm² at 65 nm. */
+    static constexpr double kAreaPerLutUm2 = 806.9;
+
+    /** Per-LUT-level delay (logic + local routing), ns. */
+    static constexpr double kLevelDelayNs = 0.585;
+    /** Fixed path overhead (clock-to-out, setup, global routing), ns. */
+    static constexpr double kBaseDelayNs = 1.42;
+
+    /** Toggle rate assumed by the paper's power estimates. */
+    static constexpr double kToggleRate = 0.1;
+    /** Dynamic power per LUT per MHz at the assumed toggle rate, mW. */
+    static constexpr double kDynPerLutMhzMw = 0.000205;
+    /** Clock tree + static baseline of the used region, mW. */
+    static constexpr double kClockBaseMw = 14.9;
+
+    /** Full estimate for a mapped inventory. */
+    static FpgaEstimate estimate(const FpgaResources &resources);
+
+    static double areaUm2(u32 luts) { return luts * kAreaPerLutUm2; }
+    static double fmaxMhz(double critical_levels);
+    static double powerMw(u32 luts, double fmhz);
+};
+
+}  // namespace flexcore
+
+#endif  // FLEXCORE_SYNTH_FPGA_MODEL_H_

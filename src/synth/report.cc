@@ -1,0 +1,126 @@
+#include "synth/report.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "synth/asic_model.h"
+#include "synth/fpga_model.h"
+
+namespace flexcore {
+
+namespace {
+
+const MonitorKind kKinds[] = {MonitorKind::kUmc, MonitorKind::kDift,
+                              MonitorKind::kBc, MonitorKind::kSec};
+
+}  // namespace
+
+std::vector<SynthRow>
+synthesisTable()
+{
+    std::vector<SynthRow> rows;
+
+    SynthRow base;
+    base.group = "Baseline";
+    base.extension = "-";
+    base.description = "Unmodified Leon3 w/ 32KB L1";
+    base.fmax_mhz = AsicModel::kBaselineFreqMhz;
+    base.area_um2 = AsicModel::kBaselineAreaUm2;
+    base.area_overhead = -1;
+    base.power_mw = AsicModel::kBaselinePowerMw;
+    base.power_overhead = -1;
+    rows.push_back(base);
+
+    for (MonitorKind kind : kKinds) {
+        const ExtensionSynth ext = extensionSynth(kind);
+        const AsicResources res = mapToAsic(ext.asic_extra);
+        const AsicEstimate est =
+            AsicModel::estimateWithExtension(res, ext.tapped_groups);
+        SynthRow row;
+        row.group = "ASIC";
+        row.extension = ext.name;
+        row.description = "Leon3 w/ " + ext.name;
+        row.fmax_mhz = est.fmax_mhz;
+        row.area_um2 = est.area_um2;
+        row.area_overhead =
+            (est.area_um2 - AsicModel::kBaselineAreaUm2) /
+            AsicModel::kBaselineAreaUm2;
+        row.power_mw = est.power_mw;
+        row.power_overhead =
+            (est.power_mw - AsicModel::kBaselinePowerMw) /
+            AsicModel::kBaselinePowerMw;
+        rows.push_back(row);
+    }
+
+    {
+        const Inventory common = commonModulesInventory();
+        const AsicResources res = mapToAsic(common);
+        const AsicEstimate est = AsicModel::estimateWithExtension(
+            res, commonTappedGroups());
+        SynthRow row;
+        row.group = "FlexCore";
+        row.extension = "Common";
+        row.description = "Leon3 w/ dedicated FlexCore modules";
+        row.fmax_mhz = est.fmax_mhz;
+        row.area_um2 = est.area_um2;
+        row.area_overhead =
+            (est.area_um2 - AsicModel::kBaselineAreaUm2) /
+            AsicModel::kBaselineAreaUm2;
+        row.power_mw = est.power_mw;
+        row.power_overhead =
+            (est.power_mw - AsicModel::kBaselinePowerMw) /
+            AsicModel::kBaselinePowerMw;
+        rows.push_back(row);
+    }
+
+    for (MonitorKind kind : kKinds) {
+        const ExtensionSynth ext = extensionSynth(kind);
+        const FpgaResources res = mapToFpga(ext.fabric);
+        const FpgaEstimate est = FpgaModel::estimate(res);
+        SynthRow row;
+        row.group = "FlexCore";
+        row.extension = ext.name;
+        row.description = ext.name + " on Flex fabric (FPGA)";
+        row.fmax_mhz = est.fmax_mhz;
+        row.area_um2 = est.area_um2;
+        row.area_overhead = est.area_um2 / AsicModel::kBaselineAreaUm2;
+        row.power_mw = est.dynamic_power_mw;
+        row.power_overhead =
+            est.dynamic_power_mw / AsicModel::kBaselinePowerMw;
+        rows.push_back(row);
+    }
+    return rows;
+}
+
+std::string
+renderSynthesisTable(const std::vector<SynthRow> &rows)
+{
+    std::ostringstream oss;
+    char line[256];
+    std::snprintf(line, sizeof(line), "%-9s %-7s %-38s %9s %11s %9s %8s %9s\n",
+                  "Group", "Ext", "Description", "Freq(MHz)", "Area(um^2)",
+                  "AreaOvhd", "Pwr(mW)", "PwrOvhd");
+    oss << line;
+    for (const SynthRow &row : rows) {
+        char area_ov[16], pwr_ov[16];
+        if (row.area_overhead < 0)
+            std::snprintf(area_ov, sizeof(area_ov), "%8s", "-");
+        else
+            std::snprintf(area_ov, sizeof(area_ov), "%7.1f%%",
+                          row.area_overhead * 100.0);
+        if (row.power_overhead < 0)
+            std::snprintf(pwr_ov, sizeof(pwr_ov), "%8s", "-");
+        else
+            std::snprintf(pwr_ov, sizeof(pwr_ov), "%7.1f%%",
+                          row.power_overhead * 100.0);
+        std::snprintf(line, sizeof(line),
+                      "%-9s %-7s %-38s %9.0f %11.0f %9s %8.0f %9s\n",
+                      row.group.c_str(), row.extension.c_str(),
+                      row.description.c_str(), row.fmax_mhz,
+                      row.area_um2, area_ov, row.power_mw, pwr_ov);
+        oss << line;
+    }
+    return oss.str();
+}
+
+}  // namespace flexcore

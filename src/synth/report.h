@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Table III generator: area, power, and maximum frequency for the
+ * baseline Leon3, the four full-ASIC extensions, the dedicated
+ * FlexCore modules, and the four extensions mapped onto the fabric.
+ */
+
+#ifndef FLEXCORE_SYNTH_REPORT_H_
+#define FLEXCORE_SYNTH_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "synth/extension_synth.h"
+
+namespace flexcore {
+
+struct SynthRow
+{
+    std::string group;        // "Baseline" / "ASIC" / "FlexCore"
+    std::string extension;    // "-", "UMC", ..., "Common"
+    std::string description;
+    double fmax_mhz = 0;
+    double area_um2 = 0;
+    double area_overhead = 0;     //!< fraction of baseline; <0 = n/a
+    double power_mw = 0;
+    double power_overhead = 0;    //!< fraction of baseline; <0 = n/a
+};
+
+/** All rows of Table III, in the paper's order. */
+std::vector<SynthRow> synthesisTable();
+
+/** Render the table as aligned text. */
+std::string renderSynthesisTable(const std::vector<SynthRow> &rows);
+
+}  // namespace flexcore
+
+#endif  // FLEXCORE_SYNTH_REPORT_H_

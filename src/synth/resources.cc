@@ -1,0 +1,99 @@
+#include "synth/resources.h"
+
+namespace flexcore {
+
+namespace {
+
+/** 6-LUTs per primitive instance (standard mapping results). */
+u32
+lutsFor(const Primitive &p)
+{
+    switch (p.kind) {
+      case Primitive::Kind::kAdder:
+        // One LUT per bit with carry chains.
+        return p.width;
+      case Primitive::Kind::kComparator:
+        // 3 bits per 6-LUT plus a reduction tree.
+        return p.width / 3 + 2;
+      case Primitive::Kind::kMux:
+        // A 6-LUT implements a 2:1 mux for 2-3 bits.
+        return (p.width + 1) / 2;
+      case Primitive::Kind::kRegister:
+        return 0;   // flip-flops live next to LUTs
+      case Primitive::Kind::kDecoder:
+        // 2^n outputs, ~1 LUT per 2 outputs for small n.
+        return (1u << p.width) / 2;
+      case Primitive::Kind::kRandomLogic:
+        // ~2.5 2-input gates per 6-LUT after packing.
+        return (p.width * 2 + 4) / 5;
+      case Primitive::Kind::kShifter:
+        // log2(width) mux stages, width bits each, 2 bits per LUT.
+        return p.width * 5 / 2;
+      case Primitive::Kind::kMultiplier:
+        // Array multiplier in soft logic (no DSP blocks assumed).
+        return p.width * p.width / 4;
+    }
+    return 0;
+}
+
+u32
+ffsFor(const Primitive &p)
+{
+    return p.kind == Primitive::Kind::kRegister ? p.width : 0;
+}
+
+/** NAND2-equivalent gates per primitive instance. */
+u64
+gatesFor(const Primitive &p)
+{
+    switch (p.kind) {
+      case Primitive::Kind::kAdder:
+        return u64{p.width} * 6;        // full adder ~6 gates/bit
+      case Primitive::Kind::kComparator:
+        return u64{p.width} * 3;
+      case Primitive::Kind::kMux:
+        return u64{p.width} * 3;
+      case Primitive::Kind::kRegister:
+        return u64{p.width} * 8;        // DFF ~8 gate-equivalents
+      case Primitive::Kind::kDecoder:
+        return (u64{1} << p.width) * 2;
+      case Primitive::Kind::kRandomLogic:
+        return p.width;
+      case Primitive::Kind::kShifter: {
+        u32 stages = 0;
+        for (u32 w = p.width; w > 1; w >>= 1)
+            ++stages;
+        return u64{p.width} * stages * 3;
+      }
+      case Primitive::Kind::kMultiplier:
+        return u64{p.width} * p.width * 5;
+    }
+    return 0;
+}
+
+}  // namespace
+
+FpgaResources
+mapToFpga(const Inventory &inventory)
+{
+    FpgaResources res;
+    res.critical_levels = inventory.critical_levels;
+    for (const Primitive &p : inventory.primitives) {
+        res.luts += lutsFor(p) * p.count;
+        res.ffs += ffsFor(p) * p.count;
+    }
+    return res;
+}
+
+AsicResources
+mapToAsic(const Inventory &inventory)
+{
+    AsicResources res;
+    res.sram_bits = inventory.sram_bits;
+    res.sram_macros = inventory.sram_macros;
+    for (const Primitive &p : inventory.primitives)
+        res.gates += gatesFor(p) * p.count;
+    return res;
+}
+
+}  // namespace flexcore

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * basicmath: software floating-point-style math kernel. MiBench
+ * basicmath is FP code, which on the FPU-less Leon3 runs as soft-float
+ * mantissa arithmetic — long multiply/shift/add chains with occasional
+ * divides. Each input value goes through mantissa-iteration and
+ * polynomial (Horner) stages plus one division; all arithmetic wraps
+ * mod 2^32 exactly as the hardware does, and the golden model mirrors
+ * it bit-for-bit.
+ */
+
+#include "workloads/workload.h"
+
+#include <sstream>
+
+#include "common/rng.h"
+
+namespace flexcore {
+
+namespace {
+
+constexpr u32 kC1 = 0x41c64e6d;
+constexpr u32 kC2 = 0x3039;
+constexpr u32 kPoly[6] = {0x1001, 0x20a03, 0x44071, 0x80f11,
+                          0x10ca05, 0x2000b3};
+
+u32
+goldenBasicmath(const std::vector<u32> &values)
+{
+    u32 acc = 0;
+    for (u32 v : values) {
+        // Mantissa iteration (cbrt/sqrt-style refinement).
+        u32 m = v | 1;
+        for (int iter = 0; iter < 3; ++iter)
+            m = ((m * kC1) >> 3) + (m >> 5) + kC2;
+        // Polynomial evaluation (Horner, wrapping).
+        u32 p = 7;
+        for (u32 coeff : kPoly)
+            p = p * m + coeff;
+        // One true division per value.
+        const u32 q = v / (p | 1);
+        acc ^= m + p + q;
+    }
+    return acc;
+}
+
+}  // namespace
+
+Workload
+makeBasicmath(WorkloadScale scale)
+{
+    const unsigned num_values =
+        scale == WorkloadScale::kFull ? 2600 : 40;
+    Rng rng(0xba51c);
+    std::vector<u32> values(num_values);
+    for (u32 &v : values)
+        v = rng.next32() | 1;
+
+    const u32 acc = goldenBasicmath(values);
+    std::ostringstream expected;
+    expected << static_cast<s32>(acc) << "\n";
+
+    std::ostringstream src;
+    src << runtimePrologue();
+    src << R"(
+main:   save %sp, -96, %sp
+        set vals, %i0
+        set )" << num_values << R"(, %i1
+        mov 0, %i5              ; acc
+        set 0x41c64e6d, %i2     ; C1
+        set 0x3039, %i3         ; C2
+        set poly, %i4
+
+vloop:  ld [%i0], %l0           ; v
+        or %l0, 1, %l1          ; m
+        mov 3, %l2
+mloop:  umul %l1, %i2, %o0
+        srl %o0, 3, %o0
+        srl %l1, 5, %o1
+        add %o0, %o1, %l1
+        add %l1, %i3, %l1
+        subcc %l2, 1, %l2
+        bne mloop
+        nop
+
+        mov 7, %l3              ; p
+        mov 0, %l4
+ploop:  umul %l3, %l1, %l3
+        sll %l4, 2, %o0
+        ld [%i4+%o0], %o1
+        add %l3, %o1, %l3
+        add %l4, 1, %l4
+        cmp %l4, 6
+        bne ploop
+        nop
+
+        or %l3, 1, %o2
+        wr %g0, %y
+        udiv %l0, %o2, %l5      ; q = v / (p|1)
+
+        add %l1, %l3, %o0
+        add %o0, %l5, %o0
+        xor %i5, %o0, %i5
+
+        add %i0, 4, %i0
+        subcc %i1, 1, %i1
+        bne vloop
+        nop
+
+        mov %i5, %o0
+        ta 2
+        mov 10, %o0
+        ta 1
+        mov 0, %i0
+        ret
+        restore
+
+        .align 4
+poly:   .word 0x1001, 0x20a03, 0x44071, 0x80f11, 0x10ca05, 0x2000b3
+vals:
+)" << wordData(values);
+
+    return {"basicmath", src.str(), expected.str()};
+}
+
+}  // namespace flexcore

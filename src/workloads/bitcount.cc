@@ -1,0 +1,168 @@
+/**
+ * @file
+ * bitcount: counts set bits in a stream of words using three methods —
+ * Kernighan clear-lowest-bit, SWAR parallel reduction, and a nibble
+ * lookup table — dispatched through a function-pointer array exactly
+ * like MiBench bitcnts does (indirect calls and leaf-function call
+ * overhead are part of the workload's character).
+ */
+
+#include "workloads/workload.h"
+
+#include <sstream>
+
+#include "common/rng.h"
+
+namespace flexcore {
+
+namespace {
+
+unsigned
+kernighan(u32 v)
+{
+    unsigned count = 0;
+    while (v) {
+        v &= v - 1;
+        ++count;
+    }
+    return count;
+}
+
+unsigned
+swar(u32 v)
+{
+    v = v - ((v >> 1) & 0x55555555);
+    v = (v & 0x33333333) + ((v >> 2) & 0x33333333);
+    v = (v + (v >> 4)) & 0x0f0f0f0f;
+    return (v * 0x01010101) >> 24;
+}
+
+u32
+goldenBitcount(const std::vector<u32> &values)
+{
+    u32 total = 0;
+    for (u32 v : values) {
+        total += kernighan(v);
+        total += swar(v);
+        unsigned table_count = 0;
+        for (unsigned shift = 0; shift < 32; shift += 4)
+            table_count += kernighan((v >> shift) & 0xf);
+        total += table_count;
+    }
+    return total;
+}
+
+}  // namespace
+
+Workload
+makeBitcount(WorkloadScale scale)
+{
+    const unsigned num_values =
+        scale == WorkloadScale::kFull ? 3000 : 50;
+    Rng rng(0xb17c);
+    std::vector<u32> values(num_values);
+    for (u32 &v : values)
+        v = rng.next32();
+
+    const u32 total = goldenBitcount(values);
+    std::ostringstream expected;
+    expected << static_cast<s32>(total) << "\n";
+
+    // Nibble popcount table, one byte per entry.
+    std::vector<u32> table_words(4, 0);
+    for (unsigned nib = 0; nib < 16; ++nib) {
+        table_words[nib / 4] |= static_cast<u32>(kernighan(nib))
+                                << (24 - 8 * (nib % 4));
+    }
+
+    std::ostringstream src;
+    src << runtimePrologue();
+    src << R"(
+main:   save %sp, -96, %sp
+        set vals, %i0
+        set )" << num_values << R"(, %i1
+        mov 0, %i5              ; total
+        set fptrs, %i2
+
+vloop:  mov 0, %l1              ; method index
+mloop:  sll %l1, 2, %o2
+        ld [%i2+%o2], %o3       ; method pointer
+        ld [%i0], %o0           ; argument
+        jmpl %o3, %o7           ; indirect call, MiBench-style
+        nop
+        add %i5, %o0, %i5
+        add %l1, 1, %l1
+        cmp %l1, 3
+        bne mloop
+        nop
+        add %i0, 4, %i0
+        subcc %i1, 1, %i1
+        bne vloop
+        nop
+
+        mov %i5, %o0
+        ta 2
+        mov 10, %o0
+        ta 1
+        mov 0, %i0
+        ret
+        restore
+
+        ; ---- method 1: Kernighan (leaf: %o0 -> %o0) ----
+bc_kern:
+        mov 0, %o1
+k1:     tst %o0
+        be k1d
+        nop
+        sub %o0, 1, %o2
+        and %o0, %o2, %o0
+        ba k1
+        add %o1, 1, %o1
+k1d:    retl
+        mov %o1, %o0
+
+        ; ---- method 2: SWAR reduction ----
+bc_swar:
+        srl %o0, 1, %o1
+        set 0x55555555, %o2
+        and %o1, %o2, %o1
+        sub %o0, %o1, %o0
+        set 0x33333333, %o2
+        and %o0, %o2, %o1
+        srl %o0, 2, %o3
+        and %o3, %o2, %o3
+        add %o1, %o3, %o0
+        srl %o0, 4, %o1
+        add %o0, %o1, %o0
+        set 0x0f0f0f0f, %o2
+        and %o0, %o2, %o0
+        set 0x01010101, %o2
+        umul %o0, %o2, %o0
+        retl
+        srl %o0, 24, %o0
+
+        ; ---- method 3: nibble table ----
+bc_tab: set nibtab, %o4
+        mov 8, %o2
+        mov 0, %o1
+nt:     and %o0, 15, %o3
+        ldub [%o4+%o3], %o5
+        add %o1, %o5, %o1
+        srl %o0, 4, %o0
+        subcc %o2, 1, %o2
+        bne nt
+        nop
+        retl
+        mov %o1, %o0
+
+        .align 4
+fptrs:  .word bc_kern, bc_swar, bc_tab
+nibtab:
+)" << wordData(table_words) << R"(
+vals:
+)" << wordData(values);
+
+    return {"bitcount", src.str(), expected.str()};
+}
+
+}  // namespace flexcore

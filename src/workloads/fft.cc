@@ -1,0 +1,236 @@
+/**
+ * @file
+ * fft: in-place fixed-point radix-2 decimation-in-time FFT with Q14
+ * twiddles and per-stage scaling (multiply-heavy with strided loads
+ * and stores, like MiBench fft). The golden model performs the exact
+ * same integer arithmetic, so the printed checksum must match
+ * bit-for-bit.
+ */
+
+#include "workloads/workload.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/rng.h"
+
+namespace flexcore {
+
+namespace {
+
+s32
+sra(s32 value, unsigned amount)
+{
+    return value >> amount;   // arithmetic on all sane targets (gcc/clang)
+}
+
+void
+goldenFft(std::vector<s32> *re_io, std::vector<s32> *im_io,
+          const std::vector<s32> &wr, const std::vector<s32> &wi,
+          const std::vector<u32> &brev)
+{
+    std::vector<s32> &re = *re_io;
+    std::vector<s32> &im = *im_io;
+    const u32 n = static_cast<u32>(re.size());
+    for (u32 i = 0; i < n; ++i) {
+        const u32 j = brev[i];
+        if (i < j) {
+            std::swap(re[i], re[j]);
+            std::swap(im[i], im[j]);
+        }
+    }
+    for (u32 len = 2; len <= n; len <<= 1) {
+        const u32 half = len >> 1;
+        const u32 step = n / len;
+        for (u32 i = 0; i < n; i += len) {
+            for (u32 j = 0; j < half; ++j) {
+                const u32 k = j * step;
+                const u32 i1 = i + j;
+                const u32 i2 = i1 + half;
+                const s32 tr =
+                    sra(wr[k] * re[i2] - wi[k] * im[i2], 14);
+                const s32 ti =
+                    sra(wr[k] * im[i2] + wi[k] * re[i2], 14);
+                const s32 ar = re[i1];
+                const s32 ai = im[i1];
+                re[i2] = sra(ar - tr, 1);
+                im[i2] = sra(ai - ti, 1);
+                re[i1] = sra(ar + tr, 1);
+                im[i1] = sra(ai + ti, 1);
+            }
+        }
+    }
+}
+
+}  // namespace
+
+Workload
+makeFft(WorkloadScale scale)
+{
+    const u32 n = scale == WorkloadScale::kFull ? 1024 : 64;
+    const u32 log_n = [n] {
+        u32 l = 0;
+        for (u32 v = n; v > 1; v >>= 1)
+            ++l;
+        return l;
+    }();
+
+    Rng rng(0xff7);
+    std::vector<s32> re(n), im(n, 0);
+    for (s32 &v : re)
+        v = static_cast<s32>(rng.below(4096)) - 2048;   // Q12 signal
+
+    std::vector<s32> wr(n / 2), wi(n / 2);
+    for (u32 k = 0; k < n / 2; ++k) {
+        const double angle = -2.0 * M_PI * k / n;
+        wr[k] = static_cast<s32>(std::lround(std::cos(angle) * 16384.0));
+        wi[k] = static_cast<s32>(std::lround(std::sin(angle) * 16384.0));
+    }
+    std::vector<u32> brev(n);
+    for (u32 i = 0; i < n; ++i) {
+        u32 r = 0;
+        for (u32 b = 0; b < log_n; ++b)
+            r |= ((i >> b) & 1) << (log_n - 1 - b);
+        brev[i] = r;
+    }
+
+    std::vector<s32> gre = re, gim = im;
+    goldenFft(&gre, &gim, wr, wi, brev);
+    u32 checksum = 0;
+    for (u32 i = 0; i < n; ++i)
+        checksum ^= static_cast<u32>(gre[i]) ^ static_cast<u32>(gim[i]);
+    std::ostringstream expected;
+    expected << static_cast<s32>(checksum) << "\n";
+
+    auto asWords = [](const std::vector<s32> &values) {
+        std::vector<u32> words(values.size());
+        for (size_t i = 0; i < values.size(); ++i)
+            words[i] = static_cast<u32>(values[i]);
+        return words;
+    };
+
+    std::ostringstream src;
+    src << runtimePrologue();
+    src << R"(
+main:   save %sp, -96, %sp
+        set re, %i0
+        set im, %i1
+        set wrtab, %i2
+        set witab, %i3
+        set )" << n << R"(, %i4
+
+        ; ---- bit-reverse permutation ----
+        set brev, %i5
+        mov 0, %l0
+brl:    sll %l0, 2, %o0
+        ld [%i5+%o0], %l1
+        cmp %l0, %l1
+        bge brnext
+        nop
+        sll %l1, 2, %o1
+        ld [%i0+%o0], %o2
+        ld [%i0+%o1], %o3
+        st %o3, [%i0+%o0]
+        st %o2, [%i0+%o1]
+        ld [%i1+%o0], %o2
+        ld [%i1+%o1], %o3
+        st %o3, [%i1+%o0]
+        st %o2, [%i1+%o1]
+brnext: add %l0, 1, %l0
+        cmp %l0, %i4
+        bne brl
+        nop
+
+        ; ---- stages ----
+        mov 2, %l0              ; len
+stage:  cmp %l0, %i4
+        bg fft_done
+        nop
+        srl %l0, 1, %l1         ; half
+        wr %g0, %y
+        udiv %i4, %l0, %l2      ; step = N / len
+        mov 0, %l3              ; i
+iloop:  cmp %l3, %i4
+        bge istage_done
+        nop
+        mov 0, %l4              ; j
+jloop:  cmp %l4, %l1
+        bge jdone
+        nop
+        umul %l4, %l2, %o0
+        sll %o0, 2, %o0
+        ld [%i2+%o0], %g1       ; wr[k]
+        ld [%i3+%o0], %g2       ; wi[k]
+        add %l3, %l4, %o1
+        sll %o1, 2, %g3         ; idx1 (bytes)
+        sll %l1, 2, %o2
+        add %g3, %o2, %g4       ; idx2 (bytes)
+        ld [%i0+%g4], %g5       ; br
+        ld [%i1+%g4], %g6       ; bi
+        smul %g1, %g5, %o0
+        smul %g2, %g6, %o1
+        sub %o0, %o1, %o0
+        sra %o0, 14, %o0        ; tr
+        smul %g1, %g6, %o1
+        smul %g2, %g5, %o2
+        add %o1, %o2, %o1
+        sra %o1, 14, %o1        ; ti
+        ld [%i0+%g3], %o2       ; ar
+        ld [%i1+%g3], %o3       ; ai
+        sub %o2, %o0, %o4
+        sra %o4, 1, %o4
+        st %o4, [%i0+%g4]
+        sub %o3, %o1, %o4
+        sra %o4, 1, %o4
+        st %o4, [%i1+%g4]
+        add %o2, %o0, %o4
+        sra %o4, 1, %o4
+        st %o4, [%i0+%g3]
+        add %o3, %o1, %o4
+        sra %o4, 1, %o4
+        st %o4, [%i1+%g3]
+        ba jloop
+        add %l4, 1, %l4
+jdone:  ba iloop
+        add %l3, %l0, %l3
+istage_done:
+        ba stage
+        sll %l0, 1, %l0
+
+fft_done:
+        ; checksum = xor of all re[] and im[]
+        mov 0, %l5
+        mov 0, %l6
+ckl:    sll %l6, 2, %o0
+        ld [%i0+%o0], %o1
+        xor %l5, %o1, %l5
+        ld [%i1+%o0], %o1
+        xor %l5, %o1, %l5
+        add %l6, 1, %l6
+        cmp %l6, %i4
+        bne ckl
+        nop
+        mov %l5, %o0
+        ta 2
+        mov 10, %o0
+        ta 1
+        mov 0, %i0
+        ret
+        restore
+
+        .align 4
+re:
+)" << wordData(asWords(re)) << R"(
+im:
+)" << wordData(asWords(im)) << R"(
+wrtab:
+)" << wordData(asWords(wr)) << R"(
+witab:
+)" << wordData(asWords(wi)) << R"(
+brev:
+)" << wordData(brev);
+
+    return {"fft", src.str(), expected.str()};
+}
+
+}  // namespace flexcore

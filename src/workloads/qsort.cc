@@ -1,0 +1,172 @@
+/**
+ * @file
+ * qsort: recursive in-place quicksort (Hoare partition). Not part of
+ * the paper's six-benchmark suite — it exists as a register-window
+ * stress test: the recursion runs far deeper than the 8 hardware
+ * windows, so every monitored run exercises spill/fill traffic through
+ * the forward FIFO. The golden model replicates the exact algorithm
+ * (identical pivot choice) and the program prints a checksum plus a
+ * sortedness flag.
+ */
+
+#include "workloads/workload.h"
+
+#include <sstream>
+
+#include "common/rng.h"
+
+namespace flexcore {
+
+namespace {
+
+/** Mirror of the assembly's partition/recursion, for the golden run. */
+void
+goldenQsort(std::vector<u32> *values, s32 lo, s32 hi)
+{
+    if (lo >= hi)
+        return;
+    std::vector<u32> &v = *values;
+    const u32 pivot = v[static_cast<u32>(lo + hi) / 2];
+    s32 i = lo - 1;
+    s32 j = hi + 1;
+    for (;;) {
+        do {
+            ++i;
+        } while (v[i] < pivot);
+        do {
+            --j;
+        } while (v[j] > pivot);
+        if (i >= j)
+            break;
+        std::swap(v[i], v[j]);
+    }
+    goldenQsort(values, lo, j);
+    goldenQsort(values, j + 1, hi);
+}
+
+}  // namespace
+
+Workload
+makeQsort(WorkloadScale scale)
+{
+    const unsigned count = scale == WorkloadScale::kFull ? 2048 : 64;
+    Rng rng(0x4507);
+    std::vector<u32> values(count);
+    for (u32 &v : values)
+        v = rng.below(100000);
+
+    std::vector<u32> sorted = values;
+    goldenQsort(&sorted, 0, static_cast<s32>(count) - 1);
+    u32 checksum = 0;
+    bool is_sorted = true;
+    for (size_t i = 0; i < sorted.size(); ++i) {
+        checksum = checksum * 31 + sorted[i];
+        if (i && sorted[i - 1] > sorted[i])
+            is_sorted = false;
+    }
+    std::ostringstream expected;
+    expected << static_cast<s32>(checksum) << "\n"
+             << (is_sorted ? 1 : 0) << "\n";
+
+    std::ostringstream src;
+    src << runtimePrologue();
+    src << R"(
+main:   save %sp, -96, %sp
+        set vals, %o0
+        mov 0, %o1
+        set )" << (count - 1) << R"(, %o2
+        call qsort
+        nop
+
+        ; checksum = checksum*31 + v[i]; verify sortedness
+        set vals, %l0
+        set )" << count << R"(, %l1
+        mov 0, %l2              ; checksum
+        mov 1, %l3              ; sorted flag
+        mov 0, %l4              ; prev
+        mov 0, %l5              ; i
+ckl:    sll %l5, 2, %o0
+        ld [%l0+%o0], %o1
+        umul %l2, 31, %l2
+        add %l2, %o1, %l2
+        cmp %l5, 0
+        be ckskip
+        nop
+        cmp %l4, %o1
+        bleu ckskip
+        nop
+        mov 0, %l3              ; out of order
+ckskip: mov %o1, %l4
+        add %l5, 1, %l5
+        cmp %l5, %l1
+        bne ckl
+        nop
+        mov %l2, %o0
+        ta 2
+        mov 10, %o0
+        ta 1
+        mov %l3, %o0
+        ta 2
+        mov 10, %o0
+        ta 1
+        mov 0, %i0
+        ret
+        restore
+
+        ; qsort(base=%o0, lo=%o1, hi=%o2), Hoare partition with the
+        ; middle element as pivot. Deep recursion: exercises window
+        ; overflow/underflow heavily.
+qsort:  save %sp, -96, %sp
+        cmp %i1, %i2            ; if (lo >= hi) return  (signed)
+        bge qdone
+        nop
+        ; pivot = v[(lo+hi)/2]
+        add %i1, %i2, %o0
+        sra %o0, 1, %o0
+        sll %o0, 2, %o0
+        ld [%i0+%o0], %l0       ; pivot
+        sub %i1, 1, %l1         ; i = lo-1
+        add %i2, 1, %l2         ; j = hi+1
+ploop:
+pi:     add %l1, 1, %l1         ; do i++ while (v[i] < pivot)
+        sll %l1, 2, %o0
+        ld [%i0+%o0], %l3
+        cmp %l3, %l0
+        blu pi
+        nop
+pj:     sub %l2, 1, %l2         ; do j-- while (v[j] > pivot)
+        sll %l2, 2, %o0
+        ld [%i0+%o0], %l4
+        cmp %l4, %l0
+        bgu pj
+        nop
+        cmp %l1, %l2            ; if (i >= j) break  (signed)
+        bge pdone
+        nop
+        sll %l1, 2, %o0         ; swap v[i], v[j]
+        sll %l2, 2, %o1
+        st %l4, [%i0+%o0]
+        st %l3, [%i0+%o1]
+        ba ploop
+        nop
+pdone:  ; qsort(base, lo, j)
+        mov %i0, %o0
+        mov %i1, %o1
+        call qsort
+        mov %l2, %o2
+        ; qsort(base, j+1, hi)
+        mov %i0, %o0
+        add %l2, 1, %o1
+        call qsort
+        mov %i2, %o2
+qdone:  ret
+        restore
+
+        .align 4
+vals:
+)" << wordData(values);
+
+    return {"qsort", src.str(), expected.str()};
+}
+
+}  // namespace flexcore

@@ -1,0 +1,233 @@
+#include "workloads/scenarios.h"
+
+namespace flexcore {
+
+Workload
+scenarioDiftAttack()
+{
+    // A "network" buffer is tainted by the OS (m.setmtag). The buggy
+    // copy loop writes past the destination array into the adjacent
+    // function-pointer slot; the program then calls through it. DIFT
+    // propagates taint from the input through the copy into the
+    // pointer and traps on the indirect jump.
+    return {"dift-attack", R"(
+        .org 0x1000
+_start: set 0x003ffff0, %sp
+        ; OS taints the 4-word input buffer.
+        set input, %l0
+        m.setmtag [%l0], 1
+        m.setmtag [%l0+4], 1
+        m.setmtag [%l0+8], 1
+        m.setmtag [%l0+12], 1
+        ; Buggy copy: copies 4 words into a 2-word destination,
+        ; clobbering the function pointer stored after it.
+        set dest, %l1
+        mov 0, %l2
+copy:   sll %l2, 2, %o0
+        ld [%l0+%o0], %o1
+        st %o1, [%l1+%o0]
+        add %l2, 1, %l2
+        cmp %l2, 4
+        bne copy
+        nop
+        ; Call through the (now attacker-controlled) pointer.
+        set fptr, %l3
+        ld [%l3], %l4
+        jmpl %l4, %o7
+        nop
+        mov 0, %o0
+        ta 0
+        nop
+
+handler: retl
+        nop
+
+        .align 4
+input:  .word 0x41414141, 0x41414141, 0x00044440, 0x42424242
+dest:   .word 0, 0
+fptr:   .word handler
+)",
+            ""};
+}
+
+Workload
+scenarioDiftBenign()
+{
+    return {"dift-benign", R"(
+        .org 0x1000
+_start: set 0x003ffff0, %sp
+        set input, %l0
+        m.setmtag [%l0], 1
+        m.setmtag [%l0+4], 1
+        ; Correct copy: respects the destination size.
+        set dest, %l1
+        ld [%l0], %o1
+        st %o1, [%l1]
+        ld [%l0+4], %o1
+        st %o1, [%l1+4]
+        ; Compute on tainted data (allowed), print the sum.
+        ld [%l1], %o0
+        ld [%l1+4], %o2
+        add %o0, %o2, %o0
+        ta 2
+        mov 10, %o0
+        ta 1
+        ; Call through an untainted pointer: no trap.
+        set fptr, %l3
+        ld [%l3], %l4
+        jmpl %l4, %o7
+        nop
+        mov 0, %o0
+        ta 0
+        nop
+
+handler: retl
+        nop
+
+        .align 4
+input:  .word 40, 2
+dest:   .word 0, 0
+fptr:   .word handler
+)",
+            "42\n"};
+}
+
+Workload
+scenarioUmcBug()
+{
+    return {"umc-bug", R"(
+        .org 0x1000
+_start: set 0x003ffff0, %sp
+        ; "malloc": the allocator clears init tags for the new block.
+        set 0x20000, %l0
+        m.clrmtag [%l0]
+        m.clrmtag [%l0+4]
+        ; Initialize only the first word ...
+        mov 7, %o0
+        st %o0, [%l0]
+        ld [%l0], %o1          ; fine
+        ld [%l0+4], %o2        ; read of uninitialized word: trap
+        mov 0, %o0
+        ta 0
+        nop
+)",
+            ""};
+}
+
+Workload
+scenarioUmcClean()
+{
+    return {"umc-clean", R"(
+        .org 0x1000
+_start: set 0x003ffff0, %sp
+        set 0x20000, %l0
+        m.clrmtag [%l0]
+        m.clrmtag [%l0+4]
+        mov 7, %o0
+        st %o0, [%l0]
+        mov 35, %o0
+        st %o0, [%l0+4]
+        ld [%l0], %o1
+        ld [%l0+4], %o2
+        add %o1, %o2, %o0
+        ta 2
+        mov 10, %o0
+        ta 1
+        mov 0, %o0
+        ta 0
+        nop
+)",
+            "42\n"};
+}
+
+Workload
+scenarioBcOverflow()
+{
+    return {"bc-overflow", R"(
+        .org 0x1000
+_start: set 0x003ffff0, %sp
+        ; Allocate arr[4] with color 5; the returned pointer carries
+        ; the same color.
+        set arr, %l0
+        m.setmtag [%l0], 5
+        m.setmtag [%l0+4], 5
+        m.setmtag [%l0+8], 5
+        m.setmtag [%l0+12], 5
+        m.settag %l0, 5
+        ; memset walks one element too far (classic off-by-one).
+        mov 0, %l1
+fill:   sll %l1, 2, %o0
+        st %g0, [%l0+%o0]
+        add %l1, 1, %l1
+        cmp %l1, 5
+        bne fill
+        nop
+        mov 0, %o0
+        ta 0
+        nop
+
+        .align 4
+arr:    .word 1, 2, 3, 4
+canary: .word 0xcafef00d
+)",
+            ""};
+}
+
+Workload
+scenarioBcClean()
+{
+    return {"bc-clean", R"(
+        .org 0x1000
+_start: set 0x003ffff0, %sp
+        set arr, %l0
+        m.setmtag [%l0], 5
+        m.setmtag [%l0+4], 5
+        m.setmtag [%l0+8], 5
+        m.setmtag [%l0+12], 5
+        m.settag %l0, 5
+        mov 0, %l1
+fill:   sll %l1, 2, %o0
+        st %l1, [%l0+%o0]
+        add %l1, 1, %l1
+        cmp %l1, 4
+        bne fill
+        nop
+        ld [%l0+12], %o0
+        ta 2
+        mov 10, %o0
+        ta 1
+        mov 0, %o0
+        ta 0
+        nop
+
+        .align 4
+arr:    .word 1, 2, 3, 4
+canary: .word 0xcafef00d
+)",
+            "3\n"};
+}
+
+Workload
+scenarioSecWorkload()
+{
+    return {"sec-loop", R"(
+        .org 0x1000
+_start: set 0x003ffff0, %sp
+        mov 0, %l0
+        mov 1, %l1
+        set 20000, %l2
+loop:   add %l0, %l1, %l0
+        xor %l0, %l1, %o0
+        sub %o0, %l1, %o1
+        add %l1, 1, %l1
+        subcc %l2, 1, %l2
+        bne loop
+        nop
+        mov 0, %o0
+        ta 0
+        nop
+)",
+            ""};
+}
+
+}  // namespace flexcore

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Small demonstration programs for the monitoring extensions: each
+ * pair has a buggy/malicious variant that must trap and a benign
+ * variant that must run to completion. Used by examples/ and the
+ * integration tests.
+ */
+
+#ifndef FLEXCORE_WORKLOADS_SCENARIOS_H_
+#define FLEXCORE_WORKLOADS_SCENARIOS_H_
+
+#include "workloads/workload.h"
+
+namespace flexcore {
+
+/** Buffer-overflow attack: tainted input overwrites a code pointer. */
+Workload scenarioDiftAttack();
+/** The same I/O handling done safely (bounds respected). */
+Workload scenarioDiftBenign();
+
+/** Reads a heap word before initializing it. */
+Workload scenarioUmcBug();
+/** Initializes then reads (no trap). */
+Workload scenarioUmcClean();
+
+/** Writes one element past a colored array. */
+Workload scenarioBcOverflow();
+/** Stays in bounds (no trap). */
+Workload scenarioBcClean();
+
+/** Plain checksum loop; pair with ALU fault injection to drive SEC. */
+Workload scenarioSecWorkload();
+
+}  // namespace flexcore
+
+#endif  // FLEXCORE_WORKLOADS_SCENARIOS_H_

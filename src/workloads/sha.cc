@@ -1,0 +1,247 @@
+/**
+ * @file
+ * sha: SHA-1 compression over a message of whole 64-byte blocks
+ * (MiBench `sha` kernel class: ALU-dominated with regular word loads
+ * for the message schedule). The golden model replicates the exact
+ * block-hash variant (no length padding) in C++.
+ */
+
+#include "workloads/workload.h"
+
+#include <sstream>
+
+#include "common/rng.h"
+
+namespace flexcore {
+
+namespace {
+
+u32
+rotl(u32 value, unsigned amount)
+{
+    return (value << amount) | (value >> (32 - amount));
+}
+
+/** Golden model: SHA-1 compression over whole blocks, no padding. */
+void
+goldenSha(const std::vector<u32> &words, u32 h[5])
+{
+    h[0] = 0x67452301;
+    h[1] = 0xefcdab89;
+    h[2] = 0x98badcfe;
+    h[3] = 0x10325476;
+    h[4] = 0xc3d2e1f0;
+    u32 w[80];
+    for (size_t block = 0; block < words.size() / 16; ++block) {
+        for (unsigned t = 0; t < 16; ++t)
+            w[t] = words[block * 16 + t];
+        for (unsigned t = 16; t < 80; ++t)
+            w[t] = rotl(w[t-3] ^ w[t-8] ^ w[t-14] ^ w[t-16], 1);
+        u32 a = h[0], b = h[1], c = h[2], d = h[3], e = h[4];
+        for (unsigned t = 0; t < 80; ++t) {
+            u32 f, k;
+            if (t < 20) {
+                f = (b & c) | (~b & d);
+                k = 0x5a827999;
+            } else if (t < 40) {
+                f = b ^ c ^ d;
+                k = 0x6ed9eba1;
+            } else if (t < 60) {
+                f = (b & c) | (b & d) | (c & d);
+                k = 0x8f1bbcdc;
+            } else {
+                f = b ^ c ^ d;
+                k = 0xca62c1d6;
+            }
+            const u32 temp = rotl(a, 5) + f + e + k + w[t];
+            e = d;
+            d = c;
+            c = rotl(b, 30);
+            b = a;
+            a = temp;
+        }
+        h[0] += a;
+        h[1] += b;
+        h[2] += c;
+        h[3] += d;
+        h[4] += e;
+    }
+}
+
+}  // namespace
+
+Workload
+makeSha(WorkloadScale scale)
+{
+    const unsigned num_blocks = scale == WorkloadScale::kFull ? 56 : 2;
+    Rng rng(0x51a1);
+    std::vector<u32> data(num_blocks * 16);
+    for (u32 &word : data)
+        word = rng.next32();
+
+    u32 h[5];
+    goldenSha(data, h);
+    std::ostringstream expected;
+    for (unsigned i = 0; i < 5; ++i)
+        expected << static_cast<s32>(h[i]) << "\n";
+
+    std::ostringstream src;
+    src << runtimePrologue();
+    src << R"(
+main:   save %sp, -96, %sp
+        set data, %i0           ; message pointer
+        set )" << num_blocks << R"(, %i1
+        set hbuf, %i2
+        set wbuf, %i3
+        set 0x67452301, %l0
+        st %l0, [%i2]
+        set 0xefcdab89, %l0
+        st %l0, [%i2+4]
+        set 0x98badcfe, %l0
+        st %l0, [%i2+8]
+        set 0x10325476, %l0
+        st %l0, [%i2+12]
+        set 0xc3d2e1f0, %l0
+        st %l0, [%i2+16]
+
+block_loop:
+        tst %i1
+        be done_blocks
+        nop
+
+        ; W[0..15] = message words
+        mov 0, %l5
+sch1:   sll %l5, 2, %l6
+        ld [%i0+%l6], %l7
+        st %l7, [%i3+%l6]
+        add %l5, 1, %l5
+        cmp %l5, 16
+        bne sch1
+        nop
+
+        ; W[16..79] = rotl1(W[t-3]^W[t-8]^W[t-14]^W[t-16])
+        mov 16, %l5
+sch2:   sll %l5, 2, %l6
+        add %i3, %l6, %l7
+        ld [%l7-12], %o0
+        ld [%l7-32], %o1
+        xor %o0, %o1, %o0
+        ld [%l7-56], %o1
+        xor %o0, %o1, %o0
+        ld [%l7-64], %o1
+        xor %o0, %o1, %o0
+        sll %o0, 1, %o1
+        srl %o0, 31, %o2
+        or %o1, %o2, %o0
+        st %o0, [%l7]
+        add %l5, 1, %l5
+        cmp %l5, 80
+        bne sch2
+        nop
+
+        ; a..e = h0..h4
+        ld [%i2], %l0
+        ld [%i2+4], %l1
+        ld [%i2+8], %l2
+        ld [%i2+12], %l3
+        ld [%i2+16], %l4
+
+        mov 0, %l5
+rounds: cmp %l5, 20
+        bl f0
+        nop
+        cmp %l5, 40
+        bl f1
+        nop
+        cmp %l5, 60
+        bl f2
+        nop
+        xor %l1, %l2, %o0       ; t >= 60: parity, k3
+        xor %o0, %l3, %o0
+        set 0xca62c1d6, %o1
+        ba fdone
+        nop
+f0:     and %l1, %l2, %o0       ; ch(b,c,d)
+        andn %l3, %l1, %o2
+        or %o0, %o2, %o0
+        set 0x5a827999, %o1
+        ba fdone
+        nop
+f1:     xor %l1, %l2, %o0       ; parity
+        xor %o0, %l3, %o0
+        set 0x6ed9eba1, %o1
+        ba fdone
+        nop
+f2:     and %l1, %l2, %o0       ; maj(b,c,d)
+        and %l1, %l3, %o2
+        or %o0, %o2, %o0
+        and %l2, %l3, %o2
+        or %o0, %o2, %o0
+        set 0x8f1bbcdc, %o1
+fdone:  sll %l0, 5, %o2
+        srl %l0, 27, %o3
+        or %o2, %o3, %o2        ; rotl5(a)
+        add %o2, %o0, %o2
+        add %o2, %l4, %o2
+        add %o2, %o1, %o2
+        sll %l5, 2, %o3
+        ld [%i3+%o3], %o4
+        add %o2, %o4, %o2       ; temp
+        mov %l3, %l4            ; e = d
+        mov %l2, %l3            ; d = c
+        sll %l1, 30, %o3
+        srl %l1, 2, %o4
+        or %o3, %o4, %l2        ; c = rotl30(b)
+        mov %l0, %l1            ; b = a
+        mov %o2, %l0            ; a = temp
+        add %l5, 1, %l5
+        cmp %l5, 80
+        bne rounds
+        nop
+
+        ; h += a..e
+        ld [%i2], %o0
+        add %o0, %l0, %o0
+        st %o0, [%i2]
+        ld [%i2+4], %o0
+        add %o0, %l1, %o0
+        st %o0, [%i2+4]
+        ld [%i2+8], %o0
+        add %o0, %l2, %o0
+        st %o0, [%i2+8]
+        ld [%i2+12], %o0
+        add %o0, %l3, %o0
+        st %o0, [%i2+12]
+        ld [%i2+16], %o0
+        add %o0, %l4, %o0
+        st %o0, [%i2+16]
+
+        add %i0, 64, %i0
+        ba block_loop
+        sub %i1, 1, %i1
+
+done_blocks:
+        mov 0, %l5
+prloop: sll %l5, 2, %o1
+        ld [%i2+%o1], %o0
+        ta 2
+        mov 10, %o0
+        ta 1
+        add %l5, 1, %l5
+        cmp %l5, 5
+        bne prloop
+        nop
+        mov 0, %i0
+        ret
+        restore
+
+        .align 4
+hbuf:   .space 20
+wbuf:   .space 320
+data:
+)" << wordData(data);
+
+    return {"sha", src.str(), expected.str()};
+}
+
+}  // namespace flexcore

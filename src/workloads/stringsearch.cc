@@ -1,0 +1,186 @@
+/**
+ * @file
+ * stringsearch: Boyer-Moore-Horspool search of several 8-byte patterns
+ * over a large text (byte-load dominated with a big streaming
+ * footprint, like MiBench stringsearch on its large input). The golden
+ * model runs the identical algorithm and reports the same total match
+ * count.
+ */
+
+#include "workloads/workload.h"
+
+#include <sstream>
+#include <string>
+
+#include "common/rng.h"
+
+namespace flexcore {
+
+namespace {
+
+constexpr unsigned kPatLen = 8;
+
+unsigned
+goldenSearch(const std::string &text,
+             const std::vector<std::string> &patterns)
+{
+    unsigned total = 0;
+    for (const std::string &pat : patterns) {
+        unsigned skip[256];
+        for (unsigned c = 0; c < 256; ++c)
+            skip[c] = kPatLen;
+        for (unsigned j = 0; j + 1 < kPatLen; ++j)
+            skip[static_cast<u8>(pat[j])] = kPatLen - 1 - j;
+        size_t i = kPatLen - 1;
+        while (i < text.size()) {
+            unsigned k = 0;
+            while (k < kPatLen &&
+                   text[i - k] == pat[kPatLen - 1 - k]) {
+                ++k;
+            }
+            if (k == kPatLen)
+                ++total;
+            i += skip[static_cast<u8>(text[i])];
+        }
+    }
+    return total;
+}
+
+std::vector<u32>
+packBytes(const std::string &bytes)
+{
+    std::vector<u32> words((bytes.size() + 3) / 4, 0);
+    for (size_t i = 0; i < bytes.size(); ++i) {
+        words[i / 4] |= static_cast<u32>(static_cast<u8>(bytes[i]))
+                        << (24 - 8 * (i % 4));
+    }
+    return words;
+}
+
+}  // namespace
+
+Workload
+makeStringsearch(WorkloadScale scale)
+{
+    const unsigned text_len =
+        scale == WorkloadScale::kFull ? 24 * 1024 : 512;
+    const unsigned num_patterns =
+        scale == WorkloadScale::kFull ? 10 : 2;
+    Rng rng(0x57f1);
+
+    std::string text(text_len, 'a');
+    for (char &c : text)
+        c = static_cast<char>('a' + rng.below(26));
+
+    std::vector<std::string> patterns;
+    for (unsigned p = 0; p < num_patterns; ++p) {
+        std::string pat(kPatLen, 'a');
+        for (char &c : pat)
+            c = static_cast<char>('a' + rng.below(26));
+        for (unsigned occ = 0; occ < 6; ++occ) {
+            const u32 pos = rng.below(text_len - kPatLen);
+            text.replace(pos, kPatLen, pat);
+        }
+        patterns.push_back(std::move(pat));
+    }
+
+    const unsigned total = goldenSearch(text, patterns);
+    std::ostringstream expected;
+    expected << total << "\n";
+
+    // The scan compares against the reversed pattern so the inner loop
+    // indexes both strings with the same counter.
+    std::string pattern_bytes, pattern_rev_bytes;
+    for (const std::string &pat : patterns) {
+        pattern_bytes += pat;
+        pattern_rev_bytes.append(pat.rbegin(), pat.rend());
+    }
+
+    std::ostringstream src;
+    src << runtimePrologue();
+    src << R"(
+main:   save %sp, -96, %sp
+        mov 0, %i5              ; total matches
+        mov 0, %i4              ; pattern index
+ploop:  cmp %i4, )" << num_patterns << R"(
+        be pdone
+        nop
+        sll %i4, 3, %o0
+        set patterns, %l0
+        add %l0, %o0, %l0       ; pattern pointer
+        set patrev, %l7
+        add %l7, %o0, %l7       ; reversed pattern pointer
+
+        ; skip[c] = 8 for all c
+        set skiptab, %l1
+        mov 0, %l2
+sk1:    sll %l2, 2, %o0
+        mov 8, %o1
+        st %o1, [%l1+%o0]
+        add %l2, 1, %l2
+        cmp %l2, 256
+        bne sk1
+        nop
+        ; skip[pat[j]] = 7-j for j in 0..6
+        mov 0, %l2
+sk2:    ldub [%l0+%l2], %o0
+        sll %o0, 2, %o0
+        mov 7, %o1
+        sub %o1, %l2, %o1
+        st %o1, [%l1+%o0]
+        add %l2, 1, %l2
+        cmp %l2, 7
+        bne sk2
+        nop
+
+        set text, %l3
+        set )" << text_len << R"(, %l4
+        mov 7, %l5              ; i = plen-1
+scan:   cmp %l5, %l4
+        bge scandone
+        nop
+        mov 0, %l6              ; k
+cmpl:   sub %l5, %l6, %o0
+        ldub [%l3+%o0], %o1     ; text[i-k]
+        ldub [%l7+%l6], %o3     ; patrev[k]
+        cmp %o1, %o3
+        bne cmpdone
+        nop
+        add %l6, 1, %l6
+        cmp %l6, 8
+        bne cmpl
+        nop
+        add %i5, 1, %i5         ; full match
+cmpdone:
+        ldub [%l3+%l5], %o0
+        sll %o0, 2, %o0
+        ld [%l1+%o0], %o1
+        add %l5, %o1, %l5
+        ba scan
+        nop
+scandone:
+        add %i4, 1, %i4
+        ba ploop
+        nop
+pdone:  mov %i5, %o0
+        ta 2
+        mov 10, %o0
+        ta 1
+        mov 0, %i0
+        ret
+        restore
+
+        .align 4
+skiptab:
+        .space 1024
+patterns:
+)" << wordData(packBytes(pattern_bytes)) << R"(
+patrev:
+)" << wordData(packBytes(pattern_rev_bytes)) << R"(
+text:
+)" << wordData(packBytes(text));
+
+    return {"stringsearch", src.str(), expected.str()};
+}
+
+}  // namespace flexcore

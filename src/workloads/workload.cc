@@ -1,0 +1,47 @@
+#include "workloads/workload.h"
+
+#include <sstream>
+
+namespace flexcore {
+
+std::vector<Workload>
+benchmarkSuite(WorkloadScale scale)
+{
+    return {
+        makeSha(scale),        makeGmac(scale), makeStringsearch(scale),
+        makeFft(scale),        makeBasicmath(scale),
+        makeBitcount(scale),
+    };
+}
+
+std::string
+runtimePrologue()
+{
+    // The loader also initializes %sp; the explicit `set` keeps the
+    // program self-contained when the entry state is unknown.
+    return R"(
+        .org 0x1000
+_start: set 0x003ffff0, %sp
+        call main
+        nop
+        ta 0            ; exit(%o0)
+        nop
+)";
+}
+
+std::string
+wordData(const std::vector<u32> &words)
+{
+    std::ostringstream oss;
+    for (size_t i = 0; i < words.size(); ++i) {
+        if (i % 8 == 0)
+            oss << (i ? "\n" : "") << "        .word ";
+        else
+            oss << ", ";
+        oss << "0x" << std::hex << words[i] << std::dec;
+    }
+    oss << "\n";
+    return oss.str();
+}
+
+}  // namespace flexcore

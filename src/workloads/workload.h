@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Benchmark workloads. Each workload is a self-contained assembly
+ * program (generated, with its input data embedded as .word blocks)
+ * plus the expected console output computed by a C++ golden model, so
+ * every simulation run is functionally verified end to end.
+ *
+ * The six kernels mirror the MiBench programs used in §V-A: sha, gmac,
+ * stringsearch, fft, basicmath, and bitcount.
+ */
+
+#ifndef FLEXCORE_WORKLOADS_WORKLOAD_H_
+#define FLEXCORE_WORKLOADS_WORKLOAD_H_
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace flexcore {
+
+struct Workload
+{
+    std::string name;
+    std::string source;             //!< assembly text
+    std::string expected_console;   //!< golden-model output
+};
+
+/** Size scaling for the benchmark suite. */
+enum class WorkloadScale : u8 {
+    kTest,     //!< small inputs for unit/integration tests
+    kFull,     //!< evaluation-sized inputs (Table IV, figures)
+};
+
+Workload makeSha(WorkloadScale scale);
+/** Not part of the paper's suite: a register-window stress test. */
+Workload makeQsort(WorkloadScale scale);
+Workload makeGmac(WorkloadScale scale);
+Workload makeStringsearch(WorkloadScale scale);
+Workload makeFft(WorkloadScale scale);
+Workload makeBasicmath(WorkloadScale scale);
+Workload makeBitcount(WorkloadScale scale);
+
+/** All six benchmarks of the paper's evaluation, in Table IV order. */
+std::vector<Workload> benchmarkSuite(WorkloadScale scale);
+
+/** Common runtime prologue: `_start` sets up the stack, calls main,
+ * and exits with main's return value. */
+std::string runtimePrologue();
+
+/** Render a u32 array as .word lines (16 per line). */
+std::string wordData(const std::vector<u32> &words);
+
+}  // namespace flexcore
+
+#endif  // FLEXCORE_WORKLOADS_WORKLOAD_H_

@@ -1,0 +1,23 @@
+; Sample program used by the CLI-tool smoke tests.
+        .org 0x1000
+_start: set 0x003ffff0, %sp
+        call main
+        nop
+        ta 0
+        nop
+
+main:   save %sp, -96, %sp
+        set msg, %l0
+ploop:  ldub [%l0], %o0
+        tst %o0
+        be done
+        nop
+        ta 1
+        ba ploop
+        add %l0, 1, %l0
+done:   mov 7, %i0
+        ret
+        restore
+
+        .align 4
+msg:    .asciz "hello from flexcore\n"

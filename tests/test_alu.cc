@@ -1,0 +1,206 @@
+/** @file ALU tests: arithmetic, condition codes, mul/div, faults. */
+
+#include "core/alu.h"
+
+#include <gtest/gtest.h>
+
+#include "common/bitutil.h"
+
+namespace flexcore {
+namespace {
+
+TEST(Alu, AddAndFlags)
+{
+    Alu alu;
+    AluResult r = alu.execute(Op::kAddcc, 1, 2, 0);
+    EXPECT_EQ(r.value, 3u);
+    EXPECT_FALSE(r.icc.n);
+    EXPECT_FALSE(r.icc.z);
+    EXPECT_FALSE(r.icc.v);
+    EXPECT_FALSE(r.icc.c);
+
+    r = alu.execute(Op::kAddcc, 0xffffffff, 1, 0);
+    EXPECT_EQ(r.value, 0u);
+    EXPECT_TRUE(r.icc.z);
+    EXPECT_TRUE(r.icc.c);
+    EXPECT_FALSE(r.icc.v);
+
+    r = alu.execute(Op::kAddcc, 0x7fffffff, 1, 0);
+    EXPECT_TRUE(r.icc.n);
+    EXPECT_TRUE(r.icc.v);   // signed overflow
+}
+
+TEST(Alu, SubAndBorrow)
+{
+    Alu alu;
+    AluResult r = alu.execute(Op::kSubcc, 5, 7, 0);
+    EXPECT_EQ(r.value, static_cast<u32>(-2));
+    EXPECT_TRUE(r.icc.n);
+    EXPECT_TRUE(r.icc.c);   // borrow
+
+    r = alu.execute(Op::kSubcc, 7, 7, 0);
+    EXPECT_TRUE(r.icc.z);
+    EXPECT_FALSE(r.icc.c);
+
+    r = alu.execute(Op::kSubcc, 0x80000000, 1, 0);
+    EXPECT_TRUE(r.icc.v);   // signed overflow
+}
+
+TEST(Alu, LogicOps)
+{
+    Alu alu;
+    EXPECT_EQ(alu.execute(Op::kAnd, 0xff00ff00, 0x0ff00ff0, 0).value,
+              0x0f000f00u);
+    EXPECT_EQ(alu.execute(Op::kOr, 0xf0, 0x0f, 0).value, 0xffu);
+    EXPECT_EQ(alu.execute(Op::kXor, 0xff, 0x0f, 0).value, 0xf0u);
+    EXPECT_EQ(alu.execute(Op::kAndn, 0xff, 0x0f, 0).value, 0xf0u);
+    EXPECT_EQ(alu.execute(Op::kOrn, 0x00, 0xfffffff0, 0).value, 0xfu);
+    EXPECT_EQ(alu.execute(Op::kXnor, 0xff, 0xff, 0).value,
+              0xffffffffu);
+}
+
+TEST(Alu, Shifts)
+{
+    Alu alu;
+    EXPECT_EQ(alu.execute(Op::kSll, 1, 31, 0).value, 0x80000000u);
+    EXPECT_EQ(alu.execute(Op::kSrl, 0x80000000, 31, 0).value, 1u);
+    EXPECT_EQ(alu.execute(Op::kSra, 0x80000000, 31, 0).value,
+              0xffffffffu);
+    // Shift count uses only the low 5 bits.
+    EXPECT_EQ(alu.execute(Op::kSll, 1, 33, 0).value, 2u);
+}
+
+TEST(Alu, MultiplyWritesY)
+{
+    Alu alu;
+    AluResult r = alu.execute(Op::kUmul, 0xffffffff, 2, 0);
+    EXPECT_EQ(r.value, 0xfffffffeu);
+    EXPECT_TRUE(r.writes_y);
+    EXPECT_EQ(r.y_out, 1u);
+
+    r = alu.execute(Op::kSmul, static_cast<u32>(-3), 4, 0);
+    EXPECT_EQ(r.value, static_cast<u32>(-12));
+    EXPECT_EQ(r.y_out, 0xffffffffu);   // sign extension
+}
+
+TEST(Alu, DivideUsesYAsHighWord)
+{
+    Alu alu;
+    AluResult r = alu.execute(Op::kUdiv, 100, 7, 0);
+    EXPECT_EQ(r.value, 14u);
+    // (1 << 32 | 0) / 2^16 with Y=1
+    r = alu.execute(Op::kUdiv, 0, 0x10000, 1);
+    EXPECT_EQ(r.value, 0x10000u);
+}
+
+TEST(Alu, DivideSaturatesOnOverflow)
+{
+    Alu alu;
+    AluResult r = alu.execute(Op::kUdiv, 0, 1, 2);   // 2^33 / 1
+    EXPECT_EQ(r.value, 0xffffffffu);
+    r = alu.execute(Op::kSdiv, 0, 1, 1);             // 2^32 / 1 signed
+    EXPECT_EQ(r.value, 0x7fffffffu);
+}
+
+TEST(Alu, DivideByZeroFlagged)
+{
+    Alu alu;
+    EXPECT_TRUE(alu.execute(Op::kUdiv, 5, 0, 0).div_by_zero);
+    EXPECT_TRUE(alu.execute(Op::kSdiv, 5, 0, 0).div_by_zero);
+}
+
+TEST(Alu, EvalCondAllSixteen)
+{
+    Icc zero_set;
+    zero_set.z = true;
+    Icc neg;
+    neg.n = true;
+    Icc carry;
+    carry.c = true;
+    Icc ovf;
+    ovf.v = true;
+    const Icc clear;
+
+    EXPECT_TRUE(Alu::evalCond(Cond::kA, clear));
+    EXPECT_FALSE(Alu::evalCond(Cond::kN, clear));
+    EXPECT_TRUE(Alu::evalCond(Cond::kE, zero_set));
+    EXPECT_FALSE(Alu::evalCond(Cond::kE, clear));
+    EXPECT_TRUE(Alu::evalCond(Cond::kNe, clear));
+    EXPECT_TRUE(Alu::evalCond(Cond::kNeg, neg));
+    EXPECT_TRUE(Alu::evalCond(Cond::kPos, clear));
+    EXPECT_TRUE(Alu::evalCond(Cond::kCs, carry));
+    EXPECT_TRUE(Alu::evalCond(Cond::kCc, clear));
+    EXPECT_TRUE(Alu::evalCond(Cond::kVs, ovf));
+    EXPECT_TRUE(Alu::evalCond(Cond::kVc, clear));
+    // signed comparisons: n^v means less-than
+    EXPECT_TRUE(Alu::evalCond(Cond::kL, neg));
+    EXPECT_TRUE(Alu::evalCond(Cond::kL, ovf));
+    EXPECT_FALSE(Alu::evalCond(Cond::kL, clear));
+    EXPECT_TRUE(Alu::evalCond(Cond::kGe, clear));
+    EXPECT_TRUE(Alu::evalCond(Cond::kG, clear));
+    EXPECT_FALSE(Alu::evalCond(Cond::kG, zero_set));
+    EXPECT_TRUE(Alu::evalCond(Cond::kLe, zero_set));
+    // unsigned: gu = !c && !z, leu = c || z
+    EXPECT_TRUE(Alu::evalCond(Cond::kGu, clear));
+    EXPECT_FALSE(Alu::evalCond(Cond::kGu, carry));
+    EXPECT_TRUE(Alu::evalCond(Cond::kLeu, carry));
+    EXPECT_TRUE(Alu::evalCond(Cond::kLeu, zero_set));
+}
+
+/** Condition-code consistency property over a value sweep. */
+class CompareProperty
+    : public ::testing::TestWithParam<std::pair<s32, s32>>
+{
+};
+
+TEST_P(CompareProperty, BranchesMatchCppComparisons)
+{
+    const auto [a, b] = GetParam();
+    Alu alu;
+    const AluResult r = alu.execute(Op::kSubcc, static_cast<u32>(a),
+                                    static_cast<u32>(b), 0);
+    EXPECT_EQ(Alu::evalCond(Cond::kE, r.icc), a == b);
+    EXPECT_EQ(Alu::evalCond(Cond::kNe, r.icc), a != b);
+    EXPECT_EQ(Alu::evalCond(Cond::kL, r.icc), a < b);
+    EXPECT_EQ(Alu::evalCond(Cond::kLe, r.icc), a <= b);
+    EXPECT_EQ(Alu::evalCond(Cond::kG, r.icc), a > b);
+    EXPECT_EQ(Alu::evalCond(Cond::kGe, r.icc), a >= b);
+    EXPECT_EQ(Alu::evalCond(Cond::kCs, r.icc),
+              static_cast<u32>(a) < static_cast<u32>(b));
+    EXPECT_EQ(Alu::evalCond(Cond::kGu, r.icc),
+              static_cast<u32>(a) > static_cast<u32>(b));
+    EXPECT_EQ(Alu::evalCond(Cond::kLeu, r.icc),
+              static_cast<u32>(a) <= static_cast<u32>(b));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ValuePairs, CompareProperty,
+    ::testing::Values(std::make_pair(0, 0), std::make_pair(1, 2),
+                      std::make_pair(2, 1), std::make_pair(-1, 1),
+                      std::make_pair(1, -1), std::make_pair(-5, -3),
+                      std::make_pair(INT32_MIN, INT32_MAX),
+                      std::make_pair(INT32_MAX, INT32_MIN),
+                      std::make_pair(INT32_MIN, -1),
+                      std::make_pair(INT32_MAX, 1)));
+
+TEST(Alu, FaultInjectionFlipsBits)
+{
+    Alu alu;
+    alu.enableFaultInjection(1.0, 99);   // every op faults
+    const AluResult r = alu.execute(Op::kAdd, 1, 2, 0);
+    EXPECT_NE(r.value, 3u);
+    EXPECT_EQ(popcount32(r.value ^ 3u), 1u);  // exactly one bit flipped
+    EXPECT_EQ(alu.faultsInjected(), 1u);
+}
+
+TEST(Alu, NoFaultsByDefault)
+{
+    Alu alu;
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(alu.execute(Op::kAdd, i, i, 0).value,
+                  static_cast<u32>(2 * i));
+    EXPECT_EQ(alu.faultsInjected(), 0u);
+}
+
+}  // namespace
+}  // namespace flexcore

@@ -1,0 +1,352 @@
+/** @file Two-pass assembler tests: directives, pseudo-ops, fixups. */
+
+#include "assembler/assembler.h"
+
+#include <gtest/gtest.h>
+
+#include "isa/disasm.h"
+#include "isa/encoding.h"
+
+namespace flexcore {
+namespace {
+
+Program
+ok(const std::string &body)
+{
+    return Assembler::assembleOrDie("        .org 0x1000\n" + body);
+}
+
+std::string
+failure(const std::string &body)
+{
+    Assembler assembler;
+    Program program;
+    EXPECT_FALSE(
+        assembler.assemble("        .org 0x1000\n" + body, &program));
+    return assembler.errorText();
+}
+
+TEST(Assembler, OrgSetsBase)
+{
+    const Program p = Assembler::assembleOrDie(
+        "        .org 0x2000\n        nop\n");
+    EXPECT_EQ(p.base(), 0x2000u);
+    EXPECT_EQ(p.entry(), 0x2000u);
+    EXPECT_EQ(p.wordAt(0x2000), 0x01000000u);
+}
+
+TEST(Assembler, StartLabelBecomesEntry)
+{
+    const Program p = ok("        nop\n_start: nop\n");
+    EXPECT_EQ(p.entry(), 0x1004u);
+}
+
+TEST(Assembler, ForwardReferencesResolve)
+{
+    const Program p = ok(R"(
+        ba target
+        nop
+target: nop
+)");
+    const Instruction branch = decode(p.wordAt(0x1000));
+    EXPECT_EQ(branch.op, Op::kBicc);
+    EXPECT_EQ(branch.disp, 2);
+}
+
+TEST(Assembler, BackwardBranch)
+{
+    const Program p = ok(R"(
+top:    nop
+        ba top
+        nop
+)");
+    EXPECT_EQ(decode(p.wordAt(0x1004)).disp, -1);
+}
+
+TEST(Assembler, SetExpandsToSethiOr)
+{
+    const Program p = ok("        set 0x12345678, %o0\n");
+    const Instruction hi = decode(p.wordAt(0x1000));
+    const Instruction lo = decode(p.wordAt(0x1004));
+    EXPECT_EQ(hi.op, Op::kSethi);
+    EXPECT_EQ(lo.op, Op::kOr);
+    EXPECT_EQ((hi.imm22 << 10) | static_cast<u32>(lo.simm),
+              0x12345678u);
+}
+
+TEST(Assembler, HiLoModifiers)
+{
+    const Program p = ok(R"(
+        sethi %hi(sym), %o0
+        or %o0, %lo(sym), %o0
+        .org 0x2abc
+sym:    .word 0
+)");
+    const Instruction hi = decode(p.wordAt(0x1000));
+    const Instruction lo = decode(p.wordAt(0x1004));
+    EXPECT_EQ((hi.imm22 << 10) | static_cast<u32>(lo.simm), 0x2abcu);
+}
+
+TEST(Assembler, PseudoOps)
+{
+    const Program p = ok(R"(
+        mov 5, %o0
+        mov %o1, %o2
+        clr %o3
+        cmp %o0, %o1
+        tst %o4
+        inc %o5
+        dec 2, %o5
+        neg %l0
+        not %l1
+        ret
+        retl
+)");
+    EXPECT_EQ(disassemble(p.wordAt(0x1000)), "or %g0, 5, %o0");
+    EXPECT_EQ(disassemble(p.wordAt(0x1004)), "or %g0, %o1, %o2");
+    EXPECT_EQ(disassemble(p.wordAt(0x1008)), "or %g0, 0, %o3");
+    EXPECT_EQ(decode(p.wordAt(0x100c)).op, Op::kSubcc);
+    EXPECT_EQ(decode(p.wordAt(0x1010)).op, Op::kOrcc);
+    EXPECT_EQ(disassemble(p.wordAt(0x1014)), "add %o5, 1, %o5");
+    EXPECT_EQ(disassemble(p.wordAt(0x1018)), "sub %o5, 2, %o5");
+    EXPECT_EQ(disassemble(p.wordAt(0x101c)), "sub %g0, %l0, %l0");
+    EXPECT_EQ(disassemble(p.wordAt(0x1020)), "xnor %l1, %g0, %l1");
+    const Instruction ret = decode(p.wordAt(0x1024));
+    EXPECT_EQ(ret.op, Op::kJmpl);
+    EXPECT_EQ(ret.rs1, 31);
+    EXPECT_EQ(ret.simm, 8);
+    EXPECT_EQ(decode(p.wordAt(0x1028)).rs1, 15);
+}
+
+TEST(Assembler, DataDirectives)
+{
+    const Program p = ok(R"(
+        .word 1, 2, 0xdeadbeef
+        .half 0x1234, 0x5678
+        .byte 1, 2, 3, 4
+        .align 8
+aligned: .word aligned
+        .asciz "hi"
+        .space 3
+)");
+    EXPECT_EQ(p.wordAt(0x1000), 1u);
+    EXPECT_EQ(p.wordAt(0x1004), 2u);
+    EXPECT_EQ(p.wordAt(0x1008), 0xdeadbeefu);
+    EXPECT_EQ(p.wordAt(0x100c), 0x12345678u);   // big-endian halves
+    EXPECT_EQ(p.wordAt(0x1010), 0x01020304u);
+    u32 aligned_addr = 0;
+    ASSERT_TRUE(p.lookupSymbol("aligned", &aligned_addr));
+    EXPECT_EQ(aligned_addr % 8, 0u);
+    EXPECT_EQ(p.wordAt(aligned_addr), aligned_addr);
+}
+
+TEST(Assembler, EquDefinesConstants)
+{
+    const Program p = ok(R"(
+        .equ MAGIC, 0x42
+        mov MAGIC, %o0
+        .word MAGIC+8
+)");
+    EXPECT_EQ(decode(p.wordAt(0x1000)).simm, 0x42);
+    EXPECT_EQ(p.wordAt(0x1004), 0x4au);
+}
+
+TEST(Assembler, MonitorPseudoOps)
+{
+    const Program p = ok(R"(
+        m.settag %o0, 5
+        m.clrtag %o1
+        m.setmtag [%o2+8], 3
+        m.clrmtag [%o3]
+        m.policy 1
+        m.read %o4, 2
+        m.base %o5
+)");
+    const Instruction settag = decode(p.wordAt(0x1000));
+    EXPECT_EQ(settag.op, Op::kCpop1);
+    EXPECT_EQ(settag.cpop_fn, CpopFn::kSetRegTag);
+    EXPECT_EQ(settag.rs1, 8);
+    EXPECT_EQ(settag.rd, 5);   // tag value travels in rd
+
+    const Instruction setm = decode(p.wordAt(0x1008));
+    EXPECT_EQ(setm.cpop_fn, CpopFn::kSetMemTag);
+    EXPECT_EQ(setm.rs1, 10);
+    EXPECT_EQ(setm.simm, 8);
+    EXPECT_EQ(setm.rd, 3);
+
+    EXPECT_EQ(decode(p.wordAt(0x100c)).cpop_fn, CpopFn::kClearMemTag);
+    EXPECT_EQ(decode(p.wordAt(0x1010)).cpop_fn, CpopFn::kSetPolicy);
+    const Instruction read = decode(p.wordAt(0x1014));
+    EXPECT_EQ(read.cpop_fn, CpopFn::kReadTag);
+    EXPECT_EQ(read.rd, 12);
+    EXPECT_EQ(decode(p.wordAt(0x1018)).cpop_fn, CpopFn::kSetBase);
+}
+
+TEST(Assembler, ErrorsAreReportedWithLines)
+{
+    EXPECT_NE(failure("        bogus %o0\n").find("unknown mnemonic"),
+              std::string::npos);
+    EXPECT_NE(failure("        add %o0, 99999, %o1\n")
+                  .find("simm13"),
+              std::string::npos);
+    EXPECT_NE(failure("        ba missing\n        nop\n")
+                  .find("undefined symbol"),
+              std::string::npos);
+    EXPECT_NE(failure("x: nop\nx: nop\n").find("duplicate label"),
+              std::string::npos);
+    EXPECT_NE(failure("        .align 3\n").find("power of two"),
+              std::string::npos);
+    EXPECT_NE(failure("        ld [%o0+99999], %o1\n")
+                  .find("simm13"),
+              std::string::npos);
+}
+
+TEST(Assembler, BranchRangeChecked)
+{
+    // disp22 covers +/- 8MB; a target beyond must error out.
+    Assembler assembler;
+    Program program;
+    const std::string src = "        .org 0x1000\n"
+                            "        ba far\n"
+                            "        nop\n"
+                            "        .org 0x1000000\n"
+                            "far:    nop\n";
+    EXPECT_FALSE(assembler.assemble(src, &program));
+    EXPECT_NE(assembler.errorText().find("out of range"),
+              std::string::npos);
+}
+
+TEST(Assembler, AnnulledBranches)
+{
+    const Program p = ok("        ba,a skip\n        nop\nskip:   nop\n");
+    EXPECT_TRUE(decode(p.wordAt(0x1000)).annul);
+}
+
+TEST(Assembler, JmplForms)
+{
+    const Program p = ok(R"(
+        jmpl %o0+8, %o7
+        jmp %o1
+        jmpl %o2+%o3, %g0
+)");
+    const Instruction a = decode(p.wordAt(0x1000));
+    EXPECT_EQ(a.rs1, 8);
+    EXPECT_EQ(a.simm, 8);
+    EXPECT_EQ(a.rd, 15);
+    const Instruction b = decode(p.wordAt(0x1004));
+    EXPECT_EQ(b.rs1, 9);
+    EXPECT_EQ(b.rd, 0);
+    const Instruction c = decode(p.wordAt(0x1008));
+    EXPECT_EQ(c.rs1, 10);
+    EXPECT_EQ(c.rs2, 11);
+    EXPECT_FALSE(c.has_imm);
+}
+
+TEST(Assembler, MoreDiagnostics)
+{
+    EXPECT_NE(failure("        add %o0, %o1\n")
+                  .find("expected register operand 3"),
+              std::string::npos);
+    EXPECT_NE(failure("        ld %o0, %o1\n")
+                  .find("expected memory operand"),
+              std::string::npos);
+    EXPECT_NE(failure("        st [%o0], %o1\n")
+                  .find("expected register"),
+              std::string::npos);
+    EXPECT_NE(failure("        .byte banana\n").find("constant"),
+              std::string::npos);
+    EXPECT_NE(failure("        .org 0x2000\n        nop\n"
+                      "        .org 0x1800\n        nop\n")
+                  .find("backwards"),
+              std::string::npos);
+    EXPECT_NE(failure("        m.setmtag [%o0+300], 1\n")
+                  .find("simm9"),
+              std::string::npos);
+    EXPECT_NE(failure("        .asciz 42\n").find("string"),
+              std::string::npos);
+    EXPECT_NE(failure("        .bogus 1\n").find("unknown directive"),
+              std::string::npos);
+}
+
+TEST(Assembler, ErrorsCarryLineNumbers)
+{
+    Assembler assembler;
+    Program program;
+    EXPECT_FALSE(assembler.assemble(
+        "        nop\n        nop\n        bogus\n", &program));
+    ASSERT_FALSE(assembler.errors().empty());
+    EXPECT_EQ(assembler.errors()[0].line, 3);
+}
+
+TEST(Assembler, MultipleErrorsAllReported)
+{
+    Assembler assembler;
+    Program program;
+    EXPECT_FALSE(assembler.assemble("        bogus1\n"
+                                    "        nop\n"
+                                    "        bogus2\n",
+                                    &program));
+    EXPECT_EQ(assembler.errors().size(), 2u);
+}
+
+TEST(Assembler, NegativeImmediatesAndExpressions)
+{
+    const Program p = ok(R"(
+        add %o0, -1, %o1
+        ld [%o0-16], %o1
+        .equ BASE, 0x100
+        mov BASE+4-8, %o2
+)");
+    EXPECT_EQ(decode(p.wordAt(0x1000)).simm, -1);
+    EXPECT_EQ(decode(p.wordAt(0x1004)).simm, -16);
+    EXPECT_EQ(decode(p.wordAt(0x1008)).simm, 0xfc);
+}
+
+TEST(Assembler, RegPlusRegAddressing)
+{
+    const Program p = ok("        ld [%o0+%o1], %o2\n"
+                         "        st %o2, [%l0+%l1]\n");
+    const Instruction ld = decode(p.wordAt(0x1000));
+    EXPECT_FALSE(ld.has_imm);
+    EXPECT_EQ(ld.rs1, 8);
+    EXPECT_EQ(ld.rs2, 9);
+    const Instruction st = decode(p.wordAt(0x1004));
+    EXPECT_EQ(st.rs1, 16);
+    EXPECT_EQ(st.rs2, 17);
+}
+
+TEST(Assembler, SaveRestoreForms)
+{
+    const Program p = ok("        save %sp, -96, %sp\n"
+                         "        restore\n"
+                         "        restore %o0, 1, %o0\n");
+    // The canonical SPARC encoding of `save %sp, -96, %sp`.
+    EXPECT_EQ(p.wordAt(0x1000), 0x9de3bfa0u);
+    const Instruction bare = decode(p.wordAt(0x1004));
+    EXPECT_EQ(bare.op, Op::kRestore);
+    EXPECT_EQ(bare.rd, 0);
+    const Instruction full = decode(p.wordAt(0x1008));
+    EXPECT_EQ(full.rs1, 8);
+    EXPECT_EQ(full.simm, 1);
+}
+
+TEST(Assembler, MultipleLabelsOneAddress)
+{
+    const Program p = ok("a: b:  nop\n");
+    u32 a = 0, b = 0;
+    ASSERT_TRUE(p.lookupSymbol("a", &a));
+    ASSERT_TRUE(p.lookupSymbol("b", &b));
+    EXPECT_EQ(a, b);
+}
+
+TEST(Assembler, SymbolArithmeticInWords)
+{
+    const Program p = ok(R"(
+tab:    .word 1, 2, 3
+        .word tab+8
+)");
+    EXPECT_EQ(p.wordAt(0x100c), 0x1008u);
+}
+
+}  // namespace
+}  // namespace flexcore

@@ -1,0 +1,227 @@
+/** @file BC monitor unit tests: colors, propagation, bound checks. */
+
+#include "monitors/bc.h"
+
+#include <gtest/gtest.h>
+
+namespace flexcore {
+namespace {
+
+CommitPacket
+aluPkt(u16 src1, u16 src2, u16 dest)
+{
+    CommitPacket pkt;
+    pkt.di.op = Op::kAdd;
+    pkt.di.type = kTypeAluAdd;
+    pkt.di.valid = true;
+    pkt.opcode = kTypeAluAdd;
+    pkt.src1 = src1;
+    pkt.src2 = src2;
+    pkt.dest = dest;
+    return pkt;
+}
+
+CommitPacket
+loadPkt(Addr addr, u16 base_reg, u16 dest)
+{
+    CommitPacket pkt;
+    pkt.di.op = Op::kLd;
+    pkt.di.type = kTypeLoadWord;
+    pkt.di.valid = true;
+    pkt.opcode = kTypeLoadWord;
+    pkt.addr = addr;
+    pkt.src1 = base_reg;
+    pkt.dest = dest;
+    return pkt;
+}
+
+CommitPacket
+storePkt(Addr addr, u16 base_reg, u16 data_reg)
+{
+    CommitPacket pkt;
+    pkt.di.op = Op::kSt;
+    pkt.di.type = kTypeStoreWord;
+    pkt.di.valid = true;
+    pkt.opcode = kTypeStoreWord;
+    pkt.addr = addr;
+    pkt.src1 = base_reg;
+    pkt.dest = data_reg;
+    return pkt;
+}
+
+CommitPacket
+setRegColor(u16 reg, u8 color)
+{
+    CommitPacket pkt;
+    pkt.di.op = Op::kCpop1;
+    pkt.di.type = kTypeCpop1;
+    pkt.di.cpop_fn = CpopFn::kSetRegTag;
+    pkt.di.valid = true;
+    pkt.opcode = kTypeCpop1;
+    pkt.src1 = reg;
+    pkt.dest = color;   // color value travels in the rd field
+    return pkt;
+}
+
+CommitPacket
+setMemColor(Addr addr, u8 color)
+{
+    CommitPacket pkt;
+    pkt.di.op = Op::kCpop1;
+    pkt.di.type = kTypeCpop1;
+    pkt.di.cpop_fn = CpopFn::kSetMemTag;
+    pkt.di.valid = true;
+    pkt.opcode = kTypeCpop1;
+    pkt.addr = addr;
+    pkt.dest = color;
+    return pkt;
+}
+
+MonitorResult
+feed(BcMonitor *bc, const CommitPacket &pkt)
+{
+    MonitorResult result;
+    bc->process(pkt, &result);
+    return result;
+}
+
+TEST(Bc, MatchingColorsPass)
+{
+    BcMonitor bc;
+    feed(&bc, setMemColor(0x2000, 5));
+    feed(&bc, setRegColor(9, 5));
+    EXPECT_FALSE(feed(&bc, loadPkt(0x2000, 9, 10)).trap);
+    EXPECT_FALSE(feed(&bc, storePkt(0x2000, 9, 10)).trap);
+}
+
+TEST(Bc, ColorMismatchTraps)
+{
+    BcMonitor bc;
+    feed(&bc, setMemColor(0x2000, 5));
+    feed(&bc, setRegColor(9, 3));
+    const MonitorResult r = feed(&bc, loadPkt(0x2000, 9, 10));
+    EXPECT_TRUE(r.trap);
+    EXPECT_STREQ(r.trap_reason, "out-of-bounds load");
+}
+
+TEST(Bc, ColoredPointerPastArrayTraps)
+{
+    BcMonitor bc;
+    feed(&bc, setMemColor(0x2000, 5));    // arr[0] colored
+    feed(&bc, setRegColor(9, 5));
+    // 0x2004 was never colored: walking past the array must trap.
+    const MonitorResult r = feed(&bc, storePkt(0x2004, 9, 10));
+    EXPECT_TRUE(r.trap);
+    EXPECT_STREQ(r.trap_reason, "out-of-bounds store");
+}
+
+TEST(Bc, UncoloredAccessToColoredMemoryTraps)
+{
+    BcMonitor bc;
+    feed(&bc, setMemColor(0x2000, 5));
+    const MonitorResult r = feed(&bc, loadPkt(0x2000, 9, 10));
+    EXPECT_TRUE(r.trap);   // wild pointer into a colored object
+}
+
+TEST(Bc, PlainAccessesToPlainMemoryPass)
+{
+    BcMonitor bc;
+    EXPECT_FALSE(feed(&bc, loadPkt(0x7000, 9, 10)).trap);
+    EXPECT_FALSE(feed(&bc, storePkt(0x7000, 9, 10)).trap);
+}
+
+TEST(Bc, PointerArithmeticKeepsColor)
+{
+    BcMonitor bc;
+    feed(&bc, setRegColor(9, 5));
+    feed(&bc, aluPkt(9, 10, 11));   // ptr + offset(color 0)
+    EXPECT_EQ(bc.regColor(11), 5u);
+    feed(&bc, aluPkt(10, 12, 13));  // int + int
+    EXPECT_EQ(bc.regColor(13), 0u);
+}
+
+TEST(Bc, ColorAdditionWrapsMod16)
+{
+    BcMonitor bc;
+    feed(&bc, setRegColor(9, 9));
+    feed(&bc, setRegColor(10, 9));
+    feed(&bc, aluPkt(9, 10, 11));
+    EXPECT_EQ(bc.regColor(11), 2u);   // (9+9) & 0xf
+}
+
+TEST(Bc, StoredPointerColorSurvivesMemory)
+{
+    BcMonitor bc;
+    feed(&bc, setRegColor(9, 7));
+    // Store the colored pointer to plain memory, then reload it.
+    feed(&bc, storePkt(0x3000, 10, 9));
+    EXPECT_EQ(bc.storedPtrColor(0x3000), 7u);
+    EXPECT_EQ(bc.memColor(0x3000), 0u);   // location color unchanged
+    feed(&bc, loadPkt(0x3000, 10, 12));
+    EXPECT_EQ(bc.regColor(12), 7u);
+}
+
+TEST(Bc, StoreUsesTwoCacheOps)
+{
+    BcMonitor bc;
+    const MonitorResult r = feed(&bc, storePkt(0x3000, 10, 9));
+    ASSERT_EQ(r.num_ops, 2u);
+    EXPECT_FALSE(r.ops[0].is_write);   // check read
+    EXPECT_TRUE(r.ops[1].is_write);    // tag update
+}
+
+TEST(Bc, AllocationClearsStalePointerColor)
+{
+    BcMonitor bc;
+    feed(&bc, setRegColor(9, 7));
+    feed(&bc, storePkt(0x3000, 10, 9));
+    EXPECT_EQ(bc.storedPtrColor(0x3000), 7u);
+    feed(&bc, setMemColor(0x3000, 4));   // fresh allocation
+    EXPECT_EQ(bc.storedPtrColor(0x3000), 0u);
+    EXPECT_EQ(bc.memColor(0x3000), 4u);
+}
+
+TEST(Bc, FreeClearsColors)
+{
+    BcMonitor bc;
+    feed(&bc, setMemColor(0x2000, 5));
+    CommitPacket clr;
+    clr.di.op = Op::kCpop1;
+    clr.di.type = kTypeCpop1;
+    clr.di.cpop_fn = CpopFn::kClearMemTag;
+    clr.di.valid = true;
+    clr.opcode = kTypeCpop1;
+    clr.addr = 0x2000;
+    feed(&bc, clr);
+    EXPECT_EQ(bc.memColor(0x2000), 0u);
+}
+
+TEST(Bc, PolicyDisablesChecks)
+{
+    BcMonitor bc;
+    feed(&bc, setMemColor(0x2000, 5));
+    CommitPacket policy;
+    policy.di.op = Op::kCpop1;
+    policy.di.type = kTypeCpop1;
+    policy.di.cpop_fn = CpopFn::kSetPolicy;
+    policy.di.valid = true;
+    policy.opcode = kTypeCpop1;
+    policy.addr = 0;
+    feed(&bc, policy);
+    EXPECT_FALSE(feed(&bc, loadPkt(0x2000, 9, 10)).trap);
+}
+
+TEST(Bc, CfgrForwardsArithmeticAndMemory)
+{
+    BcMonitor bc;
+    Cfgr cfgr;
+    bc.configureCfgr(&cfgr);
+    EXPECT_EQ(cfgr.policy(kTypeAluAdd), ForwardPolicy::kAlways);
+    EXPECT_EQ(cfgr.policy(kTypeAluLogic), ForwardPolicy::kAlways);
+    EXPECT_EQ(cfgr.policy(kTypeStoreHalf), ForwardPolicy::kAlways);
+    EXPECT_EQ(cfgr.policy(kTypeMul), ForwardPolicy::kIgnore);
+    EXPECT_EQ(cfgr.policy(kTypeBranch), ForwardPolicy::kIgnore);
+}
+
+}  // namespace
+}  // namespace flexcore

@@ -1,0 +1,127 @@
+/** @file Unit tests for common/bitutil.h. */
+
+#include "common/bitutil.h"
+
+#include <gtest/gtest.h>
+
+namespace flexcore {
+namespace {
+
+TEST(BitUtil, BitsExtractsInclusiveRange)
+{
+    EXPECT_EQ(bits(0xdeadbeef, 31, 28), 0xdu);
+    EXPECT_EQ(bits(0xdeadbeef, 7, 0), 0xefu);
+    EXPECT_EQ(bits(0xdeadbeef, 15, 8), 0xbeu);
+    EXPECT_EQ(bits(0xffffffff, 31, 0), 0xffffffffu);
+    EXPECT_EQ(bits(0x0, 31, 0), 0u);
+}
+
+TEST(BitUtil, BitsSingleBitPositions)
+{
+    for (unsigned pos = 0; pos < 32; ++pos) {
+        EXPECT_EQ(bits(1u << pos, pos, pos), 1u) << pos;
+        EXPECT_EQ(bit(1u << pos, pos), 1u) << pos;
+        EXPECT_EQ(bit(~(1u << pos), pos), 0u) << pos;
+    }
+}
+
+TEST(BitUtil, InsertBitsRoundTrips)
+{
+    u32 word = 0;
+    word = insertBits(word, 31, 30, 2);
+    word = insertBits(word, 29, 25, 0x15);
+    word = insertBits(word, 24, 19, 0x3f);
+    EXPECT_EQ(bits(word, 31, 30), 2u);
+    EXPECT_EQ(bits(word, 29, 25), 0x15u);
+    EXPECT_EQ(bits(word, 24, 19), 0x3fu);
+}
+
+TEST(BitUtil, InsertBitsMasksOversizedField)
+{
+    const u32 word = insertBits(0, 3, 0, 0xff);
+    EXPECT_EQ(word, 0xfu);
+}
+
+TEST(BitUtil, InsertBitsPreservesOtherBits)
+{
+    const u32 word = insertBits(0xffffffff, 15, 8, 0);
+    EXPECT_EQ(word, 0xffff00ffu);
+}
+
+TEST(BitUtil, SignExtendPositive)
+{
+    EXPECT_EQ(signExtend(0x0fff, 13), 0x0fff);
+    EXPECT_EQ(signExtend(0, 13), 0);
+    EXPECT_EQ(signExtend(1, 1), -1);
+}
+
+TEST(BitUtil, SignExtendNegative)
+{
+    EXPECT_EQ(signExtend(0x1fff, 13), -1);
+    EXPECT_EQ(signExtend(0x1000, 13), -4096);
+    EXPECT_EQ(signExtend(0x3fffff, 22), -1);
+    EXPECT_EQ(signExtend(0x200000, 22), -2097152);
+}
+
+TEST(BitUtil, IsPowerOfTwo)
+{
+    EXPECT_FALSE(isPowerOfTwo(0));
+    for (unsigned shift = 0; shift < 63; ++shift)
+        EXPECT_TRUE(isPowerOfTwo(u64{1} << shift)) << shift;
+    EXPECT_FALSE(isPowerOfTwo(3));
+    EXPECT_FALSE(isPowerOfTwo(12));
+    EXPECT_FALSE(isPowerOfTwo(0xffffffffu));
+}
+
+TEST(BitUtil, Log2Exact)
+{
+    EXPECT_EQ(log2Exact(1), 0u);
+    EXPECT_EQ(log2Exact(2), 1u);
+    EXPECT_EQ(log2Exact(32), 5u);
+    EXPECT_EQ(log2Exact(4096), 12u);
+}
+
+TEST(BitUtil, AlignUp)
+{
+    EXPECT_EQ(alignUp(0, 4), 0u);
+    EXPECT_EQ(alignUp(1, 4), 4u);
+    EXPECT_EQ(alignUp(4, 4), 4u);
+    EXPECT_EQ(alignUp(5, 8), 8u);
+    EXPECT_EQ(alignUp(0x1001, 0x1000), 0x2000u);
+}
+
+TEST(BitUtil, Popcount32)
+{
+    EXPECT_EQ(popcount32(0), 0u);
+    EXPECT_EQ(popcount32(0xffffffff), 32u);
+    EXPECT_EQ(popcount32(0x80000001), 2u);
+}
+
+/** Property: insertBits then bits recovers the field for any widths. */
+class BitFieldRoundTrip
+    : public ::testing::TestWithParam<std::tuple<unsigned, unsigned>>
+{
+};
+
+TEST_P(BitFieldRoundTrip, Recovers)
+{
+    const auto [hi, lo] = GetParam();
+    const unsigned width = hi - lo + 1;
+    const u32 max_field =
+        width >= 32 ? 0xffffffffu : (1u << width) - 1;
+    for (u32 field : {u32{0}, u32{1}, max_field / 2, max_field}) {
+        const u32 word = insertBits(0xa5a5a5a5u, hi, lo, field);
+        EXPECT_EQ(bits(word, hi, lo), field);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BitFieldRoundTrip,
+    ::testing::Values(std::make_tuple(31u, 0u), std::make_tuple(31u, 30u),
+                      std::make_tuple(29u, 25u), std::make_tuple(24u, 19u),
+                      std::make_tuple(18u, 14u), std::make_tuple(13u, 13u),
+                      std::make_tuple(12u, 0u), std::make_tuple(4u, 0u),
+                      std::make_tuple(21u, 0u), std::make_tuple(0u, 0u)));
+
+}  // namespace
+}  // namespace flexcore

@@ -1,0 +1,152 @@
+/** @file Timing cache tests: hits, LRU, dirty eviction, geometry. */
+
+#include "memory/cache.h"
+
+#include <gtest/gtest.h>
+
+namespace flexcore {
+namespace {
+
+class CacheTest : public ::testing::Test
+{
+  protected:
+    StatGroup stats_{"test"};
+};
+
+TEST_F(CacheTest, MissThenHitAfterFill)
+{
+    Cache cache(&stats_, "c", {1024, 32, 2});
+    EXPECT_FALSE(cache.access(0x100));
+    cache.fill(0x100);
+    EXPECT_TRUE(cache.access(0x100));
+    EXPECT_TRUE(cache.access(0x11c));   // same 32B line
+    EXPECT_FALSE(cache.access(0x120));  // next line
+    EXPECT_EQ(cache.hits(), 2u);
+    EXPECT_EQ(cache.misses(), 2u);
+}
+
+TEST_F(CacheTest, LruEvictsLeastRecentlyUsed)
+{
+    // 2-way, 16 sets of 32B lines; set stride is 512B.
+    Cache cache(&stats_, "c", {1024, 32, 2});
+    cache.fill(0x0000);
+    cache.fill(0x0200);   // same set, second way
+    EXPECT_TRUE(cache.access(0x0000));   // touch way 0
+    cache.fill(0x0400);   // evicts 0x0200 (LRU)
+    EXPECT_TRUE(cache.contains(0x0000));
+    EXPECT_FALSE(cache.contains(0x0200));
+    EXPECT_TRUE(cache.contains(0x0400));
+}
+
+TEST_F(CacheTest, DirtyEvictionReportsVictim)
+{
+    Cache cache(&stats_, "c", {1024, 32, 2});
+    cache.fill(0x0000, /*dirty=*/true);
+    cache.fill(0x0200);
+    const Cache::FillResult result = cache.fill(0x0400);
+    EXPECT_TRUE(result.evicted_dirty);
+    EXPECT_EQ(result.victim_addr, 0x0000u);
+}
+
+TEST_F(CacheTest, CleanEvictionReportsNothing)
+{
+    Cache cache(&stats_, "c", {1024, 32, 2});
+    cache.fill(0x0000);
+    cache.fill(0x0200);
+    const Cache::FillResult result = cache.fill(0x0400);
+    EXPECT_FALSE(result.evicted_dirty);
+}
+
+TEST_F(CacheTest, WriteAccessSetsDirty)
+{
+    Cache cache(&stats_, "c", {1024, 32, 2});
+    cache.fill(0x0000);
+    EXPECT_TRUE(cache.access(0x0000, /*set_dirty=*/true));
+    cache.fill(0x0200);
+    const Cache::FillResult result = cache.fill(0x0400);
+    EXPECT_TRUE(result.evicted_dirty);
+}
+
+TEST_F(CacheTest, RefillOfPresentLineIsIdempotent)
+{
+    Cache cache(&stats_, "c", {1024, 32, 2});
+    cache.fill(0x0000, true);
+    const Cache::FillResult result = cache.fill(0x0000);
+    EXPECT_FALSE(result.evicted_dirty);
+    EXPECT_TRUE(cache.contains(0x0000));
+}
+
+TEST_F(CacheTest, InvalidateAllEmptiesCache)
+{
+    Cache cache(&stats_, "c", {1024, 32, 2});
+    cache.fill(0x0000);
+    cache.fill(0x0040);
+    cache.invalidateAll();
+    EXPECT_FALSE(cache.contains(0x0000));
+    EXPECT_FALSE(cache.contains(0x0040));
+}
+
+TEST_F(CacheTest, ContainsDoesNotCountStats)
+{
+    Cache cache(&stats_, "c", {1024, 32, 2});
+    cache.fill(0x0000);
+    (void)cache.contains(0x0000);
+    (void)cache.contains(0x9999);
+    EXPECT_EQ(cache.hits(), 0u);
+    EXPECT_EQ(cache.misses(), 0u);
+}
+
+/** Property sweep over geometries: fills always make hits. */
+class CacheGeometry
+    : public ::testing::TestWithParam<std::tuple<u32, u32, u32>>
+{
+  protected:
+    StatGroup stats_{"test"};
+};
+
+TEST_P(CacheGeometry, FillThenHitAcrossWholeCapacity)
+{
+    const auto [size, line, assoc] = GetParam();
+    Cache cache(&stats_, "c", {size, line, assoc});
+    // Fill exactly the cache's capacity with distinct lines.
+    for (u32 addr = 0; addr < size; addr += line) {
+        EXPECT_FALSE(cache.access(addr));
+        cache.fill(addr);
+    }
+    for (u32 addr = 0; addr < size; addr += line)
+        EXPECT_TRUE(cache.access(addr)) << addr;
+}
+
+TEST_P(CacheGeometry, ConflictEvictionWorksPerSet)
+{
+    const auto [size, line, assoc] = GetParam();
+    Cache cache(&stats_, "c", {size, line, assoc});
+    const u32 stride = size / assoc;   // same-set stride
+    // Fill assoc + 1 lines into one set; the first must be evicted.
+    for (u32 way = 0; way <= assoc; ++way)
+        cache.fill(way * stride);
+    EXPECT_FALSE(cache.contains(0));
+    EXPECT_TRUE(cache.contains(assoc * stride));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, CacheGeometry,
+    ::testing::Values(std::make_tuple(1024u, 32u, 1u),
+                      std::make_tuple(1024u, 32u, 2u),
+                      std::make_tuple(4096u, 32u, 4u),
+                      std::make_tuple(4096u, 16u, 4u),
+                      std::make_tuple(32768u, 32u, 4u),
+                      std::make_tuple(2048u, 64u, 2u),
+                      std::make_tuple(4096u, 32u, 8u)));
+
+using CacheDeathTest = CacheTest;
+
+TEST_F(CacheDeathTest, RejectsBadGeometry)
+{
+    EXPECT_DEATH(Cache(&stats_, "c", {1000, 32, 2}), "geometry");
+    EXPECT_DEATH(Cache(&stats_, "c", {1024, 24, 2}), "geometry");
+    EXPECT_DEATH(Cache(&stats_, "c", {1024, 32, 0}), "geometry");
+}
+
+}  // namespace
+}  // namespace flexcore

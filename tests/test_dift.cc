@@ -1,0 +1,236 @@
+/** @file DIFT monitor unit tests: taint propagation and checks. */
+
+#include "monitors/dift.h"
+
+#include <gtest/gtest.h>
+
+namespace flexcore {
+namespace {
+
+CommitPacket
+aluPkt(u16 src1, u16 src2, u16 dest)
+{
+    CommitPacket pkt;
+    pkt.di.op = Op::kAdd;
+    pkt.di.type = kTypeAluAdd;
+    pkt.di.valid = true;
+    pkt.opcode = kTypeAluAdd;
+    pkt.src1 = src1;
+    pkt.src2 = src2;
+    pkt.dest = dest;
+    return pkt;
+}
+
+CommitPacket
+loadPkt(Addr addr, u16 dest)
+{
+    CommitPacket pkt;
+    pkt.di.op = Op::kLd;
+    pkt.di.type = kTypeLoadWord;
+    pkt.di.valid = true;
+    pkt.opcode = kTypeLoadWord;
+    pkt.addr = addr;
+    pkt.dest = dest;
+    return pkt;
+}
+
+CommitPacket
+storePkt(Addr addr, u16 data_reg)
+{
+    CommitPacket pkt;
+    pkt.di.op = Op::kSt;
+    pkt.di.type = kTypeStoreWord;
+    pkt.di.valid = true;
+    pkt.opcode = kTypeStoreWord;
+    pkt.addr = addr;
+    pkt.dest = data_reg;   // DEST carries the store-data register
+    return pkt;
+}
+
+CommitPacket
+jumpPkt(u16 target_reg, u16 link_reg = 0)
+{
+    CommitPacket pkt;
+    pkt.di.op = Op::kJmpl;
+    pkt.di.type = kTypeIndirectJump;
+    pkt.di.valid = true;
+    pkt.opcode = kTypeIndirectJump;
+    pkt.src1 = target_reg;
+    pkt.dest = link_reg;
+    return pkt;
+}
+
+CommitPacket
+cpopPkt(CpopFn fn, u16 src1 = 0, Addr addr = 0)
+{
+    CommitPacket pkt;
+    pkt.di.op = Op::kCpop1;
+    pkt.di.type = kTypeCpop1;
+    pkt.di.cpop_fn = fn;
+    pkt.di.valid = true;
+    pkt.opcode = kTypeCpop1;
+    pkt.src1 = src1;
+    pkt.addr = addr;
+    return pkt;
+}
+
+MonitorResult
+feed(DiftMonitor *dift, const CommitPacket &pkt)
+{
+    MonitorResult result;
+    dift->process(pkt, &result);
+    return result;
+}
+
+TEST(Dift, SetTagThenAluPropagates)
+{
+    DiftMonitor dift;
+    feed(&dift, cpopPkt(CpopFn::kSetRegTag, 9));
+    EXPECT_TRUE(dift.regTainted(9));
+    feed(&dift, aluPkt(9, 10, 11));   // tainted | clean -> tainted
+    EXPECT_TRUE(dift.regTainted(11));
+    feed(&dift, aluPkt(10, 12, 13));  // clean | clean -> clean
+    EXPECT_FALSE(dift.regTainted(13));
+}
+
+TEST(Dift, TaintOrSemantics)
+{
+    DiftMonitor dift;
+    feed(&dift, cpopPkt(CpopFn::kSetRegTag, 9));
+    feed(&dift, cpopPkt(CpopFn::kSetRegTag, 10));
+    feed(&dift, aluPkt(9, 10, 11));
+    EXPECT_TRUE(dift.regTainted(11));
+    // Overwriting with clean sources clears the taint.
+    feed(&dift, aluPkt(12, 13, 11));
+    EXPECT_FALSE(dift.regTainted(11));
+}
+
+TEST(Dift, LoadStoreMoveTaintThroughMemory)
+{
+    DiftMonitor dift;
+    feed(&dift, cpopPkt(CpopFn::kSetRegTag, 9));
+    const MonitorResult st = feed(&dift, storePkt(0x2000, 9));
+    EXPECT_TRUE(dift.memTainted(0x2000));
+    ASSERT_EQ(st.num_ops, 1u);
+    EXPECT_TRUE(st.ops[0].is_write);
+
+    const MonitorResult ld = feed(&dift, loadPkt(0x2000, 14));
+    EXPECT_TRUE(dift.regTainted(14));
+    ASSERT_EQ(ld.num_ops, 1u);
+    EXPECT_FALSE(ld.ops[0].is_write);
+
+    // Loading an untainted word clears the destination.
+    feed(&dift, loadPkt(0x3000, 14));
+    EXPECT_FALSE(dift.regTainted(14));
+}
+
+TEST(Dift, TaintedIndirectJumpTraps)
+{
+    DiftMonitor dift;
+    feed(&dift, cpopPkt(CpopFn::kSetRegTag, 9));
+    const MonitorResult r = feed(&dift, jumpPkt(9));
+    EXPECT_TRUE(r.trap);
+    EXPECT_STREQ(r.trap_reason, "tainted indirect jump target");
+}
+
+TEST(Dift, CleanIndirectJumpPasses)
+{
+    DiftMonitor dift;
+    const MonitorResult r = feed(&dift, jumpPkt(9));
+    EXPECT_FALSE(r.trap);
+}
+
+TEST(Dift, JumpAndCallClearLinkRegister)
+{
+    DiftMonitor dift;
+    feed(&dift, cpopPkt(CpopFn::kSetRegTag, 15));
+    feed(&dift, jumpPkt(10, /*link=*/15));
+    EXPECT_FALSE(dift.regTainted(15));   // link reg gets a clean PC
+
+    CommitPacket call;
+    call.di.op = Op::kCall;
+    call.di.type = kTypeCall;
+    call.di.valid = true;
+    call.opcode = kTypeCall;
+    call.dest = 15;
+    feed(&dift, cpopPkt(CpopFn::kSetRegTag, 15));
+    feed(&dift, call);
+    EXPECT_FALSE(dift.regTainted(15));
+}
+
+TEST(Dift, SethiClearsDestination)
+{
+    DiftMonitor dift;
+    feed(&dift, cpopPkt(CpopFn::kSetRegTag, 9));
+    CommitPacket sethi;
+    sethi.di.op = Op::kSethi;
+    sethi.di.type = kTypeSethi;
+    sethi.di.valid = true;
+    sethi.opcode = kTypeSethi;
+    sethi.dest = 9;
+    feed(&dift, sethi);
+    EXPECT_FALSE(dift.regTainted(9));
+}
+
+TEST(Dift, PolicyGatesJumpCheck)
+{
+    DiftMonitor dift;
+    feed(&dift, cpopPkt(CpopFn::kSetRegTag, 9));
+    CommitPacket policy = cpopPkt(CpopFn::kSetPolicy, 0, /*addr=*/0);
+    feed(&dift, policy);
+    const MonitorResult r = feed(&dift, jumpPkt(9));
+    EXPECT_FALSE(r.trap);   // checking disabled
+}
+
+TEST(Dift, MemTagOpsAndDeclassification)
+{
+    DiftMonitor dift;
+    feed(&dift, cpopPkt(CpopFn::kSetMemTag, 0, 0x2000));
+    EXPECT_TRUE(dift.memTainted(0x2000));
+    feed(&dift, cpopPkt(CpopFn::kClearMemTag, 0, 0x2000));
+    EXPECT_FALSE(dift.memTainted(0x2000));
+}
+
+TEST(Dift, ReadTagReportsRegisterTaint)
+{
+    DiftMonitor dift;
+    feed(&dift, cpopPkt(CpopFn::kSetRegTag, 9));
+    const MonitorResult r = feed(&dift, cpopPkt(CpopFn::kReadTag, 9));
+    EXPECT_TRUE(r.has_bfifo);
+    EXPECT_EQ(r.bfifo, 1u);
+}
+
+TEST(Dift, G0NeverTainted)
+{
+    DiftMonitor dift;
+    feed(&dift, cpopPkt(CpopFn::kSetRegTag, 0));
+    EXPECT_FALSE(dift.regTainted(0));
+    feed(&dift, aluPkt(0, 0, 9));
+    EXPECT_FALSE(dift.regTainted(9));
+}
+
+TEST(Dift, ImmediateOperandsCarryNoTaint)
+{
+    DiftMonitor dift;
+    feed(&dift, cpopPkt(CpopFn::kSetRegTag, 9));
+    // add %r10, imm -> dest: src2 = 0 (%g0 placeholder), stays clean.
+    feed(&dift, aluPkt(10, 0, 11));
+    EXPECT_FALSE(dift.regTainted(11));
+}
+
+TEST(Dift, CfgrForwardsAluMemAndJumps)
+{
+    DiftMonitor dift;
+    Cfgr cfgr;
+    dift.configureCfgr(&cfgr);
+    EXPECT_EQ(cfgr.policy(kTypeAluAdd), ForwardPolicy::kAlways);
+    EXPECT_EQ(cfgr.policy(kTypeAluShift), ForwardPolicy::kAlways);
+    EXPECT_EQ(cfgr.policy(kTypeLoadWord), ForwardPolicy::kAlways);
+    EXPECT_EQ(cfgr.policy(kTypeIndirectJump), ForwardPolicy::kAlways);
+    EXPECT_EQ(cfgr.policy(kTypeSethi), ForwardPolicy::kAlways);
+    EXPECT_EQ(cfgr.policy(kTypeBranch), ForwardPolicy::kIgnore);
+    EXPECT_EQ(cfgr.policy(kTypeNop), ForwardPolicy::kIgnore);
+}
+
+}  // namespace
+}  // namespace flexcore

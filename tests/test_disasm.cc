@@ -1,0 +1,160 @@
+/** @file Disassembler tests, including assembler round-trips. */
+
+#include "isa/disasm.h"
+
+#include <gtest/gtest.h>
+
+#include "assembler/assembler.h"
+#include "common/rng.h"
+#include "isa/encoding.h"
+
+namespace flexcore {
+namespace {
+
+TEST(Disasm, RepresentativeStrings)
+{
+    Instruction add;
+    add.op = Op::kAdd;
+    add.rd = 10;   // %o2
+    add.rs1 = 8;   // %o0
+    add.rs2 = 9;   // %o1
+    EXPECT_EQ(disassemble(decode(encode(add))), "add %o0, %o1, %o2");
+
+    Instruction sub;
+    sub.op = Op::kSub;
+    sub.rd = 16;
+    sub.rs1 = 16;
+    sub.has_imm = true;
+    sub.simm = -4;
+    EXPECT_EQ(disassemble(decode(encode(sub))), "sub %l0, -4, %l0");
+
+    EXPECT_EQ(disassemble(0x01000000u), "nop");
+}
+
+TEST(Disasm, MemoryOperands)
+{
+    Instruction ld;
+    ld.op = Op::kLd;
+    ld.rd = 9;
+    ld.rs1 = 14;
+    ld.has_imm = true;
+    ld.simm = 8;
+    EXPECT_EQ(disassemble(decode(encode(ld))), "ld [%o6+8], %o1");
+
+    Instruction st;
+    st.op = Op::kSt;
+    st.rd = 9;
+    st.rs1 = 8;
+    st.rs2 = 10;
+    EXPECT_EQ(disassemble(decode(encode(st))), "st %o1, [%o0+%o2]");
+}
+
+TEST(Disasm, BranchTargetsUsePc)
+{
+    Instruction branch;
+    branch.op = Op::kBicc;
+    branch.cond = Cond::kNe;
+    branch.disp = 4;   // +16 bytes
+    EXPECT_EQ(disassemble(decode(encode(branch)), 0x1000),
+              "bne 0x1010");
+
+    branch.annul = true;
+    EXPECT_EQ(disassemble(decode(encode(branch)), 0x1000),
+              "bne,a 0x1010");
+}
+
+TEST(Disasm, InvalidRendersGracefully)
+{
+    const std::string text = disassemble(0u);
+    EXPECT_NE(text.find("invalid"), std::string::npos);
+}
+
+TEST(Disasm, SpecialForms)
+{
+    Instruction rdy;
+    rdy.op = Op::kRdy;
+    rdy.rd = 8;
+    EXPECT_EQ(disassemble(decode(encode(rdy))), "rd %y, %o0");
+
+    Instruction wry;
+    wry.op = Op::kWry;
+    wry.rs1 = 9;
+    EXPECT_EQ(disassemble(decode(encode(wry))), "wr %o1, %y");
+
+    Instruction ta;
+    ta.op = Op::kTicc;
+    ta.cond = Cond::kA;
+    ta.has_imm = true;
+    ta.simm = 0;
+    EXPECT_EQ(disassemble(decode(encode(ta))), "ta 0");
+}
+
+/**
+ * Property: disassembling an encoded instruction yields text the
+ * assembler accepts, and re-assembling reproduces the original word.
+ */
+TEST(Disasm, AssemblerRoundTrip)
+{
+    const Op ops[] = {Op::kAdd, Op::kSubcc, Op::kXor, Op::kSll,
+                      Op::kUmul, Op::kLd,   Op::kSt,  Op::kLdub};
+    for (Op op : ops) {
+        Instruction inst;
+        inst.op = op;
+        inst.rd = 10;
+        inst.rs1 = 16;
+        inst.has_imm = true;
+        inst.simm = 12;
+        const u32 word = encode(inst);
+        const std::string text = disassemble(decode(word));
+        const Program program = Assembler::assembleOrDie(
+            "        .org 0x1000\n        " + text + "\n");
+        EXPECT_EQ(program.wordAt(0x1000), word) << text;
+    }
+}
+
+/** Randomized sweep of the same round-trip over operand space. */
+class DisasmRoundTripFuzz : public ::testing::TestWithParam<Op>
+{
+};
+
+TEST_P(DisasmRoundTripFuzz, RandomOperands)
+{
+    const Op op = GetParam();
+    Rng rng(static_cast<u64>(op) * 131 + 7);
+    Assembler assembler;
+    for (int trial = 0; trial < 60; ++trial) {
+        Instruction inst;
+        inst.op = op;
+        inst.rd = static_cast<u8>(rng.below(32));
+        inst.rs1 = static_cast<u8>(rng.below(32));
+        if (rng.chance(0.5)) {
+            inst.has_imm = true;
+            inst.simm = static_cast<s32>(rng.range(0, 8191)) - 4096;
+        } else {
+            inst.rs2 = static_cast<u8>(rng.below(32));
+        }
+        const u32 word = encode(inst);
+        const std::string text = disassemble(decode(word));
+        Program program;
+        ASSERT_TRUE(assembler.assemble(
+            "        .org 0x1000\n        " + text + "\n", &program))
+            << text << "\n"
+            << assembler.errorText();
+        EXPECT_EQ(program.wordAt(0x1000), word) << text;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Ops, DisasmRoundTripFuzz,
+    ::testing::Values(Op::kAdd, Op::kAddcc, Op::kSub, Op::kSubcc,
+                      Op::kAnd, Op::kOr, Op::kXor, Op::kAndn,
+                      Op::kOrn, Op::kXnor, Op::kSll, Op::kSrl,
+                      Op::kSra, Op::kUmul, Op::kSmul, Op::kUdiv,
+                      Op::kSdiv, Op::kLd, Op::kLdub, Op::kLduh,
+                      Op::kSt, Op::kStb, Op::kSth),
+    [](const ::testing::TestParamInfo<Op> &info) {
+        return std::string(opName(info.param));
+    });
+
+}  // namespace
+}  // namespace flexcore

@@ -1,0 +1,262 @@
+/** @file Encode/decode tests for the SPARC V8 subset. */
+
+#include "isa/encoding.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "isa/registers.h"
+
+namespace flexcore {
+namespace {
+
+Instruction
+alu(Op op, u8 rd, u8 rs1, u8 rs2)
+{
+    Instruction inst;
+    inst.op = op;
+    inst.rd = rd;
+    inst.rs1 = rs1;
+    inst.rs2 = rs2;
+    return inst;
+}
+
+TEST(Encoding, AddRegisterForm)
+{
+    const u32 word = encode(alu(Op::kAdd, 3, 1, 2));
+    const Instruction decoded = decode(word);
+    ASSERT_TRUE(decoded.valid);
+    EXPECT_EQ(decoded.op, Op::kAdd);
+    EXPECT_EQ(decoded.rd, 3);
+    EXPECT_EQ(decoded.rs1, 1);
+    EXPECT_EQ(decoded.rs2, 2);
+    EXPECT_FALSE(decoded.has_imm);
+    EXPECT_EQ(decoded.type, kTypeAluAdd);
+}
+
+TEST(Encoding, ImmediateFormSignExtension)
+{
+    Instruction inst = alu(Op::kSub, 5, 6, 0);
+    inst.has_imm = true;
+    inst.simm = -4096;
+    const Instruction decoded = decode(encode(inst));
+    ASSERT_TRUE(decoded.valid);
+    EXPECT_TRUE(decoded.has_imm);
+    EXPECT_EQ(decoded.simm, -4096);
+
+    inst.simm = 4095;
+    EXPECT_EQ(decode(encode(inst)).simm, 4095);
+}
+
+TEST(Encoding, SethiCarries22Bits)
+{
+    Instruction inst;
+    inst.op = Op::kSethi;
+    inst.rd = 9;
+    inst.imm22 = 0x3fffff;
+    const Instruction decoded = decode(encode(inst));
+    ASSERT_TRUE(decoded.valid);
+    EXPECT_EQ(decoded.op, Op::kSethi);
+    EXPECT_EQ(decoded.imm22, 0x3fffffu);
+    EXPECT_EQ(decoded.rd, 9);
+    EXPECT_EQ(decoded.type, kTypeSethi);
+}
+
+TEST(Encoding, CanonicalNopIsClassifiedAsNop)
+{
+    const Instruction nop = decode(0x01000000);
+    ASSERT_TRUE(nop.valid);
+    EXPECT_EQ(nop.op, Op::kSethi);
+    EXPECT_EQ(nop.type, kTypeNop);
+    // sethi with a nonzero rd is NOT a nop
+    Instruction inst;
+    inst.op = Op::kSethi;
+    inst.rd = 1;
+    inst.imm22 = 0;
+    EXPECT_EQ(decode(encode(inst)).type, kTypeSethi);
+}
+
+TEST(Encoding, BranchDisplacementAndAnnul)
+{
+    Instruction inst;
+    inst.op = Op::kBicc;
+    inst.cond = Cond::kNe;
+    inst.annul = true;
+    inst.disp = -100;
+    const Instruction decoded = decode(encode(inst));
+    ASSERT_TRUE(decoded.valid);
+    EXPECT_EQ(decoded.op, Op::kBicc);
+    EXPECT_EQ(decoded.cond, Cond::kNe);
+    EXPECT_TRUE(decoded.annul);
+    EXPECT_EQ(decoded.disp, -100);
+    EXPECT_EQ(decoded.type, kTypeBranch);
+}
+
+TEST(Encoding, CallDisplacement30Bits)
+{
+    Instruction inst;
+    inst.op = Op::kCall;
+    inst.disp = 0x1234567;
+    const Instruction decoded = decode(encode(inst));
+    ASSERT_TRUE(decoded.valid);
+    EXPECT_EQ(decoded.op, Op::kCall);
+    EXPECT_EQ(decoded.disp, 0x1234567);
+    EXPECT_EQ(decoded.rd, 15);   // CALL writes %o7
+
+    inst.disp = -1;
+    EXPECT_EQ(decode(encode(inst)).disp, -1);
+}
+
+TEST(Encoding, LoadsAndStores)
+{
+    for (Op op : {Op::kLd, Op::kLdub, Op::kLduh, Op::kSt, Op::kStb,
+                  Op::kSth}) {
+        Instruction inst;
+        inst.op = op;
+        inst.rd = 4;
+        inst.rs1 = 14;
+        inst.has_imm = true;
+        inst.simm = -8;
+        const Instruction decoded = decode(encode(inst));
+        ASSERT_TRUE(decoded.valid) << opName(op);
+        EXPECT_EQ(decoded.op, op);
+        EXPECT_EQ(decoded.rd, 4);
+        EXPECT_EQ(decoded.rs1, 14);
+        EXPECT_EQ(decoded.simm, -8);
+    }
+}
+
+TEST(Encoding, CpopFunctionAndSimm9)
+{
+    Instruction inst;
+    inst.op = Op::kCpop1;
+    inst.cpop_fn = CpopFn::kSetMemTag;
+    inst.rd = 5;      // tag value slot
+    inst.rs1 = 17;
+    inst.has_imm = true;
+    inst.simm = -256;
+    const Instruction decoded = decode(encode(inst));
+    ASSERT_TRUE(decoded.valid);
+    EXPECT_EQ(decoded.op, Op::kCpop1);
+    EXPECT_EQ(decoded.cpop_fn, CpopFn::kSetMemTag);
+    EXPECT_EQ(decoded.rd, 5);
+    EXPECT_EQ(decoded.rs1, 17);
+    EXPECT_EQ(decoded.simm, -256);
+    EXPECT_EQ(decoded.type, kTypeCpop1);
+}
+
+TEST(Encoding, TiccCondition)
+{
+    Instruction inst;
+    inst.op = Op::kTicc;
+    inst.cond = Cond::kA;
+    inst.has_imm = true;
+    inst.simm = 0;
+    const Instruction decoded = decode(encode(inst));
+    ASSERT_TRUE(decoded.valid);
+    EXPECT_EQ(decoded.op, Op::kTicc);
+    EXPECT_EQ(decoded.cond, Cond::kA);
+}
+
+TEST(Encoding, InvalidWordsDecodeInvalid)
+{
+    EXPECT_FALSE(decode(0x00000000).valid);   // op=0, op2=0 (UNIMP)
+    // op3 holes in the arithmetic space:
+    u32 word = (2u << 30) | (0x2du << 19);    // op3=0x2d unused
+    EXPECT_FALSE(decode(word).valid);
+    word = (3u << 30) | (0x3fu << 19);        // memory op3 hole
+    EXPECT_FALSE(decode(word).valid);
+}
+
+TEST(Encoding, WritesRdProperties)
+{
+    EXPECT_TRUE(decode(encode(alu(Op::kAdd, 3, 1, 2))).writesRd());
+    EXPECT_FALSE(decode(encode(alu(Op::kAdd, 0, 1, 2))).writesRd());
+
+    Instruction st;
+    st.op = Op::kSt;
+    st.rd = 4;
+    st.rs1 = 1;
+    EXPECT_FALSE(decode(encode(st)).writesRd());
+
+    Instruction ld;
+    ld.op = Op::kLd;
+    ld.rd = 4;
+    ld.rs1 = 1;
+    EXPECT_TRUE(decode(encode(ld)).writesRd());
+}
+
+/** Property sweep: encode∘decode is identity on all field combos. */
+class RoundTrip : public ::testing::TestWithParam<Op>
+{
+};
+
+TEST_P(RoundTrip, RegisterAndImmediateForms)
+{
+    const Op op = GetParam();
+    Rng rng(static_cast<u64>(op) + 1);
+    for (int trial = 0; trial < 50; ++trial) {
+        Instruction inst;
+        inst.op = op;
+        inst.rd = static_cast<u8>(rng.below(32));
+        inst.rs1 = static_cast<u8>(rng.below(32));
+        if (rng.chance(0.5)) {
+            inst.has_imm = true;
+            inst.simm = static_cast<s32>(rng.range(0, 8191)) - 4096;
+        } else {
+            inst.rs2 = static_cast<u8>(rng.below(32));
+        }
+        const Instruction decoded = decode(encode(inst));
+        ASSERT_TRUE(decoded.valid) << opName(op);
+        EXPECT_EQ(decoded.op, inst.op);
+        EXPECT_EQ(decoded.rd, inst.rd);
+        EXPECT_EQ(decoded.rs1, inst.rs1);
+        EXPECT_EQ(decoded.has_imm, inst.has_imm);
+        if (inst.has_imm)
+            EXPECT_EQ(decoded.simm, inst.simm);
+        else
+            EXPECT_EQ(decoded.rs2, inst.rs2);
+        EXPECT_EQ(decoded.type, classOf(op));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllArithMemOps, RoundTrip,
+    ::testing::Values(Op::kAdd, Op::kAddcc, Op::kSub, Op::kSubcc,
+                      Op::kAnd, Op::kAndcc, Op::kOr, Op::kOrcc,
+                      Op::kXor, Op::kXorcc, Op::kAndn, Op::kOrn,
+                      Op::kXnor, Op::kSll, Op::kSrl, Op::kSra,
+                      Op::kUmul, Op::kSmul, Op::kUmulcc, Op::kSmulcc,
+                      Op::kUdiv, Op::kSdiv, Op::kJmpl, Op::kSave,
+                      Op::kRestore, Op::kLd, Op::kLdub, Op::kLduh,
+                      Op::kSt, Op::kStb, Op::kSth),
+    [](const ::testing::TestParamInfo<Op> &info) {
+        return std::string(opName(info.param));
+    });
+
+TEST(Opcodes, ClassificationHelpers)
+{
+    EXPECT_TRUE(isLoad(Op::kLdub));
+    EXPECT_FALSE(isLoad(Op::kSt));
+    EXPECT_TRUE(isStore(Op::kSth));
+    EXPECT_FALSE(isStore(Op::kLd));
+    EXPECT_TRUE(isAlu(Op::kXnor));
+    EXPECT_FALSE(isAlu(Op::kUmul));
+    EXPECT_TRUE(writesIcc(Op::kSubcc));
+    EXPECT_FALSE(writesIcc(Op::kSub));
+    EXPECT_TRUE(hasDelaySlot(Op::kCall));
+    EXPECT_TRUE(hasDelaySlot(Op::kBicc));
+    EXPECT_TRUE(hasDelaySlot(Op::kJmpl));
+    EXPECT_FALSE(hasDelaySlot(Op::kAdd));
+}
+
+TEST(Opcodes, EveryUsedTypeFitsInFiveBits)
+{
+    EXPECT_LE(static_cast<unsigned>(kNumUsedInstrTypes), 32u);
+    for (u8 op = 0; op < static_cast<u8>(Op::kNumOps); ++op) {
+        EXPECT_LT(classOf(static_cast<Op>(op)), kNumInstrTypes);
+    }
+}
+
+}  // namespace
+}  // namespace flexcore

@@ -1,0 +1,248 @@
+/**
+ * @file
+ * Tests for the extension features beyond the paper's prototype:
+ * multi-bit DIFT taint labels (footnote 2), the optional meta-data
+ * TLB (§III-B), and precise monitor exceptions (§III-C).
+ */
+
+#include <gtest/gtest.h>
+
+#include "assembler/assembler.h"
+#include "monitors/dift.h"
+#include "sim/runner.h"
+#include "sim/system.h"
+
+namespace flexcore {
+namespace {
+
+// ---- Multi-bit DIFT labels ----
+
+CommitPacket
+setLabel(u16 reg, u8 label)
+{
+    CommitPacket pkt;
+    pkt.di.op = Op::kCpop1;
+    pkt.di.type = kTypeCpop1;
+    pkt.di.cpop_fn = CpopFn::kSetRegTag;
+    pkt.di.valid = true;
+    pkt.opcode = kTypeCpop1;
+    pkt.src1 = reg;
+    pkt.dest = label;
+    return pkt;
+}
+
+CommitPacket
+alu(u16 src1, u16 src2, u16 dest)
+{
+    CommitPacket pkt;
+    pkt.di.op = Op::kAdd;
+    pkt.di.type = kTypeAluAdd;
+    pkt.di.valid = true;
+    pkt.opcode = kTypeAluAdd;
+    pkt.src1 = src1;
+    pkt.src2 = src2;
+    pkt.dest = dest;
+    return pkt;
+}
+
+TEST(DiftMultiBit, LabelsCombineAsBitmask)
+{
+    DiftMonitor dift(4);
+    MonitorResult ignore;
+    dift.process(setLabel(9, 0b0001), &ignore);    // source A
+    dift.process(setLabel(10, 0b0100), &ignore);   // source C
+    dift.process(alu(9, 10, 11), &ignore);
+    EXPECT_EQ(dift.regLabel(11), 0b0101);          // both sources
+    EXPECT_TRUE(dift.regTainted(11));
+}
+
+TEST(DiftMultiBit, LabelsSurviveMemoryRoundTrip)
+{
+    DiftMonitor dift(4);
+    MonitorResult ignore;
+    dift.process(setLabel(9, 0b1010), &ignore);
+    CommitPacket st;
+    st.di.op = Op::kSt;
+    st.di.type = kTypeStoreWord;
+    st.di.valid = true;
+    st.opcode = kTypeStoreWord;
+    st.addr = 0x2000;
+    st.dest = 9;
+    dift.process(st, &ignore);
+    EXPECT_EQ(dift.memLabel(0x2000), 0b1010);
+
+    CommitPacket ld;
+    ld.di.op = Op::kLd;
+    ld.di.type = kTypeLoadWord;
+    ld.di.valid = true;
+    ld.opcode = kTypeLoadWord;
+    ld.addr = 0x2000;
+    ld.dest = 12;
+    dift.process(ld, &ignore);
+    EXPECT_EQ(dift.regLabel(12), 0b1010);
+}
+
+TEST(DiftMultiBit, WiderTagsWidenMetaFootprint)
+{
+    DiftMonitor narrow(1), wide(4);
+    EXPECT_EQ(narrow.tagBitsPerWord(), 1u);
+    EXPECT_EQ(wide.tagBitsPerWord(), 4u);
+    // 4-bit tags put adjacent words in different meta bytes sooner.
+    EXPECT_EQ(narrow.metaAddr(0x00), narrow.metaAddr(0x1c));
+    EXPECT_NE(wide.metaAddr(0x00), wide.metaAddr(0x1c));
+}
+
+TEST(DiftMultiBit, SingleBitModeMasksLabels)
+{
+    DiftMonitor dift(1);
+    MonitorResult ignore;
+    dift.process(setLabel(9, 0b0100), &ignore);   // masked to bit 0
+    EXPECT_EQ(dift.regLabel(9), 1u);
+}
+
+TEST(DiftMultiBit, SystemConfigSelectsWidth)
+{
+    const char *source = R"(
+        .org 0x1000
+_start: set buf, %l0
+        m.settag %l1, 2        ; label bit 1
+        m.settag %l2, 8        ; label bit 3
+        add %l1, %l2, %l3      ; labels merge
+        m.read %o0, 0          ; read %l3's label... selector unused
+        mov 0, %o0
+        ta 0
+        nop
+        .align 4
+buf:    .word 0
+)";
+    SystemConfig config;
+    config.monitor = MonitorKind::kDift;
+    config.mode = ImplMode::kFlexFabric;
+    config.dift_tag_bits = 4;
+    System system(config);
+    system.load(Assembler::assembleOrDie(source));
+    const RunResult result = system.run();
+    EXPECT_EQ(result.exit, RunResult::Exit::kExited);
+    const auto *dift = static_cast<DiftMonitor *>(system.monitor());
+    // %l3 is architectural reg 19 in window 0 -> physical 8 + 11.
+    EXPECT_EQ(dift->regLabel(static_cast<u16>(physRegIndex(0, 19))),
+              0b1010);
+}
+
+using ExtensionsDeathTest = ::testing::Test;
+
+TEST(ExtensionsDeathTest, RejectsUnsupportedTagWidth)
+{
+    EXPECT_DEATH(DiftMonitor dift(3), "1- or 4-bit");
+}
+
+// ---- Meta-data TLB ----
+
+TEST(MetaTlb, DisabledByDefaultMatchesPrototype)
+{
+    const Workload w = makeGmac(WorkloadScale::kTest);
+    SystemConfig config;
+    config.monitor = MonitorKind::kDift;
+    config.mode = ImplMode::kFlexFabric;
+    const SimOutcome base = runWorkloadChecked(w, config);
+
+    SystemConfig with_tlb = config;
+    with_tlb.fabric.tlb.enabled = true;
+    with_tlb.fabric.tlb.entries = 16;
+    const SimOutcome tlb = runWorkloadChecked(w, with_tlb);
+
+    // Translation adds walks, so the TLB run can only be slower.
+    EXPECT_GE(tlb.result.cycles, base.result.cycles);
+}
+
+TEST(MetaTlb, MissesAreBounded)
+{
+    const Workload w = makeGmac(WorkloadScale::kTest);
+    SystemConfig config;
+    config.monitor = MonitorKind::kUmc;
+    config.mode = ImplMode::kFlexFabric;
+    config.fabric.tlb.enabled = true;
+    config.fabric.tlb.entries = 16;
+    System system(config);
+    system.load(Assembler::assembleOrDie(w.source));
+    const RunResult result = system.run();
+    EXPECT_EQ(result.exit, RunResult::Exit::kExited);
+    // gmac's meta footprint is tiny: a handful of pages => a handful
+    // of compulsory TLB misses.
+    EXPECT_GT(system.fabric()->tlbMisses(), 0u);
+    EXPECT_LT(system.fabric()->tlbMisses(), 10u);
+}
+
+TEST(MetaTlb, SmallerTlbMissesMore)
+{
+    const Workload w = makeStringsearch(WorkloadScale::kTest);
+    u64 misses_small = 0, misses_large = 0;
+    for (u32 entries : {1u, 64u}) {
+        SystemConfig config;
+        config.monitor = MonitorKind::kBc;
+        config.mode = ImplMode::kFlexFabric;
+        config.fabric.tlb.enabled = true;
+        config.fabric.tlb.entries = entries;
+        System system(config);
+        system.load(Assembler::assembleOrDie(w.source));
+        EXPECT_EQ(system.run().exit, RunResult::Exit::kExited);
+        (entries == 1 ? misses_small : misses_large) =
+            system.fabric()->tlbMisses();
+    }
+    EXPECT_GE(misses_small, misses_large);
+}
+
+// ---- Precise exceptions ----
+
+TEST(PreciseExceptions, CostMoreThanImprecise)
+{
+    const Workload w = makeBitcount(WorkloadScale::kTest);
+    SystemConfig imprecise;
+    imprecise.monitor = MonitorKind::kDift;
+    imprecise.mode = ImplMode::kFlexFabric;
+    const SimOutcome fast = runWorkloadChecked(w, imprecise);
+
+    SystemConfig precise = imprecise;
+    precise.precise_exceptions = true;
+    const SimOutcome slow = runWorkloadChecked(w, precise);
+
+    // Waiting for CACK on every forwarded instruction costs at least
+    // the pipeline depth each time: a large, measurable gap.
+    EXPECT_GT(slow.result.cycles, fast.result.cycles * 2);
+}
+
+TEST(PreciseExceptions, StillFunctionallyCorrect)
+{
+    for (const Workload &w : benchmarkSuite(WorkloadScale::kTest)) {
+        SystemConfig config;
+        config.monitor = MonitorKind::kUmc;
+        config.mode = ImplMode::kFlexFabric;
+        config.precise_exceptions = true;
+        const SimOutcome outcome = runWorkloadChecked(w, config);
+        EXPECT_EQ(outcome.result.exit, RunResult::Exit::kExited)
+            << w.name;
+    }
+}
+
+TEST(PreciseExceptions, TrapStillDelivered)
+{
+    const char *source = R"(
+        .org 0x1000
+_start: set 0x20000, %l0
+        m.clrmtag [%l0]
+        ld [%l0], %o0
+        mov 0, %o0
+        ta 0
+        nop
+)";
+    SystemConfig config;
+    config.monitor = MonitorKind::kUmc;
+    config.mode = ImplMode::kFlexFabric;
+    config.precise_exceptions = true;
+    System system(config);
+    system.load(Assembler::assembleOrDie(source));
+    EXPECT_EQ(system.run().exit, RunResult::Exit::kMonitorTrap);
+}
+
+}  // namespace
+}  // namespace flexcore

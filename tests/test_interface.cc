@@ -1,0 +1,195 @@
+/** @file Core-fabric interface tests: CFGR policies, FIFOs, CTRL. */
+
+#include "flexcore/interface.h"
+
+#include <gtest/gtest.h>
+
+namespace flexcore {
+namespace {
+
+CommitPacket
+packetOfType(InstrType type)
+{
+    CommitPacket pkt;
+    pkt.opcode = static_cast<u8>(type);
+    pkt.di.type = type;
+    pkt.di.valid = true;
+    return pkt;
+}
+
+class InterfaceTest : public ::testing::Test
+{
+  protected:
+    StatGroup stats_{"test"};
+};
+
+TEST_F(InterfaceTest, CfgrPacksTwoBitsPerClass)
+{
+    Cfgr cfgr;
+    cfgr.setPolicy(kTypeLoadWord, ForwardPolicy::kAlways);
+    cfgr.setPolicy(kTypeStoreWord, ForwardPolicy::kIfNotFull);
+    cfgr.setPolicy(kTypeCpop1, ForwardPolicy::kWaitAck);
+    EXPECT_EQ(cfgr.policy(kTypeLoadWord), ForwardPolicy::kAlways);
+    EXPECT_EQ(cfgr.policy(kTypeStoreWord), ForwardPolicy::kIfNotFull);
+    EXPECT_EQ(cfgr.policy(kTypeCpop1), ForwardPolicy::kWaitAck);
+    EXPECT_EQ(cfgr.policy(kTypeBranch), ForwardPolicy::kIgnore);
+
+    // The packed 64-bit register view round-trips.
+    Cfgr copy;
+    copy.setValue(cfgr.value());
+    EXPECT_EQ(copy.policy(kTypeCpop1), ForwardPolicy::kWaitAck);
+}
+
+TEST_F(InterfaceTest, CfgrSetAll)
+{
+    Cfgr cfgr;
+    cfgr.setAll(ForwardPolicy::kAlways);
+    for (unsigned t = 0; t < kNumInstrTypes; ++t) {
+        EXPECT_EQ(cfgr.policy(static_cast<InstrType>(t)),
+                  ForwardPolicy::kAlways);
+    }
+}
+
+TEST_F(InterfaceTest, IgnoredClassesAreNotForwarded)
+{
+    FlexInterface iface(&stats_, {4, 0});
+    EXPECT_EQ(iface.offer(packetOfType(kTypeBranch), 0),
+              CommitAction::kProceed);
+    EXPECT_EQ(iface.forwardedCount(), 0u);
+    EXPECT_TRUE(iface.fifoSize() == 0);
+}
+
+TEST_F(InterfaceTest, AlwaysPolicyStallsWhenFull)
+{
+    FlexInterface iface(&stats_, {2, 0});
+    iface.cfgr().setPolicy(kTypeLoadWord, ForwardPolicy::kAlways);
+    EXPECT_EQ(iface.offer(packetOfType(kTypeLoadWord), 0),
+              CommitAction::kProceed);
+    EXPECT_EQ(iface.offer(packetOfType(kTypeLoadWord), 0),
+              CommitAction::kProceed);
+    EXPECT_EQ(iface.offer(packetOfType(kTypeLoadWord), 0),
+              CommitAction::kStall);
+    EXPECT_EQ(iface.stallCycles(), 1u);
+    EXPECT_EQ(iface.forwardedCount(), 2u);
+}
+
+TEST_F(InterfaceTest, IfNotFullPolicyDropsWhenFull)
+{
+    FlexInterface iface(&stats_, {1, 0});
+    iface.cfgr().setPolicy(kTypeLoadWord, ForwardPolicy::kIfNotFull);
+    EXPECT_EQ(iface.offer(packetOfType(kTypeLoadWord), 0),
+              CommitAction::kProceed);
+    EXPECT_EQ(iface.offer(packetOfType(kTypeLoadWord), 0),
+              CommitAction::kProceed);   // dropped, not stalled
+    EXPECT_EQ(iface.droppedCount(), 1u);
+    EXPECT_EQ(iface.forwardedCount(), 1u);
+}
+
+TEST_F(InterfaceTest, WaitAckRequiresCack)
+{
+    FlexInterface iface(&stats_, {4, 0});
+    iface.cfgr().setPolicy(kTypeCpop1, ForwardPolicy::kWaitAck);
+    EXPECT_EQ(iface.offer(packetOfType(kTypeCpop1), 0),
+              CommitAction::kWaitAck);
+    EXPECT_FALSE(iface.ackReady());
+    auto popped = iface.popReady(10);
+    ASSERT_TRUE(popped.has_value());
+    EXPECT_TRUE(popped->wants_ack);
+    iface.signalAck();
+    EXPECT_TRUE(iface.ackReady());
+    iface.consumeAck();
+    EXPECT_FALSE(iface.ackReady());
+}
+
+TEST_F(InterfaceTest, SynchronizerDelaysVisibility)
+{
+    FlexInterface iface(&stats_, {4, 2});
+    iface.cfgr().setAll(ForwardPolicy::kAlways);
+    iface.offer(packetOfType(kTypeLoadWord), 10);
+    EXPECT_FALSE(iface.popReady(10).has_value());
+    EXPECT_FALSE(iface.popReady(11).has_value());
+    EXPECT_TRUE(iface.popReady(12).has_value());
+}
+
+TEST_F(InterfaceTest, FifoIsInOrder)
+{
+    FlexInterface iface(&stats_, {8, 0});
+    iface.cfgr().setAll(ForwardPolicy::kAlways);
+    for (u32 i = 0; i < 4; ++i) {
+        CommitPacket pkt = packetOfType(kTypeLoadWord);
+        pkt.pc = 0x1000 + 4 * i;
+        iface.offer(pkt, 0);
+    }
+    for (u32 i = 0; i < 4; ++i) {
+        auto popped = iface.popReady(5);
+        ASSERT_TRUE(popped.has_value());
+        EXPECT_EQ(popped->pc, 0x1000 + 4 * i);
+    }
+}
+
+TEST_F(InterfaceTest, BfifoDelivery)
+{
+    FlexInterface iface(&stats_, {4, 0});
+    EXPECT_FALSE(iface.popBfifo().has_value());
+    iface.pushBfifo(0xabcd);
+    iface.pushBfifo(0x1234);
+    EXPECT_EQ(iface.popBfifo().value(), 0xabcdu);
+    EXPECT_EQ(iface.popBfifo().value(), 0x1234u);
+    EXPECT_FALSE(iface.popBfifo().has_value());
+}
+
+TEST_F(InterfaceTest, TrapStickyUntilPack)
+{
+    FlexInterface iface(&stats_, {4, 0});
+    EXPECT_FALSE(iface.trapPending());
+    iface.raiseTrap(0x2000);
+    EXPECT_TRUE(iface.trapPending());
+    EXPECT_EQ(iface.trapPc(), 0x2000u);
+    iface.raiseTrap(0x3000);   // first trap's PC is kept
+    EXPECT_EQ(iface.trapPc(), 0x2000u);
+    iface.ackTrap();
+    EXPECT_FALSE(iface.trapPending());
+}
+
+TEST_F(InterfaceTest, EmptyTracksFifoAndFabric)
+{
+    FlexInterface iface(&stats_, {4, 0});
+    iface.cfgr().setAll(ForwardPolicy::kAlways);
+    EXPECT_TRUE(iface.empty());
+    iface.offer(packetOfType(kTypeLoadWord), 0);
+    EXPECT_FALSE(iface.empty());
+    (void)iface.popReady(1);
+    iface.setFabricIdle(false);   // packet now in the pipeline
+    EXPECT_FALSE(iface.empty());
+    iface.setFabricIdle(true);
+    EXPECT_TRUE(iface.empty());
+}
+
+TEST_F(InterfaceTest, PerTypeForwardCounts)
+{
+    FlexInterface iface(&stats_, {8, 0});
+    iface.cfgr().setAll(ForwardPolicy::kAlways);
+    iface.offer(packetOfType(kTypeLoadWord), 0);
+    iface.offer(packetOfType(kTypeLoadWord), 0);
+    iface.offer(packetOfType(kTypeStoreWord), 0);
+    EXPECT_EQ(iface.forwardedOfType(kTypeLoadWord), 2u);
+    EXPECT_EQ(iface.forwardedOfType(kTypeStoreWord), 1u);
+    EXPECT_EQ(iface.forwardedOfType(kTypeBranch), 0u);
+}
+
+TEST_F(InterfaceTest, PacketFieldWidthsMatchTableII)
+{
+    // The FFIFO entry carries PC, INST, ADDR, RES, SRCV1, SRCV2 (32b
+    // each), COND (4), BRANCH (1), OPCODE (5), DECODE (32), EXTRA (32),
+    // SRC1/SRC2/DEST (9 each) = 293 bits.
+    EXPECT_EQ(ffifoEntryBits(), 293u);
+    unsigned cfgr_bits = 0;
+    for (const PacketFieldSpec &spec : packetFieldSpecs()) {
+        if (spec.module == "CFGR")
+            cfgr_bits += spec.bits;
+    }
+    EXPECT_EQ(cfgr_bits, 64u);   // 2 bits x 32 instruction types
+}
+
+}  // namespace
+}  // namespace flexcore

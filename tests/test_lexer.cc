@@ -1,0 +1,115 @@
+/** @file Tokenizer tests. */
+
+#include "assembler/lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace flexcore {
+namespace {
+
+std::vector<Token>
+lex(const std::string &line)
+{
+    std::vector<Token> tokens;
+    std::string error;
+    EXPECT_TRUE(tokenizeLine(line, &tokens, &error)) << error;
+    return tokens;
+}
+
+TEST(Lexer, BasicInstruction)
+{
+    const auto tokens = lex("add %o0, %o1, %o2");
+    ASSERT_EQ(tokens.size(), 7u);   // incl kEnd
+    EXPECT_EQ(tokens[0].kind, TokKind::kIdent);
+    EXPECT_EQ(tokens[0].text, "add");
+    EXPECT_EQ(tokens[1].kind, TokKind::kPercent);
+    EXPECT_EQ(tokens[1].text, "o0");
+    EXPECT_EQ(tokens[2].kind, TokKind::kComma);
+    EXPECT_EQ(tokens.back().kind, TokKind::kEnd);
+}
+
+TEST(Lexer, NumbersDecimalAndHex)
+{
+    const auto tokens = lex("123 0x1f 0");
+    EXPECT_EQ(tokens[0].kind, TokKind::kNumber);
+    EXPECT_EQ(tokens[0].value, 123);
+    EXPECT_EQ(tokens[1].value, 0x1f);
+    EXPECT_EQ(tokens[2].value, 0);
+}
+
+TEST(Lexer, CommentsEndTheLine)
+{
+    for (const char *comment : {"; comment", "! comment", "# comment"}) {
+        const auto tokens = lex(std::string("nop ") + comment);
+        ASSERT_EQ(tokens.size(), 2u);
+        EXPECT_EQ(tokens[0].text, "nop");
+    }
+}
+
+TEST(Lexer, EmptyAndWhitespaceLines)
+{
+    EXPECT_EQ(lex("").size(), 1u);
+    EXPECT_EQ(lex("   \t  ").size(), 1u);
+    EXPECT_EQ(lex("; only a comment").size(), 1u);
+}
+
+TEST(Lexer, MemoryOperandPunctuation)
+{
+    const auto tokens = lex("ld [%o0+4], %o1");
+    EXPECT_EQ(tokens[1].kind, TokKind::kLBracket);
+    EXPECT_EQ(tokens[2].kind, TokKind::kPercent);
+    EXPECT_EQ(tokens[3].kind, TokKind::kPlus);
+    EXPECT_EQ(tokens[4].kind, TokKind::kNumber);
+    EXPECT_EQ(tokens[5].kind, TokKind::kRBracket);
+}
+
+TEST(Lexer, StringEscapes)
+{
+    const auto tokens = lex(R"(.asciz "a\nb\tc\"d\\")");
+    ASSERT_GE(tokens.size(), 2u);
+    EXPECT_EQ(tokens[1].kind, TokKind::kString);
+    EXPECT_EQ(tokens[1].text, "a\nb\tc\"d\\");
+}
+
+TEST(Lexer, LabelColon)
+{
+    const auto tokens = lex("loop: add %o0, 1, %o0");
+    EXPECT_EQ(tokens[0].text, "loop");
+    EXPECT_EQ(tokens[1].kind, TokKind::kColon);
+}
+
+TEST(Lexer, DirectiveAndDottedIdent)
+{
+    const auto tokens = lex(".word m.settag");
+    EXPECT_EQ(tokens[0].text, ".word");
+    EXPECT_EQ(tokens[1].text, "m.settag");
+}
+
+TEST(Lexer, ErrorsOnMalformedInput)
+{
+    std::vector<Token> tokens;
+    std::string error;
+    EXPECT_FALSE(tokenizeLine("ld [%o0], @", &tokens, &error));
+    EXPECT_FALSE(error.empty());
+    EXPECT_FALSE(tokenizeLine("\"unterminated", &tokens, &error));
+    EXPECT_FALSE(tokenizeLine("mov % , %o0", &tokens, &error));
+}
+
+TEST(Lexer, NegativeHandledAsMinusToken)
+{
+    const auto tokens = lex("sub %o0, -42, %o1");
+    EXPECT_EQ(tokens[3].kind, TokKind::kMinus);
+    EXPECT_EQ(tokens[4].kind, TokKind::kNumber);
+    EXPECT_EQ(tokens[4].value, 42);
+}
+
+TEST(Lexer, HiLoAsPercentTokens)
+{
+    const auto tokens = lex("sethi %hi(0x12345678), %o0");
+    EXPECT_EQ(tokens[1].kind, TokKind::kPercent);
+    EXPECT_EQ(tokens[1].text, "hi");
+    EXPECT_EQ(tokens[2].kind, TokKind::kLParen);
+}
+
+}  // namespace
+}  // namespace flexcore

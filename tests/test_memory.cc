@@ -1,0 +1,89 @@
+/** @file Functional memory tests (big-endian, sparse pages). */
+
+#include "memory/memory.h"
+
+#include <gtest/gtest.h>
+
+namespace flexcore {
+namespace {
+
+TEST(Memory, ZeroInitialized)
+{
+    Memory mem;
+    EXPECT_EQ(mem.read32(0x1000), 0u);
+    EXPECT_EQ(mem.read8(0xdeadbee0), 0u);
+    EXPECT_EQ(mem.allocatedPages(), 0u);   // reads do not allocate
+}
+
+TEST(Memory, BigEndianByteOrder)
+{
+    Memory mem;
+    mem.write32(0x100, 0x11223344);
+    EXPECT_EQ(mem.read8(0x100), 0x11);
+    EXPECT_EQ(mem.read8(0x101), 0x22);
+    EXPECT_EQ(mem.read8(0x102), 0x33);
+    EXPECT_EQ(mem.read8(0x103), 0x44);
+    EXPECT_EQ(mem.read16(0x100), 0x1122);
+    EXPECT_EQ(mem.read16(0x102), 0x3344);
+}
+
+TEST(Memory, ByteWritesComposeWords)
+{
+    Memory mem;
+    mem.write8(0x200, 0xde);
+    mem.write8(0x201, 0xad);
+    mem.write8(0x202, 0xbe);
+    mem.write8(0x203, 0xef);
+    EXPECT_EQ(mem.read32(0x200), 0xdeadbeefu);
+}
+
+TEST(Memory, HalfwordWrites)
+{
+    Memory mem;
+    mem.write16(0x300, 0xcafe);
+    mem.write16(0x302, 0xf00d);
+    EXPECT_EQ(mem.read32(0x300), 0xcafef00du);
+}
+
+TEST(Memory, CrossPageBlockCopy)
+{
+    Memory mem;
+    std::vector<u8> data(Memory::kPageSize + 64);
+    for (size_t i = 0; i < data.size(); ++i)
+        data[i] = static_cast<u8>(i * 7);
+    const Addr base = Memory::kPageSize - 32;
+    mem.writeBlock(base, data.data(), static_cast<u32>(data.size()));
+    std::vector<u8> out(data.size());
+    mem.readBlock(base, out.data(), static_cast<u32>(out.size()));
+    EXPECT_EQ(data, out);
+    EXPECT_GE(mem.allocatedPages(), 2u);
+}
+
+TEST(Memory, SparseHighAddresses)
+{
+    Memory mem;
+    mem.write32(0xfffffff0, 0x12345678);
+    EXPECT_EQ(mem.read32(0xfffffff0), 0x12345678u);
+    EXPECT_EQ(mem.allocatedPages(), 1u);
+}
+
+TEST(Memory, OverwriteSameWord)
+{
+    Memory mem;
+    mem.write32(0x400, 1);
+    mem.write32(0x400, 2);
+    EXPECT_EQ(mem.read32(0x400), 2u);
+}
+
+using MemoryDeathTest = ::testing::Test;
+
+TEST(MemoryDeathTest, UnalignedWordAccessPanics)
+{
+    Memory mem;
+    EXPECT_DEATH(mem.read32(0x101), "unaligned");
+    EXPECT_DEATH(mem.write32(0x102, 0), "unaligned");
+    EXPECT_DEATH(mem.read16(0x101), "unaligned");
+}
+
+}  // namespace
+}  // namespace flexcore

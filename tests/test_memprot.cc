@@ -1,0 +1,147 @@
+/** @file MEMPROT monitor unit + integration tests. */
+
+#include "monitors/memprot.h"
+
+#include <gtest/gtest.h>
+
+#include "assembler/assembler.h"
+#include "sim/system.h"
+
+namespace flexcore {
+namespace {
+
+CommitPacket
+mem(Op op, Addr addr)
+{
+    CommitPacket pkt;
+    pkt.di.op = op;
+    pkt.di.type = classOf(op);
+    pkt.di.valid = true;
+    pkt.opcode = static_cast<u8>(pkt.di.type);
+    pkt.addr = addr;
+    return pkt;
+}
+
+CommitPacket
+setPerm(Addr addr, u8 perm)
+{
+    CommitPacket pkt;
+    pkt.di.op = Op::kCpop1;
+    pkt.di.type = kTypeCpop1;
+    pkt.di.cpop_fn = CpopFn::kSetMemTag;
+    pkt.di.valid = true;
+    pkt.opcode = kTypeCpop1;
+    pkt.addr = addr;
+    pkt.dest = perm;
+    return pkt;
+}
+
+MonitorResult
+feed(MemProtMonitor *prot, const CommitPacket &pkt)
+{
+    MonitorResult r;
+    prot->process(pkt, &r);
+    return r;
+}
+
+TEST(MemProt, DefaultIsReadWrite)
+{
+    MemProtMonitor prot;
+    EXPECT_FALSE(feed(&prot, mem(Op::kLd, 0x100)).trap);
+    EXPECT_FALSE(feed(&prot, mem(Op::kSt, 0x100)).trap);
+}
+
+TEST(MemProt, ReadOnlyBlocksStoresAllowsLoads)
+{
+    MemProtMonitor prot;
+    feed(&prot, setPerm(0x100, MemProtMonitor::kPermReadOnly));
+    EXPECT_FALSE(feed(&prot, mem(Op::kLd, 0x100)).trap);
+    const MonitorResult r = feed(&prot, mem(Op::kSt, 0x100));
+    EXPECT_TRUE(r.trap);
+    EXPECT_STREQ(r.trap_reason, "store to read-only word");
+}
+
+TEST(MemProt, NoAccessBlocksEverything)
+{
+    MemProtMonitor prot;
+    feed(&prot, setPerm(0x200, MemProtMonitor::kPermNoAccess));
+    EXPECT_TRUE(feed(&prot, mem(Op::kLd, 0x200)).trap);
+    EXPECT_TRUE(feed(&prot, mem(Op::kStb, 0x201)).trap);  // same word
+}
+
+TEST(MemProt, WordGranularity)
+{
+    MemProtMonitor prot;
+    feed(&prot, setPerm(0x100, MemProtMonitor::kPermReadOnly));
+    // The adjacent word stays writable.
+    EXPECT_FALSE(feed(&prot, mem(Op::kSt, 0x104)).trap);
+    // Sub-word accesses inside the protected word are checked.
+    EXPECT_TRUE(feed(&prot, mem(Op::kSth, 0x102)).trap);
+}
+
+TEST(MemProt, ClearRestoresDefault)
+{
+    MemProtMonitor prot;
+    feed(&prot, setPerm(0x100, MemProtMonitor::kPermNoAccess));
+    CommitPacket clr;
+    clr.di.op = Op::kCpop1;
+    clr.di.type = kTypeCpop1;
+    clr.di.cpop_fn = CpopFn::kClearMemTag;
+    clr.di.valid = true;
+    clr.opcode = kTypeCpop1;
+    clr.addr = 0x100;
+    feed(&prot, clr);
+    EXPECT_FALSE(feed(&prot, mem(Op::kSt, 0x100)).trap);
+}
+
+TEST(MemProt, ReadTagReturnsPermission)
+{
+    MemProtMonitor prot;
+    feed(&prot, setPerm(0x300, MemProtMonitor::kPermReadOnly));
+    CommitPacket rd;
+    rd.di.op = Op::kCpop1;
+    rd.di.type = kTypeCpop1;
+    rd.di.cpop_fn = CpopFn::kReadTag;
+    rd.di.valid = true;
+    rd.opcode = kTypeCpop1;
+    rd.addr = 0x300;
+    const MonitorResult r = feed(&prot, rd);
+    EXPECT_TRUE(r.has_bfifo);
+    EXPECT_EQ(r.bfifo,
+              static_cast<u32>(MemProtMonitor::kPermReadOnly));
+}
+
+TEST(MemProt, PolicyDisablesEnforcement)
+{
+    MemProtMonitor prot;
+    prot.setPolicy(0);
+    feed(&prot, setPerm(0x100, MemProtMonitor::kPermNoAccess));
+    EXPECT_FALSE(feed(&prot, mem(Op::kLd, 0x100)).trap);
+}
+
+TEST(MemProt, EndToEndStoreToReadOnlyTraps)
+{
+    const char *source = R"(
+        .org 0x1000
+_start: set data, %l0
+        m.setmtag [%l0], 1     ; read-only
+        ld [%l0], %o0          ; fine
+        st %g0, [%l0]          ; trap
+        mov 0, %o0
+        ta 0
+        nop
+        .align 4
+data:   .word 7
+)";
+    SystemConfig config;
+    config.monitor = MonitorKind::kMemProt;
+    config.mode = ImplMode::kFlexFabric;
+    System system(config);
+    system.load(Assembler::assembleOrDie(source));
+    const RunResult result = system.run();
+    EXPECT_EQ(result.exit, RunResult::Exit::kMonitorTrap);
+    EXPECT_EQ(result.trap_reason, "store to read-only word");
+}
+
+}  // namespace
+}  // namespace flexcore

@@ -1,0 +1,98 @@
+/** @file Meta-data cache tests: address mapping, bit-mask writes. */
+
+#include "memory/meta_cache.h"
+
+#include <gtest/gtest.h>
+
+namespace flexcore {
+namespace {
+
+class MetaCacheTest : public ::testing::Test
+{
+  protected:
+    StatGroup stats_{"test"};
+};
+
+TEST_F(MetaCacheTest, MappingOneBitPerWord)
+{
+    // 1-bit tags: one meta byte covers 8 data words (32 data bytes).
+    const Addr base = 0x40000000;
+    EXPECT_EQ(MetaCache::metaByteAddr(base, 0x0, 1), base);
+    EXPECT_EQ(MetaCache::metaByteAddr(base, 0x1c, 1), base);
+    EXPECT_EQ(MetaCache::metaByteAddr(base, 0x20, 1), base + 1);
+    EXPECT_EQ(MetaCache::metaByteAddr(base, 32 * 1024, 1),
+              base + 1024);
+}
+
+TEST_F(MetaCacheTest, MappingFourBitsPerWord)
+{
+    const Addr base = 0x40000000;
+    EXPECT_EQ(MetaCache::metaByteAddr(base, 0x0, 4), base);
+    EXPECT_EQ(MetaCache::metaByteAddr(base, 0x4, 4), base);
+    EXPECT_EQ(MetaCache::metaByteAddr(base, 0x8, 4), base + 1);
+}
+
+TEST_F(MetaCacheTest, MappingEightBitsPerWord)
+{
+    const Addr base = 0x40000000;
+    EXPECT_EQ(MetaCache::metaByteAddr(base, 0x0, 8), base);
+    EXPECT_EQ(MetaCache::metaByteAddr(base, 0x4, 8), base + 1);
+    EXPECT_EQ(MetaCache::metaByteAddr(base, 0x100, 8), base + 0x40);
+}
+
+TEST_F(MetaCacheTest, AdjacentWordsShareMetaLines)
+{
+    // The BC footprint amplification: with 8-bit tags a 32-byte meta
+    // line covers only 128 data bytes, vs 1 KB with 1-bit tags.
+    const Addr base = 0x40000000;
+    const Addr line0_first = MetaCache::metaByteAddr(base, 0, 8) / 32;
+    const Addr line0_last =
+        MetaCache::metaByteAddr(base, 124, 8) / 32;
+    const Addr line1 = MetaCache::metaByteAddr(base, 128, 8) / 32;
+    EXPECT_EQ(line0_first, line0_last);
+    EXPECT_EQ(line1, line0_first + 1);
+}
+
+TEST_F(MetaCacheTest, WriteCostReflectsBitMaskSupport)
+{
+    MetaCache with_mask(&stats_, {4096, 32, 4}, true);
+    EXPECT_EQ(with_mask.writeAccessCost(), 1u);
+    StatGroup other("other");
+    MetaCache without_mask(&other, {4096, 32, 4}, false);
+    EXPECT_EQ(without_mask.writeAccessCost(), 2u);
+}
+
+TEST_F(MetaCacheTest, WriteBackBehavior)
+{
+    MetaCache cache(&stats_, {1024, 32, 2}, true);
+    EXPECT_FALSE(cache.access(0x40000000, true));   // write miss
+    cache.fill(0x40000000, true);                   // write-allocate
+    EXPECT_TRUE(cache.access(0x40000000, false));
+    // Evict via same-set fills; the dirty victim must be reported.
+    const Cache::FillResult a = cache.fill(0x40000200, false);
+    EXPECT_FALSE(a.evicted_dirty);
+    const Cache::FillResult b = cache.fill(0x40000400, false);
+    EXPECT_TRUE(b.evicted_dirty);
+    EXPECT_EQ(b.victim_addr, 0x40000000u);
+}
+
+TEST_F(MetaCacheTest, HitsAndMissesTracked)
+{
+    MetaCache cache(&stats_, {4096, 32, 4}, true);
+    cache.access(0x40000000, false);
+    cache.fill(0x40000000, false);
+    cache.access(0x40000000, false);
+    EXPECT_EQ(cache.misses(), 1u);
+    EXPECT_EQ(cache.hits(), 1u);
+}
+
+using MetaCacheDeathTest = MetaCacheTest;
+
+TEST_F(MetaCacheDeathTest, RejectsUnsupportedTagWidth)
+{
+    EXPECT_DEATH(MetaCache::metaByteAddr(0x40000000, 0, 2),
+                 "unsupported tag width");
+}
+
+}  // namespace
+}  // namespace flexcore

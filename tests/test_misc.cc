@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Cross-cutting coverage: the qsort window-stress workload under every
+ * monitor, Program image edge cases, synthesis entries for the
+ * post-paper extensions, and config naming.
+ */
+
+#include <gtest/gtest.h>
+
+#include "assembler/program.h"
+#include "monitors/monitor.h"
+#include "sim/runner.h"
+#include "synth/extension_synth.h"
+
+namespace flexcore {
+namespace {
+
+TEST(Qsort, SortsCorrectlyOnBaseline)
+{
+    const Workload w = makeQsort(WorkloadScale::kTest);
+    SystemConfig config;
+    const SimOutcome outcome = runWorkloadChecked(w, config);
+    EXPECT_EQ(outcome.result.exit, RunResult::Exit::kExited);
+    // The golden console ends with the sortedness flag "1".
+    EXPECT_NE(w.expected_console.find("\n1\n"), std::string::npos);
+}
+
+class QsortUnderMonitor : public ::testing::TestWithParam<MonitorKind>
+{
+};
+
+TEST_P(QsortUnderMonitor, DeepRecursionSpillsStayCorrect)
+{
+    const Workload w = makeQsort(WorkloadScale::kTest);
+    SystemConfig config;
+    config.monitor = GetParam();
+    config.mode = ImplMode::kFlexFabric;
+    // runWorkloadChecked fatals on any output mismatch: a single
+    // corrupted spill/fill under monitoring would show up here.
+    const SimOutcome outcome = runWorkloadChecked(w, config);
+    EXPECT_EQ(outcome.result.exit, RunResult::Exit::kExited);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMonitors, QsortUnderMonitor,
+    ::testing::Values(MonitorKind::kUmc, MonitorKind::kDift,
+                      MonitorKind::kBc, MonitorKind::kSec,
+                      MonitorKind::kProf, MonitorKind::kMemProt,
+                      MonitorKind::kWatch, MonitorKind::kRefCount),
+    [](const ::testing::TestParamInfo<MonitorKind> &info) {
+        return std::string(monitorKindName(info.param));
+    });
+
+TEST(Program, AppendAndReadBackWords)
+{
+    Program prog;
+    prog.setBase(0x2000);
+    prog.appendWord(0xdeadbeef);
+    prog.appendWord(0x12345678);
+    EXPECT_EQ(prog.size(), 8u);
+    EXPECT_EQ(prog.end(), 0x2008u);
+    EXPECT_EQ(prog.wordAt(0x2000), 0xdeadbeefu);
+    EXPECT_EQ(prog.wordAt(0x2004), 0x12345678u);
+    // Big-endian byte order in the image.
+    EXPECT_EQ(prog.image()[0], 0xde);
+    EXPECT_EQ(prog.image()[3], 0xef);
+}
+
+TEST(Program, PatchWordOverwrites)
+{
+    Program prog;
+    prog.setBase(0x1000);
+    prog.appendWord(0);
+    prog.patchWord(0x1000, 42);
+    EXPECT_EQ(prog.wordAt(0x1000), 42u);
+}
+
+TEST(Program, SymbolsAreUnique)
+{
+    Program prog;
+    EXPECT_TRUE(prog.defineSymbol("a", 1));
+    EXPECT_FALSE(prog.defineSymbol("a", 2));
+    u32 value = 0;
+    EXPECT_TRUE(prog.lookupSymbol("a", &value));
+    EXPECT_EQ(value, 1u);
+    EXPECT_FALSE(prog.lookupSymbol("missing", &value));
+}
+
+using ProgramDeathTest = ::testing::Test;
+
+TEST(ProgramDeathTest, OutOfImageAccessesPanic)
+{
+    Program prog;
+    prog.setBase(0x1000);
+    prog.appendWord(0);
+    EXPECT_DEATH(prog.wordAt(0x0ffc), "outside image");
+    EXPECT_DEATH(prog.wordAt(0x1004), "outside image");
+    EXPECT_DEATH(prog.patchWord(0x2000, 1), "outside image");
+}
+
+TEST(SynthExtras, PostPaperExtensionsHaveInventories)
+{
+    // Every registered monitor kind must synthesize to something
+    // plausible: nonzero LUTs, all smaller than SEC (the largest of
+    // the paper's four).
+    const u32 sec_luts =
+        mapToFpga(extensionSynth(MonitorKind::kSec).fabric).luts;
+    for (MonitorKind kind :
+         {MonitorKind::kProf, MonitorKind::kMemProt, MonitorKind::kWatch,
+          MonitorKind::kRefCount}) {
+        const ExtensionSynth ext = extensionSynth(kind);
+        const FpgaResources res = mapToFpga(ext.fabric);
+        EXPECT_GT(res.luts, 30u) << monitorKindName(kind);
+        EXPECT_LT(res.luts, sec_luts) << monitorKindName(kind);
+        EXPECT_GE(ext.tapped_groups, 2u);
+    }
+}
+
+TEST(ConfigNames, AllKindsNamed)
+{
+    for (MonitorKind kind :
+         {MonitorKind::kNone, MonitorKind::kUmc, MonitorKind::kDift,
+          MonitorKind::kBc, MonitorKind::kSec, MonitorKind::kProf,
+          MonitorKind::kMemProt, MonitorKind::kWatch,
+          MonitorKind::kRefCount}) {
+        EXPECT_NE(monitorKindName(kind), "?");
+    }
+    for (ImplMode mode : {ImplMode::kBaseline, ImplMode::kAsic,
+                          ImplMode::kFlexFabric, ImplMode::kSoftware}) {
+        EXPECT_NE(implModeName(mode), "?");
+    }
+}
+
+TEST(ConfigNames, MakeMonitorCoversEveryKind)
+{
+    for (MonitorKind kind :
+         {MonitorKind::kUmc, MonitorKind::kDift, MonitorKind::kBc,
+          MonitorKind::kSec, MonitorKind::kProf, MonitorKind::kMemProt,
+          MonitorKind::kWatch, MonitorKind::kRefCount}) {
+        const auto monitor = makeMonitor(kind);
+        ASSERT_NE(monitor, nullptr);
+        EXPECT_FALSE(monitor->name().empty());
+        EXPECT_GE(monitor->pipelineDepth(), 3u);
+        EXPECT_LE(monitor->pipelineDepth(), 6u);
+    }
+    EXPECT_EQ(makeMonitor(MonitorKind::kNone), nullptr);
+}
+
+TEST(TagStore, ReadsZeroWhenUntouched)
+{
+    TagStore tags;
+    EXPECT_EQ(tags.read(0), 0u);
+    EXPECT_EQ(tags.read(0xfffffffc), 0u);
+}
+
+TEST(TagStore, WordGranularStorage)
+{
+    TagStore tags;
+    tags.write(0x1000, 0xab);
+    EXPECT_EQ(tags.read(0x1000), 0xab);
+    EXPECT_EQ(tags.read(0x1001), 0xab);   // same word
+    EXPECT_EQ(tags.read(0x1003), 0xab);
+    EXPECT_EQ(tags.read(0x1004), 0u);     // next word
+}
+
+TEST(TagStore, PageBoundaries)
+{
+    TagStore tags;
+    const Addr last_word = (1u << TagStore::kPageShift) - 4;
+    tags.write(last_word, 1);
+    tags.write(last_word + 4, 2);   // first word of the next page
+    EXPECT_EQ(tags.read(last_word), 1u);
+    EXPECT_EQ(tags.read(last_word + 4), 2u);
+}
+
+TEST(TagStore, ZeroWritesDontAllocate)
+{
+    TagStore tags;
+    // Writing zero to untouched memory must be a no-op (and not
+    // allocate a page); this keeps sparse workloads cheap.
+    tags.write(0x50000000, 0);
+    EXPECT_EQ(tags.read(0x50000000), 0u);
+    tags.write(0x50000000, 3);
+    tags.write(0x50000000, 0);   // explicit clear still works
+    EXPECT_EQ(tags.read(0x50000000), 0u);
+}
+
+TEST(AsicVsFabric, AsicIsAtLeastAsFastAsOneXFabric)
+{
+    // The ASIC variant is the 1X-fabric configuration minus the
+    // clock-domain synchronizer: it can never be slower.
+    const Workload w = makeGmac(WorkloadScale::kTest);
+    SystemConfig asic;
+    asic.monitor = MonitorKind::kDift;
+    asic.mode = ImplMode::kAsic;
+    const SimOutcome a = runWorkloadChecked(w, asic);
+
+    SystemConfig flex1x;
+    flex1x.monitor = MonitorKind::kDift;
+    flex1x.mode = ImplMode::kFlexFabric;
+    flex1x.flex_period = 1;
+    const SimOutcome f = runWorkloadChecked(w, flex1x);
+
+    EXPECT_LE(a.result.cycles, f.result.cycles);
+    EXPECT_EQ(a.forwarded, f.forwarded);
+}
+
+TEST(WorkloadHelpers, WordDataRoundTrips)
+{
+    const std::string text = wordData({0x11223344, 0xdeadbeef});
+    EXPECT_NE(text.find(".word"), std::string::npos);
+    EXPECT_NE(text.find("0x11223344"), std::string::npos);
+    EXPECT_NE(text.find("0xdeadbeef"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace flexcore

@@ -1,0 +1,177 @@
+/** @file PROF monitor unit + integration tests. */
+
+#include "monitors/prof.h"
+
+#include <gtest/gtest.h>
+
+#include "assembler/assembler.h"
+#include "sim/system.h"
+
+namespace flexcore {
+namespace {
+
+CommitPacket
+packet(Op op, Addr addr = 0, bool taken = false)
+{
+    CommitPacket pkt;
+    pkt.di.op = op;
+    pkt.di.type = classOf(op);
+    pkt.di.valid = true;
+    pkt.opcode = static_cast<u8>(pkt.di.type);
+    pkt.addr = addr;
+    pkt.branch = taken;
+    return pkt;
+}
+
+CommitPacket
+readCounter(u8 selector)
+{
+    CommitPacket pkt;
+    pkt.di.op = Op::kCpop1;
+    pkt.di.type = kTypeCpop1;
+    pkt.di.cpop_fn = CpopFn::kReadTag;
+    pkt.di.simm = selector;
+    pkt.di.valid = true;
+    pkt.opcode = kTypeCpop1;
+    return pkt;
+}
+
+TEST(Prof, CountsInstructionMix)
+{
+    ProfMonitor prof;
+    MonitorResult ignore;
+    prof.process(packet(Op::kAdd), &ignore);
+    prof.process(packet(Op::kAdd), &ignore);
+    prof.process(packet(Op::kLd, 0x100), &ignore);
+    prof.process(packet(Op::kSt, 0x104), &ignore);
+    prof.process(packet(Op::kBicc, 0, true), &ignore);
+    prof.process(packet(Op::kBicc, 0, false), &ignore);
+
+    MonitorResult r;
+    prof.process(readCounter(ProfMonitor::kSelPackets), &r);
+    EXPECT_EQ(r.bfifo, 6u);
+    prof.process(readCounter(ProfMonitor::kSelLoads), &r);
+    EXPECT_EQ(r.bfifo, 1u);
+    prof.process(readCounter(ProfMonitor::kSelStores), &r);
+    EXPECT_EQ(r.bfifo, 1u);
+    prof.process(readCounter(ProfMonitor::kSelAlu), &r);
+    EXPECT_EQ(r.bfifo, 2u);
+    prof.process(readCounter(ProfMonitor::kSelBranchesTaken), &r);
+    EXPECT_EQ(r.bfifo, 1u);
+}
+
+TEST(Prof, WorkingSetCountsDistinctWords)
+{
+    ProfMonitor prof;
+    for (Addr addr : {0x100u, 0x100u, 0x102u}) {   // one word
+        MonitorResult r;
+        prof.process(packet(Op::kLd, addr), &r);
+    }
+    MonitorResult r;
+    prof.process(packet(Op::kSt, 0x104), &r);      // a second word
+    EXPECT_EQ(prof.touchedWords(), 2u);
+}
+
+TEST(Prof, FirstTouchWritesMetaLaterTouchesRead)
+{
+    ProfMonitor prof;
+    MonitorResult first;
+    prof.process(packet(Op::kLd, 0x200), &first);
+    ASSERT_EQ(first.num_ops, 1u);
+    EXPECT_TRUE(first.ops[0].is_write);
+    MonitorResult second;
+    prof.process(packet(Op::kLd, 0x200), &second);
+    ASSERT_EQ(second.num_ops, 1u);
+    EXPECT_FALSE(second.ops[0].is_write);
+}
+
+TEST(Prof, NeverTraps)
+{
+    ProfMonitor prof;
+    MonitorResult r;
+    prof.process(packet(Op::kLd, 0xdead0000), &r);
+    EXPECT_FALSE(r.trap);
+}
+
+TEST(Prof, CfgrUsesDroppablePolicyForTrace)
+{
+    ProfMonitor prof;
+    Cfgr cfgr;
+    prof.configureCfgr(&cfgr);
+    // Profiling tolerates sampling: trace classes may drop.
+    EXPECT_EQ(cfgr.policy(kTypeLoadWord), ForwardPolicy::kIfNotFull);
+    EXPECT_EQ(cfgr.policy(kTypeAluAdd), ForwardPolicy::kIfNotFull);
+    EXPECT_EQ(cfgr.policy(kTypeBranch), ForwardPolicy::kIfNotFull);
+    // Counter reads must not be dropped.
+    EXPECT_EQ(cfgr.policy(kTypeCpop1), ForwardPolicy::kAlways);
+}
+
+TEST(Prof, ResetClearsCounters)
+{
+    ProfMonitor prof;
+    MonitorResult ignore;
+    prof.process(packet(Op::kLd, 0x100), &ignore);
+    prof.reset();
+    EXPECT_EQ(prof.packets(), 0u);
+    EXPECT_EQ(prof.touchedWords(), 0u);
+}
+
+TEST(Prof, EndToEndSelfProfile)
+{
+    // A program reads its own load count back through the BFIFO.
+    const char *source = R"(
+        .org 0x1000
+_start: set buf, %l0
+        st %g0, [%l0]
+        ld [%l0], %o1
+        ld [%l0], %o1
+        ld [%l0], %o1
+        m.read %o0, 1      ; loads so far
+        ta 0
+        nop
+        .align 4
+buf:    .word 0
+)";
+    SystemConfig config;
+    config.monitor = MonitorKind::kProf;
+    config.mode = ImplMode::kFlexFabric;
+    System system(config);
+    system.load(Assembler::assembleOrDie(source));
+    const RunResult result = system.run();
+    EXPECT_EQ(result.exit, RunResult::Exit::kExited);
+    EXPECT_EQ(result.exit_code, 3u);
+}
+
+TEST(Prof, RunsWholeBenchmarkWithoutStalls)
+{
+    // With the droppable policy, profiling must never stall commit:
+    // commit_stalls stays zero even with a tiny FIFO.
+    const char *source = R"(
+        .org 0x1000
+_start: set buf, %l0
+        mov 200, %l1
+loop:   st %l1, [%l0]
+        ld [%l0], %o0
+        subcc %l1, 1, %l1
+        bne loop
+        nop
+        mov 0, %o0
+        ta 0
+        nop
+        .align 4
+buf:    .word 0
+)";
+    SystemConfig config;
+    config.monitor = MonitorKind::kProf;
+    config.mode = ImplMode::kFlexFabric;
+    config.iface.fifo_depth = 2;
+    System system(config);
+    system.load(Assembler::assembleOrDie(source));
+    const RunResult result = system.run();
+    EXPECT_EQ(result.exit, RunResult::Exit::kExited);
+    EXPECT_EQ(system.iface()->stallCycles(), 0u);
+    EXPECT_GT(system.iface()->droppedCount(), 0u);   // sampling
+}
+
+}  // namespace
+}  // namespace flexcore

@@ -1,0 +1,159 @@
+/** @file REFCNT (GC-support bookkeeping) monitor tests. */
+
+#include "monitors/refcount.h"
+
+#include <gtest/gtest.h>
+
+#include "assembler/assembler.h"
+#include "sim/system.h"
+
+namespace flexcore {
+namespace {
+
+CommitPacket
+storePtr(Addr slot, Addr target)
+{
+    CommitPacket pkt;
+    pkt.di.op = Op::kSt;
+    pkt.di.type = kTypeStoreWord;
+    pkt.di.valid = true;
+    pkt.opcode = kTypeStoreWord;
+    pkt.addr = slot;
+    pkt.res = target;   // RES carries the stored value
+    return pkt;
+}
+
+CommitPacket
+cpop(CpopFn fn, Addr addr)
+{
+    CommitPacket pkt;
+    pkt.di.op = Op::kCpop1;
+    pkt.di.type = kTypeCpop1;
+    pkt.di.cpop_fn = fn;
+    pkt.di.valid = true;
+    pkt.opcode = kTypeCpop1;
+    pkt.addr = addr;
+    return pkt;
+}
+
+MonitorResult
+feed(RefCountMonitor *rc, const CommitPacket &pkt)
+{
+    MonitorResult r;
+    rc->process(pkt, &r);
+    return r;
+}
+
+TEST(RefCount, StoresToDeclaredSlotsCount)
+{
+    RefCountMonitor rc;
+    feed(&rc, cpop(CpopFn::kSetMemTag, 0x1000));   // declare slot
+    feed(&rc, storePtr(0x1000, 0x8000));           // slot -> obj A
+    EXPECT_EQ(rc.refCount(0x8000), 1);
+    feed(&rc, cpop(CpopFn::kSetMemTag, 0x1004));
+    feed(&rc, storePtr(0x1004, 0x8000));           // second reference
+    EXPECT_EQ(rc.refCount(0x8000), 2);
+}
+
+TEST(RefCount, OverwriteMovesReference)
+{
+    RefCountMonitor rc;
+    feed(&rc, cpop(CpopFn::kSetMemTag, 0x1000));
+    feed(&rc, storePtr(0x1000, 0x8000));
+    feed(&rc, storePtr(0x1000, 0x9000));   // repoint the slot
+    EXPECT_EQ(rc.refCount(0x8000), 0);     // old target released
+    EXPECT_EQ(rc.refCount(0x9000), 1);
+    EXPECT_EQ(rc.zeroEvents(), 1u);        // obj A became collectable
+}
+
+TEST(RefCount, NullStoresDropReferenceOnly)
+{
+    RefCountMonitor rc;
+    feed(&rc, cpop(CpopFn::kSetMemTag, 0x1000));
+    feed(&rc, storePtr(0x1000, 0x8000));
+    feed(&rc, storePtr(0x1000, 0));        // null it out
+    EXPECT_EQ(rc.refCount(0x8000), 0);
+    EXPECT_EQ(rc.refCount(0), 0);          // null never counted
+}
+
+TEST(RefCount, UndeclaredSlotsIgnored)
+{
+    RefCountMonitor rc;
+    feed(&rc, storePtr(0x2000, 0x8000));   // plain data store
+    EXPECT_EQ(rc.refCount(0x8000), 0);
+}
+
+TEST(RefCount, SlotRetirementReleasesReference)
+{
+    RefCountMonitor rc;
+    feed(&rc, cpop(CpopFn::kSetMemTag, 0x1000));
+    feed(&rc, storePtr(0x1000, 0x8000));
+    feed(&rc, cpop(CpopFn::kClearMemTag, 0x1000));   // frame pops
+    EXPECT_EQ(rc.refCount(0x8000), 0);
+    EXPECT_EQ(rc.zeroEvents(), 1u);
+}
+
+TEST(RefCount, ReadCountOverBfifo)
+{
+    RefCountMonitor rc;
+    feed(&rc, cpop(CpopFn::kSetMemTag, 0x1000));
+    feed(&rc, storePtr(0x1000, 0x8000));
+    const MonitorResult r = feed(&rc, cpop(CpopFn::kReadTag, 0x8000));
+    EXPECT_TRUE(r.has_bfifo);
+    EXPECT_EQ(r.bfifo, 1u);
+}
+
+TEST(RefCount, NeverTraps)
+{
+    RefCountMonitor rc;
+    feed(&rc, cpop(CpopFn::kSetMemTag, 0x1000));
+    const MonitorResult r = feed(&rc, storePtr(0x1000, 0x8000));
+    EXPECT_FALSE(r.trap);
+}
+
+TEST(RefCount, EndToEndPointerGraph)
+{
+    // Two slots point at one object, then both are repointed; the
+    // program reads the counts back at each step.
+    const char *source = R"(
+        .org 0x1000
+_start: set slots, %l0
+        set obj_a, %l1
+        set obj_b, %l2
+        m.setmtag [%l0]        ; declare slot 0
+        m.setmtag [%l0+4]      ; declare slot 1
+        st %l1, [%l0]          ; slot0 -> A
+        st %l1, [%l0+4]        ; slot1 -> A
+        m.read %o0, 0          ; count(A) == 2... addr operand below
+        nop
+        st %l2, [%l0]          ; slot0 -> B  (A: 1)
+        st %l2, [%l0+4]        ; slot1 -> B  (A: 0, collectable)
+        mov 0, %o0
+        ta 0
+        nop
+        .align 4
+slots:  .word 0, 0
+obj_a:  .word 1, 2, 3, 4
+obj_b:  .word 5, 6, 7, 8
+)";
+    SystemConfig config;
+    config.monitor = MonitorKind::kRefCount;
+    config.mode = ImplMode::kFlexFabric;
+    System system(config);
+    const Program program = Assembler::assembleOrDie(source);
+    system.load(program);
+    const RunResult result = system.run();
+    ASSERT_EQ(result.exit, RunResult::Exit::kExited);
+
+    u32 obj_a = 0, obj_b = 0;
+    ASSERT_TRUE(program.lookupSymbol("obj_a", &obj_a));
+    ASSERT_TRUE(program.lookupSymbol("obj_b", &obj_b));
+    const auto *rc =
+        static_cast<RefCountMonitor *>(system.monitor());
+    EXPECT_EQ(rc->refCount(obj_a), 0);   // fully released
+    EXPECT_EQ(rc->refCount(obj_b), 2);
+    EXPECT_GE(rc->zeroEvents(), 1u);
+}
+
+}  // namespace
+}  // namespace flexcore

@@ -1,0 +1,132 @@
+/** @file Unit tests for register naming and window mapping. */
+
+#include "isa/registers.h"
+
+#include <gtest/gtest.h>
+
+#include "core/regfile.h"
+
+namespace flexcore {
+namespace {
+
+TEST(Registers, ArchRegNames)
+{
+    EXPECT_EQ(archRegName(0), "%g0");
+    EXPECT_EQ(archRegName(7), "%g7");
+    EXPECT_EQ(archRegName(8), "%o0");
+    EXPECT_EQ(archRegName(14), "%o6");
+    EXPECT_EQ(archRegName(16), "%l0");
+    EXPECT_EQ(archRegName(24), "%i0");
+    EXPECT_EQ(archRegName(31), "%i7");
+}
+
+TEST(Registers, ParseStandardNames)
+{
+    unsigned reg = 99;
+    EXPECT_TRUE(parseRegName("%g0", &reg));
+    EXPECT_EQ(reg, 0u);
+    EXPECT_TRUE(parseRegName("%o3", &reg));
+    EXPECT_EQ(reg, 11u);
+    EXPECT_TRUE(parseRegName("%l7", &reg));
+    EXPECT_EQ(reg, 23u);
+    EXPECT_TRUE(parseRegName("%i6", &reg));
+    EXPECT_EQ(reg, 30u);
+}
+
+TEST(Registers, ParseAliases)
+{
+    unsigned reg = 99;
+    EXPECT_TRUE(parseRegName("%sp", &reg));
+    EXPECT_EQ(reg, kRegSp);
+    EXPECT_TRUE(parseRegName("%fp", &reg));
+    EXPECT_EQ(reg, kRegFp);
+    EXPECT_TRUE(parseRegName("%r17", &reg));
+    EXPECT_EQ(reg, 17u);
+}
+
+TEST(Registers, ParseRejectsBadNames)
+{
+    unsigned reg = 0;
+    EXPECT_FALSE(parseRegName("%g8", &reg));
+    EXPECT_FALSE(parseRegName("%x3", &reg));
+    EXPECT_FALSE(parseRegName("g0", &reg));
+    EXPECT_FALSE(parseRegName("%r32", &reg));
+    EXPECT_FALSE(parseRegName("%", &reg));
+    EXPECT_FALSE(parseRegName("%o", &reg));
+}
+
+TEST(Registers, GlobalsSharedAcrossWindows)
+{
+    for (unsigned cwp = 0; cwp < kNumWindows; ++cwp) {
+        for (unsigned g = 0; g < 8; ++g)
+            EXPECT_EQ(physRegIndex(cwp, g), g);
+    }
+}
+
+/** The defining SPARC property: ins of window w == outs of w-1. */
+class WindowOverlap : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(WindowOverlap, InsAliasCallerOuts)
+{
+    const unsigned cwp = GetParam();
+    const unsigned callee = (cwp + kNumWindows - 1) % kNumWindows;
+    for (unsigned k = 0; k < 8; ++k) {
+        // caller's out k == callee's in k
+        EXPECT_EQ(physRegIndex(cwp, 8 + k),
+                  physRegIndex(callee, 24 + k));
+    }
+}
+
+TEST_P(WindowOverlap, LocalsArePrivate)
+{
+    const unsigned cwp = GetParam();
+    for (unsigned other = 0; other < kNumWindows; ++other) {
+        if (other == cwp)
+            continue;
+        for (unsigned k = 0; k < 8; ++k) {
+            EXPECT_NE(physRegIndex(cwp, 16 + k),
+                      physRegIndex(other, 16 + k));
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWindows, WindowOverlap,
+                         ::testing::Range(0u, kNumWindows));
+
+TEST(RegWindowFile, G0AlwaysZero)
+{
+    RegWindowFile regs;
+    regs.write(0, 0xdeadbeef);
+    EXPECT_EQ(regs.read(0), 0u);
+    regs.writePhys(0, 0xdeadbeef);
+    EXPECT_EQ(regs.readPhys(0), 0u);
+}
+
+TEST(RegWindowFile, SaveRestoreRoundTrip)
+{
+    RegWindowFile regs;
+    regs.write(16, 111);          // %l0 in window 0
+    regs.write(8, 222);           // %o0 in window 0
+    regs.decrementCwp();          // save
+    EXPECT_EQ(regs.read(24), 222u);   // callee %i0 == caller %o0
+    EXPECT_NE(regs.read(16), 111u);   // callee locals are fresh
+    regs.write(24, 333);          // callee writes %i0
+    regs.incrementCwp();          // restore
+    EXPECT_EQ(regs.read(8), 333u);    // caller sees it in %o0
+    EXPECT_EQ(regs.read(16), 111u);   // caller locals intact
+}
+
+TEST(RegWindowFile, CwpWrapsModNumWindows)
+{
+    RegWindowFile regs;
+    EXPECT_EQ(regs.cwp(), 0u);
+    regs.decrementCwp();
+    EXPECT_EQ(regs.cwp(), kNumWindows - 1);
+    regs.incrementCwp();
+    EXPECT_EQ(regs.cwp(), 0u);
+}
+
+}  // namespace
+}  // namespace flexcore

@@ -1,0 +1,149 @@
+/** @file SEC monitor unit tests: re-execution and residue checks. */
+
+#include "monitors/sec.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace flexcore {
+namespace {
+
+CommitPacket
+aluPkt(Op op, u32 a, u32 b, u32 res)
+{
+    CommitPacket pkt;
+    pkt.di.op = op;
+    pkt.di.type = classOf(op);
+    pkt.di.valid = true;
+    pkt.opcode = static_cast<u8>(pkt.di.type);
+    pkt.srcv1 = a;
+    pkt.srcv2 = b;
+    pkt.res = res;
+    return pkt;
+}
+
+TEST(Sec, Mod7Correct)
+{
+    for (u32 v : {0u, 1u, 6u, 7u, 8u, 13u, 14u, 49u, 100u, 0xffffffffu,
+                  0x80000000u, 12345678u}) {
+        EXPECT_EQ(SecMonitor::mod7(v), v % 7) << v;
+    }
+}
+
+TEST(Sec, CorrectAluResultsPass)
+{
+    SecMonitor sec;
+    MonitorResult r;
+    sec.process(aluPkt(Op::kAdd, 5, 7, 12), &r);
+    EXPECT_FALSE(r.trap);
+    sec.process(aluPkt(Op::kSub, 5, 7, static_cast<u32>(-2)), &r);
+    EXPECT_FALSE(r.trap);
+    sec.process(aluPkt(Op::kXor, 0xff, 0x0f, 0xf0), &r);
+    EXPECT_FALSE(r.trap);
+    sec.process(aluPkt(Op::kSll, 1, 4, 16), &r);
+    EXPECT_FALSE(r.trap);
+    EXPECT_EQ(sec.errorsDetected(), 0u);
+    EXPECT_EQ(sec.checksPerformed(), 4u);
+}
+
+TEST(Sec, CorruptedAddTraps)
+{
+    SecMonitor sec;
+    MonitorResult r;
+    sec.process(aluPkt(Op::kAdd, 5, 7, 13), &r);   // should be 12
+    EXPECT_TRUE(r.trap);
+    EXPECT_EQ(sec.errorsDetected(), 1u);
+}
+
+TEST(Sec, CorruptedShiftTraps)
+{
+    SecMonitor sec;
+    MonitorResult r;
+    sec.process(aluPkt(Op::kSra, 0x80000000, 4, 0x08000000), &r);
+    EXPECT_TRUE(r.trap);   // arithmetic shift must sign-extend
+}
+
+TEST(Sec, MultiplyResidueCheck)
+{
+    SecMonitor sec;
+    MonitorResult r;
+    sec.process(aluPkt(Op::kUmul, 1000, 1000, 1000000), &r);
+    EXPECT_FALSE(r.trap);
+    // A single-bit corruption changes the mod-7 residue unless the
+    // flipped bit contributes a multiple of 7 (power of 2 mod 7 is
+    // never 0), so every single-bit flip is caught.
+    sec.process(aluPkt(Op::kUmul, 1000, 1000, 1000000 ^ 0x10), &r);
+    EXPECT_TRUE(r.trap);
+}
+
+TEST(Sec, SignedMultiplyChecked)
+{
+    SecMonitor sec;
+    MonitorResult r;
+    const u32 res = static_cast<u32>(-30);
+    sec.process(aluPkt(Op::kSmul, static_cast<u32>(-5), 6, res), &r);
+    EXPECT_FALSE(r.trap);
+}
+
+TEST(Sec, DivisionRecomputation)
+{
+    SecMonitor sec;
+    MonitorResult r;
+    sec.process(aluPkt(Op::kUdiv, 100, 7, 14), &r);
+    EXPECT_FALSE(r.trap);
+    sec.process(aluPkt(Op::kUdiv, 100, 7, 15), &r);
+    EXPECT_TRUE(r.trap);
+}
+
+TEST(Sec, SingleBitFlipsAlwaysCaughtOnAdds)
+{
+    // Property: SEC catches every single-bit corruption of an exact
+    // re-executed op.
+    SecMonitor sec;
+    Rng rng(3);
+    for (int trial = 0; trial < 200; ++trial) {
+        const u32 a = rng.next32();
+        const u32 b = rng.next32();
+        const u32 good = a + b;
+        const u32 bad = good ^ (1u << rng.below(32));
+        MonitorResult r;
+        sec.process(aluPkt(Op::kAdd, a, b, bad), &r);
+        EXPECT_TRUE(r.trap);
+    }
+}
+
+TEST(Sec, PolicyDisablesTrapButCountsErrors)
+{
+    SecMonitor sec;
+    sec.setPolicy(0);
+    MonitorResult r;
+    sec.process(aluPkt(Op::kAdd, 1, 1, 3), &r);
+    EXPECT_FALSE(r.trap);
+    EXPECT_EQ(sec.errorsDetected(), 1u);
+}
+
+TEST(Sec, KeepsNoMetaData)
+{
+    SecMonitor sec;
+    EXPECT_EQ(sec.tagBitsPerWord(), 0u);
+    MonitorResult r;
+    sec.process(aluPkt(Op::kAdd, 1, 2, 3), &r);
+    EXPECT_EQ(r.num_ops, 0u);   // never touches the meta cache
+}
+
+TEST(Sec, CfgrForwardsOnlyAluClasses)
+{
+    SecMonitor sec;
+    Cfgr cfgr;
+    sec.configureCfgr(&cfgr);
+    EXPECT_EQ(cfgr.policy(kTypeAluAdd), ForwardPolicy::kAlways);
+    EXPECT_EQ(cfgr.policy(kTypeMul), ForwardPolicy::kAlways);
+    EXPECT_EQ(cfgr.policy(kTypeDiv), ForwardPolicy::kAlways);
+    EXPECT_EQ(cfgr.policy(kTypeLoadWord), ForwardPolicy::kIgnore);
+    EXPECT_EQ(cfgr.policy(kTypeStoreWord), ForwardPolicy::kIgnore);
+    EXPECT_EQ(cfgr.policy(kTypeCpop1), ForwardPolicy::kIgnore);
+}
+
+}  // namespace
+}  // namespace flexcore

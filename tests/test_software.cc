@@ -1,0 +1,111 @@
+/** @file Software-instrumentation model tests. */
+
+#include "monitors/software.h"
+
+#include <gtest/gtest.h>
+
+namespace flexcore {
+namespace {
+
+Instruction
+instOfType(Op op)
+{
+    Instruction inst;
+    inst.op = op;
+    inst.type = classOf(op);
+    inst.valid = true;
+    return inst;
+}
+
+unsigned
+countKind(const std::vector<SwMicroOp> &ops, SwMicroOp::Kind kind)
+{
+    unsigned n = 0;
+    for (const SwMicroOp &op : ops)
+        n += op.kind == kind;
+    return n;
+}
+
+TEST(Software, DiftExpandsAluAndMemory)
+{
+    const SoftwareMonitor *dift = softwareDift();
+    std::vector<SwMicroOp> ops;
+    dift->expand(instOfType(Op::kAdd), 0, &ops);
+    EXPECT_GE(ops.size(), 1u);
+    EXPECT_EQ(countKind(ops, SwMicroOp::Kind::kLoad), 0u);
+
+    ops.clear();
+    dift->expand(instOfType(Op::kLd), 0x2000, &ops);
+    EXPECT_EQ(countKind(ops, SwMicroOp::Kind::kLoad), 1u);
+
+    ops.clear();
+    dift->expand(instOfType(Op::kSt), 0x2000, &ops);
+    EXPECT_EQ(countKind(ops, SwMicroOp::Kind::kStore), 1u);
+
+    ops.clear();
+    dift->expand(instOfType(Op::kJmpl), 0, &ops);
+    EXPECT_GE(ops.size(), 1u);
+}
+
+TEST(Software, ShadowAddressesAreAlignedAndInShadowRegion)
+{
+    const SoftwareMonitor *dift = softwareDift();
+    std::vector<SwMicroOp> ops;
+    dift->expand(instOfType(Op::kLd), 0x00123457, &ops);
+    bool found = false;
+    for (const SwMicroOp &op : ops) {
+        if (op.kind == SwMicroOp::Kind::kLoad) {
+            found = true;
+            EXPECT_EQ(op.addr % 4, 0u);
+            EXPECT_GE(op.addr, kSwShadowBase);
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(Software, BranchesAndNopsNotInstrumented)
+{
+    for (const SoftwareMonitor *monitor :
+         {softwareDift(), softwareUmc(), softwareBc(), softwareSec()}) {
+        std::vector<SwMicroOp> ops;
+        monitor->expand(instOfType(Op::kBicc), 0, &ops);
+        EXPECT_TRUE(ops.empty()) << monitor->name();
+        Instruction nop = makeNop();
+        monitor->expand(nop, 0, &ops);
+        EXPECT_TRUE(ops.empty()) << monitor->name();
+    }
+}
+
+TEST(Software, UmcOnlyInstrumentsMemory)
+{
+    const SoftwareMonitor *umc = softwareUmc();
+    std::vector<SwMicroOp> ops;
+    umc->expand(instOfType(Op::kAdd), 0, &ops);
+    EXPECT_TRUE(ops.empty());
+    umc->expand(instOfType(Op::kLdub), 0x2000, &ops);
+    EXPECT_GE(ops.size(), 3u);   // Purify-class checks are heavy
+}
+
+TEST(Software, SecDuplicatesAluWork)
+{
+    const SoftwareMonitor *sec = softwareSec();
+    std::vector<SwMicroOp> ops;
+    sec->expand(instOfType(Op::kXor), 0, &ops);
+    EXPECT_EQ(countKind(ops, SwMicroOp::Kind::kAlu), 2u);
+    EXPECT_EQ(countKind(ops, SwMicroOp::Kind::kLoad), 0u);
+}
+
+TEST(Software, RelativeCostOrdering)
+{
+    // Per memory access: UMC (Purify-class) > DIFT > BC in overhead.
+    auto memCost = [](const SoftwareMonitor *monitor) {
+        std::vector<SwMicroOp> ops;
+        monitor->expand(instOfType(Op::kLd), 0x2000, &ops);
+        return ops.size();
+    };
+    EXPECT_GT(memCost(softwareUmc()), memCost(softwareDift()));
+    EXPECT_GT(memCost(softwareDift()), memCost(softwareBc()));
+}
+
+}  // namespace
+}  // namespace flexcore

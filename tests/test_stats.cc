@@ -1,0 +1,71 @@
+/** @file Unit tests for the statistics registry. */
+
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace flexcore {
+namespace {
+
+TEST(Stats, CounterIncrements)
+{
+    StatGroup group("g");
+    Counter counter(&group, "c", "a counter");
+    EXPECT_EQ(counter.value(), 0u);
+    ++counter;
+    counter += 41;
+    EXPECT_EQ(counter.value(), 42u);
+    counter.reset();
+    EXPECT_EQ(counter.value(), 0u);
+}
+
+TEST(Stats, GroupRegistersCounters)
+{
+    StatGroup group("g");
+    Counter a(&group, "a", "first");
+    Counter b(&group, "b", "second");
+    ASSERT_EQ(group.counters().size(), 2u);
+    EXPECT_EQ(group.counters()[0]->name(), "a");
+    EXPECT_EQ(group.counters()[1]->name(), "b");
+}
+
+TEST(Stats, HierarchyLookup)
+{
+    StatGroup root("system");
+    StatGroup child("core", &root);
+    Counter cycles(&child, "cycles", "total cycles");
+    cycles += 123;
+    EXPECT_EQ(root.lookup("core.cycles"), 123u);
+    EXPECT_EQ(root.lookup("core.nonexistent"), 0u);
+    EXPECT_EQ(root.lookup("nonexistent.cycles"), 0u);
+}
+
+TEST(Stats, DumpContainsAllCounters)
+{
+    StatGroup root("system");
+    StatGroup child("core", &root);
+    Counter cycles(&child, "cycles", "total cycles");
+    Counter insts(&child, "insts", "instructions");
+    cycles += 7;
+    insts += 3;
+    const std::string dump = root.dump();
+    EXPECT_NE(dump.find("system.core.cycles 7"), std::string::npos);
+    EXPECT_NE(dump.find("system.core.insts 3"), std::string::npos);
+    EXPECT_NE(dump.find("# instructions"), std::string::npos);
+}
+
+TEST(Stats, ResetAllRecurses)
+{
+    StatGroup root("system");
+    StatGroup child("core", &root);
+    Counter top(&root, "top", "top-level");
+    Counter nested(&child, "nested", "nested");
+    top += 5;
+    nested += 9;
+    root.resetAll();
+    EXPECT_EQ(top.value(), 0u);
+    EXPECT_EQ(nested.value(), 0u);
+}
+
+}  // namespace
+}  // namespace flexcore

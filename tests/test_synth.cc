@@ -1,0 +1,177 @@
+/** @file Synthesis-model tests: mappings, calibration bands, Table III. */
+
+#include "synth/report.h"
+
+#include <gtest/gtest.h>
+
+#include "synth/asic_model.h"
+#include "synth/fpga_model.h"
+
+namespace flexcore {
+namespace {
+
+TEST(Resources, FpgaMappingBasics)
+{
+    Inventory inv;
+    inv.add(Primitive::Kind::kAdder, 32);
+    inv.add(Primitive::Kind::kRegister, 64, 2);
+    const FpgaResources fpga = mapToFpga(inv);
+    EXPECT_EQ(fpga.luts, 32u);     // registers use FFs, not LUTs
+    EXPECT_EQ(fpga.ffs, 128u);
+}
+
+TEST(Resources, AsicMappingBasics)
+{
+    Inventory inv;
+    inv.add(Primitive::Kind::kAdder, 32);
+    inv.sram_bits = 1024;
+    inv.sram_macros = 1;
+    const AsicResources asic = mapToAsic(inv);
+    EXPECT_EQ(asic.gates, 32u * 6);
+    EXPECT_EQ(asic.sram_bits, 1024u);
+}
+
+TEST(FpgaModel, KuonRoseAreaPerLut)
+{
+    // 10-LUT CLB tile = 8,069 um^2 (Kuon-Rose, 65nm).
+    EXPECT_NEAR(FpgaModel::areaUm2(10), 8069.0, 10.0);
+}
+
+TEST(FpgaModel, FrequencyDecreasesWithDepth)
+{
+    EXPECT_GT(FpgaModel::fmaxMhz(4.0), FpgaModel::fmaxMhz(5.0));
+    EXPECT_GT(FpgaModel::fmaxMhz(5.0), FpgaModel::fmaxMhz(6.0));
+    // Calibration anchors (paper Table III).
+    EXPECT_NEAR(FpgaModel::fmaxMhz(4.0), 266.0, 5.0);
+    EXPECT_NEAR(FpgaModel::fmaxMhz(5.6), 213.0, 5.0);
+}
+
+TEST(FpgaModel, PowerScalesWithLutsAndFrequency)
+{
+    const double small = FpgaModel::powerMw(100, 200);
+    const double more_luts = FpgaModel::powerMw(400, 200);
+    const double faster = FpgaModel::powerMw(100, 400);
+    EXPECT_GT(more_luts, small);
+    EXPECT_GT(faster, small);
+}
+
+TEST(AsicModel, FrequencyPenaltyPerTap)
+{
+    EXPECT_NEAR(AsicModel::fmaxMhz(0), 465.0, 0.5);
+    EXPECT_LT(AsicModel::fmaxMhz(9), AsicModel::fmaxMhz(2));
+    EXPECT_NEAR(AsicModel::fmaxMhz(9), 456.0, 2.0);
+}
+
+TEST(ExtensionSynth, FifoBitsMatchTableII)
+{
+    EXPECT_EQ(forwardFifoBits(64), 64u * 293);
+}
+
+TEST(ExtensionSynth, FabricLutBands)
+{
+    // Paper LUT counts (from area / 807 um^2): UMC 112, DIFT 153,
+    // BC 252, SEC 484. Allow 10%.
+    const struct
+    {
+        MonitorKind kind;
+        u32 paper_luts;
+    } cases[] = {
+        {MonitorKind::kUmc, 112},
+        {MonitorKind::kDift, 153},
+        {MonitorKind::kBc, 252},
+        {MonitorKind::kSec, 484},
+    };
+    for (const auto &c : cases) {
+        const FpgaResources res = mapToFpga(extensionSynth(c.kind).fabric);
+        EXPECT_NEAR(res.luts, c.paper_luts, 0.1 * c.paper_luts)
+            << monitorKindName(c.kind);
+    }
+}
+
+TEST(ExtensionSynth, FabricSizeOrdering)
+{
+    // UMC < DIFT < BC < SEC, as in the paper.
+    const u32 umc = mapToFpga(extensionSynth(MonitorKind::kUmc).fabric).luts;
+    const u32 dift =
+        mapToFpga(extensionSynth(MonitorKind::kDift).fabric).luts;
+    const u32 bc = mapToFpga(extensionSynth(MonitorKind::kBc).fabric).luts;
+    const u32 sec =
+        mapToFpga(extensionSynth(MonitorKind::kSec).fabric).luts;
+    EXPECT_LT(umc, dift);
+    EXPECT_LT(dift, bc);
+    EXPECT_LT(bc, sec);
+}
+
+TEST(SynthTable, MatchesPaperBands)
+{
+    const std::vector<SynthRow> rows = synthesisTable();
+    ASSERT_EQ(rows.size(), 10u);
+
+    auto find = [&](const std::string &group,
+                    const std::string &ext) -> const SynthRow & {
+        for (const SynthRow &row : rows) {
+            if (row.group == group && row.extension == ext)
+                return row;
+        }
+        ADD_FAILURE() << group << "/" << ext << " missing";
+        return rows[0];
+    };
+
+    // Baseline anchors.
+    const SynthRow &base = find("Baseline", "-");
+    EXPECT_NEAR(base.area_um2, 835525, 1);
+    EXPECT_NEAR(base.power_mw, 365, 1);
+    EXPECT_NEAR(base.fmax_mhz, 465, 1);
+
+    // ASIC extension area overheads (paper: 11.6/15/19.3/0.15 %).
+    EXPECT_NEAR(find("ASIC", "UMC").area_overhead, 0.116, 0.02);
+    EXPECT_NEAR(find("ASIC", "DIFT").area_overhead, 0.15, 0.02);
+    EXPECT_NEAR(find("ASIC", "BC").area_overhead, 0.193, 0.02);
+    EXPECT_NEAR(find("ASIC", "SEC").area_overhead, 0.0015, 0.002);
+
+    // Dedicated FlexCore modules (paper: +32.5% area, +14.6% power).
+    const SynthRow &common = find("FlexCore", "Common");
+    EXPECT_NEAR(common.area_overhead, 0.325, 0.03);
+    EXPECT_NEAR(common.power_overhead, 0.146, 0.02);
+    EXPECT_NEAR(common.fmax_mhz, 458, 2);
+
+    // Fabric frequencies set the Table IV clock ratios.
+    EXPECT_NEAR(find("FlexCore", "UMC").fmax_mhz, 266, 8);
+    EXPECT_NEAR(find("FlexCore", "DIFT").fmax_mhz, 256, 8);
+    EXPECT_NEAR(find("FlexCore", "BC").fmax_mhz, 229, 8);
+    EXPECT_NEAR(find("FlexCore", "SEC").fmax_mhz, 213, 8);
+
+    // Fabric power (paper: 21/23/27/36 mW).
+    EXPECT_NEAR(find("FlexCore", "UMC").power_mw, 21, 3);
+    EXPECT_NEAR(find("FlexCore", "SEC").power_mw, 36, 4);
+}
+
+TEST(SynthTable, HalfAndQuarterClockJustified)
+{
+    // The paper runs UMC/DIFT/BC at 0.5X and SEC at 0.25X; the fabric
+    // frequency estimates must support those ratios against the
+    // common-modules core frequency (458 MHz).
+    const std::vector<SynthRow> rows = synthesisTable();
+    for (const SynthRow &row : rows) {
+        if (row.group != "FlexCore" || row.extension == "Common")
+            continue;
+        const double ratio = row.fmax_mhz / 458.0;
+        if (row.extension == "SEC")
+            EXPECT_GE(ratio, 0.25);
+        else
+            EXPECT_GE(ratio, 0.5);
+    }
+}
+
+TEST(SynthTable, RenderContainsEveryRow)
+{
+    const std::vector<SynthRow> rows = synthesisTable();
+    const std::string text = renderSynthesisTable(rows);
+    EXPECT_NE(text.find("Baseline"), std::string::npos);
+    EXPECT_NE(text.find("UMC on Flex fabric"), std::string::npos);
+    EXPECT_NE(text.find("dedicated FlexCore modules"),
+              std::string::npos);
+}
+
+}  // namespace
+}  // namespace flexcore

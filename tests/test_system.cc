@@ -1,0 +1,221 @@
+/**
+ * @file
+ * System-level integration tests: monitor trap scenarios end to end,
+ * drain semantics, 'read from co-processor', and runner helpers.
+ */
+
+#include "sim/system.h"
+
+#include <gtest/gtest.h>
+
+#include "assembler/assembler.h"
+#include "sim/runner.h"
+#include "workloads/scenarios.h"
+
+namespace flexcore {
+namespace {
+
+RunResult
+runScenario(const Workload &workload, MonitorKind kind,
+            ImplMode mode = ImplMode::kFlexFabric)
+{
+    SystemConfig config;
+    config.monitor = kind;
+    config.mode = mode;
+    System system(config);
+    system.load(Assembler::assembleOrDie(workload.source));
+    return system.run();
+}
+
+struct Scenario
+{
+    const char *name;
+    Workload (*make)();
+    MonitorKind monitor;
+    bool want_trap;
+};
+
+class ScenarioMatrix : public ::testing::TestWithParam<
+                           std::tuple<Scenario, ImplMode>>
+{
+};
+
+TEST_P(ScenarioMatrix, DetectionBehaviour)
+{
+    const auto &[scenario, mode] = GetParam();
+    const RunResult result =
+        runScenario(scenario.make(), scenario.monitor, mode);
+    if (scenario.want_trap) {
+        EXPECT_EQ(result.exit, RunResult::Exit::kMonitorTrap)
+            << result.trap_reason;
+    } else {
+        EXPECT_EQ(result.exit, RunResult::Exit::kExited)
+            << result.trap_reason;
+    }
+}
+
+const Scenario kScenarios[] = {
+    {"dift_attack", scenarioDiftAttack, MonitorKind::kDift, true},
+    {"dift_benign", scenarioDiftBenign, MonitorKind::kDift, false},
+    {"umc_bug", scenarioUmcBug, MonitorKind::kUmc, true},
+    {"umc_clean", scenarioUmcClean, MonitorKind::kUmc, false},
+    {"bc_overflow", scenarioBcOverflow, MonitorKind::kBc, true},
+    {"bc_clean", scenarioBcClean, MonitorKind::kBc, false},
+};
+
+INSTANTIATE_TEST_SUITE_P(
+    BothImpls, ScenarioMatrix,
+    ::testing::Combine(::testing::ValuesIn(kScenarios),
+                       ::testing::Values(ImplMode::kAsic,
+                                         ImplMode::kFlexFabric)),
+    [](const auto &info) {
+        return std::string(std::get<0>(info.param).name) + "_" +
+               std::string(implModeName(std::get<1>(info.param)));
+    });
+
+TEST(SystemIntegration, SecCatchesInjectedFaults)
+{
+    SystemConfig config;
+    config.monitor = MonitorKind::kSec;
+    config.mode = ImplMode::kFlexFabric;
+    config.fault_rate = 0.001;
+    config.fault_seed = 7;
+    System system(config);
+    system.load(
+        Assembler::assembleOrDie(scenarioSecWorkload().source));
+    const RunResult result = system.run();
+    EXPECT_EQ(result.exit, RunResult::Exit::kMonitorTrap);
+    EXPECT_NE(result.trap_reason.find("soft error"),
+              std::string::npos);
+}
+
+TEST(SystemIntegration, SecSilentWithoutFaults)
+{
+    const RunResult result =
+        runScenario(scenarioSecWorkload(), MonitorKind::kSec);
+    EXPECT_EQ(result.exit, RunResult::Exit::kExited);
+}
+
+TEST(SystemIntegration, ReadFromCoprocessorBlocksForValue)
+{
+    // m.read must wait for the BFIFO value produced by the fabric.
+    const char *source = R"(
+        .org 0x1000
+_start: set 0x003ffff0, %sp
+        set buf, %l0
+        mov 1, %l1
+        st %l1, [%l0]        ; initializes the word (tag := 1)
+        m.read %o0, 0        ; UMC: read the init tag back
+        ta 0
+        nop
+        .align 4
+buf:    .word 0
+)";
+    SystemConfig config;
+    config.monitor = MonitorKind::kUmc;
+    config.mode = ImplMode::kFlexFabric;
+    System system(config);
+    system.load(Assembler::assembleOrDie(source));
+    const RunResult result = system.run();
+    EXPECT_EQ(result.exit, RunResult::Exit::kExited);
+    // UMC's ReadTag reports the tag at ADDR (= 0 here): the program
+    // image starts at 0x1000, so address 0 is uninitialized -> 0.
+    EXPECT_EQ(result.exit_code, 0u);
+}
+
+TEST(SystemIntegration, CoreTrapDrainsFabricFirst)
+{
+    // An illegal instruction right after a monitored fault must still
+    // report the *monitor* trap (the core waits for EMPTY, §III-C).
+    const char *source = R"(
+        .org 0x1000
+_start: set 0x003ffff0, %sp
+        set 0x20000, %l0
+        m.clrmtag [%l0]
+        ld [%l0], %o1        ; uninitialized read (trap in flight)
+        .word 0              ; illegal instruction
+)";
+    SystemConfig config;
+    config.monitor = MonitorKind::kUmc;
+    config.mode = ImplMode::kFlexFabric;
+    System system(config);
+    system.load(Assembler::assembleOrDie(source));
+    const RunResult result = system.run();
+    EXPECT_EQ(result.exit, RunResult::Exit::kMonitorTrap);
+}
+
+TEST(SystemIntegration, ExitWaitsForFabricDrain)
+{
+    SystemConfig config;
+    config.monitor = MonitorKind::kDift;
+    config.mode = ImplMode::kFlexFabric;
+    System system(config);
+    system.load(Assembler::assembleOrDie(R"(
+        .org 0x1000
+_start: mov 5, %o0
+        add %o0, %o0, %o1
+        ta 0
+        nop
+)"));
+    const RunResult result = system.run();
+    EXPECT_EQ(result.exit, RunResult::Exit::kExited);
+    // After the run the interface must be fully drained.
+    EXPECT_TRUE(system.iface()->empty());
+    EXPECT_TRUE(system.fabric()->idle());
+}
+
+TEST(SystemIntegration, BaselineHasNoFlexComponents)
+{
+    SystemConfig config;
+    System system(config);
+    EXPECT_EQ(system.iface(), nullptr);
+    EXPECT_EQ(system.fabric(), nullptr);
+    EXPECT_EQ(system.monitor(), nullptr);
+}
+
+TEST(SystemIntegration, MaxCyclesGuardFires)
+{
+    SystemConfig config;
+    config.max_cycles = 1000;
+    System system(config);
+    system.load(Assembler::assembleOrDie(R"(
+        .org 0x1000
+_start: ba _start
+        nop
+)"));
+    const RunResult result = system.run();
+    EXPECT_EQ(result.exit, RunResult::Exit::kMaxCycles);
+    EXPECT_EQ(result.cycles, 1000u);
+}
+
+TEST(Runner, GeomeanBasics)
+{
+    EXPECT_DOUBLE_EQ(geomean({4.0}), 4.0);
+    EXPECT_NEAR(geomean({1.0, 4.0}), 2.0, 1e-12);
+    EXPECT_NEAR(geomean({2.0, 2.0, 2.0}), 2.0, 1e-12);
+}
+
+TEST(Runner, RunSourceReportsForwardingStats)
+{
+    SystemConfig config;
+    config.monitor = MonitorKind::kUmc;
+    config.mode = ImplMode::kFlexFabric;
+    const SimOutcome outcome = runSource(R"(
+        .org 0x1000
+_start: set buf, %l0
+        st %g0, [%l0]
+        ld [%l0], %o0
+        ta 0
+        nop
+        .align 4
+buf:    .word 0
+)",
+                                         config);
+    EXPECT_EQ(outcome.result.exit, RunResult::Exit::kExited);
+    EXPECT_EQ(outcome.forwarded, 2u);   // the store and the load
+    EXPECT_GT(outcome.fwd_fraction, 0.0);
+    EXPECT_LT(outcome.fwd_fraction, 1.0);
+}
+
+}  // namespace
+}  // namespace flexcore

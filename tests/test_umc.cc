@@ -1,0 +1,217 @@
+/** @file UMC monitor unit tests (functional semantics). */
+
+#include "monitors/umc.h"
+
+#include <gtest/gtest.h>
+
+namespace flexcore {
+namespace {
+
+CommitPacket
+mem(Op op, Addr addr)
+{
+    CommitPacket pkt;
+    pkt.di.op = op;
+    pkt.di.type = classOf(op);
+    pkt.di.valid = true;
+    pkt.opcode = static_cast<u8>(pkt.di.type);
+    pkt.addr = addr;
+    return pkt;
+}
+
+CommitPacket
+cpop(CpopFn fn, Addr addr, u32 rs1_value = 0)
+{
+    CommitPacket pkt;
+    pkt.di.op = Op::kCpop1;
+    pkt.di.type = kTypeCpop1;
+    pkt.di.cpop_fn = fn;
+    pkt.di.valid = true;
+    pkt.opcode = kTypeCpop1;
+    pkt.addr = addr;
+    pkt.res = rs1_value;
+    return pkt;
+}
+
+TEST(Umc, StoreInitializesLoadPasses)
+{
+    UmcMonitor umc;
+    MonitorResult r;
+    umc.process(mem(Op::kSt, 0x2000), &r);
+    EXPECT_FALSE(r.trap);
+    ASSERT_EQ(r.num_ops, 1u);
+    EXPECT_TRUE(r.ops[0].is_write);
+
+    MonitorResult r2;
+    umc.process(mem(Op::kLd, 0x2000), &r2);
+    EXPECT_FALSE(r2.trap);
+    ASSERT_EQ(r2.num_ops, 1u);
+    EXPECT_FALSE(r2.ops[0].is_write);
+}
+
+TEST(Umc, UninitializedLoadTraps)
+{
+    UmcMonitor umc;
+    MonitorResult r;
+    umc.process(mem(Op::kLd, 0x3000), &r);
+    EXPECT_TRUE(r.trap);
+    EXPECT_STREQ(r.trap_reason, "uninitialized memory read");
+}
+
+TEST(Umc, SubWordAccessesShareWordTag)
+{
+    UmcMonitor umc;
+    MonitorResult r;
+    umc.process(mem(Op::kStb, 0x2001), &r);
+    MonitorResult r2;
+    umc.process(mem(Op::kLduh, 0x2002), &r2);   // same word
+    EXPECT_FALSE(r2.trap);
+}
+
+TEST(Umc, ClearMemTagModelsFree)
+{
+    UmcMonitor umc;
+    MonitorResult ignore;
+    umc.process(mem(Op::kSt, 0x2000), &ignore);
+    umc.process(cpop(CpopFn::kClearMemTag, 0x2000), &ignore);
+    MonitorResult r;
+    umc.process(mem(Op::kLd, 0x2000), &r);
+    EXPECT_TRUE(r.trap);   // use-after-free caught
+}
+
+TEST(Umc, SetMemTagMarksInitialized)
+{
+    UmcMonitor umc;
+    MonitorResult ignore;
+    umc.process(cpop(CpopFn::kSetMemTag, 0x4000), &ignore);
+    MonitorResult r;
+    umc.process(mem(Op::kLd, 0x4000), &r);
+    EXPECT_FALSE(r.trap);
+}
+
+TEST(Umc, ReadTagReturnsState)
+{
+    UmcMonitor umc;
+    MonitorResult ignore;
+    umc.process(mem(Op::kSt, 0x2000), &ignore);
+    MonitorResult r;
+    umc.process(cpop(CpopFn::kReadTag, 0x2000), &r);
+    EXPECT_TRUE(r.has_bfifo);
+    EXPECT_EQ(r.bfifo, 1u);
+    MonitorResult r2;
+    umc.process(cpop(CpopFn::kReadTag, 0x9000), &r2);
+    EXPECT_EQ(r2.bfifo, 0u);
+}
+
+TEST(Umc, PolicyDisablesTrap)
+{
+    UmcMonitor umc;
+    MonitorResult ignore;
+    umc.process(cpop(CpopFn::kSetPolicy, 0), &ignore);
+    MonitorResult r;
+    umc.process(mem(Op::kLd, 0x5000), &r);
+    EXPECT_FALSE(r.trap);   // checks disabled
+}
+
+TEST(Umc, ProgramLoadMarksImageInitialized)
+{
+    UmcMonitor umc;
+    umc.onProgramLoad(0x1000, 64);
+    MonitorResult r;
+    umc.process(mem(Op::kLd, 0x103c), &r);
+    EXPECT_FALSE(r.trap);
+    MonitorResult r2;
+    umc.process(mem(Op::kLd, 0x1040), &r2);   // past the image
+    EXPECT_TRUE(r2.trap);
+}
+
+TEST(Umc, SetBaseMovesMetaRegion)
+{
+    UmcMonitor umc;
+    const Addr old_meta = umc.metaAddr(0x2000);
+    MonitorResult ignore;
+    umc.process(cpop(CpopFn::kSetBase, 0, 0x50000000), &ignore);
+    EXPECT_EQ(umc.metaBase(), 0x50000000u);
+    EXPECT_NE(umc.metaAddr(0x2000), old_meta);
+}
+
+TEST(Umc, CfgrForwardsOnlyMemAndCpop)
+{
+    UmcMonitor umc;
+    Cfgr cfgr;
+    umc.configureCfgr(&cfgr);
+    EXPECT_EQ(cfgr.policy(kTypeLoadWord), ForwardPolicy::kAlways);
+    EXPECT_EQ(cfgr.policy(kTypeStoreByte), ForwardPolicy::kAlways);
+    EXPECT_EQ(cfgr.policy(kTypeCpop1), ForwardPolicy::kAlways);
+    EXPECT_EQ(cfgr.policy(kTypeAluAdd), ForwardPolicy::kIgnore);
+    EXPECT_EQ(cfgr.policy(kTypeBranch), ForwardPolicy::kIgnore);
+}
+
+TEST(Umc, ResetClearsState)
+{
+    UmcMonitor umc;
+    MonitorResult ignore;
+    umc.process(mem(Op::kSt, 0x2000), &ignore);
+    umc.reset();
+    MonitorResult r;
+    umc.process(mem(Op::kLd, 0x2000), &r);
+    EXPECT_TRUE(r.trap);
+}
+
+TEST(UmcByteGranular, CatchesPartiallyInitializedWords)
+{
+    // The Purify-style variant: writing one byte does not initialize
+    // the rest of the word.
+    UmcMonitor umc(/*byte_granular=*/true);
+    EXPECT_EQ(umc.tagBitsPerWord(), 4u);
+    MonitorResult ignore;
+    umc.process(mem(Op::kStb, 0x2001), &ignore);
+    MonitorResult ok;
+    umc.process(mem(Op::kLdub, 0x2001), &ok);
+    EXPECT_FALSE(ok.trap);
+    MonitorResult bad;
+    umc.process(mem(Op::kLdub, 0x2002), &bad);   // untouched byte
+    EXPECT_TRUE(bad.trap);
+    MonitorResult word;
+    umc.process(mem(Op::kLd, 0x2000), &word);    // whole word: 3 missing
+    EXPECT_TRUE(word.trap);
+}
+
+TEST(UmcByteGranular, HalfwordTracking)
+{
+    UmcMonitor umc(true);
+    MonitorResult ignore;
+    umc.process(mem(Op::kSth, 0x2000), &ignore);  // bytes 0-1
+    umc.process(mem(Op::kSth, 0x2002), &ignore);  // bytes 2-3
+    MonitorResult r;
+    umc.process(mem(Op::kLd, 0x2000), &r);        // fully covered now
+    EXPECT_FALSE(r.trap);
+}
+
+TEST(UmcByteGranular, WordVariantMissesWhatByteVariantCatches)
+{
+    // Documents the precision difference between the two modes.
+    UmcMonitor word_umc(false);
+    UmcMonitor byte_umc(true);
+    MonitorResult ignore;
+    word_umc.process(mem(Op::kStb, 0x2000), &ignore);
+    byte_umc.process(mem(Op::kStb, 0x2000), &ignore);
+    MonitorResult word_r, byte_r;
+    word_umc.process(mem(Op::kLd, 0x2000), &word_r);
+    byte_umc.process(mem(Op::kLd, 0x2000), &byte_r);
+    EXPECT_FALSE(word_r.trap);   // word granularity: false negative
+    EXPECT_TRUE(byte_r.trap);    // byte granularity: caught
+}
+
+TEST(UmcByteGranular, AllocationMarksWholeWords)
+{
+    UmcMonitor umc(true);
+    MonitorResult ignore;
+    umc.process(cpop(CpopFn::kSetMemTag, 0x3000), &ignore);
+    MonitorResult r;
+    umc.process(mem(Op::kLd, 0x3000), &r);
+    EXPECT_FALSE(r.trap);
+}
+
+}  // namespace
+}  // namespace flexcore

@@ -1,0 +1,148 @@
+/** @file WATCH (iWatcher-class) monitor tests. */
+
+#include "monitors/watch.h"
+
+#include <gtest/gtest.h>
+
+#include "assembler/assembler.h"
+#include "sim/system.h"
+
+namespace flexcore {
+namespace {
+
+CommitPacket
+mem(Op op, Addr addr)
+{
+    CommitPacket pkt;
+    pkt.di.op = op;
+    pkt.di.type = classOf(op);
+    pkt.di.valid = true;
+    pkt.opcode = static_cast<u8>(pkt.di.type);
+    pkt.addr = addr;
+    return pkt;
+}
+
+CommitPacket
+setMode(Addr addr, u8 mode)
+{
+    CommitPacket pkt;
+    pkt.di.op = Op::kCpop1;
+    pkt.di.type = kTypeCpop1;
+    pkt.di.cpop_fn = CpopFn::kSetMemTag;
+    pkt.di.valid = true;
+    pkt.opcode = kTypeCpop1;
+    pkt.addr = addr;
+    pkt.dest = mode;
+    return pkt;
+}
+
+MonitorResult
+feed(WatchMonitor *watch, const CommitPacket &pkt)
+{
+    MonitorResult r;
+    watch->process(pkt, &r);
+    return r;
+}
+
+TEST(Watch, UnwatchedMemoryIsFree)
+{
+    WatchMonitor watch;
+    EXPECT_FALSE(feed(&watch, mem(Op::kLd, 0x100)).trap);
+    EXPECT_FALSE(feed(&watch, mem(Op::kSt, 0x100)).trap);
+    EXPECT_EQ(watch.hits(), 0u);
+}
+
+TEST(Watch, CountModeCountsWithoutTrapping)
+{
+    WatchMonitor watch;
+    feed(&watch, setMode(0x100, WatchMonitor::kCount));
+    EXPECT_FALSE(feed(&watch, mem(Op::kLd, 0x100)).trap);
+    EXPECT_FALSE(feed(&watch, mem(Op::kSt, 0x100)).trap);
+    EXPECT_FALSE(feed(&watch, mem(Op::kLdub, 0x101)).trap);  // same word
+    EXPECT_EQ(watch.hits(), 3u);
+}
+
+TEST(Watch, TrapStoreModeIgnoresLoads)
+{
+    WatchMonitor watch;
+    feed(&watch, setMode(0x200, WatchMonitor::kTrapStore));
+    EXPECT_FALSE(feed(&watch, mem(Op::kLd, 0x200)).trap);
+    const MonitorResult r = feed(&watch, mem(Op::kSt, 0x200));
+    EXPECT_TRUE(r.trap);
+    EXPECT_STREQ(r.trap_reason, "watchpoint hit (store)");
+}
+
+TEST(Watch, TrapAccessModeCatchesLoads)
+{
+    WatchMonitor watch;
+    feed(&watch, setMode(0x300, WatchMonitor::kTrapAccess));
+    const MonitorResult r = feed(&watch, mem(Op::kLduh, 0x302));
+    EXPECT_TRUE(r.trap);
+    EXPECT_STREQ(r.trap_reason, "watchpoint hit (load)");
+}
+
+TEST(Watch, ClearRemovesWatchpoint)
+{
+    WatchMonitor watch;
+    feed(&watch, setMode(0x100, WatchMonitor::kTrapAccess));
+    CommitPacket clr;
+    clr.di.op = Op::kCpop1;
+    clr.di.type = kTypeCpop1;
+    clr.di.cpop_fn = CpopFn::kClearMemTag;
+    clr.di.valid = true;
+    clr.opcode = kTypeCpop1;
+    clr.addr = 0x100;
+    feed(&watch, clr);
+    EXPECT_FALSE(feed(&watch, mem(Op::kLd, 0x100)).trap);
+}
+
+TEST(Watch, CountersReadableOverBfifo)
+{
+    WatchMonitor watch;
+    feed(&watch, setMode(0x100, WatchMonitor::kCount));
+    feed(&watch, mem(Op::kLd, 0x100));
+    feed(&watch, mem(Op::kSt, 0x100));
+    feed(&watch, mem(Op::kSt, 0x100));
+    CommitPacket rd;
+    rd.di.op = Op::kCpop1;
+    rd.di.type = kTypeCpop1;
+    rd.di.cpop_fn = CpopFn::kReadTag;
+    rd.di.simm = WatchMonitor::kSelStoreHits;
+    rd.di.valid = true;
+    rd.opcode = kTypeCpop1;
+    const MonitorResult r = feed(&watch, rd);
+    EXPECT_TRUE(r.has_bfifo);
+    EXPECT_EQ(r.bfifo, 2u);
+}
+
+TEST(Watch, EndToEndWhoCorruptsThisVariable)
+{
+    // The canonical use: watch a variable, find the corrupting store.
+    const char *source = R"(
+        .org 0x1000
+_start: set victim, %l0
+        m.setmtag [%l0], 2     ; trap-on-store watchpoint
+        ld [%l0], %o0          ; reads are fine
+        set buf, %l1
+        st %g0, [%l1]          ; unrelated store: fine
+        st %g0, [%l0]          ; the corrupting store: trap here
+        mov 0, %o0
+        ta 0
+        nop
+        .align 4
+victim: .word 42
+buf:    .word 0
+)";
+    SystemConfig config;
+    config.monitor = MonitorKind::kWatch;
+    config.mode = ImplMode::kFlexFabric;
+    System system(config);
+    const Program program = Assembler::assembleOrDie(source);
+    system.load(program);
+    const RunResult result = system.run();
+    EXPECT_EQ(result.exit, RunResult::Exit::kMonitorTrap);
+    EXPECT_EQ(result.trap_reason, "watchpoint hit (store)");
+}
+
+}  // namespace
+}  // namespace flexcore

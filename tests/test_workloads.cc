@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Workload integration tests: every benchmark kernel (test scale) must
+ * run to completion with golden-verified output on the baseline and
+ * under every extension in ASIC, FlexCore, and software modes. This is
+ * the end-to-end correctness net for the whole simulator.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/runner.h"
+
+namespace flexcore {
+namespace {
+
+struct Case
+{
+    std::string workload;
+    MonitorKind monitor;
+    ImplMode mode;
+};
+
+std::string
+caseName(const ::testing::TestParamInfo<Case> &info)
+{
+    return info.param.workload + "_" +
+           std::string(monitorKindName(info.param.monitor)) + "_" +
+           std::string(implModeName(info.param.mode));
+}
+
+Workload
+workloadByName(const std::string &name)
+{
+    for (Workload &w : benchmarkSuite(WorkloadScale::kTest)) {
+        if (w.name == name)
+            return w;
+    }
+    ADD_FAILURE() << "unknown workload " << name;
+    return {};
+}
+
+class WorkloadMatrix : public ::testing::TestWithParam<Case>
+{
+};
+
+TEST_P(WorkloadMatrix, GoldenOutputUnderMonitoring)
+{
+    const Case &c = GetParam();
+    const Workload workload = workloadByName(c.workload);
+    SystemConfig config;
+    config.monitor = c.monitor;
+    config.mode = c.mode;
+    // runWorkloadChecked fatals on functional mismatch; reaching the
+    // return value means console output matched the golden model.
+    const SimOutcome outcome = runWorkloadChecked(workload, config);
+    EXPECT_EQ(outcome.result.exit, RunResult::Exit::kExited);
+    if (c.mode == ImplMode::kAsic || c.mode == ImplMode::kFlexFabric) {
+        EXPECT_GT(outcome.forwarded, 0u);
+    }
+}
+
+std::vector<Case>
+allCases()
+{
+    std::vector<Case> cases;
+    for (const char *name : {"sha", "gmac", "stringsearch", "fft",
+                             "basicmath", "bitcount"}) {
+        cases.push_back({name, MonitorKind::kNone, ImplMode::kBaseline});
+        for (MonitorKind kind : {MonitorKind::kUmc, MonitorKind::kDift,
+                                 MonitorKind::kBc, MonitorKind::kSec}) {
+            cases.push_back({name, kind, ImplMode::kAsic});
+            cases.push_back({name, kind, ImplMode::kFlexFabric});
+            cases.push_back({name, kind, ImplMode::kSoftware});
+        }
+    }
+    return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModes, WorkloadMatrix,
+                         ::testing::ValuesIn(allCases()), caseName);
+
+TEST(Workloads, MonitoredRunsAreNeverFaster)
+{
+    for (const Workload &w : benchmarkSuite(WorkloadScale::kTest)) {
+        SystemConfig base;
+        const u64 baseline = runWorkloadChecked(w, base).result.cycles;
+        for (MonitorKind kind : {MonitorKind::kUmc, MonitorKind::kDift,
+                                 MonitorKind::kBc, MonitorKind::kSec}) {
+            SystemConfig flex;
+            flex.monitor = kind;
+            flex.mode = ImplMode::kFlexFabric;
+            EXPECT_GE(runWorkloadChecked(w, flex).result.cycles,
+                      baseline)
+                << w.name << " " << monitorKindName(kind);
+        }
+    }
+}
+
+TEST(Workloads, SlowerFabricNeverFaster)
+{
+    const Workload w = workloadByName("gmac");
+    u64 prev = 0;
+    for (u32 period : {1u, 2u, 4u, 8u}) {
+        SystemConfig config;
+        config.monitor = MonitorKind::kDift;
+        config.mode = ImplMode::kFlexFabric;
+        config.flex_period = period;
+        const u64 cycles = runWorkloadChecked(w, config).result.cycles;
+        EXPECT_GE(cycles, prev) << "period " << period;
+        prev = cycles;
+    }
+}
+
+TEST(Workloads, SuiteHasSixBenchmarksInTableOrder)
+{
+    const auto suite = benchmarkSuite(WorkloadScale::kTest);
+    ASSERT_EQ(suite.size(), 6u);
+    EXPECT_EQ(suite[0].name, "sha");
+    EXPECT_EQ(suite[1].name, "gmac");
+    EXPECT_EQ(suite[2].name, "stringsearch");
+    EXPECT_EQ(suite[3].name, "fft");
+    EXPECT_EQ(suite[4].name, "basicmath");
+    EXPECT_EQ(suite[5].name, "bitcount");
+    for (const Workload &w : suite) {
+        EXPECT_FALSE(w.source.empty());
+        EXPECT_FALSE(w.expected_console.empty());
+    }
+}
+
+TEST(Workloads, DeterministicAcrossRuns)
+{
+    const Workload w = workloadByName("fft");
+    SystemConfig config;
+    config.monitor = MonitorKind::kBc;
+    config.mode = ImplMode::kFlexFabric;
+    const SimOutcome a = runWorkloadChecked(w, config);
+    const SimOutcome b = runWorkloadChecked(w, config);
+    EXPECT_EQ(a.result.cycles, b.result.cycles);
+    EXPECT_EQ(a.forwarded, b.forwarded);
+    EXPECT_EQ(a.meta_misses, b.meta_misses);
+}
+
+}  // namespace
+}  // namespace flexcore

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * flexcore-asm: assemble a SPARC-subset .s file and emit the image.
+ *
+ *   flexcore-asm prog.s                  # listing (addr, word, disasm)
+ *   flexcore-asm --hex prog.s            # one hex word per line
+ *   flexcore-asm --symbols prog.s        # symbol table
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "assembler/assembler.h"
+#include "isa/disasm.h"
+
+using namespace flexcore;
+
+int
+main(int argc, char **argv)
+{
+    bool hex = false;
+    bool symbols = false;
+    std::string path;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--hex")
+            hex = true;
+        else if (arg == "--symbols")
+            symbols = true;
+        else if (arg == "--help" || arg == "-h") {
+            std::fprintf(stderr,
+                         "usage: flexcore-asm [--hex|--symbols] "
+                         "program.s\n");
+            return 0;
+        } else {
+            path = arg;
+        }
+    }
+    if (path.empty()) {
+        std::fprintf(stderr, "usage: flexcore-asm [--hex|--symbols] "
+                             "program.s\n");
+        return 2;
+    }
+
+    std::ifstream file(path);
+    if (!file) {
+        std::fprintf(stderr, "cannot open %s\n", path.c_str());
+        return 2;
+    }
+    std::stringstream source;
+    source << file.rdbuf();
+
+    Assembler assembler;
+    Program program;
+    if (!assembler.assemble(source.str(), &program)) {
+        std::fprintf(stderr, "%s: assembly failed\n%s", path.c_str(),
+                     assembler.errorText().c_str());
+        return 1;
+    }
+
+    if (symbols) {
+        for (const auto &[name, value] : program.symbols())
+            std::printf("0x%08x %s\n", value, name.c_str());
+        return 0;
+    }
+
+    for (Addr addr = program.base(); addr + 4 <= program.end();
+         addr += 4) {
+        const u32 word = program.wordAt(addr);
+        if (hex) {
+            std::printf("%08x\n", word);
+        } else {
+            std::printf("0x%08x  %08x  %s\n", addr, word,
+                        disassemble(word, addr).c_str());
+        }
+    }
+    return 0;
+}

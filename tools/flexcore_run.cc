@@ -1,0 +1,208 @@
+/**
+ * @file
+ * flexcore-run: assemble a SPARC-subset .s file and execute it on the
+ * simulated system, optionally with a monitoring extension.
+ *
+ *   flexcore-run prog.s                         # baseline Leon3
+ *   flexcore-run --monitor dift prog.s          # DIFT on the fabric
+ *   flexcore-run --monitor bc --mode asic prog.s
+ *   flexcore-run --monitor sec --fault-rate 1e-5 prog.s
+ *   flexcore-run --monitor umc --stats --trace prog.s
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "assembler/assembler.h"
+#include "common/log.h"
+#include "isa/disasm.h"
+#include "sim/system.h"
+
+using namespace flexcore;
+
+namespace {
+
+void
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: flexcore-run [options] program.s\n"
+                 "  --monitor none|umc|dift|bc|sec   extension "
+                 "(default none)\n"
+                 "  --mode baseline|asic|flexcore|software\n"
+                 "  --period N        fabric clock divisor "
+                 "(default: per-extension)\n"
+                 "  --fifo N          forward FIFO depth (default 64)\n"
+                 "  --mcache BYTES    meta-data cache size "
+                 "(default 4096)\n"
+                 "  --dift-bits N     DIFT taint width (1 or 4)\n"
+                 "  --precise         precise monitor exceptions\n"
+                 "  --fault-rate P    ALU transient-fault probability\n"
+                 "  --max-cycles N    simulation cycle limit\n"
+                 "  --stats           dump the statistics tree\n"
+                 "  --trace           print every committed instruction\n"
+                 "  --quiet           suppress the run summary\n");
+}
+
+bool
+parseMonitor(const std::string &name, MonitorKind *kind)
+{
+    if (name == "none") *kind = MonitorKind::kNone;
+    else if (name == "umc") *kind = MonitorKind::kUmc;
+    else if (name == "dift") *kind = MonitorKind::kDift;
+    else if (name == "bc") *kind = MonitorKind::kBc;
+    else if (name == "sec") *kind = MonitorKind::kSec;
+    else return false;
+    return true;
+}
+
+bool
+parseMode(const std::string &name, ImplMode *mode)
+{
+    if (name == "baseline") *mode = ImplMode::kBaseline;
+    else if (name == "asic") *mode = ImplMode::kAsic;
+    else if (name == "flexcore") *mode = ImplMode::kFlexFabric;
+    else if (name == "software") *mode = ImplMode::kSoftware;
+    else return false;
+    return true;
+}
+
+}  // namespace
+
+int
+main(int argc, char **argv)
+{
+    SystemConfig config;
+    bool mode_given = false;
+    bool dump_stats = false;
+    bool trace = false;
+    bool quiet = false;
+    std::string path;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                usage();
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--monitor") {
+            if (!parseMonitor(next(), &config.monitor)) {
+                usage();
+                return 2;
+            }
+        } else if (arg == "--mode") {
+            if (!parseMode(next(), &config.mode)) {
+                usage();
+                return 2;
+            }
+            mode_given = true;
+        } else if (arg == "--period") {
+            config.flex_period = std::strtoul(next(), nullptr, 0);
+        } else if (arg == "--fifo") {
+            config.iface.fifo_depth = std::strtoul(next(), nullptr, 0);
+        } else if (arg == "--mcache") {
+            config.fabric.meta_cache.size_bytes =
+                std::strtoul(next(), nullptr, 0);
+        } else if (arg == "--dift-bits") {
+            config.dift_tag_bits = std::strtoul(next(), nullptr, 0);
+        } else if (arg == "--precise") {
+            config.precise_exceptions = true;
+        } else if (arg == "--fault-rate") {
+            config.fault_rate = std::strtod(next(), nullptr);
+        } else if (arg == "--max-cycles") {
+            config.max_cycles = std::strtoull(next(), nullptr, 0);
+        } else if (arg == "--stats") {
+            dump_stats = true;
+        } else if (arg == "--trace") {
+            trace = true;
+        } else if (arg == "--quiet") {
+            quiet = true;
+        } else if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::fprintf(stderr, "unknown option %s\n", arg.c_str());
+            usage();
+            return 2;
+        } else {
+            path = arg;
+        }
+    }
+    if (path.empty()) {
+        usage();
+        return 2;
+    }
+    if (config.monitor != MonitorKind::kNone && !mode_given)
+        config.mode = ImplMode::kFlexFabric;
+
+    std::ifstream file(path);
+    if (!file) {
+        std::fprintf(stderr, "cannot open %s\n", path.c_str());
+        return 2;
+    }
+    std::stringstream source;
+    source << file.rdbuf();
+
+    Assembler assembler;
+    Program program;
+    if (!assembler.assemble(source.str(), &program)) {
+        std::fprintf(stderr, "%s: assembly failed\n%s", path.c_str(),
+                     assembler.errorText().c_str());
+        return 1;
+    }
+
+    System system(config);
+    system.load(program);
+    if (trace) {
+        system.core().setTracer(
+            [](Cycle cycle, Addr pc, const Instruction &inst) {
+                std::fprintf(stderr, "%10llu  0x%08x  %s\n",
+                             static_cast<unsigned long long>(cycle), pc,
+                             disassemble(inst, pc).c_str());
+            });
+    }
+    const RunResult result = system.run();
+
+    std::fputs(result.console.c_str(), stdout);
+    if (!quiet) {
+        std::fprintf(stderr,
+                     "[flexcore-run] %s: %s after %llu cycles, %llu "
+                     "instructions",
+                     path.c_str(),
+                     std::string(exitName(result.exit)).c_str(),
+                     static_cast<unsigned long long>(result.cycles),
+                     static_cast<unsigned long long>(
+                         result.instructions));
+        if (result.exit == RunResult::Exit::kExited)
+            std::fprintf(stderr, ", exit code %u", result.exit_code);
+        if (result.exit == RunResult::Exit::kMonitorTrap)
+            std::fprintf(stderr, " (%s at pc=0x%x)",
+                         result.trap_reason.c_str(), result.trap.pc);
+        if (result.exit == RunResult::Exit::kCoreTrap)
+            std::fprintf(stderr, " (%s: %s at pc=0x%x)",
+                         std::string(trapKindName(result.trap.kind))
+                             .c_str(),
+                         result.trap.detail.c_str(), result.trap.pc);
+        std::fprintf(stderr, "\n");
+    }
+    if (dump_stats)
+        std::fputs(system.stats().dump().c_str(), stderr);
+
+    switch (result.exit) {
+      case RunResult::Exit::kExited:
+        return static_cast<int>(result.exit_code & 0x7f);
+      case RunResult::Exit::kMonitorTrap:
+        return 125;
+      case RunResult::Exit::kCoreTrap:
+        return 126;
+      case RunResult::Exit::kMaxCycles:
+        return 124;
+    }
+    return 1;
+}
