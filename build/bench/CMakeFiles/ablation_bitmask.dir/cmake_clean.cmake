@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_bitmask.dir/ablation_bitmask.cc.o"
+  "CMakeFiles/ablation_bitmask.dir/ablation_bitmask.cc.o.d"
+  "ablation_bitmask"
+  "ablation_bitmask.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_bitmask.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_mcache.dir/ablation_mcache.cc.o"
+  "CMakeFiles/ablation_mcache.dir/ablation_mcache.cc.o.d"
+  "ablation_mcache"
+  "ablation_mcache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_mcache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_precise.dir/ablation_precise.cc.o"
+  "CMakeFiles/ablation_precise.dir/ablation_precise.cc.o.d"
+  "ablation_precise"
+  "ablation_precise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_precise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_predecode.dir/ablation_predecode.cc.o"
+  "CMakeFiles/ablation_predecode.dir/ablation_predecode.cc.o.d"
+  "ablation_predecode"
+  "ablation_predecode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_predecode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_generality.dir/extension_generality.cc.o"
+  "CMakeFiles/extension_generality.dir/extension_generality.cc.o.d"
+  "extension_generality"
+  "extension_generality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_generality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

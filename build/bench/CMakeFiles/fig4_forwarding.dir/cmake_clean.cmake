@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_forwarding.dir/fig4_forwarding.cc.o"
+  "CMakeFiles/fig4_forwarding.dir/fig4_forwarding.cc.o.d"
+  "fig4_forwarding"
+  "fig4_forwarding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_forwarding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

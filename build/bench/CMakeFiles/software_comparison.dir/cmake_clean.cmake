@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/software_comparison.dir/software_comparison.cc.o"
+  "CMakeFiles/software_comparison.dir/software_comparison.cc.o.d"
+  "software_comparison"
+  "software_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/software_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

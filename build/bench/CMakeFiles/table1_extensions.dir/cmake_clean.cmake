@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_extensions.dir/table1_extensions.cc.o"
+  "CMakeFiles/table1_extensions.dir/table1_extensions.cc.o.d"
+  "table1_extensions"
+  "table1_extensions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_extensions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_interface.dir/table2_interface.cc.o"
+  "CMakeFiles/table2_interface.dir/table2_interface.cc.o.d"
+  "table2_interface"
+  "table2_interface.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_interface.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

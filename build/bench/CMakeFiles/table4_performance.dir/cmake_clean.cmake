@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_performance.dir/table4_performance.cc.o"
+  "CMakeFiles/table4_performance.dir/table4_performance.cc.o.d"
+  "table4_performance"
+  "table4_performance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_performance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

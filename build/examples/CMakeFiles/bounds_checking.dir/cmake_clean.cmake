@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bounds_checking.dir/bounds_checking.cpp.o"
+  "CMakeFiles/bounds_checking.dir/bounds_checking.cpp.o.d"
+  "bounds_checking"
+  "bounds_checking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bounds_checking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

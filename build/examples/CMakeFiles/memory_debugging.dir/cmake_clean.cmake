@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memory_debugging.dir/memory_debugging.cpp.o"
+  "CMakeFiles/memory_debugging.dir/memory_debugging.cpp.o.d"
+  "memory_debugging"
+  "memory_debugging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memory_debugging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

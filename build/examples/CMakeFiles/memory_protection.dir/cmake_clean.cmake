@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memory_protection.dir/memory_protection.cpp.o"
+  "CMakeFiles/memory_protection.dir/memory_protection.cpp.o.d"
+  "memory_protection"
+  "memory_protection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memory_protection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soft_error_injection.dir/soft_error_injection.cpp.o"
+  "CMakeFiles/soft_error_injection.dir/soft_error_injection.cpp.o.d"
+  "soft_error_injection"
+  "soft_error_injection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soft_error_injection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taint_tracking.dir/taint_tracking.cpp.o"
+  "CMakeFiles/taint_tracking.dir/taint_tracking.cpp.o.d"
+  "taint_tracking"
+  "taint_tracking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taint_tracking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/watchpoints.dir/watchpoints.cpp.o"
+  "CMakeFiles/watchpoints.dir/watchpoints.cpp.o.d"
+  "watchpoints"
+  "watchpoints.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/watchpoints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,72 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/assembler/assembler.cc" "src/CMakeFiles/flexcore.dir/assembler/assembler.cc.o" "gcc" "src/CMakeFiles/flexcore.dir/assembler/assembler.cc.o.d"
+  "/root/repo/src/assembler/lexer.cc" "src/CMakeFiles/flexcore.dir/assembler/lexer.cc.o" "gcc" "src/CMakeFiles/flexcore.dir/assembler/lexer.cc.o.d"
+  "/root/repo/src/assembler/parser.cc" "src/CMakeFiles/flexcore.dir/assembler/parser.cc.o" "gcc" "src/CMakeFiles/flexcore.dir/assembler/parser.cc.o.d"
+  "/root/repo/src/assembler/program.cc" "src/CMakeFiles/flexcore.dir/assembler/program.cc.o" "gcc" "src/CMakeFiles/flexcore.dir/assembler/program.cc.o.d"
+  "/root/repo/src/common/log.cc" "src/CMakeFiles/flexcore.dir/common/log.cc.o" "gcc" "src/CMakeFiles/flexcore.dir/common/log.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/flexcore.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/flexcore.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/stats.cc" "src/CMakeFiles/flexcore.dir/common/stats.cc.o" "gcc" "src/CMakeFiles/flexcore.dir/common/stats.cc.o.d"
+  "/root/repo/src/core/alu.cc" "src/CMakeFiles/flexcore.dir/core/alu.cc.o" "gcc" "src/CMakeFiles/flexcore.dir/core/alu.cc.o.d"
+  "/root/repo/src/core/core.cc" "src/CMakeFiles/flexcore.dir/core/core.cc.o" "gcc" "src/CMakeFiles/flexcore.dir/core/core.cc.o.d"
+  "/root/repo/src/core/regfile.cc" "src/CMakeFiles/flexcore.dir/core/regfile.cc.o" "gcc" "src/CMakeFiles/flexcore.dir/core/regfile.cc.o.d"
+  "/root/repo/src/core/trap.cc" "src/CMakeFiles/flexcore.dir/core/trap.cc.o" "gcc" "src/CMakeFiles/flexcore.dir/core/trap.cc.o.d"
+  "/root/repo/src/flexcore/cfgr.cc" "src/CMakeFiles/flexcore.dir/flexcore/cfgr.cc.o" "gcc" "src/CMakeFiles/flexcore.dir/flexcore/cfgr.cc.o.d"
+  "/root/repo/src/flexcore/fabric.cc" "src/CMakeFiles/flexcore.dir/flexcore/fabric.cc.o" "gcc" "src/CMakeFiles/flexcore.dir/flexcore/fabric.cc.o.d"
+  "/root/repo/src/flexcore/interface.cc" "src/CMakeFiles/flexcore.dir/flexcore/interface.cc.o" "gcc" "src/CMakeFiles/flexcore.dir/flexcore/interface.cc.o.d"
+  "/root/repo/src/flexcore/packet.cc" "src/CMakeFiles/flexcore.dir/flexcore/packet.cc.o" "gcc" "src/CMakeFiles/flexcore.dir/flexcore/packet.cc.o.d"
+  "/root/repo/src/flexcore/shadow_regfile.cc" "src/CMakeFiles/flexcore.dir/flexcore/shadow_regfile.cc.o" "gcc" "src/CMakeFiles/flexcore.dir/flexcore/shadow_regfile.cc.o.d"
+  "/root/repo/src/isa/disasm.cc" "src/CMakeFiles/flexcore.dir/isa/disasm.cc.o" "gcc" "src/CMakeFiles/flexcore.dir/isa/disasm.cc.o.d"
+  "/root/repo/src/isa/encoding.cc" "src/CMakeFiles/flexcore.dir/isa/encoding.cc.o" "gcc" "src/CMakeFiles/flexcore.dir/isa/encoding.cc.o.d"
+  "/root/repo/src/isa/instruction.cc" "src/CMakeFiles/flexcore.dir/isa/instruction.cc.o" "gcc" "src/CMakeFiles/flexcore.dir/isa/instruction.cc.o.d"
+  "/root/repo/src/isa/opcodes.cc" "src/CMakeFiles/flexcore.dir/isa/opcodes.cc.o" "gcc" "src/CMakeFiles/flexcore.dir/isa/opcodes.cc.o.d"
+  "/root/repo/src/isa/registers.cc" "src/CMakeFiles/flexcore.dir/isa/registers.cc.o" "gcc" "src/CMakeFiles/flexcore.dir/isa/registers.cc.o.d"
+  "/root/repo/src/memory/bus.cc" "src/CMakeFiles/flexcore.dir/memory/bus.cc.o" "gcc" "src/CMakeFiles/flexcore.dir/memory/bus.cc.o.d"
+  "/root/repo/src/memory/cache.cc" "src/CMakeFiles/flexcore.dir/memory/cache.cc.o" "gcc" "src/CMakeFiles/flexcore.dir/memory/cache.cc.o.d"
+  "/root/repo/src/memory/memory.cc" "src/CMakeFiles/flexcore.dir/memory/memory.cc.o" "gcc" "src/CMakeFiles/flexcore.dir/memory/memory.cc.o.d"
+  "/root/repo/src/memory/meta_cache.cc" "src/CMakeFiles/flexcore.dir/memory/meta_cache.cc.o" "gcc" "src/CMakeFiles/flexcore.dir/memory/meta_cache.cc.o.d"
+  "/root/repo/src/memory/sdram.cc" "src/CMakeFiles/flexcore.dir/memory/sdram.cc.o" "gcc" "src/CMakeFiles/flexcore.dir/memory/sdram.cc.o.d"
+  "/root/repo/src/memory/store_buffer.cc" "src/CMakeFiles/flexcore.dir/memory/store_buffer.cc.o" "gcc" "src/CMakeFiles/flexcore.dir/memory/store_buffer.cc.o.d"
+  "/root/repo/src/monitors/bc.cc" "src/CMakeFiles/flexcore.dir/monitors/bc.cc.o" "gcc" "src/CMakeFiles/flexcore.dir/monitors/bc.cc.o.d"
+  "/root/repo/src/monitors/dift.cc" "src/CMakeFiles/flexcore.dir/monitors/dift.cc.o" "gcc" "src/CMakeFiles/flexcore.dir/monitors/dift.cc.o.d"
+  "/root/repo/src/monitors/memprot.cc" "src/CMakeFiles/flexcore.dir/monitors/memprot.cc.o" "gcc" "src/CMakeFiles/flexcore.dir/monitors/memprot.cc.o.d"
+  "/root/repo/src/monitors/monitor.cc" "src/CMakeFiles/flexcore.dir/monitors/monitor.cc.o" "gcc" "src/CMakeFiles/flexcore.dir/monitors/monitor.cc.o.d"
+  "/root/repo/src/monitors/prof.cc" "src/CMakeFiles/flexcore.dir/monitors/prof.cc.o" "gcc" "src/CMakeFiles/flexcore.dir/monitors/prof.cc.o.d"
+  "/root/repo/src/monitors/refcount.cc" "src/CMakeFiles/flexcore.dir/monitors/refcount.cc.o" "gcc" "src/CMakeFiles/flexcore.dir/monitors/refcount.cc.o.d"
+  "/root/repo/src/monitors/sec.cc" "src/CMakeFiles/flexcore.dir/monitors/sec.cc.o" "gcc" "src/CMakeFiles/flexcore.dir/monitors/sec.cc.o.d"
+  "/root/repo/src/monitors/software.cc" "src/CMakeFiles/flexcore.dir/monitors/software.cc.o" "gcc" "src/CMakeFiles/flexcore.dir/monitors/software.cc.o.d"
+  "/root/repo/src/monitors/umc.cc" "src/CMakeFiles/flexcore.dir/monitors/umc.cc.o" "gcc" "src/CMakeFiles/flexcore.dir/monitors/umc.cc.o.d"
+  "/root/repo/src/monitors/watch.cc" "src/CMakeFiles/flexcore.dir/monitors/watch.cc.o" "gcc" "src/CMakeFiles/flexcore.dir/monitors/watch.cc.o.d"
+  "/root/repo/src/sim/config.cc" "src/CMakeFiles/flexcore.dir/sim/config.cc.o" "gcc" "src/CMakeFiles/flexcore.dir/sim/config.cc.o.d"
+  "/root/repo/src/sim/runner.cc" "src/CMakeFiles/flexcore.dir/sim/runner.cc.o" "gcc" "src/CMakeFiles/flexcore.dir/sim/runner.cc.o.d"
+  "/root/repo/src/sim/system.cc" "src/CMakeFiles/flexcore.dir/sim/system.cc.o" "gcc" "src/CMakeFiles/flexcore.dir/sim/system.cc.o.d"
+  "/root/repo/src/synth/asic_model.cc" "src/CMakeFiles/flexcore.dir/synth/asic_model.cc.o" "gcc" "src/CMakeFiles/flexcore.dir/synth/asic_model.cc.o.d"
+  "/root/repo/src/synth/extension_synth.cc" "src/CMakeFiles/flexcore.dir/synth/extension_synth.cc.o" "gcc" "src/CMakeFiles/flexcore.dir/synth/extension_synth.cc.o.d"
+  "/root/repo/src/synth/fpga_model.cc" "src/CMakeFiles/flexcore.dir/synth/fpga_model.cc.o" "gcc" "src/CMakeFiles/flexcore.dir/synth/fpga_model.cc.o.d"
+  "/root/repo/src/synth/report.cc" "src/CMakeFiles/flexcore.dir/synth/report.cc.o" "gcc" "src/CMakeFiles/flexcore.dir/synth/report.cc.o.d"
+  "/root/repo/src/synth/resources.cc" "src/CMakeFiles/flexcore.dir/synth/resources.cc.o" "gcc" "src/CMakeFiles/flexcore.dir/synth/resources.cc.o.d"
+  "/root/repo/src/workloads/basicmath.cc" "src/CMakeFiles/flexcore.dir/workloads/basicmath.cc.o" "gcc" "src/CMakeFiles/flexcore.dir/workloads/basicmath.cc.o.d"
+  "/root/repo/src/workloads/bitcount.cc" "src/CMakeFiles/flexcore.dir/workloads/bitcount.cc.o" "gcc" "src/CMakeFiles/flexcore.dir/workloads/bitcount.cc.o.d"
+  "/root/repo/src/workloads/fft.cc" "src/CMakeFiles/flexcore.dir/workloads/fft.cc.o" "gcc" "src/CMakeFiles/flexcore.dir/workloads/fft.cc.o.d"
+  "/root/repo/src/workloads/gmac.cc" "src/CMakeFiles/flexcore.dir/workloads/gmac.cc.o" "gcc" "src/CMakeFiles/flexcore.dir/workloads/gmac.cc.o.d"
+  "/root/repo/src/workloads/qsort.cc" "src/CMakeFiles/flexcore.dir/workloads/qsort.cc.o" "gcc" "src/CMakeFiles/flexcore.dir/workloads/qsort.cc.o.d"
+  "/root/repo/src/workloads/scenarios.cc" "src/CMakeFiles/flexcore.dir/workloads/scenarios.cc.o" "gcc" "src/CMakeFiles/flexcore.dir/workloads/scenarios.cc.o.d"
+  "/root/repo/src/workloads/sha.cc" "src/CMakeFiles/flexcore.dir/workloads/sha.cc.o" "gcc" "src/CMakeFiles/flexcore.dir/workloads/sha.cc.o.d"
+  "/root/repo/src/workloads/stringsearch.cc" "src/CMakeFiles/flexcore.dir/workloads/stringsearch.cc.o" "gcc" "src/CMakeFiles/flexcore.dir/workloads/stringsearch.cc.o.d"
+  "/root/repo/src/workloads/workload.cc" "src/CMakeFiles/flexcore.dir/workloads/workload.cc.o" "gcc" "src/CMakeFiles/flexcore.dir/workloads/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bc.dir/test_bc.cc.o"
+  "CMakeFiles/test_bc.dir/test_bc.cc.o.d"
+  "test_bc"
+  "test_bc.pdb"
+  "test_bc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_interface.dir/test_interface.cc.o"
+  "CMakeFiles/test_interface.dir/test_interface.cc.o.d"
+  "test_interface"
+  "test_interface.pdb"
+  "test_interface[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_interface.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

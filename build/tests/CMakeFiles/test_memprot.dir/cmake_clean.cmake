@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_memprot.dir/test_memprot.cc.o"
+  "CMakeFiles/test_memprot.dir/test_memprot.cc.o.d"
+  "test_memprot"
+  "test_memprot.pdb"
+  "test_memprot[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_memprot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_refcount.dir/test_refcount.cc.o"
+  "CMakeFiles/test_refcount.dir/test_refcount.cc.o.d"
+  "test_refcount"
+  "test_refcount.pdb"
+  "test_refcount[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_refcount.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

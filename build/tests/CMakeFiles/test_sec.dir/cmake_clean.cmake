@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sec.dir/test_sec.cc.o"
+  "CMakeFiles/test_sec.dir/test_sec.cc.o.d"
+  "test_sec"
+  "test_sec.pdb"
+  "test_sec[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

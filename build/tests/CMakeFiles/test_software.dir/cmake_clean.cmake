@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_software.dir/test_software.cc.o"
+  "CMakeFiles/test_software.dir/test_software.cc.o.d"
+  "test_software"
+  "test_software.pdb"
+  "test_software[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_software.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

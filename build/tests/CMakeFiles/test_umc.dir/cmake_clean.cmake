@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_umc.dir/test_umc.cc.o"
+  "CMakeFiles/test_umc.dir/test_umc.cc.o.d"
+  "test_umc"
+  "test_umc.pdb"
+  "test_umc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_umc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_watch.dir/test_watch.cc.o"
+  "CMakeFiles/test_watch.dir/test_watch.cc.o.d"
+  "test_watch"
+  "test_watch.pdb"
+  "test_watch[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_watch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

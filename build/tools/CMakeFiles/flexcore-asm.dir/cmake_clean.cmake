@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexcore-asm.dir/flexcore_asm.cc.o"
+  "CMakeFiles/flexcore-asm.dir/flexcore_asm.cc.o.d"
+  "flexcore-asm"
+  "flexcore-asm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexcore-asm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

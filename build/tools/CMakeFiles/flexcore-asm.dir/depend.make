@@ -1,0 +1,2 @@
+# Empty dependencies file for flexcore-asm.
+# This may be replaced when dependencies are built.

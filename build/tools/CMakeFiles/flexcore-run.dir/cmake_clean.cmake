@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexcore-run.dir/flexcore_run.cc.o"
+  "CMakeFiles/flexcore-run.dir/flexcore_run.cc.o.d"
+  "flexcore-run"
+  "flexcore-run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexcore-run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
