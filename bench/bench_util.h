@@ -7,9 +7,15 @@
 #define FLEXCORE_BENCH_BENCH_UTIL_H_
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
+#include <unistd.h>
+
+#include "common/log.h"
+#include "sim/campaign.h"
 #include "sim/runner.h"
 
 namespace flexcore::bench {
@@ -53,6 +59,74 @@ hr(int width = 110)
     for (int i = 0; i < width; ++i)
         std::putchar('-');
     std::putchar('\n');
+}
+
+/** Shared command line of the campaign-based bench binaries. */
+struct BenchArgs
+{
+    CampaignOptions options;
+    std::string out_json;   //!< empty = JSON output disabled
+};
+
+inline BenchArgs
+parseBenchArgs(int argc, char **argv, const char *bench_name)
+{
+    BenchArgs args;
+    args.options.label = bench_name;
+    args.options.progress = isatty(STDERR_FILENO);
+    args.out_json = std::string(bench_name) + ".json";
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc)
+                FLEX_FATAL("option ", arg, " needs a value");
+            return argv[++i];
+        };
+        if (arg == "--jobs") {
+            args.options.jobs =
+                static_cast<unsigned>(std::strtoul(next(), nullptr, 0));
+        } else if (arg == "--out") {
+            args.out_json = next();
+        } else if (arg == "--no-json") {
+            args.out_json.clear();
+        } else if (arg == "--progress") {
+            args.options.progress = true;
+        } else if (arg == "--no-progress") {
+            args.options.progress = false;
+        } else if (arg == "--help" || arg == "-h") {
+            std::fprintf(stderr,
+                         "usage: %s [--jobs N] [--out results.json] "
+                         "[--no-json] [--[no-]progress]\n",
+                         bench_name);
+            std::exit(0);
+        } else {
+            FLEX_FATAL("unknown option ", arg);
+        }
+    }
+    return args;
+}
+
+/** Cycle count of the campaign row with exactly @p key. */
+inline u64
+cyclesFor(const std::vector<CampaignResult> &results,
+          const std::string &key)
+{
+    const CampaignResult *row = findResult(results, key);
+    if (!row)
+        FLEX_PANIC("missing campaign result for key '", key, "'");
+    return row->outcome.result.cycles;
+}
+
+/** Write the merged table if JSON output is enabled. */
+inline void
+maybeWriteJson(const BenchArgs &args, const char *bench_name,
+               const std::vector<CampaignResult> &results)
+{
+    if (args.out_json.empty())
+        return;
+    writeCampaignJson(args.out_json, bench_name, results);
+    std::fprintf(stderr, "[%s] wrote %zu results to %s\n", bench_name,
+                 results.size(), args.out_json.c_str());
 }
 
 }  // namespace flexcore::bench

@@ -6,6 +6,9 @@
  * when the core itself is more or less memory-bound — a smaller D$
  * raises baseline CPI, which *reduces* relative fabric pressure (the
  * fabric budget is per-cycle, not per-instruction).
+ *
+ * The (D$ size x workload x {baseline, DIFT}) grid runs as one
+ * parallel campaign; the merged table is also written as JSON.
  */
 
 #include <cstdio>
@@ -16,10 +19,23 @@ using namespace flexcore;
 using namespace flexcore::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
-    const auto suite = fullSuite();
+    const BenchArgs args = parseBenchArgs(argc, argv, "cache_sweep");
     const u32 sizes_kb[] = {8, 16, 32, 64};
+
+    SweepSpec spec;
+    spec.name = "cache_sweep";
+    spec.workloads = fullSuite();
+    spec.monitors = {MonitorKind::kDift};
+    spec.modes = {ImplMode::kBaseline, ImplMode::kFlexFabric};
+    spec.dcache_bytes.clear();
+    for (u32 size_kb : sizes_kb)
+        spec.dcache_bytes.push_back(size_kb * 1024);
+    const auto results = runCampaign(expandSweep(spec), args.options);
+    maybeWriteJson(args, "cache_sweep", results);
+
+    const u32 fifo = spec.base.iface.fifo_depth;
 
     std::printf("Design space: L1 D-cache size vs baseline CPI and "
                 "DIFT overhead (fabric at 0.5X)\n\n");
@@ -27,25 +43,28 @@ main()
     hr(42);
 
     for (u32 size_kb : sizes_kb) {
+        const u32 dcache = size_kb * 1024;
         double cpi_sum = 0;
         std::vector<double> ratios;
-        for (const Workload &workload : suite) {
-            SystemConfig base;
-            base.core.dcache.size_bytes = size_kb * 1024;
-            const SimOutcome b = runWorkloadChecked(workload, base);
-            cpi_sum += static_cast<double>(b.result.cycles) /
-                       static_cast<double>(b.result.instructions);
+        for (const Workload &workload : spec.workloads) {
+            const CampaignResult *base = findResult(
+                results, jobKey(workload.name, MonitorKind::kNone,
+                                ImplMode::kBaseline, 0, 0, dcache));
+            if (!base)
+                FLEX_PANIC("missing baseline for ", workload.name);
+            cpi_sum +=
+                static_cast<double>(base->outcome.result.cycles) /
+                static_cast<double>(base->outcome.result.instructions);
 
-            SystemConfig flex = base;
-            flex.monitor = MonitorKind::kDift;
-            flex.mode = ImplMode::kFlexFabric;
-            const SimOutcome f = runWorkloadChecked(workload, flex);
-            ratios.push_back(static_cast<double>(f.result.cycles) /
-                             static_cast<double>(b.result.cycles));
+            const u64 flex = cyclesFor(
+                results, jobKey(workload.name, MonitorKind::kDift,
+                                ImplMode::kFlexFabric, 2, fifo, dcache));
+            ratios.push_back(
+                static_cast<double>(flex) /
+                static_cast<double>(base->outcome.result.cycles));
         }
         std::printf("%3uKB    %13.2f %15.3fx\n", size_kb,
-                    cpi_sum / suite.size(), geomean(ratios));
-        std::fflush(stdout);
+                    cpi_sum / spec.workloads.size(), geomean(ratios));
     }
     std::printf("\n* arithmetic mean over the suite. Monitoring "
                 "overhead falls as the core becomes memory-bound: the "

@@ -6,6 +6,9 @@
  * fabric clock (UMC/DIFT/BC at 0.5X, SEC at 0.25X). Also reports the
  * FIFO SRAM cost per depth (§V-C: the FIFO area grows only ~10%% from
  * 16 to 64 entries because of the SRAM periphery).
+ *
+ * The (extension x depth x workload) grid runs as one parallel
+ * campaign; the merged table is also written as JSON.
  */
 
 #include <cstdio>
@@ -18,10 +21,21 @@ using namespace flexcore;
 using namespace flexcore::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
-    const auto suite = fullSuite();
-    const u32 depths[] = {4, 8, 16, 32, 64, 128, 256};
+    const BenchArgs args = parseBenchArgs(argc, argv, "fig5_fifo_sweep");
+
+    SweepSpec spec;
+    spec.name = "fig5_fifo_sweep";
+    spec.workloads = fullSuite();
+    spec.monitors = {MonitorKind::kUmc, MonitorKind::kDift,
+                     MonitorKind::kBc, MonitorKind::kSec};
+    spec.modes = {ImplMode::kBaseline, ImplMode::kFlexFabric};
+    spec.fifo_depths = {4, 8, 16, 32, 64, 128, 256};
+    const auto results = runCampaign(expandSweep(spec), args.options);
+    maybeWriteJson(args, "fig5_fifo_sweep", results);
+
+    const u32 dcache = spec.base.core.dcache.size_bytes;
     const struct
     {
         MonitorKind kind;
@@ -35,8 +49,11 @@ main()
     };
 
     std::vector<u64> baselines;
-    for (const Workload &workload : suite)
-        baselines.push_back(baselineCycles(workload));
+    for (const Workload &workload : spec.workloads) {
+        baselines.push_back(cyclesFor(
+            results, jobKey(workload.name, MonitorKind::kNone,
+                            ImplMode::kBaseline, 0, 0, dcache)));
+    }
 
     std::printf("Figure 5: average normalized execution time vs "
                 "forward-FIFO size\n\n");
@@ -46,19 +63,20 @@ main()
     std::printf("   %14s %9s\n", "FIFO SRAM bits", "FIFOarea");
     hr(72);
 
-    for (u32 depth : depths) {
+    for (u32 depth : spec.fifo_depths) {
         std::printf("%-10u", depth);
         for (const auto &ext : extensions) {
             std::vector<double> ratios;
-            for (size_t i = 0; i < suite.size(); ++i) {
-                FlexInterface::Params iface;
-                iface.fifo_depth = depth;
-                ratios.push_back(normalizedTime(
-                    suite[i], ext.kind, ImplMode::kFlexFabric,
-                    ext.period, baselines[i], iface));
+            for (size_t i = 0; i < spec.workloads.size(); ++i) {
+                const u64 cycles = cyclesFor(
+                    results,
+                    jobKey(spec.workloads[i].name, ext.kind,
+                           ImplMode::kFlexFabric, ext.period, depth,
+                           dcache));
+                ratios.push_back(static_cast<double>(cycles) /
+                                 static_cast<double>(baselines[i]));
             }
             std::printf(" %8.3f", geomean(ratios));
-            std::fflush(stdout);
         }
         const u64 bits = forwardFifoBits(depth);
         const double area = bits * AsicModel::kSramBitAreaUm2 +

@@ -7,6 +7,9 @@
  *
  * The paper's headline operating points are 0.5X for UMC/DIFT/BC and
  * 0.25X for SEC (set by the fabric synthesis frequencies in Table III).
+ *
+ * The whole grid runs as one parallel campaign (see docs/campaign.md);
+ * the merged table is also written as JSON (--out, --no-json).
  */
 
 #include <cstdio>
@@ -17,9 +20,24 @@ using namespace flexcore;
 using namespace flexcore::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
-    const auto suite = fullSuite();
+    const BenchArgs args = parseBenchArgs(argc, argv,
+                                          "table4_performance");
+
+    SweepSpec spec;
+    spec.name = "table4_performance";
+    spec.workloads = fullSuite();
+    spec.monitors = {MonitorKind::kUmc, MonitorKind::kDift,
+                     MonitorKind::kBc, MonitorKind::kSec};
+    spec.modes = {ImplMode::kBaseline, ImplMode::kAsic,
+                  ImplMode::kFlexFabric};
+    spec.flex_periods = {2, 4};
+    const auto results = runCampaign(expandSweep(spec), args.options);
+    maybeWriteJson(args, "table4_performance", results);
+
+    const u32 fifo = spec.base.iface.fifo_depth;
+    const u32 dcache = spec.base.core.dcache.size_bytes;
     const struct
     {
         MonitorKind kind;
@@ -39,24 +57,34 @@ main()
     std::printf("\n");
     hr(125);
 
+    const auto normalized = [&](const Workload &workload,
+                                MonitorKind kind, ImplMode mode,
+                                u32 period, u64 base) {
+        return static_cast<double>(cyclesFor(
+                   results, jobKey(workload.name, kind, mode, period,
+                                   fifo, dcache))) /
+               static_cast<double>(base);
+    };
+
     std::vector<std::vector<double>> columns(12);
-    for (const Workload &workload : suite) {
-        const u64 base = baselineCycles(workload);
+    for (const Workload &workload : spec.workloads) {
+        const u64 base = cyclesFor(
+            results, jobKey(workload.name, MonitorKind::kNone,
+                            ImplMode::kBaseline, 0, 0, dcache));
         std::printf("%-14s", workload.name.c_str());
         unsigned column = 0;
         for (const auto &ext : extensions) {
-            const double asic = normalizedTime(
-                workload, ext.kind, ImplMode::kAsic, 1, base);
-            const double half = normalizedTime(
+            const double asic = normalized(workload, ext.kind,
+                                           ImplMode::kAsic, 1, base);
+            const double half = normalized(
                 workload, ext.kind, ImplMode::kFlexFabric, 2, base);
-            const double quarter = normalizedTime(
+            const double quarter = normalized(
                 workload, ext.kind, ImplMode::kFlexFabric, 4, base);
             std::printf(" |  %4.2f      %4.2f    %4.2f ", asic, half,
                         quarter);
             columns[column++].push_back(asic);
             columns[column++].push_back(half);
             columns[column++].push_back(quarter);
-            std::fflush(stdout);
         }
         std::printf("\n");
     }

@@ -5,22 +5,45 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-cmake -B build -G Ninja
-cmake --build build
-ctest --test-dir build --output-on-failure
+jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+# Prefer Ninja when available, but fall back to the platform default
+# generator; a bare cmake+make host must be able to run this script.
+# Only choose a generator on first configure — an existing build tree
+# keeps whichever one it was created with.
+if [ ! -f build/CMakeCache.txt ] && command -v ninja >/dev/null 2>&1; then
+    cmake -B build -G Ninja
+else
+    cmake -B build
+fi
+cmake --build build -j "$jobs"
+ctest --test-dir build --output-on-failure -j "$jobs"
+
+root="$PWD"
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT
 
 echo "== examples =="
-for example in build/examples/*; do
+for example in "$root"/build/examples/*; do
     [ -f "$example" ] && [ -x "$example" ] || continue
-    echo "-- $example"
+    echo "-- ${example#"$root"/}"
     "$example" > /dev/null
 done
 
 echo "== benches =="
-for bench in build/bench/*; do
+for bench in "$root"/build/bench/*; do
     [ -f "$bench" ] && [ -x "$bench" ] || continue
-    echo "-- $bench"
-    "$bench" > /dev/null
+    echo "-- ${bench#"$root"/}"
+    # From inside the temp dir: the campaign benches write their JSON
+    # result tables to the working directory.
+    (cd "$tmpdir" && "$bench" > /dev/null)
 done
+
+echo "== sweep determinism =="
+./build/tools/flexcore-sweep --grid table4 --scale test --jobs 1 \
+    --out "$tmpdir/serial.json" --no-progress
+./build/tools/flexcore-sweep --grid table4 --scale test --jobs "$jobs" \
+    --out "$tmpdir/parallel.json" --no-progress
+cmp "$tmpdir/serial.json" "$tmpdir/parallel.json"
 
 echo "All checks passed."

@@ -48,6 +48,19 @@ const std::unordered_map<std::string, Cond> kBranchMnemonics = {
     {"bvc", Cond::kVc}, {"bvs", Cond::kVs},
 };
 
+const std::unordered_map<std::string, Cond> kTrapMnemonics = {
+    {"ta", Cond::kA}, {"tn", Cond::kN},
+    {"te", Cond::kE}, {"tz", Cond::kE},
+    {"tne", Cond::kNe}, {"tnz", Cond::kNe},
+    {"tg", Cond::kG}, {"tle", Cond::kLe},
+    {"tge", Cond::kGe}, {"tl", Cond::kL},
+    {"tgu", Cond::kGu}, {"tleu", Cond::kLeu},
+    {"tcc", Cond::kCc}, {"tgeu", Cond::kCc},
+    {"tcs", Cond::kCs}, {"tlu", Cond::kCs},
+    {"tpos", Cond::kPos}, {"tneg", Cond::kNeg},
+    {"tvc", Cond::kVc}, {"tvs", Cond::kVs},
+};
+
 const std::unordered_map<std::string, CpopFn> kMonitorMnemonics = {
     {"m.settag", CpopFn::kSetRegTag},
     {"m.clrtag", CpopFn::kClearRegTag},
@@ -478,6 +491,24 @@ Assembler::encodeStatement(const Pending &pending, Program *out)
         return;
     }
 
+    // ---- Traps: t<cond> [%rs1,] reg-or-imm ----
+    if (auto it = kTrapMnemonics.find(m); it != kTrapMnemonics.end()) {
+        inst.op = Op::kTicc;
+        inst.cond = it->second;
+        size_t src = 0;
+        if (p.operands.size() > 1) {
+            unsigned rs1;
+            if (!wantReg(0, &rs1))
+                return;
+            inst.rs1 = static_cast<u8>(rs1);
+            src = 1;
+        }
+        if (!fillRegOrImm(src, &inst))
+            return;
+        emit(inst);
+        return;
+    }
+
     // ---- Monitor (CPop1) pseudo-ops ----
     if (auto it = kMonitorMnemonics.find(m); it != kMonitorMnemonics.end()) {
         inst.op = Op::kCpop1;
@@ -739,17 +770,6 @@ Assembler::encodeStatement(const Pending &pending, Program *out)
         // %hi(x) has already been shifted during resolve(); plain
         // constants are used verbatim as the 22-bit field.
         inst.imm22 = value & 0x3fffff;
-        emit(inst);
-        return;
-    }
-    if (m == "ta") {
-        inst.op = Op::kTicc;
-        inst.cond = Cond::kA;
-        u32 value;
-        if (!wantImmValue(0, &value))
-            return;
-        inst.has_imm = true;
-        inst.simm = static_cast<s32>(value & 0x7f);
         emit(inst);
         return;
     }

@@ -1,0 +1,120 @@
+#include "common/threadpool.h"
+
+namespace flexcore {
+
+unsigned
+ThreadPool::defaultThreadCount()
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+ThreadPool::ThreadPool(unsigned threads)
+{
+    if (threads == 0)
+        threads = defaultThreadCount();
+    queues_.reserve(threads);
+    for (unsigned i = 0; i < threads; ++i)
+        queues_.push_back(std::make_unique<WorkerQueue>());
+    threads_.reserve(threads);
+    for (unsigned i = 0; i < threads; ++i)
+        threads_.emplace_back([this, i] { workerLoop(i); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    wait();
+    {
+        std::lock_guard<std::mutex> lock(cv_mutex_);
+        stop_.store(true, std::memory_order_relaxed);
+    }
+    work_cv_.notify_all();
+    for (std::thread &thread : threads_)
+        thread.join();
+}
+
+void
+ThreadPool::submit(Task task)
+{
+    const unsigned target = static_cast<unsigned>(
+        next_queue_.fetch_add(1, std::memory_order_relaxed) %
+        queues_.size());
+    {
+        std::lock_guard<std::mutex> queue_lock(queues_[target]->mutex);
+        queues_[target]->tasks.push_back(std::move(task));
+    }
+    unfinished_.fetch_add(1, std::memory_order_relaxed);
+    {
+        // Publish under cv_mutex_ so a worker checking the predicate
+        // cannot miss the wakeup.
+        std::lock_guard<std::mutex> lock(cv_mutex_);
+        queued_.fetch_add(1, std::memory_order_relaxed);
+    }
+    work_cv_.notify_one();
+}
+
+bool
+ThreadPool::popLocal(unsigned self, Task *task)
+{
+    WorkerQueue &queue = *queues_[self];
+    std::lock_guard<std::mutex> lock(queue.mutex);
+    if (queue.tasks.empty())
+        return false;
+    *task = std::move(queue.tasks.front());
+    queue.tasks.pop_front();
+    return true;
+}
+
+bool
+ThreadPool::steal(unsigned self, Task *task)
+{
+    const unsigned n = static_cast<unsigned>(queues_.size());
+    for (unsigned d = 1; d < n; ++d) {
+        WorkerQueue &victim = *queues_[(self + d) % n];
+        std::lock_guard<std::mutex> lock(victim.mutex);
+        if (victim.tasks.empty())
+            continue;
+        *task = std::move(victim.tasks.back());
+        victim.tasks.pop_back();
+        return true;
+    }
+    return false;
+}
+
+void
+ThreadPool::workerLoop(unsigned self)
+{
+    for (;;) {
+        Task task;
+        if (popLocal(self, &task) || steal(self, &task)) {
+            queued_.fetch_sub(1, std::memory_order_relaxed);
+            task();
+            if (unfinished_.fetch_sub(1, std::memory_order_acq_rel) ==
+                1) {
+                std::lock_guard<std::mutex> lock(cv_mutex_);
+                done_cv_.notify_all();
+            }
+            continue;
+        }
+        std::unique_lock<std::mutex> lock(cv_mutex_);
+        work_cv_.wait(lock, [this] {
+            return stop_.load(std::memory_order_relaxed) ||
+                   queued_.load(std::memory_order_relaxed) > 0;
+        });
+        if (stop_.load(std::memory_order_relaxed) &&
+            queued_.load(std::memory_order_relaxed) == 0) {
+            return;
+        }
+    }
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lock(cv_mutex_);
+    done_cv_.wait(lock, [this] {
+        return unfinished_.load(std::memory_order_acquire) == 0;
+    });
+}
+
+}  // namespace flexcore

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Work-stealing thread pool used by the parallel campaign runner.
+ *
+ * Each worker owns a deque: it pops work from the front of its own
+ * queue and steals from the back of its neighbours' queues when it runs
+ * dry. External submissions are distributed round-robin. Tasks must not
+ * throw; a task that cannot make progress should report failure through
+ * its own result slot (or call FLEX_FATAL, which exits the process).
+ */
+
+#ifndef FLEXCORE_COMMON_THREADPOOL_H_
+#define FLEXCORE_COMMON_THREADPOOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/types.h"
+
+namespace flexcore {
+
+class ThreadPool
+{
+  public:
+    using Task = std::function<void()>;
+
+    /** @p threads 0 picks defaultThreadCount(). */
+    explicit ThreadPool(unsigned threads = 0);
+
+    /** Drains outstanding work, then joins the workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Enqueue one task. Safe to call from worker tasks. */
+    void submit(Task task);
+
+    /** Block until every submitted task has finished. */
+    void wait();
+
+    unsigned threadCount() const
+    {
+        return static_cast<unsigned>(threads_.size());
+    }
+
+    /** std::thread::hardware_concurrency with a floor of 1. */
+    static unsigned defaultThreadCount();
+
+  private:
+    struct WorkerQueue
+    {
+        std::mutex mutex;
+        std::deque<Task> tasks;
+    };
+
+    void workerLoop(unsigned self);
+    bool popLocal(unsigned self, Task *task);
+    bool steal(unsigned self, Task *task);
+
+    std::vector<std::unique_ptr<WorkerQueue>> queues_;
+    std::vector<std::thread> threads_;
+
+    // cv_mutex_ guards the sleep/wake protocol; the counters are
+    // atomics so the hot path can update them without it.
+    std::mutex cv_mutex_;
+    std::condition_variable work_cv_;   //!< wakes idle workers
+    std::condition_variable done_cv_;   //!< wakes wait()
+    std::atomic<u64> queued_{0};        //!< tasks sitting in queues
+    std::atomic<u64> unfinished_{0};    //!< queued + running tasks
+    std::atomic<u64> next_queue_{0};    //!< round-robin submit cursor
+    std::atomic<bool> stop_{false};
+};
+
+}  // namespace flexcore
+
+#endif  // FLEXCORE_COMMON_THREADPOOL_H_

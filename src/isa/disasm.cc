@@ -99,7 +99,10 @@ disassemble(const Instruction &inst, Addr pc)
         oss << "wr " << archRegName(inst.rs1) << ", %y";
         break;
       case Op::kTicc:
-        oss << "t" << condName(inst.cond) << " " << regOrImm(inst);
+        oss << "t" << condName(inst.cond) << " ";
+        if (inst.rs1)
+            oss << archRegName(inst.rs1) << ", ";
+        oss << regOrImm(inst);
         break;
       case Op::kCpop1:
       case Op::kCpop2:

@@ -1,0 +1,290 @@
+#include "sim/campaign.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cinttypes>
+#include <cstdio>
+#include <mutex>
+#include <set>
+
+#include "common/log.h"
+#include "common/threadpool.h"
+
+namespace flexcore {
+
+namespace {
+
+/** Parameters of one grid point after mode-specific resolution. */
+struct ResolvedPoint
+{
+    MonitorKind monitor = MonitorKind::kNone;
+    ImplMode mode = ImplMode::kBaseline;
+    u32 period = 0;
+    u32 fifo = 0;
+    u32 dcache = 0;
+};
+
+std::string
+escapeJson(std::string_view text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (char c : text) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+}  // namespace
+
+std::string
+jobKey(std::string_view workload, MonitorKind monitor, ImplMode mode,
+       u32 flex_period, u32 fifo_depth, u32 dcache_bytes)
+{
+    std::string key;
+    key += workload;
+    key += '|';
+    key += monitorKindName(monitor);
+    key += '|';
+    key += implModeName(mode);
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "|p%u|f%u|d%u", flex_period,
+                  fifo_depth, dcache_bytes);
+    key += buf;
+    return key;
+}
+
+u64
+jobSeed(std::string_view key)
+{
+    // FNV-1a 64: a pure function of the key bytes, so the seed can
+    // never depend on submission or completion order.
+    u64 hash = 0xcbf29ce484222325ull;
+    for (char c : key) {
+        hash ^= static_cast<u8>(c);
+        hash *= 0x100000001b3ull;
+    }
+    return hash;
+}
+
+std::vector<CampaignJob>
+expandSweep(const SweepSpec &spec)
+{
+    if (spec.workloads.empty())
+        FLEX_FATAL("sweep '", spec.name, "' has no workloads");
+
+    // Resolve the mode-dependent axes first so duplicate grid points
+    // (e.g. flex_periods {0, 2} for UMC) collapse before expansion.
+    std::vector<ResolvedPoint> points;
+    std::set<std::string> seen;
+    const u32 base_fifo = spec.base.iface.fifo_depth;
+    const u32 base_dcache = spec.base.core.dcache.size_bytes;
+    for (ImplMode mode : spec.modes) {
+        for (MonitorKind monitor : spec.monitors) {
+            for (u32 period : spec.flex_periods) {
+                for (u32 fifo : spec.fifo_depths) {
+                    for (u32 dcache : spec.dcache_bytes) {
+                        ResolvedPoint pt;
+                        pt.mode = mode;
+                        pt.dcache = dcache ? dcache : base_dcache;
+                        switch (mode) {
+                          case ImplMode::kBaseline:
+                            // No monitor hardware: the monitor,
+                            // period, and FIFO axes are meaningless.
+                            break;
+                          case ImplMode::kSoftware:
+                            if (monitor == MonitorKind::kNone)
+                                continue;
+                            pt.monitor = monitor;
+                            break;
+                          case ImplMode::kAsic:
+                            if (monitor == MonitorKind::kNone)
+                                continue;
+                            pt.monitor = monitor;
+                            pt.period = 1;
+                            pt.fifo = fifo ? fifo : base_fifo;
+                            break;
+                          case ImplMode::kFlexFabric:
+                            if (monitor == MonitorKind::kNone)
+                                continue;
+                            pt.monitor = monitor;
+                            pt.period = period
+                                            ? period
+                                            : defaultFlexPeriod(monitor);
+                            pt.fifo = fifo ? fifo : base_fifo;
+                            break;
+                        }
+                        const std::string id = jobKey(
+                            "", pt.monitor, pt.mode, pt.period, pt.fifo,
+                            pt.dcache);
+                        if (seen.insert(id).second)
+                            points.push_back(pt);
+                    }
+                }
+            }
+        }
+    }
+
+    std::vector<CampaignJob> jobs;
+    jobs.reserve(spec.workloads.size() * points.size());
+    for (const Workload &workload : spec.workloads) {
+        for (const ResolvedPoint &pt : points) {
+            CampaignJob job;
+            job.key = jobKey(workload.name, pt.monitor, pt.mode,
+                             pt.period, pt.fifo, pt.dcache);
+            job.workload = workload;
+            job.config = spec.base;
+            job.config.monitor = pt.monitor;
+            job.config.mode = pt.mode;
+            job.config.flex_period = pt.period;
+            if (pt.fifo)
+                job.config.iface.fifo_depth = pt.fifo;
+            job.config.core.dcache.size_bytes = pt.dcache;
+            job.config.fault_seed = jobSeed(job.key);
+            jobs.push_back(std::move(job));
+        }
+    }
+    std::sort(jobs.begin(), jobs.end(),
+              [](const CampaignJob &a, const CampaignJob &b) {
+                  return a.key < b.key;
+              });
+    return jobs;
+}
+
+std::vector<CampaignResult>
+runCampaign(const std::vector<CampaignJob> &jobs,
+            const CampaignOptions &opts)
+{
+    std::vector<CampaignResult> results(jobs.size());
+
+    std::atomic<size_t> done{0};
+    std::mutex progress_mutex;
+    const auto report = [&](size_t finished) {
+        if (!opts.progress)
+            return;
+        std::lock_guard<std::mutex> lock(progress_mutex);
+        std::fprintf(stderr, "\r[%s] %zu/%zu jobs", opts.label.c_str(),
+                     finished, jobs.size());
+        if (finished == jobs.size())
+            std::fputc('\n', stderr);
+        std::fflush(stderr);
+    };
+
+    {
+        ThreadPool pool(opts.jobs);
+        for (size_t i = 0; i < jobs.size(); ++i) {
+            pool.submit([&, i] {
+                const CampaignJob &job = jobs[i];
+                CampaignResult &row = results[i];
+                row.key = job.key;
+                row.workload = job.workload.name;
+                row.monitor = job.config.monitor;
+                row.mode = job.config.mode;
+                row.flex_period = job.config.flex_period;
+                row.fifo_depth =
+                    (job.config.mode == ImplMode::kAsic ||
+                     job.config.mode == ImplMode::kFlexFabric)
+                        ? job.config.iface.fifo_depth
+                        : 0;
+                row.dcache_bytes = job.config.core.dcache.size_bytes;
+                row.seed = job.config.fault_seed;
+                row.outcome =
+                    opts.verify
+                        ? runWorkloadChecked(job.workload, job.config)
+                        : runSource(job.workload.source, job.config);
+                report(done.fetch_add(1, std::memory_order_acq_rel) + 1);
+            });
+        }
+        pool.wait();
+    }
+
+    // Merge order is the key order, never the completion order.
+    std::sort(results.begin(), results.end(),
+              [](const CampaignResult &a, const CampaignResult &b) {
+                  return a.key < b.key;
+              });
+    return results;
+}
+
+const CampaignResult *
+findResult(const std::vector<CampaignResult> &results,
+           std::string_view key)
+{
+    for (const CampaignResult &row : results) {
+        if (row.key == key)
+            return &row;
+    }
+    return nullptr;
+}
+
+std::string
+campaignJson(std::string_view name,
+             const std::vector<CampaignResult> &results)
+{
+    std::string out;
+    out += "{\n  \"campaign\": \"";
+    out += escapeJson(name);
+    out += "\",\n  \"results\": [\n";
+    char buf[512];
+    for (size_t i = 0; i < results.size(); ++i) {
+        const CampaignResult &row = results[i];
+        out += "    {\"key\": \"";
+        out += escapeJson(row.key);
+        out += "\", \"workload\": \"";
+        out += escapeJson(row.workload);
+        out += "\", \"monitor\": \"";
+        out += monitorKindName(row.monitor);
+        out += "\", \"mode\": \"";
+        out += implModeName(row.mode);
+        std::snprintf(
+            buf, sizeof(buf),
+            "\", \"flex_period\": %u, \"fifo_depth\": %u, "
+            "\"dcache_bytes\": %u, \"seed\": %" PRIu64
+            ", \"exit\": \"%s\", \"exit_code\": %u, "
+            "\"cycles\": %" PRIu64 ", \"instructions\": %" PRIu64
+            ", \"forwarded\": %" PRIu64 ", \"dropped\": %" PRIu64
+            ", \"commit_stalls\": %" PRIu64 ", \"meta_misses\": %" PRIu64
+            ", \"meta_accesses\": %" PRIu64 ", \"fwd_fraction\": %.17g}",
+            row.flex_period, row.fifo_depth, row.dcache_bytes, row.seed,
+            std::string(exitName(row.outcome.result.exit)).c_str(),
+            row.outcome.result.exit_code, row.outcome.result.cycles,
+            row.outcome.result.instructions, row.outcome.forwarded,
+            row.outcome.dropped, row.outcome.commit_stalls,
+            row.outcome.meta_misses, row.outcome.meta_accesses,
+            row.outcome.fwd_fraction);
+        out += buf;
+        out += (i + 1 < results.size()) ? ",\n" : "\n";
+    }
+    out += "  ]\n}\n";
+    return out;
+}
+
+void
+writeCampaignJson(const std::string &path, std::string_view name,
+                  const std::vector<CampaignResult> &results)
+{
+    std::FILE *file = std::fopen(path.c_str(), "w");
+    if (!file)
+        FLEX_FATAL("cannot open '", path, "' for writing");
+    const std::string json = campaignJson(name, results);
+    if (std::fwrite(json.data(), 1, json.size(), file) != json.size()) {
+        std::fclose(file);
+        FLEX_FATAL("short write to '", path, "'");
+    }
+    std::fclose(file);
+}
+
+}  // namespace flexcore

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Parallel experiment campaigns: a declarative sweep spec expands into
+ * independent simulation jobs (one System instance each), the jobs run
+ * on a work-stealing thread pool, and the outcomes merge into a stable,
+ * sorted result table with a canonical JSON rendering.
+ *
+ * Determinism contract: every job derives its RNG seed from its job
+ * key (a pure function of the swept parameters, never of submission or
+ * completion order), each job simulates in a private System, and the
+ * merged results are sorted by key — so `--jobs 1` and `--jobs N`
+ * produce byte-identical JSON. See docs/campaign.md.
+ */
+
+#ifndef FLEXCORE_SIM_CAMPAIGN_H_
+#define FLEXCORE_SIM_CAMPAIGN_H_
+
+#include <string>
+#include <vector>
+
+#include "sim/runner.h"
+#include "workloads/workload.h"
+
+namespace flexcore {
+
+/** One independent simulation: a workload under one configuration. */
+struct CampaignJob
+{
+    std::string key;       //!< unique identity; results sort on this
+    Workload workload;
+    SystemConfig config;   //!< fault_seed = jobSeed(key) in expanded jobs
+};
+
+/** One merged row of a campaign: the job identity plus its outcome. */
+struct CampaignResult
+{
+    std::string key;
+    std::string workload;
+    MonitorKind monitor = MonitorKind::kNone;
+    ImplMode mode = ImplMode::kBaseline;
+    u32 flex_period = 0;     //!< resolved divisor (0 off the fabric)
+    u32 fifo_depth = 0;      //!< resolved FFIFO depth (0 off the fabric)
+    u32 dcache_bytes = 0;
+    u64 seed = 0;            //!< the job's fault_seed
+    SimOutcome outcome;
+};
+
+/**
+ * A declarative sweep grid. Axes cross-product; invalid combinations
+ * are skipped rather than crossed:
+ *  - kBaseline ignores the monitor/period/FIFO axes (one job per
+ *    workload × D-cache point);
+ *  - kSoftware ignores period/FIFO and requires a monitor;
+ *  - kAsic runs at period 1 regardless of flex_periods;
+ *  - kFlexFabric resolves period 0 to defaultFlexPeriod(monitor).
+ * Duplicate keys after resolution (e.g. periods {0, 2} for UMC) are
+ * emitted once.
+ */
+struct SweepSpec
+{
+    std::string name = "sweep";
+    std::vector<Workload> workloads;
+    std::vector<MonitorKind> monitors{MonitorKind::kNone};
+    std::vector<ImplMode> modes{ImplMode::kBaseline};
+    std::vector<u32> flex_periods{0};   //!< 0 = per-monitor default
+    std::vector<u32> fifo_depths{0};    //!< 0 = base config's depth
+    std::vector<u32> dcache_bytes{0};   //!< 0 = base config's D$ size
+    SystemConfig base;                  //!< template for every job
+};
+
+/**
+ * Canonical identity of one job. The same parameters always produce
+ * the same key, independent of how or when the job was created.
+ */
+std::string jobKey(std::string_view workload, MonitorKind monitor,
+                   ImplMode mode, u32 flex_period, u32 fifo_depth,
+                   u32 dcache_bytes);
+
+/** Deterministic per-job seed: FNV-1a 64 over the key bytes. */
+u64 jobSeed(std::string_view key);
+
+/** Expand a sweep grid into jobs, sorted by key, seeds applied. */
+std::vector<CampaignJob> expandSweep(const SweepSpec &spec);
+
+struct CampaignOptions
+{
+    unsigned jobs = 0;      //!< worker threads; 0 = hardware threads
+    bool progress = false;  //!< live "done/total" line on stderr
+    std::string label = "campaign";   //!< progress-line prefix
+    /** Verify console output against the golden model (FLEX_FATAL on
+     * mismatch). Disable for scenario runs that trap by design. */
+    bool verify = true;
+};
+
+/**
+ * Run every job (parallel over @p opts.jobs workers) and merge the
+ * outcomes sorted by key. The result is identical for any worker
+ * count, including 1.
+ */
+std::vector<CampaignResult> runCampaign(
+    const std::vector<CampaignJob> &jobs,
+    const CampaignOptions &opts = {});
+
+/** Find the result with exactly @p key (null if absent). */
+const CampaignResult *findResult(
+    const std::vector<CampaignResult> &results, std::string_view key);
+
+/**
+ * Render results as canonical JSON (sorted rows, fixed field order,
+ * shortest-round-trip doubles) — the byte-identity surface for the
+ * determinism tests. Schema: docs/campaign.md.
+ */
+std::string campaignJson(std::string_view name,
+                         const std::vector<CampaignResult> &results);
+
+/** Write campaignJson to @p path (FLEX_FATAL on I/O failure). */
+void writeCampaignJson(const std::string &path, std::string_view name,
+                       const std::vector<CampaignResult> &results);
+
+}  // namespace flexcore
+
+#endif  // FLEXCORE_SIM_CAMPAIGN_H_

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Determinism tests for the parallel campaign runner: identical
+ * results for repeated runs, for any worker count, and per-job seeds
+ * that depend only on the job key — never on submission order.
+ */
+
+#include "sim/campaign.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "common/threadpool.h"
+
+namespace flexcore {
+namespace {
+
+SweepSpec
+smallSpec()
+{
+    SweepSpec spec;
+    spec.name = "test_grid";
+    const auto suite = benchmarkSuite(WorkloadScale::kTest);
+    // Two workloads keep the grid fast while still exercising the
+    // merge across several jobs per worker.
+    spec.workloads = {suite[0], suite[5]};
+    spec.monitors = {MonitorKind::kUmc, MonitorKind::kDift};
+    spec.modes = {ImplMode::kBaseline, ImplMode::kFlexFabric};
+    spec.fifo_depths = {16, 64};
+    return spec;
+}
+
+TEST(ThreadPool, RunsEverySubmittedTask)
+{
+    ThreadPool pool(4);
+    std::atomic<int> count{0};
+    for (int i = 0; i < 1000; ++i)
+        pool.submit([&count] { ++count; });
+    pool.wait();
+    EXPECT_EQ(count.load(), 1000);
+
+    // The pool is reusable after a wait().
+    for (int i = 0; i < 100; ++i)
+        pool.submit([&count] { ++count; });
+    pool.wait();
+    EXPECT_EQ(count.load(), 1100);
+}
+
+TEST(ThreadPool, TasksMaySubmitMoreTasks)
+{
+    ThreadPool pool(2);
+    std::atomic<int> count{0};
+    for (int i = 0; i < 8; ++i) {
+        pool.submit([&] {
+            ++count;
+            pool.submit([&count] { ++count; });
+        });
+    }
+    pool.wait();
+    EXPECT_EQ(count.load(), 16);
+}
+
+TEST(Campaign, JobSeedIsAPureFunctionOfTheKey)
+{
+    EXPECT_EQ(jobSeed("sha|umc|flexcore|p2|f64|d32768"),
+              jobSeed("sha|umc|flexcore|p2|f64|d32768"));
+    EXPECT_NE(jobSeed("sha|umc|flexcore|p2|f64|d32768"),
+              jobSeed("sha|umc|flexcore|p2|f16|d32768"));
+    EXPECT_NE(jobSeed("a"), jobSeed("b"));
+}
+
+TEST(Campaign, ExpandIsSortedUniqueAndSeeded)
+{
+    const auto jobs = expandSweep(smallSpec());
+    ASSERT_FALSE(jobs.empty());
+    // 2 workloads x (1 baseline + 2 monitors x 2 depths) = 10 jobs.
+    EXPECT_EQ(jobs.size(), 10u);
+    for (size_t i = 0; i < jobs.size(); ++i) {
+        if (i > 0)
+            EXPECT_LT(jobs[i - 1].key, jobs[i].key);
+        EXPECT_EQ(jobs[i].config.fault_seed, jobSeed(jobs[i].key));
+    }
+}
+
+TEST(Campaign, DuplicateGridPointsCollapse)
+{
+    SweepSpec spec = smallSpec();
+    // Period 0 resolves to defaultFlexPeriod(umc|dift) == 2, so the
+    // explicit 2 is the same grid point.
+    spec.flex_periods = {0, 2};
+    EXPECT_EQ(expandSweep(spec).size(), expandSweep(smallSpec()).size());
+}
+
+TEST(Campaign, SeedsAreIndependentOfSubmissionOrder)
+{
+    auto jobs = expandSweep(smallSpec());
+    std::vector<u64> seeds_sorted;
+    for (const CampaignJob &job : jobs)
+        seeds_sorted.push_back(job.config.fault_seed);
+
+    // Reverse the submission order: the per-key seeds cannot move.
+    std::reverse(jobs.begin(), jobs.end());
+    for (size_t i = 0; i < jobs.size(); ++i) {
+        EXPECT_EQ(jobs[i].config.fault_seed,
+                  seeds_sorted[jobs.size() - 1 - i]);
+        EXPECT_EQ(jobs[i].config.fault_seed, jobSeed(jobs[i].key));
+    }
+}
+
+TEST(Campaign, RepeatedRunsAreIdentical)
+{
+    const auto jobs = expandSweep(smallSpec());
+    CampaignOptions opts;
+    opts.jobs = 4;
+    const auto first = runCampaign(jobs, opts);
+    const auto second = runCampaign(jobs, opts);
+    EXPECT_EQ(campaignJson("test_grid", first),
+              campaignJson("test_grid", second));
+}
+
+TEST(Campaign, SerialAndParallelJsonAreBitIdentical)
+{
+    const auto jobs = expandSweep(smallSpec());
+
+    CampaignOptions serial;
+    serial.jobs = 1;
+    const std::string serial_json =
+        campaignJson("test_grid", runCampaign(jobs, serial));
+
+    CampaignOptions parallel;
+    parallel.jobs = 8;
+    const std::string parallel_json =
+        campaignJson("test_grid", runCampaign(jobs, parallel));
+
+    EXPECT_EQ(serial_json, parallel_json);
+}
+
+TEST(Campaign, SubmissionOrderDoesNotChangeMergedResults)
+{
+    auto jobs = expandSweep(smallSpec());
+    CampaignOptions opts;
+    opts.jobs = 4;
+    const std::string sorted_json =
+        campaignJson("test_grid", runCampaign(jobs, opts));
+
+    std::reverse(jobs.begin(), jobs.end());
+    const std::string reversed_json =
+        campaignJson("test_grid", runCampaign(jobs, opts));
+    EXPECT_EQ(sorted_json, reversed_json);
+}
+
+TEST(Campaign, ResultRowsCarryTheJobIdentity)
+{
+    const auto results = runCampaign(expandSweep(smallSpec()), {});
+    const u32 dcache = SystemConfig{}.core.dcache.size_bytes;
+    const std::string key =
+        jobKey(results.front().workload, results.front().monitor,
+               results.front().mode, results.front().flex_period,
+               results.front().fifo_depth, dcache);
+    EXPECT_EQ(results.front().key, key);
+    EXPECT_NE(findResult(results, key), nullptr);
+    EXPECT_EQ(findResult(results, "no|such|key"), nullptr);
+
+    for (const CampaignResult &row : results) {
+        EXPECT_EQ(row.seed, jobSeed(row.key));
+        EXPECT_EQ(row.outcome.result.exit, RunResult::Exit::kExited);
+        EXPECT_GT(row.outcome.result.cycles, 0u);
+    }
+}
+
+}  // namespace
+}  // namespace flexcore

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Golden commit-trace regression tests: every scenarios.h program runs
+ * under the baseline and under UMC/DIFT/BC on the fabric, and the full
+ * commit-stage trace (cycle, pc, instruction word) plus the
+ * architectural outcome is folded into one FNV-1a hash per run. The
+ * hashes are pinned in tests/data/trace_golden.txt, so any silent
+ * timing or architectural drift — an off-by-one stall, a changed trap
+ * cycle, a reordered commit — fails loudly here even when the
+ * functional tests still pass.
+ *
+ * After an *intentional* timing/ISA change, regenerate the goldens:
+ *
+ *   UPDATE_TRACE_GOLDEN=1 ./build/tests/test_trace_golden
+ *
+ * and review the diff of tests/data/trace_golden.txt like any other
+ * code change.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "assembler/assembler.h"
+#include "isa/encoding.h"
+#include "sim/system.h"
+#include "workloads/scenarios.h"
+
+namespace flexcore {
+namespace {
+
+const char kGoldenPath[] = FLEXCORE_TEST_DATA_DIR "/trace_golden.txt";
+
+/** Incremental FNV-1a 64. */
+class TraceHash
+{
+  public:
+    void
+    addBytes(const void *data, size_t size)
+    {
+        const u8 *bytes = static_cast<const u8 *>(data);
+        for (size_t i = 0; i < size; ++i) {
+            hash_ ^= bytes[i];
+            hash_ *= 0x100000001b3ull;
+        }
+    }
+
+    template <typename T>
+    void
+    add(T value)
+    {
+        addBytes(&value, sizeof(value));
+    }
+
+    u64 value() const { return hash_; }
+
+  private:
+    u64 hash_ = 0xcbf29ce484222325ull;
+};
+
+/** Run one scenario under one configuration and hash its trace. */
+u64
+traceHash(const Workload &scenario, MonitorKind monitor)
+{
+    SystemConfig config;
+    config.monitor = monitor;
+    config.mode = monitor == MonitorKind::kNone ? ImplMode::kBaseline
+                                                : ImplMode::kFlexFabric;
+    // The scenarios are tiny; a tight limit keeps a regression that
+    // livelocks from hanging the suite.
+    config.max_cycles = 2'000'000;
+
+    System system(config);
+    system.load(Assembler::assembleOrDie(scenario.source));
+
+    TraceHash hash;
+    system.core().setTracer(
+        [&hash](Cycle cycle, Addr pc, const Instruction &inst) {
+            hash.add<u64>(cycle);
+            hash.add<u32>(pc);
+            hash.add<u32>(encode(inst));
+        });
+    const RunResult result = system.run();
+
+    hash.add<u8>(static_cast<u8>(result.exit));
+    hash.add<u32>(result.exit_code);
+    hash.add<u64>(result.cycles);
+    hash.add<u64>(result.instructions);
+    hash.addBytes(result.console.data(), result.console.size());
+    return hash.value();
+}
+
+/** The (scenario, monitor) matrix covered by the golden file. */
+std::map<std::string, u64>
+computeHashes()
+{
+    const Workload scenarios[] = {
+        scenarioDiftAttack(), scenarioDiftBenign(), scenarioUmcBug(),
+        scenarioUmcClean(),   scenarioBcOverflow(), scenarioBcClean(),
+        scenarioSecWorkload(),
+    };
+    const struct
+    {
+        MonitorKind kind;
+        const char *name;
+    } monitors[] = {
+        {MonitorKind::kNone, "baseline"},
+        {MonitorKind::kUmc, "umc"},
+        {MonitorKind::kDift, "dift"},
+        {MonitorKind::kBc, "bc"},
+    };
+
+    std::map<std::string, u64> hashes;
+    for (const Workload &scenario : scenarios) {
+        for (const auto &monitor : monitors) {
+            const std::string key =
+                scenario.name + "/" + monitor.name;
+            hashes[key] = traceHash(scenario, monitor.kind);
+        }
+    }
+    return hashes;
+}
+
+std::map<std::string, u64>
+loadGolden()
+{
+    std::map<std::string, u64> golden;
+    std::ifstream file(kGoldenPath);
+    std::string key, hex;
+    while (file >> key >> hex)
+        golden[key] = std::strtoull(hex.c_str(), nullptr, 16);
+    return golden;
+}
+
+TEST(TraceGolden, CommitTracesMatchGoldenHashes)
+{
+    const auto hashes = computeHashes();
+
+    if (std::getenv("UPDATE_TRACE_GOLDEN")) {
+        std::ofstream file(kGoldenPath, std::ios::trunc);
+        ASSERT_TRUE(file.is_open()) << "cannot write " << kGoldenPath;
+        for (const auto &[key, hash] : hashes) {
+            char line[128];
+            std::snprintf(line, sizeof(line), "%s %016llx\n",
+                          key.c_str(),
+                          static_cast<unsigned long long>(hash));
+            file << line;
+        }
+        GTEST_SKIP() << "regenerated " << kGoldenPath;
+    }
+
+    const auto golden = loadGolden();
+    ASSERT_FALSE(golden.empty())
+        << "missing or empty " << kGoldenPath
+        << " — run UPDATE_TRACE_GOLDEN=1 to generate it";
+
+    for (const auto &[key, hash] : hashes) {
+        const auto it = golden.find(key);
+        ASSERT_NE(it, golden.end())
+            << key << " has no golden hash; regenerate the file";
+        EXPECT_EQ(hash, it->second)
+            << key << ": commit trace drifted from the golden run. If "
+            << "the timing/ISA change is intentional, regenerate with "
+            << "UPDATE_TRACE_GOLDEN=1 and review the diff.";
+    }
+    // No stale entries for runs that no longer exist.
+    for (const auto &[key, hash] : golden)
+        EXPECT_TRUE(hashes.count(key)) << "stale golden entry " << key;
+}
+
+/** The hash itself must be stable run-to-run (same process). */
+TEST(TraceGolden, HashIsDeterministic)
+{
+    const Workload scenario = scenarioUmcClean();
+    EXPECT_EQ(traceHash(scenario, MonitorKind::kUmc),
+              traceHash(scenario, MonitorKind::kUmc));
+}
+
+}  // namespace
+}  // namespace flexcore

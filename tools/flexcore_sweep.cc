@@ -1,0 +1,145 @@
+/**
+ * @file
+ * flexcore-sweep: run a design-space campaign from the command line.
+ * The same campaign engine serves the bench binaries and the tests;
+ * this tool exposes it for ad-hoc exploration and for the determinism
+ * acceptance check (identical JSON for any --jobs value).
+ *
+ *   flexcore-sweep                                # Table IV grid
+ *   flexcore-sweep --jobs 8 --out results.json
+ *   flexcore-sweep --grid fifo --scale test
+ *   flexcore-sweep --grid cache --jobs 1 --out serial.json
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include <unistd.h>
+
+#include "common/log.h"
+#include "common/threadpool.h"
+#include "sim/campaign.h"
+
+using namespace flexcore;
+
+namespace {
+
+void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: flexcore-sweep [options]\n"
+        "  --grid table4|fifo|cache   sweep grid (default table4)\n"
+        "  --scale full|test          workload input size "
+        "(default full)\n"
+        "  --jobs N                   worker threads (default: all "
+        "hardware threads)\n"
+        "  --out FILE                 write merged JSON (default "
+        "sweep.json)\n"
+        "  --no-progress              disable the live progress line\n");
+}
+
+SweepSpec
+makeGrid(const std::string &grid, WorkloadScale scale)
+{
+    SweepSpec spec;
+    spec.name = grid;
+    spec.workloads = benchmarkSuite(scale);
+    if (grid == "table4") {
+        // Table IV: every extension as ASIC (1X) and on the fabric at
+        // 0.5X and 0.25X, plus the shared baseline.
+        spec.monitors = {MonitorKind::kUmc, MonitorKind::kDift,
+                         MonitorKind::kBc, MonitorKind::kSec};
+        spec.modes = {ImplMode::kBaseline, ImplMode::kAsic,
+                      ImplMode::kFlexFabric};
+        spec.flex_periods = {2, 4};
+    } else if (grid == "fifo") {
+        // Figure 5: forward-FIFO depth sweep at the synthesis-derived
+        // fabric clocks.
+        spec.monitors = {MonitorKind::kUmc, MonitorKind::kDift,
+                         MonitorKind::kBc, MonitorKind::kSec};
+        spec.modes = {ImplMode::kBaseline, ImplMode::kFlexFabric};
+        spec.fifo_depths = {4, 8, 16, 32, 64, 128, 256};
+    } else if (grid == "cache") {
+        // D-cache design-space study around the paper's 32 KB point.
+        spec.monitors = {MonitorKind::kDift};
+        spec.modes = {ImplMode::kBaseline, ImplMode::kFlexFabric};
+        spec.dcache_bytes = {8 * 1024, 16 * 1024, 32 * 1024, 64 * 1024};
+    } else {
+        FLEX_FATAL("unknown grid '", grid,
+                   "' (expected table4, fifo, or cache)");
+    }
+    return spec;
+}
+
+}  // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string grid = "table4";
+    WorkloadScale scale = WorkloadScale::kFull;
+    CampaignOptions options;
+    options.progress = isatty(STDERR_FILENO);
+    std::string out = "sweep.json";
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                usage();
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--grid") {
+            grid = next();
+        } else if (arg == "--scale") {
+            const std::string name = next();
+            if (name == "full") {
+                scale = WorkloadScale::kFull;
+            } else if (name == "test") {
+                scale = WorkloadScale::kTest;
+            } else {
+                usage();
+                return 2;
+            }
+        } else if (arg == "--jobs") {
+            options.jobs =
+                static_cast<unsigned>(std::strtoul(next(), nullptr, 0));
+        } else if (arg == "--out") {
+            out = next();
+        } else if (arg == "--no-progress") {
+            options.progress = false;
+        } else if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else {
+            std::fprintf(stderr, "unknown option %s\n", arg.c_str());
+            usage();
+            return 2;
+        }
+    }
+    options.label = grid;
+
+    const auto jobs = expandSweep(makeGrid(grid, scale));
+    std::fprintf(stderr, "[%s] %zu jobs on %u threads\n", grid.c_str(),
+                 jobs.size(),
+                 options.jobs ? options.jobs
+                              : ThreadPool::defaultThreadCount());
+
+    const auto start = std::chrono::steady_clock::now();
+    const auto results = runCampaign(jobs, options);
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+
+    writeCampaignJson(out, grid, results);
+    std::fprintf(stderr, "[%s] %zu results -> %s in %.2fs\n",
+                 grid.c_str(), results.size(), out.c_str(), seconds);
+    return 0;
+}
