@@ -46,4 +46,22 @@ echo "== sweep determinism =="
     --out "$tmpdir/parallel.json" --no-progress
 cmp "$tmpdir/serial.json" "$tmpdir/parallel.json"
 
+echo "== observability =="
+# Stats/trace export: valid JSON, and stats are byte-identical across
+# two runs of the same configuration.
+./build/tools/flexcore-run --monitor dift --quiet \
+    --stats-json "$tmpdir/stats_a.json" \
+    --trace-json "$tmpdir/trace.json" programs/hello.s > /dev/null
+./build/tools/flexcore-run --monitor dift --quiet \
+    --stats-json "$tmpdir/stats_b.json" programs/hello.s > /dev/null
+cmp "$tmpdir/stats_a.json" "$tmpdir/stats_b.json"
+./build/tools/flexcore-sweep --grid fifo --scale test --jobs "$jobs" \
+    --stat core.ffifo_full --stat interface.forwarded \
+    --out "$tmpdir/fifo_stats.json" --no-progress
+if command -v python3 >/dev/null 2>&1; then
+    python3 -m json.tool "$tmpdir/stats_a.json" > /dev/null
+    python3 -m json.tool "$tmpdir/trace.json" > /dev/null
+    python3 -m json.tool "$tmpdir/fifo_stats.json" > /dev/null
+fi
+
 echo "All checks passed."

@@ -1,0 +1,67 @@
+#include "common/trace_event.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "common/jsonutil.h"
+#include "common/log.h"
+
+namespace flexcore {
+
+std::string
+TraceSink::json() const
+{
+    std::string out;
+    out.reserve(64 + events_.size() * 96);
+    out += "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n";
+    char buf[256];
+    for (size_t i = 0; i < events_.size(); ++i) {
+        const Event &e = events_[i];
+        switch (e.kind) {
+          case Kind::kCounter:
+            std::snprintf(buf, sizeof(buf),
+                          "{\"ph\": \"C\", \"name\": \"%s\", \"pid\": 1, "
+                          "\"tid\": 0, \"ts\": %" PRIu64
+                          ", \"args\": {\"value\": %" PRIu64 "}}",
+                          jsonEscape(e.name).c_str(), e.ts, e.aux);
+            break;
+          case Kind::kComplete:
+            std::snprintf(buf, sizeof(buf),
+                          "{\"ph\": \"X\", \"name\": \"%s\", \"cat\": "
+                          "\"%s\", \"pid\": 1, \"tid\": %u, \"ts\": "
+                          "%" PRIu64 ", \"dur\": %" PRIu64 "}",
+                          jsonEscape(e.name).c_str(),
+                          jsonEscape(e.cat).c_str(), e.tid, e.ts, e.aux);
+            break;
+          case Kind::kInstant:
+            std::snprintf(buf, sizeof(buf),
+                          "{\"ph\": \"i\", \"name\": \"%s\", \"cat\": "
+                          "\"%s\", \"pid\": 1, \"tid\": %u, \"ts\": "
+                          "%" PRIu64 ", \"s\": \"g\"}",
+                          jsonEscape(e.name).c_str(),
+                          jsonEscape(e.cat).c_str(), e.tid, e.ts);
+            break;
+        }
+        out += "  ";
+        out += buf;
+        out += (i + 1 < events_.size()) ? ",\n" : "\n";
+    }
+    out += "]}\n";
+    return out;
+}
+
+void
+TraceSink::write(const std::string &path) const
+{
+    std::FILE *file = std::fopen(path.c_str(), "w");
+    if (!file)
+        FLEX_FATAL("cannot open '", path, "' for writing");
+    const std::string text = json();
+    if (std::fwrite(text.data(), 1, text.size(), file) != text.size()) {
+        std::fclose(file);
+        FLEX_FATAL("short write to '", path, "'");
+    }
+    std::fclose(file);
+}
+
+}  // namespace flexcore

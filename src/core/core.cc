@@ -1,9 +1,30 @@
 #include "core/core.h"
 
+#include <cassert>
+
 #include "common/log.h"
 #include "isa/encoding.h"
 
 namespace flexcore {
+
+std::string_view
+Core::cycleBucketName(CycleBucket bucket)
+{
+    switch (bucket) {
+      case CycleBucket::kCommit: return "commit";
+      case CycleBucket::kLatency: return "latency_stall";
+      case CycleBucket::kImiss: return "imiss_wait";
+      case CycleBucket::kDmiss: return "dmiss_wait";
+      case CycleBucket::kBusQueue: return "bus_queue_wait";
+      case CycleBucket::kSbWait: return "sb_wait";
+      case CycleBucket::kFfifoFull: return "ffifo_full";
+      case CycleBucket::kAckWait: return "ack_wait";
+      case CycleBucket::kBfifoWait: return "bfifo_wait";
+      case CycleBucket::kDrain: return "drain";
+      case CycleBucket::kNumBuckets: break;
+    }
+    return "?";
+}
 
 Core::Core(StatGroup *parent, Memory *memory, Bus *bus, CoreParams params)
     : mem_(memory),
@@ -16,17 +37,43 @@ Core::Core(StatGroup *parent, Memory *memory, Bus *bus, CoreParams params)
       instructions_(&stats_, "instructions", "instructions committed"),
       micro_ops_(&stats_, "micro_ops",
                  "spill/fill and instrumentation micro-ops"),
+      cycles_(&stats_, "cycles", "total simulated core cycles"),
+      commit_cycles_(&stats_, "commit_cycles",
+                     "cycles spent executing/committing work"),
       latency_stall_cycles_(&stats_, "latency_stalls",
                             "fixed-latency stall cycles"),
       imiss_wait_cycles_(&stats_, "imiss_wait", "I-cache refill cycles"),
       dmiss_wait_cycles_(&stats_, "dmiss_wait", "D-cache refill cycles"),
+      bus_queue_wait_cycles_(&stats_, "bus_queue_wait",
+                             "refill cycles queued behind other bus "
+                             "traffic"),
       sb_wait_cycles_(&stats_, "sb_wait", "store-buffer-full cycles"),
+      ffifo_full_cycles_(&stats_, "ffifo_full",
+                         "commit cycles stalled on a full forward FIFO"),
       ack_wait_cycles_(&stats_, "ack_wait", "CACK wait cycles"),
       bfifo_wait_cycles_(&stats_, "bfifo_wait", "BFIFO wait cycles"),
       drain_cycles_(&stats_, "drain_cycles", "fabric drain cycles at exit"),
       window_spills_(&stats_, "window_spills", "window overflow traps"),
-      window_fills_(&stats_, "window_fills", "window underflow traps")
+      window_fills_(&stats_, "window_fills", "window underflow traps"),
+      ipc_(&stats_, "ipc", "instructions per cycle",
+           [this]() {
+               return static_cast<double>(instructions_.value()) /
+                      static_cast<double>(cycles_.value());
+           })
 {
+    const auto map = [this](CycleBucket bucket, Counter *counter) {
+        bucket_counters_[static_cast<unsigned>(bucket)] = counter;
+    };
+    map(CycleBucket::kCommit, &commit_cycles_);
+    map(CycleBucket::kLatency, &latency_stall_cycles_);
+    map(CycleBucket::kImiss, &imiss_wait_cycles_);
+    map(CycleBucket::kDmiss, &dmiss_wait_cycles_);
+    map(CycleBucket::kBusQueue, &bus_queue_wait_cycles_);
+    map(CycleBucket::kSbWait, &sb_wait_cycles_);
+    map(CycleBucket::kFfifoFull, &ffifo_full_cycles_);
+    map(CycleBucket::kAckWait, &ack_wait_cycles_);
+    map(CycleBucket::kBfifoWait, &bfifo_wait_cycles_);
+    map(CycleBucket::kDrain, &drain_cycles_);
 }
 
 void
@@ -47,6 +94,10 @@ Core::loadProgram(const Program &program)
     stall_ = 0;
     fetch_retry_ = false;
     micro_queue_.clear();
+    bus_serving_us_ = false;
+    bucket_ = CycleBucket::kCommit;
+    episode_bucket_ = CycleBucket::kCommit;
+    episode_start_ = 0;
     halted_ = false;
     exit_code_ = 0;
     trap_ = TrapInfo{};
@@ -89,6 +140,8 @@ Core::raiseTrap(TrapKind kind, Addr pc, std::string detail)
 void
 Core::takeMonitorTrap()
 {
+    if (trace_)
+        trace_->instant("monitor_trap", "core", 1, now_);
     iface_->ackTrap();   // PACK
     raiseTrap(TrapKind::kMonitor, iface_->trapPc(),
               "monitor check failed");
@@ -101,6 +154,28 @@ Core::tick(Cycle now)
     if (halted_)
         return;
 
+    // Exhaustive attribution: step() charges this cycle to exactly one
+    // bucket (kCommit unless a stall path overrides it), so the bucket
+    // counters always sum to cycles_.
+    bucket_ = CycleBucket::kCommit;
+    step();
+    ++cycles_;
+    ++*bucket_counters_[static_cast<unsigned>(bucket_)];
+    if (trace_)
+        traceEpisode();
+
+#ifndef NDEBUG
+    u64 bucket_sum = 0;
+    for (const Counter *c : bucket_counters_)
+        bucket_sum += c->value();
+    assert(bucket_sum == cycles_.value() &&
+           "cycle buckets must sum to total cycles");
+#endif
+}
+
+void
+Core::step()
+{
     // Imprecise monitor exception, taken at the next commit boundary.
     if (iface_ && iface_->trapPending()) {
         takeMonitorTrap();
@@ -111,23 +186,20 @@ Core::tick(Cycle now)
       case State::kReady:
         if (stall_ > 0) {
             --stall_;
-            ++latency_stall_cycles_;
+            bucket_ = CycleBucket::kLatency;
             return;
         }
         startWork();
         break;
       case State::kWaitBus:
-        if (wait_is_fetch_)
-            ++imiss_wait_cycles_;
-        else
-            ++dmiss_wait_cycles_;
+        chargeBusWait();
         break;
       case State::kWaitStoreBuffer:
         if (store_buffer_.push(cur_.store_addr)) {
             state_ = State::kCommitPending;
             tryCommit();
         } else {
-            ++sb_wait_cycles_;
+            bucket_ = CycleBucket::kSbWait;
         }
         break;
       case State::kCommitPending:
@@ -141,7 +213,7 @@ Core::tick(Cycle now)
             iface_->consumeAck();
             finishInstruction();
         } else {
-            ++ack_wait_cycles_;
+            bucket_ = CycleBucket::kAckWait;
         }
         break;
       case State::kWaitBfifo:
@@ -149,24 +221,61 @@ Core::tick(Cycle now)
             regs_.write(cur_.cpread_rd, *value);
             finishInstruction();
         } else {
-            ++bfifo_wait_cycles_;
+            bucket_ = CycleBucket::kBfifoWait;
         }
         break;
       case State::kDrainExit:
         if (!iface_ || iface_->empty())
             halted_ = true;
-        else
-            ++drain_cycles_;
+        bucket_ = CycleBucket::kDrain;
         break;
       case State::kDrainTrap:
         if (!iface_ || iface_->empty()) {
             trap_ = pending_trap_;
             halted_ = true;
-        } else {
-            ++drain_cycles_;
         }
+        bucket_ = CycleBucket::kDrain;
         break;
     }
+}
+
+void
+Core::chargeBusWait()
+{
+    // A refill cycle is a true miss-service cycle only once the bus has
+    // actually started our transaction; before that we are queued
+    // behind other traffic (store buffer drains, the meta-data cache).
+    if (!bus_serving_us_)
+        bucket_ = CycleBucket::kBusQueue;
+    else if (wait_is_fetch_)
+        bucket_ = CycleBucket::kImiss;
+    else
+        bucket_ = CycleBucket::kDmiss;
+}
+
+void
+Core::traceEpisode()
+{
+    if (bucket_ == episode_bucket_)
+        return;
+    if (now_ > episode_start_) {
+        trace_->complete(cycleBucketName(episode_bucket_).data(), "core",
+                         1, episode_start_, now_);
+    }
+    episode_bucket_ = bucket_;
+    episode_start_ = now_;
+}
+
+void
+Core::flushTrace()
+{
+    if (!trace_ || cycles_.value() == 0)
+        return;
+    if (now_ + 1 > episode_start_) {
+        trace_->complete(cycleBucketName(episode_bucket_).data(), "core",
+                         1, episode_start_, now_ + 1);
+    }
+    episode_start_ = now_ + 1;
 }
 
 void
@@ -197,16 +306,19 @@ Core::fetchTimingOk()
     if (icache_.access(pc_))
         return true;
     wait_is_fetch_ = true;
+    bus_serving_us_ = false;
     state_ = State::kWaitBus;
     BusRequest req;
     req.op = BusOp::kReadLine;
     req.addr = pc_ & ~(params_.icache.line_bytes - 1);
+    req.on_start = [this]() { bus_serving_us_ = true; };
     req.on_complete = [this]() {
         icache_.fill(pc_ & ~(params_.icache.line_bytes - 1));
         fetch_retry_ = true;
         state_ = State::kReady;
     };
     bus_->request(std::move(req));
+    chargeBusWait();
     return false;
 }
 
@@ -243,16 +355,19 @@ Core::execMicroOp()
             tryCommit();
         } else {
             wait_is_fetch_ = false;
+            bus_serving_us_ = false;
             state_ = State::kWaitBus;
             const Addr line = op.addr & ~(params_.dcache.line_bytes - 1);
             BusRequest req;
             req.op = BusOp::kReadLine;
             req.addr = line;
+            req.on_start = [this]() { bus_serving_us_ = true; };
             req.on_complete = [this, line]() {
                 dcache_.fill(line);
                 state_ = State::kCommitPending;
             };
             bus_->request(std::move(req));
+            chargeBusWait();
         }
         return;
       }
@@ -283,6 +398,7 @@ Core::scheduleStoreThenCommit()
         tryCommit();
     } else {
         state_ = State::kWaitStoreBuffer;
+        bucket_ = CycleBucket::kSbWait;
     }
 }
 
@@ -610,16 +726,19 @@ Core::executeInstruction(const Instruction &inst)
     }
     if (needs_dcache_load && !dcache_.access(ea)) {
         wait_is_fetch_ = false;
+        bus_serving_us_ = false;
         state_ = State::kWaitBus;
         const Addr line = ea & ~(params_.dcache.line_bytes - 1);
         BusRequest req;
         req.op = BusOp::kReadLine;
         req.addr = line;
+        req.on_start = [this]() { bus_serving_us_ = true; };
         req.on_complete = [this, line]() {
             dcache_.fill(line);
             state_ = State::kCommitPending;
         };
         bus_->request(std::move(req));
+        chargeBusWait();
         return;
     }
     state_ = State::kCommitPending;
@@ -633,6 +752,7 @@ Core::tryCommit()
         switch (iface_->offer(cur_.pkt, now_)) {
           case CommitAction::kStall:
             state_ = State::kCommitStall;
+            bucket_ = CycleBucket::kFfifoFull;
             return;
           case CommitAction::kWaitAck:
             state_ = State::kWaitAck;

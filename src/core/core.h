@@ -18,6 +18,7 @@
 
 #include "assembler/program.h"
 #include "common/stats.h"
+#include "common/trace_event.h"
 #include "core/alu.h"
 #include "core/regfile.h"
 #include "core/trap.h"
@@ -53,6 +54,29 @@ struct CoreParams
 class Core
 {
   public:
+    /**
+     * Exhaustive cycle attribution: every simulated cycle is charged
+     * to exactly one bucket, so the buckets always sum to cycles().
+     * kCommit covers productive work (execute/commit/dispatch of an
+     * instruction or micro-op and trap resolution); every other bucket
+     * is a distinct structural stall source. See docs/observability.md
+     * for the full taxonomy.
+     */
+    enum class CycleBucket : u8 {
+        kCommit,       //!< instruction/micro-op progress
+        kLatency,      //!< fixed-latency stalls (mul/div/branch/...)
+        kImiss,        //!< I-cache refill in service on the bus
+        kDmiss,        //!< D-cache refill in service on the bus
+        kBusQueue,     //!< refill queued behind another bus transaction
+        kSbWait,       //!< store buffer full
+        kFfifoFull,    //!< commit stalled on a full forward FIFO
+        kAckWait,      //!< waiting for the fabric's CACK
+        kBfifoWait,    //!< waiting for a 'read from co-processor' value
+        kDrain,        //!< draining the fabric at exit/trap
+        kNumBuckets,
+    };
+    static std::string_view cycleBucketName(CycleBucket bucket);
+
     Core(StatGroup *parent, Memory *memory, Bus *bus, CoreParams params);
 
     /** Attach the FlexCore interface (null = unmodified baseline). */
@@ -67,6 +91,15 @@ class Core
     /** Per-committed-instruction hook (debug tracing). */
     using Tracer = std::function<void(Cycle, Addr, const Instruction &)>;
     void setTracer(Tracer tracer) { tracer_ = std::move(tracer); }
+
+    /**
+     * Attach a trace-event sink (null = off, the default). When
+     * attached, stall episodes emit duration events and monitor traps
+     * instant events; when null the only hot-path cost is one branch.
+     */
+    void setTraceSink(TraceSink *sink) { trace_ = sink; }
+    /** Close the open stall episode (call once at end of run). */
+    void flushTrace();
 
     /** Load an assembled program and reset architectural state. */
     void loadProgram(const Program &program);
@@ -83,6 +116,13 @@ class Core
     u64 committedOfType(InstrType type) const
     {
         return committed_by_type_[type];
+    }
+
+    /** Total simulated core cycles (the sum of all cycle buckets). */
+    u64 cycles() const { return cycles_.value(); }
+    u64 cyclesIn(CycleBucket bucket) const
+    {
+        return bucket_counters_[static_cast<unsigned>(bucket)]->value();
     }
 
     RegWindowFile &regs() { return regs_; }
@@ -131,6 +171,9 @@ class Core
         bool is_store = false;
     };
 
+    void step();
+    void chargeBusWait();
+    void traceEpisode();
     void startWork();
     void execMicroOp();
     bool fetchTimingOk();
@@ -154,6 +197,7 @@ class Core
     FlexInterface *iface_ = nullptr;
     const SoftwareMonitor *swmon_ = nullptr;
     Tracer tracer_;
+    TraceSink *trace_ = nullptr;
 
     // Architectural state.
     RegWindowFile regs_;
@@ -188,17 +232,31 @@ class Core
     StatGroup stats_;
     Counter instructions_;
     Counter micro_ops_;
+    Counter cycles_;
+    Counter commit_cycles_;
     Counter latency_stall_cycles_;
     Counter imiss_wait_cycles_;
     Counter dmiss_wait_cycles_;
+    Counter bus_queue_wait_cycles_;
     Counter sb_wait_cycles_;
+    Counter ffifo_full_cycles_;
     Counter ack_wait_cycles_;
     Counter bfifo_wait_cycles_;
     Counter drain_cycles_;
     Counter window_spills_;
     Counter window_fills_;
+    Formula ipc_;
+    /** Maps each CycleBucket to the counter that accumulates it. */
+    Counter *bucket_counters_[static_cast<unsigned>(
+        CycleBucket::kNumBuckets)] = {};
     u64 committed_by_type_[kNumInstrTypes] = {};
     bool wait_is_fetch_ = false;
+    bool bus_serving_us_ = false;   //!< our refill reached the bus head
+
+    // Per-cycle attribution state.
+    CycleBucket bucket_ = CycleBucket::kCommit;
+    CycleBucket episode_bucket_ = CycleBucket::kCommit;
+    Cycle episode_start_ = 0;
 };
 
 }  // namespace flexcore

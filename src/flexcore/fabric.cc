@@ -18,7 +18,10 @@ Fabric::Fabric(StatGroup *parent, FlexInterface *iface, Bus *bus,
       input_block_cycles_(&stats_, "input_block_cycles",
                           "fabric cycles input was blocked by extra ops"),
       tlb_hits_(&stats_, "tlb_hits", "meta-data TLB hits"),
-      tlb_misses_(&stats_, "tlb_misses", "meta-data TLB misses")
+      tlb_misses_(&stats_, "tlb_misses", "meta-data TLB misses"),
+      freeze_runs_(&stats_, "freeze_runs",
+                   "fabric cycles per contiguous meta-refill freeze",
+                   Histogram::Params{1, 0, 12, true})
 {
     if (params_.tlb.enabled)
         tlb_.resize(params_.tlb.entries);
@@ -66,6 +69,14 @@ Fabric::tick(Cycle now)
 {
     if (++divider_ >= params_.period) {
         divider_ = 0;
+        if (params_.histograms) {
+            if (frozen_) {
+                ++freeze_run_;
+            } else if (freeze_run_ > 0) {
+                freeze_runs_.add(freeze_run_);
+                freeze_run_ = 0;
+            }
+        }
         if (frozen_)
             ++meta_stall_cycles_;
         else

@@ -48,6 +48,8 @@ struct FabricParams
     /** Bit-granularity meta-data writes (§III-D; ablation knob). */
     bool bitmask_writes = true;
     MetaTlbParams tlb;
+    /** Record the freeze-run-length histogram (SystemConfig mirrors). */
+    bool histograms = false;
 };
 
 class Fabric
@@ -116,6 +118,8 @@ class Fabric
     unsigned pending_idx_ = 0;
     u32 pending_extra_input_block_ = 0;   // e.g. LUT decode w/o predecode
 
+    u64 freeze_run_ = 0;   //!< fabric cycles in the current frozen run
+
     StatGroup stats_;
     Counter packets_;
     Counter meta_accesses_;
@@ -124,6 +128,7 @@ class Fabric
     Counter input_block_cycles_;
     Counter tlb_hits_;
     Counter tlb_misses_;
+    Histogram freeze_runs_;
 };
 
 }  // namespace flexcore

@@ -10,7 +10,18 @@ FlexInterface::FlexInterface(StatGroup *parent, Params params)
                "packets dropped under the if-not-full policy"),
       commit_stalls_(&stats_, "commit_stalls",
                      "cycles commit stalled on a full FFIFO"),
-      traps_(&stats_, "traps", "TRAP assertions from the fabric")
+      traps_(&stats_, "traps", "TRAP assertions from the fabric"),
+      occupancy_(&stats_, "ffifo_occupancy",
+                 "FFIFO entries in use, sampled per core cycle",
+                 Histogram::Params{0, params.fifo_depth + 1,
+                                   static_cast<u32>(params.fifo_depth + 1),
+                                   false}),
+      fill_frac_(&stats_, "fill_frac",
+                 "mean FFIFO occupancy / FIFO depth",
+                 [this]() {
+                     return occupancy_.mean() /
+                            static_cast<double>(params_.fifo_depth);
+                 })
 {
 }
 

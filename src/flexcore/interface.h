@@ -86,6 +86,14 @@ class FlexInterface
     size_t fifoSize() const { return fifo_.size(); }
     bool fifoFull() const { return fifo_.size() >= params_.fifo_depth; }
 
+    /**
+     * Record the current FFIFO occupancy into the occupancy histogram.
+     * Called once per core cycle by System when histogram sampling is
+     * enabled (SystemConfig::histograms); costs nothing otherwise.
+     */
+    void sampleOccupancy() { occupancy_.add(fifo_.size()); }
+    const Histogram &occupancyHistogram() const { return occupancy_; }
+
     u64 forwardedCount() const { return forwarded_.value(); }
     u64 droppedCount() const { return dropped_.value(); }
     u64 stallCycles() const { return commit_stalls_.value(); }
@@ -115,6 +123,8 @@ class FlexInterface
     Counter dropped_;
     Counter commit_stalls_;
     Counter traps_;
+    Histogram occupancy_;
+    Formula fill_frac_;
     u64 forwarded_by_type_[kNumInstrTypes] = {};
 };
 

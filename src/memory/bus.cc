@@ -2,6 +2,21 @@
 
 namespace flexcore {
 
+namespace {
+
+const char *
+busOpName(BusOp op)
+{
+    switch (op) {
+      case BusOp::kReadLine: return "line_read";
+      case BusOp::kWriteLine: return "line_write";
+      case BusOp::kWriteWord: return "word_write";
+    }
+    return "?";
+}
+
+}  // namespace
+
 Bus::Bus(StatGroup *parent, const SdramTimings &timings)
     : timings_(timings),
       stats_("bus", parent),
@@ -10,7 +25,12 @@ Bus::Bus(StatGroup *parent, const SdramTimings &timings)
       word_writes_(&stats_, "word_writes", "write-through stores"),
       busy_cycles_(&stats_, "busy_cycles", "cycles the bus was occupied"),
       queue_cycles_(&stats_, "queue_cycles",
-                    "aggregate cycles requests spent queued")
+                    "aggregate cycles requests spent queued"),
+      queue_depth_(&stats_, "queue_depth",
+                   "requests queued behind the active transaction, "
+                   "sampled per cycle",
+                   Histogram::Params{0, 16, 16, false}),
+      row_model_(&stats_)
 {
 }
 
@@ -25,6 +45,10 @@ Bus::request(BusRequest req)
     queue_.push_back(std::move(req));
     if (!active_)
         startNext();
+    if (trace_ && queue_.size() != traced_depth_) {
+        traced_depth_ = queue_.size();
+        trace_->counter("bus_queue_depth", now_, traced_depth_);
+    }
 }
 
 void
@@ -34,6 +58,10 @@ Bus::startNext()
     queue_.pop_front();
     remaining_ = timings_.cost(current_.op);
     active_ = true;
+    current_start_ = now_;
+    row_model_.observe(current_.addr);
+    if (current_.on_start)
+        current_.on_start();
 }
 
 void
@@ -43,6 +71,10 @@ Bus::tick()
         ++busy_cycles_;
         if (--remaining_ == 0) {
             active_ = false;
+            if (trace_) {
+                trace_->complete(busOpName(current_.op), "bus", 2,
+                                 current_start_, now_ + 1);
+            }
             // Move the callback out first: it may enqueue new requests.
             auto done = std::move(current_.on_complete);
             if (!queue_.empty())
@@ -52,6 +84,13 @@ Bus::tick()
         }
     }
     queue_cycles_ += queue_.size();
+    if (sampling_)
+        queue_depth_.add(queue_.size());
+    if (trace_ && queue_.size() != traced_depth_) {
+        traced_depth_ = queue_.size();
+        trace_->counter("bus_queue_depth", now_, traced_depth_);
+    }
+    ++now_;
 }
 
 }  // namespace flexcore

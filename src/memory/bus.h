@@ -13,6 +13,7 @@
 #include <functional>
 
 #include "common/stats.h"
+#include "common/trace_event.h"
 #include "common/types.h"
 #include "memory/sdram.h"
 
@@ -23,8 +24,17 @@ struct BusRequest
 {
     BusOp op = BusOp::kReadLine;
     Addr addr = 0;
-    /** Invoked on the cycle the transaction completes. May be empty. */
+    /** Invoked on the cycle the transaction completes. May be empty.
+     * Kept third so {op, addr, callback} aggregates stay completion
+     * callbacks. */
     std::function<void()> on_complete;
+    /**
+     * Invoked when the transaction reaches the head of the queue and
+     * occupies the bus (synchronously from request() when the bus is
+     * idle). Lets requesters split queueing delay from service time.
+     * May be empty.
+     */
+    std::function<void()> on_start;
 };
 
 class Bus
@@ -44,6 +54,18 @@ class Bus
     /** Transactions waiting behind the active one. */
     size_t queueDepth() const { return queue_.size(); }
 
+    /**
+     * Enable per-cycle queue-depth sampling into the queue_depth
+     * histogram (off by default: one branch per tick when disabled).
+     */
+    void setSampling(bool on) { sampling_ = on; }
+
+    /** Attach a trace-event sink (null = off, the default). */
+    void setTraceSink(TraceSink *sink) { trace_ = sink; }
+
+    /** Close the SDRAM row-run histograms (call at end of run). */
+    void flushObservers() { row_model_.flush(); }
+
     const StatGroup &stats() const { return stats_; }
 
   private:
@@ -55,12 +77,26 @@ class Bus
     BusRequest current_;
     u32 remaining_ = 0;
 
+    bool sampling_ = false;
+    TraceSink *trace_ = nullptr;
+    /**
+     * Internal cycle counter (tick() takes no argument). It runs one
+     * ahead of the core's clock for requests issued later in the same
+     * system cycle, so trace timestamps can be off by one cycle; the
+     * durations themselves are exact.
+     */
+    Cycle now_ = 0;
+    Cycle current_start_ = 0;
+    size_t traced_depth_ = 0;
+
     StatGroup stats_;
     Counter line_reads_;
     Counter line_writes_;
     Counter word_writes_;
     Counter busy_cycles_;
     Counter queue_cycles_;
+    Histogram queue_depth_;
+    SdramRowModel row_model_;
 };
 
 }  // namespace flexcore

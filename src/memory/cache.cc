@@ -11,7 +11,12 @@ Cache::Cache(StatGroup *parent, const std::string &name, CacheParams params)
       accesses_(&stats_, "accesses", "total lookups"),
       hits_(&stats_, "hits", "lookups that hit"),
       misses_(&stats_, "misses", "lookups that missed"),
-      writebacks_(&stats_, "writebacks", "dirty lines evicted")
+      writebacks_(&stats_, "writebacks", "dirty lines evicted"),
+      miss_rate_(&stats_, "miss_rate", "misses / accesses",
+                 [this]() {
+                     return static_cast<double>(misses_.value()) /
+                            static_cast<double>(accesses_.value());
+                 })
 {
     if (!isPowerOfTwo(params_.size_bytes) ||
         !isPowerOfTwo(params_.line_bytes) || params_.assoc == 0 ||

@@ -84,6 +84,7 @@ class Cache
     Counter hits_;
     Counter misses_;
     Counter writebacks_;
+    Formula miss_rate_;
 };
 
 }  // namespace flexcore

@@ -9,6 +9,7 @@
 #ifndef FLEXCORE_MEMORY_SDRAM_H_
 #define FLEXCORE_MEMORY_SDRAM_H_
 
+#include "common/stats.h"
 #include "common/types.h"
 
 namespace flexcore {
@@ -41,6 +42,46 @@ struct SdramTimings
         }
         return 1;
     }
+};
+
+/**
+ * Observational row-buffer model: classifies each bus transaction as a
+ * row hit or miss per bank and records the distribution of same-row
+ * run lengths. Purely statistical — the fixed SdramTimings above stay
+ * authoritative for timing, so attaching this model never perturbs the
+ * golden traces.
+ */
+class SdramRowModel
+{
+  public:
+    explicit SdramRowModel(StatGroup *parent);
+
+    /** Classify one transaction (call at transaction start). */
+    void observe(Addr addr);
+
+    /** Close any open same-row runs (call at end of simulation). */
+    void flush();
+
+    u64 rowHits() const { return row_hits_.value(); }
+    u64 rowMisses() const { return row_misses_.value(); }
+
+  private:
+    static constexpr u32 kNumBanks = 4;
+    static constexpr u32 kBankShift = 13;   //!< 8 KB bank interleave
+    static constexpr u32 kRowShift = 15;    //!< 32 KB rows
+
+    struct Bank
+    {
+        bool open = false;
+        u32 row = 0;
+        u64 run = 0;   //!< consecutive accesses to the open row
+    };
+
+    Bank banks_[kNumBanks];
+    StatGroup stats_;
+    Counter row_hits_;
+    Counter row_misses_;
+    Histogram run_length_;
 };
 
 }  // namespace flexcore

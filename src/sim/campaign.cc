@@ -7,6 +7,7 @@
 #include <mutex>
 #include <set>
 
+#include "common/jsonutil.h"
 #include "common/log.h"
 #include "common/threadpool.h"
 
@@ -23,30 +24,6 @@ struct ResolvedPoint
     u32 fifo = 0;
     u32 dcache = 0;
 };
-
-std::string
-escapeJson(std::string_view text)
-{
-    std::string out;
-    out.reserve(text.size());
-    for (char c : text) {
-        switch (c) {
-          case '"': out += "\\\""; break;
-          case '\\': out += "\\\\"; break;
-          case '\n': out += "\\n"; break;
-          case '\t': out += "\\t"; break;
-          default:
-            if (static_cast<unsigned char>(c) < 0x20) {
-                char buf[8];
-                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-                out += buf;
-            } else {
-                out += c;
-            }
-        }
-    }
-    return out;
-}
 
 }  // namespace
 
@@ -203,8 +180,10 @@ runCampaign(const std::vector<CampaignJob> &jobs,
                 row.seed = job.config.fault_seed;
                 row.outcome =
                     opts.verify
-                        ? runWorkloadChecked(job.workload, job.config)
-                        : runSource(job.workload.source, job.config);
+                        ? runWorkloadChecked(job.workload, job.config,
+                                             opts.stat_paths)
+                        : runSource(job.workload.source, job.config,
+                                    opts.stat_paths);
                 report(done.fetch_add(1, std::memory_order_acq_rel) + 1);
             });
         }
@@ -216,6 +195,25 @@ runCampaign(const std::vector<CampaignJob> &jobs,
               [](const CampaignResult &a, const CampaignResult &b) {
                   return a.key < b.key;
               });
+
+    // Rows silently skip paths their configuration lacks (a baseline
+    // row has no "interface" group), but a path *no* row resolved is a
+    // typo, not heterogeneity — reject it loudly.
+    for (const std::string &path : opts.stat_paths) {
+        const bool resolved_somewhere = std::any_of(
+            results.begin(), results.end(),
+            [&](const CampaignResult &row) {
+                return std::any_of(
+                    row.outcome.stats.begin(), row.outcome.stats.end(),
+                    [&](const auto &kv) { return kv.first == path; });
+            });
+        if (!results.empty() && !resolved_somewhere) {
+            FLEX_FATAL("stat path '", path,
+                       "' matched no job in this campaign (dotted "
+                       "counter path under the system root, e.g. "
+                       "core.cycles)");
+        }
+    }
     return results;
 }
 
@@ -236,15 +234,15 @@ campaignJson(std::string_view name,
 {
     std::string out;
     out += "{\n  \"campaign\": \"";
-    out += escapeJson(name);
+    out += jsonEscape(name);
     out += "\",\n  \"results\": [\n";
     char buf[512];
     for (size_t i = 0; i < results.size(); ++i) {
         const CampaignResult &row = results[i];
         out += "    {\"key\": \"";
-        out += escapeJson(row.key);
+        out += jsonEscape(row.key);
         out += "\", \"workload\": \"";
-        out += escapeJson(row.workload);
+        out += jsonEscape(row.workload);
         out += "\", \"monitor\": \"";
         out += monitorKindName(row.monitor);
         out += "\", \"mode\": \"";
@@ -257,7 +255,7 @@ campaignJson(std::string_view name,
             "\"cycles\": %" PRIu64 ", \"instructions\": %" PRIu64
             ", \"forwarded\": %" PRIu64 ", \"dropped\": %" PRIu64
             ", \"commit_stalls\": %" PRIu64 ", \"meta_misses\": %" PRIu64
-            ", \"meta_accesses\": %" PRIu64 ", \"fwd_fraction\": %.17g}",
+            ", \"meta_accesses\": %" PRIu64 ", \"fwd_fraction\": %.17g",
             row.flex_period, row.fifo_depth, row.dcache_bytes, row.seed,
             std::string(exitName(row.outcome.result.exit)).c_str(),
             row.outcome.result.exit_code, row.outcome.result.cycles,
@@ -266,6 +264,21 @@ campaignJson(std::string_view name,
             row.outcome.meta_misses, row.outcome.meta_accesses,
             row.outcome.fwd_fraction);
         out += buf;
+        if (!row.outcome.stats.empty()) {
+            // Request order (the sweep's --stat order), not sorted.
+            // Which paths a row carries is a pure function of its
+            // config (unresolvable ones are skipped), so the bytes
+            // stay deterministic for any worker count.
+            out += ", \"stats\": {";
+            for (size_t s = 0; s < row.outcome.stats.size(); ++s) {
+                if (s > 0)
+                    out += ", ";
+                out += "\"" + jsonEscape(row.outcome.stats[s].first) +
+                       "\": " + std::to_string(row.outcome.stats[s].second);
+            }
+            out += "}";
+        }
+        out += "}";
         out += (i + 1 < results.size()) ? ",\n" : "\n";
     }
     out += "  ]\n}\n";

@@ -90,6 +90,11 @@ struct CampaignOptions
     /** Verify console output against the golden model (FLEX_FATAL on
      * mismatch). Disable for scenario runs that trap by design. */
     bool verify = true;
+    /**
+     * Dotted counter paths (see runSource) sampled per job and embedded
+     * in each JSON row as a "stats" object. Unknown paths FLEX_FATAL.
+     */
+    std::vector<std::string> stat_paths;
 };
 
 /**

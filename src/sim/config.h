@@ -77,6 +77,13 @@ struct SystemConfig
      */
     bool precise_exceptions = false;
 
+    /**
+     * Enable per-cycle histogram sampling (FFIFO occupancy, bus queue
+     * depth, fabric freeze runs). Off by default so the hot loop pays
+     * nothing; purely observational, never affects timing.
+     */
+    bool histograms = false;
+
     u64 max_cycles = 500'000'000;
 
     /** ALU transient-fault injection (exercises SEC). */

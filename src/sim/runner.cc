@@ -8,7 +8,8 @@
 namespace flexcore {
 
 SimOutcome
-runSource(const std::string &source, SystemConfig config)
+runSource(const std::string &source, SystemConfig config,
+          const std::vector<std::string> &stat_paths)
 {
     const Program program = Assembler::assembleOrDie(source);
     System system(std::move(config));
@@ -16,6 +17,13 @@ runSource(const std::string &source, SystemConfig config)
 
     SimOutcome outcome;
     outcome.result = system.run();
+    // A path that does not resolve for this configuration is skipped,
+    // not fatal: campaign grids mix configs (a baseline row has no
+    // "interface" group). runCampaign rejects paths no row resolves.
+    for (const std::string &path : stat_paths) {
+        if (const auto value = system.stats().tryLookup(path))
+            outcome.stats.emplace_back(path, *value);
+    }
     if (FlexInterface *iface = system.iface()) {
         outcome.forwarded = iface->forwardedCount();
         outcome.dropped = iface->droppedCount();
@@ -35,9 +43,11 @@ runSource(const std::string &source, SystemConfig config)
 }
 
 SimOutcome
-runWorkloadChecked(const Workload &workload, SystemConfig config)
+runWorkloadChecked(const Workload &workload, SystemConfig config,
+                   const std::vector<std::string> &stat_paths)
 {
-    SimOutcome outcome = runSource(workload.source, std::move(config));
+    SimOutcome outcome =
+        runSource(workload.source, std::move(config), stat_paths);
     if (outcome.result.exit != RunResult::Exit::kExited) {
         FLEX_FATAL("workload '", workload.name, "' did not exit cleanly: ",
                    exitName(outcome.result.exit), " (",

@@ -8,6 +8,7 @@
 #ifndef FLEXCORE_SIM_RUNNER_H_
 #define FLEXCORE_SIM_RUNNER_H_
 
+#include <utility>
 #include <vector>
 
 #include "sim/system.h"
@@ -25,10 +26,20 @@ struct SimOutcome
     u64 meta_misses = 0;
     u64 meta_accesses = 0;
     double fwd_fraction = 0; //!< forwarded / committed instructions
+    /** Requested (dotted path, value) counter samples, request order. */
+    std::vector<std::pair<std::string, u64>> stats;
 };
 
-/** Assemble @p source and run it under @p config. */
-SimOutcome runSource(const std::string &source, SystemConfig config);
+/**
+ * Assemble @p source and run it under @p config. Each entry of
+ * @p stat_paths is a dotted counter path under the "system" stats root
+ * (e.g. "core.cycles", "bus.busy_cycles"), captured into
+ * SimOutcome::stats after the run. Paths this configuration cannot
+ * resolve are skipped (campaign grids mix configs); runCampaign
+ * rejects paths that resolve in no row.
+ */
+SimOutcome runSource(const std::string &source, SystemConfig config,
+                     const std::vector<std::string> &stat_paths = {});
 
 /**
  * Run a workload and verify its console output against the golden
@@ -36,7 +47,9 @@ SimOutcome runSource(const std::string &source, SystemConfig config);
  * every benchmark number comes from a verified run.
  */
 SimOutcome runWorkloadChecked(const Workload &workload,
-                              SystemConfig config);
+                              SystemConfig config,
+                              const std::vector<std::string> &stat_paths =
+                                  {});
 
 /** Geometric mean of a non-empty vector. */
 double geomean(const std::vector<double> &values);

@@ -41,8 +41,10 @@ System::System(SystemConfig config)
     : config_(std::move(config)), stats_("system")
 {
     config_.finalize();
+    config_.fabric.histograms = config_.histograms;
     memory_ = std::make_unique<Memory>();
     bus_ = std::make_unique<Bus>(&stats_, config_.sdram);
+    bus_->setSampling(config_.histograms);
     core_ = std::make_unique<Core>(&stats_, memory_.get(), bus_.get(),
                                    config_.core);
 
@@ -88,6 +90,15 @@ System::load(const Program &program)
 }
 
 void
+System::attachTrace(TraceSink *sink)
+{
+    trace_ = sink;
+    core_->setTraceSink(sink);
+    bus_->setTraceSink(sink);
+    traced_ffifo_depth_ = 0;
+}
+
+void
 System::tick()
 {
     bus_->tick();
@@ -95,6 +106,15 @@ System::tick()
         fabric_->tick(now_);
     core_->tick(now_);
     core_->storeBuffer().tick();
+    if (iface_) {
+        if (config_.histograms)
+            iface_->sampleOccupancy();
+        if (trace_ && iface_->fifoSize() != traced_ffifo_depth_) {
+            traced_ffifo_depth_ = iface_->fifoSize();
+            trace_->counter("ffifo_occupancy", now_,
+                            traced_ffifo_depth_);
+        }
+    }
     ++now_;
 }
 
@@ -103,6 +123,8 @@ System::run()
 {
     while (!core_->halted() && now_ < config_.max_cycles)
         tick();
+    core_->flushTrace();
+    bus_->flushObservers();
 
     RunResult result;
     result.cycles = now_;

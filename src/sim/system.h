@@ -52,6 +52,12 @@ class System
     /** Single-cycle step (for tests). */
     void tick();
 
+    /**
+     * Attach a Chrome trace-event sink to the core and bus (null
+     * detaches). run() closes open episodes when the run ends.
+     */
+    void attachTrace(TraceSink *sink);
+
     const SystemConfig &config() const { return config_; }
     Memory &memory() { return *memory_; }
     Bus &bus() { return *bus_; }
@@ -72,6 +78,8 @@ class System
     std::unique_ptr<FlexInterface> iface_;
     std::unique_ptr<Fabric> fabric_;
     Cycle now_ = 0;
+    TraceSink *trace_ = nullptr;
+    size_t traced_ffifo_depth_ = 0;
 };
 
 }  // namespace flexcore

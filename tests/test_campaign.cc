@@ -150,6 +150,53 @@ TEST(Campaign, SubmissionOrderDoesNotChangeMergedResults)
     EXPECT_EQ(sorted_json, reversed_json);
 }
 
+TEST(Campaign, StatPathsEmbedPerConfiguration)
+{
+    const auto jobs = expandSweep(smallSpec());
+    CampaignOptions opts;
+    opts.jobs = 4;
+    opts.stat_paths = {"core.cycles", "interface.forwarded"};
+    const auto results = runCampaign(jobs, opts);
+
+    for (const CampaignResult &row : results) {
+        // Every configuration has a core...
+        ASSERT_FALSE(row.outcome.stats.empty()) << row.key;
+        EXPECT_EQ(row.outcome.stats[0].first, "core.cycles");
+        EXPECT_EQ(row.outcome.stats[0].second,
+                  row.outcome.result.cycles);
+        // ...but only monitored hardware modes have an interface, so
+        // baseline rows skip that path instead of failing the run.
+        const bool has_iface = row.mode == ImplMode::kFlexFabric ||
+                               row.mode == ImplMode::kAsic;
+        EXPECT_EQ(row.outcome.stats.size(), has_iface ? 2u : 1u)
+            << row.key;
+        if (has_iface) {
+            EXPECT_EQ(row.outcome.stats[1].first, "interface.forwarded");
+            EXPECT_EQ(row.outcome.stats[1].second,
+                      row.outcome.forwarded);
+        }
+    }
+
+    const std::string json = campaignJson("test_grid", results);
+    EXPECT_NE(json.find("\"stats\": {\"core.cycles\": "),
+              std::string::npos);
+
+    // Embedded stats preserve byte-identity across worker counts.
+    CampaignOptions serial = opts;
+    serial.jobs = 1;
+    EXPECT_EQ(campaignJson("test_grid", runCampaign(jobs, serial)),
+              json);
+}
+
+TEST(CampaignDeathTest, UnresolvableStatPathIsFatal)
+{
+    const auto jobs = expandSweep(smallSpec());
+    CampaignOptions opts;
+    opts.jobs = 2;
+    opts.stat_paths = {"core.cycles", "no.such.counter"};
+    EXPECT_DEATH(runCampaign(jobs, opts), "no\\.such\\.counter");
+}
+
 TEST(Campaign, ResultRowsCarryTheJobIdentity)
 {
     const auto results = runCampaign(expandSweep(smallSpec()), {});

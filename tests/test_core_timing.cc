@@ -10,6 +10,7 @@
 #include "assembler/assembler.h"
 #include "monitors/dift.h"
 #include "sim/system.h"
+#include "workloads/scenarios.h"
 
 namespace flexcore {
 namespace {
@@ -242,6 +243,183 @@ TEST(CoreTiming, StatsDumpContainsCoreTree)
     EXPECT_NE(dump.find("system.core.instructions"), std::string::npos);
     EXPECT_NE(dump.find("system.icache.accesses"), std::string::npos);
     EXPECT_NE(dump.find("system.bus.busy_cycles"), std::string::npos);
+}
+
+// ---- Exhaustive cycle attribution ----------------------------------
+
+/** Sum every CycleBucket counter of @p core. */
+u64
+bucketSum(const Core &core)
+{
+    u64 sum = 0;
+    const auto n =
+        static_cast<unsigned>(Core::CycleBucket::kNumBuckets);
+    for (unsigned b = 0; b < n; ++b)
+        sum += core.cyclesIn(static_cast<Core::CycleBucket>(b));
+    return sum;
+}
+
+/** Run @p workload under @p config and assert exact accountability. */
+void
+expectAccountable(const Workload &workload, SystemConfig config)
+{
+    System system(std::move(config));
+    system.load(Assembler::assembleOrDie(workload.source));
+    const RunResult result = system.run();
+    const Core &core = system.core();
+    EXPECT_EQ(core.cycles(), result.cycles) << workload.name;
+    EXPECT_EQ(bucketSum(core), core.cycles()) << workload.name;
+    EXPECT_GT(core.cyclesIn(Core::CycleBucket::kCommit), 0u)
+        << workload.name;
+}
+
+TEST(CycleAccounting, BaselineBucketsSumToTotal)
+{
+    expectAccountable(scenarioDiftBenign(), SystemConfig{});
+}
+
+TEST(CycleAccounting, UmcBucketsSumToTotal)
+{
+    SystemConfig config;
+    config.monitor = MonitorKind::kUmc;
+    config.mode = ImplMode::kFlexFabric;
+    expectAccountable(scenarioUmcClean(), config);
+    expectAccountable(scenarioUmcBug(), config);   // traps mid-run
+}
+
+TEST(CycleAccounting, DiftBucketsSumToTotal)
+{
+    SystemConfig config;
+    config.monitor = MonitorKind::kDift;
+    config.mode = ImplMode::kFlexFabric;
+    expectAccountable(scenarioDiftBenign(), config);
+    expectAccountable(scenarioDiftAttack(), config);
+}
+
+TEST(CycleAccounting, BcBucketsSumToTotal)
+{
+    SystemConfig config;
+    config.monitor = MonitorKind::kBc;
+    config.mode = ImplMode::kFlexFabric;
+    expectAccountable(scenarioBcClean(), config);
+    expectAccountable(scenarioBcOverflow(), config);
+}
+
+TEST(CycleAccounting, TinyFifoChargesFfifoFullCycles)
+{
+    // A 2-deep FIFO at the slowest fabric clock must back-pressure
+    // commit; those stall cycles land in the kFfifoFull bucket and the
+    // sum still matches.
+    SystemConfig config;
+    config.monitor = MonitorKind::kDift;
+    config.mode = ImplMode::kFlexFabric;
+    config.flex_period = 4;
+    config.iface.fifo_depth = 2;
+    System system(config);
+    system.load(Assembler::assembleOrDie(scenarioDiftBenign().source));
+    const RunResult result = system.run();
+    EXPECT_EQ(result.exit, RunResult::Exit::kExited);
+    const Core &core = system.core();
+    EXPECT_GT(core.cyclesIn(Core::CycleBucket::kFfifoFull), 0u);
+    EXPECT_EQ(bucketSum(core), core.cycles());
+    EXPECT_EQ(core.cycles(), result.cycles);
+}
+
+TEST(CycleAccounting, PreciseExceptionsChargeAckWaitCycles)
+{
+    SystemConfig config;
+    config.monitor = MonitorKind::kUmc;
+    config.mode = ImplMode::kFlexFabric;
+    config.precise_exceptions = true;
+    System system(config);
+    system.load(Assembler::assembleOrDie(scenarioUmcClean().source));
+    const RunResult result = system.run();
+    EXPECT_EQ(result.exit, RunResult::Exit::kExited);
+    const Core &core = system.core();
+    EXPECT_GT(core.cyclesIn(Core::CycleBucket::kAckWait), 0u);
+    EXPECT_EQ(bucketSum(core), core.cycles());
+    EXPECT_EQ(core.cycles(), result.cycles);
+}
+
+TEST(CycleAccounting, BucketCountersAppearInStatsTree)
+{
+    RunState r = run("        ta 0\n        nop\n");
+    const StatGroup &stats = r.system->stats();
+    for (const char *path :
+         {"core.cycles", "core.commit_cycles", "core.latency_stalls",
+          "core.imiss_wait", "core.dmiss_wait", "core.bus_queue_wait",
+          "core.sb_wait", "core.ffifo_full", "core.ack_wait",
+          "core.bfifo_wait", "core.drain_cycles"}) {
+        EXPECT_TRUE(stats.tryLookup(path).has_value()) << path;
+    }
+}
+
+TEST(CycleAccounting, HistogramSamplingMatchesCycleCount)
+{
+    // With SystemConfig::histograms on, the FFIFO occupancy histogram
+    // takes exactly one sample per simulated cycle.
+    SystemConfig config;
+    config.monitor = MonitorKind::kDift;
+    config.mode = ImplMode::kFlexFabric;
+    config.histograms = true;
+    System system(config);
+    system.load(Assembler::assembleOrDie(scenarioDiftBenign().source));
+    const RunResult result = system.run();
+    EXPECT_EQ(result.exit, RunResult::Exit::kExited);
+    EXPECT_EQ(system.iface()->occupancyHistogram().count(),
+              result.cycles);
+}
+
+TEST(CycleAccounting, HistogramsOffByDefault)
+{
+    SystemConfig config;
+    config.monitor = MonitorKind::kDift;
+    config.mode = ImplMode::kFlexFabric;
+    System system(config);
+    system.load(Assembler::assembleOrDie(scenarioDiftBenign().source));
+    (void)system.run();
+    EXPECT_EQ(system.iface()->occupancyHistogram().count(), 0u);
+}
+
+TEST(CycleAccounting, TraceSinkRecordsStallEpisodes)
+{
+    SystemConfig config;
+    config.monitor = MonitorKind::kDift;
+    config.mode = ImplMode::kFlexFabric;
+    System system(config);
+    TraceSink sink;
+    system.attachTrace(&sink);
+    system.load(Assembler::assembleOrDie(scenarioDiftAttack().source));
+    const RunResult result = system.run();
+    EXPECT_EQ(result.exit, RunResult::Exit::kMonitorTrap);
+    EXPECT_FALSE(sink.empty());
+    const std::string json = sink.json();
+    // The attack ends in a monitor trap instant event, and the cold
+    // I-cache start shows up as a miss episode.
+    EXPECT_NE(json.find("monitor_trap"), std::string::npos);
+    EXPECT_NE(json.find("imiss_wait"), std::string::npos);
+}
+
+TEST(CycleAccounting, TraceDoesNotPerturbTiming)
+{
+    SystemConfig config;
+    config.monitor = MonitorKind::kDift;
+    config.mode = ImplMode::kFlexFabric;
+
+    System plain(config);
+    plain.load(Assembler::assembleOrDie(scenarioDiftBenign().source));
+    const RunResult base = plain.run();
+
+    SystemConfig config2 = config;
+    config2.histograms = true;
+    System traced(config2);
+    TraceSink sink;
+    traced.attachTrace(&sink);
+    traced.load(Assembler::assembleOrDie(scenarioDiftBenign().source));
+    const RunResult observed = traced.run();
+
+    EXPECT_EQ(observed.cycles, base.cycles);
+    EXPECT_EQ(observed.instructions, base.instructions);
 }
 
 }  // namespace

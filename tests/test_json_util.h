@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Minimal recursive-descent JSON syntax checker for tests. It accepts
+ * exactly the JSON grammar (RFC 8259) and nothing else, so a test can
+ * assert that an emitter's output would load in any real parser without
+ * the repo growing a JSON library dependency.
+ */
+
+#ifndef FLEXCORE_TESTS_TEST_JSON_UTIL_H_
+#define FLEXCORE_TESTS_TEST_JSON_UTIL_H_
+
+#include <cctype>
+#include <string>
+#include <string_view>
+
+namespace flexcore::testjson {
+
+class Parser
+{
+  public:
+    explicit Parser(std::string_view text) : text_(text) {}
+
+    /** Parse one complete JSON document; false on any syntax error. */
+    bool parse()
+    {
+        skipWs();
+        if (!value())
+            return false;
+        skipWs();
+        return pos_ == text_.size();
+    }
+
+    std::string error() const
+    {
+        return error_.empty()
+                   ? ""
+                   : error_ + " at byte " + std::to_string(pos_);
+    }
+
+  private:
+    bool fail(const char *what)
+    {
+        if (error_.empty())
+            error_ = what;
+        return false;
+    }
+
+    void skipWs()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    bool consume(char c)
+    {
+        if (pos_ < text_.size() && text_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    bool literal(std::string_view word)
+    {
+        if (text_.substr(pos_, word.size()) != word)
+            return fail("bad literal");
+        pos_ += word.size();
+        return true;
+    }
+
+    bool value()
+    {
+        if (pos_ >= text_.size())
+            return fail("unexpected end");
+        switch (text_[pos_]) {
+          case '{': return object();
+          case '[': return array();
+          case '"': return string();
+          case 't': return literal("true");
+          case 'f': return literal("false");
+          case 'n': return literal("null");
+          default: return number();
+        }
+    }
+
+    bool object()
+    {
+        ++pos_;   // '{'
+        skipWs();
+        if (consume('}'))
+            return true;
+        while (true) {
+            skipWs();
+            if (pos_ >= text_.size() || text_[pos_] != '"')
+                return fail("expected object key");
+            if (!string())
+                return false;
+            skipWs();
+            if (!consume(':'))
+                return fail("expected ':'");
+            skipWs();
+            if (!value())
+                return false;
+            skipWs();
+            if (consume('}'))
+                return true;
+            if (!consume(','))
+                return fail("expected ',' or '}'");
+        }
+    }
+
+    bool array()
+    {
+        ++pos_;   // '['
+        skipWs();
+        if (consume(']'))
+            return true;
+        while (true) {
+            skipWs();
+            if (!value())
+                return false;
+            skipWs();
+            if (consume(']'))
+                return true;
+            if (!consume(','))
+                return fail("expected ',' or ']'");
+        }
+    }
+
+    bool string()
+    {
+        ++pos_;   // opening quote
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_];
+            if (c == '"') {
+                ++pos_;
+                return true;
+            }
+            if (static_cast<unsigned char>(c) < 0x20)
+                return fail("raw control char in string");
+            if (c == '\\') {
+                ++pos_;
+                if (pos_ >= text_.size())
+                    return fail("truncated escape");
+                const char e = text_[pos_];
+                if (e == 'u') {
+                    for (int i = 1; i <= 4; ++i) {
+                        if (pos_ + i >= text_.size() ||
+                            !std::isxdigit(static_cast<unsigned char>(
+                                text_[pos_ + i])))
+                            return fail("bad \\u escape");
+                    }
+                    pos_ += 4;
+                } else if (e != '"' && e != '\\' && e != '/' &&
+                           e != 'b' && e != 'f' && e != 'n' && e != 'r' &&
+                           e != 't') {
+                    return fail("bad escape");
+                }
+            }
+            ++pos_;
+        }
+        return fail("unterminated string");
+    }
+
+    bool digits()
+    {
+        if (pos_ >= text_.size() ||
+            !std::isdigit(static_cast<unsigned char>(text_[pos_])))
+            return fail("expected digit");
+        while (pos_ < text_.size() &&
+               std::isdigit(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+        return true;
+    }
+
+    bool number()
+    {
+        consume('-');
+        if (consume('0')) {
+            // no leading zeros
+        } else if (!digits()) {
+            return false;
+        }
+        if (consume('.') && !digits())
+            return false;
+        if (pos_ < text_.size() &&
+            (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+            ++pos_;
+            if (pos_ < text_.size() &&
+                (text_[pos_] == '+' || text_[pos_] == '-'))
+                ++pos_;
+            if (!digits())
+                return false;
+        }
+        return true;
+    }
+
+    std::string_view text_;
+    size_t pos_ = 0;
+    std::string error_;
+};
+
+/** True when @p text is one syntactically valid JSON document. */
+inline bool
+isValidJson(std::string_view text, std::string *error = nullptr)
+{
+    Parser parser(text);
+    const bool ok = parser.parse();
+    if (!ok && error)
+        *error = parser.error();
+    return ok;
+}
+
+}  // namespace flexcore::testjson
+
+#endif  // FLEXCORE_TESTS_TEST_JSON_UTIL_H_

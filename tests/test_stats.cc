@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include "test_json_util.h"
+
 namespace flexcore {
 namespace {
 
@@ -65,6 +67,185 @@ TEST(Stats, ResetAllRecurses)
     root.resetAll();
     EXPECT_EQ(top.value(), 0u);
     EXPECT_EQ(nested.value(), 0u);
+}
+
+TEST(Stats, TryLookupDistinguishesMissingFromZero)
+{
+    StatGroup root("system");
+    StatGroup child("core", &root);
+    Counter cycles(&child, "cycles", "zero-valued but present");
+    EXPECT_TRUE(root.tryLookup("core.cycles").has_value());
+    EXPECT_EQ(*root.tryLookup("core.cycles"), 0u);
+    EXPECT_FALSE(root.tryLookup("core.nope").has_value());
+    EXPECT_FALSE(root.tryLookup("nope.cycles").has_value());
+    EXPECT_FALSE(root.tryLookup("core").has_value());
+    // The legacy wrapper still maps both cases to 0.
+    EXPECT_EQ(root.lookup("core.cycles"), 0u);
+    EXPECT_EQ(root.lookup("core.nope"), 0u);
+}
+
+TEST(Stats, HistogramLinearBinEdges)
+{
+    // 4 bins over [0, 8): widths of exactly 2; an edge value belongs
+    // to the upper bin.
+    Histogram h(nullptr, "h", "", Histogram::Params{0, 8, 4, false});
+    h.add(0);    // bin 0
+    h.add(1);    // bin 0
+    h.add(2);    // bin 1 (exact edge)
+    h.add(7);    // bin 3
+    h.add(8);    // overflow (hi is exclusive)
+    EXPECT_EQ(h.binCount(0), 2u);
+    EXPECT_EQ(h.binCount(1), 1u);
+    EXPECT_EQ(h.binCount(2), 0u);
+    EXPECT_EQ(h.binCount(3), 1u);
+    EXPECT_EQ(h.overflow(), 1u);
+    EXPECT_EQ(h.underflow(), 0u);
+    EXPECT_EQ(h.count(), 5u);
+    EXPECT_EQ(h.min(), 0u);
+    EXPECT_EQ(h.max(), 8u);
+}
+
+TEST(Stats, HistogramUnderflowBelowLo)
+{
+    Histogram h(nullptr, "h", "", Histogram::Params{10, 20, 5, false});
+    h.add(9);
+    h.add(10);
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.binCount(0), 1u);
+}
+
+TEST(Stats, HistogramLog2Binning)
+{
+    // lo=1, 4 bins: [1,2) [2,4) [4,8) [8,16); 16 overflows, 0
+    // underflows.
+    Histogram h(nullptr, "h", "", Histogram::Params{1, 0, 4, true});
+    h.add(0);
+    h.add(1);
+    h.add(2);
+    h.add(3);
+    h.add(4);
+    h.add(7);
+    h.add(8);
+    h.add(15);
+    h.add(16);
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.binCount(0), 1u);
+    EXPECT_EQ(h.binCount(1), 2u);
+    EXPECT_EQ(h.binCount(2), 2u);
+    EXPECT_EQ(h.binCount(3), 2u);
+    EXPECT_EQ(h.overflow(), 1u);
+    EXPECT_EQ(h.binLower(0), 1u);
+    EXPECT_EQ(h.binLower(1), 2u);
+    EXPECT_EQ(h.binLower(2), 4u);
+    EXPECT_EQ(h.binLower(3), 8u);
+}
+
+TEST(Stats, HistogramPercentilesWithUnitBins)
+{
+    // Unit-width bins make the percentile exact: the p-th percentile
+    // of 1..100 is p itself.
+    Histogram h(nullptr, "h", "",
+                Histogram::Params{0, 101, 101, false});
+    for (u64 v = 1; v <= 100; ++v)
+        h.add(v);
+    EXPECT_DOUBLE_EQ(h.percentile(50), 50.0);
+    EXPECT_DOUBLE_EQ(h.percentile(90), 90.0);
+    EXPECT_DOUBLE_EQ(h.percentile(99), 99.0);
+    EXPECT_DOUBLE_EQ(h.percentile(100), 100.0);
+    EXPECT_DOUBLE_EQ(h.mean(), 50.5);
+}
+
+TEST(Stats, HistogramResetClearsEverything)
+{
+    Histogram h(nullptr, "h", "", Histogram::Params{0, 8, 4, false});
+    h.add(3);
+    h.add(100);
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.overflow(), 0u);
+    EXPECT_EQ(h.binCount(1), 0u);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(h.percentile(50), 0.0);
+}
+
+TEST(Stats, FormulaEvaluatesLazily)
+{
+    StatGroup group("g");
+    Counter num(&group, "num", "");
+    Counter den(&group, "den", "");
+    Formula ratio(&group, "ratio", "num/den", [&]() {
+        return static_cast<double>(num.value()) /
+               static_cast<double>(den.value());
+    });
+    // 0/0 is NaN; the formula must clamp non-finite values to 0.
+    EXPECT_DOUBLE_EQ(ratio.value(), 0.0);
+    num += 3;
+    den += 4;
+    EXPECT_DOUBLE_EQ(ratio.value(), 0.75);
+    ASSERT_EQ(group.formulas().size(), 1u);
+}
+
+TEST(Stats, JsonIsValidAndSorted)
+{
+    StatGroup root("system");
+    StatGroup zebra("zebra", &root);
+    StatGroup alpha("alpha", &root);
+    Counter c2(&alpha, "later", "");
+    Counter c1(&alpha, "early", "");
+    Histogram h(&zebra, "occ", "", Histogram::Params{0, 4, 4, false});
+    Formula f(&zebra, "rate", "", []() { return 0.5; });
+    c1 += 1;
+    c2 += 2;
+    h.add(1);
+    h.add(3);
+
+    const std::string json = root.json();
+    std::string error;
+    EXPECT_TRUE(testjson::isValidJson(json, &error)) << error << "\n"
+                                                     << json;
+    // Groups and counters render in sorted name order regardless of
+    // registration order.
+    EXPECT_LT(json.find("\"alpha\""), json.find("\"zebra\""));
+    EXPECT_LT(json.find("\"early\""), json.find("\"later\""));
+    // Sparse bins: [lower, count] pairs for populated bins only.
+    EXPECT_NE(json.find("\"bins\": [[1, 1], [3, 1]]"),
+              std::string::npos);
+}
+
+TEST(Stats, JsonIsByteStableAcrossRenders)
+{
+    StatGroup root("system");
+    StatGroup core("core", &root);
+    Counter cycles(&core, "cycles", "");
+    Formula ipc(&core, "ipc", "", []() { return 1.0 / 3.0; });
+    cycles += 12345;
+    EXPECT_EQ(root.json(), root.json());
+}
+
+TEST(Stats, JsonEscapesNames)
+{
+    StatGroup root("sys\"tem");
+    Counter c(&root, "a\nb", "");
+    const std::string json = root.json();
+    std::string error;
+    EXPECT_TRUE(testjson::isValidJson(json, &error)) << error << "\n"
+                                                     << json;
+    EXPECT_NE(json.find("a\\nb"), std::string::npos);
+}
+
+TEST(Stats, DumpContainsHistogramAndFormulaLines)
+{
+    StatGroup root("system");
+    StatGroup core("core", &root);
+    Histogram h(&core, "occ", "FIFO occupancy",
+                Histogram::Params{0, 4, 4, false});
+    Formula f(&core, "ipc", "instructions per cycle",
+              []() { return 0.25; });
+    h.add(2);
+    const std::string dump = root.dump();
+    EXPECT_NE(dump.find("system.core.occ.count 1"), std::string::npos);
+    EXPECT_NE(dump.find("system.core.occ.p50 2"), std::string::npos);
+    EXPECT_NE(dump.find("system.core.ipc 0.25"), std::string::npos);
 }
 
 }  // namespace

@@ -1,0 +1,91 @@
+/** @file Unit tests for the Chrome trace-event emitter. */
+
+#include "common/trace_event.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "test_json_util.h"
+
+namespace flexcore {
+namespace {
+
+TEST(TraceEvent, EmptySinkRendersValidJson)
+{
+    TraceSink sink;
+    EXPECT_TRUE(sink.empty());
+    const std::string json = sink.json();
+    std::string error;
+    EXPECT_TRUE(testjson::isValidJson(json, &error)) << error << "\n"
+                                                     << json;
+    EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+}
+
+TEST(TraceEvent, AllEventKindsRenderValidJson)
+{
+    TraceSink sink;
+    sink.counter("ffifo_occupancy", 10, 3);
+    sink.complete("dmiss_wait", "core", 1, 20, 50);
+    sink.instant("monitor_trap", "core", 1, 60);
+    EXPECT_EQ(sink.size(), 3u);
+
+    const std::string json = sink.json();
+    std::string error;
+    ASSERT_TRUE(testjson::isValidJson(json, &error)) << error << "\n"
+                                                     << json;
+    // Counter: ph C with the value in args.
+    EXPECT_NE(json.find("\"ph\": \"C\""), std::string::npos);
+    EXPECT_NE(json.find("\"args\": {\"value\": 3}"), std::string::npos);
+    // Complete: ph X with ts and dur in simulated-cycle microseconds.
+    EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+    EXPECT_NE(json.find("\"ts\": 20, \"dur\": 30"), std::string::npos);
+    // Instant: ph i with global scope.
+    EXPECT_NE(json.find("\"ph\": \"i\""), std::string::npos);
+    EXPECT_NE(json.find("\"s\": \"g\""), std::string::npos);
+}
+
+TEST(TraceEvent, CompleteClampsReversedInterval)
+{
+    TraceSink sink;
+    sink.complete("x", "c", 0, 10, 10);
+    sink.complete("y", "c", 0, 10, 5);
+    const std::string json = sink.json();
+    // Both degenerate intervals render with dur 0, never underflow.
+    EXPECT_EQ(json.find("\"dur\": 18446744073709551"),
+              std::string::npos);
+    std::string error;
+    EXPECT_TRUE(testjson::isValidJson(json, &error)) << error;
+}
+
+TEST(TraceEvent, ClearEmptiesTheBuffer)
+{
+    TraceSink sink;
+    sink.instant("a", "c", 0, 1);
+    sink.clear();
+    EXPECT_TRUE(sink.empty());
+    EXPECT_EQ(sink.size(), 0u);
+}
+
+TEST(TraceEvent, WriteRoundTripsThroughDisk)
+{
+    TraceSink sink;
+    sink.counter("depth", 0, 1);
+    sink.counter("depth", 5, 0);
+
+    const std::string path =
+        ::testing::TempDir() + "/flexcore_trace_test.json";
+    sink.write(path);
+
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    EXPECT_EQ(buffer.str(), sink.json());
+    std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace flexcore

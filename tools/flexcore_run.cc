@@ -8,6 +8,8 @@
  *   flexcore-run --monitor bc --mode asic prog.s
  *   flexcore-run --monitor sec --fault-rate 1e-5 prog.s
  *   flexcore-run --monitor umc --stats --trace prog.s
+ *   flexcore-run --monitor dift --stats-json s.json \
+ *                --trace-json t.json prog.s
  */
 
 #include <cstdio>
@@ -43,8 +45,20 @@ usage()
                  "  --fault-rate P    ALU transient-fault probability\n"
                  "  --max-cycles N    simulation cycle limit\n"
                  "  --stats           dump the statistics tree\n"
+                 "  --stats-json F    write the statistics tree to F as "
+                 "canonical JSON\n"
                  "  --trace           print every committed instruction\n"
-                 "  --quiet           suppress the run summary\n");
+                 "  --trace-json F    write a Chrome trace-event file "
+                 "to F (open in\n"
+                 "                    Perfetto or chrome://tracing)\n"
+                 "  --quiet           suppress the run summary\n"
+                 "\n"
+                 "Streams: the simulated program's console output goes "
+                 "to stdout\n"
+                 "(flushed first); the run summary, --stats dump, and "
+                 "--trace\n"
+                 "disassembly go to stderr, so stdout stays clean for "
+                 "piping.\n");
 }
 
 bool
@@ -81,6 +95,8 @@ main(int argc, char **argv)
     bool trace = false;
     bool quiet = false;
     std::string path;
+    std::string stats_json_path;
+    std::string trace_json_path;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -119,8 +135,12 @@ main(int argc, char **argv)
             config.max_cycles = std::strtoull(next(), nullptr, 0);
         } else if (arg == "--stats") {
             dump_stats = true;
+        } else if (arg == "--stats-json") {
+            stats_json_path = next();
         } else if (arg == "--trace") {
             trace = true;
+        } else if (arg == "--trace-json") {
+            trace_json_path = next();
         } else if (arg == "--quiet") {
             quiet = true;
         } else if (arg == "--help" || arg == "-h") {
@@ -157,8 +177,16 @@ main(int argc, char **argv)
         return 1;
     }
 
+    // Observability output implies histogram sampling: the JSON should
+    // carry populated occupancy/queue-depth distributions.
+    if (!stats_json_path.empty() || !trace_json_path.empty())
+        config.histograms = true;
+
     System system(config);
     system.load(program);
+    TraceSink sink;
+    if (!trace_json_path.empty())
+        system.attachTrace(&sink);
     if (trace) {
         system.core().setTracer(
             [](Cycle cycle, Addr pc, const Instruction &inst) {
@@ -170,6 +198,9 @@ main(int argc, char **argv)
     const RunResult result = system.run();
 
     std::fputs(result.console.c_str(), stdout);
+    // Flush the program's console before any stderr reporting so the
+    // two streams interleave sensibly when merged (e.g. under 2>&1).
+    std::fflush(stdout);
     if (!quiet) {
         std::fprintf(stderr,
                      "[flexcore-run] %s: %s after %llu cycles, %llu "
@@ -193,6 +224,19 @@ main(int argc, char **argv)
     }
     if (dump_stats)
         std::fputs(system.stats().dump().c_str(), stderr);
+    if (!stats_json_path.empty()) {
+        std::FILE *out = std::fopen(stats_json_path.c_str(), "w");
+        if (!out) {
+            std::fprintf(stderr, "cannot open %s\n",
+                         stats_json_path.c_str());
+            return 2;
+        }
+        const std::string json = system.stats().json();
+        std::fwrite(json.data(), 1, json.size(), out);
+        std::fclose(out);
+    }
+    if (!trace_json_path.empty())
+        sink.write(trace_json_path);
 
     switch (result.exit) {
       case RunResult::Exit::kExited:

@@ -9,6 +9,7 @@
  *   flexcore-sweep --jobs 8 --out results.json
  *   flexcore-sweep --grid fifo --scale test
  *   flexcore-sweep --grid cache --jobs 1 --out serial.json
+ *   flexcore-sweep --stat core.cycles --stat bus.busy_cycles
  */
 
 #include <chrono>
@@ -39,6 +40,10 @@ usage()
         "hardware threads)\n"
         "  --out FILE                 write merged JSON (default "
         "sweep.json)\n"
+        "  --stat PATH                embed this dotted counter path "
+        "(e.g.\n"
+        "                             core.cycles) in every result row; "
+        "repeatable\n"
         "  --no-progress              disable the live progress line\n");
 }
 
@@ -112,6 +117,8 @@ main(int argc, char **argv)
                 static_cast<unsigned>(std::strtoul(next(), nullptr, 0));
         } else if (arg == "--out") {
             out = next();
+        } else if (arg == "--stat") {
+            options.stat_paths.push_back(next());
         } else if (arg == "--no-progress") {
             options.progress = false;
         } else if (arg == "--help" || arg == "-h") {
