@@ -49,7 +49,7 @@ main()
             config.flex_period = ext.period;
             config.precise_exceptions = true;
             const SimOutcome outcome =
-                runWorkloadChecked(workload, config);
+                SimRequest(std::move(config)).workload(workload).run();
             precise.push_back(static_cast<double>(outcome.result.cycles) /
                               static_cast<double>(base));
         }

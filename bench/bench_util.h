@@ -14,9 +14,10 @@
 
 #include <unistd.h>
 
+#include "common/cliopts.h"
 #include "common/log.h"
+#include "common/stats.h"
 #include "sim/campaign.h"
-#include "sim/runner.h"
 
 namespace flexcore::bench {
 
@@ -31,8 +32,10 @@ fullSuite()
 inline u64
 baselineCycles(const Workload &workload)
 {
-    SystemConfig config;
-    return runWorkloadChecked(workload, config).result.cycles;
+    return SimRequest(SystemConfig{})
+        .workload(workload)
+        .run()
+        .result.cycles;
 }
 
 /** Normalized execution time of one monitored configuration. */
@@ -45,10 +48,14 @@ normalizedTime(const Workload &workload, MonitorKind monitor,
     SystemConfig config;
     config.monitor = monitor;
     config.mode = mode;
-    config.flex_period = flex_period;
+    // flex_period is a flexcore-mode knob; ASIC and software callers
+    // pass a placeholder that config validation would reject.
+    config.flex_period =
+        mode == ImplMode::kFlexFabric ? flex_period : 0;
     config.iface = iface;
     config.fabric = fabric_overrides;
-    const SimOutcome outcome = runWorkloadChecked(workload, config);
+    const SimOutcome outcome =
+        SimRequest(std::move(config)).workload(workload).run();
     return static_cast<double>(outcome.result.cycles) /
            static_cast<double>(baseline_cycles);
 }
@@ -75,34 +82,29 @@ parseBenchArgs(int argc, char **argv, const char *bench_name)
     args.options.label = bench_name;
     args.options.progress = isatty(STDERR_FILENO);
     args.out_json = std::string(bench_name) + ".json";
-    for (int i = 1; i < argc; ++i) {
-        const std::string arg = argv[i];
-        auto next = [&]() -> const char * {
-            if (i + 1 >= argc)
-                FLEX_FATAL("option ", arg, " needs a value");
-            return argv[++i];
-        };
-        if (arg == "--jobs") {
-            args.options.jobs =
-                static_cast<unsigned>(std::strtoul(next(), nullptr, 0));
-        } else if (arg == "--out") {
-            args.out_json = next();
-        } else if (arg == "--no-json") {
-            args.out_json.clear();
-        } else if (arg == "--progress") {
-            args.options.progress = true;
-        } else if (arg == "--no-progress") {
-            args.options.progress = false;
-        } else if (arg == "--help" || arg == "-h") {
-            std::fprintf(stderr,
-                         "usage: %s [--jobs N] [--out results.json] "
-                         "[--no-json] [--[no-]progress]\n",
-                         bench_name);
-            std::exit(0);
-        } else {
-            FLEX_FATAL("unknown option ", arg);
-        }
-    }
+
+    bool no_json = false;
+    bool progress = false;
+    bool no_progress = false;
+    u32 jobs = 0;
+    cli::Parser parser(bench_name, "paper-reproduction bench");
+    parser.option("--jobs", &jobs, "N",
+                  "worker threads (default: all hardware threads)");
+    parser.option("--out", &args.out_json, "FILE",
+                  "merged campaign JSON path");
+    parser.flag("--no-json", &no_json, "disable the JSON output");
+    parser.flag("--progress", &progress, "force the progress line on");
+    parser.flag("--no-progress", &no_progress,
+                "disable the progress line");
+    parser.parseOrExit(argc, argv);
+
+    args.options.jobs = jobs;
+    if (no_json)
+        args.out_json.clear();
+    if (progress)
+        args.options.progress = true;
+    if (no_progress)
+        args.options.progress = false;
     return args;
 }
 

@@ -33,7 +33,8 @@ main()
         SystemConfig prof_cfg;
         prof_cfg.monitor = MonitorKind::kProf;
         prof_cfg.mode = ImplMode::kFlexFabric;
-        const SimOutcome prof = runWorkloadChecked(workload, prof_cfg);
+        const SimOutcome prof =
+            SimRequest(std::move(prof_cfg)).workload(workload).run();
         const double prof_ratio =
             static_cast<double>(prof.result.cycles) / base;
         const double coverage =
@@ -45,7 +46,8 @@ main()
         SystemConfig mp_cfg;
         mp_cfg.monitor = MonitorKind::kMemProt;
         mp_cfg.mode = ImplMode::kFlexFabric;
-        const SimOutcome memprot = runWorkloadChecked(workload, mp_cfg);
+        const SimOutcome memprot =
+            SimRequest(std::move(mp_cfg)).workload(workload).run();
         const double memprot_ratio =
             static_cast<double>(memprot.result.cycles) / base;
 

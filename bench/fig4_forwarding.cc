@@ -44,7 +44,7 @@ main()
             config.monitor = ext.kind;
             config.mode = ImplMode::kFlexFabric;
             const SimOutcome outcome =
-                runWorkloadChecked(workload, config);
+                SimRequest(std::move(config)).workload(workload).run();
             std::printf(" %7.1f%%", 100.0 * outcome.fwd_fraction);
             sums[i++] += outcome.fwd_fraction;
             std::fflush(stdout);

@@ -14,7 +14,7 @@
 #include "isa/encoding.h"
 #include "memory/cache.h"
 #include "monitors/dift.h"
-#include "sim/runner.h"
+#include "sim/sim_request.h"
 
 using namespace flexcore;
 

@@ -46,6 +46,21 @@ echo "== sweep determinism =="
     --out "$tmpdir/parallel.json" --no-progress
 cmp "$tmpdir/serial.json" "$tmpdir/parallel.json"
 
+echo "== fast-forward lockstep =="
+# The quiescence fast-forward must be invisible: stats JSON from the
+# same run with fast-forwarding disabled is byte-identical. (Debug
+# builds additionally single-step every fast-forwarded stretch under
+# asserts inside System::fastForward.)
+./build/tools/flexcore-run --monitor dift --quiet \
+    --stats-json "$tmpdir/ff_on.json" programs/fibonacci.s > /dev/null
+./build/tools/flexcore-run --monitor dift --quiet --no-fast-forward \
+    --stats-json "$tmpdir/ff_off.json" programs/fibonacci.s > /dev/null
+cmp "$tmpdir/ff_on.json" "$tmpdir/ff_off.json"
+
+echo "== perf smoke =="
+./build/tools/flexcore-perf --quick --out "$tmpdir/BENCH_perf.json" \
+    > /dev/null
+
 echo "== observability =="
 # Stats/trace export: valid JSON, and stats are byte-identical across
 # two runs of the same configuration.

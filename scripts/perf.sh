@@ -1,0 +1,40 @@
+#!/bin/sh
+# Host-throughput benchmark of the simulator itself: builds (Release)
+# and runs flexcore-perf over the fixed {baseline, umc, dift, bc} x
+# {sha, basicmath} matrix, writing BENCH_perf.json next to the repo
+# root. Pass --quick for the test-scale CI smoke variant (fast, but
+# not comparable with the tracked full-scale baseline).
+#
+#   scripts/perf.sh            # full matrix, best of 2 reps
+#   scripts/perf.sh --quick    # smoke
+#
+# See docs/performance.md for how to read the numbers and when to
+# rerecord the reference baseline.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+quick=""
+out="BENCH_perf.json"
+for arg in "$@"; do
+    case "$arg" in
+      --quick) quick="--quick" ;;
+      --out=*) out="${arg#--out=}" ;;
+      *) echo "usage: scripts/perf.sh [--quick] [--out=FILE]" >&2
+         exit 2 ;;
+    esac
+done
+
+jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+# Throughput numbers are only meaningful from an optimized build.
+# Reuse an existing build tree (whatever its type); create a Release
+# one if none exists.
+if [ ! -f build/CMakeCache.txt ]; then
+    cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
+fi
+cmake --build build -j "$jobs" --target flexcore-perf
+
+# shellcheck disable=SC2086  # $quick is intentionally word-split
+./build/tools/flexcore-perf $quick --out "$out"
+echo "wrote $out"

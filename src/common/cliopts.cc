@@ -1,0 +1,375 @@
+#include "common/cliopts.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+
+#include "common/log.h"
+
+namespace flexcore::cli {
+
+namespace {
+
+/** Levenshtein distance, for unknown-flag suggestions. */
+size_t
+editDistance(const std::string &a, const std::string &b)
+{
+    std::vector<size_t> row(b.size() + 1);
+    for (size_t j = 0; j <= b.size(); ++j)
+        row[j] = j;
+    for (size_t i = 1; i <= a.size(); ++i) {
+        size_t diag = row[0];
+        row[0] = i;
+        for (size_t j = 1; j <= b.size(); ++j) {
+            const size_t cost = a[i - 1] == b[j - 1] ? 0 : 1;
+            const size_t next =
+                std::min({row[j] + 1, row[j - 1] + 1, diag + cost});
+            diag = row[j];
+            row[j] = next;
+        }
+    }
+    return row[b.size()];
+}
+
+bool
+parseU64(const std::string &text, u64 *out, std::string *error)
+{
+    if (text.empty()) {
+        *error = "empty number";
+        return false;
+    }
+    errno = 0;
+    char *end = nullptr;
+    const unsigned long long value =
+        std::strtoull(text.c_str(), &end, 0);
+    if (errno == ERANGE || end == text.c_str() || *end != '\0' ||
+        text[0] == '-') {
+        *error = "'" + text + "' is not a valid unsigned integer";
+        return false;
+    }
+    *out = value;
+    return true;
+}
+
+}  // namespace
+
+Parser::Parser(std::string prog, std::string summary)
+    : prog_(std::move(prog)), summary_(std::move(summary))
+{
+}
+
+void
+Parser::addOpt(Opt opt)
+{
+    if (find(opt.name))
+        FLEX_PANIC("duplicate option declaration ", opt.name);
+    opts_.push_back(std::move(opt));
+}
+
+void
+Parser::flag(const std::string &name, bool *out,
+             const std::string &help)
+{
+    Opt opt;
+    opt.name = name;
+    opt.help = help;
+    opt.takes_value = false;
+    opt.apply = [out](const std::string &, std::string *) {
+        *out = true;
+        return true;
+    };
+    addOpt(std::move(opt));
+}
+
+void
+Parser::option(const std::string &name, std::string *out,
+               const std::string &metavar, const std::string &help)
+{
+    Opt opt;
+    opt.name = name;
+    opt.metavar = metavar;
+    opt.help = help;
+    opt.takes_value = true;
+    opt.apply = [out](const std::string &value, std::string *) {
+        *out = value;
+        return true;
+    };
+    addOpt(std::move(opt));
+}
+
+void
+Parser::option(const std::string &name, u32 *out,
+               const std::string &metavar, const std::string &help)
+{
+    Opt opt;
+    opt.name = name;
+    opt.metavar = metavar;
+    opt.help = help;
+    opt.takes_value = true;
+    opt.apply = [out](const std::string &value, std::string *error) {
+        u64 wide = 0;
+        if (!parseU64(value, &wide, error))
+            return false;
+        if (wide > std::numeric_limits<u32>::max()) {
+            *error = "'" + value + "' exceeds 32 bits";
+            return false;
+        }
+        *out = static_cast<u32>(wide);
+        return true;
+    };
+    addOpt(std::move(opt));
+}
+
+void
+Parser::option(const std::string &name, u64 *out,
+               const std::string &metavar, const std::string &help)
+{
+    Opt opt;
+    opt.name = name;
+    opt.metavar = metavar;
+    opt.help = help;
+    opt.takes_value = true;
+    opt.apply = [out](const std::string &value, std::string *error) {
+        return parseU64(value, out, error);
+    };
+    addOpt(std::move(opt));
+}
+
+void
+Parser::option(const std::string &name, double *out,
+               const std::string &metavar, const std::string &help)
+{
+    Opt opt;
+    opt.name = name;
+    opt.metavar = metavar;
+    opt.help = help;
+    opt.takes_value = true;
+    opt.apply = [out](const std::string &value, std::string *error) {
+        errno = 0;
+        char *end = nullptr;
+        const double parsed = std::strtod(value.c_str(), &end);
+        if (errno == ERANGE || end == value.c_str() || *end != '\0') {
+            *error = "'" + value + "' is not a valid number";
+            return false;
+        }
+        *out = parsed;
+        return true;
+    };
+    addOpt(std::move(opt));
+}
+
+void
+Parser::list(const std::string &name, std::vector<std::string> *out,
+             const std::string &metavar, const std::string &help)
+{
+    Opt opt;
+    opt.name = name;
+    opt.metavar = metavar;
+    opt.help = help + " (repeatable)";
+    opt.takes_value = true;
+    opt.apply = [out](const std::string &value, std::string *) {
+        out->push_back(value);
+        return true;
+    };
+    addOpt(std::move(opt));
+}
+
+void
+Parser::choice(const std::string &name,
+               std::vector<std::string> choices,
+               std::function<void(size_t)> apply,
+               const std::string &help)
+{
+    std::string metavar;
+    for (const std::string &c : choices) {
+        if (!metavar.empty())
+            metavar += '|';
+        metavar += c;
+    }
+    Opt opt;
+    opt.name = name;
+    opt.metavar = metavar;
+    opt.help = help;
+    opt.takes_value = true;
+    opt.apply = [choices = std::move(choices), apply = std::move(apply),
+                 name](const std::string &value, std::string *error) {
+        const auto it =
+            std::find(choices.begin(), choices.end(), value);
+        if (it == choices.end()) {
+            *error = "invalid value '" + value + "' for " + name +
+                     " (expected ";
+            for (size_t c = 0; c < choices.size(); ++c) {
+                if (c > 0)
+                    *error += c + 1 < choices.size() ? ", " : " or ";
+                *error += choices[c];
+            }
+            *error += ")";
+            return false;
+        }
+        apply(static_cast<size_t>(it - choices.begin()));
+        return true;
+    };
+    addOpt(std::move(opt));
+}
+
+void
+Parser::positional(const std::string &metavar, std::string *out,
+                   bool required)
+{
+    pos_metavar_ = metavar;
+    pos_out_ = out;
+    pos_required_ = required;
+}
+
+void
+Parser::footer(std::string text)
+{
+    footer_ = std::move(text);
+}
+
+const Parser::Opt *
+Parser::find(const std::string &name) const
+{
+    for (const Opt &opt : opts_) {
+        if (opt.name == name)
+            return &opt;
+    }
+    return nullptr;
+}
+
+std::string
+Parser::suggest(const std::string &name) const
+{
+    size_t best = std::numeric_limits<size_t>::max();
+    const Opt *winner = nullptr;
+    for (const Opt &opt : opts_) {
+        const size_t d = editDistance(name, opt.name);
+        if (d < best) {
+            best = d;
+            winner = &opt;
+        }
+    }
+    // Only suggest near-misses; "--z" should not suggest "--monitor".
+    if (winner && best <= std::max<size_t>(2, name.size() / 3))
+        return winner->name;
+    return {};
+}
+
+bool
+Parser::tryParse(int argc, char **argv, std::string *error)
+{
+    bool saw_positional = false;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            help_requested_ = true;
+            return true;
+        }
+        if (arg.size() > 1 && arg[0] == '-' && arg != "-") {
+            const Opt *opt = find(arg);
+            if (!opt) {
+                *error = "unknown option " + arg;
+                const std::string hint = suggest(arg);
+                if (!hint.empty())
+                    *error += " (did you mean " + hint + "?)";
+                return false;
+            }
+            std::string value;
+            if (opt->takes_value) {
+                if (i + 1 >= argc) {
+                    *error = "option " + arg + " requires a value (" +
+                             opt->metavar + ")";
+                    return false;
+                }
+                value = argv[++i];
+            }
+            std::string detail;
+            if (!opt->apply(value, &detail)) {
+                *error = "option " + arg + ": " + detail;
+                return false;
+            }
+            continue;
+        }
+        if (!pos_out_ || saw_positional) {
+            *error = "unexpected argument '" + arg + "'";
+            return false;
+        }
+        *pos_out_ = arg;
+        saw_positional = true;
+    }
+    if (pos_out_ && pos_required_ && !saw_positional) {
+        *error = "missing required argument " + pos_metavar_;
+        return false;
+    }
+    return true;
+}
+
+void
+Parser::parseOrExit(int argc, char **argv)
+{
+    std::string error;
+    if (!tryParse(argc, argv, &error)) {
+        std::fprintf(stderr, "%s: %s\n%s", prog_.c_str(),
+                     error.c_str(), usageLine().c_str());
+        std::exit(2);
+    }
+    if (help_requested_) {
+        std::fputs(helpText().c_str(), stdout);
+        std::exit(0);
+    }
+}
+
+std::string
+Parser::usageLine() const
+{
+    std::string line = "usage: " + prog_ + " [options]";
+    if (pos_out_) {
+        line += ' ';
+        if (!pos_required_)
+            line += '[';
+        line += pos_metavar_;
+        if (!pos_required_)
+            line += ']';
+    }
+    line += "\n";
+    return line;
+}
+
+std::string
+Parser::helpText() const
+{
+    std::string text = usageLine();
+    if (!summary_.empty())
+        text += summary_ + "\n";
+    text += "\noptions:\n";
+    size_t width = 0;
+    const auto lhs = [](const Opt &opt) {
+        std::string s = opt.name;
+        if (opt.takes_value) {
+            s += ' ';
+            s += opt.metavar;
+        }
+        return s;
+    };
+    for (const Opt &opt : opts_)
+        width = std::max(width, lhs(opt).size());
+    for (const Opt &opt : opts_) {
+        std::string left = lhs(opt);
+        left.resize(width, ' ');
+        text += "  " + left + "  " + opt.help + "\n";
+    }
+    text += "  --help";
+    text.resize(text.size() + width - 4, ' ');
+    text += "  show this help\n";
+    if (!footer_.empty()) {
+        text += "\n";
+        text += footer_;
+        if (footer_.back() != '\n')
+            text += '\n';
+    }
+    return text;
+}
+
+}  // namespace flexcore::cli

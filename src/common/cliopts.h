@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Shared typed command-line parsing for the flexcore tools. Each tool
+ * declares its flags once (name, typed destination, help text); the
+ * parser generates --help from the declarations, validates values
+ * (a malformed number is a hard error, never a silent zero), and
+ * rejects unknown flags with a nearest-name suggestion.
+ */
+
+#ifndef FLEXCORE_COMMON_CLIOPTS_H_
+#define FLEXCORE_COMMON_CLIOPTS_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace flexcore::cli {
+
+class Parser
+{
+  public:
+    /** @p prog is the tool name, @p summary one usage line. */
+    Parser(std::string prog, std::string summary);
+
+    // ---- Declarations (call before parse) ----
+
+    /** Boolean switch: present sets *out to true. */
+    void flag(const std::string &name, bool *out,
+              const std::string &help);
+
+    /** Value options; the value is validated by type. */
+    void option(const std::string &name, std::string *out,
+                const std::string &metavar, const std::string &help);
+    void option(const std::string &name, u32 *out,
+                const std::string &metavar, const std::string &help);
+    void option(const std::string &name, u64 *out,
+                const std::string &metavar, const std::string &help);
+    void option(const std::string &name, double *out,
+                const std::string &metavar, const std::string &help);
+
+    /** Repeatable string option; each occurrence appends. */
+    void list(const std::string &name, std::vector<std::string> *out,
+              const std::string &metavar, const std::string &help);
+
+    /**
+     * Enumerated option: the value must be one of @p choices; @p apply
+     * receives the matching index. The help line lists the choices.
+     */
+    void choice(const std::string &name,
+                std::vector<std::string> choices,
+                std::function<void(size_t)> apply,
+                const std::string &help);
+
+    /** Positional argument (at most one may be declared). */
+    void positional(const std::string &metavar, std::string *out,
+                    bool required = true);
+
+    /** Extra free-form text appended to --help. */
+    void footer(std::string text);
+
+    // ---- Parsing ----
+
+    /**
+     * Parse @p argv. Returns false with *error set on any problem
+     * (unknown flag — with a nearest-name suggestion, missing or
+     * malformed value, unexpected positional). --help/-h sets
+     * helpRequested() and returns true without consuming further
+     * arguments.
+     */
+    bool tryParse(int argc, char **argv, std::string *error);
+
+    /**
+     * tryParse wrapper for tool main()s: on --help prints helpText()
+     * to stdout and exits 0; on error prints the message and the usage
+     * line to stderr and exits 2.
+     */
+    void parseOrExit(int argc, char **argv);
+
+    bool helpRequested() const { return help_requested_; }
+    std::string helpText() const;
+    std::string usageLine() const;
+
+  private:
+    struct Opt
+    {
+        std::string name;
+        std::string metavar;   //!< empty for boolean flags
+        std::string help;
+        bool takes_value = false;
+        /** Applies a value; returns false with *error on bad input. */
+        std::function<bool(const std::string &, std::string *)> apply;
+    };
+
+    const Opt *find(const std::string &name) const;
+    std::string suggest(const std::string &name) const;
+    void addOpt(Opt opt);
+
+    std::string prog_;
+    std::string summary_;
+    std::string footer_;
+    std::vector<Opt> opts_;
+    std::string pos_metavar_;
+    std::string *pos_out_ = nullptr;
+    bool pos_required_ = false;
+    bool help_requested_ = false;
+};
+
+}  // namespace flexcore::cli
+
+#endif  // FLEXCORE_COMMON_CLIOPTS_H_

@@ -39,18 +39,20 @@ Histogram::Histogram(StatGroup *group, std::string name, std::string desc,
 }
 
 void
-Histogram::add(u64 value)
+Histogram::add(u64 value, u64 n)
 {
-    ++count_;
-    sum_ += value;
+    if (n == 0)
+        return;
+    count_ += n;
+    sum_ += value * n;
     min_ = std::min(min_, value);
     max_ = std::max(max_, value);
     if (value < params_.lo) {
-        ++underflow_;
+        underflow_ += n;
         return;
     }
     if (value >= params_.hi) {
-        ++overflow_;
+        overflow_ += n;
         return;
     }
     u32 idx;
@@ -65,7 +67,7 @@ Histogram::add(u64 value)
             static_cast<unsigned __int128>(value - params_.lo) *
             params_.bins / span);
     }
-    ++counts_[idx];
+    counts_[idx] += n;
 }
 
 void
@@ -340,6 +342,17 @@ StatGroup::tryLookup(const std::string &dotted_path) const
             return g->tryLookup(tail);
     }
     return std::nullopt;
+}
+
+double
+geomean(const std::vector<double> &values)
+{
+    if (values.empty())
+        FLEX_PANIC("geomean of empty vector");
+    double log_sum = 0.0;
+    for (double v : values)
+        log_sum += std::log(v);
+    return std::exp(log_sum / static_cast<double>(values.size()));
 }
 
 }  // namespace flexcore

@@ -66,7 +66,13 @@ class Histogram
     Histogram(StatGroup *group, std::string name, std::string desc,
               Params params);
 
-    void add(u64 value);
+    void add(u64 value) { add(value, 1); }
+    /**
+     * Record @p value @p n times in one call — equivalent to (and
+     * indistinguishable from) n add(value) calls. Lets fast-forwarded
+     * idle stretches charge bulk samples without a per-cycle loop.
+     */
+    void add(u64 value, u64 n);
     void reset();
 
     u64 count() const { return count_; }
@@ -197,6 +203,9 @@ class StatGroup
     std::vector<Formula *> formulas_;
     std::vector<StatGroup *> children_;
 };
+
+/** Geometric mean of a non-empty vector (FLEX_PANIC if empty). */
+double geomean(const std::vector<double> &values);
 
 }  // namespace flexcore
 

@@ -1,5 +1,6 @@
 #include "core/core.h"
 
+#include <algorithm>
 #include <cassert>
 
 #include "common/log.h"
@@ -74,6 +75,15 @@ Core::Core(StatGroup *parent, Memory *memory, Bus *bus, CoreParams params)
     map(CycleBucket::kAckWait, &ack_wait_cycles_);
     map(CycleBucket::kBfifoWait, &bfifo_wait_cycles_);
     map(CycleBucket::kDrain, &drain_cycles_);
+
+    // The µop cache needs one mask bit per line word; lines beyond
+    // 128 bytes (never used in practice) fall back to plain decoding.
+    const u32 words = params_.icache.line_bytes / 4;
+    if (words >= 1 && words <= 32) {
+        uop_words_per_line_ = words;
+        uops_.resize(static_cast<size_t>(icache_.numLineSlots()) * words);
+        uop_masks_.assign(icache_.numLineSlots(), 0);
+    }
 }
 
 void
@@ -95,6 +105,10 @@ Core::loadProgram(const Program &program)
     fetch_retry_ = false;
     micro_queue_.clear();
     bus_serving_us_ = false;
+    std::fill(uop_masks_.begin(), uop_masks_.end(), 0u);
+    fetch_slot_ = 0;
+    decoded_lo_ = ~Addr{0};
+    decoded_hi_ = 0;
     bucket_ = CycleBucket::kCommit;
     episode_bucket_ = CycleBucket::kCommit;
     episode_start_ = 0;
@@ -171,6 +185,60 @@ Core::tick(Cycle now)
     assert(bucket_sum == cycles_.value() &&
            "cycle buckets must sum to total cycles");
 #endif
+}
+
+Core::IdleStretch
+Core::idleStretch() const
+{
+    IdleStretch stretch;
+    if (halted_ || (iface_ && iface_->trapPending()))
+        return stretch;
+    switch (state_) {
+      case State::kReady:
+        // Fixed-latency stall with an idle bus: nothing anywhere can
+        // change until the stall drains, and every drained cycle
+        // charges kLatency.
+        if (stall_ > 1 && bus_->idle()) {
+            stretch.cycles = stall_;
+            stretch.bucket = CycleBucket::kLatency;
+        }
+        break;
+      case State::kWaitBus:
+        // Our refill is the only bus transaction. All but its final
+        // cycle charge the miss bucket; the final cycle must run
+        // normally so the completion callback fires inside a real
+        // tick (the bus ticks before the core each cycle).
+        if (bus_serving_us_ && bus_->queueDepth() == 0 &&
+            bus_->remainingCycles() > 1) {
+            stretch.cycles = bus_->remainingCycles() - 1;
+            stretch.bucket = wait_is_fetch_ ? CycleBucket::kImiss
+                                            : CycleBucket::kDmiss;
+        }
+        break;
+      default:
+        break;
+    }
+    return stretch;
+}
+
+void
+Core::advanceIdle(u64 k, CycleBucket bucket)
+{
+    assert(k > 0 && !halted_);
+    // Reproduce exactly what k single ticks over the stretch would do,
+    // including the stall-episode trace: the first skipped cycle is
+    // where a bucket transition would have been observed.
+    ++now_;
+    bucket_ = bucket;
+    if (trace_)
+        traceEpisode();
+    now_ += k - 1;
+    cycles_ += k;
+    *bucket_counters_[static_cast<unsigned>(bucket)] += k;
+    if (bucket == CycleBucket::kLatency) {
+        assert(stall_ >= k);
+        stall_ -= static_cast<u32>(k);
+    }
 }
 
 void
@@ -288,12 +356,12 @@ Core::startWork()
     if (!fetchTimingOk())
         return;
 
-    const Instruction inst = decode(mem_->read32(pc_));
-    if (!inst.valid) {
+    const Uop &uop = decodedFetch();
+    if (!uop.inst.valid) {
         raiseTrap(TrapKind::kIllegalInstr, pc_, "undecodable instruction");
         return;
     }
-    executeInstruction(inst);
+    executeInstruction(uop);
 }
 
 bool
@@ -303,8 +371,10 @@ Core::fetchTimingOk()
         fetch_retry_ = false;
         return true;
     }
-    if (icache_.access(pc_))
+    if (icache_.access(pc_)) {
+        fetch_slot_ = icache_.lastSlot();
         return true;
+    }
     wait_is_fetch_ = true;
     bus_serving_us_ = false;
     state_ = State::kWaitBus;
@@ -313,13 +383,69 @@ Core::fetchTimingOk()
     req.addr = pc_ & ~(params_.icache.line_bytes - 1);
     req.on_start = [this]() { bus_serving_us_ = true; };
     req.on_complete = [this]() {
-        icache_.fill(pc_ & ~(params_.icache.line_bytes - 1));
+        const Cache::FillResult fill =
+            icache_.fill(pc_ & ~(params_.icache.line_bytes - 1));
+        if (uop_words_per_line_) {
+            // The victim's decoded words die with it.
+            uop_masks_[fill.slot] = 0;
+        }
+        fetch_slot_ = fill.slot;
         fetch_retry_ = true;
         state_ = State::kReady;
     };
     bus_->request(std::move(req));
     chargeBusWait();
     return false;
+}
+
+namespace {
+
+u32
+decodeBitsOf(const Instruction &inst)
+{
+    return (inst.writesRd() ? 1u : 0u) | (isLoad(inst.op) ? 2u : 0u) |
+           (isStore(inst.op) ? 4u : 0u) | (inst.has_imm ? 8u : 0u) |
+           (static_cast<u32>(inst.cpop_fn) << 8);
+}
+
+}  // namespace
+
+const Core::Uop &
+Core::decodedFetch()
+{
+    if (!uop_words_per_line_) {
+        fallback_uop_.inst = decode(mem_->read32(pc_));
+        fallback_uop_.decode_bits = decodeBitsOf(fallback_uop_.inst);
+        return fallback_uop_;
+    }
+    const u32 word = (pc_ >> 2) & (uop_words_per_line_ - 1);
+    Uop &uop =
+        uops_[static_cast<size_t>(fetch_slot_) * uop_words_per_line_ +
+              word];
+    const u32 bit = 1u << word;
+    if (!(uop_masks_[fetch_slot_] & bit)) {
+        uop.inst = decode(mem_->read32(pc_));
+        uop.decode_bits = decodeBitsOf(uop.inst);
+        uop_masks_[fetch_slot_] |= bit;
+        const Addr line = pc_ & ~(params_.icache.line_bytes - 1);
+        decoded_lo_ = std::min(decoded_lo_, line);
+        decoded_hi_ =
+            std::max(decoded_hi_, line + params_.icache.line_bytes);
+    }
+    return uop;
+}
+
+void
+Core::invalidateUopsAt(Addr addr)
+{
+    // Self-modifying-code safety: a store into text that is currently
+    // decoded must force a re-decode. The bounds filter keeps ordinary
+    // data stores to two compares.
+    if (addr < decoded_lo_ || addr >= decoded_hi_ || !uop_words_per_line_)
+        return;
+    u32 slot;
+    if (icache_.probeSlot(addr, &slot))
+        uop_masks_[slot] = 0;
 }
 
 void
@@ -372,8 +498,10 @@ Core::execMicroOp()
         return;
       }
       case MicroOp::Kind::kStore: {
-        if (op.forward)
+        if (op.forward) {
             mem_->write32(op.addr, op.store_value);
+            invalidateUopsAt(op.addr);
+        }
         cur_.pkt.opcode = kTypeStoreWord;
         cur_.pkt.addr = op.addr;
         cur_.pkt.res = op.store_value;
@@ -444,8 +572,9 @@ Core::enqueueWindowFill()
 }
 
 void
-Core::executeInstruction(const Instruction &inst)
+Core::executeInstruction(const Uop &uop)
 {
+    const Instruction &inst = uop.inst;
     // Window overflow/underflow traps fire *before* the save/restore
     // executes, exactly like the SPARC trap handlers: the spill/fill
     // micro-ops run first and the instruction then re-executes.
@@ -463,8 +592,25 @@ Core::executeInstruction(const Instruction &inst)
         return;
     }
 
-    cur_ = ExecContext{};
+    // Targeted reset of the commit context. Fields assigned
+    // unconditionally below (pc, inst, opcode, di, srcv1, srcv2,
+    // decode, extra, cond) are skipped; everything a monitor or the
+    // tracer could read from a stale packet is cleared. cpread_rd and
+    // store_addr are only read behind their respective flags.
+    cur_.extra_stall = 0;
+    cur_.skip_offer = false;
+    cur_.is_micro = false;
+    cur_.is_cpread = false;
+    cur_.is_exit = false;
+    cur_.is_store = false;
     CommitPacket &pkt = cur_.pkt;
+    pkt.addr = 0;
+    pkt.res = 0;
+    pkt.branch = false;
+    pkt.src1 = 0;
+    pkt.src2 = 0;
+    pkt.dest = 0;
+    pkt.wants_ack = false;
     pkt.pc = pc_;
     pkt.inst = inst.raw;
     pkt.opcode = static_cast<u8>(inst.type);
@@ -478,11 +624,7 @@ Core::executeInstruction(const Instruction &inst)
         pkt.src1 = static_cast<u16>(regs_.physIndex(inst.rs1));
     if (inst.readsRs2())
         pkt.src2 = static_cast<u16>(regs_.physIndex(inst.rs2));
-    pkt.decode = (inst.writesRd() ? 1u : 0u) |
-                 (isLoad(inst.op) ? 2u : 0u) |
-                 (isStore(inst.op) ? 4u : 0u) |
-                 (inst.has_imm ? 8u : 0u) |
-                 (static_cast<u32>(inst.cpop_fn) << 8);
+    pkt.decode = uop.decode_bits;
     pkt.extra = regs_.cwp() | (depth_ << 8);
 
     bool needs_dcache_load = false;
@@ -586,6 +728,7 @@ Core::executeInstruction(const Instruction &inst)
           case Op::kStb: mem_->write8(ea, static_cast<u8>(value)); break;
           default: mem_->write16(ea, static_cast<u16>(value)); break;
         }
+        invalidateUopsAt(ea);
         pkt.res = value;
         // DEST carries the store-data register so monitors can read
         // its tag.

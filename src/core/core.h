@@ -107,6 +107,44 @@ class Core
     /** Advance one core-clock cycle. */
     void tick(Cycle now);
 
+    /**
+     * A provably uneventful run of upcoming cycles: every one of them
+     * would charge the same bucket and change no other core state. A
+     * zero length means the core is not in a skippable state.
+     */
+    struct IdleStretch
+    {
+        u64 cycles = 0;
+        CycleBucket bucket = CycleBucket::kCommit;
+    };
+
+    /**
+     * Detect a skippable idle stretch. Only valid when the rest of the
+     * system is quiescent too (fabric idle, FFIFO empty, store buffer
+     * empty) — System::fastForward() checks those.
+     */
+    IdleStretch idleStretch() const;
+
+    /**
+     * Cheap pre-filter for idleStretch(): true only in the two states
+     * that can yield a non-zero stretch (a multi-cycle fixed-latency
+     * stall, or a bus refill wait). Lets the run loop skip the full
+     * quiescence checks on ordinary commit cycles.
+     */
+    bool
+    idleCandidate() const
+    {
+        return (state_ == State::kReady && stall_ > 1) ||
+               state_ == State::kWaitBus;
+    }
+
+    /**
+     * Bulk-apply @p k cycles of @p bucket, exactly as k tick() calls
+     * over an IdleStretch would: counters, stall bookkeeping, and the
+     * stall-episode trace all advance identically.
+     */
+    void advanceIdle(u64 k, CycleBucket bucket);
+
     bool halted() const { return halted_; }
     u32 exitCode() const { return exit_code_; }
     const TrapInfo &trap() const { return trap_; }
@@ -171,13 +209,22 @@ class Core
         bool is_store = false;
     };
 
+    /** One pre-decoded instruction word of a resident I-cache line. */
+    struct Uop
+    {
+        Instruction inst;
+        u32 decode_bits = 0;   //!< CommitPacket::decode, precomputed
+    };
+
     void step();
     void chargeBusWait();
     void traceEpisode();
     void startWork();
     void execMicroOp();
     bool fetchTimingOk();
-    void executeInstruction(const Instruction &inst);
+    const Uop &decodedFetch();
+    void invalidateUopsAt(Addr addr);
+    void executeInstruction(const Uop &uop);
     void scheduleStoreThenCommit();
     void tryCommit();
     void finishInstruction();
@@ -212,6 +259,22 @@ class Core
     // Timing state.
     Cache icache_;
     Cache dcache_;
+    /**
+     * Pre-decoded µop cache, mirroring the I-cache line slots: slot s
+     * holds the decoded words of whatever line currently occupies
+     * I-cache slot s. A word is valid when its bit is set in
+     * uop_masks_[s]; fill() resetting a slot's mask is the eviction
+     * invalidation, and stores into decoded text clear the mask too
+     * (self-modifying code). Fetches therefore never re-decode a
+     * resident instruction.
+     */
+    std::vector<Uop> uops_;
+    std::vector<u32> uop_masks_;
+    Uop fallback_uop_;             //!< scratch when the cache is off
+    u32 uop_words_per_line_ = 0;   //!< 0 disables the µop cache
+    u32 fetch_slot_ = 0;           //!< I-cache slot of the fetched line
+    Addr decoded_lo_ = ~Addr{0};   //!< line-granular bounds of all text
+    Addr decoded_hi_ = 0;          //!< ever decoded (store filter)
     StoreBuffer store_buffer_;
     State state_ = State::kReady;
     u32 stall_ = 0;

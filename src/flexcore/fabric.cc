@@ -25,6 +25,9 @@ Fabric::Fabric(StatGroup *parent, FlexInterface *iface, Bus *bus,
 {
     if (params_.tlb.enabled)
         tlb_.resize(params_.tlb.entries);
+    // Ring capacity: one packet enters per fabric cycle and retires
+    // after pipelineDepth() cycles, so depth + 2 slots always suffice.
+    pipe_.resize((monitor_ ? monitor_->pipelineDepth() : 0) + 2);
 }
 
 bool
@@ -57,32 +60,39 @@ Fabric::tlbLookup(Addr meta_addr)
     return false;
 }
 
-bool
-Fabric::idle() const
+void
+Fabric::boundary(Cycle now)
 {
-    return !have_pending_ && !frozen_ && pipe_.empty() &&
-           iface_->fifoSize() == 0;
+    if (params_.histograms) {
+        if (frozen_) {
+            ++freeze_run_;
+        } else if (freeze_run_ > 0) {
+            freeze_runs_.add(freeze_run_);
+            freeze_run_ = 0;
+        }
+    }
+    if (frozen_)
+        ++meta_stall_cycles_;
+    else
+        fabricCycle(now);
 }
 
 void
-Fabric::tick(Cycle now)
+Fabric::advanceIdle(u64 cycles)
 {
-    if (++divider_ >= params_.period) {
-        divider_ = 0;
-        if (params_.histograms) {
-            if (frozen_) {
-                ++freeze_run_;
-            } else if (freeze_run_ > 0) {
-                freeze_runs_.add(freeze_run_);
-                freeze_run_ = 0;
-            }
-        }
-        if (frozen_)
-            ++meta_stall_cycles_;
-        else
-            fabricCycle(now);
+    // The divider keeps counting while the fabric idles; resets at each
+    // period boundary are exactly a modulo.
+    const u64 total = divider_ + cycles;
+    const bool crossed_boundary = total >= params_.period;
+    divider_ = static_cast<u32>(total % params_.period);
+    // tick() flushes a finished freeze run at the first non-frozen
+    // fabric cycle; if that boundary falls inside the stretch, flush
+    // here instead (histograms are orderless, so this matches).
+    if (crossed_boundary && params_.histograms && freeze_run_ > 0) {
+        freeze_runs_.add(freeze_run_);
+        freeze_run_ = 0;
     }
-    iface_->setFabricIdle(idle());
+    iface_->setFabricIdle(true);
 }
 
 bool
@@ -122,13 +132,15 @@ void
 Fabric::fabricCycle(Cycle now)
 {
     // 1. Advance the monitor pipeline; retire the head packet.
-    if (!pipe_.empty()) {
-        for (InFlight &flight : pipe_) {
+    if (pipe_count_ > 0) {
+        for (u32 i = 0; i < pipe_count_; ++i) {
+            InFlight &flight =
+                pipe_[(pipe_head_ + i) % pipe_.size()];
             if (flight.remaining > 0)
                 --flight.remaining;
         }
-        while (!pipe_.empty() && pipe_.front().remaining == 0) {
-            const InFlight &done = pipe_.front();
+        while (pipe_count_ > 0 && pipe_[pipe_head_].remaining == 0) {
+            const InFlight &done = pipe_[pipe_head_];
             if (done.trap) {
                 monitor_->noteTrap(done.trap_reason ? done.trap_reason
                                                     : "check failed");
@@ -138,7 +150,8 @@ Fabric::fabricCycle(Cycle now)
                 iface_->pushBfifo(done.bfifo);
             if (done.wants_ack)
                 iface_->signalAck();
-            pipe_.pop_front();
+            pipe_head_ = (pipe_head_ + 1) % pipe_.size();
+            --pipe_count_;
         }
     }
 
@@ -159,13 +172,14 @@ Fabric::fabricCycle(Cycle now)
                 return;
         }
         pending_effects_.remaining = monitor_->pipelineDepth();
-        pipe_.push_back(pending_effects_);
+        pipePush(pending_effects_);
         have_pending_ = false;
         return;
     }
 
-    // 3. Dequeue the next packet (one per fabric cycle).
-    auto packet = iface_->popReady(now);
+    // 3. Dequeue the next packet (one per fabric cycle). Peek + pop
+    // keeps the packet in place instead of copying it out of the FIFO.
+    const CommitPacket *packet = iface_->peekReady(now);
     if (!packet)
         return;
     ++packets_;
@@ -193,6 +207,7 @@ Fabric::fabricCycle(Cycle now)
     pending_effects_.has_bfifo = result.has_bfifo;
     pending_effects_.bfifo = result.bfifo;
     pending_effects_.pc = packet->pc;
+    iface_->popFront();   // last use of the peeked packet
     pending_idx_ = 0;
     // Without core-side pre-decoding, the monitor needs its own
     // LUT-based decoder for INST. It is two-stage pipelined, so it
@@ -215,7 +230,7 @@ Fabric::fabricCycle(Cycle now)
         }
         if (pending_idx_ >= pending_num_ops_) {
             pending_effects_.remaining = monitor_->pipelineDepth();
-            pipe_.push_back(pending_effects_);
+            pipePush(pending_effects_);
             have_pending_ = false;
         }
     }

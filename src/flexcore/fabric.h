@@ -58,11 +58,36 @@ class Fabric
     Fabric(StatGroup *parent, FlexInterface *iface, Bus *bus,
            Monitor *monitor, FabricParams params);
 
-    /** Advance one *core* cycle (internally divided to fabric cycles). */
-    void tick(Cycle now);
+    /**
+     * Advance one *core* cycle (internally divided to fabric cycles).
+     * Called every system cycle; on most of them the divider does not
+     * wrap and nothing happens, so that path is inline.
+     */
+    void
+    tick(Cycle now)
+    {
+        if (++divider_ >= params_.period) {
+            divider_ = 0;
+            boundary(now);
+        }
+        iface_->setFabricIdle(idle());
+    }
+
+    /**
+     * Bulk-advance @p cycles quiescent core cycles. Only legal while
+     * idle(): every divided fabric cycle inside the stretch would be a
+     * no-op, so only the clock divider (and a possibly unflushed
+     * freeze-run histogram entry) needs updating.
+     */
+    void advanceIdle(u64 cycles);
 
     /** True when no packet is buffered or in flight. */
-    bool idle() const;
+    bool
+    idle() const
+    {
+        return !have_pending_ && !frozen_ && pipe_count_ == 0 &&
+               iface_->fifoSize() == 0;
+    }
 
     MetaCache &metaCache() { return meta_cache_; }
     Monitor *monitor() { return monitor_; }
@@ -85,6 +110,8 @@ class Fabric
         Addr pc = 0;
     };
 
+    /** One fabric-clock boundary: freeze bookkeeping + fabricCycle. */
+    void boundary(Cycle now);
     void fabricCycle(Cycle now);
     /** Access the meta cache; returns false if frozen on a miss. */
     bool metaAccess(const MetaAccess &op);
@@ -100,7 +127,23 @@ class Fabric
     u32 divider_ = 0;
     bool frozen_ = false;          // waiting on a meta refill
     u32 decode_phase_ = 0;         // LUT-decoder occupancy (no predecode)
-    std::deque<InFlight> pipe_;
+    /**
+     * The monitor pipeline, as a fixed ring: at most one packet enters
+     * per fabric cycle and each retires after pipelineDepth() cycles,
+     * so occupancy never exceeds pipelineDepth() + 1. pipe_.size() is
+     * the capacity; pipe_count_ the fill.
+     */
+    std::vector<InFlight> pipe_;
+    u32 pipe_head_ = 0;
+    u32 pipe_count_ = 0;
+
+    /** Append to the monitor pipeline ring. */
+    void
+    pipePush(const InFlight &flight)
+    {
+        pipe_[(pipe_head_ + pipe_count_) % pipe_.size()] = flight;
+        ++pipe_count_;
+    }
 
     /** Direct-mapped meta-data TLB entries (valid + tag = VPN). */
     struct TlbEntry

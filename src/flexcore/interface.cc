@@ -1,5 +1,7 @@
 #include "flexcore/interface.h"
 
+#include <algorithm>
+
 namespace flexcore {
 
 FlexInterface::FlexInterface(StatGroup *parent, Params params)
@@ -23,13 +25,17 @@ FlexInterface::FlexInterface(StatGroup *parent, Params params)
                             static_cast<double>(params_.fifo_depth);
                  })
 {
+    // Capacity 1 minimum keeps the ring arithmetic well-defined even
+    // for a zero-depth FIFO (offer() rejects every push then anyway).
+    fifo_.resize(std::max<u32>(params_.fifo_depth, 1));
 }
 
 CommitAction
 FlexInterface::offer(const CommitPacket &packet, Cycle now)
 {
     const InstrType type = static_cast<InstrType>(packet.opcode);
-    switch (cfgr_.policy(type)) {
+    const ForwardPolicy policy = cfgr_.policy(type);
+    switch (policy) {
       case ForwardPolicy::kIgnore:
         return CommitAction::kProceed;
       case ForwardPolicy::kIfNotFull:
@@ -39,11 +45,6 @@ FlexInterface::offer(const CommitPacket &packet, Cycle now)
         }
         break;
       case ForwardPolicy::kAlways:
-        if (fifoFull()) {
-            ++commit_stalls_;
-            return CommitAction::kStall;
-        }
-        break;
       case ForwardPolicy::kWaitAck:
         if (fifoFull()) {
             ++commit_stalls_;
@@ -52,12 +53,14 @@ FlexInterface::offer(const CommitPacket &packet, Cycle now)
         break;
     }
 
-    const bool wait_ack = cfgr_.policy(type) == ForwardPolicy::kWaitAck;
-    Entry entry;
+    const bool wait_ack = policy == ForwardPolicy::kWaitAck;
+    // Write into the ring slot directly: the packet copy is the bulk
+    // of the cost on the commit path, so make exactly one.
+    Entry &entry = fifo_[(fifo_head_ + fifo_count_) % fifo_.size()];
+    ++fifo_count_;
     entry.packet = packet;
     entry.packet.wants_ack = wait_ack;
     entry.ready_at = now + params_.sync_cycles;
-    fifo_.push_back(std::move(entry));
     fabric_idle_ = false;
     ++forwarded_;
     ++forwarded_by_type_[type];
@@ -67,10 +70,11 @@ FlexInterface::offer(const CommitPacket &packet, Cycle now)
 std::optional<CommitPacket>
 FlexInterface::popReady(Cycle now)
 {
-    if (fifo_.empty() || fifo_.front().ready_at > now)
+    const CommitPacket *head = peekReady(now);
+    if (!head)
         return std::nullopt;
-    CommitPacket packet = std::move(fifo_.front().packet);
-    fifo_.pop_front();
+    CommitPacket packet = *head;
+    popFront();
     return packet;
 }
 

@@ -11,6 +11,7 @@
 
 #include <deque>
 #include <optional>
+#include <vector>
 
 #include "common/stats.h"
 #include "flexcore/cfgr.h"
@@ -61,12 +62,32 @@ class FlexInterface
     std::optional<u32> popBfifo();
 
     /** EMPTY: no packet queued and the fabric pipeline is drained. */
-    bool empty() const { return fifo_.empty() && fabric_idle_; }
+    bool empty() const { return fifo_count_ == 0 && fabric_idle_; }
 
     // ---- Fabric side ----
 
     /** Dequeue the next packet whose synchronizer delay has elapsed. */
     std::optional<CommitPacket> popReady(Cycle now);
+
+    /**
+     * Zero-copy variant: the head packet if its synchronizer delay has
+     * elapsed, else null. The pointer stays valid until popFront().
+     */
+    const CommitPacket *
+    peekReady(Cycle now) const
+    {
+        if (fifo_count_ == 0 || fifo_[fifo_head_].ready_at > now)
+            return nullptr;
+        return &fifo_[fifo_head_].packet;
+    }
+
+    /** Drop the head packet (pairs with a non-null peekReady()). */
+    void
+    popFront()
+    {
+        fifo_head_ = (fifo_head_ + 1) % fifo_.size();
+        --fifo_count_;
+    }
 
     /** Fabric reports pipeline-idle status each fabric cycle. */
     void setFabricIdle(bool idle) { fabric_idle_ = idle; }
@@ -83,15 +104,17 @@ class FlexInterface
     // ---- Introspection / statistics ----
 
     u32 fifoDepth() const { return params_.fifo_depth; }
-    size_t fifoSize() const { return fifo_.size(); }
-    bool fifoFull() const { return fifo_.size() >= params_.fifo_depth; }
+    size_t fifoSize() const { return fifo_count_; }
+    bool fifoFull() const { return fifo_count_ >= params_.fifo_depth; }
 
     /**
      * Record the current FFIFO occupancy into the occupancy histogram.
      * Called once per core cycle by System when histogram sampling is
      * enabled (SystemConfig::histograms); costs nothing otherwise.
      */
-    void sampleOccupancy() { occupancy_.add(fifo_.size()); }
+    void sampleOccupancy() { occupancy_.add(fifo_count_); }
+    /** Record @p n per-cycle samples at once (fast-forward stretches). */
+    void sampleOccupancy(u64 n) { occupancy_.add(fifo_count_, n); }
     const Histogram &occupancyHistogram() const { return occupancy_; }
 
     u64 forwardedCount() const { return forwarded_.value(); }
@@ -106,12 +129,20 @@ class FlexInterface
     struct Entry
     {
         CommitPacket packet;
-        Cycle ready_at;
+        Cycle ready_at = 0;
     };
 
     Params params_;
     Cfgr cfgr_;
-    std::deque<Entry> fifo_;
+    /**
+     * The forward FIFO, as a fixed ring buffer: offer() never pushes
+     * past fifo_depth entries, and a bounded ring avoids the per-chunk
+     * heap traffic a deque of ~90-byte entries would generate on the
+     * commit path. fifo_.size() is the capacity; fifo_count_ the fill.
+     */
+    std::vector<Entry> fifo_;
+    u32 fifo_head_ = 0;
+    u32 fifo_count_ = 0;
     std::deque<u32> bfifo_;
     bool fabric_idle_ = true;
     bool ack_ready_ = false;

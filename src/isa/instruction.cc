@@ -2,59 +2,6 @@
 
 namespace flexcore {
 
-bool
-Instruction::readsRs1() const
-{
-    switch (op) {
-      case Op::kSethi:
-      case Op::kBicc:
-      case Op::kCall:
-      case Op::kRdy:
-        return false;
-      default:
-        return valid;
-    }
-}
-
-bool
-Instruction::readsRs2() const
-{
-    if (has_imm)
-        return false;
-    switch (op) {
-      case Op::kSethi:
-      case Op::kBicc:
-      case Op::kCall:
-      case Op::kRdy:
-      case Op::kWry:   // wr %rs1, %y in our subset (rs2 unused)
-        return false;
-      default:
-        return valid;
-    }
-}
-
-bool
-Instruction::writesRd() const
-{
-    switch (op) {
-      case Op::kBicc:
-      case Op::kTicc:
-      case Op::kWry:
-      case Op::kSt:
-      case Op::kStb:
-      case Op::kSth:
-      case Op::kCpop2:
-        return false;
-      case Op::kCpop1:
-        // only the 'read from co-processor' function writes a register
-        return cpop_fn == CpopFn::kReadTag;
-      case Op::kCall:
-        return true;   // writes %o7
-      default:
-        return valid && rd != 0;
-    }
-}
-
 Instruction
 makeNop()
 {

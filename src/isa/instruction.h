@@ -31,12 +31,65 @@ struct Instruction
     CpopFn cpop_fn = CpopFn::kSetRegTag;  //!< CPop function field
     bool valid = false;              //!< decoded successfully
 
+    // The operand predicates run for every committed instruction (and
+    // once more at decode for the µop cache), so they live here where
+    // every caller can inline them.
+
     /** True if this instruction reads rs1 as a register operand. */
-    bool readsRs1() const;
+    bool
+    readsRs1() const
+    {
+        switch (op) {
+          case Op::kSethi:
+          case Op::kBicc:
+          case Op::kCall:
+          case Op::kRdy:
+            return false;
+          default:
+            return valid;
+        }
+    }
+
     /** True if this instruction reads rs2 as a register operand. */
-    bool readsRs2() const;
+    bool
+    readsRs2() const
+    {
+        if (has_imm)
+            return false;
+        switch (op) {
+          case Op::kSethi:
+          case Op::kBicc:
+          case Op::kCall:
+          case Op::kRdy:
+          case Op::kWry:   // wr %rs1, %y in our subset (rs2 unused)
+            return false;
+          default:
+            return valid;
+        }
+    }
+
     /** True if this instruction writes rd. */
-    bool writesRd() const;
+    bool
+    writesRd() const
+    {
+        switch (op) {
+          case Op::kBicc:
+          case Op::kTicc:
+          case Op::kWry:
+          case Op::kSt:
+          case Op::kStb:
+          case Op::kSth:
+          case Op::kCpop2:
+            return false;
+          case Op::kCpop1:
+            // only 'read from co-processor' writes a register
+            return cpop_fn == CpopFn::kReadTag;
+          case Op::kCall:
+            return true;   // writes %o7
+          default:
+            return valid && rd != 0;
+        }
+    }
 };
 
 /** The canonical NOP (sethi 0, %g0). */

@@ -155,52 +155,4 @@ classOf(Op op)
     }
 }
 
-bool
-isLoad(Op op)
-{
-    return op == Op::kLd || op == Op::kLdub || op == Op::kLduh;
-}
-
-bool
-isStore(Op op)
-{
-    return op == Op::kSt || op == Op::kStb || op == Op::kSth;
-}
-
-bool
-isAlu(Op op)
-{
-    switch (op) {
-      case Op::kAdd: case Op::kAddcc:
-      case Op::kSub: case Op::kSubcc:
-      case Op::kAnd: case Op::kAndcc:
-      case Op::kOr: case Op::kOrcc:
-      case Op::kXor: case Op::kXorcc:
-      case Op::kAndn: case Op::kOrn: case Op::kXnor:
-      case Op::kSll: case Op::kSrl: case Op::kSra:
-        return true;
-      default:
-        return false;
-    }
-}
-
-bool
-writesIcc(Op op)
-{
-    switch (op) {
-      case Op::kAddcc: case Op::kSubcc:
-      case Op::kAndcc: case Op::kOrcc: case Op::kXorcc:
-      case Op::kUmulcc: case Op::kSmulcc:
-        return true;
-      default:
-        return false;
-    }
-}
-
-bool
-hasDelaySlot(Op op)
-{
-    return op == Op::kBicc || op == Op::kCall || op == Op::kJmpl;
-}
-
 }  // namespace flexcore

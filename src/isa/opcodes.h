@@ -139,16 +139,61 @@ std::string_view condName(Cond cond);
 /** The CFGR class an opcode belongs to. */
 InstrType classOf(Op op);
 
+// The opcode predicates below run on the per-commit hot path, so they
+// are defined inline here.
+
 /** True for LD/LDUB/LDUH. */
-bool isLoad(Op op);
+inline bool
+isLoad(Op op)
+{
+    return op == Op::kLd || op == Op::kLdub || op == Op::kLduh;
+}
+
 /** True for ST/STB/STH. */
-bool isStore(Op op);
+inline bool
+isStore(Op op)
+{
+    return op == Op::kSt || op == Op::kStb || op == Op::kSth;
+}
+
 /** True for any ALU op (add/sub/logic/shift, with or without cc). */
-bool isAlu(Op op);
+inline bool
+isAlu(Op op)
+{
+    switch (op) {
+      case Op::kAdd: case Op::kAddcc:
+      case Op::kSub: case Op::kSubcc:
+      case Op::kAnd: case Op::kAndcc:
+      case Op::kOr: case Op::kOrcc:
+      case Op::kXor: case Op::kXorcc:
+      case Op::kAndn: case Op::kOrn: case Op::kXnor:
+      case Op::kSll: case Op::kSrl: case Op::kSra:
+        return true;
+      default:
+        return false;
+    }
+}
+
 /** True if the op writes the integer condition codes. */
-bool writesIcc(Op op);
+inline bool
+writesIcc(Op op)
+{
+    switch (op) {
+      case Op::kAddcc: case Op::kSubcc:
+      case Op::kAndcc: case Op::kOrcc: case Op::kXorcc:
+      case Op::kUmulcc: case Op::kSmulcc:
+        return true;
+      default:
+        return false;
+    }
+}
+
 /** True for control transfers with a delay slot (Bicc, CALL, JMPL). */
-bool hasDelaySlot(Op op);
+inline bool
+hasDelaySlot(Op op)
+{
+    return op == Op::kBicc || op == Op::kCall || op == Op::kJmpl;
+}
 
 }  // namespace flexcore
 

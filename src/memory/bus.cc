@@ -1,5 +1,7 @@
 #include "memory/bus.h"
 
+#include <cassert>
+
 namespace flexcore {
 
 namespace {
@@ -65,7 +67,7 @@ Bus::startNext()
 }
 
 void
-Bus::tick()
+Bus::tickBusy()
 {
     if (active_) {
         ++busy_cycles_;
@@ -91,6 +93,23 @@ Bus::tick()
         trace_->counter("bus_queue_depth", now_, traced_depth_);
     }
     ++now_;
+}
+
+void
+Bus::advanceIdle(u64 cycles)
+{
+    // Preconditions guarantee no completion (and hence no callback, no
+    // dequeue, no trace event) can occur inside the stretch, so the
+    // per-cycle effects reduce to counter accrual.
+    assert(queue_.empty());
+    assert(!active_ || remaining_ > cycles);
+    if (active_) {
+        busy_cycles_ += cycles;
+        remaining_ -= static_cast<u32>(cycles);
+    }
+    if (sampling_)
+        queue_depth_.add(0, cycles);
+    now_ += cycles;
 }
 
 }  // namespace flexcore

@@ -45,14 +45,37 @@ class Bus
     /** Enqueue a transaction (FCFS). */
     void request(BusRequest req);
 
-    /** Advance one core-clock cycle. */
-    void tick();
+    /**
+     * Advance one core-clock cycle. The bus is idle on the vast
+     * majority of cycles, and an idle tick with sampling and tracing
+     * off reduces to advancing the clock — keep that path inline.
+     */
+    void
+    tick()
+    {
+        if (active_ || sampling_ || trace_ || !queue_.empty()) {
+            tickBusy();
+            return;
+        }
+        ++now_;
+    }
 
     /** True when no transaction is active or queued. */
     bool idle() const { return !active_ && queue_.empty(); }
 
     /** Transactions waiting behind the active one. */
     size_t queueDepth() const { return queue_.size(); }
+
+    /** Cycles until the active transaction completes (0 when idle). */
+    u32 remainingCycles() const { return active_ ? remaining_ : 0; }
+
+    /**
+     * Bulk-advance @p cycles quiescent cycles at once: the queue must
+     * be empty and any active transaction must have more than @p cycles
+     * remaining, so the only per-cycle work is counter accrual. Charges
+     * exactly what @p cycles calls to tick() would.
+     */
+    void advanceIdle(u64 cycles);
 
     /**
      * Enable per-cycle queue-depth sampling into the queue_depth
@@ -70,6 +93,8 @@ class Bus
 
   private:
     void startNext();
+    /** Slow path of tick(): active transaction, sampling, or tracing. */
+    void tickBusy();
 
     SdramTimings timings_;
     std::deque<BusRequest> queue_;

@@ -26,38 +26,22 @@ Cache::Cache(StatGroup *parent, const std::string &name, CacheParams params)
     }
     num_sets_ = params_.size_bytes / (params_.line_bytes * params_.assoc);
     line_shift_ = log2Exact(params_.line_bytes);
+    tag_shift_ = line_shift_ + log2Exact(num_sets_);
     lines_.resize(static_cast<size_t>(num_sets_) * params_.assoc);
 }
 
-u32
-Cache::setIndex(Addr addr) const
-{
-    return (addr >> line_shift_) & (num_sets_ - 1);
-}
-
-u32
-Cache::tagOf(Addr addr) const
-{
-    return addr >> (line_shift_ + log2Exact(num_sets_));
-}
-
 bool
-Cache::access(Addr addr, bool set_dirty)
+Cache::probeSlot(Addr addr, u32 *slot) const
 {
-    ++accesses_;
     const u32 set = setIndex(addr);
     const u32 tag = tagOf(addr);
-    Line *base = &lines_[static_cast<size_t>(set) * params_.assoc];
+    const Line *base = &lines_[static_cast<size_t>(set) * params_.assoc];
     for (u32 way = 0; way < params_.assoc; ++way) {
-        Line &line = base[way];
-        if (line.valid && line.tag == tag) {
-            line.lru = ++use_clock_;
-            line.dirty = line.dirty || set_dirty;
-            ++hits_;
+        if (base[way].valid && base[way].tag == tag) {
+            *slot = set * params_.assoc + way;
             return true;
         }
     }
-    ++misses_;
     return false;
 }
 
@@ -87,7 +71,10 @@ Cache::fill(Addr addr, bool dirty)
         if (base[way].valid && base[way].tag == tag) {
             base[way].lru = ++use_clock_;
             base[way].dirty = base[way].dirty || dirty;
-            return {};
+            FillResult refreshed;
+            refreshed.slot = set * params_.assoc + way;
+            last_slot_ = refreshed.slot;
+            return refreshed;
         }
     }
 
@@ -103,18 +90,22 @@ Cache::fill(Addr addr, bool dirty)
     }
 
     FillResult result;
-    if (victim->valid && victim->dirty) {
-        result.evicted_dirty = true;
+    if (victim->valid) {
+        result.evicted_valid = true;
         result.victim_addr =
-            (static_cast<Addr>(victim->tag)
-                 << (line_shift_ + log2Exact(num_sets_))) |
+            (static_cast<Addr>(victim->tag) << tag_shift_) |
             (set << line_shift_);
-        ++writebacks_;
+        if (victim->dirty) {
+            result.evicted_dirty = true;
+            ++writebacks_;
+        }
     }
     victim->valid = true;
     victim->dirty = dirty;
     victim->tag = tag;
     victim->lru = ++use_clock_;
+    result.slot = static_cast<u32>(victim - lines_.data());
+    last_slot_ = result.slot;
     return result;
 }
 

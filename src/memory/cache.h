@@ -30,21 +30,61 @@ class Cache
   public:
     Cache(StatGroup *parent, const std::string &name, CacheParams params);
 
-    /** Result of a fill: whether a dirty victim must be written back. */
+    /**
+     * Result of a fill: which line slot now holds the new line, and
+     * whether a valid (and possibly dirty) victim was displaced.
+     */
     struct FillResult
     {
-        bool evicted_dirty = false;
-        Addr victim_addr = 0;
+        bool evicted_valid = false;   //!< a valid line was displaced
+        bool evicted_dirty = false;   //!< ...and it needs a writeback
+        Addr victim_addr = 0;         //!< line address of the victim
+        u32 slot = 0;                 //!< line slot (set * assoc + way)
     };
 
     /**
      * Look up @p addr; updates LRU and the line's dirty bit on a hit.
-     * Counts the access in the hit/miss statistics.
+     * Counts the access in the hit/miss statistics. On a hit,
+     * lastSlot() reports the line slot that matched. Runs once per
+     * fetched instruction, so it is defined inline.
      */
-    bool access(Addr addr, bool set_dirty = false);
+    bool
+    access(Addr addr, bool set_dirty = false)
+    {
+        ++accesses_;
+        const u32 set = setIndex(addr);
+        const u32 tag = tagOf(addr);
+        Line *base = &lines_[static_cast<size_t>(set) * params_.assoc];
+        for (u32 way = 0; way < params_.assoc; ++way) {
+            Line &line = base[way];
+            if (line.valid && line.tag == tag) {
+                line.lru = ++use_clock_;
+                line.dirty = line.dirty || set_dirty;
+                last_slot_ = set * params_.assoc + way;
+                ++hits_;
+                return true;
+            }
+        }
+        ++misses_;
+        return false;
+    }
 
     /** Probe without updating LRU or statistics. */
     bool contains(Addr addr) const;
+
+    /**
+     * Probe for @p addr without touching LRU or statistics; on a hit,
+     * stores the matching line slot into @p slot. Lets side structures
+     * keyed by line slot (the core's pre-decoded µop cache) find the
+     * entry backing an address.
+     */
+    bool probeSlot(Addr addr, u32 *slot) const;
+
+    /** Line slot touched by the most recent access() hit or fill(). */
+    u32 lastSlot() const { return last_slot_; }
+
+    /** Total line slots (sets × associativity). */
+    u32 numLineSlots() const { return num_sets_ * params_.assoc; }
 
     /**
      * Allocate a line for @p addr (after a miss was serviced),
@@ -70,14 +110,19 @@ class Cache
         u64 lru = 0;    // larger == more recently used
     };
 
-    u32 setIndex(Addr addr) const;
-    u32 tagOf(Addr addr) const;
+    u32 setIndex(Addr addr) const
+    {
+        return (addr >> line_shift_) & (num_sets_ - 1);
+    }
+    u32 tagOf(Addr addr) const { return addr >> tag_shift_; }
 
     CacheParams params_;
     u32 num_sets_;
     u32 line_shift_;
+    u32 tag_shift_;   //!< line_shift_ + log2(num_sets_), precomputed
     std::vector<Line> lines_;   // num_sets_ * assoc, set-major
     u64 use_clock_ = 0;
+    u32 last_slot_ = 0;
 
     StatGroup stats_;
     Counter accesses_;

@@ -12,21 +12,31 @@ u8 *
 Memory::pageFor(Addr addr)
 {
     const u32 page = addr >> kPageShift;
+    if (page == last_page_idx_)
+        return last_page_;
     auto it = pages_.find(page);
     if (it == pages_.end()) {
         auto storage = std::make_unique<u8[]>(kPageSize);
         std::memset(storage.get(), 0, kPageSize);
         it = pages_.emplace(page, std::move(storage)).first;
     }
-    return it->second.get();
+    last_page_idx_ = page;
+    last_page_ = it->second.get();
+    return last_page_;
 }
 
 const u8 *
 Memory::pageForRead(Addr addr) const
 {
     const u32 page = addr >> kPageShift;
+    if (page == last_page_idx_)
+        return last_page_;
     const auto it = pages_.find(page);
-    return it == pages_.end() ? kZeroPage : it->second.get();
+    if (it == pages_.end())
+        return kZeroPage;   // uncached: a write may allocate it later
+    last_page_idx_ = page;
+    last_page_ = it->second.get();
+    return last_page_;
 }
 
 u8

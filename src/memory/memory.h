@@ -44,6 +44,14 @@ class Memory
     const u8 *pageForRead(Addr addr) const;
 
     std::unordered_map<u32, std::unique_ptr<u8[]>> pages_;
+    // One-entry page cache: consecutive accesses overwhelmingly land in
+    // the same 4 KB page, so the common case skips the hash lookup.
+    // Only ever points at an *allocated* page (never kZeroPage — a
+    // later write could allocate the page behind a cached zero page),
+    // and pages are never freed, so it needs no invalidation. The page
+    // payloads are stable heap blocks, so rehashing is harmless too.
+    mutable u32 last_page_idx_ = ~u32{0};
+    mutable u8 *last_page_ = nullptr;
     static const u8 kZeroPage[kPageSize];
 };
 

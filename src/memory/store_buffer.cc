@@ -24,10 +24,8 @@ StoreBuffer::push(Addr addr)
 }
 
 void
-StoreBuffer::tick()
+StoreBuffer::issueHead()
 {
-    if (draining_ || entries_.empty())
-        return;
     draining_ = true;
     BusRequest req;
     req.op = BusOp::kWriteWord;

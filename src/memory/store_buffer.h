@@ -32,9 +32,20 @@ class StoreBuffer
     bool push(Addr addr);
 
     /** Advance one cycle: issue the head entry to the bus if idle. */
-    void tick();
+    void
+    tick()
+    {
+        // Called every system cycle; the buffer is empty for the vast
+        // majority of them, so the no-op path must not leave the
+        // header.
+        if (!draining_ && !entries_.empty())
+            issueHead();
+    }
 
   private:
+    /** Put the head entry on the bus (slow path of tick()). */
+    void issueHead();
+
     Bus *bus_;
     u32 depth_;
     std::deque<Addr> entries_;

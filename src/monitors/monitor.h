@@ -11,9 +11,11 @@
 #define FLEXCORE_MONITORS_MONITOR_H_
 
 #include <array>
+#include <cassert>
+#include <memory>
 #include <string>
 #include <string_view>
-#include <unordered_map>
+#include <vector>
 
 #include "common/types.h"
 #include "flexcore/cfgr.h"
@@ -46,8 +48,15 @@ struct MonitorResult
     void
     addOp(Addr addr, bool is_write)
     {
+        // A packet never needs more than two meta accesses with the
+        // current extensions. A third is a monitor bug — losing it
+        // silently would skew the fabric timing model, so fail loudly
+        // in debug builds instead of dropping it.
+        assert(num_ops < ops.size() &&
+               "MonitorResult::addOp: more meta accesses than "
+               "MonitorResult can carry; widen MonitorResult::ops");
         if (num_ops >= ops.size())
-            return;   // a packet never needs more than two accesses
+            return;
         ops[num_ops].addr = addr;
         ops[num_ops].is_write = is_write;
         ++num_ops;
@@ -63,8 +72,14 @@ struct MonitorResult
 
 /**
  * Per-word tag storage (functional meta-data state). Tags are keyed by
- * the *data* word address; widths up to 8 bits. Page-granular backing
- * keeps lookups fast for multi-megabyte workloads.
+ * the *data* word address; widths up to 8 bits.
+ *
+ * Every forwarded load/store costs at least one TagStore lookup, so
+ * this sits squarely on the simulator's hot path. The backing is an
+ * open-addressed page table (power-of-two slots, linear probing) in
+ * front of stable 1 KB tag pages, plus a one-entry last-page cache:
+ * the common case — consecutive accesses landing in the same 4 KB data
+ * page — resolves with one compare and one indexed load, no hashing.
  */
 class TagStore
 {
@@ -72,12 +87,71 @@ class TagStore
     static constexpr u32 kPageShift = 12;          // 4 KB of data words
     static constexpr u32 kWordsPerPage = 1u << (kPageShift - 2);
 
-    u8 read(Addr data_addr) const;
-    void write(Addr data_addr, u8 tag);
-    void clear() { pages_.clear(); }
+    u8
+    read(Addr data_addr) const
+    {
+        const u32 page = data_addr >> kPageShift;
+        if (page == last_page_)
+            return last_tags_[wordIndex(data_addr)];
+        const u8 *tags = findPage(page);
+        return tags ? tags[wordIndex(data_addr)] : 0;
+    }
+
+    void
+    write(Addr data_addr, u8 tag)
+    {
+        const u32 page = data_addr >> kPageShift;
+        if (page == last_page_) {
+            last_tags_[wordIndex(data_addr)] = tag;
+            return;
+        }
+        u8 *tags = findPage(page);
+        if (!tags) {
+            if (tag == 0)
+                return;   // absent pages read as all-zero anyway
+            tags = createPage(page);
+        }
+        tags[wordIndex(data_addr)] = tag;
+    }
+
+    void clear();
 
   private:
-    std::unordered_map<u32, std::array<u8, kWordsPerPage>> pages_;
+    /** Sentinel above any reachable page index (Addr is 32-bit, so
+     * real page indices fit in 20 bits). */
+    static constexpr u32 kNoPage = ~u32{0};
+
+    static u32
+    wordIndex(Addr data_addr)
+    {
+        return (data_addr >> 2) & (kWordsPerPage - 1);
+    }
+
+    static u32
+    hashPage(u32 page)
+    {
+        return page * 0x9e3779b1u;   // Fibonacci hashing
+    }
+
+    /** Probe for @p page; updates the last-page cache on a hit. */
+    u8 *findPage(u32 page) const;
+    /** Insert a zero-filled page (grows at 50% load). */
+    u8 *createPage(u32 page);
+    void grow();
+
+    struct Slot
+    {
+        u32 key = kNoPage;
+        std::unique_ptr<u8[]> tags;   // kWordsPerPage bytes, stable
+    };
+
+    std::vector<Slot> slots_;
+    size_t used_ = 0;
+    // Last-page cache. The tag arrays are heap blocks owned through
+    // stable unique_ptrs, so growing the slot table never invalidates
+    // the cached pointer.
+    mutable u32 last_page_ = kNoPage;
+    mutable u8 *last_tags_ = nullptr;
 };
 
 class Monitor

@@ -126,7 +126,12 @@ expandSweep(const SweepSpec &spec)
             job.config = spec.base;
             job.config.monitor = pt.monitor;
             job.config.mode = pt.mode;
-            job.config.flex_period = pt.period;
+            // flex_period is only valid (and only meaningful) in
+            // fabric mode; the resolved period still identifies ASIC
+            // rows (period 1) in the key and the result table.
+            job.config.flex_period =
+                pt.mode == ImplMode::kFlexFabric ? pt.period : 0;
+            job.resolved_period = pt.period;
             if (pt.fifo)
                 job.config.iface.fifo_depth = pt.fifo;
             job.config.core.dcache.size_bytes = pt.dcache;
@@ -170,7 +175,7 @@ runCampaign(const std::vector<CampaignJob> &jobs,
                 row.workload = job.workload.name;
                 row.monitor = job.config.monitor;
                 row.mode = job.config.mode;
-                row.flex_period = job.config.flex_period;
+                row.flex_period = job.resolved_period;
                 row.fifo_depth =
                     (job.config.mode == ImplMode::kAsic ||
                      job.config.mode == ImplMode::kFlexFabric)
@@ -178,12 +183,12 @@ runCampaign(const std::vector<CampaignJob> &jobs,
                         : 0;
                 row.dcache_bytes = job.config.core.dcache.size_bytes;
                 row.seed = job.config.fault_seed;
-                row.outcome =
-                    opts.verify
-                        ? runWorkloadChecked(job.workload, job.config,
-                                             opts.stat_paths)
-                        : runSource(job.workload.source, job.config,
-                                    opts.stat_paths);
+                SimRequest request(job.config);
+                if (opts.verify)
+                    request.workload(job.workload);
+                else
+                    request.source(job.workload.source);
+                row.outcome = request.stats(opts.stat_paths).run();
                 report(done.fetch_add(1, std::memory_order_acq_rel) + 1);
             });
         }

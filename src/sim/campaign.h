@@ -18,7 +18,7 @@
 #include <string>
 #include <vector>
 
-#include "sim/runner.h"
+#include "sim/sim_request.h"
 #include "workloads/workload.h"
 
 namespace flexcore {
@@ -29,6 +29,10 @@ struct CampaignJob
     std::string key;       //!< unique identity; results sort on this
     Workload workload;
     SystemConfig config;   //!< fault_seed = jobSeed(key) in expanded jobs
+    /** Resolved fabric/ASIC clock divisor (0 off the fabric). Kept
+     * separate from config.flex_period, which is only set in fabric
+     * mode (finalize() rejects it elsewhere). */
+    u32 resolved_period = 0;
 };
 
 /** One merged row of a campaign: the job identity plus its outcome. */

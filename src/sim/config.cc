@@ -68,24 +68,81 @@ defaultFlexPeriod(MonitorKind kind)
     return kind == MonitorKind::kSec ? 4 : 2;
 }
 
-void
+std::string_view
+configErrorName(ConfigError::Code code)
+{
+    switch (code) {
+      case ConfigError::Code::kNone: return "none";
+      case ConfigError::Code::kMissingMonitor: return "missing_monitor";
+      case ConfigError::Code::kMonitorOnBaseline:
+        return "monitor_on_baseline";
+      case ConfigError::Code::kBadDiftTagBits:
+        return "bad_dift_tag_bits";
+      case ConfigError::Code::kStrayFlexPeriod:
+        return "stray_flex_period";
+    }
+    return "?";
+}
+
+namespace {
+
+ConfigError
+configError(ConfigError::Code code, std::string message)
+{
+    ConfigError error;
+    error.code = code;
+    error.message = std::move(message);
+    return error;
+}
+
+}  // namespace
+
+ConfigError
 SystemConfig::finalize()
 {
-    if (mode == ImplMode::kBaseline || mode == ImplMode::kSoftware) {
-        if (monitor != MonitorKind::kNone && mode == ImplMode::kBaseline)
-            monitor = MonitorKind::kNone;
-        return;
+    if (finalized_)
+        return {};
+
+    // Validation: reject contradictory configurations instead of
+    // silently fixing them up — a forgotten --mode or a stray --period
+    // should fail loudly, not quietly change the experiment.
+    if (dift_tag_bits != 1 && dift_tag_bits != 4) {
+        return configError(
+            ConfigError::Code::kBadDiftTagBits,
+            "dift_tag_bits must be 1 or 4, not " +
+                std::to_string(dift_tag_bits));
     }
-    if (monitor == MonitorKind::kNone)
-        FLEX_FATAL("ASIC/FlexCore mode requires a monitor kind");
+    if (flex_period != 0 && mode != ImplMode::kFlexFabric) {
+        return configError(
+            ConfigError::Code::kStrayFlexPeriod,
+            std::string("flex_period is only meaningful in flexcore "
+                        "mode (mode is ") +
+                std::string(implModeName(mode)) + ")");
+    }
+    if (mode == ImplMode::kBaseline && monitor != MonitorKind::kNone) {
+        return configError(
+            ConfigError::Code::kMonitorOnBaseline,
+            std::string("baseline mode has no monitor hardware; drop "
+                        "the monitor or pick asic/flexcore/software "
+                        "mode (monitor is ") +
+                std::string(monitorKindName(monitor)) + ")");
+    }
+    if ((mode == ImplMode::kAsic || mode == ImplMode::kFlexFabric) &&
+        monitor == MonitorKind::kNone) {
+        return configError(ConfigError::Code::kMissingMonitor,
+                           "ASIC/FlexCore mode requires a monitor kind");
+    }
+
     if (mode == ImplMode::kAsic) {
         fabric.period = 1;
         iface.sync_cycles = 0;   // same clock domain, direct taps
-    } else {
+    } else if (mode == ImplMode::kFlexFabric) {
         fabric.period =
             flex_period ? flex_period : defaultFlexPeriod(monitor);
         iface.sync_cycles = 1;
     }
+    finalized_ = true;
+    return {};
 }
 
 }  // namespace flexcore

@@ -9,6 +9,7 @@
 #define FLEXCORE_SIM_CONFIG_H_
 
 #include <memory>
+#include <string>
 #include <string_view>
 
 #include "core/core.h"
@@ -53,6 +54,30 @@ std::unique_ptr<Monitor> makeMonitor(MonitorKind kind,
  */
 u32 defaultFlexPeriod(MonitorKind kind);
 
+/**
+ * Typed outcome of SystemConfig::finalize(). A falsy error means the
+ * configuration is valid and fully resolved. Callers that accept user
+ * input (tools, SimRequest) surface the message; System's constructor
+ * treats any error as fatal.
+ */
+struct ConfigError
+{
+    enum class Code : u8 {
+        kNone,
+        kMissingMonitor,    //!< ASIC/fabric mode without a monitor
+        kMonitorOnBaseline, //!< baseline mode cannot host a monitor
+        kBadDiftTagBits,    //!< dift_tag_bits not in {1, 4}
+        kStrayFlexPeriod,   //!< flex_period set outside fabric mode
+    };
+
+    Code code = Code::kNone;
+    std::string message;
+
+    explicit operator bool() const { return code != Code::kNone; }
+};
+
+std::string_view configErrorName(ConfigError::Code code);
+
 struct SystemConfig
 {
     MonitorKind monitor = MonitorKind::kNone;
@@ -86,12 +111,31 @@ struct SystemConfig
 
     u64 max_cycles = 500'000'000;
 
+    /**
+     * Quiescence fast-forward: when the whole system is provably idle
+     * (core stalled on a known-latency refill or a fixed-latency unit,
+     * store buffer empty, fabric drained), System::run() advances
+     * multiple cycles at once while charging the exact same cycle
+     * buckets. Purely a host-side optimization — stats, traces, and
+     * RunResult are byte-identical either way (docs/performance.md).
+     */
+    bool fast_forward = true;
+
     /** ALU transient-fault injection (exercises SEC). */
     double fault_rate = 0.0;
     u64 fault_seed = 1;
 
-    /** Resolve mode-dependent parameters (period, sync latency). */
-    void finalize();
+    /**
+     * Validate and resolve mode-dependent parameters (fabric period,
+     * synchronizer latency). Idempotent: System's constructor always
+     * calls it, so callers only need to when they want the typed error
+     * instead of the constructor's fatal. Returns a falsy ConfigError
+     * on success; on error the config is unchanged and unusable.
+     */
+    [[nodiscard]] ConfigError finalize();
+
+  private:
+    bool finalized_ = false;
 };
 
 }  // namespace flexcore

@@ -1,78 +1,38 @@
 #include "sim/runner.h"
 
-#include <cmath>
-
-#include "assembler/assembler.h"
-#include "common/log.h"
-
 namespace flexcore {
+
+// The shim bodies are the only sanctioned callers of the deprecated
+// API (they *are* it); silence the self-referential warning.
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#endif
 
 SimOutcome
 runSource(const std::string &source, SystemConfig config,
           const std::vector<std::string> &stat_paths)
 {
-    const Program program = Assembler::assembleOrDie(source);
-    System system(std::move(config));
-    system.load(program);
-
-    SimOutcome outcome;
-    outcome.result = system.run();
-    // A path that does not resolve for this configuration is skipped,
-    // not fatal: campaign grids mix configs (a baseline row has no
-    // "interface" group). runCampaign rejects paths no row resolves.
-    for (const std::string &path : stat_paths) {
-        if (const auto value = system.stats().tryLookup(path))
-            outcome.stats.emplace_back(path, *value);
-    }
-    if (FlexInterface *iface = system.iface()) {
-        outcome.forwarded = iface->forwardedCount();
-        outcome.dropped = iface->droppedCount();
-        outcome.commit_stalls = iface->stallCycles();
-        if (outcome.result.instructions > 0) {
-            outcome.fwd_fraction =
-                static_cast<double>(outcome.forwarded) /
-                static_cast<double>(outcome.result.instructions);
-        }
-    }
-    if (Fabric *fabric = system.fabric()) {
-        outcome.meta_misses = fabric->metaCache().misses();
-        outcome.meta_accesses =
-            fabric->metaCache().misses() + fabric->metaCache().hits();
-    }
-    return outcome;
+    return SimRequest(std::move(config))
+        .source(source)
+        .stats(stat_paths)
+        .run();
 }
 
 SimOutcome
 runWorkloadChecked(const Workload &workload, SystemConfig config,
                    const std::vector<std::string> &stat_paths)
 {
-    SimOutcome outcome =
-        runSource(workload.source, std::move(config), stat_paths);
-    if (outcome.result.exit != RunResult::Exit::kExited) {
-        FLEX_FATAL("workload '", workload.name, "' did not exit cleanly: ",
-                   exitName(outcome.result.exit), " (",
-                   outcome.result.trap_reason, ") after ",
-                   outcome.result.cycles, " cycles at pc=",
-                   outcome.result.trap.pc);
-    }
-    if (outcome.result.console != workload.expected_console) {
-        FLEX_FATAL("workload '", workload.name,
-                   "' output mismatch:\n  expected: ",
-                   workload.expected_console,
-                   "\n  actual:   ", outcome.result.console);
-    }
-    return outcome;
+    return SimRequest(std::move(config))
+        .workload(workload)
+        .stats(stat_paths)
+        .run();
 }
 
-double
-geomean(const std::vector<double> &values)
-{
-    if (values.empty())
-        FLEX_PANIC("geomean of empty vector");
-    double log_sum = 0.0;
-    for (double v : values)
-        log_sum += std::log(v);
-    return std::exp(log_sum / static_cast<double>(values.size()));
-}
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
 
 }  // namespace flexcore
+
+// flexcore::SimOutcome used to live here; sim_request.h owns it now.

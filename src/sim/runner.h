@@ -1,58 +1,37 @@
 /**
  * @file
- * Experiment-level helpers shared by tests, benches, and examples:
- * assemble-and-run, functional verification against golden output, and
- * the summary numbers each experiment reports.
+ * Legacy run helpers, now thin shims over SimRequest (sim_request.h).
+ * New code should build a SimRequest directly; these wrappers exist for
+ * one PR of migration grace and will be removed.
  */
 
 #ifndef FLEXCORE_SIM_RUNNER_H_
 #define FLEXCORE_SIM_RUNNER_H_
 
-#include <utility>
 #include <vector>
 
-#include "sim/system.h"
-#include "workloads/workload.h"
+#include "sim/sim_request.h"
 
 namespace flexcore {
 
-/** Everything an experiment needs from one run. */
-struct SimOutcome
-{
-    RunResult result;
-    u64 forwarded = 0;       //!< packets pushed into the FFIFO
-    u64 dropped = 0;
-    u64 commit_stalls = 0;   //!< cycles commit stalled on a full FFIFO
-    u64 meta_misses = 0;
-    u64 meta_accesses = 0;
-    double fwd_fraction = 0; //!< forwarded / committed instructions
-    /** Requested (dotted path, value) counter samples, request order. */
-    std::vector<std::pair<std::string, u64>> stats;
-};
-
 /**
- * Assemble @p source and run it under @p config. Each entry of
- * @p stat_paths is a dotted counter path under the "system" stats root
- * (e.g. "core.cycles", "bus.busy_cycles"), captured into
- * SimOutcome::stats after the run. Paths this configuration cannot
- * resolve are skipped (campaign grids mix configs); runCampaign
- * rejects paths that resolve in no row.
+ * Assemble @p source and run it under @p config.
+ * @deprecated Use SimRequest(config).source(source).stats(paths).run().
  */
+[[deprecated("use SimRequest(config).source(...).run()")]]
 SimOutcome runSource(const std::string &source, SystemConfig config,
                      const std::vector<std::string> &stat_paths = {});
 
 /**
  * Run a workload and verify its console output against the golden
- * model; calls FLEX_FATAL on a functional mismatch or abnormal exit so
- * every benchmark number comes from a verified run.
+ * model.
+ * @deprecated Use SimRequest(config).workload(workload).run().
  */
+[[deprecated("use SimRequest(config).workload(...).run()")]]
 SimOutcome runWorkloadChecked(const Workload &workload,
                               SystemConfig config,
                               const std::vector<std::string> &stat_paths =
                                   {});
-
-/** Geometric mean of a non-empty vector. */
-double geomean(const std::vector<double> &values);
 
 }  // namespace flexcore
 

@@ -1,0 +1,87 @@
+#include "sim/sim_request.h"
+
+#include "assembler/assembler.h"
+#include "common/log.h"
+
+namespace flexcore {
+
+SimOutcome
+SimRequest::run()
+{
+    const int inputs = (source_ ? 1 : 0) + (program_ ? 1 : 0) +
+                       (workload_ ? 1 : 0);
+    if (inputs != 1) {
+        FLEX_FATAL("SimRequest needs exactly one of source()/program()/"
+                   "workload(), got ", inputs);
+    }
+    if (verify_ && !workload_) {
+        FLEX_FATAL("SimRequest::verify() needs a workload (the golden "
+                   "console output comes from it)");
+    }
+
+    Program prog;
+    if (program_) {
+        prog = std::move(*program_);
+    } else {
+        const std::string &src =
+            workload_ ? workload_->source : *source_;
+        prog = Assembler::assembleOrDie(src);
+    }
+
+    System system(std::move(config_));
+    system.load(prog);
+    if (trace_)
+        system.attachTrace(trace_);
+    if (tracer_)
+        system.core().setTracer(std::move(tracer_));
+
+    SimOutcome outcome;
+    outcome.result = system.run();
+
+    if (verify_) {
+        if (outcome.result.exit != RunResult::Exit::kExited) {
+            FLEX_FATAL("workload '", workload_->name,
+                       "' did not exit cleanly: ",
+                       exitName(outcome.result.exit), " (",
+                       outcome.result.trap_reason, ") after ",
+                       outcome.result.cycles, " cycles at pc=",
+                       outcome.result.trap.pc);
+        }
+        if (outcome.result.console != workload_->expected_console) {
+            FLEX_FATAL("workload '", workload_->name,
+                       "' output mismatch:\n  expected: ",
+                       workload_->expected_console,
+                       "\n  actual:   ", outcome.result.console);
+        }
+    }
+
+    // A path that does not resolve for this configuration is skipped,
+    // not fatal: campaign grids mix configs (a baseline row has no
+    // "interface" group). runCampaign rejects paths no row resolves.
+    for (const std::string &path : stat_paths_) {
+        if (const auto value = system.stats().tryLookup(path))
+            outcome.stats.emplace_back(path, *value);
+    }
+    if (FlexInterface *iface = system.iface()) {
+        outcome.forwarded = iface->forwardedCount();
+        outcome.dropped = iface->droppedCount();
+        outcome.commit_stalls = iface->stallCycles();
+        if (outcome.result.instructions > 0) {
+            outcome.fwd_fraction =
+                static_cast<double>(outcome.forwarded) /
+                static_cast<double>(outcome.result.instructions);
+        }
+    }
+    if (Fabric *fabric = system.fabric()) {
+        outcome.meta_misses = fabric->metaCache().misses();
+        outcome.meta_accesses =
+            fabric->metaCache().misses() + fabric->metaCache().hits();
+    }
+    if (stats_json_)
+        outcome.stats_json = system.stats().json();
+    if (stats_dump_)
+        outcome.stats_text = system.stats().dump();
+    return outcome;
+}
+
+}  // namespace flexcore

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * SimRequest: the one way to run a simulation. A builder-style value
+ * type that unifies what used to be runSource / runWorkloadChecked /
+ * ad-hoc System wiring in tools and benches:
+ *
+ *   SimOutcome out = SimRequest(config)
+ *                        .workload(wl)          // or .source(s)/.program(p)
+ *                        .stats({"core.cycles"})
+ *                        .statsJson()
+ *                        .run();
+ *
+ * run() assembles (if needed), builds the System, attaches tracing,
+ * runs to completion, optionally verifies console output against the
+ * workload's golden model, and captures every requested observability
+ * surface into the returned SimOutcome.
+ */
+
+#ifndef FLEXCORE_SIM_SIM_REQUEST_H_
+#define FLEXCORE_SIM_SIM_REQUEST_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/core.h"
+#include "sim/system.h"
+#include "workloads/workload.h"
+
+namespace flexcore {
+
+/** Everything an experiment needs from one run. */
+struct SimOutcome
+{
+    RunResult result;
+    u64 forwarded = 0;       //!< packets pushed into the FFIFO
+    u64 dropped = 0;
+    u64 commit_stalls = 0;   //!< cycles commit stalled on a full FFIFO
+    u64 meta_misses = 0;
+    u64 meta_accesses = 0;
+    double fwd_fraction = 0; //!< forwarded / committed instructions
+    /** Requested (dotted path, value) counter samples, request order. */
+    std::vector<std::pair<std::string, u64>> stats;
+    /** Canonical stats-tree JSON (empty unless statsJson() requested). */
+    std::string stats_json;
+    /** Flat stats-tree text dump (empty unless statsDump() requested). */
+    std::string stats_text;
+};
+
+class SimRequest
+{
+  public:
+    explicit SimRequest(SystemConfig config) : config_(std::move(config))
+    {
+    }
+
+    /** Run raw assembly source (no functional verification). */
+    SimRequest &
+    source(std::string asm_source)
+    {
+        source_ = std::move(asm_source);
+        return *this;
+    }
+
+    /** Run a pre-assembled program (no functional verification). */
+    SimRequest &
+    program(Program prog)
+    {
+        program_ = std::move(prog);
+        return *this;
+    }
+
+    /**
+     * Run a workload; implies verify(true), so a wrong console output
+     * or abnormal exit is fatal and every reported number comes from a
+     * functionally verified run.
+     */
+    SimRequest &
+    workload(Workload wl)
+    {
+        workload_ = std::move(wl);
+        verify_ = true;
+        return *this;
+    }
+
+    /**
+     * Toggle golden-model verification (workload runs only). Disable
+     * for scenario workloads that trap by design.
+     */
+    SimRequest &
+    verify(bool on = true)
+    {
+        verify_ = on;
+        return *this;
+    }
+
+    /**
+     * Sample dotted counter paths under the "system" stats root (e.g.
+     * "core.cycles") into SimOutcome::stats after the run. Paths this
+     * configuration cannot resolve are skipped (campaign grids mix
+     * configs); runCampaign rejects paths that resolve in no row.
+     */
+    SimRequest &
+    stats(std::vector<std::string> paths)
+    {
+        stat_paths_ = std::move(paths);
+        return *this;
+    }
+
+    /** Capture the canonical stats JSON into SimOutcome::stats_json. */
+    SimRequest &
+    statsJson(bool on = true)
+    {
+        stats_json_ = on;
+        return *this;
+    }
+
+    /** Capture the flat stats text dump into SimOutcome::stats_text. */
+    SimRequest &
+    statsDump(bool on = true)
+    {
+        stats_dump_ = on;
+        return *this;
+    }
+
+    /** Attach a Chrome trace-event sink for the run (null = off). */
+    SimRequest &
+    trace(TraceSink *sink)
+    {
+        trace_ = sink;
+        return *this;
+    }
+
+    /** Attach a per-committed-instruction hook. */
+    SimRequest &
+    tracer(Core::Tracer hook)
+    {
+        tracer_ = std::move(hook);
+        return *this;
+    }
+
+    /**
+     * Execute the request. Exactly one of source()/program()/workload()
+     * must have been set; anything else is fatal (a misbuilt experiment
+     * should fail loudly, not fall back to something else).
+     */
+    SimOutcome run();
+
+  private:
+    SystemConfig config_;
+    std::optional<std::string> source_;
+    std::optional<Program> program_;
+    std::optional<Workload> workload_;
+    bool verify_ = false;
+    std::vector<std::string> stat_paths_;
+    bool stats_json_ = false;
+    bool stats_dump_ = false;
+    TraceSink *trace_ = nullptr;
+    Core::Tracer tracer_;
+};
+
+}  // namespace flexcore
+
+#endif  // FLEXCORE_SIM_SIM_REQUEST_H_

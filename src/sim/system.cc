@@ -1,5 +1,9 @@
 #include "sim/system.h"
 
+#include <algorithm>
+#include <cassert>
+
+#include "common/log.h"
 #include "monitors/software.h"
 
 namespace flexcore {
@@ -40,7 +44,10 @@ softwareModelFor(MonitorKind kind)
 System::System(SystemConfig config)
     : config_(std::move(config)), stats_("system")
 {
-    config_.finalize();
+    if (ConfigError error = config_.finalize()) {
+        FLEX_FATAL("invalid system configuration [",
+                   configErrorName(error.code), "]: ", error.message);
+    }
     config_.fabric.histograms = config_.histograms;
     memory_ = std::make_unique<Memory>();
     bus_ = std::make_unique<Bus>(&stats_, config_.sdram);
@@ -118,11 +125,65 @@ System::tick()
     ++now_;
 }
 
+void
+System::fastForward()
+{
+    // Whole-system quiescence: nothing in flight anywhere except the
+    // single condition the core is waiting out.
+    if (core_->halted() || now_ >= config_.max_cycles)
+        return;
+    if (!core_->storeBuffer().empty())
+        return;
+    if (fabric_ && !fabric_->idle())
+        return;
+    if (iface_ && iface_->fifoSize() != 0)
+        return;
+    const Core::IdleStretch stretch = core_->idleStretch();
+    if (stretch.cycles == 0)
+        return;
+    const u64 k = std::min<u64>(stretch.cycles, config_.max_cycles - now_);
+    if (k == 0)
+        return;
+#ifndef NDEBUG
+    // Lockstep verification: single-step the predicted stretch and
+    // assert every cycle charged the predicted bucket. Debug builds
+    // thus prove the bulk path's claim while producing the exact
+    // single-step behavior.
+    const u64 cycles_before = core_->cycles();
+    const u64 bucket_before = core_->cyclesIn(stretch.bucket);
+    for (u64 i = 0; i < k; ++i)
+        tick();
+    assert(core_->cycles() == cycles_before + k &&
+           "fast-forward stretch must advance the core every cycle");
+    assert(core_->cyclesIn(stretch.bucket) == bucket_before + k &&
+           "fast-forward stretch must charge the predicted bucket");
+#else
+    core_->advanceIdle(k, stretch.bucket);
+    bus_->advanceIdle(k);
+    if (fabric_)
+        fabric_->advanceIdle(k);
+    if (iface_ && config_.histograms)
+        iface_->sampleOccupancy(k);
+    now_ += k;
+#endif
+}
+
 RunResult
 System::run()
 {
-    while (!core_->halted() && now_ < config_.max_cycles)
-        tick();
+    if (config_.fast_forward) {
+        while (!core_->halted() && now_ < config_.max_cycles) {
+            tick();
+            // idleCandidate() is a two-branch filter for the same
+            // states idleStretch() can accept, so skipping
+            // fastForward() on other cycles changes nothing.
+            if (core_->idleCandidate())
+                fastForward();
+        }
+    } else {
+        while (!core_->halted() && now_ < config_.max_cycles)
+            tick();
+    }
     core_->flushTrace();
     bus_->flushObservers();
 

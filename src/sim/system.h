@@ -46,7 +46,16 @@ class System
     /** Load a program image and configure the monitor/CFGR. */
     void load(const Program &program);
 
-    /** Run until the program halts, a trap fires, or max_cycles. */
+    /**
+     * Run until the program halts, a trap fires, or max_cycles.
+     * When SystemConfig::fast_forward is set (the default), provably
+     * uneventful stretches — the whole system quiescent while a fixed
+     * stall or a lone SDRAM refill drains — advance in bulk, charging
+     * the exact CycleBuckets the single-step path would; debug builds
+     * verify that claim by single-stepping each predicted stretch
+     * under asserts. Results, stats, and traces are byte-identical
+     * either way (see docs/performance.md).
+     */
     RunResult run();
 
     /** Single-cycle step (for tests). */
@@ -69,6 +78,9 @@ class System
     Cycle cycles() const { return now_; }
 
   private:
+    /** Bulk-skip one quiescent stretch, if the system is in one. */
+    void fastForward();
+
     SystemConfig config_;
     StatGroup stats_;
     std::unique_ptr<Memory> memory_;

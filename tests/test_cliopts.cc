@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Unit tests for the shared command-line parser behind the flexcore
+ * tools: typed value validation, unknown-flag suggestions, repeatable
+ * options, choices, positionals, and --help synthesis.
+ */
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/cliopts.h"
+
+namespace flexcore {
+namespace {
+
+/** argv builder: keeps the strings alive for the parser call. */
+class Argv
+{
+  public:
+    explicit Argv(std::vector<std::string> args)
+        : args_(std::move(args))
+    {
+        ptrs_.push_back(const_cast<char *>("prog"));
+        for (std::string &arg : args_)
+            ptrs_.push_back(arg.data());
+    }
+
+    int argc() const { return static_cast<int>(ptrs_.size()); }
+    char **argv() { return ptrs_.data(); }
+
+  private:
+    std::vector<std::string> args_;
+    std::vector<char *> ptrs_;
+};
+
+TEST(CliOpts, ParsesTypedOptionsAndFlags)
+{
+    bool verbose = false;
+    u32 jobs = 0;
+    u64 cycles = 0;
+    double rate = 0.0;
+    std::string out;
+
+    cli::Parser parser("tool", "test");
+    parser.flag("--verbose", &verbose, "talk more");
+    parser.option("--jobs", &jobs, "N", "worker threads");
+    parser.option("--max-cycles", &cycles, "N", "cycle budget");
+    parser.option("--rate", &rate, "P", "probability");
+    parser.option("--out", &out, "FILE", "output path");
+
+    Argv args({"--verbose", "--jobs", "8", "--max-cycles",
+               "5000000000", "--rate", "1e-5", "--out", "x.json"});
+    std::string error;
+    ASSERT_TRUE(parser.tryParse(args.argc(), args.argv(), &error))
+        << error;
+    EXPECT_TRUE(verbose);
+    EXPECT_EQ(jobs, 8u);
+    EXPECT_EQ(cycles, 5000000000ull);
+    EXPECT_DOUBLE_EQ(rate, 1e-5);
+    EXPECT_EQ(out, "x.json");
+}
+
+TEST(CliOpts, RejectsMalformedNumbers)
+{
+    u32 jobs = 0;
+    cli::Parser parser("tool", "test");
+    parser.option("--jobs", &jobs, "N", "worker threads");
+
+    for (const char *bad : {"nope", "8x", "", "-3"}) {
+        Argv args({"--jobs", bad});
+        std::string error;
+        EXPECT_FALSE(parser.tryParse(args.argc(), args.argv(), &error))
+            << "accepted '" << bad << "'";
+        EXPECT_FALSE(error.empty());
+    }
+}
+
+TEST(CliOpts, UnknownFlagSuggestsNearestName)
+{
+    bool quiet = false;
+    cli::Parser parser("tool", "test");
+    parser.flag("--quiet", &quiet, "hush");
+
+    Argv args({"--qiet"});
+    std::string error;
+    ASSERT_FALSE(parser.tryParse(args.argc(), args.argv(), &error));
+    EXPECT_NE(error.find("--quiet"), std::string::npos) << error;
+}
+
+TEST(CliOpts, ListAppendsEveryOccurrence)
+{
+    std::vector<std::string> stats;
+    cli::Parser parser("tool", "test");
+    parser.list("--stat", &stats, "PATH", "counter path");
+
+    Argv args({"--stat", "core.cycles", "--stat", "bus.busy_cycles"});
+    std::string error;
+    ASSERT_TRUE(parser.tryParse(args.argc(), args.argv(), &error))
+        << error;
+    ASSERT_EQ(stats.size(), 2u);
+    EXPECT_EQ(stats[0], "core.cycles");
+    EXPECT_EQ(stats[1], "bus.busy_cycles");
+}
+
+TEST(CliOpts, ChoiceAppliesIndexAndRejectsOthers)
+{
+    size_t picked = ~size_t{0};
+    cli::Parser parser("tool", "test");
+    parser.choice("--mode", {"baseline", "asic", "flexcore"},
+                  [&](size_t i) { picked = i; }, "impl mode");
+
+    {
+        Argv args({"--mode", "asic"});
+        std::string error;
+        ASSERT_TRUE(parser.tryParse(args.argc(), args.argv(), &error))
+            << error;
+        EXPECT_EQ(picked, 1u);
+    }
+    {
+        Argv args({"--mode", "fpga"});
+        std::string error;
+        EXPECT_FALSE(
+            parser.tryParse(args.argc(), args.argv(), &error));
+        EXPECT_NE(error.find("baseline"), std::string::npos) << error;
+    }
+}
+
+TEST(CliOpts, PositionalRequiredAndCaptured)
+{
+    std::string path;
+    cli::Parser parser("tool", "test");
+    parser.positional("program.s", &path);
+
+    {
+        Argv args({"prog.s"});
+        std::string error;
+        ASSERT_TRUE(parser.tryParse(args.argc(), args.argv(), &error))
+            << error;
+        EXPECT_EQ(path, "prog.s");
+    }
+    {
+        Argv args({});
+        std::string error;
+        EXPECT_FALSE(
+            parser.tryParse(args.argc(), args.argv(), &error));
+    }
+    {
+        Argv args({"a.s", "b.s"});
+        std::string error;
+        EXPECT_FALSE(
+            parser.tryParse(args.argc(), args.argv(), &error));
+    }
+}
+
+TEST(CliOpts, MissingValueIsAnError)
+{
+    std::string out;
+    cli::Parser parser("tool", "test");
+    parser.option("--out", &out, "FILE", "output path");
+
+    Argv args({"--out"});
+    std::string error;
+    EXPECT_FALSE(parser.tryParse(args.argc(), args.argv(), &error));
+    EXPECT_FALSE(error.empty());
+}
+
+TEST(CliOpts, HelpMentionsEveryDeclaredOption)
+{
+    bool flag = false;
+    u32 n = 0;
+    cli::Parser parser("mytool", "does things");
+    parser.flag("--fast", &flag, "go faster");
+    parser.option("--level", &n, "N", "effort level");
+    parser.footer("see docs/perf.md");
+
+    Argv args({"--help"});
+    std::string error;
+    ASSERT_TRUE(parser.tryParse(args.argc(), args.argv(), &error));
+    EXPECT_TRUE(parser.helpRequested());
+    const std::string help = parser.helpText();
+    for (const char *needle :
+         {"mytool", "does things", "--fast", "go faster", "--level",
+          "N", "effort level", "see docs/perf.md"}) {
+        EXPECT_NE(help.find(needle), std::string::npos)
+            << "help is missing '" << needle << "':\n"
+            << help;
+    }
+}
+
+}  // namespace
+}  // namespace flexcore

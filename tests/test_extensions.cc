@@ -9,7 +9,7 @@
 
 #include "assembler/assembler.h"
 #include "monitors/dift.h"
-#include "sim/runner.h"
+#include "sim/sim_request.h"
 #include "sim/system.h"
 
 namespace flexcore {
@@ -144,12 +144,12 @@ TEST(MetaTlb, DisabledByDefaultMatchesPrototype)
     SystemConfig config;
     config.monitor = MonitorKind::kDift;
     config.mode = ImplMode::kFlexFabric;
-    const SimOutcome base = runWorkloadChecked(w, config);
+    const SimOutcome base = SimRequest(config).workload(w).run();
 
     SystemConfig with_tlb = config;
     with_tlb.fabric.tlb.enabled = true;
     with_tlb.fabric.tlb.entries = 16;
-    const SimOutcome tlb = runWorkloadChecked(w, with_tlb);
+    const SimOutcome tlb = SimRequest(with_tlb).workload(w).run();
 
     // Translation adds walks, so the TLB run can only be slower.
     EXPECT_GE(tlb.result.cycles, base.result.cycles);
@@ -200,11 +200,11 @@ TEST(PreciseExceptions, CostMoreThanImprecise)
     SystemConfig imprecise;
     imprecise.monitor = MonitorKind::kDift;
     imprecise.mode = ImplMode::kFlexFabric;
-    const SimOutcome fast = runWorkloadChecked(w, imprecise);
+    const SimOutcome fast = SimRequest(imprecise).workload(w).run();
 
     SystemConfig precise = imprecise;
     precise.precise_exceptions = true;
-    const SimOutcome slow = runWorkloadChecked(w, precise);
+    const SimOutcome slow = SimRequest(precise).workload(w).run();
 
     // Waiting for CACK on every forwarded instruction costs at least
     // the pipeline depth each time: a large, measurable gap.
@@ -218,7 +218,7 @@ TEST(PreciseExceptions, StillFunctionallyCorrect)
         config.monitor = MonitorKind::kUmc;
         config.mode = ImplMode::kFlexFabric;
         config.precise_exceptions = true;
-        const SimOutcome outcome = runWorkloadChecked(w, config);
+        const SimOutcome outcome = SimRequest(config).workload(w).run();
         EXPECT_EQ(outcome.result.exit, RunResult::Exit::kExited)
             << w.name;
     }

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Fast-forward differential tests: the quiescence fast-forward in
+ * System::run() must be an invisible optimization. Every observable
+ * surface — the RunResult, the canonical stats JSON bytes, and the
+ * full commit-trace hash — must be byte-identical with fast-forward
+ * on and off, for clean exits and for trapping runs, with and without
+ * a monitor on the fabric. (Debug builds additionally verify every
+ * fast-forwarded stretch by lockstep single-stepping inside
+ * System::fastForward.)
+ */
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "isa/encoding.h"
+#include "sim/sim_request.h"
+
+namespace flexcore {
+namespace {
+
+std::string
+readProgram(const char *name)
+{
+    const std::string path =
+        std::string(FLEXCORE_TEST_DATA_DIR "/../../programs/") + name;
+    std::ifstream file(path);
+    EXPECT_TRUE(file.is_open()) << "cannot open " << path;
+    std::stringstream source;
+    source << file.rdbuf();
+    return source.str();
+}
+
+struct Observed
+{
+    RunResult result;
+    std::string stats_json;
+    u64 trace_hash = 0;
+};
+
+Observed
+observe(const std::string &source, MonitorKind monitor,
+        bool fast_forward)
+{
+    SystemConfig config;
+    config.monitor = monitor;
+    config.mode = monitor == MonitorKind::kNone ? ImplMode::kBaseline
+                                                : ImplMode::kFlexFabric;
+    config.fast_forward = fast_forward;
+    config.histograms = true;   // exercise bulk histogram sampling
+    config.max_cycles = 2'000'000;
+
+    u64 hash = 0xcbf29ce484222325ull;
+    const auto mix = [&hash](u64 value) {
+        for (unsigned i = 0; i < 8; ++i) {
+            hash ^= (value >> (8 * i)) & 0xff;
+            hash *= 0x100000001b3ull;
+        }
+    };
+
+    Observed obs;
+    SimOutcome outcome =
+        SimRequest(config)
+            .source(source)
+            .statsJson()
+            .tracer([&](Cycle cycle, Addr pc, const Instruction &inst) {
+                mix(cycle);
+                mix(pc);
+                mix(encode(inst));
+            })
+            .run();
+    obs.result = std::move(outcome.result);
+    obs.stats_json = std::move(outcome.stats_json);
+    obs.trace_hash = hash;
+    return obs;
+}
+
+class FastForwardDifferential
+    : public ::testing::TestWithParam<
+          std::tuple<const char *, MonitorKind>>
+{
+};
+
+TEST_P(FastForwardDifferential, OnAndOffAreByteIdentical)
+{
+    const auto [program, monitor] = GetParam();
+    const std::string source = readProgram(program);
+    ASSERT_FALSE(source.empty());
+
+    const Observed on = observe(source, monitor, true);
+    const Observed off = observe(source, monitor, false);
+
+    EXPECT_EQ(on.result.exit, off.result.exit);
+    EXPECT_EQ(on.result.exit_code, off.result.exit_code);
+    EXPECT_EQ(on.result.cycles, off.result.cycles);
+    EXPECT_EQ(on.result.instructions, off.result.instructions);
+    EXPECT_EQ(on.result.console, off.result.console);
+    EXPECT_EQ(on.result.trap_reason, off.result.trap_reason);
+    EXPECT_EQ(on.result.trap.pc, off.result.trap.pc);
+    EXPECT_EQ(on.trace_hash, off.trace_hash);
+    // The strongest check: every counter, histogram bin, and formula
+    // in the whole stats tree, byte for byte.
+    EXPECT_EQ(on.stats_json, off.stats_json);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ProgramsByMonitor, FastForwardDifferential,
+    ::testing::Combine(::testing::Values("fibonacci.s",
+                                         "overflow_attack.s"),
+                       ::testing::Values(MonitorKind::kNone,
+                                         MonitorKind::kUmc,
+                                         MonitorKind::kDift,
+                                         MonitorKind::kBc)),
+    [](const auto &info) {
+        std::string name = std::get<0>(info.param);
+        name = name.substr(0, name.find('.'));
+        name += '_';
+        name += monitorKindName(std::get<1>(info.param));
+        return name;
+    });
+
+/** Fast-forward must respect a max-cycles budget exactly. */
+TEST(FastForward, MaxCyclesBudgetIsExact)
+{
+    const std::string source = readProgram("fibonacci.s");
+    for (const u64 budget : {100ull, 1001ull, 4242ull}) {
+        SystemConfig on;
+        on.max_cycles = budget;
+        SystemConfig off;
+        off.max_cycles = budget;
+        off.fast_forward = false;
+        const SimOutcome a = SimRequest(on).source(source).run();
+        const SimOutcome b = SimRequest(off).source(source).run();
+        EXPECT_EQ(a.result.exit, RunResult::Exit::kMaxCycles);
+        EXPECT_EQ(a.result.cycles, b.result.cycles) << budget;
+        EXPECT_EQ(a.result.instructions, b.result.instructions)
+            << budget;
+    }
+}
+
+}  // namespace
+}  // namespace flexcore

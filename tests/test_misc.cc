@@ -9,7 +9,7 @@
 
 #include "assembler/program.h"
 #include "monitors/monitor.h"
-#include "sim/runner.h"
+#include "sim/sim_request.h"
 #include "synth/extension_synth.h"
 
 namespace flexcore {
@@ -19,7 +19,7 @@ TEST(Qsort, SortsCorrectlyOnBaseline)
 {
     const Workload w = makeQsort(WorkloadScale::kTest);
     SystemConfig config;
-    const SimOutcome outcome = runWorkloadChecked(w, config);
+    const SimOutcome outcome = SimRequest(config).workload(w).run();
     EXPECT_EQ(outcome.result.exit, RunResult::Exit::kExited);
     // The golden console ends with the sortedness flag "1".
     EXPECT_NE(w.expected_console.find("\n1\n"), std::string::npos);
@@ -35,9 +35,9 @@ TEST_P(QsortUnderMonitor, DeepRecursionSpillsStayCorrect)
     SystemConfig config;
     config.monitor = GetParam();
     config.mode = ImplMode::kFlexFabric;
-    // runWorkloadChecked fatals on any output mismatch: a single
+    // SimRequest::run() fatals on any output mismatch: a single
     // corrupted spill/fill under monitoring would show up here.
-    const SimOutcome outcome = runWorkloadChecked(w, config);
+    const SimOutcome outcome = SimRequest(config).workload(w).run();
     EXPECT_EQ(outcome.result.exit, RunResult::Exit::kExited);
 }
 
@@ -193,13 +193,13 @@ TEST(AsicVsFabric, AsicIsAtLeastAsFastAsOneXFabric)
     SystemConfig asic;
     asic.monitor = MonitorKind::kDift;
     asic.mode = ImplMode::kAsic;
-    const SimOutcome a = runWorkloadChecked(w, asic);
+    const SimOutcome a = SimRequest(asic).workload(w).run();
 
     SystemConfig flex1x;
     flex1x.monitor = MonitorKind::kDift;
     flex1x.mode = ImplMode::kFlexFabric;
     flex1x.flex_period = 1;
-    const SimOutcome f = runWorkloadChecked(w, flex1x);
+    const SimOutcome f = SimRequest(flex1x).workload(w).run();
 
     EXPECT_LE(a.result.cycles, f.result.cycles);
     EXPECT_EQ(a.forwarded, f.forwarded);

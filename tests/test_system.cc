@@ -9,8 +9,10 @@
 #include <gtest/gtest.h>
 
 #include "assembler/assembler.h"
+#include "common/stats.h"
 #include "sim/runner.h"
 #include "workloads/scenarios.h"
+#include "workloads/workload.h"
 
 namespace flexcore {
 namespace {
@@ -195,12 +197,12 @@ TEST(Runner, GeomeanBasics)
     EXPECT_NEAR(geomean({2.0, 2.0, 2.0}), 2.0, 1e-12);
 }
 
-TEST(Runner, RunSourceReportsForwardingStats)
+TEST(Runner, SimRequestSourceReportsForwardingStats)
 {
     SystemConfig config;
     config.monitor = MonitorKind::kUmc;
     config.mode = ImplMode::kFlexFabric;
-    const SimOutcome outcome = runSource(R"(
+    const SimOutcome outcome = SimRequest(config).source(R"(
         .org 0x1000
 _start: set buf, %l0
         st %g0, [%l0]
@@ -209,13 +211,48 @@ _start: set buf, %l0
         nop
         .align 4
 buf:    .word 0
-)",
-                                         config);
+)").run();
     EXPECT_EQ(outcome.result.exit, RunResult::Exit::kExited);
     EXPECT_EQ(outcome.forwarded, 2u);   // the store and the load
     EXPECT_GT(outcome.fwd_fraction, 0.0);
     EXPECT_LT(outcome.fwd_fraction, 1.0);
 }
+
+// The migration shims must stay behaviorally identical to the
+// SimRequest calls they forward to, for as long as they exist.
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#endif
+
+TEST(Runner, DeprecatedShimsMatchSimRequest)
+{
+    const Workload w = makeBitcount(WorkloadScale::kTest);
+    SystemConfig config;
+    config.monitor = MonitorKind::kDift;
+    config.mode = ImplMode::kFlexFabric;
+
+    const SimOutcome shim =
+        runWorkloadChecked(w, config, {"core.cycles"});
+    const SimOutcome direct = SimRequest(config)
+                                  .workload(w)
+                                  .stats({"core.cycles"})
+                                  .run();
+    EXPECT_EQ(shim.result.cycles, direct.result.cycles);
+    EXPECT_EQ(shim.result.instructions, direct.result.instructions);
+    EXPECT_EQ(shim.forwarded, direct.forwarded);
+    EXPECT_EQ(shim.meta_misses, direct.meta_misses);
+    ASSERT_EQ(shim.stats.size(), 1u);
+    ASSERT_EQ(direct.stats.size(), 1u);
+    EXPECT_EQ(shim.stats[0], direct.stats[0]);
+
+    const SimOutcome src = runSource(w.source, config);
+    EXPECT_EQ(src.result.cycles, direct.result.cycles);
+}
+
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
 
 }  // namespace
 }  // namespace flexcore

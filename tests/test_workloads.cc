@@ -8,7 +8,7 @@
 
 #include <gtest/gtest.h>
 
-#include "sim/runner.h"
+#include "sim/sim_request.h"
 
 namespace flexcore {
 namespace {
@@ -50,9 +50,9 @@ TEST_P(WorkloadMatrix, GoldenOutputUnderMonitoring)
     SystemConfig config;
     config.monitor = c.monitor;
     config.mode = c.mode;
-    // runWorkloadChecked fatals on functional mismatch; reaching the
+    // the verified SimRequest fatals on functional mismatch; reaching the
     // return value means console output matched the golden model.
-    const SimOutcome outcome = runWorkloadChecked(workload, config);
+    const SimOutcome outcome = SimRequest(config).workload(workload).run();
     EXPECT_EQ(outcome.result.exit, RunResult::Exit::kExited);
     if (c.mode == ImplMode::kAsic || c.mode == ImplMode::kFlexFabric) {
         EXPECT_GT(outcome.forwarded, 0u);
@@ -83,13 +83,13 @@ TEST(Workloads, MonitoredRunsAreNeverFaster)
 {
     for (const Workload &w : benchmarkSuite(WorkloadScale::kTest)) {
         SystemConfig base;
-        const u64 baseline = runWorkloadChecked(w, base).result.cycles;
+        const u64 baseline = SimRequest(base).workload(w).run().result.cycles;
         for (MonitorKind kind : {MonitorKind::kUmc, MonitorKind::kDift,
                                  MonitorKind::kBc, MonitorKind::kSec}) {
             SystemConfig flex;
             flex.monitor = kind;
             flex.mode = ImplMode::kFlexFabric;
-            EXPECT_GE(runWorkloadChecked(w, flex).result.cycles,
+            EXPECT_GE(SimRequest(flex).workload(w).run().result.cycles,
                       baseline)
                 << w.name << " " << monitorKindName(kind);
         }
@@ -105,7 +105,7 @@ TEST(Workloads, SlowerFabricNeverFaster)
         config.monitor = MonitorKind::kDift;
         config.mode = ImplMode::kFlexFabric;
         config.flex_period = period;
-        const u64 cycles = runWorkloadChecked(w, config).result.cycles;
+        const u64 cycles = SimRequest(config).workload(w).run().result.cycles;
         EXPECT_GE(cycles, prev) << "period " << period;
         prev = cycles;
     }
@@ -133,8 +133,8 @@ TEST(Workloads, DeterministicAcrossRuns)
     SystemConfig config;
     config.monitor = MonitorKind::kBc;
     config.mode = ImplMode::kFlexFabric;
-    const SimOutcome a = runWorkloadChecked(w, config);
-    const SimOutcome b = runWorkloadChecked(w, config);
+    const SimOutcome a = SimRequest(config).workload(w).run();
+    const SimOutcome b = SimRequest(config).workload(w).run();
     EXPECT_EQ(a.result.cycles, b.result.cycles);
     EXPECT_EQ(a.forwarded, b.forwarded);
     EXPECT_EQ(a.meta_misses, b.meta_misses);

@@ -13,6 +13,7 @@
 #include <string>
 
 #include "assembler/assembler.h"
+#include "common/cliopts.h"
 #include "isa/disasm.h"
 
 using namespace flexcore;
@@ -23,26 +24,13 @@ main(int argc, char **argv)
     bool hex = false;
     bool symbols = false;
     std::string path;
-    for (int i = 1; i < argc; ++i) {
-        const std::string arg = argv[i];
-        if (arg == "--hex")
-            hex = true;
-        else if (arg == "--symbols")
-            symbols = true;
-        else if (arg == "--help" || arg == "-h") {
-            std::fprintf(stderr,
-                         "usage: flexcore-asm [--hex|--symbols] "
-                         "program.s\n");
-            return 0;
-        } else {
-            path = arg;
-        }
-    }
-    if (path.empty()) {
-        std::fprintf(stderr, "usage: flexcore-asm [--hex|--symbols] "
-                             "program.s\n");
-        return 2;
-    }
+
+    cli::Parser parser("flexcore-asm",
+                       "assemble a SPARC-subset program");
+    parser.flag("--hex", &hex, "emit one hex word per line");
+    parser.flag("--symbols", &symbols, "emit the symbol table");
+    parser.positional("program.s", &path);
+    parser.parseOrExit(argc, argv);
 
     std::ifstream file(path);
     if (!file) {

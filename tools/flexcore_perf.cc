@@ -1,0 +1,203 @@
+/**
+ * @file
+ * flexcore-perf: host-throughput benchmark of the simulator itself.
+ * Runs a fixed matrix — {baseline, UMC, DIFT, BC on the fabric} ×
+ * {sha, basicmath} — and reports, per configuration, how fast the
+ * *host* simulates: simulated cycles per host second and host MIPS
+ * (simulated instructions per host second). The matrix is the one the
+ * tracked BENCH_perf.json baseline was recorded with, so any run on
+ * the same host is directly comparable against the checked-in
+ * reference (see docs/performance.md).
+ *
+ *   flexcore-perf                        # full scale, best of 2 reps
+ *   flexcore-perf --quick                # test scale, 1 rep (CI smoke)
+ *   flexcore-perf --out BENCH_perf.json --reps 3
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/cliopts.h"
+#include "common/log.h"
+#include "sim/sim_request.h"
+
+using namespace flexcore;
+
+namespace {
+
+struct MatrixRow
+{
+    MonitorKind monitor;
+    ImplMode mode;
+    const char *name;
+};
+
+constexpr MatrixRow kMatrix[] = {
+    {MonitorKind::kNone, ImplMode::kBaseline, "baseline"},
+    {MonitorKind::kUmc, ImplMode::kFlexFabric, "umc"},
+    {MonitorKind::kDift, ImplMode::kFlexFabric, "dift"},
+    {MonitorKind::kBc, ImplMode::kFlexFabric, "bc"},
+};
+
+/**
+ * Pre-overhaul reference throughput (cycles/sec), full scale, best of
+ * 2, recorded on the CI reference host immediately before the µop
+ * cache + fast-forward change landed. The acceptance bar for that
+ * change was dift >= 1.5x this number. Quick-scale runs and different
+ * hosts are NOT comparable; rerecord when the host changes.
+ */
+constexpr struct
+{
+    const char *name;
+    double cycles_per_sec;
+} kPreChangeReference[] = {
+    {"baseline", 23214294.0},
+    {"umc", 21865116.0},
+    {"dift", 16194094.0},
+    {"bc", 15735825.0},
+};
+
+struct RowResult
+{
+    std::string name;
+    u64 cycles = 0;
+    u64 instructions = 0;
+    double host_seconds = 0;
+    double cycles_per_sec = 0;
+    double host_mips = 0;
+};
+
+}  // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool quick = false;
+    u32 reps = 0;
+    std::string out_path = "BENCH_perf.json";
+    bool no_json = false;
+
+    cli::Parser parser("flexcore-perf",
+                       "benchmark the simulator's host throughput");
+    parser.flag("--quick", &quick,
+                "test-scale workloads, 1 rep (smoke; numbers are not "
+                "comparable with the tracked full-scale baseline)");
+    parser.option("--reps", &reps, "N",
+                  "repetitions per row, best wins (default: 2 full, "
+                  "1 quick)");
+    parser.option("--out", &out_path, "FILE",
+                  "result JSON path (default BENCH_perf.json)");
+    parser.flag("--no-json", &no_json, "disable the JSON output");
+    bool no_fast_forward = false;
+    parser.flag("--no-fast-forward", &no_fast_forward,
+                "measure with quiescence fast-forwarding disabled "
+                "(isolates its contribution)");
+    parser.parseOrExit(argc, argv);
+
+    const WorkloadScale scale =
+        quick ? WorkloadScale::kTest : WorkloadScale::kFull;
+    if (reps == 0)
+        reps = quick ? 1 : 2;
+    const std::vector<Workload> programs = {makeSha(scale),
+                                            makeBasicmath(scale)};
+
+    std::printf("%-10s %12s %12s %9s %16s %10s\n", "config", "cycles",
+                "insts", "host_s", "cycles/sec", "host MIPS");
+    std::vector<RowResult> results;
+    for (const MatrixRow &row : kMatrix) {
+        RowResult r;
+        r.name = row.name;
+        for (u32 rep = 0; rep < reps; ++rep) {
+            u64 cycles = 0;
+            u64 insts = 0;
+            const auto t0 = std::chrono::steady_clock::now();
+            for (const Workload &w : programs) {
+                SystemConfig config;
+                config.monitor = row.monitor;
+                config.mode = row.mode;
+                config.fast_forward = !no_fast_forward;
+                const SimOutcome out =
+                    SimRequest(std::move(config)).workload(w).run();
+                cycles += out.result.cycles;
+                insts += out.result.instructions;
+            }
+            const double sec =
+                std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+            const double cps = static_cast<double>(cycles) / sec;
+            if (cps > r.cycles_per_sec) {
+                r.cycles = cycles;
+                r.instructions = insts;
+                r.host_seconds = sec;
+                r.cycles_per_sec = cps;
+                r.host_mips =
+                    static_cast<double>(insts) / sec / 1e6;
+            }
+        }
+        std::printf("%-10s %12llu %12llu %9.3f %16.0f %10.3f\n",
+                    r.name.c_str(),
+                    static_cast<unsigned long long>(r.cycles),
+                    static_cast<unsigned long long>(r.instructions),
+                    r.host_seconds, r.cycles_per_sec, r.host_mips);
+        std::fflush(stdout);
+        results.push_back(std::move(r));
+    }
+
+    if (!quick) {
+        std::printf("\nspeedup vs pre-overhaul reference (same-host "
+                    "full-scale baseline):\n");
+        for (const RowResult &r : results) {
+            for (const auto &ref : kPreChangeReference) {
+                if (r.name == ref.name) {
+                    std::printf("  %-10s %5.2fx\n", r.name.c_str(),
+                                r.cycles_per_sec / ref.cycles_per_sec);
+                }
+            }
+        }
+    }
+
+    if (no_json)
+        return 0;
+    std::string json;
+    json += "{\n  \"bench\": \"perf\",\n  \"scale\": \"";
+    json += quick ? "test" : "full";
+    json += "\",\n  \"reps\": " + std::to_string(reps);
+    json += ",\n  \"reference\": [\n";
+    for (size_t i = 0; i < std::size(kPreChangeReference); ++i) {
+        char buf[128];
+        std::snprintf(buf, sizeof(buf),
+                      "    {\"config\": \"%s\", \"cycles_per_sec\": "
+                      "%.0f}%s\n",
+                      kPreChangeReference[i].name,
+                      kPreChangeReference[i].cycles_per_sec,
+                      i + 1 < std::size(kPreChangeReference) ? "," : "");
+        json += buf;
+    }
+    json += "  ],\n  \"results\": [\n";
+    for (size_t i = 0; i < results.size(); ++i) {
+        const RowResult &r = results[i];
+        char buf[256];
+        std::snprintf(
+            buf, sizeof(buf),
+            "    {\"config\": \"%s\", \"cycles\": %llu, "
+            "\"instructions\": %llu, \"host_seconds\": %.6f, "
+            "\"cycles_per_sec\": %.0f, \"host_mips\": %.3f}%s\n",
+            r.name.c_str(), static_cast<unsigned long long>(r.cycles),
+            static_cast<unsigned long long>(r.instructions),
+            r.host_seconds, r.cycles_per_sec, r.host_mips,
+            i + 1 < results.size() ? "," : "");
+        json += buf;
+    }
+    json += "  ]\n}\n";
+    std::FILE *out = std::fopen(out_path.c_str(), "w");
+    if (!out)
+        FLEX_FATAL("cannot open '", out_path, "' for writing");
+    std::fwrite(json.data(), 1, json.size(), out);
+    std::fclose(out);
+    std::fprintf(stderr, "[flexcore-perf] wrote %s\n",
+                 out_path.c_str());
+    return 0;
+}

@@ -13,78 +13,16 @@
  */
 
 #include <cstdio>
-#include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
 
 #include "assembler/assembler.h"
-#include "common/log.h"
+#include "common/cliopts.h"
 #include "isa/disasm.h"
-#include "sim/system.h"
+#include "sim/sim_request.h"
 
 using namespace flexcore;
-
-namespace {
-
-void
-usage()
-{
-    std::fprintf(stderr,
-                 "usage: flexcore-run [options] program.s\n"
-                 "  --monitor none|umc|dift|bc|sec   extension "
-                 "(default none)\n"
-                 "  --mode baseline|asic|flexcore|software\n"
-                 "  --period N        fabric clock divisor "
-                 "(default: per-extension)\n"
-                 "  --fifo N          forward FIFO depth (default 64)\n"
-                 "  --mcache BYTES    meta-data cache size "
-                 "(default 4096)\n"
-                 "  --dift-bits N     DIFT taint width (1 or 4)\n"
-                 "  --precise         precise monitor exceptions\n"
-                 "  --fault-rate P    ALU transient-fault probability\n"
-                 "  --max-cycles N    simulation cycle limit\n"
-                 "  --stats           dump the statistics tree\n"
-                 "  --stats-json F    write the statistics tree to F as "
-                 "canonical JSON\n"
-                 "  --trace           print every committed instruction\n"
-                 "  --trace-json F    write a Chrome trace-event file "
-                 "to F (open in\n"
-                 "                    Perfetto or chrome://tracing)\n"
-                 "  --quiet           suppress the run summary\n"
-                 "\n"
-                 "Streams: the simulated program's console output goes "
-                 "to stdout\n"
-                 "(flushed first); the run summary, --stats dump, and "
-                 "--trace\n"
-                 "disassembly go to stderr, so stdout stays clean for "
-                 "piping.\n");
-}
-
-bool
-parseMonitor(const std::string &name, MonitorKind *kind)
-{
-    if (name == "none") *kind = MonitorKind::kNone;
-    else if (name == "umc") *kind = MonitorKind::kUmc;
-    else if (name == "dift") *kind = MonitorKind::kDift;
-    else if (name == "bc") *kind = MonitorKind::kBc;
-    else if (name == "sec") *kind = MonitorKind::kSec;
-    else return false;
-    return true;
-}
-
-bool
-parseMode(const std::string &name, ImplMode *mode)
-{
-    if (name == "baseline") *mode = ImplMode::kBaseline;
-    else if (name == "asic") *mode = ImplMode::kAsic;
-    else if (name == "flexcore") *mode = ImplMode::kFlexFabric;
-    else if (name == "software") *mode = ImplMode::kSoftware;
-    else return false;
-    return true;
-}
-
-}  // namespace
 
 int
 main(int argc, char **argv)
@@ -94,72 +32,68 @@ main(int argc, char **argv)
     bool dump_stats = false;
     bool trace = false;
     bool quiet = false;
+    bool no_fast_forward = false;
     std::string path;
     std::string stats_json_path;
     std::string trace_json_path;
 
-    for (int i = 1; i < argc; ++i) {
-        const std::string arg = argv[i];
-        auto next = [&]() -> const char * {
-            if (i + 1 >= argc) {
-                usage();
-                std::exit(2);
-            }
-            return argv[++i];
-        };
-        if (arg == "--monitor") {
-            if (!parseMonitor(next(), &config.monitor)) {
-                usage();
-                return 2;
-            }
-        } else if (arg == "--mode") {
-            if (!parseMode(next(), &config.mode)) {
-                usage();
-                return 2;
-            }
-            mode_given = true;
-        } else if (arg == "--period") {
-            config.flex_period = std::strtoul(next(), nullptr, 0);
-        } else if (arg == "--fifo") {
-            config.iface.fifo_depth = std::strtoul(next(), nullptr, 0);
-        } else if (arg == "--mcache") {
-            config.fabric.meta_cache.size_bytes =
-                std::strtoul(next(), nullptr, 0);
-        } else if (arg == "--dift-bits") {
-            config.dift_tag_bits = std::strtoul(next(), nullptr, 0);
-        } else if (arg == "--precise") {
-            config.precise_exceptions = true;
-        } else if (arg == "--fault-rate") {
-            config.fault_rate = std::strtod(next(), nullptr);
-        } else if (arg == "--max-cycles") {
-            config.max_cycles = std::strtoull(next(), nullptr, 0);
-        } else if (arg == "--stats") {
-            dump_stats = true;
-        } else if (arg == "--stats-json") {
-            stats_json_path = next();
-        } else if (arg == "--trace") {
-            trace = true;
-        } else if (arg == "--trace-json") {
-            trace_json_path = next();
-        } else if (arg == "--quiet") {
-            quiet = true;
-        } else if (arg == "--help" || arg == "-h") {
-            usage();
-            return 0;
-        } else if (!arg.empty() && arg[0] == '-') {
-            std::fprintf(stderr, "unknown option %s\n", arg.c_str());
-            usage();
-            return 2;
-        } else {
-            path = arg;
-        }
-    }
-    if (path.empty()) {
-        usage();
-        return 2;
-    }
+    cli::Parser parser("flexcore-run",
+                       "assemble and run a SPARC-subset program");
+    parser.choice("--monitor", {"none", "umc", "dift", "bc", "sec"},
+                  [&](size_t i) {
+                      static const MonitorKind kinds[] = {
+                          MonitorKind::kNone, MonitorKind::kUmc,
+                          MonitorKind::kDift, MonitorKind::kBc,
+                          MonitorKind::kSec};
+                      config.monitor = kinds[i];
+                  },
+                  "monitoring extension (default none)");
+    parser.choice("--mode", {"baseline", "asic", "flexcore", "software"},
+                  [&](size_t i) {
+                      static const ImplMode modes[] = {
+                          ImplMode::kBaseline, ImplMode::kAsic,
+                          ImplMode::kFlexFabric, ImplMode::kSoftware};
+                      config.mode = modes[i];
+                      mode_given = true;
+                  },
+                  "implementation mode (default flexcore when a "
+                  "monitor is set)");
+    parser.option("--period", &config.flex_period, "N",
+                  "fabric clock divisor (default: per-extension)");
+    parser.option("--fifo", &config.iface.fifo_depth, "N",
+                  "forward FIFO depth (default 64)");
+    parser.option("--mcache", &config.fabric.meta_cache.size_bytes,
+                  "BYTES", "meta-data cache size (default 4096)");
+    parser.option("--dift-bits", &config.dift_tag_bits, "N",
+                  "DIFT taint width (1 or 4)");
+    parser.flag("--precise", &config.precise_exceptions,
+                "precise monitor exceptions");
+    parser.option("--fault-rate", &config.fault_rate, "P",
+                  "ALU transient-fault probability");
+    parser.option("--max-cycles", &config.max_cycles, "N",
+                  "simulation cycle limit");
+    parser.flag("--stats", &dump_stats, "dump the statistics tree");
+    parser.option("--stats-json", &stats_json_path, "FILE",
+                  "write the statistics tree to FILE as canonical JSON");
+    parser.flag("--trace", &trace, "print every committed instruction");
+    parser.option("--trace-json", &trace_json_path, "FILE",
+                  "write a Chrome trace-event file to FILE (open in "
+                  "Perfetto or chrome://tracing)");
+    parser.flag("--no-fast-forward", &no_fast_forward,
+                "disable quiescent-stretch fast-forwarding (results are "
+                "identical either way; this exists to prove it)");
+    parser.flag("--quiet", &quiet, "suppress the run summary");
+    parser.positional("program.s", &path);
+    parser.footer(
+        "Streams: the simulated program's console output goes to stdout\n"
+        "(flushed first); the run summary, --stats dump, and --trace\n"
+        "disassembly go to stderr, so stdout stays clean for piping.\n");
+    parser.parseOrExit(argc, argv);
+
     if (config.monitor != MonitorKind::kNone && !mode_given)
         config.mode = ImplMode::kFlexFabric;
+    if (no_fast_forward)
+        config.fast_forward = false;
 
     std::ifstream file(path);
     if (!file) {
@@ -182,20 +116,25 @@ main(int argc, char **argv)
     if (!stats_json_path.empty() || !trace_json_path.empty())
         config.histograms = true;
 
-    System system(config);
-    system.load(program);
+    SimRequest request(config);
+    request.program(std::move(program));
     TraceSink sink;
     if (!trace_json_path.empty())
-        system.attachTrace(&sink);
+        request.trace(&sink);
     if (trace) {
-        system.core().setTracer(
+        request.tracer(
             [](Cycle cycle, Addr pc, const Instruction &inst) {
                 std::fprintf(stderr, "%10llu  0x%08x  %s\n",
                              static_cast<unsigned long long>(cycle), pc,
                              disassemble(inst, pc).c_str());
             });
     }
-    const RunResult result = system.run();
+    if (!stats_json_path.empty())
+        request.statsJson();
+    if (dump_stats)
+        request.statsDump();
+    const SimOutcome outcome = request.run();
+    const RunResult &result = outcome.result;
 
     std::fputs(result.console.c_str(), stdout);
     // Flush the program's console before any stderr reporting so the
@@ -223,7 +162,7 @@ main(int argc, char **argv)
         std::fprintf(stderr, "\n");
     }
     if (dump_stats)
-        std::fputs(system.stats().dump().c_str(), stderr);
+        std::fputs(outcome.stats_text.c_str(), stderr);
     if (!stats_json_path.empty()) {
         std::FILE *out = std::fopen(stats_json_path.c_str(), "w");
         if (!out) {
@@ -231,8 +170,8 @@ main(int argc, char **argv)
                          stats_json_path.c_str());
             return 2;
         }
-        const std::string json = system.stats().json();
-        std::fwrite(json.data(), 1, json.size(), out);
+        std::fwrite(outcome.stats_json.data(), 1,
+                    outcome.stats_json.size(), out);
         std::fclose(out);
     }
     if (!trace_json_path.empty())

@@ -14,11 +14,11 @@
 
 #include <chrono>
 #include <cstdio>
-#include <cstring>
 #include <string>
 
 #include <unistd.h>
 
+#include "common/cliopts.h"
 #include "common/log.h"
 #include "common/threadpool.h"
 #include "sim/campaign.h"
@@ -26,26 +26,6 @@
 using namespace flexcore;
 
 namespace {
-
-void
-usage()
-{
-    std::fprintf(
-        stderr,
-        "usage: flexcore-sweep [options]\n"
-        "  --grid table4|fifo|cache   sweep grid (default table4)\n"
-        "  --scale full|test          workload input size "
-        "(default full)\n"
-        "  --jobs N                   worker threads (default: all "
-        "hardware threads)\n"
-        "  --out FILE                 write merged JSON (default "
-        "sweep.json)\n"
-        "  --stat PATH                embed this dotted counter path "
-        "(e.g.\n"
-        "                             core.cycles) in every result row; "
-        "repeatable\n"
-        "  --no-progress              disable the live progress line\n");
-}
 
 SweepSpec
 makeGrid(const std::string &grid, WorkloadScale scale)
@@ -90,46 +70,39 @@ main(int argc, char **argv)
     CampaignOptions options;
     options.progress = isatty(STDERR_FILENO);
     std::string out = "sweep.json";
+    bool no_progress = false;
+    u32 jobs_opt = 0;
 
-    for (int i = 1; i < argc; ++i) {
-        const std::string arg = argv[i];
-        auto next = [&]() -> const char * {
-            if (i + 1 >= argc) {
-                usage();
-                std::exit(2);
-            }
-            return argv[++i];
-        };
-        if (arg == "--grid") {
-            grid = next();
-        } else if (arg == "--scale") {
-            const std::string name = next();
-            if (name == "full") {
-                scale = WorkloadScale::kFull;
-            } else if (name == "test") {
-                scale = WorkloadScale::kTest;
-            } else {
-                usage();
-                return 2;
-            }
-        } else if (arg == "--jobs") {
-            options.jobs =
-                static_cast<unsigned>(std::strtoul(next(), nullptr, 0));
-        } else if (arg == "--out") {
-            out = next();
-        } else if (arg == "--stat") {
-            options.stat_paths.push_back(next());
-        } else if (arg == "--no-progress") {
-            options.progress = false;
-        } else if (arg == "--help" || arg == "-h") {
-            usage();
-            return 0;
-        } else {
-            std::fprintf(stderr, "unknown option %s\n", arg.c_str());
-            usage();
-            return 2;
-        }
-    }
+    cli::Parser parser("flexcore-sweep",
+                       "run a design-space campaign");
+    parser.choice("--grid", {"table4", "fifo", "cache"},
+                  [&](size_t i) {
+                      static const char *const names[] = {"table4",
+                                                          "fifo",
+                                                          "cache"};
+                      grid = names[i];
+                  },
+                  "sweep grid (default table4)");
+    parser.choice("--scale", {"full", "test"},
+                  [&](size_t i) {
+                      scale = i == 0 ? WorkloadScale::kFull
+                                     : WorkloadScale::kTest;
+                  },
+                  "workload input size (default full)");
+    parser.option("--jobs", &jobs_opt, "N",
+                  "worker threads (default: all hardware threads)");
+    parser.option("--out", &out, "FILE",
+                  "write merged JSON (default sweep.json)");
+    parser.list("--stat", &options.stat_paths, "PATH",
+                "embed this dotted counter path (e.g. core.cycles) in "
+                "every result row; repeatable");
+    parser.flag("--no-progress", &no_progress,
+                "disable the live progress line");
+    parser.parseOrExit(argc, argv);
+
+    options.jobs = jobs_opt;
+    if (no_progress)
+        options.progress = false;
     options.label = grid;
 
     const auto jobs = expandSweep(makeGrid(grid, scale));
