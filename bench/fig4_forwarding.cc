@@ -57,6 +57,7 @@ main()
         std::printf(" %7.1f%%", 100.0 * sum / suite.size());
     std::printf("\n\nShape check (paper): UMC forwards only loads/"
                 "stores (smallest); DIFT the most (ALU+mem+jumps);\n"
-                "BC arithmetic+mem; SEC ALU only.\n");
+                "BC arithmetic+mem; SEC every register-writing class "
+                "(ALU checks + register residue tracking).\n");
     return 0;
 }

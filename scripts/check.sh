@@ -57,6 +57,18 @@ echo "== fast-forward lockstep =="
     --stats-json "$tmpdir/ff_off.json" programs/fibonacci.s > /dev/null
 cmp "$tmpdir/ff_on.json" "$tmpdir/ff_off.json"
 
+echo "== fault coverage =="
+# Detection-coverage campaign: deterministic for any worker count, and
+# every monitor must detect at least one injected fault
+# (docs/fault_injection.md).
+./build/tools/flexcore-faultcov --jobs 1 \
+    --out "$tmpdir/faultcov_serial.json" --no-progress \
+    --require-detections
+./build/tools/flexcore-faultcov --jobs "$jobs" \
+    --out "$tmpdir/faultcov_parallel.json" --no-progress \
+    --require-detections
+cmp "$tmpdir/faultcov_serial.json" "$tmpdir/faultcov_parallel.json"
+
 echo "== perf smoke =="
 ./build/tools/flexcore-perf --quick --out "$tmpdir/BENCH_perf.json" \
     > /dev/null

@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "common/log.h"
+#include "faults/injector.h"
 #include "isa/encoding.h"
 
 namespace flexcore {
@@ -917,6 +918,8 @@ Core::finishInstruction()
     if (!cur_.is_micro) {
         ++instructions_;
         ++committed_by_type_[cur_.pkt.opcode];
+        if (fault_injector_)
+            fault_injector_->onCommit(instructions_.value(), now_);
         if (tracer_)
             tracer_(now_, cur_.pkt.pc, cur_.pkt.di);
         if (swmon_) {

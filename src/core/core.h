@@ -31,6 +31,8 @@
 
 namespace flexcore {
 
+class FaultInjector;
+
 struct CoreParams
 {
     CacheParams icache{32 * 1024, 32, 4};
@@ -86,6 +88,18 @@ class Core
     void attachSoftwareMonitor(const SoftwareMonitor *monitor)
     {
         swmon_ = monitor;
+    }
+
+    /**
+     * Attach the fault injector (null = none, the default). The only
+     * hot-path cost without one is a single null check per committed
+     * instruction; with one, FaultInjector::onCommit() fires after
+     * every architectural commit so commit-indexed faults land at
+     * their exact instruction boundary.
+     */
+    void setFaultInjector(FaultInjector *injector)
+    {
+        fault_injector_ = injector;
     }
 
     /** Per-committed-instruction hook (debug tracing). */
@@ -151,6 +165,8 @@ class Core
     const std::string &consoleOutput() const { return console_; }
 
     u64 instructions() const { return instructions_.value(); }
+    /** Spill/fill and instrumentation micro-ops committed. */
+    u64 microOps() const { return micro_ops_.value(); }
     u64 committedOfType(InstrType type) const
     {
         return committed_by_type_[type];
@@ -168,6 +184,14 @@ class Core
     Cache &icache() { return icache_; }
     Cache &dcache() { return dcache_; }
     StoreBuffer &storeBuffer() { return store_buffer_; }
+
+    /**
+     * Self-modifying-code / fault-injection safety: force a re-decode
+     * of any resident µop covering @p addr. Stores call this on the
+     * commit path; the fault injector calls it after memory bit flips
+     * that may land in decoded text.
+     */
+    void invalidateUopsAt(Addr addr);
 
   private:
     enum class State : u8 {
@@ -223,7 +247,6 @@ class Core
     void execMicroOp();
     bool fetchTimingOk();
     const Uop &decodedFetch();
-    void invalidateUopsAt(Addr addr);
     void executeInstruction(const Uop &uop);
     void scheduleStoreThenCommit();
     void tryCommit();
@@ -243,6 +266,7 @@ class Core
     CoreParams params_;
     FlexInterface *iface_ = nullptr;
     const SoftwareMonitor *swmon_ = nullptr;
+    FaultInjector *fault_injector_ = nullptr;
     Tracer tracer_;
     TraceSink *trace_ = nullptr;
 

@@ -64,6 +64,18 @@ class RegWindowFile
             phys_[phys] = value;
     }
 
+    /**
+     * Fault-injection hook: flip one bit of a physical register in
+     * place (%g0 is hard-wired and ignores flips). Only the fault
+     * injector calls this; it is never on a simulation path.
+     */
+    void
+    flipBitPhys(unsigned phys, unsigned bit)
+    {
+        if (phys != 0)
+            phys_[phys % kNumPhysRegs] ^= 1u << (bit & 31);
+    }
+
   private:
     std::array<u32, kNumPhysRegs> phys_;
     unsigned cwp_ = 0;

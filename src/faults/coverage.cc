@@ -1,0 +1,393 @@
+#include "faults/coverage.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <map>
+
+#include "assembler/assembler.h"
+#include "common/jsonutil.h"
+#include "common/log.h"
+#include "common/rng.h"
+#include "isa/registers.h"
+
+namespace flexcore {
+
+void
+LatencyStats::add(s64 latency)
+{
+    if (latency < 0)
+        return;
+    if (count == 0 || latency < min)
+        min = latency;
+    if (count == 0 || latency > max)
+        max = latency;
+    mean += (static_cast<double>(latency) - mean) /
+            static_cast<double>(count + 1);
+    ++count;
+    unsigned bucket = 0;
+    for (u64 v = static_cast<u64>(latency); v > 1 && bucket + 1 < kBuckets;
+         v >>= 1)
+        ++bucket;
+    ++log2_hist[bucket];
+}
+
+namespace {
+
+std::string
+goldenKey(std::string_view workload, MonitorKind monitor)
+{
+    std::string key = "golden|";
+    key += workload;
+    key += '|';
+    key += monitorKindName(monitor);
+    return key;
+}
+
+std::string
+trialKey(std::string_view workload, MonitorKind monitor, FaultKind model,
+         u64 seed, unsigned trial)
+{
+    std::string key;
+    key += workload;
+    key += '|';
+    key += monitorKindName(monitor);
+    key += '|';
+    key += faultKindName(model);
+    char buf[48];
+    std::snprintf(buf, sizeof buf, "|s%" PRIu64 "|t%05u", seed, trial);
+    key += buf;
+    return key;
+}
+
+u32
+belowClamped(Rng *rng, u64 bound)
+{
+    const u64 capped =
+        std::min<u64>(bound ? bound : 1, 0xffffffffull);
+    return rng->below(static_cast<u32>(capped));
+}
+
+/**
+ * Draw one fault of the given model. Trigger points land inside the
+ * golden run (commit index within the instruction count for register
+ * flips, cycle within the golden cycle count otherwise); memory and
+ * meta targets land inside the program image.
+ */
+FaultSpec
+drawFault(FaultKind kind, Rng *rng, const GoldenRef &golden, Addr base,
+          u32 image_bytes)
+{
+    FaultSpec spec;
+    spec.kind = kind;
+    switch (kind) {
+      case FaultKind::kRegFlip:
+        spec.trigger = FaultTrigger::kCommit;
+        spec.when = 1 + belowClamped(rng, golden.instructions);
+        spec.target = 1 + rng->below(kNumPhysRegs - 1);
+        spec.bit = rng->below(32);
+        break;
+      case FaultKind::kShadowRegFlip:
+        spec.trigger = FaultTrigger::kCommit;
+        spec.when = 1 + belowClamped(rng, golden.instructions);
+        spec.target = 1 + rng->below(kNumPhysRegs - 1);
+        spec.bit = rng->below(8);
+        break;
+      case FaultKind::kMemFlip:
+        spec.trigger = FaultTrigger::kCycle;
+        spec.when = 1 + belowClamped(rng, golden.cycles);
+        spec.target = base + rng->below(image_bytes);
+        spec.bit = rng->below(8);
+        break;
+      case FaultKind::kMetaFlip:
+        spec.trigger = FaultTrigger::kCycle;
+        spec.when = 1 + belowClamped(rng, golden.cycles);
+        spec.target =
+            base + 4 * rng->below(std::max<u32>(image_bytes / 4, 1));
+        spec.bit = rng->below(8);
+        break;
+      case FaultKind::kFfifoFlip:
+        spec.trigger = FaultTrigger::kCycle;
+        spec.when = 1 + belowClamped(rng, golden.cycles);
+        spec.target = rng->below(16);   // pick modulo occupancy
+        spec.bit = rng->below(32);
+        spec.field = static_cast<PacketField>(rng->below(5));
+        break;
+      case FaultKind::kSbFlip:
+        spec.trigger = FaultTrigger::kCycle;
+        spec.when = 1 + belowClamped(rng, golden.cycles);
+        spec.target = rng->below(8);    // pick modulo occupancy
+        spec.bit = rng->below(32);
+        break;
+    }
+    return spec;
+}
+
+struct TrialMeta
+{
+    std::string workload;
+    MonitorKind monitor = MonitorKind::kNone;
+    FaultKind model = FaultKind::kRegFlip;
+    FaultSpec spec;
+};
+
+}  // namespace
+
+FaultCovResult
+runFaultCoverage(const FaultCovSpec &spec, const CampaignOptions &opts)
+{
+    if (spec.workloads.empty() || spec.monitors.empty() ||
+        spec.models.empty() || spec.trials == 0) {
+        FLEX_FATAL("fault coverage campaign '", spec.name,
+                   "' needs at least one workload, monitor, model, and "
+                   "trial");
+    }
+
+    // Program image extents for memory/meta target generation.
+    std::map<std::string, std::pair<Addr, u32>> images;
+    for (const Workload &workload : spec.workloads) {
+        const Program prog = Assembler::assembleOrDie(workload.source);
+        images[workload.name] = {prog.base(), prog.size()};
+    }
+
+    FaultCovResult result;
+
+    // Phase 1: golden reference runs, one per (workload, monitor).
+    // Verified against the golden model, so the cycle/instruction
+    // references (and the SDC baseline) come from correct runs.
+    std::vector<CampaignJob> golden_jobs;
+    for (const Workload &workload : spec.workloads) {
+        for (MonitorKind monitor : spec.monitors) {
+            CampaignJob job;
+            job.key = goldenKey(workload.name, monitor);
+            job.workload = workload;
+            job.config = spec.base;
+            job.config.monitor = monitor;
+            golden_jobs.push_back(std::move(job));
+        }
+    }
+    CampaignOptions golden_opts = opts;
+    golden_opts.verify = true;
+    golden_opts.label = opts.label + ":golden";
+    golden_opts.stat_paths.clear();
+    std::map<std::string, GoldenRef> goldens;
+    for (const CampaignResult &row :
+         runCampaign(golden_jobs, golden_opts)) {
+        GoldenRef ref;
+        ref.workload = row.workload;
+        ref.monitor = row.monitor;
+        ref.cycles = row.outcome.result.cycles;
+        ref.instructions = row.outcome.result.instructions;
+        goldens[row.key] = ref;
+        result.goldens.push_back(std::move(ref));
+    }
+
+    // Phase 2: seeded fault trials. Each trial's fault is drawn from
+    // an RNG seeded by its key (which embeds the campaign seed), so
+    // the schedule is independent of worker count and run order.
+    std::vector<CampaignJob> fault_jobs;
+    std::map<std::string, TrialMeta> metas;
+    for (const Workload &workload : spec.workloads) {
+        const auto [image_base, image_bytes] = images[workload.name];
+        for (MonitorKind monitor : spec.monitors) {
+            const GoldenRef &golden =
+                goldens[goldenKey(workload.name, monitor)];
+            for (FaultKind model : spec.models) {
+                for (unsigned t = 0; t < spec.trials; ++t) {
+                    const std::string key = trialKey(
+                        workload.name, monitor, model, spec.seed, t);
+                    Rng rng(jobSeed(key));
+                    TrialMeta meta;
+                    meta.workload = workload.name;
+                    meta.monitor = monitor;
+                    meta.model = model;
+                    meta.spec = drawFault(model, &rng, golden,
+                                          image_base, image_bytes);
+
+                    CampaignJob job;
+                    job.key = key;
+                    job.workload = workload;
+                    job.config = spec.base;
+                    job.config.monitor = monitor;
+                    job.config.faults.specs = {meta.spec};
+                    // Leave ample room past the golden cycle count so
+                    // slow-but-finishing runs still exit; real hangs
+                    // are cut short by the watchdog long before this.
+                    job.config.max_cycles =
+                        golden.cycles * 8 + 100'000;
+                    metas[key] = std::move(meta);
+                    fault_jobs.push_back(std::move(job));
+                }
+            }
+        }
+    }
+    CampaignOptions fault_opts = opts;
+    fault_opts.verify = true;   // supplies the golden console for SDC
+    fault_opts.stat_paths.clear();
+    const std::vector<CampaignResult> rows =
+        runCampaign(fault_jobs, fault_opts);
+
+    // Merge: rows are sorted by key; cells aggregate in key order.
+    std::map<std::string, FaultCell> cells;
+    for (const CampaignResult &row : rows) {
+        const TrialMeta &meta = metas.at(row.key);
+        FaultRunRow run;
+        run.key = row.key;
+        run.workload = meta.workload;
+        run.monitor = meta.monitor;
+        run.model = meta.model;
+        run.spec = meta.spec;
+        run.report = row.outcome.fault;
+        run.exit = row.outcome.result.exit;
+        run.cycles = row.outcome.result.cycles;
+        run.trap_reason = row.outcome.result.trap_reason;
+
+        std::string cell_key = meta.workload;
+        cell_key += '|';
+        cell_key += monitorKindName(meta.monitor);
+        cell_key += '|';
+        cell_key += faultKindName(meta.model);
+        FaultCell &cell = cells[cell_key];
+        if (cell.trials == 0) {
+            cell.workload = meta.workload;
+            cell.monitor = meta.monitor;
+            cell.model = meta.model;
+        }
+        ++cell.trials;
+        ++cell.counts[static_cast<size_t>(run.report.outcome)];
+        if (run.report.applied == 0)
+            ++cell.skipped_runs;
+        if (run.report.outcome == FaultOutcome::kDetected)
+            cell.latency.add(run.report.detection_latency);
+
+        result.runs.push_back(std::move(run));
+    }
+    result.cells.reserve(cells.size());
+    for (auto &[key, cell] : cells)
+        result.cells.push_back(std::move(cell));
+    return result;
+}
+
+std::string
+faultCovJson(const FaultCovSpec &spec, const FaultCovResult &result)
+{
+    std::string out;
+    char buf[512];
+    out += "{\n  \"campaign\": \"";
+    out += jsonEscape(spec.name);
+    std::snprintf(buf, sizeof buf,
+                  "\",\n  \"seed\": %" PRIu64
+                  ",\n  \"trials\": %u,\n  \"watchdog_commits\": %" PRIu64
+                  ",\n  \"goldens\": [\n",
+                  spec.seed, spec.trials, spec.base.watchdog_commits);
+    out += buf;
+    for (size_t i = 0; i < result.goldens.size(); ++i) {
+        const GoldenRef &g = result.goldens[i];
+        std::snprintf(buf, sizeof buf,
+                      "    {\"workload\": \"%s\", \"monitor\": \"%s\", "
+                      "\"cycles\": %" PRIu64 ", \"instructions\": %" PRIu64
+                      "}%s\n",
+                      jsonEscape(g.workload).c_str(),
+                      std::string(monitorKindName(g.monitor)).c_str(),
+                      g.cycles, g.instructions,
+                      i + 1 < result.goldens.size() ? "," : "");
+        out += buf;
+    }
+    out += "  ],\n  \"cells\": [\n";
+    for (size_t i = 0; i < result.cells.size(); ++i) {
+        const FaultCell &c = result.cells[i];
+        std::snprintf(
+            buf, sizeof buf,
+            "    {\"workload\": \"%s\", \"monitor\": \"%s\", "
+            "\"model\": \"%s\", \"trials\": %" PRIu64
+            ", \"detected\": %" PRIu64 ", \"benign\": %" PRIu64
+            ", \"sdc\": %" PRIu64 ", \"core_trap\": %" PRIu64
+            ", \"hang\": %" PRIu64 ", \"skipped_runs\": %" PRIu64
+            ", \"detection_rate\": %.17g",
+            jsonEscape(c.workload).c_str(),
+            std::string(monitorKindName(c.monitor)).c_str(),
+            std::string(faultKindName(c.model)).c_str(), c.trials,
+            c.outcomes(FaultOutcome::kDetected),
+            c.outcomes(FaultOutcome::kBenign),
+            c.outcomes(FaultOutcome::kSdc),
+            c.outcomes(FaultOutcome::kCoreTrap),
+            c.outcomes(FaultOutcome::kHang), c.skipped_runs,
+            c.detectionRate());
+        out += buf;
+        std::snprintf(buf, sizeof buf,
+                      ", \"latency_min\": %" PRId64
+                      ", \"latency_max\": %" PRId64
+                      ", \"latency_mean\": %.17g, \"latency_log2_hist\": [",
+                      c.latency.min, c.latency.max, c.latency.mean);
+        out += buf;
+        for (unsigned b = 0; b < LatencyStats::kBuckets; ++b) {
+            if (b > 0)
+                out += ", ";
+            out += std::to_string(c.latency.log2_hist[b]);
+        }
+        out += "]}";
+        out += i + 1 < result.cells.size() ? ",\n" : "\n";
+    }
+    out += "  ],\n  \"runs\": [\n";
+    for (size_t i = 0; i < result.runs.size(); ++i) {
+        const FaultRunRow &r = result.runs[i];
+        std::snprintf(
+            buf, sizeof buf,
+            "    {\"key\": \"%s\", \"fault\": \"%s\", "
+            "\"outcome\": \"%s\", \"exit\": \"%s\", \"cycles\": %" PRIu64
+            ", \"applied\": %" PRIu64 ", \"skipped\": %" PRIu64
+            ", \"injected_at\": %" PRId64 ", \"latency\": %" PRId64,
+            jsonEscape(r.key).c_str(),
+            formatFaultSpec(r.spec).c_str(),
+            std::string(faultOutcomeName(r.report.outcome)).c_str(),
+            std::string(exitName(r.exit)).c_str(), r.cycles,
+            r.report.applied, r.report.skipped,
+            r.report.first_injection_cycle == kCycleNever
+                ? s64{-1}
+                : static_cast<s64>(r.report.first_injection_cycle),
+            r.report.detection_latency);
+        out += buf;
+        if (!r.trap_reason.empty()) {
+            out += ", \"trap_reason\": \"";
+            out += jsonEscape(r.trap_reason);
+            out += "\"";
+        }
+        out += "}";
+        out += i + 1 < result.runs.size() ? ",\n" : "\n";
+    }
+    out += "  ]\n}\n";
+    return out;
+}
+
+std::string
+faultCovSummary(const FaultCovResult &result)
+{
+    std::string out;
+    char buf[256];
+    std::snprintf(buf, sizeof buf,
+                  "%-12s %-8s %-8s %6s %7s %5s %5s %6s %5s %10s\n",
+                  "workload", "monitor", "model", "det%", "benign",
+                  "sdc", "hang", "crash", "skip", "lat(mean)");
+    out += buf;
+    out += std::string(80, '-');
+    out += '\n';
+    for (const FaultCell &c : result.cells) {
+        std::snprintf(
+            buf, sizeof buf,
+            "%-12s %-8s %-8s %5.1f%% %7" PRIu64 " %5" PRIu64 " %5" PRIu64
+            " %6" PRIu64 " %5" PRIu64 " %10.1f\n",
+            c.workload.c_str(),
+            std::string(monitorKindName(c.monitor)).c_str(),
+            std::string(faultKindName(c.model)).c_str(),
+            100.0 * c.detectionRate(),
+            c.outcomes(FaultOutcome::kBenign),
+            c.outcomes(FaultOutcome::kSdc),
+            c.outcomes(FaultOutcome::kHang),
+            c.outcomes(FaultOutcome::kCoreTrap), c.skipped_runs,
+            c.latency.count ? c.latency.mean : 0.0);
+        out += buf;
+    }
+    return out;
+}
+
+}  // namespace flexcore

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Detection-coverage campaigns: seeded random fault trials swept over
+ * {monitor} x {workload} x {fault model}, classified per run and
+ * aggregated into a coverage table (detection rate + latency histogram
+ * per cell). Built on the parallel campaign runner, so the JSON output
+ * is byte-identical for any --jobs count; every trial's fault is a
+ * pure function of (campaign seed, workload, monitor, model, trial
+ * index) and a golden reference run of the same cell.
+ */
+
+#ifndef FLEXCORE_FAULTS_COVERAGE_H_
+#define FLEXCORE_FAULTS_COVERAGE_H_
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "faults/fault_plan.h"
+#include "faults/outcome.h"
+#include "sim/campaign.h"
+
+namespace flexcore {
+
+/** Declarative coverage campaign over monitors x workloads x models. */
+struct FaultCovSpec
+{
+    std::string name = "faultcov";
+    std::vector<Workload> workloads;
+    std::vector<MonitorKind> monitors;
+    /** Fault models; each trial draws one FaultSpec of this kind. */
+    std::vector<FaultKind> models;
+    unsigned trials = 20;   //!< per cell
+    u64 seed = 1;           //!< campaign seed, part of every trial key
+    /**
+     * Template config for every run (mode, watchdog_commits,
+     * fast_forward, ...). Per-job max_cycles is derived from the
+     * cell's golden run; watchdog_commits is taken from here.
+     */
+    SystemConfig base;
+};
+
+/** Fault-free reference run of one (workload, monitor) cell. */
+struct GoldenRef
+{
+    std::string workload;
+    MonitorKind monitor = MonitorKind::kNone;
+    Cycle cycles = 0;
+    u64 instructions = 0;
+};
+
+/** One classified trial. */
+struct FaultRunRow
+{
+    std::string key;
+    std::string workload;
+    MonitorKind monitor = MonitorKind::kNone;
+    FaultKind model = FaultKind::kRegFlip;
+    FaultSpec spec;
+    FaultReport report;
+    RunResult::Exit exit = RunResult::Exit::kMaxCycles;
+    Cycle cycles = 0;
+    std::string trap_reason;
+};
+
+/** Detection-latency aggregate (cycles, log2-bucketed histogram). */
+struct LatencyStats
+{
+    static constexpr unsigned kBuckets = 20;
+
+    u64 count = 0;
+    s64 min = -1;
+    s64 max = -1;
+    double mean = 0.0;
+    /** bucket b counts latencies with floor(log2(max(lat,1))) == b,
+     * clamped to the last bucket. */
+    std::array<u64, kBuckets> log2_hist{};
+
+    void add(s64 latency);
+};
+
+/** Aggregated outcome counts of one (workload, monitor, model) cell. */
+struct FaultCell
+{
+    std::string workload;
+    MonitorKind monitor = MonitorKind::kNone;
+    FaultKind model = FaultKind::kRegFlip;
+    u64 trials = 0;
+    /** Runs whose fault found no live target (e.g. empty FIFO). */
+    u64 skipped_runs = 0;
+    std::array<u64, kNumFaultOutcomes> counts{};
+    LatencyStats latency;
+
+    u64 outcomes(FaultOutcome o) const
+    {
+        return counts[static_cast<size_t>(o)];
+    }
+    double detectionRate() const
+    {
+        return trials ? static_cast<double>(
+                            outcomes(FaultOutcome::kDetected)) /
+                            static_cast<double>(trials)
+                      : 0.0;
+    }
+};
+
+struct FaultCovResult
+{
+    std::vector<GoldenRef> goldens;   //!< sorted by (workload, monitor)
+    std::vector<FaultCell> cells;     //!< sorted by cell key
+    std::vector<FaultRunRow> runs;    //!< sorted by trial key
+};
+
+/**
+ * Run the campaign: one golden job per (workload, monitor) cell, then
+ * trials x cells fault jobs, all through runCampaign (parallel,
+ * deterministic merge). Fatal on invalid spec (no workloads/monitors/
+ * models, or a golden run that does not exit cleanly).
+ */
+FaultCovResult runFaultCoverage(const FaultCovSpec &spec,
+                                const CampaignOptions &opts = {});
+
+/** Canonical JSON (byte-identical for any worker count). */
+std::string faultCovJson(const FaultCovSpec &spec,
+                         const FaultCovResult &result);
+
+/** Human-readable coverage table. */
+std::string faultCovSummary(const FaultCovResult &result);
+
+}  // namespace flexcore
+
+#endif  // FLEXCORE_FAULTS_COVERAGE_H_

@@ -1,0 +1,120 @@
+#include "faults/outcome.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace flexcore {
+
+std::string_view
+faultOutcomeName(FaultOutcome outcome)
+{
+    switch (outcome) {
+      case FaultOutcome::kNotClassified: return "not_classified";
+      case FaultOutcome::kDetected: return "detected";
+      case FaultOutcome::kBenign: return "benign";
+      case FaultOutcome::kSdc: return "sdc";
+      case FaultOutcome::kCoreTrap: return "core_trap";
+      case FaultOutcome::kHang: return "hang";
+    }
+    return "?";
+}
+
+FaultReport
+classifyFaultRun(const RunResult &result, const InjectionLog &log,
+                 const std::string *expected_console)
+{
+    FaultReport report;
+    report.applied = log.applied;
+    report.skipped = log.skipped;
+    report.first_injection_cycle = log.first_cycle;
+
+    switch (result.exit) {
+      case RunResult::Exit::kMonitorTrap:
+        report.outcome = FaultOutcome::kDetected;
+        if (log.first_cycle != kCycleNever &&
+            result.cycles >= log.first_cycle) {
+            report.detection_latency =
+                static_cast<s64>(result.cycles - log.first_cycle);
+        }
+        break;
+      case RunResult::Exit::kCoreTrap:
+        report.outcome = FaultOutcome::kCoreTrap;
+        break;
+      case RunResult::Exit::kHang:
+      case RunResult::Exit::kMaxCycles:
+        // kMaxCycles is a hang the watchdog was not armed (or too
+        // slow) to catch; both mean the program never finished.
+        report.outcome = FaultOutcome::kHang;
+        break;
+      case RunResult::Exit::kExited:
+        report.outcome = (expected_console &&
+                          result.console != *expected_console)
+                             ? FaultOutcome::kSdc
+                             : FaultOutcome::kBenign;
+        break;
+    }
+    return report;
+}
+
+namespace {
+
+void
+appendEscaped(std::string *out, std::string_view bytes)
+{
+    for (char c : bytes) {
+        const auto u = static_cast<unsigned char>(c);
+        if (c == '\n') {
+            *out += "\\n";
+        } else if (c == '\t') {
+            *out += "\\t";
+        } else if (c == '\\') {
+            *out += "\\\\";
+        } else if (c == '"') {
+            *out += "\\\"";
+        } else if (u >= 0x20 && u < 0x7f) {
+            *out += c;
+        } else {
+            char buf[8];
+            std::snprintf(buf, sizeof buf, "\\x%02x", u);
+            *out += buf;
+        }
+    }
+}
+
+void
+appendExcerpt(std::string *out, std::string_view s, size_t from,
+              size_t max_bytes)
+{
+    *out += '"';
+    if (from < s.size()) {
+        const size_t n = std::min(max_bytes, s.size() - from);
+        appendEscaped(out, s.substr(from, n));
+        if (from + n < s.size())
+            *out += "...";
+    }
+    *out += '"';
+}
+
+}  // namespace
+
+std::string
+boundedDiff(std::string_view expected, std::string_view actual,
+            size_t max_bytes)
+{
+    if (expected == actual)
+        return {};
+    const size_t common = std::min(expected.size(), actual.size());
+    size_t at = 0;
+    while (at < common && expected[at] == actual[at])
+        ++at;
+    std::string out = "first difference at byte " + std::to_string(at) +
+                      " (expected " + std::to_string(expected.size()) +
+                      " bytes, got " + std::to_string(actual.size()) +
+                      "): expected ";
+    appendExcerpt(&out, expected, at, max_bytes);
+    out += " vs actual ";
+    appendExcerpt(&out, actual, at, max_bytes);
+    return out;
+}
+
+}  // namespace flexcore

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Outcome classification for fault-injection runs. Every run with a
+ * non-empty FaultPlan lands in exactly one FaultOutcome bucket — the
+ * same taxonomy the paper's soft-error discussion uses (detected /
+ * benign / silent data corruption / crash / hang), which is what the
+ * coverage campaign aggregates per {monitor, workload, fault model}
+ * cell.
+ */
+
+#ifndef FLEXCORE_FAULTS_OUTCOME_H_
+#define FLEXCORE_FAULTS_OUTCOME_H_
+
+#include <string>
+#include <string_view>
+
+#include "faults/injector.h"
+#include "sim/system.h"
+
+namespace flexcore {
+
+enum class FaultOutcome : u8 {
+    kNotClassified,  //!< run did not carry a fault plan
+    kDetected,       //!< a monitor check trapped after injection
+    kBenign,         //!< program exited with golden console output
+    kSdc,            //!< exited, but output differs (silent corruption)
+    kCoreTrap,       //!< core-detected error (crash), not the monitor
+    kHang,           //!< watchdog fired or the cycle limit was hit
+};
+
+inline constexpr unsigned kNumFaultOutcomes = 6;
+
+std::string_view faultOutcomeName(FaultOutcome outcome);
+
+/** Per-run fault verdict attached to SimOutcome. */
+struct FaultReport
+{
+    FaultOutcome outcome = FaultOutcome::kNotClassified;
+    u64 applied = 0;    //!< faults that landed in live state
+    u64 skipped = 0;    //!< faults whose target was absent (empty FIFO)
+    Cycle first_injection_cycle = kCycleNever;
+    /** Detection latency in cycles (trap cycle minus first injection
+     * cycle); -1 for every outcome except kDetected. */
+    s64 detection_latency = -1;
+};
+
+/**
+ * Classify one finished run. @p expected_console is the workload's
+ * golden output (null when unknown: exits then classify as benign,
+ * since SDC cannot be told apart without a reference).
+ */
+FaultReport classifyFaultRun(const RunResult &result,
+                             const InjectionLog &log,
+                             const std::string *expected_console);
+
+/**
+ * Human-readable first-difference summary of two byte strings, bounded
+ * to @p max_bytes of excerpt from each side (non-printables escaped).
+ * Empty when the strings are equal.
+ */
+std::string boundedDiff(std::string_view expected,
+                        std::string_view actual, size_t max_bytes = 48);
+
+}  // namespace flexcore
+
+#endif  // FLEXCORE_FAULTS_OUTCOME_H_

@@ -101,6 +101,22 @@ class FlexInterface
     /** Fabric raises an exception (imprecise; PC is informational). */
     void raiseTrap(Addr pc);
 
+    /**
+     * Fault-injection hook: mutable access to the @p pick-th queued
+     * packet (modulo the current occupancy, oldest first), or null
+     * when the FIFO is empty. Only the fault injector uses this to
+     * corrupt in-flight packet fields.
+     */
+    CommitPacket *
+    queuedPacket(u32 pick)
+    {
+        if (fifo_count_ == 0)
+            return nullptr;
+        const u32 idx =
+            (fifo_head_ + pick % fifo_count_) % fifo_.size();
+        return &fifo_[idx].packet;
+    }
+
     // ---- Introspection / statistics ----
 
     u32 fifoDepth() const { return params_.fifo_depth; }

@@ -39,6 +39,18 @@ class ShadowRegFile
 
     void clear() { entries_.fill(0); }
 
+    /**
+     * Fault-injection hook: flip one bit of a shadow entry in place
+     * (entry 0 is hard-wired zero and ignores flips).
+     */
+    void
+    flipBit(u16 phys_reg, u32 bit)
+    {
+        if (phys_reg != 0)
+            entries_[phys_reg % kNumPhysRegs] ^=
+                static_cast<u8>(1u << (bit & 7));
+    }
+
     /** Total storage bits (for the synthesis model). */
     static constexpr unsigned storageBits() { return kNumPhysRegs * 8; }
 

@@ -36,6 +36,17 @@ class Memory
     /** Bulk copy-out used by tests and golden-model checks. */
     void readBlock(Addr addr, u8 *data, u32 size) const;
 
+    /**
+     * Fault-injection hook: flip one bit of the byte at @p addr.
+     * Callers that may hit decoded text must also invalidate the
+     * core's µop cache (Core::invalidateUopsAt).
+     */
+    void
+    flipBit(Addr addr, u32 bit)
+    {
+        write8(addr, read8(addr) ^ static_cast<u8>(1u << (bit & 7)));
+    }
+
     /** Number of pages that have been touched. */
     size_t allocatedPages() const { return pages_.size(); }
 

@@ -42,6 +42,22 @@ class StoreBuffer
             issueHead();
     }
 
+    /**
+     * Fault-injection hook: flip one bit of a queued entry's address.
+     * @p pick selects an entry modulo the current occupancy. Returns
+     * false (nothing corrupted) when the buffer is empty. The store
+     * buffer is a timing model (the functional store already hit
+     * memory at execute), so this perturbs bus traffic, not data.
+     */
+    bool
+    corruptEntry(u32 pick, u32 bit)
+    {
+        if (entries_.empty())
+            return false;
+        entries_[pick % entries_.size()] ^= Addr{1} << (bit & 31);
+        return true;
+    }
+
   private:
     /** Put the head entry on the bus (slow path of tick()). */
     void issueHead();

@@ -194,6 +194,15 @@ class Monitor
     u32 policy() const { return policy_; }
     void setPolicy(u32 policy) { policy_ = policy; }
 
+    /**
+     * Fault-injection access to the monitor's functional meta-data
+     * state: the shadow register file and the per-word tag store.
+     * The injector flips bits here to model soft errors in the
+     * fabric's embedded meta-data storage (§III-E).
+     */
+    ShadowRegFile &regTags() { return reg_tags_; }
+    TagStore &memTags() { return mem_tags_; }
+
     /** Meta-data byte address for a data address under this monitor. */
     Addr
     metaAddr(Addr data_addr) const

@@ -6,8 +6,17 @@ void
 SecMonitor::configureCfgr(Cfgr *cfgr) const
 {
     cfgr->setAll(ForwardPolicy::kIgnore);
-    for (InstrType type : {kTypeAluAdd, kTypeAluSub, kTypeAluLogic,
-                           kTypeAluShift, kTypeMul, kTypeDiv}) {
+    // Every class that can write an integer register is forwarded so
+    // the shadow residue file never goes stale: an unforwarded write
+    // would leave the old residue behind and later reads of that
+    // register would trap spuriously. Stores, branches, and traps
+    // write no integer register and stay ignored; cpops stay ignored
+    // because SEC itself is the co-processor.
+    for (InstrType type :
+         {kTypeAluAdd, kTypeAluSub, kTypeAluLogic, kTypeAluShift,
+          kTypeMul, kTypeDiv, kTypeSethi, kTypeLoadWord, kTypeLoadByte,
+          kTypeLoadHalf, kTypeCall, kTypeIndirectJump, kTypeSave,
+          kTypeRestore, kTypeReadY}) {
         cfgr->setPolicy(type, ForwardPolicy::kAlways);
     }
 }
@@ -26,13 +35,31 @@ SecMonitor::mod7(u32 value)
     return sum == 7 ? 0 : sum;
 }
 
+bool
+SecMonitor::operandCorrupted(u16 phys, u32 value) const
+{
+    if (phys == 0)
+        return false;
+    const u8 tag = reg_tags_.read(phys);
+    return (tag & kResidueValid) && (tag & 7) != mod7(value);
+}
+
 void
 SecMonitor::process(const CommitPacket &packet, MonitorResult *result)
 {
     const Instruction &di = packet.di;
     ++checks_;
 
-    bool mismatch = false;
+    // Register residue check: the value read out of the register file
+    // must still match the residue recorded when it was written. This
+    // is what catches bit flips in the register file itself — the ALU
+    // recomputation below runs on the same (corrupted) operands and
+    // would agree with the faulty result.
+    const bool residue_bad =
+        operandCorrupted(packet.src1, packet.srcv1) ||
+        operandCorrupted(packet.src2, packet.srcv2);
+
+    bool alu_bad = false;
     switch (di.type) {
       case kTypeMul: {
         // Modular check: res ≡ a*b (mod 7) on the low 32 bits is not
@@ -48,7 +75,7 @@ SecMonitor::process(const CommitPacket &packet, MonitorResult *result)
             static_cast<s64>(static_cast<s32>(packet.srcv1)) *
             static_cast<s64>(static_cast<s32>(packet.srcv2)));
         const u32 low = static_cast<u32>(is_signed ? sproduct : product);
-        mismatch = mod7(low) != mod7(packet.res);
+        alu_bad = mod7(low) != mod7(packet.res);
         break;
       }
       case kTypeDiv: {
@@ -56,7 +83,7 @@ SecMonitor::process(const CommitPacket &packet, MonitorResult *result)
         // `wr %g0, %y` convention of our runtime).
         const AluResult check =
             checker_alu_.execute(di.op, packet.srcv1, packet.srcv2, 0);
-        mismatch = !check.div_by_zero && check.value != packet.res;
+        alu_bad = !check.div_by_zero && check.value != packet.res;
         break;
       }
       case kTypeAluAdd:
@@ -65,17 +92,35 @@ SecMonitor::process(const CommitPacket &packet, MonitorResult *result)
       case kTypeAluShift: {
         const AluResult check =
             checker_alu_.execute(di.op, packet.srcv1, packet.srcv2, 0);
-        mismatch = check.value != packet.res;
+        alu_bad = check.value != packet.res;
         break;
       }
       default:
-        return;
+        // Loads, sethi, call/jmpl, save/restore, rd %y: forwarded only
+        // to keep the destination residue fresh; nothing to recompute.
+        break;
     }
 
-    if (mismatch) {
+    if (residue_bad || alu_bad) {
         ++errors_;
-        if (policy_ & 1)
-            result->setTrap("ALU result mismatch (soft error)");
+        if (policy_ & 1) {
+            result->setTrap(residue_bad
+                                ? "register residue mismatch (soft error)"
+                                : "ALU result mismatch (soft error)");
+        }
+    }
+
+    // Record the destination's residue. Call/jmpl write the *link
+    // address* (the instruction's own PC) to their destination; RES
+    // carries the branch target for those, so derive the residue from
+    // the PC instead.
+    if (packet.dest != 0) {
+        const u32 written = (di.type == kTypeCall ||
+                             di.type == kTypeIndirectJump)
+                                ? packet.pc
+                                : packet.res;
+        reg_tags_.write(packet.dest,
+                        static_cast<u8>(kResidueValid | mod7(written)));
     }
 }
 

@@ -269,6 +269,36 @@ campaignJson(std::string_view name,
             row.outcome.meta_misses, row.outcome.meta_accesses,
             row.outcome.fwd_fraction);
         out += buf;
+        const RunResult &rr = row.outcome.result;
+        if (rr.exit == RunResult::Exit::kMonitorTrap ||
+            rr.exit == RunResult::Exit::kCoreTrap ||
+            rr.exit == RunResult::Exit::kHang) {
+            // Trap detail rides only on rows that actually trapped or
+            // hung, so trap-free campaign files keep their old bytes.
+            std::snprintf(buf, sizeof(buf),
+                          ", \"trap_kind\": \"%s\", \"trap_pc\": %u, "
+                          "\"trap_inst\": %u, \"trap_reason\": \"%s\"",
+                          std::string(trapKindName(rr.trap.kind)).c_str(),
+                          rr.trap.pc, rr.trap_inst,
+                          jsonEscape(rr.trap_reason).c_str());
+            out += buf;
+        }
+        if (row.outcome.fault.outcome != FaultOutcome::kNotClassified) {
+            const FaultReport &fr = row.outcome.fault;
+            std::snprintf(
+                buf, sizeof(buf),
+                ", \"fault\": {\"outcome\": \"%s\", \"applied\": %" PRIu64
+                ", \"skipped\": %" PRIu64
+                ", \"first_injection_cycle\": %" PRId64
+                ", \"detection_latency\": %" PRId64 "}",
+                std::string(faultOutcomeName(fr.outcome)).c_str(),
+                fr.applied, fr.skipped,
+                fr.first_injection_cycle == kCycleNever
+                    ? s64{-1}
+                    : static_cast<s64>(fr.first_injection_cycle),
+                fr.detection_latency);
+            out += buf;
+        }
         if (!row.outcome.stats.empty()) {
             // Request order (the sweep's --stat order), not sorted.
             // Which paths a row carries is a pure function of its

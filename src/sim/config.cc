@@ -80,6 +80,9 @@ configErrorName(ConfigError::Code code)
         return "bad_dift_tag_bits";
       case ConfigError::Code::kStrayFlexPeriod:
         return "stray_flex_period";
+      case ConfigError::Code::kBadCycleLimit: return "bad_cycle_limit";
+      case ConfigError::Code::kBadWatchdog: return "bad_watchdog";
+      case ConfigError::Code::kBadFaultPlan: return "bad_fault_plan";
     }
     return "?";
 }
@@ -131,6 +134,22 @@ SystemConfig::finalize()
         monitor == MonitorKind::kNone) {
         return configError(ConfigError::Code::kMissingMonitor,
                            "ASIC/FlexCore mode requires a monitor kind");
+    }
+    if (max_cycles == 0) {
+        return configError(ConfigError::Code::kBadCycleLimit,
+                           "max_cycles must be non-zero");
+    }
+    if (watchdog_commits != 0 && watchdog_commits >= max_cycles) {
+        return configError(
+            ConfigError::Code::kBadWatchdog,
+            "watchdog_commits (" + std::to_string(watchdog_commits) +
+                ") must be below max_cycles (" +
+                std::to_string(max_cycles) +
+                ") or the watchdog can never fire first");
+    }
+    if (std::string why = validateFaultPlan(faults); !why.empty()) {
+        return configError(ConfigError::Code::kBadFaultPlan,
+                           "invalid fault plan: " + why);
     }
 
     if (mode == ImplMode::kAsic) {

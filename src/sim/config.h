@@ -13,6 +13,7 @@
 #include <string_view>
 
 #include "core/core.h"
+#include "faults/fault_plan.h"
 #include "flexcore/fabric.h"
 #include "monitors/monitor.h"
 
@@ -68,6 +69,9 @@ struct ConfigError
         kMonitorOnBaseline, //!< baseline mode cannot host a monitor
         kBadDiftTagBits,    //!< dift_tag_bits not in {1, 4}
         kStrayFlexPeriod,   //!< flex_period set outside fabric mode
+        kBadCycleLimit,     //!< max_cycles is zero
+        kBadWatchdog,       //!< watchdog_commits >= max_cycles
+        kBadFaultPlan,      //!< a FaultSpec fails static validation
     };
 
     Code code = Code::kNone;
@@ -112,6 +116,17 @@ struct SystemConfig
     u64 max_cycles = 500'000'000;
 
     /**
+     * No-commit watchdog (0 = off): if this many consecutive cycles
+     * pass without the core committing an instruction or micro-op,
+     * the run ends with RunResult::Exit::kHang. Progress-based and
+     * orthogonal to max_cycles — a committing infinite loop still
+     * runs to the cycle limit, but a wedged pipeline (e.g. a fault
+     * corrupting a wait condition) terminates promptly. Exact under
+     * fast-forwarding: bulk skips cap at the watchdog deadline.
+     */
+    u64 watchdog_commits = 0;
+
+    /**
      * Quiescence fast-forward: when the whole system is provably idle
      * (core stalled on a known-latency refill or a fixed-latency unit,
      * store buffer empty, fabric drained), System::run() advances
@@ -124,6 +139,14 @@ struct SystemConfig
     /** ALU transient-fault injection (exercises SEC). */
     double fault_rate = 0.0;
     u64 fault_seed = 1;
+
+    /**
+     * Deterministic fault-injection schedule (empty = no injector is
+     * constructed and the hot path pays nothing). Validated by
+     * finalize(); applied by src/faults/injector at exact cycle or
+     * commit-index points. See docs/fault_injection.md.
+     */
+    FaultPlan faults;
 
     /**
      * Validate and resolve mode-dependent parameters (fabric period,

@@ -28,6 +28,7 @@ SimRequest::run()
         prog = Assembler::assembleOrDie(src);
     }
 
+    const bool fault_run = !config_.faults.empty();
     System system(std::move(config_));
     system.load(prog);
     if (trace_)
@@ -38,7 +39,20 @@ SimRequest::run()
     SimOutcome outcome;
     outcome.result = system.run();
 
-    if (verify_) {
+    if (fault_run) {
+        // Fault runs are classified, never fatally verified: a wrong
+        // exit or console is the experiment's *observation*.
+        const std::string *golden =
+            workload_ ? &workload_->expected_console : nullptr;
+        const InjectionLog log = system.injector()
+                                     ? system.injector()->log()
+                                     : InjectionLog{};
+        outcome.fault = classifyFaultRun(outcome.result, log, golden);
+        if (outcome.fault.outcome == FaultOutcome::kSdc) {
+            outcome.golden_diff = boundedDiff(
+                workload_->expected_console, outcome.result.console);
+        }
+    } else if (verify_) {
         if (outcome.result.exit != RunResult::Exit::kExited) {
             FLEX_FATAL("workload '", workload_->name,
                        "' did not exit cleanly: ",
@@ -49,9 +63,9 @@ SimRequest::run()
         }
         if (outcome.result.console != workload_->expected_console) {
             FLEX_FATAL("workload '", workload_->name,
-                       "' output mismatch:\n  expected: ",
-                       workload_->expected_console,
-                       "\n  actual:   ", outcome.result.console);
+                       "' output mismatch: ",
+                       boundedDiff(workload_->expected_console,
+                                   outcome.result.console));
         }
     }
 

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "core/core.h"
+#include "faults/outcome.h"
 #include "sim/system.h"
 #include "workloads/workload.h"
 
@@ -34,6 +35,14 @@ namespace flexcore {
 struct SimOutcome
 {
     RunResult result;
+    /**
+     * Fault verdict, filled iff the config carried a FaultPlan. Fault
+     * runs are classified instead of verified: a wrong console output
+     * is an SDC observation, not a fatal error.
+     */
+    FaultReport fault;
+    /** Bounded first-difference summary vs golden output (SDC only). */
+    std::string golden_diff;
     u64 forwarded = 0;       //!< packets pushed into the FFIFO
     u64 dropped = 0;
     u64 commit_stalls = 0;   //!< cycles commit stalled on a full FFIFO

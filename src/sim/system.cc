@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "common/log.h"
+#include "faults/injector.h"
 #include "monitors/software.h"
 
 namespace flexcore {
@@ -16,6 +17,7 @@ exitName(RunResult::Exit exit)
       case RunResult::Exit::kMonitorTrap: return "monitor_trap";
       case RunResult::Exit::kCoreTrap: return "core_trap";
       case RunResult::Exit::kMaxCycles: return "max_cycles";
+      case RunResult::Exit::kHang: return "hang";
     }
     return "?";
 }
@@ -71,6 +73,11 @@ System::System(SystemConfig config)
         core_->alu().enableFaultInjection(config_.fault_rate,
                                           config_.fault_seed);
     }
+
+    if (!config_.faults.empty()) {
+        injector_ = std::make_unique<FaultInjector>(this, config_.faults);
+        core_->setFaultInjector(injector_.get());
+    }
 }
 
 System::~System() = default;
@@ -108,6 +115,8 @@ System::attachTrace(TraceSink *sink)
 void
 System::tick()
 {
+    if (injector_)
+        injector_->onCycle(now_);
     bus_->tick();
     if (fabric_)
         fabric_->tick(now_);
@@ -141,7 +150,21 @@ System::fastForward()
     const Core::IdleStretch stretch = core_->idleStretch();
     if (stretch.cycles == 0)
         return;
-    const u64 k = std::min<u64>(stretch.cycles, config_.max_cycles - now_);
+    u64 k = std::min<u64>(stretch.cycles, config_.max_cycles - now_);
+    if (injector_) {
+        // Never skip over a cycle-triggered fault: cap the stretch so
+        // a real tick() executes at the trigger cycle (where onCycle
+        // drains it) in both the bulk and the debug-lockstep path.
+        const Cycle next = injector_->nextCycleTrigger();
+        if (next != kCycleNever)
+            k = std::min<u64>(k, next > now_ ? next - now_ : 0);
+    }
+    if (watchdog_deadline_ != kCycleNever) {
+        // A quiescent stretch commits nothing, so it may expire the
+        // watchdog: stop exactly at the deadline and let run()'s
+        // post-fast-forward check fire, byte-identical to serial.
+        k = std::min<u64>(k, watchdog_deadline_ - now_);
+    }
     if (k == 0)
         return;
 #ifndef NDEBUG
@@ -171,18 +194,54 @@ System::fastForward()
 RunResult
 System::run()
 {
-    if (config_.fast_forward) {
-        while (!core_->halted() && now_ < config_.max_cycles) {
-            tick();
-            // idleCandidate() is a two-branch filter for the same
-            // states idleStretch() can accept, so skipping
-            // fastForward() on other cycles changes nothing.
-            if (core_->idleCandidate())
-                fastForward();
+    const u64 wd = config_.watchdog_commits;
+    bool hung = false;
+    if (!injector_ && wd == 0) {
+        // Hot path: identical to the pre-watchdog loops, zero extra
+        // work per cycle when neither feature is in use.
+        if (config_.fast_forward) {
+            while (!core_->halted() && now_ < config_.max_cycles) {
+                tick();
+                // idleCandidate() is a two-branch filter for the same
+                // states idleStretch() can accept, so skipping
+                // fastForward() on other cycles changes nothing.
+                if (core_->idleCandidate())
+                    fastForward();
+            }
+        } else {
+            while (!core_->halted() && now_ < config_.max_cycles)
+                tick();
         }
     } else {
-        while (!core_->halted() && now_ < config_.max_cycles)
+        // Monitored loop: tracks commit progress (instructions plus
+        // micro-ops, so long window spill/fill sequences count) for
+        // the no-commit watchdog, and lets fastForward() cap stretches
+        // at fault triggers and the watchdog deadline.
+        u64 last_progress = core_->instructions() + core_->microOps();
+        watchdog_deadline_ = wd ? now_ + wd : kCycleNever;
+        while (!core_->halted() && now_ < config_.max_cycles) {
             tick();
+            const u64 progress =
+                core_->instructions() + core_->microOps();
+            if (progress != last_progress) {
+                last_progress = progress;
+                if (wd)
+                    watchdog_deadline_ = now_ + wd;
+            } else if (now_ >= watchdog_deadline_) {
+                hung = true;
+                break;
+            }
+            if (config_.fast_forward && core_->idleCandidate()) {
+                fastForward();
+                // The skipped stretch commits nothing, so only the
+                // deadline (at which fastForward stops) can expire.
+                if (now_ >= watchdog_deadline_) {
+                    hung = true;
+                    break;
+                }
+            }
+        }
+        watchdog_deadline_ = kCycleNever;
     }
     core_->flushTrace();
     bus_->flushObservers();
@@ -193,7 +252,11 @@ System::run()
     result.console = core_->consoleOutput();
     result.exit_code = core_->exitCode();
     result.trap = core_->trap();
-    if (!core_->halted()) {
+    if (hung) {
+        result.exit = RunResult::Exit::kHang;
+        result.trap_reason = "no commit in " + std::to_string(wd) +
+                             " cycles (watchdog)";
+    } else if (!core_->halted()) {
         result.exit = RunResult::Exit::kMaxCycles;
     } else if (core_->trap().kind == TrapKind::kMonitor) {
         result.exit = RunResult::Exit::kMonitorTrap;
@@ -204,6 +267,11 @@ System::run()
         result.trap_reason = core_->trap().detail;
     } else {
         result.exit = RunResult::Exit::kExited;
+    }
+    if ((result.exit == RunResult::Exit::kMonitorTrap ||
+         result.exit == RunResult::Exit::kCoreTrap) &&
+        (result.trap.pc & 3u) == 0) {
+        result.trap_inst = memory_->read32(result.trap.pc);
     }
     return result;
 }

@@ -16,6 +16,8 @@
 
 namespace flexcore {
 
+class FaultInjector;
+
 /** Outcome of a simulation run. */
 struct RunResult
 {
@@ -24,12 +26,14 @@ struct RunResult
         kMonitorTrap,   //!< a monitor check failed
         kCoreTrap,      //!< core-detected error (div-by-zero, ...)
         kMaxCycles,     //!< cycle limit reached
+        kHang,          //!< no-commit watchdog fired (wedged pipeline)
     };
 
     Exit exit = Exit::kMaxCycles;
     u32 exit_code = 0;
     TrapInfo trap;
     std::string trap_reason;    //!< monitor-provided detail
+    u32 trap_inst = 0;          //!< instruction word at trap.pc
     Cycle cycles = 0;
     u64 instructions = 0;
     std::string console;
@@ -77,6 +81,9 @@ class System
     StatGroup &stats() { return stats_; }
     Cycle cycles() const { return now_; }
 
+    /** Non-null iff the config carries a fault plan. */
+    const FaultInjector *injector() const { return injector_.get(); }
+
   private:
     /** Bulk-skip one quiescent stretch, if the system is in one. */
     void fastForward();
@@ -89,7 +96,13 @@ class System
     std::unique_ptr<Monitor> monitor_;
     std::unique_ptr<FlexInterface> iface_;
     std::unique_ptr<Fabric> fabric_;
+    std::unique_ptr<FaultInjector> injector_;
     Cycle now_ = 0;
+    /** Cycle at which the no-commit watchdog fires (kCycleNever when
+     * off); pushed forward by every committed instruction/micro-op.
+     * fastForward() caps bulk skips here so the kHang cycle count is
+     * byte-identical with fast-forwarding on or off. */
+    Cycle watchdog_deadline_ = kCycleNever;
     TraceSink *trace_ = nullptr;
     size_t traced_ffifo_depth_ = 0;
 };

@@ -1,0 +1,576 @@
+/**
+ * @file
+ * Fault-injection engine tests: plan parsing/validation, exact trigger
+ * semantics per injector, the no-commit watchdog, outcome
+ * classification, and coverage-campaign determinism.
+ */
+
+#include "faults/coverage.h"
+
+#include <gtest/gtest.h>
+
+#include "assembler/assembler.h"
+#include "faults/fault_plan.h"
+#include "faults/injector.h"
+#include "faults/outcome.h"
+#include "sim/system.h"
+#include "workloads/scenarios.h"
+#include "workloads/workload.h"
+
+namespace flexcore {
+namespace {
+
+/** Physical register backing @p arch_reg in the initial window. */
+unsigned
+physOfArch(unsigned arch_reg)
+{
+    SystemConfig config;
+    System probe(config);
+    return probe.core().regs().physIndex(arch_reg);
+}
+
+// ---------------------------------------------------------------- plans
+
+TEST(FaultPlan, SpecParseFormatRoundTrip)
+{
+    FaultSpec spec;
+    std::string error;
+    ASSERT_TRUE(parseFaultSpec("reg@i1200:t17:b3", &spec, &error))
+        << error;
+    EXPECT_EQ(spec.kind, FaultKind::kRegFlip);
+    EXPECT_EQ(spec.trigger, FaultTrigger::kCommit);
+    EXPECT_EQ(spec.when, 1200u);
+    EXPECT_EQ(spec.target, 17u);
+    EXPECT_EQ(spec.bit, 3u);
+    EXPECT_EQ(formatFaultSpec(spec), "reg@i1200:t17:b3");
+
+    ASSERT_TRUE(parseFaultSpec("mem@c5000:t0x2040:b5", &spec, &error))
+        << error;
+    EXPECT_EQ(spec.kind, FaultKind::kMemFlip);
+    EXPECT_EQ(spec.trigger, FaultTrigger::kCycle);
+    EXPECT_EQ(spec.target, 0x2040u);
+
+    ASSERT_TRUE(parseFaultSpec("ffifo@c900:t2:b12:fsrcv1", &spec,
+                               &error))
+        << error;
+    EXPECT_EQ(spec.field, PacketField::kSrcv1);
+    EXPECT_EQ(formatFaultSpec(spec), "ffifo@c900:t2:b12:fsrcv1");
+
+    // Round trip through the formatter for every kind.
+    for (const char *text :
+         {"reg@i1:t1:b0", "shadow@c7:t100:b7", "mem@c9:t4096:b1",
+          "meta@c9:t4096:b1", "ffifo@c2:t0:b31:fdest", "sb@c3:t1:b30"}) {
+        ASSERT_TRUE(parseFaultSpec(text, &spec, &error)) << error;
+        EXPECT_EQ(formatFaultSpec(spec), text);
+    }
+}
+
+TEST(FaultPlan, SpecParseErrors)
+{
+    FaultSpec spec;
+    std::string error;
+    EXPECT_FALSE(parseFaultSpec("reg:t1:b0", &spec, &error));
+    EXPECT_NE(error.find("no '@'"), std::string::npos);
+    EXPECT_FALSE(parseFaultSpec("bogus@c1:t1:b0", &spec, &error));
+    EXPECT_NE(error.find("unknown fault kind"), std::string::npos);
+    EXPECT_FALSE(parseFaultSpec("reg@t1:b0", &spec, &error));
+    EXPECT_FALSE(parseFaultSpec("reg@c1:t1:b32", &spec, &error));
+    EXPECT_FALSE(parseFaultSpec("reg@c1:t1:b0:fres", &spec, &error));
+    EXPECT_FALSE(parseFaultSpec("ffifo@c1:t1:b0:fbogus", &spec, &error));
+}
+
+TEST(FaultPlan, JsonRoundTrip)
+{
+    FaultPlan plan;
+    std::string error;
+    ASSERT_TRUE(parseFaultPlan(
+        "reg@i1200:t17:b3, ffifo@c900:t2:b12:fsrcv1\n"
+        "# a comment\n"
+        "mem@c5000:t8256:b5   # trailing comment\n",
+        &plan, &error))
+        << error;
+    ASSERT_EQ(plan.size(), 3u);
+    EXPECT_EQ(plan.format(),
+              "reg@i1200:t17:b3,ffifo@c900:t2:b12:fsrcv1,"
+              "mem@c5000:t8256:b5");
+
+    FaultPlan reparsed;
+    ASSERT_TRUE(parseFaultPlan(faultPlanJson(plan), &reparsed, &error))
+        << error;
+    EXPECT_EQ(reparsed.format(), plan.format());
+}
+
+TEST(FaultPlan, JsonParseErrors)
+{
+    FaultPlan plan;
+    std::string error;
+    EXPECT_FALSE(parseFaultPlan("{\"bogus\": []}", &plan, &error));
+    EXPECT_FALSE(parseFaultPlan(
+        "{\"faults\": [{\"kind\": \"nope\"}]}", &plan, &error));
+    EXPECT_FALSE(parseFaultPlan("{\"faults\": [{}]} trailing", &plan,
+                                &error));
+}
+
+TEST(FaultPlan, Validation)
+{
+    FaultPlan plan;
+    plan.specs.push_back({FaultKind::kRegFlip, FaultTrigger::kCycle, 0,
+                          5, 1, PacketField::kRes});
+    EXPECT_NE(validateFaultPlan(plan).find(">= 1"), std::string::npos);
+
+    plan.specs = {{FaultKind::kRegFlip, FaultTrigger::kCycle, 1, 0, 1,
+                   PacketField::kRes}};
+    EXPECT_FALSE(validateFaultPlan(plan).empty());   // target 0
+
+    plan.specs = {{FaultKind::kMemFlip, FaultTrigger::kCycle, 1, 8, 9,
+                   PacketField::kRes}};
+    EXPECT_FALSE(validateFaultPlan(plan).empty());   // bit > 7
+
+    plan.specs = {{FaultKind::kMetaFlip, FaultTrigger::kCycle, 1, 0x1002,
+                   1, PacketField::kRes}};
+    EXPECT_FALSE(validateFaultPlan(plan).empty());   // unaligned
+
+    plan.specs = {{FaultKind::kRegFlip, FaultTrigger::kCommit, 10, 17, 3,
+                   PacketField::kRes}};
+    EXPECT_TRUE(validateFaultPlan(plan).empty());
+}
+
+TEST(FaultPlan, FinalizeRejectsBadConfigs)
+{
+    SystemConfig config;
+    config.faults.specs = {{FaultKind::kRegFlip, FaultTrigger::kCycle, 0,
+                            5, 1, PacketField::kRes}};
+    EXPECT_EQ(config.finalize().code, ConfigError::Code::kBadFaultPlan);
+
+    SystemConfig wd;
+    wd.max_cycles = 1000;
+    wd.watchdog_commits = 1000;
+    EXPECT_EQ(wd.finalize().code, ConfigError::Code::kBadWatchdog);
+
+    SystemConfig zero;
+    zero.max_cycles = 0;
+    EXPECT_EQ(zero.finalize().code, ConfigError::Code::kBadCycleLimit);
+
+    SystemConfig good;
+    good.watchdog_commits = 50'000;
+    good.faults.specs = {{FaultKind::kRegFlip, FaultTrigger::kCommit, 10,
+                          17, 3, PacketField::kRes}};
+    EXPECT_FALSE(good.finalize());
+}
+
+// ------------------------------------------------------------ injectors
+
+TEST(FaultInjection, RegFlipAppliesAtExactCycle)
+{
+    const unsigned phys = 130;   // untouched by the test program
+    SystemConfig config;
+    std::string error;
+    ASSERT_TRUE(parseFaultSpec(
+        "reg@c100:t" + std::to_string(phys) + ":b3",
+        &config.faults.specs.emplace_back(), &error))
+        << error;
+    System system(config);
+    system.load(Assembler::assembleOrDie(R"(
+        .org 0x1000
+_start: ba _start
+        nop
+)"));
+    while (system.cycles() < 100) {
+        system.tick();
+        ASSERT_EQ(system.core().regs().readPhys(phys),
+                  system.cycles() > 100 ? 8u : 0u);
+    }
+    EXPECT_EQ(system.core().regs().readPhys(phys), 0u);
+    system.tick();   // the tick at cycle 100 applies the fault
+    EXPECT_EQ(system.core().regs().readPhys(phys), 8u);
+    EXPECT_EQ(system.injector()->log().applied, 1u);
+    EXPECT_EQ(system.injector()->log().first_cycle, Cycle{100});
+}
+
+TEST(FaultInjection, RegFlipAppliesAtExactCommitIndex)
+{
+    // %l1 doubles each commit; flipping bit 4 right after commit N
+    // makes every later double carry the corruption, so the final
+    // value pins down the injection index exactly.
+    const unsigned phys = physOfArch(17);   // %l1
+    const char *source = R"(
+        .org 0x1000
+_start: mov 1, %l1
+        add %l1, %l1, %l1
+        add %l1, %l1, %l1
+        add %l1, %l1, %l1
+        ta 0
+        nop
+)";
+    const auto final_l1 = [&](u64 commit_index) {
+        SystemConfig config;
+        FaultSpec spec;
+        spec.kind = FaultKind::kRegFlip;
+        spec.trigger = FaultTrigger::kCommit;
+        spec.when = commit_index;
+        spec.target = phys;
+        spec.bit = 4;
+        config.faults.specs = {spec};
+        System system(config);
+        system.load(Assembler::assembleOrDie(source));
+        const RunResult result = system.run();
+        EXPECT_EQ(result.exit, RunResult::Exit::kExited);
+        return system.core().regs().readPhys(phys);
+    };
+    // After commit 2 (%l1 == 2): 2^16=18 -> 36 -> 72.
+    EXPECT_EQ(final_l1(2), 72u);
+    // After commit 3 (%l1 == 4): 4^16=20 -> 40.
+    EXPECT_EQ(final_l1(3), 40u);
+}
+
+TEST(FaultInjection, MemFlipExactCycleAndByte)
+{
+    SystemConfig config;
+    std::string error;
+    // 0x2000 is the .org 0x1000 program's data word below.
+    ASSERT_TRUE(parseFaultSpec("mem@c60:t0x2001:b5",
+                               &config.faults.specs.emplace_back(),
+                               &error))
+        << error;
+    System system(config);
+    system.load(Assembler::assembleOrDie(R"(
+        .org 0x1000
+_start: ba _start
+        nop
+        .org 0x2000
+        .word 0
+)"));
+    while (system.cycles() < 60)
+        system.tick();
+    EXPECT_EQ(system.memory().read8(0x2001), 0u);
+    system.tick();
+    EXPECT_EQ(system.memory().read8(0x2001), 1u << 5);
+    EXPECT_EQ(system.memory().read8(0x2000), 0u);   // only that byte
+}
+
+TEST(FaultInjection, MetaFlipReachesMonitorTags)
+{
+    SystemConfig config;
+    config.monitor = MonitorKind::kUmc;
+    config.mode = ImplMode::kFlexFabric;
+    std::string error;
+    // 0x300000 is far outside the loaded image, so its tag starts 0.
+    ASSERT_TRUE(parseFaultSpec("meta@c10:t0x300000:b0",
+                               &config.faults.specs.emplace_back(),
+                               &error))
+        << error;
+    System system(config);
+    system.load(Assembler::assembleOrDie(R"(
+        .org 0x1000
+_start: ba _start
+        nop
+)"));
+    while (system.cycles() <= 10)
+        system.tick();
+    EXPECT_EQ(system.monitor()->memTags().read(0x300000), 1u);
+    EXPECT_EQ(system.injector()->log().applied, 1u);
+}
+
+TEST(FaultInjection, SkippedWhenTargetAbsent)
+{
+    // An FFIFO flip in baseline mode (no interface) and a store-buffer
+    // flip while the buffer is empty both count as skipped, never as
+    // applied.
+    SystemConfig config;
+    std::string error;
+    ASSERT_TRUE(parseFaultSpec("ffifo@c5:t0:b0:fres",
+                               &config.faults.specs.emplace_back(),
+                               &error))
+        << error;
+    ASSERT_TRUE(parseFaultSpec("sb@c5:t0:b0",
+                               &config.faults.specs.emplace_back(),
+                               &error))
+        << error;
+    System system(config);
+    system.load(Assembler::assembleOrDie(R"(
+        .org 0x1000
+_start: ba _start
+        nop
+)"));
+    while (system.cycles() <= 5)
+        system.tick();
+    EXPECT_EQ(system.injector()->log().applied, 0u);
+    EXPECT_EQ(system.injector()->log().skipped, 2u);
+}
+
+// ------------------------------------------------------------- watchdog
+
+/** SEC ignores cpops, so m.read never gets a BFIFO reply: a genuine
+ * wedged-pipeline hang, the watchdog's target. */
+const char *kHangingSource = R"(
+        .org 0x1000
+_start: mov 1, %l0
+        add %l0, %l0, %l0
+        m.read %o0, 0
+        ta 0
+        nop
+)";
+
+TEST(Watchdog, CatchesNoCommitHang)
+{
+    SystemConfig config;
+    config.monitor = MonitorKind::kSec;
+    config.mode = ImplMode::kFlexFabric;
+    config.watchdog_commits = 5'000;
+    System system(config);
+    system.load(Assembler::assembleOrDie(kHangingSource));
+    const RunResult result = system.run();
+    EXPECT_EQ(result.exit, RunResult::Exit::kHang);
+    EXPECT_NE(result.trap_reason.find("watchdog"), std::string::npos);
+    // Cut short within the watchdog window, far below max_cycles.
+    EXPECT_LT(result.cycles, Cycle{20'000});
+    EXPECT_LT(result.cycles, config.max_cycles / 1000);
+}
+
+TEST(Watchdog, ByteIdenticalWithAndWithoutFastForward)
+{
+    const auto hang_cycles = [&](bool fast_forward) {
+        SystemConfig config;
+        config.monitor = MonitorKind::kSec;
+        config.mode = ImplMode::kFlexFabric;
+        config.watchdog_commits = 5'000;
+        config.fast_forward = fast_forward;
+        System system(config);
+        system.load(Assembler::assembleOrDie(kHangingSource));
+        const RunResult result = system.run();
+        EXPECT_EQ(result.exit, RunResult::Exit::kHang);
+        return result.cycles;
+    };
+    EXPECT_EQ(hang_cycles(true), hang_cycles(false));
+}
+
+TEST(Watchdog, OrthogonalToMaxCycles)
+{
+    // A *committing* infinite loop makes progress every few cycles:
+    // the watchdog must stay silent and the cycle limit must end the
+    // run, exactly as without a watchdog.
+    SystemConfig config;
+    config.watchdog_commits = 1'000;
+    config.max_cycles = 30'000;
+    System system(config);
+    system.load(Assembler::assembleOrDie(R"(
+        .org 0x1000
+_start: ba _start
+        nop
+)"));
+    const RunResult result = system.run();
+    EXPECT_EQ(result.exit, RunResult::Exit::kMaxCycles);
+    EXPECT_EQ(result.cycles, Cycle{30'000});
+}
+
+// -------------------------------------------------- detection end to end
+
+TEST(FaultDetection, SecDetectsRegisterFlip)
+{
+    // Flip a live loop register mid-run; SEC's residue check must trap
+    // on its next use, and the classifier must label it detected.
+    SystemConfig config;
+    config.monitor = MonitorKind::kSec;
+    config.mode = ImplMode::kFlexFabric;
+    FaultSpec spec;
+    spec.kind = FaultKind::kRegFlip;
+    spec.trigger = FaultTrigger::kCommit;
+    spec.when = 10'000;
+    spec.target = physOfArch(17);   // %l1, read every iteration
+    spec.bit = 2;
+    config.faults.specs = {spec};
+
+    const SimOutcome outcome =
+        SimRequest(config).workload(scenarioSecWorkload()).run();
+    EXPECT_EQ(outcome.result.exit, RunResult::Exit::kMonitorTrap);
+    EXPECT_NE(outcome.result.trap_reason.find("residue"),
+              std::string::npos);
+    EXPECT_EQ(outcome.fault.outcome, FaultOutcome::kDetected);
+    EXPECT_EQ(outcome.fault.applied, 1u);
+    EXPECT_GE(outcome.fault.detection_latency, 0);
+    // The fabric runs at a quarter of the core clock for SEC and is
+    // six stages deep, so detection takes a bounded tail of cycles.
+    EXPECT_LT(outcome.fault.detection_latency, 5'000);
+}
+
+TEST(FaultDetection, SecDetectsFfifoCorruption)
+{
+    // Corrupt the RES field of a queued commit packet: the checker
+    // re-executes the instruction and must disagree.
+    SystemConfig config;
+    config.monitor = MonitorKind::kSec;
+    config.mode = ImplMode::kFlexFabric;
+    std::string error;
+    // Several attempts in case a particular cycle finds the FIFO
+    // empty; the run traps at the first one that lands.
+    for (const char *text : {"ffifo@c2001:t0:b7:fres",
+                             "ffifo@c2103:t0:b7:fres",
+                             "ffifo@c2205:t0:b7:fres"}) {
+        ASSERT_TRUE(parseFaultSpec(
+            text, &config.faults.specs.emplace_back(), &error))
+            << error;
+    }
+    const SimOutcome outcome =
+        SimRequest(config).workload(scenarioSecWorkload()).run();
+    EXPECT_EQ(outcome.result.exit, RunResult::Exit::kMonitorTrap);
+    EXPECT_EQ(outcome.fault.outcome, FaultOutcome::kDetected);
+    EXPECT_GE(outcome.fault.applied, 1u);
+}
+
+TEST(FaultDetection, BenignFlipClassifiedBenign)
+{
+    // A flip in a register the program never reads again must classify
+    // as benign: clean exit, golden console.
+    SystemConfig config;
+    config.monitor = MonitorKind::kSec;
+    config.mode = ImplMode::kFlexFabric;
+    FaultSpec spec;
+    spec.kind = FaultKind::kRegFlip;
+    spec.trigger = FaultTrigger::kCycle;
+    spec.when = 50;
+    spec.target = 130;   // untouched physical register
+    spec.bit = 0;
+    config.faults.specs = {spec};
+    const SimOutcome outcome =
+        SimRequest(config).workload(scenarioSecWorkload()).run();
+    EXPECT_EQ(outcome.result.exit, RunResult::Exit::kExited);
+    EXPECT_EQ(outcome.fault.outcome, FaultOutcome::kBenign);
+    EXPECT_TRUE(outcome.golden_diff.empty());
+}
+
+// --------------------------------------------------------- classification
+
+TEST(FaultOutcomes, ClassifierMapsEveryExit)
+{
+    InjectionLog log;
+    log.applied = 1;
+    log.first_cycle = 100;
+    const std::string golden = "ok\n";
+
+    RunResult r;
+    r.cycles = 450;
+    r.exit = RunResult::Exit::kMonitorTrap;
+    FaultReport rep = classifyFaultRun(r, log, &golden);
+    EXPECT_EQ(rep.outcome, FaultOutcome::kDetected);
+    EXPECT_EQ(rep.detection_latency, 350);
+
+    r.exit = RunResult::Exit::kCoreTrap;
+    EXPECT_EQ(classifyFaultRun(r, log, &golden).outcome,
+              FaultOutcome::kCoreTrap);
+
+    r.exit = RunResult::Exit::kHang;
+    EXPECT_EQ(classifyFaultRun(r, log, &golden).outcome,
+              FaultOutcome::kHang);
+    r.exit = RunResult::Exit::kMaxCycles;
+    EXPECT_EQ(classifyFaultRun(r, log, &golden).outcome,
+              FaultOutcome::kHang);
+
+    r.exit = RunResult::Exit::kExited;
+    r.console = "ok\n";
+    EXPECT_EQ(classifyFaultRun(r, log, &golden).outcome,
+              FaultOutcome::kBenign);
+    r.console = "not ok\n";
+    EXPECT_EQ(classifyFaultRun(r, log, &golden).outcome,
+              FaultOutcome::kSdc);
+    // Without a golden reference, SDC is indistinguishable: benign.
+    EXPECT_EQ(classifyFaultRun(r, log, nullptr).outcome,
+              FaultOutcome::kBenign);
+}
+
+TEST(FaultOutcomes, BoundedDiff)
+{
+    EXPECT_EQ(boundedDiff("same", "same"), "");
+    const std::string d = boundedDiff("hello world", "hellO world");
+    EXPECT_NE(d.find("byte 4"), std::string::npos);
+    EXPECT_NE(d.find("\"o world\""), std::string::npos);
+    EXPECT_NE(d.find("\"O world\""), std::string::npos);
+
+    // Truncation to the requested excerpt size.
+    const std::string long_a(300, 'a');
+    std::string long_b = long_a;
+    long_b[10] = 'x';
+    const std::string t = boundedDiff(long_a, long_b, 8);
+    EXPECT_NE(t.find("byte 10"), std::string::npos);
+    EXPECT_NE(t.find("..."), std::string::npos);
+    EXPECT_LT(t.size(), 150u);
+
+    // Length-only difference: first diff at the shorter length.
+    const std::string l = boundedDiff("abc", "abcdef");
+    EXPECT_NE(l.find("byte 3"), std::string::npos);
+    EXPECT_NE(l.find("expected 3 bytes, got 6"), std::string::npos);
+
+    // Non-printables are escaped.
+    EXPECT_NE(boundedDiff("a\n", "a\t").find("\\n"), std::string::npos);
+}
+
+// ------------------------------------------------- campaign determinism
+
+TEST(FaultCoverage, JsonByteIdenticalAcrossJobsAndFastForward)
+{
+    FaultCovSpec spec;
+    spec.name = "determinism";
+    spec.workloads = {makeSha(WorkloadScale::kTest)};
+    spec.monitors = {MonitorKind::kUmc, MonitorKind::kSec};
+    spec.models = {FaultKind::kRegFlip, FaultKind::kFfifoFlip};
+    spec.trials = 3;
+    spec.seed = 42;
+    spec.base.mode = ImplMode::kFlexFabric;
+    spec.base.watchdog_commits = 50'000;
+
+    CampaignOptions serial;
+    serial.jobs = 1;
+    CampaignOptions parallel;
+    parallel.jobs = 4;
+
+    const std::string json_serial =
+        faultCovJson(spec, runFaultCoverage(spec, serial));
+    const std::string json_parallel =
+        faultCovJson(spec, runFaultCoverage(spec, parallel));
+    EXPECT_EQ(json_serial, json_parallel);
+
+    FaultCovSpec no_ff = spec;
+    no_ff.base.fast_forward = false;
+    const std::string json_no_ff =
+        faultCovJson(no_ff, runFaultCoverage(no_ff, parallel));
+    EXPECT_EQ(json_serial, json_no_ff);
+
+    // The table is not degenerate: every cell ran all trials and at
+    // least one fault somewhere was detected.
+    const FaultCovResult result = runFaultCoverage(spec, parallel);
+    ASSERT_EQ(result.cells.size(), 4u);
+    u64 detected = 0;
+    for (const FaultCell &cell : result.cells) {
+        EXPECT_EQ(cell.trials, 3u);
+        detected += cell.outcomes(FaultOutcome::kDetected);
+    }
+    EXPECT_GT(detected, 0u);
+}
+
+TEST(FaultCoverage, SeedChangesTheSchedule)
+{
+    FaultCovSpec spec;
+    spec.workloads = {makeSha(WorkloadScale::kTest)};
+    spec.monitors = {MonitorKind::kSec};
+    spec.models = {FaultKind::kRegFlip};
+    spec.trials = 3;
+    spec.base.mode = ImplMode::kFlexFabric;
+    spec.base.watchdog_commits = 50'000;
+
+    CampaignOptions opts;
+    opts.jobs = 2;
+    spec.seed = 1;
+    const FaultCovResult a = runFaultCoverage(spec, opts);
+    spec.seed = 2;
+    const FaultCovResult b = runFaultCoverage(spec, opts);
+    ASSERT_EQ(a.runs.size(), b.runs.size());
+    bool any_difference = false;
+    for (size_t i = 0; i < a.runs.size(); ++i) {
+        if (formatFaultSpec(a.runs[i].spec) !=
+            formatFaultSpec(b.runs[i].spec))
+            any_difference = true;
+    }
+    EXPECT_TRUE(any_difference);
+}
+
+}  // namespace
+}  // namespace flexcore

@@ -132,17 +132,96 @@ TEST(Sec, KeepsNoMetaData)
     EXPECT_EQ(r.num_ops, 0u);   // never touches the meta cache
 }
 
-TEST(Sec, CfgrForwardsOnlyAluClasses)
+TEST(Sec, CfgrForwardsAllRegisterWritingClasses)
 {
+    // SEC forwards every class that writes an integer register (to
+    // keep the residue file fresh) and nothing else: stores, branches,
+    // traps, and cpops stay ignored.
     SecMonitor sec;
     Cfgr cfgr;
     sec.configureCfgr(&cfgr);
-    EXPECT_EQ(cfgr.policy(kTypeAluAdd), ForwardPolicy::kAlways);
-    EXPECT_EQ(cfgr.policy(kTypeMul), ForwardPolicy::kAlways);
-    EXPECT_EQ(cfgr.policy(kTypeDiv), ForwardPolicy::kAlways);
-    EXPECT_EQ(cfgr.policy(kTypeLoadWord), ForwardPolicy::kIgnore);
-    EXPECT_EQ(cfgr.policy(kTypeStoreWord), ForwardPolicy::kIgnore);
-    EXPECT_EQ(cfgr.policy(kTypeCpop1), ForwardPolicy::kIgnore);
+    for (InstrType type :
+         {kTypeAluAdd, kTypeAluSub, kTypeAluLogic, kTypeAluShift,
+          kTypeMul, kTypeDiv, kTypeSethi, kTypeLoadWord, kTypeLoadByte,
+          kTypeLoadHalf, kTypeCall, kTypeIndirectJump, kTypeSave,
+          kTypeRestore, kTypeReadY}) {
+        EXPECT_EQ(cfgr.policy(type), ForwardPolicy::kAlways)
+            << static_cast<int>(type);
+    }
+    for (InstrType type :
+         {kTypeStoreWord, kTypeStoreByte, kTypeStoreHalf, kTypeBranch,
+          kTypeWriteY, kTypeCpop1, kTypeCpop2, kTypeTrap}) {
+        EXPECT_EQ(cfgr.policy(type), ForwardPolicy::kIgnore)
+            << static_cast<int>(type);
+    }
+}
+
+TEST(Sec, ResidueCheckCatchesRegisterFlip)
+{
+    SecMonitor sec;
+    MonitorResult r;
+
+    // An add writes phys reg 17 with value 12; SEC records mod7(12)=5.
+    CommitPacket wr = aluPkt(Op::kAdd, 5, 7, 12);
+    wr.dest = 17;
+    sec.process(wr, &r);
+    EXPECT_FALSE(r.trap);
+
+    // Clean re-use of reg 17 passes the residue check.
+    CommitPacket use = aluPkt(Op::kAdd, 12, 1, 13);
+    use.src1 = 17;
+    sec.process(use, &r);
+    EXPECT_FALSE(r.trap);
+
+    // Now flip a stored bit: the operand value the core read (12^8=4)
+    // recomputes consistently in the checker ALU, but its residue no
+    // longer matches the recorded one — only the residue check can
+    // catch this.
+    sec.regTags().flipBit(0, 0);   // %g0 flips are ignored
+    CommitPacket corrupted = aluPkt(Op::kAdd, 12 ^ 8, 1, (12 ^ 8) + 1);
+    corrupted.src1 = 17;
+    sec.process(corrupted, &r);
+    EXPECT_TRUE(r.trap);
+    EXPECT_STREQ(r.trap_reason, "register residue mismatch (soft error)");
+}
+
+TEST(Sec, UnknownResidueIsNeverChecked)
+{
+    // Registers never written through a forwarded packet have no
+    // recorded residue; reads of them must not trap.
+    SecMonitor sec;
+    MonitorResult r;
+    CommitPacket use = aluPkt(Op::kAdd, 0xdeadbeef, 1, 0xdeadbef0);
+    use.src1 = 99;
+    sec.process(use, &r);
+    EXPECT_FALSE(r.trap);
+}
+
+TEST(Sec, CallRecordsLinkAddressResidue)
+{
+    // call writes its own PC to the link register while RES carries
+    // the branch target; the residue must come from the PC.
+    SecMonitor sec;
+    MonitorResult r;
+    CommitPacket call;
+    call.di.op = Op::kCall;
+    call.di.type = kTypeCall;
+    call.di.valid = true;
+    call.pc = 0x1008;
+    call.res = 0x2000;   // target
+    call.dest = 15;
+    sec.process(call, &r);
+    EXPECT_FALSE(r.trap);
+
+    CommitPacket use = aluPkt(Op::kAdd, 0x1008, 8, 0x1010);
+    use.src1 = 15;
+    sec.process(use, &r);
+    EXPECT_FALSE(r.trap);
+
+    CommitPacket bad = aluPkt(Op::kAdd, 0x1008 ^ 4, 8, (0x1008 ^ 4) + 8);
+    bad.src1 = 15;
+    sec.process(bad, &r);
+    EXPECT_TRUE(r.trap);
 }
 
 }  // namespace

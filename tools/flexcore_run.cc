@@ -16,9 +16,11 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "assembler/assembler.h"
 #include "common/cliopts.h"
+#include "faults/fault_plan.h"
 #include "isa/disasm.h"
 #include "sim/sim_request.h"
 
@@ -36,6 +38,8 @@ main(int argc, char **argv)
     std::string path;
     std::string stats_json_path;
     std::string trace_json_path;
+    std::vector<std::string> inject_specs;
+    std::string fault_plan_path;
 
     cli::Parser parser("flexcore-run",
                        "assemble and run a SPARC-subset program");
@@ -72,6 +76,16 @@ main(int argc, char **argv)
                   "ALU transient-fault probability");
     parser.option("--max-cycles", &config.max_cycles, "N",
                   "simulation cycle limit");
+    parser.option("--watchdog-commits", &config.watchdog_commits, "N",
+                  "end the run as a hang after N consecutive cycles "
+                  "without a commit (0 = off)");
+    parser.list("--inject", &inject_specs, "SPEC",
+                "schedule one fault, e.g. reg@i1200:t17:b3 or "
+                "mem@c5000:t0x2040:b5 or ffifo@c900:t2:b12:fsrcv1; "
+                "repeatable");
+    parser.option("--fault-plan", &fault_plan_path, "FILE",
+                  "load a fault plan (JSON document or compact specs, "
+                  "see docs/fault_injection.md)");
     parser.flag("--stats", &dump_stats, "dump the statistics tree");
     parser.option("--stats-json", &stats_json_path, "FILE",
                   "write the statistics tree to FILE as canonical JSON");
@@ -94,6 +108,38 @@ main(int argc, char **argv)
         config.mode = ImplMode::kFlexFabric;
     if (no_fast_forward)
         config.fast_forward = false;
+
+    if (!fault_plan_path.empty()) {
+        std::ifstream plan_file(fault_plan_path);
+        if (!plan_file) {
+            std::fprintf(stderr, "cannot open %s\n",
+                         fault_plan_path.c_str());
+            return 2;
+        }
+        std::stringstream plan_text;
+        plan_text << plan_file.rdbuf();
+        std::string error;
+        if (!parseFaultPlan(plan_text.str(), &config.faults, &error)) {
+            std::fprintf(stderr, "%s: %s\n", fault_plan_path.c_str(),
+                         error.c_str());
+            return 2;
+        }
+    }
+    for (const std::string &text : inject_specs) {
+        FaultSpec spec;
+        std::string error;
+        if (!parseFaultSpec(text, &spec, &error)) {
+            std::fprintf(stderr, "--inject %s: %s\n", text.c_str(),
+                         error.c_str());
+            return 2;
+        }
+        config.faults.specs.push_back(spec);
+    }
+    if (std::string why = validateFaultPlan(config.faults);
+        !why.empty()) {
+        std::fprintf(stderr, "invalid fault plan: %s\n", why.c_str());
+        return 2;
+    }
 
     std::ifstream file(path);
     if (!file) {
@@ -159,7 +205,34 @@ main(int argc, char **argv)
                          std::string(trapKindName(result.trap.kind))
                              .c_str(),
                          result.trap.detail.c_str(), result.trap.pc);
+        if (result.exit == RunResult::Exit::kHang)
+            std::fprintf(stderr, " (%s)", result.trap_reason.c_str());
         std::fprintf(stderr, "\n");
+        if ((result.exit == RunResult::Exit::kMonitorTrap ||
+             result.exit == RunResult::Exit::kCoreTrap) &&
+            result.trap_inst != 0) {
+            std::fprintf(
+                stderr, "[flexcore-run]   offending instruction: %s\n",
+                disassemble(result.trap_inst, result.trap.pc).c_str());
+        }
+        if (!config.faults.empty()) {
+            const FaultReport &fault = outcome.fault;
+            std::fprintf(
+                stderr,
+                "[flexcore-run] fault outcome: %s (%llu applied, %llu "
+                "skipped)",
+                std::string(faultOutcomeName(fault.outcome)).c_str(),
+                static_cast<unsigned long long>(fault.applied),
+                static_cast<unsigned long long>(fault.skipped));
+            if (fault.outcome == FaultOutcome::kDetected)
+                std::fprintf(stderr, ", detection latency %lld cycles",
+                             static_cast<long long>(
+                                 fault.detection_latency));
+            std::fprintf(stderr, "\n");
+            if (!outcome.golden_diff.empty())
+                std::fprintf(stderr, "[flexcore-run]   %s\n",
+                             outcome.golden_diff.c_str());
+        }
     }
     if (dump_stats)
         std::fputs(outcome.stats_text.c_str(), stderr);
@@ -186,6 +259,8 @@ main(int argc, char **argv)
         return 126;
       case RunResult::Exit::kMaxCycles:
         return 124;
+      case RunResult::Exit::kHang:
+        return 123;
     }
     return 1;
 }

@@ -72,6 +72,8 @@ main(int argc, char **argv)
     std::string out = "sweep.json";
     bool no_progress = false;
     u32 jobs_opt = 0;
+    u64 max_cycles = 0;
+    u64 watchdog_commits = 0;
 
     cli::Parser parser("flexcore-sweep",
                        "run a design-space campaign");
@@ -91,6 +93,10 @@ main(int argc, char **argv)
                   "workload input size (default full)");
     parser.option("--jobs", &jobs_opt, "N",
                   "worker threads (default: all hardware threads)");
+    parser.option("--max-cycles", &max_cycles, "N",
+                  "per-job simulation cycle limit (0 = default)");
+    parser.option("--watchdog-commits", &watchdog_commits, "N",
+                  "per-job no-commit watchdog threshold (0 = off)");
     parser.option("--out", &out, "FILE",
                   "write merged JSON (default sweep.json)");
     parser.list("--stat", &options.stat_paths, "PATH",
@@ -105,7 +111,16 @@ main(int argc, char **argv)
         options.progress = false;
     options.label = grid;
 
-    const auto jobs = expandSweep(makeGrid(grid, scale));
+    SweepSpec spec = makeGrid(grid, scale);
+    if (max_cycles)
+        spec.base.max_cycles = max_cycles;
+    spec.base.watchdog_commits = watchdog_commits;
+    if (ConfigError error = SystemConfig(spec.base).finalize()) {
+        std::fprintf(stderr, "flexcore-sweep: %s\n",
+                     error.message.c_str());
+        return 2;
+    }
+    const auto jobs = expandSweep(spec);
     std::fprintf(stderr, "[%s] %zu jobs on %u threads\n", grid.c_str(),
                  jobs.size(),
                  options.jobs ? options.jobs
