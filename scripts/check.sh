@@ -10,11 +10,18 @@ jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 # Prefer Ninja when available, but fall back to the platform default
 # generator; a bare cmake+make host must be able to run this script.
 # Only choose a generator on first configure — an existing build tree
-# keeps whichever one it was created with.
+# keeps whichever one it was created with. A CXX (and optionally CC)
+# environment override picks the compiler on a fresh configure, so the
+# same script drives the gcc and clang CI jobs.
+compiler_args=""
+[ -n "${CXX:-}" ] && compiler_args="-DCMAKE_CXX_COMPILER=$CXX"
+[ -n "${CC:-}" ] && compiler_args="$compiler_args -DCMAKE_C_COMPILER=$CC"
 if [ ! -f build/CMakeCache.txt ] && command -v ninja >/dev/null 2>&1; then
-    cmake -B build -G Ninja
+    # shellcheck disable=SC2086
+    cmake -B build -G Ninja $compiler_args
 else
-    cmake -B build
+    # shellcheck disable=SC2086
+    cmake -B build $compiler_args
 fi
 cmake --build build -j "$jobs"
 ctest --test-dir build --output-on-failure -j "$jobs"
@@ -38,6 +45,27 @@ for bench in "$root"/build/bench/*; do
     # result tables to the working directory.
     (cd "$tmpdir" && "$bench" > /dev/null)
 done
+
+echo "== extension registry =="
+# Every built-in extension must be registered and documented: the
+# --list-monitors table names all nine (the eight fabric extensions
+# plus the software-instrumentation family), each with a doc string.
+./build/tools/flexcore-run --list-monitors > "$tmpdir/monitors.txt"
+for name in umc dift bc sec prof memprot watch refcnt software; do
+    line="$(grep -E "^  $name " "$tmpdir/monitors.txt")" || {
+        echo "missing extension '$name' in --list-monitors" >&2
+        exit 1
+    }
+    # The description column must not be empty (>= 6 fields: name,
+    # depth, tags, period, aliases, doc...).
+    [ "$(echo "$line" | wc -w)" -ge 6 ] || {
+        echo "extension '$name' has no doc string" >&2
+        exit 1
+    }
+done
+# The refcount alias parses everywhere a monitor name is accepted.
+./build/tools/flexcore-run --monitor refcount --quiet \
+    programs/hello.s > /dev/null
 
 echo "== sweep determinism =="
 ./build/tools/flexcore-sweep --grid table4 --scale test --jobs 1 \

@@ -1,20 +1,58 @@
 #include "monitors/bc.h"
 
+#include "extensions/builtin.h"
+#include "extensions/registry.h"
+#include "flexcore/shadow_regfile.h"
+#include "synth/extension_synth.h"
+
 namespace flexcore {
 
 void
-BcMonitor::configureCfgr(Cfgr *cfgr) const
+registerBcExtension(ExtensionRegistry &registry)
 {
-    cfgr->setAll(ForwardPolicy::kIgnore);
+    using K = Primitive::Kind;
+    ExtensionDescriptor desc;
+    desc.kind = MonitorKind::kBc;
+    desc.name = "bc";
+    desc.doc = "color-based array bounds check: pointer colors vs "
+               "location colors on every load and store";
+    desc.make = [](const MonitorOptions &) -> std::unique_ptr<Monitor> {
+        return std::make_unique<BcMonitor>();
+    };
+    desc.pipeline_depth = 5;
+    desc.tag_bits_per_word = 8;
+    desc.default_flex_period = 2;
     // All arithmetic is forwarded: a pointer may flow through logic or
     // shift ops (alignment masks), so colors must follow conservatively.
-    for (InstrType type :
-         {kTypeAluAdd, kTypeAluSub, kTypeAluLogic, kTypeAluShift,
-          kTypeLoadWord, kTypeLoadByte, kTypeLoadHalf, kTypeStoreWord,
-          kTypeStoreByte, kTypeStoreHalf, kTypeSave, kTypeRestore,
-          kTypeCpop1, kTypeCpop2}) {
-        cfgr->setPolicy(type, ForwardPolicy::kAlways);
-    }
+    desc.forwardClasses({kTypeAluAdd, kTypeAluSub, kTypeAluLogic,
+                         kTypeAluShift, kTypeLoadWord, kTypeLoadByte,
+                         kTypeLoadHalf, kTypeStoreWord, kTypeStoreByte,
+                         kTypeStoreHalf, kTypeSave, kTypeRestore,
+                         kTypeCpop1, kTypeCpop2});
+    desc.tapped_groups = 9;
+    desc.build_fabric = [](const ExtensionDescriptor &d,
+                           Inventory *fab) {
+        fab->critical_levels = 5.0;
+        fab->add(K::kAdder, 32);          // tag address translation
+        fab->add(K::kAdder, 4, 2);        // color addition (two sources)
+        fab->add(K::kComparator, 4, 2);   // color match (load + store)
+        fab->add(K::kMux, 8);             // packed tag extract
+        fab->add(K::kMux, 32);
+        fab->add(K::kDecoder, 5);
+        fab->add(K::kRandomLogic, 420);   // two-port sequencing control
+        fab->add(K::kRegister, 56, d.pipeline_depth);
+    };
+    desc.build_asic = [](const ExtensionDescriptor &,
+                         Inventory *asic) {
+        asic->sram_bits =
+            metaCacheBits(4 * 1024, 32) + forwardFifoBits(64);
+        asic->sram_macros = 3;
+        asic->add(K::kAdder, 32);
+        asic->add(K::kRegister, kNumPhysRegs * 4);   // 4-bit colors
+        asic->add(K::kRandomLogic, 41000);
+    };
+    desc.paper_grid = true;
+    registry.add(std::move(desc));
 }
 
 u8

@@ -21,7 +21,6 @@ class BcMonitor : public Monitor
     unsigned pipelineDepth() const override { return 5; }
     unsigned tagBitsPerWord() const override { return 8; }
 
-    void configureCfgr(Cfgr *cfgr) const override;
     void process(const CommitPacket &packet,
                  MonitorResult *result) override;
 

@@ -1,6 +1,10 @@
 #include "monitors/dift.h"
 
 #include "common/log.h"
+#include "extensions/builtin.h"
+#include "extensions/registry.h"
+#include "flexcore/shadow_regfile.h"
+#include "synth/extension_synth.h"
 
 namespace flexcore {
 
@@ -12,17 +16,49 @@ DiftMonitor::DiftMonitor(unsigned tag_bits)
 }
 
 void
-DiftMonitor::configureCfgr(Cfgr *cfgr) const
+registerDiftExtension(ExtensionRegistry &registry)
 {
-    cfgr->setAll(ForwardPolicy::kIgnore);
-    for (InstrType type :
-         {kTypeAluAdd, kTypeAluSub, kTypeAluLogic, kTypeAluShift,
-          kTypeSethi, kTypeMul, kTypeDiv, kTypeLoadWord, kTypeLoadByte,
-          kTypeLoadHalf, kTypeStoreWord, kTypeStoreByte, kTypeStoreHalf,
-          kTypeIndirectJump, kTypeCall, kTypeSave, kTypeRestore,
-          kTypeCpop1, kTypeCpop2}) {
-        cfgr->setPolicy(type, ForwardPolicy::kAlways);
-    }
+    using K = Primitive::Kind;
+    ExtensionDescriptor desc;
+    desc.kind = MonitorKind::kDift;
+    desc.name = "dift";
+    desc.doc = "dynamic information-flow tracking: taint propagates "
+               "through ALU/memory ops, checked at indirect jumps";
+    desc.make = [](const MonitorOptions &options)
+        -> std::unique_ptr<Monitor> {
+        return std::make_unique<DiftMonitor>(options.dift_tag_bits);
+    };
+    desc.pipeline_depth = 4;
+    desc.tag_bits_per_word = 1;   // the default 1-bit boolean taint
+    desc.default_flex_period = 2;
+    desc.forwardClasses({kTypeAluAdd, kTypeAluSub, kTypeAluLogic,
+                         kTypeAluShift, kTypeSethi, kTypeMul, kTypeDiv,
+                         kTypeLoadWord, kTypeLoadByte, kTypeLoadHalf,
+                         kTypeStoreWord, kTypeStoreByte, kTypeStoreHalf,
+                         kTypeIndirectJump, kTypeCall, kTypeSave,
+                         kTypeRestore, kTypeCpop1, kTypeCpop2});
+    desc.tapped_groups = 9;   // values, regs, opcode, addr, ...
+    desc.build_fabric = [](const ExtensionDescriptor &d,
+                           Inventory *fab) {
+        fab->critical_levels = 4.3;
+        fab->add(K::kAdder, 32);          // tag address translation
+        fab->add(K::kMux, 32);            // tag routing
+        fab->add(K::kDecoder, 5);         // rule dispatch
+        fab->add(K::kComparator, 1);      // jump-target check
+        fab->add(K::kRandomLogic, 218);   // propagation rules + policy
+        fab->add(K::kRegister, 48, d.pipeline_depth);
+    };
+    desc.build_asic = [](const ExtensionDescriptor &,
+                         Inventory *asic) {
+        asic->sram_bits =
+            metaCacheBits(4 * 1024, 32) + forwardFifoBits(64);
+        asic->sram_macros = 3;
+        asic->add(K::kAdder, 32);
+        asic->add(K::kRegister, kNumPhysRegs);   // 1-bit tag regfile
+        asic->add(K::kRandomLogic, 22900);
+    };
+    desc.paper_grid = true;
+    registry.add(std::move(desc));
 }
 
 void

@@ -32,7 +32,6 @@ class DiftMonitor : public Monitor
     unsigned pipelineDepth() const override { return 4; }
     unsigned tagBitsPerWord() const override { return tag_bits_; }
 
-    void configureCfgr(Cfgr *cfgr) const override;
     void process(const CommitPacket &packet,
                  MonitorResult *result) override;
 

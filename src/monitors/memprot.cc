@@ -1,16 +1,41 @@
 #include "monitors/memprot.h"
 
+#include "extensions/builtin.h"
+#include "extensions/registry.h"
+#include "synth/extension_synth.h"
+
 namespace flexcore {
 
 void
-MemProtMonitor::configureCfgr(Cfgr *cfgr) const
+registerMemProtExtension(ExtensionRegistry &registry)
 {
-    cfgr->setAll(ForwardPolicy::kIgnore);
-    for (InstrType type :
-         {kTypeLoadWord, kTypeLoadByte, kTypeLoadHalf, kTypeStoreWord,
-          kTypeStoreByte, kTypeStoreHalf, kTypeCpop1, kTypeCpop2}) {
-        cfgr->setPolicy(type, ForwardPolicy::kAlways);
-    }
+    using K = Primitive::Kind;
+    ExtensionDescriptor desc;
+    desc.kind = MonitorKind::kMemProt;
+    desc.name = "memprot";
+    desc.doc = "Mondrian-style word-granular memory protection "
+               "(read/write permission tags)";
+    desc.make = [](const MonitorOptions &) -> std::unique_ptr<Monitor> {
+        return std::make_unique<MemProtMonitor>();
+    };
+    desc.pipeline_depth = 3;
+    desc.tag_bits_per_word = 4;
+    desc.default_flex_period = 2;
+    desc.forwardClasses({kTypeLoadWord, kTypeLoadByte, kTypeLoadHalf,
+                         kTypeStoreWord, kTypeStoreByte, kTypeStoreHalf,
+                         kTypeCpop1, kTypeCpop2});
+    desc.tapped_groups = 2;
+    desc.build_fabric = [](const ExtensionDescriptor &d,
+                           Inventory *fab) {
+        fab->critical_levels = 4.0;
+        fab->add(K::kAdder, 32);
+        fab->add(K::kMux, 32);
+        fab->add(K::kComparator, 2, 2);   // permission checks
+        fab->add(K::kDecoder, 4);
+        fab->add(K::kRandomLogic, 140);
+        fab->add(K::kRegister, 40, d.pipeline_depth);
+    };
+    registry.add(std::move(desc));
 }
 
 void

@@ -35,7 +35,6 @@ class MemProtMonitor : public Monitor
     unsigned pipelineDepth() const override { return 3; }
     unsigned tagBitsPerWord() const override { return 4; }
 
-    void configureCfgr(Cfgr *cfgr) const override;
     void process(const CommitPacket &packet,
                  MonitorResult *result) override;
 

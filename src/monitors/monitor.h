@@ -168,9 +168,6 @@ class Monitor
     /** Meta-data width per data word (0 = stateless, e.g. SEC). */
     virtual unsigned tagBitsPerWord() const = 0;
 
-    /** Program the CFGR with this extension's forwarding classes. */
-    virtual void configureCfgr(Cfgr *cfgr) const = 0;
-
     /** Functional semantics for one forwarded packet. */
     virtual void process(const CommitPacket &packet,
                          MonitorResult *result) = 0;

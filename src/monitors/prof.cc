@@ -1,22 +1,48 @@
 #include "monitors/prof.h"
 
+#include "extensions/builtin.h"
+#include "extensions/registry.h"
+#include "synth/extension_synth.h"
+
 namespace flexcore {
 
 void
-ProfMonitor::configureCfgr(Cfgr *cfgr) const
+registerProfExtension(ExtensionRegistry &registry)
 {
-    cfgr->setAll(ForwardPolicy::kIgnore);
+    using K = Primitive::Kind;
+    ExtensionDescriptor desc;
+    desc.kind = MonitorKind::kProf;
+    desc.name = "prof";
+    desc.doc = "working-set and instruction-mix profiler "
+               "(droppable forwarding, counter bank on the fabric)";
+    desc.make = [](const MonitorOptions &) -> std::unique_ptr<Monitor> {
+        return std::make_unique<ProfMonitor>();
+    };
+    desc.pipeline_depth = 3;
+    desc.tag_bits_per_word = 1;
+    desc.default_flex_period = 2;
     // Trace classes may be sampled: drop rather than stall when full.
-    for (InstrType type :
-         {kTypeAluAdd, kTypeAluSub, kTypeAluLogic, kTypeAluShift,
-          kTypeMul, kTypeDiv, kTypeLoadWord, kTypeLoadByte,
-          kTypeLoadHalf, kTypeStoreWord, kTypeStoreByte,
-          kTypeStoreHalf, kTypeBranch, kTypeIndirectJump, kTypeCall}) {
-        cfgr->setPolicy(type, ForwardPolicy::kIfNotFull);
-    }
+    desc.forwardClasses({kTypeAluAdd, kTypeAluSub, kTypeAluLogic,
+                         kTypeAluShift, kTypeMul, kTypeDiv,
+                         kTypeLoadWord, kTypeLoadByte, kTypeLoadHalf,
+                         kTypeStoreWord, kTypeStoreByte, kTypeStoreHalf,
+                         kTypeBranch, kTypeIndirectJump, kTypeCall},
+                        ForwardPolicy::kIfNotFull);
     // Reads of the counters must not be dropped.
-    cfgr->setPolicy(kTypeCpop1, ForwardPolicy::kAlways);
-    cfgr->setPolicy(kTypeCpop2, ForwardPolicy::kAlways);
+    desc.forwardClasses({kTypeCpop1, kTypeCpop2});
+    desc.tapped_groups = 3;
+    desc.build_fabric = [](const ExtensionDescriptor &d,
+                           Inventory *fab) {
+        // Working-set profiler: counters plus the touched-bit path.
+        fab->critical_levels = 4.0;
+        fab->add(K::kAdder, 32);          // tag address translation
+        fab->add(K::kAdder, 32, 2);       // 32-bit event counters (inc)
+        fab->add(K::kDecoder, 4);
+        fab->add(K::kRandomLogic, 160);
+        fab->add(K::kRegister, 32, 7);    // the counter bank
+        fab->add(K::kRegister, 40, d.pipeline_depth);
+    };
+    registry.add(std::move(desc));
 }
 
 void

@@ -38,7 +38,6 @@ class ProfMonitor : public Monitor
     unsigned pipelineDepth() const override { return 3; }
     unsigned tagBitsPerWord() const override { return 1; }
 
-    void configureCfgr(Cfgr *cfgr) const override;
     void process(const CommitPacket &packet,
                  MonitorResult *result) override;
     void reset() override;

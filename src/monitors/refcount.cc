@@ -1,14 +1,44 @@
 #include "monitors/refcount.h"
 
+#include "extensions/builtin.h"
+#include "extensions/registry.h"
+#include "synth/extension_synth.h"
+
 namespace flexcore {
 
 void
-RefCountMonitor::configureCfgr(Cfgr *cfgr) const
+registerRefCountExtension(ExtensionRegistry &registry)
 {
-    cfgr->setAll(ForwardPolicy::kIgnore);
+    using K = Primitive::Kind;
+    ExtensionDescriptor desc;
+    desc.kind = MonitorKind::kRefCount;
+    desc.name = "refcnt";
+    desc.aliases = {"refcount"};
+    desc.doc = "reference-counting GC support: per-object counts "
+               "maintained from pointer stores";
+    desc.make = [](const MonitorOptions &) -> std::unique_ptr<Monitor> {
+        return std::make_unique<RefCountMonitor>();
+    };
+    desc.pipeline_depth = 4;
+    desc.tag_bits_per_word = 1;
+    desc.default_flex_period = 2;
     // Only stores mutate pointer slots; loads are irrelevant.
-    for (InstrType type : {kTypeStoreWord, kTypeCpop1, kTypeCpop2})
-        cfgr->setPolicy(type, ForwardPolicy::kAlways);
+    desc.forwardClasses({kTypeStoreWord, kTypeCpop1, kTypeCpop2});
+    desc.tapped_groups = 4;
+    desc.build_fabric = [](const ExtensionDescriptor &d,
+                           Inventory *fab) {
+        // Bookkeeping-heavy: needs an adder for the count update and
+        // wider state paths; counts and slot shadows live in meta-data
+        // memory in a real implementation.
+        fab->critical_levels = 4.5;
+        fab->add(K::kAdder, 32, 2);       // inc/dec units
+        fab->add(K::kAdder, 32);          // address translation
+        fab->add(K::kMux, 32, 2);
+        fab->add(K::kComparator, 32);     // zero detection
+        fab->add(K::kRandomLogic, 220);
+        fab->add(K::kRegister, 48, d.pipeline_depth);
+    };
+    registry.add(std::move(desc));
 }
 
 s32

@@ -32,7 +32,6 @@ class RefCountMonitor : public Monitor
     unsigned pipelineDepth() const override { return 4; }
     unsigned tagBitsPerWord() const override { return 1; }
 
-    void configureCfgr(Cfgr *cfgr) const override;
     void process(const CommitPacket &packet,
                  MonitorResult *result) override;
     void reset() override;

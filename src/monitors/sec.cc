@@ -1,24 +1,59 @@
 #include "monitors/sec.h"
 
+#include "extensions/builtin.h"
+#include "extensions/registry.h"
+#include "synth/extension_synth.h"
+
 namespace flexcore {
 
 void
-SecMonitor::configureCfgr(Cfgr *cfgr) const
+registerSecExtension(ExtensionRegistry &registry)
 {
-    cfgr->setAll(ForwardPolicy::kIgnore);
+    using K = Primitive::Kind;
+    ExtensionDescriptor desc;
+    desc.kind = MonitorKind::kSec;
+    desc.name = "sec";
+    desc.doc = "soft-error check: re-executes ALU results and keeps "
+               "mod-7 residues of every register write";
+    desc.make = [](const MonitorOptions &) -> std::unique_ptr<Monitor> {
+        return std::make_unique<SecMonitor>();
+    };
+    desc.pipeline_depth = 6;
+    desc.tag_bits_per_word = 0;   // stateless in memory
+    desc.default_flex_period = 4;
     // Every class that can write an integer register is forwarded so
     // the shadow residue file never goes stale: an unforwarded write
     // would leave the old residue behind and later reads of that
     // register would trap spuriously. Stores, branches, and traps
     // write no integer register and stay ignored; cpops stay ignored
     // because SEC itself is the co-processor.
-    for (InstrType type :
-         {kTypeAluAdd, kTypeAluSub, kTypeAluLogic, kTypeAluShift,
-          kTypeMul, kTypeDiv, kTypeSethi, kTypeLoadWord, kTypeLoadByte,
-          kTypeLoadHalf, kTypeCall, kTypeIndirectJump, kTypeSave,
-          kTypeRestore, kTypeReadY}) {
-        cfgr->setPolicy(type, ForwardPolicy::kAlways);
-    }
+    desc.forwardClasses({kTypeAluAdd, kTypeAluSub, kTypeAluLogic,
+                         kTypeAluShift, kTypeMul, kTypeDiv, kTypeSethi,
+                         kTypeLoadWord, kTypeLoadByte, kTypeLoadHalf,
+                         kTypeCall, kTypeIndirectJump, kTypeSave,
+                         kTypeRestore, kTypeReadY});
+    desc.tapped_groups = 2;   // operands/result + opcode
+    desc.build_fabric = [](const ExtensionDescriptor &d,
+                           Inventory *fab) {
+        fab->critical_levels = 5.6;
+        fab->add(K::kAdder, 32);          // add/sub re-execution
+        fab->add(K::kShifter, 32);        // shift re-execution
+        fab->add(K::kComparator, 32, 2);  // result comparison
+        fab->add(K::kMultiplier, 8);      // mod-7 residue unit
+        fab->add(K::kRandomLogic, 828);   // logic-op checker + control
+        fab->add(K::kRegister, 100, d.pipeline_depth);
+    };
+    desc.build_asic = [](const ExtensionDescriptor &,
+                         Inventory *asic) {
+        // No meta-data cache and no forward FIFO: the ASIC checker
+        // taps the ALU directly (hence the tiny 0.15% area overhead
+        // reported in the paper).
+        asic->add(K::kAdder, 32);
+        asic->add(K::kMultiplier, 4);
+        asic->add(K::kRandomLogic, 470);
+    };
+    desc.paper_grid = true;
+    registry.add(std::move(desc));
 }
 
 u32

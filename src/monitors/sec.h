@@ -31,7 +31,6 @@ class SecMonitor : public Monitor
     unsigned pipelineDepth() const override { return 6; }
     unsigned tagBitsPerWord() const override { return 0; }
 
-    void configureCfgr(Cfgr *cfgr) const override;
     void process(const CommitPacket &packet,
                  MonitorResult *result) override;
 

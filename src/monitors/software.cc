@@ -1,5 +1,8 @@
 #include "monitors/software.h"
 
+#include "extensions/builtin.h"
+#include "extensions/registry.h"
+
 namespace flexcore {
 
 namespace {
@@ -78,6 +81,23 @@ class TableDrivenMonitor : public SoftwareMonitor
 };
 
 }  // namespace
+
+void
+registerSoftwareModels(ExtensionRegistry &registry)
+{
+    registry.addSoftwareModel(
+        MonitorKind::kUmc,
+        []() -> const SoftwareMonitor * { return softwareUmc(); });
+    registry.addSoftwareModel(
+        MonitorKind::kDift,
+        []() -> const SoftwareMonitor * { return softwareDift(); });
+    registry.addSoftwareModel(
+        MonitorKind::kBc,
+        []() -> const SoftwareMonitor * { return softwareBc(); });
+    registry.addSoftwareModel(
+        MonitorKind::kSec,
+        []() -> const SoftwareMonitor * { return softwareSec(); });
+}
 
 SoftwareMonitor *
 softwareDift()

@@ -1,16 +1,50 @@
 #include "monitors/umc.h"
 
+#include "extensions/builtin.h"
+#include "extensions/registry.h"
+#include "synth/extension_synth.h"
+
 namespace flexcore {
 
 void
-UmcMonitor::configureCfgr(Cfgr *cfgr) const
+registerUmcExtension(ExtensionRegistry &registry)
 {
-    cfgr->setAll(ForwardPolicy::kIgnore);
-    for (InstrType type :
-         {kTypeLoadWord, kTypeLoadByte, kTypeLoadHalf, kTypeStoreWord,
-          kTypeStoreByte, kTypeStoreHalf, kTypeCpop1, kTypeCpop2}) {
-        cfgr->setPolicy(type, ForwardPolicy::kAlways);
-    }
+    using K = Primitive::Kind;
+    ExtensionDescriptor desc;
+    desc.kind = MonitorKind::kUmc;
+    desc.name = "umc";
+    desc.doc = "uninitialized memory check: init bit per word, set on "
+               "stores, checked on loads";
+    desc.make = [](const MonitorOptions &) -> std::unique_ptr<Monitor> {
+        return std::make_unique<UmcMonitor>();
+    };
+    desc.pipeline_depth = 3;
+    desc.tag_bits_per_word = 1;
+    desc.default_flex_period = 2;
+    desc.forwardClasses({kTypeLoadWord, kTypeLoadByte, kTypeLoadHalf,
+                         kTypeStoreWord, kTypeStoreByte, kTypeStoreHalf,
+                         kTypeCpop1, kTypeCpop2});
+    desc.tapped_groups = 2;   // address + opcode
+    desc.build_fabric = [](const ExtensionDescriptor &d,
+                           Inventory *fab) {
+        fab->critical_levels = 4.0;
+        fab->add(K::kAdder, 32);          // tag address translation
+        fab->add(K::kMux, 32);            // tag bit write alignment
+        fab->add(K::kDecoder, 4);         // opcode dispatch
+        fab->add(K::kComparator, 1);      // tag check
+        fab->add(K::kRandomLogic, 130);   // pipeline + cache control
+        fab->add(K::kRegister, 40, d.pipeline_depth);
+    };
+    desc.build_asic = [](const ExtensionDescriptor &,
+                         Inventory *asic) {
+        asic->sram_bits =
+            metaCacheBits(4 * 1024, 32) + forwardFifoBits(64);
+        asic->sram_macros = 3;
+        asic->add(K::kAdder, 32);
+        asic->add(K::kRandomLogic, 5800);
+    };
+    desc.paper_grid = true;
+    registry.add(std::move(desc));
 }
 
 u8

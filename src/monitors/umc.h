@@ -33,7 +33,6 @@ class UmcMonitor : public Monitor
         return byte_granular_ ? 4 : 1;
     }
 
-    void configureCfgr(Cfgr *cfgr) const override;
     void process(const CommitPacket &packet,
                  MonitorResult *result) override;
     void onProgramLoad(Addr base, u32 size) override;

@@ -1,16 +1,40 @@
 #include "monitors/watch.h"
 
+#include "extensions/builtin.h"
+#include "extensions/registry.h"
+#include "synth/extension_synth.h"
+
 namespace flexcore {
 
 void
-WatchMonitor::configureCfgr(Cfgr *cfgr) const
+registerWatchExtension(ExtensionRegistry &registry)
 {
-    cfgr->setAll(ForwardPolicy::kIgnore);
-    for (InstrType type :
-         {kTypeLoadWord, kTypeLoadByte, kTypeLoadHalf, kTypeStoreWord,
-          kTypeStoreByte, kTypeStoreHalf, kTypeCpop1, kTypeCpop2}) {
-        cfgr->setPolicy(type, ForwardPolicy::kAlways);
-    }
+    using K = Primitive::Kind;
+    ExtensionDescriptor desc;
+    desc.kind = MonitorKind::kWatch;
+    desc.name = "watch";
+    desc.doc = "iWatcher-style hardware watchpoints over tagged "
+               "address ranges";
+    desc.make = [](const MonitorOptions &) -> std::unique_ptr<Monitor> {
+        return std::make_unique<WatchMonitor>();
+    };
+    desc.pipeline_depth = 3;
+    desc.tag_bits_per_word = 4;
+    desc.default_flex_period = 2;
+    desc.forwardClasses({kTypeLoadWord, kTypeLoadByte, kTypeLoadHalf,
+                         kTypeStoreWord, kTypeStoreByte, kTypeStoreHalf,
+                         kTypeCpop1, kTypeCpop2});
+    desc.tapped_groups = 2;
+    desc.build_fabric = [](const ExtensionDescriptor &d,
+                           Inventory *fab) {
+        fab->critical_levels = 4.0;
+        fab->add(K::kAdder, 32);
+        fab->add(K::kAdder, 32, 3);       // hit counters
+        fab->add(K::kComparator, 2, 2);   // mode decode
+        fab->add(K::kRandomLogic, 130);
+        fab->add(K::kRegister, 40, d.pipeline_depth);
+    };
+    registry.add(std::move(desc));
 }
 
 void

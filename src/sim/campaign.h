@@ -95,8 +95,9 @@ struct CampaignOptions
      * mismatch). Disable for scenario runs that trap by design. */
     bool verify = true;
     /**
-     * Dotted counter paths (see runSource) sampled per job and embedded
-     * in each JSON row as a "stats" object. Unknown paths FLEX_FATAL.
+     * Dotted counter paths (see SimRequest::stats) sampled and embedded
+     * per job in each JSON row as a "stats" object. Unknown paths
+     * FLEX_FATAL.
      */
     std::vector<std::string> stat_paths;
 };

@@ -1,32 +1,46 @@
 #include "sim/config.h"
 
+#include <cctype>
+
 #include "common/log.h"
-#include "monitors/bc.h"
-#include "monitors/dift.h"
-#include "monitors/memprot.h"
-#include "monitors/prof.h"
-#include "monitors/refcount.h"
-#include "monitors/watch.h"
-#include "monitors/sec.h"
-#include "monitors/umc.h"
+#include "extensions/registry.h"
 
 namespace flexcore {
 
 std::string_view
 monitorKindName(MonitorKind kind)
 {
-    switch (kind) {
-      case MonitorKind::kNone: return "none";
-      case MonitorKind::kUmc: return "umc";
-      case MonitorKind::kDift: return "dift";
-      case MonitorKind::kBc: return "bc";
-      case MonitorKind::kSec: return "sec";
-      case MonitorKind::kProf: return "prof";
-      case MonitorKind::kMemProt: return "memprot";
-      case MonitorKind::kWatch: return "watch";
-      case MonitorKind::kRefCount: return "refcnt";
+    if (kind == MonitorKind::kNone)
+        return "none";
+    const ExtensionDescriptor *desc =
+        ExtensionRegistry::instance().find(kind);
+    return desc ? desc->name : "?";
+}
+
+bool
+parseMonitorKind(std::string_view name, MonitorKind *kind)
+{
+    auto isNone = [](std::string_view text) {
+        if (text.size() != 4)
+            return false;
+        constexpr std::string_view kNoneName = "none";
+        for (size_t i = 0; i < text.size(); ++i) {
+            if (std::tolower(static_cast<unsigned char>(text[i])) !=
+                kNoneName[i])
+                return false;
+        }
+        return true;
+    };
+    if (isNone(name)) {
+        *kind = MonitorKind::kNone;
+        return true;
     }
-    return "?";
+    const ExtensionDescriptor *desc =
+        ExtensionRegistry::instance().find(name);
+    if (!desc)
+        return false;
+    *kind = desc->kind;
+    return true;
 }
 
 std::string_view
@@ -44,28 +58,21 @@ implModeName(ImplMode mode)
 std::unique_ptr<Monitor>
 makeMonitor(MonitorKind kind, unsigned dift_tag_bits)
 {
-    switch (kind) {
-      case MonitorKind::kNone: return nullptr;
-      case MonitorKind::kUmc: return std::make_unique<UmcMonitor>();
-      case MonitorKind::kDift:
-        return std::make_unique<DiftMonitor>(dift_tag_bits);
-      case MonitorKind::kBc: return std::make_unique<BcMonitor>();
-      case MonitorKind::kSec: return std::make_unique<SecMonitor>();
-      case MonitorKind::kProf: return std::make_unique<ProfMonitor>();
-      case MonitorKind::kMemProt:
-        return std::make_unique<MemProtMonitor>();
-      case MonitorKind::kWatch:
-        return std::make_unique<WatchMonitor>();
-      case MonitorKind::kRefCount:
-        return std::make_unique<RefCountMonitor>();
-    }
-    return nullptr;
+    const ExtensionDescriptor *desc =
+        ExtensionRegistry::instance().find(kind);
+    if (!desc)
+        return nullptr;
+    MonitorOptions options;
+    options.dift_tag_bits = dift_tag_bits;
+    return desc->make(options);
 }
 
 u32
 defaultFlexPeriod(MonitorKind kind)
 {
-    return kind == MonitorKind::kSec ? 4 : 2;
+    const ExtensionDescriptor *desc =
+        ExtensionRegistry::instance().find(kind);
+    return desc ? desc->default_flex_period : 2;
 }
 
 std::string_view

@@ -42,6 +42,13 @@ std::string_view monitorKindName(MonitorKind kind);
 std::string_view implModeName(ImplMode mode);
 
 /**
+ * Case-insensitive parse of a monitor name ("none", any canonical
+ * extension name, or a registered alias such as "refcount"). Returns
+ * false, leaving @p kind untouched, for unknown names.
+ */
+bool parseMonitorKind(std::string_view name, MonitorKind *kind);
+
+/**
  * Construct a fresh monitor instance of the given kind (null = none).
  * @p dift_tag_bits selects the DIFT taint-tag width (1 or 4).
  */
@@ -51,7 +58,7 @@ std::unique_ptr<Monitor> makeMonitor(MonitorKind kind,
 /**
  * Fabric clock divisor used in the paper's evaluation: UMC/DIFT/BC run
  * at half the core clock, SEC at one quarter (from the synthesis
- * frequency estimates, §V-C).
+ * frequency estimates, §V-C). Looked up from the extension registry.
  */
 u32 defaultFlexPeriod(MonitorKind kind);
 

@@ -1,7 +1,7 @@
 /**
  * @file
  * SimRequest: the one way to run a simulation. A builder-style value
- * type that unifies what used to be runSource / runWorkloadChecked /
+ * type that unifies what used to be separate run helpers /
  * ad-hoc System wiring in tools and benches:
  *
  *   SimOutcome out = SimRequest(config)

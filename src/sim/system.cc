@@ -4,8 +4,8 @@
 #include <cassert>
 
 #include "common/log.h"
+#include "extensions/registry.h"
 #include "faults/injector.h"
-#include "monitors/software.h"
 
 namespace flexcore {
 
@@ -21,27 +21,6 @@ exitName(RunResult::Exit exit)
     }
     return "?";
 }
-
-namespace {
-
-const SoftwareMonitor *
-softwareModelFor(MonitorKind kind)
-{
-    switch (kind) {
-      case MonitorKind::kUmc: return softwareUmc();
-      case MonitorKind::kDift: return softwareDift();
-      case MonitorKind::kBc: return softwareBc();
-      case MonitorKind::kSec: return softwareSec();
-      case MonitorKind::kProf:
-      case MonitorKind::kMemProt:
-      case MonitorKind::kWatch:
-      case MonitorKind::kRefCount:
-      case MonitorKind::kNone: return nullptr;
-    }
-    return nullptr;
-}
-
-}  // namespace
 
 System::System(SystemConfig config)
     : config_(std::move(config)), stats_("system")
@@ -66,7 +45,8 @@ System::System(SystemConfig config)
                                            config_.fabric);
         core_->attachInterface(iface_.get());
     } else if (config_.mode == ImplMode::kSoftware) {
-        core_->attachSoftwareMonitor(softwareModelFor(config_.monitor));
+        core_->attachSoftwareMonitor(
+            ExtensionRegistry::instance().softwareModel(config_.monitor));
     }
 
     if (config_.fault_rate > 0.0) {
@@ -89,7 +69,7 @@ System::load(const Program &program)
     if (monitor_) {
         monitor_->reset();
         monitor_->onProgramLoad(program.base(), program.size());
-        monitor_->configureCfgr(&iface_->cfgr());
+        programCfgr(config_.monitor, &iface_->cfgr());
         if (config_.precise_exceptions) {
             // Precise monitoring (§III-C): commit waits for the
             // co-processor's acknowledgement on every forwarded class.

@@ -1,6 +1,9 @@
 #include "synth/extension_synth.h"
 
+#include <cctype>
+
 #include "common/log.h"
+#include "extensions/registry.h"
 #include "flexcore/packet.h"
 #include "flexcore/shadow_regfile.h"
 
@@ -27,166 +30,25 @@ metaCacheBits(u32 size_bytes, u32 line_bytes)
 ExtensionSynth
 extensionSynth(MonitorKind kind)
 {
+    const ExtensionDescriptor *desc =
+        ExtensionRegistry::instance().find(kind);
+    if (!desc)
+        FLEX_FATAL("no synthesis model for monitor kind ",
+                   static_cast<int>(kind));
+
     ExtensionSynth ext;
-    const u64 cache_bits = metaCacheBits(4 * 1024, 32);
-    const u64 fifo_bits = forwardFifoBits(64);
+    // Report names are the canonical name in caps ("umc" -> "UMC").
+    for (char c : desc->name)
+        ext.name += static_cast<char>(
+            std::toupper(static_cast<unsigned char>(c)));
+    ext.tapped_groups = desc->tapped_groups;
 
-    switch (kind) {
-      case MonitorKind::kUmc: {
-        ext.name = "UMC";
-        ext.tapped_groups = 2;   // address + opcode
+    ext.fabric.name = std::string(desc->name) + "-fabric";
+    desc->build_fabric(*desc, &ext.fabric);
 
-        Inventory &fab = ext.fabric;
-        fab.name = "umc-fabric";
-        fab.critical_levels = 4.0;
-        fab.add(K::kAdder, 32);          // tag address translation
-        fab.add(K::kMux, 32);            // tag bit write alignment
-        fab.add(K::kDecoder, 4);         // opcode dispatch
-        fab.add(K::kComparator, 1);      // tag check
-        fab.add(K::kRandomLogic, 130);   // pipeline + cache control
-        fab.add(K::kRegister, 40, 3);    // 3 pipeline stages
-
-        Inventory &asic = ext.asic_extra;
-        asic.name = "umc-asic";
-        asic.sram_bits = cache_bits + fifo_bits;
-        asic.sram_macros = 3;
-        asic.add(K::kAdder, 32);
-        asic.add(K::kRandomLogic, 5800);
-        break;
-      }
-      case MonitorKind::kDift: {
-        ext.name = "DIFT";
-        ext.tapped_groups = 9;   // values, regs, opcode, addr, ...
-
-        Inventory &fab = ext.fabric;
-        fab.name = "dift-fabric";
-        fab.critical_levels = 4.3;
-        fab.add(K::kAdder, 32);          // tag address translation
-        fab.add(K::kMux, 32);            // tag routing
-        fab.add(K::kDecoder, 5);         // rule dispatch
-        fab.add(K::kComparator, 1);      // jump-target check
-        fab.add(K::kRandomLogic, 218);   // propagation rules + policy
-        fab.add(K::kRegister, 48, 4);    // 4 pipeline stages
-
-        Inventory &asic = ext.asic_extra;
-        asic.name = "dift-asic";
-        asic.sram_bits = cache_bits + fifo_bits;
-        asic.sram_macros = 3;
-        asic.add(K::kAdder, 32);
-        asic.add(K::kRegister, kNumPhysRegs);   // 1-bit tag regfile
-        asic.add(K::kRandomLogic, 22900);
-        break;
-      }
-      case MonitorKind::kBc: {
-        ext.name = "BC";
-        ext.tapped_groups = 9;
-
-        Inventory &fab = ext.fabric;
-        fab.name = "bc-fabric";
-        fab.critical_levels = 5.0;
-        fab.add(K::kAdder, 32);          // tag address translation
-        fab.add(K::kAdder, 4, 2);        // color addition (two sources)
-        fab.add(K::kComparator, 4, 2);   // color match (load + store)
-        fab.add(K::kMux, 8);             // packed tag extract
-        fab.add(K::kMux, 32);
-        fab.add(K::kDecoder, 5);
-        fab.add(K::kRandomLogic, 420);   // two-port sequencing control
-        fab.add(K::kRegister, 56, 5);    // 5 pipeline stages
-
-        Inventory &asic = ext.asic_extra;
-        asic.name = "bc-asic";
-        asic.sram_bits = cache_bits + fifo_bits;
-        asic.sram_macros = 3;
-        asic.add(K::kAdder, 32);
-        asic.add(K::kRegister, kNumPhysRegs * 4);   // 4-bit colors
-        asic.add(K::kRandomLogic, 41000);
-        break;
-      }
-      case MonitorKind::kSec: {
-        ext.name = "SEC";
-        ext.tapped_groups = 2;   // operands/result + opcode
-
-        Inventory &fab = ext.fabric;
-        fab.name = "sec-fabric";
-        fab.critical_levels = 5.6;
-        fab.add(K::kAdder, 32);          // add/sub re-execution
-        fab.add(K::kShifter, 32);        // shift re-execution
-        fab.add(K::kComparator, 32, 2);  // result comparison
-        fab.add(K::kMultiplier, 8);      // mod-7 residue unit
-        fab.add(K::kRandomLogic, 828);   // logic-op checker + control
-        fab.add(K::kRegister, 100, 6);   // 6 pipeline stages
-
-        Inventory &asic = ext.asic_extra;
-        asic.name = "sec-asic";
-        // No meta-data cache and no forward FIFO: the ASIC checker
-        // taps the ALU directly (hence the tiny 0.15% area overhead
-        // reported in the paper).
-        asic.add(K::kAdder, 32);
-        asic.add(K::kMultiplier, 4);
-        asic.add(K::kRandomLogic, 470);
-        break;
-      }
-      case MonitorKind::kProf: {
-        // Working-set profiler: counters plus the touched-bit path.
-        ext.name = "PROF";
-        ext.tapped_groups = 3;
-        Inventory &fab = ext.fabric;
-        fab.name = "prof-fabric";
-        fab.critical_levels = 4.0;
-        fab.add(K::kAdder, 32);          // tag address translation
-        fab.add(K::kAdder, 32, 2);       // 32-bit event counters (inc)
-        fab.add(K::kDecoder, 4);
-        fab.add(K::kRandomLogic, 160);
-        fab.add(K::kRegister, 32, 7);    // the counter bank
-        fab.add(K::kRegister, 40, 3);
-        break;
-      }
-      case MonitorKind::kMemProt: {
-        ext.name = "MEMPROT";
-        ext.tapped_groups = 2;
-        Inventory &fab = ext.fabric;
-        fab.name = "memprot-fabric";
-        fab.critical_levels = 4.0;
-        fab.add(K::kAdder, 32);
-        fab.add(K::kMux, 32);
-        fab.add(K::kComparator, 2, 2);   // permission checks
-        fab.add(K::kDecoder, 4);
-        fab.add(K::kRandomLogic, 140);
-        fab.add(K::kRegister, 40, 3);
-        break;
-      }
-      case MonitorKind::kWatch: {
-        ext.name = "WATCH";
-        ext.tapped_groups = 2;
-        Inventory &fab = ext.fabric;
-        fab.name = "watch-fabric";
-        fab.critical_levels = 4.0;
-        fab.add(K::kAdder, 32);
-        fab.add(K::kAdder, 32, 3);       // hit counters
-        fab.add(K::kComparator, 2, 2);   // mode decode
-        fab.add(K::kRandomLogic, 130);
-        fab.add(K::kRegister, 40, 3);
-        break;
-      }
-      case MonitorKind::kRefCount: {
-        // Bookkeeping-heavy: needs an adder for the count update and
-        // wider state paths; counts and slot shadows live in meta-data
-        // memory in a real implementation.
-        ext.name = "REFCNT";
-        ext.tapped_groups = 4;
-        Inventory &fab = ext.fabric;
-        fab.name = "refcnt-fabric";
-        fab.critical_levels = 4.5;
-        fab.add(K::kAdder, 32, 2);       // inc/dec units
-        fab.add(K::kAdder, 32);          // address translation
-        fab.add(K::kMux, 32, 2);
-        fab.add(K::kComparator, 32);     // zero detection
-        fab.add(K::kRandomLogic, 220);
-        fab.add(K::kRegister, 48, 4);
-        break;
-      }
-      case MonitorKind::kNone:
-        FLEX_FATAL("no synthesis model for MonitorKind::kNone");
+    if (desc->build_asic) {
+        ext.asic_extra.name = std::string(desc->name) + "-asic";
+        desc->build_asic(*desc, &ext.asic_extra);
     }
     return ext;
 }

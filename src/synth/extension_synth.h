@@ -1,9 +1,12 @@
 /**
  * @file
- * Structural descriptions of the four monitoring extensions and the
+ * Structural descriptions of the monitoring extensions and the
  * dedicated FlexCore modules, as both fabric (FPGA) netlists and the
  * extra blocks their full-ASIC variants add to Leon3. These drive the
- * Table III reproduction.
+ * Table III reproduction. The per-extension inventories are built by
+ * the builder callbacks each extension registers in the
+ * ExtensionRegistry (src/extensions/); this module only assembles
+ * them plus the shared FlexCore hardware.
  */
 
 #ifndef FLEXCORE_SYNTH_EXTENSION_SYNTH_H_

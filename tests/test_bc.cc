@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include "extensions/registry.h"
+
 namespace flexcore {
 namespace {
 
@@ -213,9 +215,8 @@ TEST(Bc, PolicyDisablesChecks)
 
 TEST(Bc, CfgrForwardsArithmeticAndMemory)
 {
-    BcMonitor bc;
     Cfgr cfgr;
-    bc.configureCfgr(&cfgr);
+    ASSERT_TRUE(programCfgr(MonitorKind::kBc, &cfgr));
     EXPECT_EQ(cfgr.policy(kTypeAluAdd), ForwardPolicy::kAlways);
     EXPECT_EQ(cfgr.policy(kTypeAluLogic), ForwardPolicy::kAlways);
     EXPECT_EQ(cfgr.policy(kTypeStoreHalf), ForwardPolicy::kAlways);

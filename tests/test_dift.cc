@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include "extensions/registry.h"
+
 namespace flexcore {
 namespace {
 
@@ -220,9 +222,8 @@ TEST(Dift, ImmediateOperandsCarryNoTaint)
 
 TEST(Dift, CfgrForwardsAluMemAndJumps)
 {
-    DiftMonitor dift;
     Cfgr cfgr;
-    dift.configureCfgr(&cfgr);
+    ASSERT_TRUE(programCfgr(MonitorKind::kDift, &cfgr));
     EXPECT_EQ(cfgr.policy(kTypeAluAdd), ForwardPolicy::kAlways);
     EXPECT_EQ(cfgr.policy(kTypeAluShift), ForwardPolicy::kAlways);
     EXPECT_EQ(cfgr.policy(kTypeLoadWord), ForwardPolicy::kAlways);

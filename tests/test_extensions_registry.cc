@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Tests for the unified extension registry: every registered
+ * descriptor must agree with the monitor instances its factory
+ * builds, with the synthesis inventories its builders produce, and
+ * with the name round-trip the CLI tools rely on.
+ */
+
+#include "extensions/registry.h"
+
+#include <gtest/gtest.h>
+
+#include "monitors/monitor.h"
+#include "monitors/software.h"
+#include "synth/extension_synth.h"
+
+namespace flexcore {
+namespace {
+
+TEST(ExtensionRegistry, AllNineExtensionsRegistered)
+{
+    const ExtensionRegistry &registry = ExtensionRegistry::instance();
+    EXPECT_EQ(registry.all().size(), 8u);
+    for (MonitorKind kind :
+         {MonitorKind::kUmc, MonitorKind::kDift, MonitorKind::kBc,
+          MonitorKind::kSec, MonitorKind::kProf, MonitorKind::kMemProt,
+          MonitorKind::kWatch, MonitorKind::kRefCount}) {
+        EXPECT_NE(registry.find(kind), nullptr)
+            << monitorKindName(kind);
+    }
+    // The ninth "extension" is the software-instrumentation family.
+    EXPECT_EQ(registry.softwareModelKinds().size(), 4u);
+    EXPECT_EQ(registry.find(MonitorKind::kNone), nullptr);
+}
+
+TEST(ExtensionRegistry, NameRoundTripsThroughParse)
+{
+    for (const ExtensionDescriptor &desc :
+         ExtensionRegistry::instance().all()) {
+        MonitorKind parsed = MonitorKind::kNone;
+        EXPECT_TRUE(parseMonitorKind(desc.name, &parsed)) << desc.name;
+        EXPECT_EQ(parsed, desc.kind) << desc.name;
+        EXPECT_EQ(monitorKindName(desc.kind), desc.name);
+    }
+    MonitorKind none = MonitorKind::kUmc;
+    EXPECT_TRUE(parseMonitorKind("none", &none));
+    EXPECT_EQ(none, MonitorKind::kNone);
+}
+
+TEST(ExtensionRegistry, ParseIsCaseInsensitiveAndKnowsAliases)
+{
+    MonitorKind kind = MonitorKind::kNone;
+    EXPECT_TRUE(parseMonitorKind("UMC", &kind));
+    EXPECT_EQ(kind, MonitorKind::kUmc);
+    EXPECT_TRUE(parseMonitorKind("Dift", &kind));
+    EXPECT_EQ(kind, MonitorKind::kDift);
+    EXPECT_TRUE(parseMonitorKind("NONE", &kind));
+    EXPECT_EQ(kind, MonitorKind::kNone);
+
+    // The old "refcount" spelling stays accepted, but the canonical
+    // name (the one in every JSON document) is "refcnt".
+    EXPECT_TRUE(parseMonitorKind("refcount", &kind));
+    EXPECT_EQ(kind, MonitorKind::kRefCount);
+    EXPECT_TRUE(parseMonitorKind("RefCount", &kind));
+    EXPECT_EQ(kind, MonitorKind::kRefCount);
+    EXPECT_EQ(monitorKindName(MonitorKind::kRefCount), "refcnt");
+
+    EXPECT_FALSE(parseMonitorKind("bogus", &kind));
+    EXPECT_FALSE(parseMonitorKind("", &kind));
+}
+
+TEST(ExtensionRegistry, FactoryAgreesWithDescriptor)
+{
+    for (const ExtensionDescriptor &desc :
+         ExtensionRegistry::instance().all()) {
+        const std::unique_ptr<Monitor> monitor =
+            makeMonitor(desc.kind);
+        ASSERT_NE(monitor, nullptr) << desc.name;
+        EXPECT_EQ(monitor->pipelineDepth(), desc.pipeline_depth)
+            << desc.name;
+        EXPECT_EQ(monitor->tagBitsPerWord(), desc.tag_bits_per_word)
+            << desc.name;
+        EXPECT_EQ(monitor->name(), desc.name);
+    }
+    EXPECT_EQ(makeMonitor(MonitorKind::kNone), nullptr);
+}
+
+TEST(ExtensionRegistry, SynthPipelineRegistersMatchDeclaredDepth)
+{
+    // Every fabric inventory carries one pipeline-register bank whose
+    // stage count is the descriptor's pipeline depth; the builders
+    // take it from the descriptor, and this pins that contract.
+    for (const ExtensionDescriptor &desc :
+         ExtensionRegistry::instance().all()) {
+        const ExtensionSynth ext = extensionSynth(desc.kind);
+        bool found = false;
+        for (const Primitive &prim : ext.fabric.primitives) {
+            if (prim.kind == Primitive::Kind::kRegister &&
+                prim.count == desc.pipeline_depth)
+                found = true;
+        }
+        EXPECT_TRUE(found)
+            << desc.name << ": no " << desc.pipeline_depth
+            << "-stage pipeline register bank in the fabric inventory";
+        EXPECT_EQ(ext.tapped_groups, desc.tapped_groups) << desc.name;
+        EXPECT_EQ(ext.fabric.name,
+                  std::string(desc.name) + "-fabric");
+    }
+}
+
+TEST(ExtensionRegistry, DefaultFlexPeriodNonzeroAndMatchesConfig)
+{
+    for (const ExtensionDescriptor &desc :
+         ExtensionRegistry::instance().all()) {
+        EXPECT_GT(desc.default_flex_period, 0u) << desc.name;
+        EXPECT_EQ(defaultFlexPeriod(desc.kind),
+                  desc.default_flex_period)
+            << desc.name;
+    }
+}
+
+TEST(ExtensionRegistry, PaperGridIsTheFourEvaluatedExtensions)
+{
+    const std::vector<MonitorKind> grid =
+        ExtensionRegistry::instance().paperGrid();
+    ASSERT_EQ(grid.size(), 4u);
+    EXPECT_EQ(grid[0], MonitorKind::kUmc);
+    EXPECT_EQ(grid[1], MonitorKind::kDift);
+    EXPECT_EQ(grid[2], MonitorKind::kBc);
+    EXPECT_EQ(grid[3], MonitorKind::kSec);
+}
+
+TEST(ExtensionRegistry, CfgrSpecForwardsSomethingForEveryExtension)
+{
+    for (const ExtensionDescriptor &desc :
+         ExtensionRegistry::instance().all()) {
+        EXPECT_FALSE(desc.forward.empty()) << desc.name;
+        Cfgr cfgr;
+        programCfgr(desc, &cfgr);
+        unsigned forwarded = 0;
+        for (unsigned t = 0; t < kNumInstrTypes; ++t) {
+            if (cfgr.policy(static_cast<InstrType>(t)) !=
+                ForwardPolicy::kIgnore)
+                ++forwarded;
+        }
+        EXPECT_GT(forwarded, 0u) << desc.name;
+    }
+    Cfgr cfgr;
+    EXPECT_FALSE(programCfgr(MonitorKind::kNone, &cfgr));
+    EXPECT_TRUE(programCfgr(MonitorKind::kUmc, &cfgr));
+}
+
+TEST(ExtensionRegistry, SoftwareModelsCoverThePaperExtensions)
+{
+    const ExtensionRegistry &registry = ExtensionRegistry::instance();
+    EXPECT_EQ(registry.softwareModel(MonitorKind::kUmc),
+              softwareUmc());
+    EXPECT_EQ(registry.softwareModel(MonitorKind::kDift),
+              softwareDift());
+    EXPECT_EQ(registry.softwareModel(MonitorKind::kBc), softwareBc());
+    EXPECT_EQ(registry.softwareModel(MonitorKind::kSec),
+              softwareSec());
+    EXPECT_EQ(registry.softwareModel(MonitorKind::kProf), nullptr);
+    EXPECT_EQ(registry.softwareModel(MonitorKind::kNone), nullptr);
+}
+
+TEST(ExtensionRegistry, ListingNamesEveryExtensionWithDocs)
+{
+    const std::string text = listMonitorsText();
+    for (const ExtensionDescriptor &desc :
+         ExtensionRegistry::instance().all()) {
+        EXPECT_NE(text.find(desc.name), std::string::npos) << desc.name;
+        EXPECT_NE(text.find(desc.doc), std::string::npos) << desc.name;
+        EXPECT_FALSE(desc.doc.empty()) << desc.name;
+    }
+    EXPECT_NE(text.find("software"), std::string::npos);
+    EXPECT_NE(text.find("refcount"), std::string::npos);   // the alias
+}
+
+TEST(ExtensionRegistry, KnownMonitorNamesListsCanonicalNames)
+{
+    const std::string names = knownMonitorNames();
+    EXPECT_NE(names.find("umc"), std::string::npos);
+    EXPECT_NE(names.find("refcnt"), std::string::npos);
+    EXPECT_EQ(names.find("refcount"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace flexcore

@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include "extensions/registry.h"
 #include "monitors/umc.h"
 
 namespace flexcore {
@@ -43,7 +44,7 @@ class FabricTest : public ::testing::Test
             &stats_, FlexInterface::Params{64, 0});
         bus_ = std::make_unique<Bus>(&stats_, SdramTimings{});
         monitor_ = std::make_unique<UmcMonitor>();
-        monitor_->configureCfgr(&iface_->cfgr());
+        programCfgr(MonitorKind::kUmc, &iface_->cfgr());
         FabricParams params;
         params.period = period;
         params.predecode = predecode;

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "assembler/assembler.h"
+#include "extensions/registry.h"
 #include "sim/system.h"
 
 namespace flexcore {
@@ -95,9 +96,8 @@ TEST(Prof, NeverTraps)
 
 TEST(Prof, CfgrUsesDroppablePolicyForTrace)
 {
-    ProfMonitor prof;
     Cfgr cfgr;
-    prof.configureCfgr(&cfgr);
+    ASSERT_TRUE(programCfgr(MonitorKind::kProf, &cfgr));
     // Profiling tolerates sampling: trace classes may drop.
     EXPECT_EQ(cfgr.policy(kTypeLoadWord), ForwardPolicy::kIfNotFull);
     EXPECT_EQ(cfgr.policy(kTypeAluAdd), ForwardPolicy::kIfNotFull);

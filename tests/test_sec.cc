@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "common/rng.h"
+#include "extensions/registry.h"
 
 namespace flexcore {
 namespace {
@@ -137,9 +138,8 @@ TEST(Sec, CfgrForwardsAllRegisterWritingClasses)
     // SEC forwards every class that writes an integer register (to
     // keep the residue file fresh) and nothing else: stores, branches,
     // traps, and cpops stay ignored.
-    SecMonitor sec;
     Cfgr cfgr;
-    sec.configureCfgr(&cfgr);
+    ASSERT_TRUE(programCfgr(MonitorKind::kSec, &cfgr));
     for (InstrType type :
          {kTypeAluAdd, kTypeAluSub, kTypeAluLogic, kTypeAluShift,
           kTypeMul, kTypeDiv, kTypeSethi, kTypeLoadWord, kTypeLoadByte,

@@ -10,7 +10,7 @@
 
 #include "assembler/assembler.h"
 #include "common/stats.h"
-#include "sim/runner.h"
+#include "sim/sim_request.h"
 #include "workloads/scenarios.h"
 #include "workloads/workload.h"
 
@@ -217,42 +217,6 @@ buf:    .word 0
     EXPECT_GT(outcome.fwd_fraction, 0.0);
     EXPECT_LT(outcome.fwd_fraction, 1.0);
 }
-
-// The migration shims must stay behaviorally identical to the
-// SimRequest calls they forward to, for as long as they exist.
-#if defined(__GNUC__) || defined(__clang__)
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-#endif
-
-TEST(Runner, DeprecatedShimsMatchSimRequest)
-{
-    const Workload w = makeBitcount(WorkloadScale::kTest);
-    SystemConfig config;
-    config.monitor = MonitorKind::kDift;
-    config.mode = ImplMode::kFlexFabric;
-
-    const SimOutcome shim =
-        runWorkloadChecked(w, config, {"core.cycles"});
-    const SimOutcome direct = SimRequest(config)
-                                  .workload(w)
-                                  .stats({"core.cycles"})
-                                  .run();
-    EXPECT_EQ(shim.result.cycles, direct.result.cycles);
-    EXPECT_EQ(shim.result.instructions, direct.result.instructions);
-    EXPECT_EQ(shim.forwarded, direct.forwarded);
-    EXPECT_EQ(shim.meta_misses, direct.meta_misses);
-    ASSERT_EQ(shim.stats.size(), 1u);
-    ASSERT_EQ(direct.stats.size(), 1u);
-    EXPECT_EQ(shim.stats[0], direct.stats[0]);
-
-    const SimOutcome src = runSource(w.source, config);
-    EXPECT_EQ(src.result.cycles, direct.result.cycles);
-}
-
-#if defined(__GNUC__) || defined(__clang__)
-#pragma GCC diagnostic pop
-#endif
 
 }  // namespace
 }  // namespace flexcore

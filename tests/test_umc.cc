@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include "extensions/registry.h"
+
 namespace flexcore {
 namespace {
 
@@ -137,9 +139,8 @@ TEST(Umc, SetBaseMovesMetaRegion)
 
 TEST(Umc, CfgrForwardsOnlyMemAndCpop)
 {
-    UmcMonitor umc;
     Cfgr cfgr;
-    umc.configureCfgr(&cfgr);
+    ASSERT_TRUE(programCfgr(MonitorKind::kUmc, &cfgr));
     EXPECT_EQ(cfgr.policy(kTypeLoadWord), ForwardPolicy::kAlways);
     EXPECT_EQ(cfgr.policy(kTypeStoreByte), ForwardPolicy::kAlways);
     EXPECT_EQ(cfgr.policy(kTypeCpop1), ForwardPolicy::kAlways);

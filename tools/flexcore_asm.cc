@@ -14,6 +14,7 @@
 
 #include "assembler/assembler.h"
 #include "common/cliopts.h"
+#include "extensions/registry.h"
 #include "isa/disasm.h"
 
 using namespace flexcore;
@@ -23,14 +24,27 @@ main(int argc, char **argv)
 {
     bool hex = false;
     bool symbols = false;
+    bool list_monitors = false;
     std::string path;
 
     cli::Parser parser("flexcore-asm",
                        "assemble a SPARC-subset program");
     parser.flag("--hex", &hex, "emit one hex word per line");
     parser.flag("--symbols", &symbols, "emit the symbol table");
-    parser.positional("program.s", &path);
+    parser.flag("--list-monitors", &list_monitors,
+                "list every registered monitoring extension and exit");
+    parser.positional("program.s", &path, /*required=*/false);
     parser.parseOrExit(argc, argv);
+
+    if (list_monitors) {
+        std::fputs(listMonitorsText().c_str(), stdout);
+        return 0;
+    }
+    if (path.empty()) {
+        std::fprintf(stderr, "missing program.s\n%s\n",
+                     parser.usageLine().c_str());
+        return 2;
+    }
 
     std::ifstream file(path);
     if (!file) {

@@ -23,6 +23,7 @@
 #include "common/cliopts.h"
 #include "common/log.h"
 #include "common/threadpool.h"
+#include "extensions/registry.h"
 #include "faults/coverage.h"
 
 using namespace flexcore;
@@ -49,13 +50,25 @@ splitCommas(const std::string &text)
 MonitorKind
 parseMonitor(const std::string &name)
 {
-    for (MonitorKind kind : {MonitorKind::kUmc, MonitorKind::kDift,
-                             MonitorKind::kBc, MonitorKind::kSec}) {
-        if (name == monitorKindName(kind))
-            return kind;
+    MonitorKind kind;
+    if (!parseMonitorKind(name, &kind) || kind == MonitorKind::kNone) {
+        FLEX_FATAL("unknown monitor '", name, "' (expected one of ",
+                   knownMonitorNames(), "; see --list-monitors)");
     }
-    FLEX_FATAL("unknown monitor '", name,
-               "' (expected umc, dift, bc, or sec)");
+    return kind;
+}
+
+/** The default campaign grid: the paper's extension set. */
+std::string
+defaultMonitorList()
+{
+    std::string list;
+    for (MonitorKind kind : ExtensionRegistry::instance().paperGrid()) {
+        if (!list.empty())
+            list += ",";
+        list += monitorKindName(kind);
+    }
+    return list;
 }
 
 }  // namespace
@@ -63,7 +76,7 @@ parseMonitor(const std::string &name)
 int
 main(int argc, char **argv)
 {
-    std::string monitors = "umc,dift,bc,sec";
+    std::string monitors = defaultMonitorList();
     std::string workloads = "sha,basicmath";
     std::string models = "reg,shadow,mem,meta";
     WorkloadScale scale = WorkloadScale::kTest;
@@ -73,6 +86,7 @@ main(int argc, char **argv)
     bool no_progress = false;
     bool no_fast_forward = false;
     bool require_detections = false;
+    bool list_monitors = false;
     u32 jobs_opt = 0;
 
     FaultCovSpec spec;
@@ -83,7 +97,7 @@ main(int argc, char **argv)
                        "run a fault-injection detection-coverage "
                        "campaign");
     parser.option("--monitors", &monitors, "LIST",
-                  "comma-separated monitors (default umc,dift,bc,sec)");
+                  "comma-separated monitors (default " + monitors + ")");
     parser.option("--workloads", &workloads, "LIST",
                   "comma-separated workloads (default sha,basicmath)");
     parser.option("--models", &models, "LIST",
@@ -113,11 +127,18 @@ main(int argc, char **argv)
                 "fault (CI smoke gate)");
     parser.flag("--no-progress", &no_progress,
                 "disable the live progress line");
+    parser.flag("--list-monitors", &list_monitors,
+                "list every registered monitoring extension and exit");
     parser.footer(
         "The coverage JSON goes to stdout (or --out FILE); the summary\n"
         "table and progress go to stderr. Output bytes are identical\n"
         "for any --jobs value and with or without fast-forwarding.\n");
     parser.parseOrExit(argc, argv);
+
+    if (list_monitors) {
+        std::fputs(listMonitorsText().c_str(), stdout);
+        return 0;
+    }
 
     options.jobs = jobs_opt;
     if (no_progress)

@@ -20,6 +20,7 @@
 
 #include "assembler/assembler.h"
 #include "common/cliopts.h"
+#include "extensions/registry.h"
 #include "faults/fault_plan.h"
 #include "isa/disasm.h"
 #include "sim/sim_request.h"
@@ -35,6 +36,8 @@ main(int argc, char **argv)
     bool trace = false;
     bool quiet = false;
     bool no_fast_forward = false;
+    bool list_monitors = false;
+    std::string monitor_name;
     std::string path;
     std::string stats_json_path;
     std::string trace_json_path;
@@ -43,15 +46,11 @@ main(int argc, char **argv)
 
     cli::Parser parser("flexcore-run",
                        "assemble and run a SPARC-subset program");
-    parser.choice("--monitor", {"none", "umc", "dift", "bc", "sec"},
-                  [&](size_t i) {
-                      static const MonitorKind kinds[] = {
-                          MonitorKind::kNone, MonitorKind::kUmc,
-                          MonitorKind::kDift, MonitorKind::kBc,
-                          MonitorKind::kSec};
-                      config.monitor = kinds[i];
-                  },
-                  "monitoring extension (default none)");
+    parser.option("--monitor", &monitor_name, "NAME",
+                  "monitoring extension: none, " + knownMonitorNames() +
+                      " (aliases accepted; default none)");
+    parser.flag("--list-monitors", &list_monitors,
+                "list every registered monitoring extension and exit");
     parser.choice("--mode", {"baseline", "asic", "flexcore", "software"},
                   [&](size_t i) {
                       static const ImplMode modes[] = {
@@ -97,12 +96,30 @@ main(int argc, char **argv)
                 "disable quiescent-stretch fast-forwarding (results are "
                 "identical either way; this exists to prove it)");
     parser.flag("--quiet", &quiet, "suppress the run summary");
-    parser.positional("program.s", &path);
+    parser.positional("program.s", &path, /*required=*/false);
     parser.footer(
         "Streams: the simulated program's console output goes to stdout\n"
         "(flushed first); the run summary, --stats dump, and --trace\n"
         "disassembly go to stderr, so stdout stays clean for piping.\n");
     parser.parseOrExit(argc, argv);
+
+    if (list_monitors) {
+        std::fputs(listMonitorsText().c_str(), stdout);
+        return 0;
+    }
+    if (path.empty()) {
+        std::fprintf(stderr, "missing program.s\n%s\n",
+                     parser.usageLine().c_str());
+        return 2;
+    }
+    if (!monitor_name.empty() &&
+        !parseMonitorKind(monitor_name, &config.monitor)) {
+        std::fprintf(stderr,
+                     "unknown monitor '%s' (known: none, %s; see "
+                     "--list-monitors)\n",
+                     monitor_name.c_str(), knownMonitorNames().c_str());
+        return 2;
+    }
 
     if (config.monitor != MonitorKind::kNone && !mode_given)
         config.mode = ImplMode::kFlexFabric;

@@ -21,6 +21,7 @@
 #include "common/cliopts.h"
 #include "common/log.h"
 #include "common/threadpool.h"
+#include "extensions/registry.h"
 #include "sim/campaign.h"
 
 using namespace flexcore;
@@ -34,18 +35,16 @@ makeGrid(const std::string &grid, WorkloadScale scale)
     spec.name = grid;
     spec.workloads = benchmarkSuite(scale);
     if (grid == "table4") {
-        // Table IV: every extension as ASIC (1X) and on the fabric at
-        // 0.5X and 0.25X, plus the shared baseline.
-        spec.monitors = {MonitorKind::kUmc, MonitorKind::kDift,
-                         MonitorKind::kBc, MonitorKind::kSec};
+        // Table IV: every paper-grid extension as ASIC (1X) and on the
+        // fabric at 0.5X and 0.25X, plus the shared baseline.
+        spec.monitors = ExtensionRegistry::instance().paperGrid();
         spec.modes = {ImplMode::kBaseline, ImplMode::kAsic,
                       ImplMode::kFlexFabric};
         spec.flex_periods = {2, 4};
     } else if (grid == "fifo") {
         // Figure 5: forward-FIFO depth sweep at the synthesis-derived
         // fabric clocks.
-        spec.monitors = {MonitorKind::kUmc, MonitorKind::kDift,
-                         MonitorKind::kBc, MonitorKind::kSec};
+        spec.monitors = ExtensionRegistry::instance().paperGrid();
         spec.modes = {ImplMode::kBaseline, ImplMode::kFlexFabric};
         spec.fifo_depths = {4, 8, 16, 32, 64, 128, 256};
     } else if (grid == "cache") {
@@ -71,6 +70,7 @@ main(int argc, char **argv)
     options.progress = isatty(STDERR_FILENO);
     std::string out = "sweep.json";
     bool no_progress = false;
+    bool list_monitors = false;
     u32 jobs_opt = 0;
     u64 max_cycles = 0;
     u64 watchdog_commits = 0;
@@ -104,7 +104,14 @@ main(int argc, char **argv)
                 "every result row; repeatable");
     parser.flag("--no-progress", &no_progress,
                 "disable the live progress line");
+    parser.flag("--list-monitors", &list_monitors,
+                "list every registered monitoring extension and exit");
     parser.parseOrExit(argc, argv);
+
+    if (list_monitors) {
+        std::fputs(listMonitorsText().c_str(), stdout);
+        return 0;
+    }
 
     options.jobs = jobs_opt;
     if (no_progress)
