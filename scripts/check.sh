@@ -85,6 +85,35 @@ echo "== fast-forward lockstep =="
     --stats-json "$tmpdir/ff_off.json" programs/fibonacci.s > /dev/null
 cmp "$tmpdir/ff_on.json" "$tmpdir/ff_off.json"
 
+echo "== threaded dispatch lockstep =="
+# Threaded-code dispatch must be observably identical to the
+# interpreter: stats JSON from the same run in both exec modes is
+# byte-identical (histograms are per-cycle instrumentation the burst
+# engine cannot sample, so they are suppressed on both sides of the
+# comparison). Debug builds additionally lockstep-verify every
+# superblock handler against the interpreter (tests/test_differential).
+./build/tools/flexcore-run --monitor dift --quiet --no-histograms \
+    --stats-json "$tmpdir/exec_interp.json" \
+    programs/fibonacci.s > /dev/null
+./build/tools/flexcore-run --monitor dift --quiet --no-histograms \
+    --exec-mode threaded --stats-json "$tmpdir/exec_threaded.json" \
+    programs/fibonacci.s > /dev/null
+cmp "$tmpdir/exec_interp.json" "$tmpdir/exec_threaded.json"
+# Monitor verdicts survive the dispatch change: the canned attack is
+# still caught by DIFT under threaded dispatch.
+./build/tools/flexcore-run --monitor dift --exec-mode threaded \
+    programs/overflow_attack.s 2>&1 \
+    | grep -q "tainted indirect jump"
+
+echo "== sampled timing smoke =="
+# Sampled timing keeps functional output exact and reports an
+# estimate; the run must actually sample (the summary says so).
+./build/tools/flexcore-run --monitor dift --sample-window 200 \
+    --sample-period 2000 programs/fibonacci.s \
+    > "$tmpdir/sampled.txt" 2>&1
+grep -q "610" "$tmpdir/sampled.txt"
+grep -q "sampled" "$tmpdir/sampled.txt"
+
 echo "== fault coverage =="
 # Detection-coverage campaign: deterministic for any worker count, and
 # every monitor must detect at least one injected fault

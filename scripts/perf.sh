@@ -1,8 +1,9 @@
 #!/bin/sh
 # Host-throughput benchmark of the simulator itself: builds (Release)
 # and runs flexcore-perf over the fixed {baseline, umc, dift, bc} x
-# {sha, basicmath} matrix, writing BENCH_perf.json next to the repo
-# root. Pass --quick for the test-scale CI smoke variant (fast, but
+# {sha, basicmath} matrix — each config in interp and threaded exec
+# mode, plus a sampled-timing dift row — writing BENCH_perf.json next
+# to the repo root. Pass --quick for the test-scale CI smoke variant (fast, but
 # not comparable with the tracked full-scale baseline).
 #
 #   scripts/perf.sh            # full matrix, best of 2 reps

@@ -417,6 +417,7 @@ Core::decodedFetch()
     if (!uop_words_per_line_) {
         fallback_uop_.inst = decode(mem_->read32(pc_));
         fallback_uop_.decode_bits = decodeBitsOf(fallback_uop_.inst);
+        fallback_uop_.exec = burstHandlerFor(fallback_uop_.inst);
         return fallback_uop_;
     }
     const u32 word = (pc_ >> 2) & (uop_words_per_line_ - 1);
@@ -427,6 +428,7 @@ Core::decodedFetch()
     if (!(uop_masks_[fetch_slot_] & bit)) {
         uop.inst = decode(mem_->read32(pc_));
         uop.decode_bits = decodeBitsOf(uop.inst);
+        uop.exec = burstHandlerFor(uop.inst);
         uop_masks_[fetch_slot_] |= bit;
         const Addr line = pc_ & ~(params_.icache.line_bytes - 1);
         decoded_lo_ = std::min(decoded_lo_, line);

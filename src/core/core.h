@@ -53,6 +53,8 @@ struct CoreParams
     Addr stack_top = 0x00400000;  //!< initial %sp
 };
 
+class ThreadedEngine;
+
 class Core
 {
   public:
@@ -159,6 +161,20 @@ class Core
      */
     void advanceIdle(u64 k, CycleBucket bucket);
 
+    /**
+     * True when the core itself has nothing in flight: ready to fetch
+     * a fresh instruction with no stall, pending micro-ops, or fetch
+     * retry. Sampled timing requires this (plus whole-system
+     * quiescence) before switching to functional warming, so a
+     * detailed window never cuts an instruction in half.
+     */
+    bool
+    quiescent() const
+    {
+        return state_ == State::kReady && stall_ == 0 &&
+               micro_queue_.empty() && !fetch_retry_;
+    }
+
     bool halted() const { return halted_; }
     u32 exitCode() const { return exit_code_; }
     const TrapInfo &trap() const { return trap_; }
@@ -194,6 +210,10 @@ class Core
     void invalidateUopsAt(Addr addr);
 
   private:
+    /** Threaded-dispatch/warming engine (src/core/threaded.cc): drives
+     * bursts over the µop cache with full access to the commit path. */
+    friend class ThreadedEngine;
+
     enum class State : u8 {
         kReady,            //!< fetch/execute a new instruction
         kWaitBus,          //!< blocked on an I/D refill
@@ -233,11 +253,27 @@ class Core
         bool is_store = false;
     };
 
+    struct Uop;
+    /**
+     * Threaded-dispatch handler: executes one instruction's
+     * architectural semantics and fills @p pkt with the exact bytes
+     * executeInstruction() would produce, returning extra-stall cycles
+     * and outcome flags (src/core/threaded.cc). Handlers never touch
+     * timing state (caches, bus, store buffer, interface) — the engine
+     * driving them does. Null marks an op the burst engine must hand
+     * back to the interpreter.
+     */
+    using BurstFn = u32 (*)(Core &core, const Uop &uop,
+                            CommitPacket &pkt);
+    /** Handler for @p inst, assigned once at decode (threaded.cc). */
+    static BurstFn burstHandlerFor(const Instruction &inst);
+
     /** One pre-decoded instruction word of a resident I-cache line. */
     struct Uop
     {
         Instruction inst;
         u32 decode_bits = 0;   //!< CommitPacket::decode, precomputed
+        BurstFn exec = nullptr;  //!< threaded-dispatch handler
     };
 
     void step();

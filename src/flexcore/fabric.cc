@@ -1,5 +1,7 @@
 #include "flexcore/fabric.h"
 
+#include <bit>
+
 namespace flexcore {
 
 Fabric::Fabric(StatGroup *parent, FlexInterface *iface, Bus *bus,
@@ -26,8 +28,11 @@ Fabric::Fabric(StatGroup *parent, FlexInterface *iface, Bus *bus,
     if (params_.tlb.enabled)
         tlb_.resize(params_.tlb.entries);
     // Ring capacity: one packet enters per fabric cycle and retires
-    // after pipelineDepth() cycles, so depth + 2 slots always suffice.
-    pipe_.resize((monitor_ ? monitor_->pipelineDepth() : 0) + 2);
+    // after pipelineDepth() cycles, so depth + 2 slots always suffice;
+    // round up to a power of two so indices wrap with pipe_mask_.
+    pipe_.resize(std::bit_ceil((monitor_ ? monitor_->pipelineDepth() : 0u)
+                               + 2u));
+    pipe_mask_ = static_cast<u32>(pipe_.size()) - 1;
 }
 
 bool
@@ -135,7 +140,7 @@ Fabric::fabricCycle(Cycle now)
     if (pipe_count_ > 0) {
         for (u32 i = 0; i < pipe_count_; ++i) {
             InFlight &flight =
-                pipe_[(pipe_head_ + i) % pipe_.size()];
+                pipe_[(pipe_head_ + i) & pipe_mask_];
             if (flight.remaining > 0)
                 --flight.remaining;
         }
@@ -150,7 +155,7 @@ Fabric::fabricCycle(Cycle now)
                 iface_->pushBfifo(done.bfifo);
             if (done.wants_ack)
                 iface_->signalAck();
-            pipe_head_ = (pipe_head_ + 1) % pipe_.size();
+            pipe_head_ = (pipe_head_ + 1) & pipe_mask_;
             --pipe_count_;
         }
     }

@@ -93,11 +93,19 @@ class Fabric
     Monitor *monitor() { return monitor_; }
     const FabricParams &params() const { return params_; }
 
+    /** True while a meta refill / table walk is in flight on the bus. */
+    bool frozen() const { return frozen_; }
+
     u64 packetsProcessed() const { return packets_.value(); }
     u64 metaStallCycles() const { return meta_stall_cycles_.value(); }
     u64 tlbMisses() const { return tlb_misses_.value(); }
 
   private:
+    // The threaded burst engine's functional-warming path reuses the
+    // monitor-processing recipe of fabricCycle() without the timing
+    // pipe; it needs the same private monitor/interface handles.
+    friend class ThreadedEngine;
+
     /** Deferred side effects applied when a packet leaves the pipe. */
     struct InFlight
     {
@@ -130,10 +138,13 @@ class Fabric
     /**
      * The monitor pipeline, as a fixed ring: at most one packet enters
      * per fabric cycle and each retires after pipelineDepth() cycles,
-     * so occupancy never exceeds pipelineDepth() + 1. pipe_.size() is
-     * the capacity; pipe_count_ the fill.
+     * so occupancy never exceeds pipelineDepth() + 1. The ring is
+     * allocated at the next power of two of that bound so the per-cycle
+     * advance/retire indices wrap with a mask, not a divide.
+     * pipe_count_ is the fill.
      */
     std::vector<InFlight> pipe_;
+    u32 pipe_mask_ = 0;
     u32 pipe_head_ = 0;
     u32 pipe_count_ = 0;
 
@@ -141,7 +152,7 @@ class Fabric
     void
     pipePush(const InFlight &flight)
     {
-        pipe_[(pipe_head_ + pipe_count_) % pipe_.size()] = flight;
+        pipe_[(pipe_head_ + pipe_count_) & pipe_mask_] = flight;
         ++pipe_count_;
     }
 

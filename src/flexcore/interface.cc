@@ -1,6 +1,7 @@
 #include "flexcore/interface.h"
 
 #include <algorithm>
+#include <bit>
 
 namespace flexcore {
 
@@ -27,7 +28,10 @@ FlexInterface::FlexInterface(StatGroup *parent, Params params)
 {
     // Capacity 1 minimum keeps the ring arithmetic well-defined even
     // for a zero-depth FIFO (offer() rejects every push then anyway).
-    fifo_.resize(std::max<u32>(params_.fifo_depth, 1));
+    // Round up to a power of two so the ring indices wrap with a mask
+    // instead of a divide; occupancy stays bounded by fifo_depth.
+    fifo_.resize(std::bit_ceil(std::max<u32>(params_.fifo_depth, 1)));
+    fifo_mask_ = static_cast<u32>(fifo_.size()) - 1;
 }
 
 CommitAction
@@ -56,7 +60,7 @@ FlexInterface::offer(const CommitPacket &packet, Cycle now)
     const bool wait_ack = policy == ForwardPolicy::kWaitAck;
     // Write into the ring slot directly: the packet copy is the bulk
     // of the cost on the commit path, so make exactly one.
-    Entry &entry = fifo_[(fifo_head_ + fifo_count_) % fifo_.size()];
+    Entry &entry = fifo_[(fifo_head_ + fifo_count_) & fifo_mask_];
     ++fifo_count_;
     entry.packet = packet;
     entry.packet.wants_ack = wait_ack;

@@ -85,7 +85,7 @@ class FlexInterface
     void
     popFront()
     {
-        fifo_head_ = (fifo_head_ + 1) % fifo_.size();
+        fifo_head_ = (fifo_head_ + 1) & fifo_mask_;
         --fifo_count_;
     }
 
@@ -113,7 +113,7 @@ class FlexInterface
         if (fifo_count_ == 0)
             return nullptr;
         const u32 idx =
-            (fifo_head_ + pick % fifo_count_) % fifo_.size();
+            (fifo_head_ + pick % fifo_count_) & fifo_mask_;
         return &fifo_[idx].packet;
     }
 
@@ -142,6 +142,11 @@ class FlexInterface
     }
 
   private:
+    // The threaded burst engine (src/core/threaded.cc) inlines the
+    // common-case offer() push to keep superblock commits branch-lean;
+    // it replicates this class's bookkeeping byte-exactly.
+    friend class ThreadedEngine;
+
     struct Entry
     {
         CommitPacket packet;
@@ -154,9 +159,14 @@ class FlexInterface
      * The forward FIFO, as a fixed ring buffer: offer() never pushes
      * past fifo_depth entries, and a bounded ring avoids the per-chunk
      * heap traffic a deque of ~90-byte entries would generate on the
-     * commit path. fifo_.size() is the capacity; fifo_count_ the fill.
+     * commit path. The ring is allocated at the next power of two of
+     * fifo_depth so indices wrap with a mask — `% size()` on a runtime
+     * size is a hardware divide on an index computed at least once per
+     * forwarded commit and once per fabric dequeue. Occupancy is still
+     * bounded by fifo_depth (fifoFull()); fifo_count_ is the fill.
      */
     std::vector<Entry> fifo_;
+    u32 fifo_mask_ = 0;
     u32 fifo_head_ = 0;
     u32 fifo_count_ = 0;
     std::deque<u32> bfifo_;

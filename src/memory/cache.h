@@ -69,6 +69,20 @@ class Cache
         return false;
     }
 
+    /**
+     * Credit @p n accesses that all hit the line most recently touched
+     * by access(). Used by the threaded burst engine, which performs
+     * one real access() when it enters an I-line and batches the
+     * remaining same-line hits: since repeated hits on one line only
+     * bump that line's LRU stamp, the relative LRU order of all lines
+     * is unchanged by folding them into the single real access.
+     */
+    void addBatchedHits(u64 n)
+    {
+        accesses_ += n;
+        hits_ += n;
+    }
+
     /** Probe without updating LRU or statistics. */
     bool contains(Addr addr) const;
 

@@ -55,6 +55,40 @@ implModeName(ImplMode mode)
     return "?";
 }
 
+std::string_view
+execModeName(ExecMode mode)
+{
+    switch (mode) {
+      case ExecMode::kInterp: return "interp";
+      case ExecMode::kThreaded: return "threaded";
+    }
+    return "?";
+}
+
+bool
+parseExecMode(std::string_view name, ExecMode *mode)
+{
+    auto matches = [&name](std::string_view want) {
+        if (name.size() != want.size())
+            return false;
+        for (size_t i = 0; i < name.size(); ++i) {
+            if (std::tolower(static_cast<unsigned char>(name[i])) !=
+                want[i])
+                return false;
+        }
+        return true;
+    };
+    if (matches("interp")) {
+        *mode = ExecMode::kInterp;
+        return true;
+    }
+    if (matches("threaded")) {
+        *mode = ExecMode::kThreaded;
+        return true;
+    }
+    return false;
+}
+
 std::unique_ptr<Monitor>
 makeMonitor(MonitorKind kind, unsigned dift_tag_bits)
 {
@@ -90,6 +124,18 @@ configErrorName(ConfigError::Code code)
       case ConfigError::Code::kBadCycleLimit: return "bad_cycle_limit";
       case ConfigError::Code::kBadWatchdog: return "bad_watchdog";
       case ConfigError::Code::kBadFaultPlan: return "bad_fault_plan";
+      case ConfigError::Code::kBadSampleWindow:
+        return "bad_sample_window";
+      case ConfigError::Code::kThreadedHistograms:
+        return "threaded_histograms";
+      case ConfigError::Code::kThreadedTrace: return "threaded_trace";
+      case ConfigError::Code::kSamplingHistograms:
+        return "sampling_histograms";
+      case ConfigError::Code::kSamplingTrace: return "sampling_trace";
+      case ConfigError::Code::kSamplingExecMode:
+        return "sampling_exec_mode";
+      case ConfigError::Code::kSamplingSoftware:
+        return "sampling_software";
     }
     return "?";
 }
@@ -157,6 +203,55 @@ SystemConfig::finalize()
     if (std::string why = validateFaultPlan(faults); !why.empty()) {
         return configError(ConfigError::Code::kBadFaultPlan,
                            "invalid fault plan: " + why);
+    }
+    if (exec_mode == ExecMode::kThreaded && histograms) {
+        return configError(
+            ConfigError::Code::kThreadedHistograms,
+            "threaded dispatch skips per-cycle bookkeeping and cannot "
+            "populate per-cycle histograms; use --exec-mode interp for "
+            "histogram runs");
+    }
+    if (exec_mode == ExecMode::kThreaded && trace_events) {
+        return configError(
+            ConfigError::Code::kThreadedTrace,
+            "threaded dispatch cannot capture full trace-event files; "
+            "use --exec-mode interp for --trace-json runs");
+    }
+    if (sample_period != 0 || sample_window != 0) {
+        if (sample_window == 0 || sample_period == 0 ||
+            sample_window > sample_period) {
+            return configError(
+                ConfigError::Code::kBadSampleWindow,
+                "sampled timing needs 0 < sample_window (" +
+                    std::to_string(sample_window) +
+                    ") <= sample_period (" +
+                    std::to_string(sample_period) + ")");
+        }
+        if (histograms) {
+            return configError(
+                ConfigError::Code::kSamplingHistograms,
+                "sampled timing skips cycle simulation between detailed "
+                "windows and cannot populate per-cycle histograms");
+        }
+        if (trace_events) {
+            return configError(
+                ConfigError::Code::kSamplingTrace,
+                "sampled timing cannot capture full trace-event files; "
+                "drop --trace-json or the sampling flags");
+        }
+        if (exec_mode != ExecMode::kInterp) {
+            return configError(
+                ConfigError::Code::kSamplingExecMode,
+                "sampled timing replaces the execution engine; leave "
+                "--exec-mode at interp");
+        }
+        if (mode == ImplMode::kSoftware) {
+            return configError(
+                ConfigError::Code::kSamplingSoftware,
+                "sampled timing cannot warm through software "
+                "instrumentation (the expansion is timing-driven); use "
+                "asic/flexcore mode or drop the sampling flags");
+        }
     }
 
     if (mode == ImplMode::kAsic) {

@@ -38,8 +38,22 @@ enum class ImplMode : u8 {
     kSoftware,    //!< inline software instrumentation on the core
 };
 
+/**
+ * How the functional+timing loop executes. Both modes produce
+ * byte-identical results (tests/test_differential.cc proves it);
+ * threaded dispatch is a host-side optimization only.
+ */
+enum class ExecMode : u8 {
+    kInterp,    //!< per-cycle interpreter state machine (golden)
+    kThreaded,  //!< function-pointer superblock bursts over the µop cache
+};
+
 std::string_view monitorKindName(MonitorKind kind);
 std::string_view implModeName(ImplMode mode);
+std::string_view execModeName(ExecMode mode);
+
+/** Case-insensitive parse of "interp" / "threaded". */
+bool parseExecMode(std::string_view name, ExecMode *mode);
 
 /**
  * Case-insensitive parse of a monitor name ("none", any canonical
@@ -79,6 +93,13 @@ struct ConfigError
         kBadCycleLimit,     //!< max_cycles is zero
         kBadWatchdog,       //!< watchdog_commits >= max_cycles
         kBadFaultPlan,      //!< a FaultSpec fails static validation
+        kBadSampleWindow,   //!< sample_window/sample_period inconsistent
+        kThreadedHistograms, //!< threaded dispatch + per-cycle histograms
+        kThreadedTrace,     //!< threaded dispatch + trace-event capture
+        kSamplingHistograms, //!< sampled timing + per-cycle histograms
+        kSamplingTrace,     //!< sampled timing + trace-event capture
+        kSamplingExecMode,  //!< sampled timing + non-default exec_mode
+        kSamplingSoftware,  //!< sampled timing + software instrumentation
     };
 
     Code code = Code::kNone;
@@ -104,6 +125,41 @@ struct SystemConfig
 
     /** DIFT taint-tag width: 1 (default) or 4 (multi-source labels). */
     u32 dift_tag_bits = 1;
+
+    /**
+     * Execution engine for the run loop. kThreaded is observably
+     * identical to kInterp (same cycles, traces, stats, verdicts) but
+     * dispatches committed instructions through function-pointer
+     * superblocks instead of the per-cycle state machine. Incompatible
+     * with per-cycle histogram sampling and trace-event capture, which
+     * are inherently per-tick observations (finalize() rejects the
+     * combination). See docs/performance.md.
+     */
+    ExecMode exec_mode = ExecMode::kInterp;
+
+    /**
+     * SMARTS-style sampled timing (0 = off, the default, meaning every
+     * cycle is simulated in full detail). When sample_period is N > 0,
+     * execution proceeds in sampling units of N committed instructions:
+     * the first sample_window instructions of each unit run through the
+     * exact cycle-accurate model (a "detailed window"); the rest are
+     * functionally warmed — architectural and monitor shadow state stay
+     * exact, but no cycles are modeled. RunResult then reports
+     * estimated_cycles extrapolated from the detailed windows' CPI.
+     * Monitor verdicts (traps) remain exact; cycle counts become
+     * estimates with a measured error bound (tests/test_sampling.cc,
+     * docs/performance.md).
+     */
+    u64 sample_window = 0;  //!< detailed instructions per unit
+    u64 sample_period = 0;  //!< instructions per sampling unit (0 = off)
+
+    /**
+     * Set (by SimRequest) when a trace-event sink is attached, so
+     * finalize() can reject trace capture under threaded dispatch or
+     * sampled timing — both skip the per-cycle episode bookkeeping
+     * full traces depend on.
+     */
+    bool trace_events = false;
 
     /**
      * Force precise monitor exceptions: every forwarded class uses the

@@ -28,6 +28,12 @@ SimRequest::run()
         prog = Assembler::assembleOrDie(src);
     }
 
+    // Mark trace capture before finalize() (which System's constructor
+    // runs) so threaded-dispatch and sampled-timing configs reject it
+    // with a typed error instead of silently missing events.
+    if (trace_)
+        config_.trace_events = true;
+
     const bool fault_run = !config_.faults.empty();
     System system(std::move(config_));
     system.load(prog);

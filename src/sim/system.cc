@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "common/log.h"
+#include "core/threaded.h"
 #include "extensions/registry.h"
 #include "faults/injector.h"
 
@@ -57,6 +58,13 @@ System::System(SystemConfig config)
     if (!config_.faults.empty()) {
         injector_ = std::make_unique<FaultInjector>(this, config_.faults);
         core_->setFaultInjector(injector_.get());
+    }
+
+    if (config_.exec_mode == ExecMode::kThreaded ||
+        config_.sample_period != 0) {
+        engine_ = std::make_unique<ThreadedEngine>(
+            core_.get(), bus_.get(), iface_.get(), fabric_.get(),
+            monitor_.get(), injector_.get());
     }
 }
 
@@ -174,9 +182,34 @@ System::fastForward()
 RunResult
 System::run()
 {
+    if (config_.sample_period != 0)
+        return runSampled();
+
     const u64 wd = config_.watchdog_commits;
     bool hung = false;
-    if (!injector_ && wd == 0) {
+    // Burst dispatch requires the commit fast path to be exactly the
+    // inline one: no per-commit fault hooks, no watchdog bookkeeping,
+    // no ALU fault injection, no software-instrumentation expansion.
+    // Any of those falls back to the interpreter loops below, which
+    // produce identical results by definition (kThreaded only changes
+    // how eligible cycles are dispatched, never what they do).
+    const bool burstable = config_.exec_mode == ExecMode::kThreaded &&
+                           !injector_ && wd == 0 &&
+                           config_.fault_rate == 0.0 &&
+                           config_.mode != ImplMode::kSoftware;
+    if (burstable) {
+        while (!core_->halted() && now_ < config_.max_cycles) {
+            // The engine consumes every provably plain fetch/latency
+            // cycle; anything else (misses, FIFO waits, micro-ops,
+            // traps, drains) is handed back to the interpreter tick.
+            now_ = engine_->burst(now_, config_.max_cycles);
+            if (core_->halted() || now_ >= config_.max_cycles)
+                break;
+            tick();
+            if (config_.fast_forward && core_->idleCandidate())
+                fastForward();
+        }
+    } else if (!injector_ && wd == 0) {
         // Hot path: identical to the pre-watchdog loops, zero extra
         // work per cycle when neither feature is in use.
         if (config_.fast_forward) {
@@ -223,6 +256,107 @@ System::run()
         }
         watchdog_deadline_ = kCycleNever;
     }
+    return finishRun(hung, wd);
+}
+
+bool
+System::sampleBoundaryReady() const
+{
+    // Deliberately weaker than full quiescence: queued FFIFO packets
+    // and occupied monitor-pipe stages are allowed, because the
+    // warming engine drains them functionally at the window boundary
+    // (ThreadedEngine::drainFunctional). Under a saturating monitor
+    // the FFIFO never empties while the core keeps committing, so
+    // requiring it empty would pin the run inside one endless
+    // detailed window. What must be clean is the core itself (no
+    // partial instruction, micro-op, or ack wait), the store buffer,
+    // the bus (no refill in flight anywhere, which also means the
+    // fabric cannot be frozen mid-miss), and any undelivered trap.
+    return core_->quiescent() && core_->storeBuffer().empty() &&
+           bus_->idle() && (!fabric_ || !fabric_->frozen()) &&
+           (!iface_ || !iface_->trapPending());
+}
+
+RunResult
+System::runSampled()
+{
+    const u64 window = config_.sample_window;
+    const u64 period = config_.sample_period;
+    const u64 wd = config_.watchdog_commits;
+    bool hung = false;
+    u64 detailed_insts = 0;
+    u64 last_progress = core_->instructions() + core_->microOps();
+    watchdog_deadline_ = wd ? now_ + wd : kCycleNever;
+
+    while (!core_->halted() && now_ < config_.max_cycles) {
+        // Detailed window: exact cycle-accurate simulation until
+        // sample_window instructions committed, then keep going until
+        // the system reaches a sampling boundary (core drained,
+        // refills and store-buffer writes finished; any still-queued
+        // forward packets are drained functionally by warm()).
+        const u64 start_insts = core_->instructions();
+        const u64 detail_target = start_insts + window;
+        while (!core_->halted() && now_ < config_.max_cycles &&
+               (core_->instructions() < detail_target ||
+                !sampleBoundaryReady())) {
+            tick();
+            const u64 progress =
+                core_->instructions() + core_->microOps();
+            if (progress != last_progress) {
+                last_progress = progress;
+                if (wd)
+                    watchdog_deadline_ = now_ + wd;
+            } else if (wd && now_ >= watchdog_deadline_) {
+                hung = true;
+                break;
+            }
+            if (config_.fast_forward && core_->idleCandidate()) {
+                fastForward();
+                if (wd && now_ >= watchdog_deadline_) {
+                    hung = true;
+                    break;
+                }
+            }
+        }
+        detailed_insts += core_->instructions() - start_insts;
+        if (hung || core_->halted() || now_ >= config_.max_cycles)
+            break;
+
+        // Functional warming for the remainder of the sampling unit.
+        const u64 executed = core_->instructions() - start_insts;
+        if (executed < period) {
+            engine_->warm(period - executed);
+            last_progress = core_->instructions() + core_->microOps();
+            if (wd)
+                watchdog_deadline_ = now_ + wd;
+        }
+    }
+    watchdog_deadline_ = kCycleNever;
+
+    RunResult result = finishRun(hung, wd);
+    result.sampled = true;
+    result.detailed_cycles = now_;
+    result.detailed_instructions = detailed_insts;
+    // CPI extrapolation: every simulated cycle belongs to a detailed
+    // window, so total cycles ~= detailed CPI x total instructions.
+    // A run that never left the detailed windows is exact by
+    // construction (estimated == detailed when nothing was warmed).
+    const u64 total_insts = result.instructions;
+    if (detailed_insts > 0 && total_insts > detailed_insts) {
+        result.estimated_cycles = static_cast<Cycle>(
+            (static_cast<double>(now_) /
+             static_cast<double>(detailed_insts)) *
+            static_cast<double>(total_insts));
+    } else {
+        result.estimated_cycles = now_;
+    }
+    result.cycles = result.estimated_cycles;
+    return result;
+}
+
+RunResult
+System::finishRun(bool hung, u64 wd)
+{
     core_->flushTrace();
     bus_->flushObservers();
 

@@ -17,6 +17,7 @@
 namespace flexcore {
 
 class FaultInjector;
+class ThreadedEngine;
 
 /** Outcome of a simulation run. */
 struct RunResult
@@ -34,9 +35,20 @@ struct RunResult
     TrapInfo trap;
     std::string trap_reason;    //!< monitor-provided detail
     u32 trap_inst = 0;          //!< instruction word at trap.pc
+    /** Total cycles. Exact in full-detail runs; in sampled-timing runs
+     * this is estimated_cycles (an extrapolation, not a count). */
     Cycle cycles = 0;
     u64 instructions = 0;
     std::string console;
+
+    // ---- Sampled-timing fields (SystemConfig::sample_period > 0) ----
+    /** True when the run used sampled timing and cycles is an estimate. */
+    bool sampled = false;
+    /** CPI extrapolation from the detailed windows:
+     * detailed_cycles x instructions / detailed_instructions. */
+    Cycle estimated_cycles = 0;  //!< == cycles in sampled runs
+    Cycle detailed_cycles = 0;   //!< cycles actually simulated in detail
+    u64 detailed_instructions = 0;  //!< instructions committed in detail
 };
 
 std::string_view exitName(RunResult::Exit exit);
@@ -88,6 +100,16 @@ class System
     /** Bulk-skip one quiescent stretch, if the system is in one. */
     void fastForward();
 
+    /** Sampled-timing run loop (SystemConfig::sample_period > 0). */
+    RunResult runSampled();
+    /** Shared run() epilogue: flush observers, classify the exit. */
+    RunResult finishRun(bool hung, u64 wd);
+    /** A state functional warming may take over from: core drained,
+     * store buffer empty, bus idle, fabric not frozen, no pending
+     * trap. Queued forward packets are fine — warm() drains them
+     * functionally before it starts committing. */
+    bool sampleBoundaryReady() const;
+
     SystemConfig config_;
     StatGroup stats_;
     std::unique_ptr<Memory> memory_;
@@ -97,6 +119,9 @@ class System
     std::unique_ptr<FlexInterface> iface_;
     std::unique_ptr<Fabric> fabric_;
     std::unique_ptr<FaultInjector> injector_;
+    /** Threaded-dispatch/warming engine; constructed only when
+     * exec_mode is kThreaded or sampled timing is on. */
+    std::unique_ptr<ThreadedEngine> engine_;
     Cycle now_ = 0;
     /** Cycle at which the no-commit watchdog fires (kCycleNever when
      * off); pushed forward by every committed instruction/micro-op.

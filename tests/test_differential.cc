@@ -6,13 +6,26 @@
  * independent interpreter written directly in this test (separate
  * code path from both the Alu class and the core). Any disagreement in
  * encode/decode/assemble/execute shows up as a register mismatch.
+ *
+ * The second half is the exec-mode differential harness: threaded
+ * superblock dispatch (SystemConfig::exec_mode = kThreaded) must be an
+ * invisible host-side optimization. The {baseline,umc,dift,bc,sec} x
+ * {sha,basicmath} grid asserts byte-identical commit traces, monitor
+ * verdicts, and stats JSON between the interpreter and threaded
+ * dispatch, and a seeded fuzz compares final architectural + shadow
+ * state (regTags/memTags) per random program. Debug builds
+ * additionally lockstep-assert every superblock instruction inside
+ * ThreadedEngine::burst (mirroring the fast-forward proof).
  */
 
 #include <gtest/gtest.h>
 
 #include "assembler/assembler.h"
 #include "common/rng.h"
+#include "isa/encoding.h"
+#include "sim/sim_request.h"
 #include "sim/system.h"
+#include "workloads/workload.h"
 
 namespace flexcore {
 namespace {
@@ -180,6 +193,358 @@ INSTANTIATE_TEST_SUITE_P(
     [](const ::testing::TestParamInfo<MonitorKind> &info) {
         return std::string(monitorKindName(info.param));
     });
+
+// ----------------------------------------------------- exec-mode grid
+
+/** Everything the two execution modes must agree on, byte for byte. */
+struct ExecObserved
+{
+    RunResult result;
+    std::string stats_json;
+    u64 trace_hash = 0;
+    u64 forwarded = 0;
+    u64 dropped = 0;
+    u64 commit_stalls = 0;
+};
+
+ExecObserved
+observeExec(const Workload &workload, MonitorKind monitor, ExecMode mode)
+{
+    SystemConfig config;
+    config.monitor = monitor;
+    config.mode = monitor == MonitorKind::kNone ? ImplMode::kBaseline
+                                                : ImplMode::kFlexFabric;
+    config.exec_mode = mode;
+
+    u64 hash = 0xcbf29ce484222325ull;
+    const auto mix = [&hash](u64 value) {
+        for (unsigned i = 0; i < 8; ++i) {
+            hash ^= (value >> (8 * i)) & 0xff;
+            hash *= 0x100000001b3ull;
+        }
+    };
+
+    ExecObserved obs;
+    SimOutcome outcome =
+        SimRequest(config)
+            .workload(workload)
+            .statsJson()
+            .tracer([&](Cycle cycle, Addr pc, const Instruction &inst) {
+                mix(cycle);
+                mix(pc);
+                mix(encode(inst));
+            })
+            .run();
+    obs.result = std::move(outcome.result);
+    obs.stats_json = std::move(outcome.stats_json);
+    obs.trace_hash = hash;
+    obs.forwarded = outcome.forwarded;
+    obs.dropped = outcome.dropped;
+    obs.commit_stalls = outcome.commit_stalls;
+    return obs;
+}
+
+/**
+ * The full paper-benchmark grid in both execution modes. Threaded
+ * dispatch must reproduce the interpreter bit for bit: the commit
+ * trace (cycle, pc, encoding of every committed instruction), the
+ * RunResult, the forward/drop/stall counts at the interface, and the
+ * entire stats tree as canonical JSON.
+ */
+class ExecModeDifferential
+    : public ::testing::TestWithParam<
+          std::tuple<const char *, MonitorKind>>
+{
+};
+
+TEST_P(ExecModeDifferential, ThreadedMatchesInterpreterByteForByte)
+{
+    const auto [name, monitor] = GetParam();
+    const Workload workload = std::string(name) == "sha"
+                                  ? makeSha(WorkloadScale::kTest)
+                                  : makeBasicmath(WorkloadScale::kTest);
+
+    const ExecObserved interp =
+        observeExec(workload, monitor, ExecMode::kInterp);
+    const ExecObserved threaded =
+        observeExec(workload, monitor, ExecMode::kThreaded);
+
+    // The interpreter run is the golden reference; check it against
+    // the workload's expected output first so a common-mode failure
+    // cannot hide behind agreement between the two engines.
+    EXPECT_EQ(interp.result.exit, RunResult::Exit::kExited);
+    EXPECT_EQ(interp.result.console, workload.expected_console);
+
+    EXPECT_EQ(interp.result.exit, threaded.result.exit);
+    EXPECT_EQ(interp.result.exit_code, threaded.result.exit_code);
+    EXPECT_EQ(interp.result.cycles, threaded.result.cycles);
+    EXPECT_EQ(interp.result.instructions, threaded.result.instructions);
+    EXPECT_EQ(interp.result.console, threaded.result.console);
+    EXPECT_EQ(interp.result.trap_reason, threaded.result.trap_reason);
+    EXPECT_EQ(interp.result.trap.pc, threaded.result.trap.pc);
+    EXPECT_EQ(interp.forwarded, threaded.forwarded);
+    EXPECT_EQ(interp.dropped, threaded.dropped);
+    EXPECT_EQ(interp.commit_stalls, threaded.commit_stalls);
+    EXPECT_EQ(interp.trace_hash, threaded.trace_hash);
+    // The strongest check: every counter and formula in the whole
+    // stats tree, byte for byte.
+    EXPECT_EQ(interp.stats_json, threaded.stats_json);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperGrid, ExecModeDifferential,
+    ::testing::Combine(::testing::Values("sha", "basicmath"),
+                       ::testing::Values(MonitorKind::kNone,
+                                         MonitorKind::kUmc,
+                                         MonitorKind::kDift,
+                                         MonitorKind::kBc,
+                                         MonitorKind::kSec)),
+    [](const auto &info) {
+        std::string name = std::get<0>(info.param);
+        name += '_';
+        const MonitorKind kind = std::get<1>(info.param);
+        name += kind == MonitorKind::kNone
+                    ? "baseline"
+                    : std::string(monitorKindName(kind));
+        return name;
+    });
+
+/**
+ * A monitor trap must terminate identically in both modes: same
+ * verdict, same trapping pc, same cycle count.
+ */
+TEST(ExecModeDifferential, MonitorTrapVerdictsMatch)
+{
+    // UMC: load from a word never stored -> "load of uninitialized"
+    // trap. The store warms one address; the load hits another.
+    const std::string source = R"(
+        .org 0x1000
+_start: set 0x20000, %l0
+        set 0x1234, %l1
+        st %l1, [%l0]
+        ld [%l0+8], %o0
+        ta 0
+        nop
+)";
+
+    RunResult results[2];
+    for (ExecMode mode : {ExecMode::kInterp, ExecMode::kThreaded}) {
+        SystemConfig config;
+        config.monitor = MonitorKind::kUmc;
+        config.mode = ImplMode::kFlexFabric;
+        config.exec_mode = mode;
+        System system(config);
+        system.load(Assembler::assembleOrDie(source));
+        results[mode == ExecMode::kThreaded] = system.run();
+    }
+    EXPECT_EQ(results[0].exit, RunResult::Exit::kMonitorTrap);
+    EXPECT_EQ(results[0].exit, results[1].exit);
+    EXPECT_EQ(results[0].trap_reason, results[1].trap_reason);
+    EXPECT_EQ(results[0].trap.pc, results[1].trap.pc);
+    EXPECT_EQ(results[0].cycles, results[1].cycles);
+    EXPECT_EQ(results[0].instructions, results[1].instructions);
+}
+
+// ----------------------------------------------------- exec-mode fuzz
+
+/**
+ * Random program generator for the exec-mode fuzz: straight-line ALU
+ * work (as above) interleaved with word loads/stores into a scratch
+ * buffer, DIFT tag-source ops (m.settag) so the shadow state is
+ * non-trivially populated, BFIFO round-trips (m.read), and balanced
+ * save/restore pairs so the comparison covers the whole windowed
+ * physical register file.
+ */
+std::string
+genExecFuzzProgram(Rng *rng)
+{
+    std::string source = "        .org 0x1000\n_start:\n";
+    source += "        set 0x003ffff0, %sp\n";
+    source += "        set 0x20000, %g1\n";
+    for (unsigned r = 0; r < kNumRegs; ++r) {
+        char buf[16];
+        std::snprintf(buf, sizeof(buf), "%x", rng->next32());
+        source += "        set 0x";
+        source += buf;
+        source += ", ";
+        source += kRegs[r];
+        source += "\n";
+    }
+    unsigned depth = 0;
+    for (int i = 0; i < 200; ++i) {
+        const u32 kind = rng->below(100);
+        const char *reg = kRegs[rng->below(kNumRegs)];
+        if (kind < 50) {   // ALU (register or immediate operand)
+            const GenOp &gen = kGenOps[rng->below(std::size(kGenOps))];
+            std::string operand2;
+            if (rng->chance(0.3)) {
+                operand2 = std::to_string(
+                    static_cast<s32>(rng->range(0, 8191)) - 4096);
+            } else {
+                operand2 = kRegs[rng->below(kNumRegs)];
+            }
+            source += "        ";
+            source += gen.mnemonic;
+            source += " ";
+            source += kRegs[rng->below(kNumRegs)];
+            source += ", " + operand2 + ", ";
+            source += reg;
+            source += "\n";
+        } else if (kind < 70) {   // store to the scratch buffer
+            source += "        st ";
+            source += reg;
+            source += ", [%g1+" + std::to_string(4 * rng->below(64)) +
+                      "]\n";
+        } else if (kind < 85) {   // load from the scratch buffer
+            source += "        ld [%g1+" +
+                      std::to_string(4 * rng->below(64)) + "], ";
+            source += reg;
+            source += "\n";
+        } else if (kind < 92) {   // taint source (DIFT cpop)
+            source += "        m.settag ";
+            source += reg;
+            source += "\n";
+        } else if (kind < 96) {   // BFIFO tag read-back
+            source += "        m.read ";
+            source += reg;
+            source += "\n";
+        } else if (depth < 4 && rng->chance(0.5)) {
+            source += "        save %sp, -96, %sp\n";
+            ++depth;
+        } else if (depth > 0) {
+            source += "        restore\n";
+            --depth;
+        }
+    }
+    while (depth-- > 0)
+        source += "        restore\n";
+    source += "        ta 0\n        nop\n";
+    return source;
+}
+
+/**
+ * Seed-keyed fuzz differential between the two execution engines:
+ * each random program runs to completion under DIFT on the fabric in
+ * interpreted and threaded mode, then every piece of final state is
+ * compared — the full physical register file, the window pointer, the
+ * scratch memory image, the DIFT shadow register file, the shadow
+ * memory tags, and the interface counters. A failure replays with the
+ * printed seed.
+ */
+class ExecModeFuzz : public ::testing::TestWithParam<u64>
+{
+};
+
+TEST_P(ExecModeFuzz, ArchitecturalAndShadowStateMatch)
+{
+    Rng rng(GetParam());
+    const std::string source = genExecFuzzProgram(&rng);
+    const Program program = Assembler::assembleOrDie(source);
+
+    auto makeSystem = [&](ExecMode mode) {
+        SystemConfig config;
+        config.monitor = MonitorKind::kDift;
+        config.mode = ImplMode::kFlexFabric;
+        config.exec_mode = mode;
+        config.max_cycles = 10'000'000;
+        auto system = std::make_unique<System>(config);
+        system->load(program);
+        return system;
+    };
+
+    auto interp = makeSystem(ExecMode::kInterp);
+    auto threaded = makeSystem(ExecMode::kThreaded);
+    const RunResult ri = interp->run();
+    const RunResult rt = threaded->run();
+
+    ASSERT_EQ(ri.exit, RunResult::Exit::kExited) << "seed " << GetParam();
+    ASSERT_EQ(ri.exit, rt.exit) << "seed " << GetParam();
+    EXPECT_EQ(ri.cycles, rt.cycles) << "seed " << GetParam();
+    EXPECT_EQ(ri.instructions, rt.instructions) << "seed " << GetParam();
+
+    // Full physical register file + window pointer.
+    EXPECT_EQ(interp->core().regs().cwp(), threaded->core().regs().cwp());
+    for (unsigned phys = 0; phys < kNumPhysRegs; ++phys) {
+        EXPECT_EQ(interp->core().regs().readPhys(phys),
+                  threaded->core().regs().readPhys(phys))
+            << "phys reg " << phys << " seed " << GetParam();
+    }
+    // Scratch memory image.
+    for (Addr addr = 0x20000; addr < 0x20000 + 64 * 4; addr += 4) {
+        EXPECT_EQ(interp->memory().read32(addr),
+                  threaded->memory().read32(addr))
+            << "mem 0x" << std::hex << addr << " seed " << GetParam();
+    }
+    // DIFT shadow state: register tags and memory tags.
+    ASSERT_NE(interp->monitor(), nullptr);
+    ASSERT_NE(threaded->monitor(), nullptr);
+    for (unsigned phys = 0; phys < kNumPhysRegs; ++phys) {
+        EXPECT_EQ(interp->monitor()->regTags().read(
+                      static_cast<u16>(phys)),
+                  threaded->monitor()->regTags().read(
+                      static_cast<u16>(phys)))
+            << "reg tag " << phys << " seed " << GetParam();
+    }
+    for (Addr addr = 0x20000; addr < 0x20000 + 64 * 4; addr += 4) {
+        EXPECT_EQ(interp->monitor()->memTags().read(addr),
+                  threaded->monitor()->memTags().read(addr))
+            << "mem tag 0x" << std::hex << addr << " seed "
+            << GetParam();
+    }
+    // Interface counters (forward decisions must be mode-invariant).
+    ASSERT_NE(interp->iface(), nullptr);
+    EXPECT_EQ(interp->iface()->forwardedCount(),
+              threaded->iface()->forwardedCount());
+    EXPECT_EQ(interp->iface()->droppedCount(),
+              threaded->iface()->droppedCount());
+    EXPECT_EQ(interp->iface()->stallCycles(),
+              threaded->iface()->stallCycles());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExecModeFuzz,
+                         ::testing::Range<u64>(1, 201));
+
+/** Threaded + per-cycle histograms / trace capture are rejected with
+ * typed errors (the burst loop skips per-tick observation hooks). */
+TEST(ExecModeConfig, FinalizeRejectsInvalidThreadedCombos)
+{
+    SystemConfig histograms;
+    histograms.exec_mode = ExecMode::kThreaded;
+    histograms.histograms = true;
+    EXPECT_EQ(histograms.finalize().code,
+              ConfigError::Code::kThreadedHistograms);
+
+    SystemConfig trace;
+    trace.exec_mode = ExecMode::kThreaded;
+    trace.trace_events = true;
+    EXPECT_EQ(trace.finalize().code, ConfigError::Code::kThreadedTrace);
+
+    SystemConfig good;
+    good.exec_mode = ExecMode::kThreaded;
+    EXPECT_FALSE(good.finalize());
+}
+
+/** Threaded dispatch composes with the features that fall back to the
+ * interpreter loop (watchdog, deterministic faults): same results. */
+TEST(ExecModeConfig, ThreadedFallbackPathsStayIdentical)
+{
+    const Workload workload = makeSha(WorkloadScale::kTest);
+    RunResult results[2];
+    for (ExecMode mode : {ExecMode::kInterp, ExecMode::kThreaded}) {
+        SystemConfig config;
+        config.monitor = MonitorKind::kDift;
+        config.mode = ImplMode::kFlexFabric;
+        config.exec_mode = mode;
+        config.watchdog_commits = 100'000;
+        const SimOutcome out =
+            SimRequest(config).workload(workload).run();
+        results[mode == ExecMode::kThreaded] = out.result;
+    }
+    EXPECT_EQ(results[0].exit, results[1].exit);
+    EXPECT_EQ(results[0].cycles, results[1].cycles);
+    EXPECT_EQ(results[0].instructions, results[1].instructions);
+    EXPECT_EQ(results[0].console, results[1].console);
+}
 
 }  // namespace
 }  // namespace flexcore

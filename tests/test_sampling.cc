@@ -1,0 +1,299 @@
+/**
+ * @file
+ * SMARTS-style sampled timing mode: detailed cycle-accurate windows
+ * punctuating fast functional warming (SystemConfig::sample_window /
+ * sample_period). Functional behavior — instructions, console output,
+ * monitor verdicts — must be exactly the interpreter's; cycle counts
+ * become CPI-extrapolated estimates whose relative error against the
+ * exact model is measured and bounded here on the Table IV grid
+ * (every paper-grid extension x {sha, basicmath}). The documented
+ * bound lives in docs/performance.md; this test is what "documented"
+ * means.
+ */
+
+#include <cmath>
+#include <string>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "assembler/assembler.h"
+#include "faults/injector.h"
+#include "sim/sim_request.h"
+#include "sim/system.h"
+#include "workloads/workload.h"
+
+namespace flexcore {
+namespace {
+
+/**
+ * Documented relative error bound for a 25% detail ratio spread over
+ * several short windows (window 500 / period 2000) on the Table IV
+ * grid at test scale; the worst measured config (sha x UMC) sits at
+ * ~14%. Two structural biases set the scale: the first window always
+ * contains the cold-start phase (CPI overestimate), and each window
+ * restarts from the drained, empty FIFO, so saturating monitors (SEC)
+ * re-pay the back-pressure ramp-up and underestimate CPI. Simulated
+ * cycles are deterministic, so the measured errors are stable across
+ * hosts and toolchains. Keep in sync with docs/performance.md.
+ */
+constexpr double kDocumentedErrorBound = 0.15;
+constexpr u64 kGridSampleWindow = 500;
+constexpr u64 kGridSamplePeriod = 2'000;
+
+Workload
+workloadByName(const std::string &name)
+{
+    return name == "sha" ? makeSha(WorkloadScale::kTest)
+                         : makeBasicmath(WorkloadScale::kTest);
+}
+
+SystemConfig
+gridConfig(MonitorKind monitor)
+{
+    SystemConfig config;
+    config.monitor = monitor;
+    config.mode = monitor == MonitorKind::kNone ? ImplMode::kBaseline
+                                                : ImplMode::kFlexFabric;
+    return config;
+}
+
+/** The Table IV grid: paper extensions x benchmark, exact vs sampled. */
+class SamplingErrorBound
+    : public ::testing::TestWithParam<
+          std::tuple<const char *, MonitorKind>>
+{
+};
+
+TEST_P(SamplingErrorBound, EstimateWithinDocumentedBound)
+{
+    const auto [name, monitor] = GetParam();
+    const Workload workload = workloadByName(name);
+
+    SystemConfig exact_config = gridConfig(monitor);
+    const SimOutcome exact =
+        SimRequest(exact_config).workload(workload).run();
+    ASSERT_EQ(exact.result.exit, RunResult::Exit::kExited);
+    ASSERT_EQ(exact.result.console, workload.expected_console);
+
+    SystemConfig sampled_config = gridConfig(monitor);
+    sampled_config.sample_window = kGridSampleWindow;
+    sampled_config.sample_period = kGridSamplePeriod;
+    const SimOutcome sampled =
+        SimRequest(sampled_config).workload(workload).run();
+
+    // Functional execution is exact under sampling: same instruction
+    // stream, same output, same clean exit (and the same monitor
+    // verdict — a trap here would change the exit kind).
+    EXPECT_EQ(sampled.result.exit, exact.result.exit);
+    EXPECT_EQ(sampled.result.exit_code, exact.result.exit_code);
+    EXPECT_EQ(sampled.result.instructions, exact.result.instructions);
+    EXPECT_EQ(sampled.result.console, exact.result.console);
+
+    // The run must actually have sampled (otherwise the error check
+    // below is vacuous) while simulating only a fraction in detail.
+    ASSERT_TRUE(sampled.result.sampled);
+    ASSERT_GT(sampled.result.detailed_instructions, 0u);
+    ASSERT_LT(sampled.result.detailed_instructions,
+              sampled.result.instructions)
+        << "workload too short for the chosen sampling unit";
+
+    const double est = static_cast<double>(sampled.result.cycles);
+    const double ref = static_cast<double>(exact.result.cycles);
+    const double rel_error = std::fabs(est - ref) / ref;
+    RecordProperty("relative_error", std::to_string(rel_error));
+    EXPECT_LE(rel_error, kDocumentedErrorBound)
+        << "estimated " << sampled.result.cycles << " vs exact "
+        << exact.result.cycles << " (detailed "
+        << sampled.result.detailed_instructions << "/"
+        << sampled.result.instructions << " insts, "
+        << sampled.result.detailed_cycles << " cycles)";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Table4Grid, SamplingErrorBound,
+    ::testing::Combine(::testing::Values("sha", "basicmath"),
+                       ::testing::Values(MonitorKind::kUmc,
+                                         MonitorKind::kDift,
+                                         MonitorKind::kBc,
+                                         MonitorKind::kSec)),
+    [](const auto &info) {
+        std::string label = std::get<0>(info.param);
+        label += '_';
+        label += monitorKindName(std::get<1>(info.param));
+        return label;
+    });
+
+/**
+ * window == period means every instruction runs in a detailed window:
+ * the "estimate" must equal the exact model's cycle count, proving
+ * the sampled loop's detailed windows are the real cycle-accurate
+ * model and the estimate converges to it as the detail ratio grows.
+ */
+TEST(Sampling, FullWindowIsExact)
+{
+    const Workload workload = makeSha(WorkloadScale::kTest);
+
+    SystemConfig exact_config = gridConfig(MonitorKind::kDift);
+    const SimOutcome exact =
+        SimRequest(exact_config).workload(workload).run();
+
+    SystemConfig sampled_config = gridConfig(MonitorKind::kDift);
+    sampled_config.sample_window = 1'000'000;
+    sampled_config.sample_period = 1'000'000;
+    const SimOutcome sampled =
+        SimRequest(sampled_config).workload(workload).run();
+
+    ASSERT_TRUE(sampled.result.sampled);
+    EXPECT_EQ(sampled.result.cycles, exact.result.cycles);
+    EXPECT_EQ(sampled.result.estimated_cycles, exact.result.cycles);
+    EXPECT_EQ(sampled.result.detailed_cycles, exact.result.cycles);
+    EXPECT_EQ(sampled.result.instructions, exact.result.instructions);
+    EXPECT_EQ(sampled.result.detailed_instructions,
+              sampled.result.instructions);
+}
+
+// ------------------------------------------------- fault composition
+
+/**
+ * Sampling composes with the deterministic fault injector. A
+ * cycle-exact trigger inside a detailed window must land on exactly
+ * its cycle — the fast-forward cap at the next trigger (proven for
+ * the plain loop in test_faults) also holds inside sampled detailed
+ * windows, where the same fastForward() runs.
+ */
+TEST(SamplingFaults, CycleTriggerLandsExactlyInDetailedWindow)
+{
+    const Workload workload = makeSha(WorkloadScale::kTest);
+
+    SystemConfig config = gridConfig(MonitorKind::kSec);
+    config.sample_window = 2'000;
+    config.sample_period = 20'000;
+    std::string error;
+    ASSERT_TRUE(parseFaultSpec("reg@c500:t130:b3",
+                               &config.faults.specs.emplace_back(),
+                               &error))
+        << error;
+
+    System system(config);
+    system.load(Assembler::assembleOrDie(workload.source));
+    const RunResult result = system.run();
+    ASSERT_TRUE(result.sampled);
+    ASSERT_NE(system.injector(), nullptr);
+    EXPECT_EQ(system.injector()->log().applied, 1u);
+    // Cycle 500 is inside detailed window 0 (2000 instructions take
+    // at least 2000 cycles), so the trigger fires on its exact cycle.
+    EXPECT_EQ(system.injector()->log().first_cycle, 500u);
+}
+
+/**
+ * A commit-indexed trigger that falls inside a functionally-warmed
+ * stretch still fires (warming advances the commit counter through
+ * the injector hook), at the same commit index as the exact run.
+ */
+TEST(SamplingFaults, CommitTriggerFiresDuringWarming)
+{
+    const Workload workload = makeSha(WorkloadScale::kTest);
+
+    auto runWith = [&](bool sampling) {
+        SystemConfig config = gridConfig(MonitorKind::kSec);
+        if (sampling) {
+            config.sample_window = 500;
+            config.sample_period = 5'000;
+        }
+        // Commit 6000 lands in sampling unit 1's warmed remainder
+        // (detailed: [5000, 5500), warmed: [5500, 10000)).
+        std::string error;
+        EXPECT_TRUE(parseFaultSpec("reg@i6000:t130:b3",
+                                   &config.faults.specs.emplace_back(),
+                                   &error))
+            << error;
+        System system(config);
+        system.load(Assembler::assembleOrDie(workload.source));
+        const RunResult result = system.run();
+        EXPECT_GT(result.instructions, 6'000u)
+            << "workload too short to reach the trigger";
+        return system.injector()->log().applied;
+    };
+
+    EXPECT_EQ(runWith(/*sampling=*/false), 1u);
+    EXPECT_EQ(runWith(/*sampling=*/true), 1u);
+}
+
+// ------------------------------------------------- config rejection
+
+TEST(SamplingConfig, FinalizeRejectsInvalidCombos)
+{
+    SystemConfig window_only;
+    window_only.sample_window = 1'000;
+    EXPECT_EQ(window_only.finalize().code,
+              ConfigError::Code::kBadSampleWindow);
+
+    SystemConfig period_only;
+    period_only.sample_period = 10'000;
+    EXPECT_EQ(period_only.finalize().code,
+              ConfigError::Code::kBadSampleWindow);
+
+    SystemConfig inverted;
+    inverted.sample_window = 20'000;
+    inverted.sample_period = 10'000;
+    EXPECT_EQ(inverted.finalize().code,
+              ConfigError::Code::kBadSampleWindow);
+
+    SystemConfig histograms;
+    histograms.sample_window = 1'000;
+    histograms.sample_period = 10'000;
+    histograms.histograms = true;
+    EXPECT_EQ(histograms.finalize().code,
+              ConfigError::Code::kSamplingHistograms);
+
+    SystemConfig trace;
+    trace.sample_window = 1'000;
+    trace.sample_period = 10'000;
+    trace.trace_events = true;
+    EXPECT_EQ(trace.finalize().code, ConfigError::Code::kSamplingTrace);
+
+    SystemConfig threaded;
+    threaded.sample_window = 1'000;
+    threaded.sample_period = 10'000;
+    threaded.exec_mode = ExecMode::kThreaded;
+    EXPECT_EQ(threaded.finalize().code,
+              ConfigError::Code::kSamplingExecMode);
+
+    SystemConfig software;
+    software.sample_window = 1'000;
+    software.sample_period = 10'000;
+    software.monitor = MonitorKind::kUmc;
+    software.mode = ImplMode::kSoftware;
+    EXPECT_EQ(software.finalize().code,
+              ConfigError::Code::kSamplingSoftware);
+
+    SystemConfig good;
+    good.sample_window = 1'000;
+    good.sample_period = 10'000;
+    good.monitor = MonitorKind::kDift;
+    good.mode = ImplMode::kFlexFabric;
+    EXPECT_FALSE(good.finalize());
+}
+
+/** Error names are stable (they appear in CLI error messages). */
+TEST(SamplingConfig, ErrorNamesAreStable)
+{
+    EXPECT_EQ(configErrorName(ConfigError::Code::kBadSampleWindow),
+              "bad_sample_window");
+    EXPECT_EQ(configErrorName(ConfigError::Code::kThreadedHistograms),
+              "threaded_histograms");
+    EXPECT_EQ(configErrorName(ConfigError::Code::kThreadedTrace),
+              "threaded_trace");
+    EXPECT_EQ(configErrorName(ConfigError::Code::kSamplingHistograms),
+              "sampling_histograms");
+    EXPECT_EQ(configErrorName(ConfigError::Code::kSamplingTrace),
+              "sampling_trace");
+    EXPECT_EQ(configErrorName(ConfigError::Code::kSamplingExecMode),
+              "sampling_exec_mode");
+    EXPECT_EQ(configErrorName(ConfigError::Code::kSamplingSoftware),
+              "sampling_software");
+}
+
+}  // namespace
+}  // namespace flexcore

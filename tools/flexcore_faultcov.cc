@@ -88,6 +88,7 @@ main(int argc, char **argv)
     bool require_detections = false;
     bool list_monitors = false;
     u32 jobs_opt = 0;
+    std::string exec_mode_name;
 
     FaultCovSpec spec;
     spec.base.mode = ImplMode::kFlexFabric;
@@ -117,6 +118,10 @@ main(int argc, char **argv)
                   "no-commit watchdog threshold per run (default 50000)");
     parser.option("--jobs", &jobs_opt, "N",
                   "worker threads (default: all hardware threads)");
+    parser.option("--exec-mode", &exec_mode_name, "MODE",
+                  "execution engine: interp (default) or threaded "
+                  "(fault runs fall back to the interpreter loop, so "
+                  "results are identical either way)");
     parser.option("--out", &out, "FILE",
                   "write the coverage JSON to FILE (default stdout)");
     parser.flag("--no-fast-forward", &no_fast_forward,
@@ -146,6 +151,11 @@ main(int argc, char **argv)
     options.label = "faultcov";
     if (no_fast_forward)
         spec.base.fast_forward = false;
+    if (!exec_mode_name.empty() &&
+        !parseExecMode(exec_mode_name, &spec.base.exec_mode)) {
+        FLEX_FATAL("unknown exec mode '", exec_mode_name,
+                   "' (interp or threaded)");
+    }
 
     for (const std::string &name : splitCommas(monitors))
         spec.monitors.push_back(parseMonitor(name));

@@ -32,26 +32,47 @@ struct MatrixRow
 {
     MonitorKind monitor;
     ImplMode mode;
+    ExecMode exec = ExecMode::kInterp;
+    bool sampled = false;   //!< SMARTS sampled timing (window/period)
 };
 
 /**
  * The measurement matrix is fixed — it is the one the tracked
  * BENCH_perf.json baseline was recorded with — but the row labels
- * derive from the registry's canonical names.
+ * derive from the registry's canonical names. The interp rows come
+ * first (comparable with older baselines); the threaded rows measure
+ * superblock dispatch on the same configs, and the sampled row
+ * measures functional warming (its simulated cycle count is an
+ * estimate, so only host throughput is meaningful there).
  */
 constexpr MatrixRow kMatrix[] = {
     {MonitorKind::kNone, ImplMode::kBaseline},
     {MonitorKind::kUmc, ImplMode::kFlexFabric},
     {MonitorKind::kDift, ImplMode::kFlexFabric},
     {MonitorKind::kBc, ImplMode::kFlexFabric},
+    {MonitorKind::kNone, ImplMode::kBaseline, ExecMode::kThreaded},
+    {MonitorKind::kUmc, ImplMode::kFlexFabric, ExecMode::kThreaded},
+    {MonitorKind::kDift, ImplMode::kFlexFabric, ExecMode::kThreaded},
+    {MonitorKind::kBc, ImplMode::kFlexFabric, ExecMode::kThreaded},
+    {MonitorKind::kDift, ImplMode::kFlexFabric, ExecMode::kInterp,
+     /*sampled=*/true},
 };
+
+/** Sampled-row parameters: 10% detailed (window 2k of period 20k). */
+constexpr u64 kSampleWindow = 2'000;
+constexpr u64 kSamplePeriod = 20'000;
 
 std::string
 rowName(const MatrixRow &row)
 {
-    return row.mode == ImplMode::kBaseline
-               ? "baseline"
-               : std::string(monitorKindName(row.monitor));
+    std::string name = row.mode == ImplMode::kBaseline
+                           ? "baseline"
+                           : std::string(monitorKindName(row.monitor));
+    if (row.exec == ExecMode::kThreaded)
+        name += "-threaded";
+    if (row.sampled)
+        name += "-sampled";
+    return name;
 }
 
 /**
@@ -138,6 +159,11 @@ main(int argc, char **argv)
                 SystemConfig config;
                 config.monitor = row.monitor;
                 config.mode = row.mode;
+                config.exec_mode = row.exec;
+                if (row.sampled) {
+                    config.sample_window = kSampleWindow;
+                    config.sample_period = kSamplePeriod;
+                }
                 config.fast_forward = !no_fast_forward;
                 const SimOutcome out =
                     SimRequest(std::move(config)).workload(w).run();

@@ -36,8 +36,10 @@ main(int argc, char **argv)
     bool trace = false;
     bool quiet = false;
     bool no_fast_forward = false;
+    bool no_histograms = false;
     bool list_monitors = false;
     std::string monitor_name;
+    std::string exec_mode_name;
     std::string path;
     std::string stats_json_path;
     std::string trace_json_path;
@@ -71,6 +73,18 @@ main(int argc, char **argv)
                   "DIFT taint width (1 or 4)");
     parser.flag("--precise", &config.precise_exceptions,
                 "precise monitor exceptions");
+    parser.option("--exec-mode", &exec_mode_name, "MODE",
+                  "execution engine: interp (golden, default) or "
+                  "threaded (function-pointer superblock dispatch; "
+                  "identical results, faster)");
+    parser.option("--sample-window", &config.sample_window, "N",
+                  "sampled timing: detailed instructions per sampling "
+                  "unit (requires --sample-period)");
+    parser.option("--sample-period", &config.sample_period, "N",
+                  "sampled timing: instructions per sampling unit; the "
+                  "first --sample-window of each run in full detail, "
+                  "the rest functionally warmed (cycles become a "
+                  "CPI-extrapolated estimate)");
     parser.option("--fault-rate", &config.fault_rate, "P",
                   "ALU transient-fault probability");
     parser.option("--max-cycles", &config.max_cycles, "N",
@@ -95,6 +109,10 @@ main(int argc, char **argv)
     parser.flag("--no-fast-forward", &no_fast_forward,
                 "disable quiescent-stretch fast-forwarding (results are "
                 "identical either way; this exists to prove it)");
+    parser.flag("--no-histograms", &no_histograms,
+                "suppress the histogram sampling that --stats-json "
+                "normally implies (for byte-comparing stats against an "
+                "--exec-mode threaded run, which cannot sample)");
     parser.flag("--quiet", &quiet, "suppress the run summary");
     parser.positional("program.s", &path, /*required=*/false);
     parser.footer(
@@ -118,6 +136,14 @@ main(int argc, char **argv)
                      "unknown monitor '%s' (known: none, %s; see "
                      "--list-monitors)\n",
                      monitor_name.c_str(), knownMonitorNames().c_str());
+        return 2;
+    }
+
+    if (!exec_mode_name.empty() &&
+        !parseExecMode(exec_mode_name, &config.exec_mode)) {
+        std::fprintf(stderr,
+                     "unknown exec mode '%s' (interp or threaded)\n",
+                     exec_mode_name.c_str());
         return 2;
     }
 
@@ -175,9 +201,15 @@ main(int argc, char **argv)
     }
 
     // Observability output implies histogram sampling: the JSON should
-    // carry populated occupancy/queue-depth distributions.
-    if (!stats_json_path.empty() || !trace_json_path.empty())
+    // carry populated occupancy/queue-depth distributions. Threaded
+    // dispatch and sampled timing skip per-cycle bookkeeping, so the
+    // implication is suppressed there (an explicit --trace-json still
+    // reaches finalize() and is rejected with a typed error).
+    if ((!stats_json_path.empty() || !trace_json_path.empty()) &&
+        !no_histograms && config.exec_mode == ExecMode::kInterp &&
+        config.sample_period == 0) {
         config.histograms = true;
+    }
 
     SimRequest request(config);
     request.program(std::move(program));
@@ -224,6 +256,15 @@ main(int argc, char **argv)
                          result.trap.detail.c_str(), result.trap.pc);
         if (result.exit == RunResult::Exit::kHang)
             std::fprintf(stderr, " (%s)", result.trap_reason.c_str());
+        if (result.sampled) {
+            std::fprintf(
+                stderr,
+                " [sampled: estimate from %llu detailed cycles / %llu "
+                "detailed instructions]",
+                static_cast<unsigned long long>(result.detailed_cycles),
+                static_cast<unsigned long long>(
+                    result.detailed_instructions));
+        }
         std::fprintf(stderr, "\n");
         if ((result.exit == RunResult::Exit::kMonitorTrap ||
              result.exit == RunResult::Exit::kCoreTrap) &&

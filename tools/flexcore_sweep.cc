@@ -74,6 +74,9 @@ main(int argc, char **argv)
     u32 jobs_opt = 0;
     u64 max_cycles = 0;
     u64 watchdog_commits = 0;
+    std::string exec_mode_name;
+    u64 sample_window = 0;
+    u64 sample_period = 0;
 
     cli::Parser parser("flexcore-sweep",
                        "run a design-space campaign");
@@ -97,6 +100,14 @@ main(int argc, char **argv)
                   "per-job simulation cycle limit (0 = default)");
     parser.option("--watchdog-commits", &watchdog_commits, "N",
                   "per-job no-commit watchdog threshold (0 = off)");
+    parser.option("--exec-mode", &exec_mode_name, "MODE",
+                  "execution engine for every job: interp (default) or "
+                  "threaded (identical results, faster)");
+    parser.option("--sample-window", &sample_window, "N",
+                  "sampled timing: detailed instructions per unit");
+    parser.option("--sample-period", &sample_period, "N",
+                  "sampled timing: instructions per sampling unit "
+                  "(cycles become CPI-extrapolated estimates)");
     parser.option("--out", &out, "FILE",
                   "write merged JSON (default sweep.json)");
     parser.list("--stat", &options.stat_paths, "PATH",
@@ -122,6 +133,15 @@ main(int argc, char **argv)
     if (max_cycles)
         spec.base.max_cycles = max_cycles;
     spec.base.watchdog_commits = watchdog_commits;
+    if (!exec_mode_name.empty() &&
+        !parseExecMode(exec_mode_name, &spec.base.exec_mode)) {
+        std::fprintf(stderr,
+                     "unknown exec mode '%s' (interp or threaded)\n",
+                     exec_mode_name.c_str());
+        return 2;
+    }
+    spec.base.sample_window = sample_window;
+    spec.base.sample_period = sample_period;
     if (ConfigError error = SystemConfig(spec.base).finalize()) {
         std::fprintf(stderr, "flexcore-sweep: %s\n",
                      error.message.c_str());
