@@ -148,4 +148,38 @@ if command -v python3 >/dev/null 2>&1; then
     python3 -m json.tool "$tmpdir/fifo_stats.json" > /dev/null
 fi
 
+echo "== streaming trace and per-PC profile =="
+# FXTR pipeline: record a stream, run every flexcore-trace subcommand
+# over it, and hold the byte-identity gate — the Chrome export of a
+# stream must equal the legacy buffered --trace-json of the same
+# configuration (docs/observability.md).
+./build/tools/flexcore-run --monitor dift --quiet --no-histograms \
+    --trace-json "$tmpdir/trace_legacy.json" programs/hello.s \
+    > /dev/null
+./build/tools/flexcore-run --monitor dift --quiet \
+    --trace-out "$tmpdir/trace.fxtr" \
+    --profile-json "$tmpdir/profile.json" programs/hello.s > /dev/null
+./build/tools/flexcore-trace report "$tmpdir/trace.fxtr" \
+    -o "$tmpdir/trace_report.json"
+./build/tools/flexcore-trace stats "$tmpdir/trace.fxtr" \
+    -o "$tmpdir/trace_stats.json"
+./build/tools/flexcore-trace export --chrome "$tmpdir/trace.fxtr" \
+    -o "$tmpdir/trace_chrome.json"
+cmp "$tmpdir/trace_legacy.json" "$tmpdir/trace_chrome.json"
+./build/tools/flexcore-trace diff "$tmpdir/trace.fxtr" \
+    "$tmpdir/trace.fxtr" | grep -q identical
+# The profile report annotates a listing, and `-` routes it to stdout
+# with the program console moved to stderr.
+./build/tools/flexcore-asm --annotate "$tmpdir/profile.json" \
+    programs/hello.s | grep -q sethi
+./build/tools/flexcore-run --monitor umc --quiet --profile-json - \
+    programs/hello.s 2> /dev/null > "$tmpdir/profile_stdout.json"
+if command -v python3 >/dev/null 2>&1; then
+    python3 -m json.tool "$tmpdir/trace_report.json" > /dev/null
+    python3 -m json.tool "$tmpdir/trace_stats.json" > /dev/null
+    python3 -m json.tool "$tmpdir/trace_chrome.json" > /dev/null
+    python3 -m json.tool "$tmpdir/profile.json" > /dev/null
+    python3 -m json.tool "$tmpdir/profile_stdout.json" > /dev/null
+fi
+
 echo "All checks passed."

@@ -36,6 +36,61 @@ if [ ! -f build/CMakeCache.txt ]; then
 fi
 cmake --build build -j "$jobs" --target flexcore-perf
 
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+# Keep the tracked baseline around for the guard below: the default
+# --out overwrites BENCH_perf.json in place.
+[ -f BENCH_perf.json ] && cp BENCH_perf.json "$tmp/tracked.json"
+
 # shellcheck disable=SC2086  # $quick is intentionally word-split
 ./build/tools/flexcore-perf $quick --out "$out"
 echo "wrote $out"
+
+# Zero-cost-when-off guard for the streaming trace
+# (docs/observability.md). Recording never attaches a trace sink, so
+# the numbers just written ARE trace-off throughput. Two checks:
+#
+# 1. Purity: attaching --trace-out must leave the simulated outputs
+#    untouched — the stats JSON of a traced run is byte-identical to
+#    an untraced one.
+cmake --build build -j "$jobs" --target flexcore-run > /dev/null
+./build/tools/flexcore-run --monitor dift --quiet --no-histograms \
+    --stats-json "$tmp/trace_off.json" programs/fibonacci.s \
+    > /dev/null
+./build/tools/flexcore-run --monitor dift --quiet --no-histograms \
+    --stats-json "$tmp/trace_on.json" --trace-out "$tmp/on.fxtr" \
+    programs/fibonacci.s > /dev/null
+cmp "$tmp/trace_off.json" "$tmp/trace_on.json"
+echo "trace purity: ok"
+
+# 2. Throughput: on a full-scale run, every row must stay within a
+#    deliberately loose factor of the tracked baseline. Host timing
+#    carries tens of percent of noise, so this is a floor against
+#    "the disabled trace hook got expensive" regressions, not a
+#    gate on real perf work (rerecord BENCH_perf.json for that).
+if [ -z "$quick" ] && [ -f "$tmp/tracked.json" ] \
+       && command -v python3 >/dev/null 2>&1; then
+    python3 - "$out" "$tmp/tracked.json" <<'EOF'
+import json, sys
+
+fresh = {r["config"]: r for r in json.load(open(sys.argv[1]))["results"]}
+tracked = json.load(open(sys.argv[2]))
+if tracked.get("scale") != "full":
+    sys.exit(0)    # tracked file is a smoke artifact; nothing to hold
+FLOOR = 0.2
+bad = []
+for row in tracked["results"]:
+    name, want = row["config"], FLOOR * row["cycles_per_sec"]
+    got = fresh.get(name)
+    if got is None:
+        bad.append(f"{name}: row missing from fresh results")
+    elif got["cycles_per_sec"] < want:
+        bad.append(f"{name}: {got['cycles_per_sec']:.0f} cycles/sec "
+                   f"< {FLOOR} x tracked {row['cycles_per_sec']}")
+for line in bad:
+    print(f"perf guard: {line}", file=sys.stderr)
+sys.exit(1 if bad else 0)
+EOF
+    echo "trace-off throughput: above 0.2x floor of tracked baseline"
+fi

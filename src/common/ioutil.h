@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Small output helpers shared by the CLI tools. The convention across
+ * every tool is that a destination path of "-" means stdout, so JSON
+ * reports can feed a pipeline (`--stats-json - | python3 -m json.tool`)
+ * without a temp file. Diagnostics always go to stderr, keeping stdout
+ * clean for the machine-readable payload.
+ */
+
+#ifndef FLEXCORE_COMMON_IOUTIL_H_
+#define FLEXCORE_COMMON_IOUTIL_H_
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "common/log.h"
+
+namespace flexcore {
+
+/** True when @p path selects stdout under the "-" convention. */
+inline bool
+isStdoutPath(const std::string &path)
+{
+    return path == "-";
+}
+
+/**
+ * Write @p text (plus a trailing newline if it lacks one) to @p path,
+ * or to stdout when the path is "-". Fatal on I/O failure: a tool that
+ * silently drops its requested report is worse than one that aborts.
+ */
+inline void
+writeTextOrStdout(const std::string &path, const std::string &text)
+{
+    const bool needs_newline = text.empty() || text.back() != '\n';
+    if (isStdoutPath(path)) {
+        std::fputs(text.c_str(), stdout);
+        if (needs_newline)
+            std::fputc('\n', stdout);
+        std::fflush(stdout);
+        return;
+    }
+    std::ofstream out(path, std::ios::binary);
+    if (!out)
+        FLEX_FATAL("cannot open '", path, "' for writing");
+    out << text;
+    if (needs_newline)
+        out << '\n';
+    if (!out)
+        FLEX_FATAL("write to '", path, "' failed");
+}
+
+}  // namespace flexcore
+
+#endif  // FLEXCORE_COMMON_IOUTIL_H_

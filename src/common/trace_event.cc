@@ -9,7 +9,7 @@
 namespace flexcore {
 
 std::string
-TraceSink::json() const
+TraceBuffer::json() const
 {
     std::string out;
     out.reserve(64 + events_.size() * 96);
@@ -51,7 +51,7 @@ TraceSink::json() const
 }
 
 void
-TraceSink::write(const std::string &path) const
+TraceBuffer::write(const std::string &path) const
 {
     std::FILE *file = std::fopen(path.c_str(), "w");
     if (!file)

@@ -1,10 +1,15 @@
 /**
  * @file
- * Chrome trace-event JSON emitter (loadable in Perfetto and
- * chrome://tracing). Components hold a `TraceSink *` that is null when
- * tracing is off, so the hot path pays exactly one predictable branch
- * and no virtual dispatch; when attached, events buffer in memory as
- * POD records and render to JSON once at the end of the run.
+ * Trace-sink interface plus the buffered Chrome trace-event emitter
+ * (loadable in Perfetto and chrome://tracing). Components hold a
+ * `TraceSink *` that is null when tracing is off, so the hot path pays
+ * exactly one predictable branch and no virtual dispatch; only with a
+ * sink attached do emissions go through the interface, to either:
+ *
+ *  - `TraceBuffer` — buffers POD events in memory and renders the
+ *    Chrome trace-event JSON once at the end of the run; or
+ *  - `TraceStreamWriter` (common/trace_stream.h) — encodes each event
+ *    into the bounded-memory binary record stream as it happens.
  *
  * Timestamps are simulated core-clock cycles reported in the trace's
  * microsecond field (1 cycle == 1 us), which keeps the viewer's zoom
@@ -21,33 +26,80 @@
 
 namespace flexcore {
 
+/**
+ * Receiver of simulation trace emissions. Names and categories must be
+ * string *literals* (or otherwise outlive the sink): implementations
+ * may store them by pointer.
+ *
+ * The first three events map one-to-one onto Chrome trace-event
+ * phases; the last three are richer records that only the binary
+ * stream persists (`TraceBuffer` ignores them so its Chrome JSON stays
+ * byte-identical to what it produced before they existed).
+ */
 class TraceSink
 {
   public:
+    virtual ~TraceSink() = default;
+
     /**
      * Counter track sample ("ph":"C"). Call on value *changes* only —
      * Chrome draws steps between samples, so per-cycle emission would
      * bloat the file without adding information.
      */
+    virtual void counter(const char *name, Cycle ts, u64 value) = 0;
+
+    /** Complete duration event ("ph":"X") covering [start, end). */
+    virtual void complete(const char *name, const char *cat, u32 tid,
+                          Cycle start, Cycle end) = 0;
+
+    /** Instant event ("ph":"i", global scope). */
+    virtual void instant(const char *name, const char *cat, u32 tid,
+                         Cycle ts) = 0;
+
+    /** One committed instruction (stream-only record). */
+    virtual void commit(Cycle now, Addr pc, u32 inst)
+    {
+        (void)now; (void)pc; (void)inst;
+    }
+
+    /** An applied fault injection (stream-only record). */
+    virtual void faultMark(Cycle now, u8 kind, u64 target, u8 bit)
+    {
+        (void)now; (void)kind; (void)target; (void)bit;
+    }
+
+    /**
+     * A sampled-timing window boundary (stream-only record):
+     * @p detailed is true entering a detailed window, false entering
+     * functional warming. @p instructions is the commit count so far.
+     */
+    virtual void window(Cycle now, u64 instructions, bool detailed)
+    {
+        (void)now; (void)instructions; (void)detailed;
+    }
+};
+
+/** Buffers events in memory; renders Chrome trace-event JSON once. */
+class TraceBuffer final : public TraceSink
+{
+  public:
     void
-    counter(const char *name, Cycle ts, u64 value)
+    counter(const char *name, Cycle ts, u64 value) override
     {
         events_.push_back({Kind::kCounter, name, nullptr, 0, ts, value});
     }
 
-    /** Complete duration event ("ph":"X") covering [start, end). */
     void
     complete(const char *name, const char *cat, u32 tid, Cycle start,
-             Cycle end)
+             Cycle end) override
     {
         events_.push_back(
             {Kind::kComplete, name, cat, tid, start,
              end > start ? end - start : 0});
     }
 
-    /** Instant event ("ph":"i", global scope). */
     void
-    instant(const char *name, const char *cat, u32 tid, Cycle ts)
+    instant(const char *name, const char *cat, u32 tid, Cycle ts) override
     {
         events_.push_back({Kind::kInstant, name, cat, tid, ts, 0});
     }
@@ -66,10 +118,9 @@ class TraceSink
     enum class Kind : u8 { kCounter, kComplete, kInstant };
 
     /**
-     * One buffered event. Names and categories must be string
-     * *literals* (or otherwise outlive the sink): they are stored by
-     * pointer so the per-event cost is a 40-byte append, cheap enough
-     * to leave call sites unguarded beyond the null-sink check.
+     * One buffered event. Names and categories are stored by pointer
+     * so the per-event cost is a 40-byte append, cheap enough to leave
+     * call sites unguarded beyond the null-sink check.
      */
     struct Event
     {

@@ -1,0 +1,527 @@
+#include "common/trace_stream.h"
+
+#include <cinttypes>
+#include <cstring>
+
+#include "common/log.h"
+
+namespace flexcore {
+
+namespace {
+
+/** Flush threshold for the writer's pending-byte ring. */
+constexpr size_t kFlushBytes = 64 * 1024;
+
+u16
+load16(const u8 *p)
+{
+    return static_cast<u16>(p[0] | (u16{p[1]} << 8));
+}
+
+u32
+load32(const u8 *p)
+{
+    return u32{p[0]} | (u32{p[1]} << 8) | (u32{p[2]} << 16) |
+           (u32{p[3]} << 24);
+}
+
+u64
+load64(const u8 *p)
+{
+    return u64{load32(p)} | (u64{load32(p + 4)} << 32);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// TraceStreamWriter
+
+TraceStreamWriter::TraceStreamWriter(const std::string &path)
+    : path_(path)
+{
+    file_ = std::fopen(path.c_str(), "wb");
+    if (!file_)
+        FLEX_FATAL("cannot open '", path, "' for writing");
+    buffer_.reserve(kFlushBytes + 512);
+    buffer_.insert(buffer_.end(), kTraceMagic, kTraceMagic + 4);
+    put32(kTraceVersion);
+    buffer_.insert(buffer_.end(), scratch_.begin(), scratch_.end());
+    scratch_.clear();
+}
+
+TraceStreamWriter::~TraceStreamWriter()
+{
+    finish();
+}
+
+void
+TraceStreamWriter::put16(u16 v)
+{
+    scratch_.push_back(static_cast<u8>(v));
+    scratch_.push_back(static_cast<u8>(v >> 8));
+}
+
+void
+TraceStreamWriter::put32(u32 v)
+{
+    put16(static_cast<u16>(v));
+    put16(static_cast<u16>(v >> 16));
+}
+
+void
+TraceStreamWriter::put64(u64 v)
+{
+    put32(static_cast<u32>(v));
+    put32(static_cast<u32>(v >> 32));
+}
+
+void
+TraceStreamWriter::beginRecord(TraceRecordType type)
+{
+    scratch_.clear();
+    put8(static_cast<u8>(type));
+}
+
+void
+TraceStreamWriter::endRecord()
+{
+    const size_t len = scratch_.size();
+    if (len > 0xffff)
+        FLEX_FATAL("trace record too large (", len, " bytes)");
+    buffer_.push_back(static_cast<u8>(len));
+    buffer_.push_back(static_cast<u8>(len >> 8));
+    buffer_.insert(buffer_.end(), scratch_.begin(), scratch_.end());
+    ++records_;
+    if (buffer_.size() >= kFlushBytes)
+        flushBuffer();
+}
+
+void
+TraceStreamWriter::flushBuffer()
+{
+    if (buffer_.empty())
+        return;
+    if (std::fwrite(buffer_.data(), 1, buffer_.size(), file_) !=
+        buffer_.size()) {
+        std::fclose(file_);
+        file_ = nullptr;
+        FLEX_FATAL("short write to '", path_, "'");
+    }
+    buffer_.clear();
+}
+
+u16
+TraceStreamWriter::intern(const char *name)
+{
+    const auto fast = by_pointer_.find(name);
+    if (fast != by_pointer_.end())
+        return fast->second;
+    // The same literal can live at different addresses across
+    // translation units: the content map owns the canonical id.
+    const auto [it, inserted] =
+        by_content_.try_emplace(name, static_cast<u16>(by_content_.size()));
+    if (inserted) {
+        if (by_content_.size() > 0xffff)
+            FLEX_FATAL("trace stream interned too many names");
+        beginRecord(TraceRecordType::kString);
+        put16(it->second);
+        const size_t n = std::strlen(name);
+        scratch_.insert(scratch_.end(), name, name + n);
+        endRecord();
+    }
+    by_pointer_.emplace(name, it->second);
+    return it->second;
+}
+
+void
+TraceStreamWriter::counter(const char *name, Cycle ts, u64 value)
+{
+    const u16 id = intern(name);
+    beginRecord(TraceRecordType::kCounter);
+    put16(id);
+    put64(ts);
+    put64(value);
+    endRecord();
+    if (ts > last_ts_)
+        last_ts_ = ts;
+}
+
+void
+TraceStreamWriter::complete(const char *name, const char *cat, u32 tid,
+                            Cycle start, Cycle end)
+{
+    const u16 name_id = intern(name);
+    const u16 cat_id = intern(cat);
+    beginRecord(TraceRecordType::kComplete);
+    put16(name_id);
+    put16(cat_id);
+    put8(static_cast<u8>(tid));
+    put64(start);
+    put64(end > start ? end - start : 0);
+    endRecord();
+    if (end > last_ts_)
+        last_ts_ = end;
+}
+
+void
+TraceStreamWriter::instant(const char *name, const char *cat, u32 tid,
+                           Cycle ts)
+{
+    const u16 name_id = intern(name);
+    const u16 cat_id = intern(cat);
+    beginRecord(TraceRecordType::kInstant);
+    put16(name_id);
+    put16(cat_id);
+    put8(static_cast<u8>(tid));
+    put64(ts);
+    endRecord();
+    if (ts > last_ts_)
+        last_ts_ = ts;
+}
+
+void
+TraceStreamWriter::commit(Cycle now, Addr pc, u32 inst)
+{
+    beginRecord(TraceRecordType::kCommit);
+    put64(now);
+    put32(pc);
+    put32(inst);
+    endRecord();
+    ++commits_;
+    if (now > last_ts_)
+        last_ts_ = now;
+}
+
+void
+TraceStreamWriter::faultMark(Cycle now, u8 kind, u64 target, u8 bit)
+{
+    beginRecord(TraceRecordType::kFaultMark);
+    put64(now);
+    put8(kind);
+    put64(target);
+    put8(bit);
+    endRecord();
+    if (now > last_ts_)
+        last_ts_ = now;
+}
+
+void
+TraceStreamWriter::window(Cycle now, u64 instructions, bool detailed)
+{
+    beginRecord(TraceRecordType::kWindow);
+    put64(now);
+    put64(instructions);
+    put8(detailed ? 1 : 0);
+    endRecord();
+    if (now > last_ts_)
+        last_ts_ = now;
+}
+
+void
+TraceStreamWriter::finish()
+{
+    if (finished_)
+        return;
+    finished_ = true;
+    if (!file_)
+        return;
+    beginRecord(TraceRecordType::kSummary);
+    put64(records_);   // record count *before* this footer
+    put64(commits_);
+    put64(last_ts_);
+    endRecord();
+    flushBuffer();
+    std::fclose(file_);
+    file_ = nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// TraceReader
+
+TraceReader::TraceReader(const std::string &path)
+{
+    file_ = std::fopen(path.c_str(), "rb");
+    if (!file_) {
+        error_ = "cannot open '" + path + "'";
+        return;
+    }
+    u8 header[8];
+    if (std::fread(header, 1, sizeof(header), file_) != sizeof(header)) {
+        fail("truncated header");
+        return;
+    }
+    if (std::memcmp(header, kTraceMagic, 4) != 0) {
+        fail("bad magic (not a FXTR trace stream)");
+        return;
+    }
+    const u32 version = load32(header + 4);
+    if (version != kTraceVersion)
+        fail("unsupported stream version " + std::to_string(version));
+}
+
+TraceReader::~TraceReader()
+{
+    if (file_)
+        std::fclose(file_);
+}
+
+bool
+TraceReader::fail(const std::string &why)
+{
+    if (error_.empty())
+        error_ = why;
+    return false;
+}
+
+const char *
+TraceReader::internedName(u16 id)
+{
+    if (id >= names_.size())
+        return nullptr;
+    return names_[id].c_str();
+}
+
+bool
+TraceReader::next(TraceRecord *out)
+{
+    if (!file_ || !error_.empty())
+        return false;
+    for (;;) {
+        u8 len_bytes[2];
+        const size_t got = std::fread(len_bytes, 1, 2, file_);
+        if (got == 0 && std::feof(file_))
+            return false;   // clean end of stream
+        if (got != 2)
+            return fail("truncated record length");
+        const u16 len = load16(len_bytes);
+        if (len < 1)
+            return fail("empty record");
+        u8 payload[0xffff];
+        if (std::fread(payload, 1, len, file_) != len)
+            return fail("truncated record payload");
+        ++records_read_;
+        const TraceRecordType type =
+            static_cast<TraceRecordType>(payload[0]);
+        const u8 *p = payload + 1;
+        const size_t n = static_cast<size_t>(len) - 1;
+        *out = TraceRecord{};
+        out->type = type;
+        switch (type) {
+          case TraceRecordType::kString: {
+            if (n < 2)
+                return fail("short kString record");
+            const u16 id = load16(p);
+            if (id != names_.size())
+                return fail("non-sequential string id");
+            names_.emplace_back(reinterpret_cast<const char *>(p + 2),
+                                n - 2);
+            continue;   // interning is internal; decode the next record
+          }
+          case TraceRecordType::kCounter: {
+            if (n != 18)
+                return fail("short kCounter record");
+            out->name = internedName(load16(p));
+            if (!out->name)
+                return fail("unknown string id");
+            out->ts = load64(p + 2);
+            out->a = load64(p + 10);
+            return true;
+          }
+          case TraceRecordType::kComplete: {
+            if (n != 21)
+                return fail("short kComplete record");
+            out->name = internedName(load16(p));
+            out->cat = internedName(load16(p + 2));
+            if (!out->name || !out->cat)
+                return fail("unknown string id");
+            out->tid = p[4];
+            out->ts = load64(p + 5);
+            out->a = load64(p + 13);
+            return true;
+          }
+          case TraceRecordType::kInstant: {
+            if (n != 13)
+                return fail("short kInstant record");
+            out->name = internedName(load16(p));
+            out->cat = internedName(load16(p + 2));
+            if (!out->name || !out->cat)
+                return fail("unknown string id");
+            out->tid = p[4];
+            out->ts = load64(p + 5);
+            return true;
+          }
+          case TraceRecordType::kCommit: {
+            if (n != 16)
+                return fail("short kCommit record");
+            out->ts = load64(p);
+            out->a = load32(p + 8);
+            out->b = load32(p + 12);
+            return true;
+          }
+          case TraceRecordType::kFaultMark: {
+            if (n != 18)
+                return fail("short kFaultMark record");
+            out->ts = load64(p);
+            out->c = p[8];
+            out->a = load64(p + 9);
+            out->b = p[17];
+            return true;
+          }
+          case TraceRecordType::kWindow: {
+            if (n != 17)
+                return fail("short kWindow record");
+            out->ts = load64(p);
+            out->a = load64(p + 8);
+            out->b = p[16];
+            return true;
+          }
+          case TraceRecordType::kSummary: {
+            if (n != 24)
+                return fail("short kSummary record");
+            out->a = load64(p);
+            out->b = load64(p + 8);
+            out->c = load64(p + 16);
+            return true;
+          }
+        }
+        // Unknown type: skippable by design (forward compatibility).
+        continue;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Consumers
+
+bool
+renderChromeJson(const std::string &path, std::string *json,
+                 std::string *error)
+{
+    TraceReader reader(path);
+    TraceBuffer buffer;
+    TraceRecord r;
+    while (reader.next(&r)) {
+        switch (r.type) {
+          case TraceRecordType::kCounter:
+            buffer.counter(r.name, r.ts, r.a);
+            break;
+          case TraceRecordType::kComplete:
+            buffer.complete(r.name, r.cat, r.tid, r.ts, r.ts + r.a);
+            break;
+          case TraceRecordType::kInstant:
+            buffer.instant(r.name, r.cat, r.tid, r.ts);
+            break;
+          default:
+            break;   // stream-only records have no Chrome phase
+        }
+    }
+    if (!reader.valid()) {
+        if (error)
+            *error = reader.error();
+        return false;
+    }
+    *json = buffer.json();
+    return true;
+}
+
+std::string
+describeRecord(const TraceRecord &r)
+{
+    char buf[256];
+    switch (r.type) {
+      case TraceRecordType::kCounter:
+        std::snprintf(buf, sizeof(buf),
+                      "counter %s ts=%" PRIu64 " value=%" PRIu64, r.name,
+                      r.ts, r.a);
+        break;
+      case TraceRecordType::kComplete:
+        std::snprintf(buf, sizeof(buf),
+                      "complete %s cat=%s tid=%u ts=%" PRIu64
+                      " dur=%" PRIu64,
+                      r.name, r.cat, r.tid, r.ts, r.a);
+        break;
+      case TraceRecordType::kInstant:
+        std::snprintf(buf, sizeof(buf),
+                      "instant %s cat=%s tid=%u ts=%" PRIu64, r.name,
+                      r.cat, r.tid, r.ts);
+        break;
+      case TraceRecordType::kCommit:
+        std::snprintf(buf, sizeof(buf),
+                      "commit cycle=%" PRIu64 " pc=0x%08" PRIx64
+                      " inst=0x%08" PRIx64,
+                      r.ts, r.a, r.b);
+        break;
+      case TraceRecordType::kFaultMark:
+        std::snprintf(buf, sizeof(buf),
+                      "fault cycle=%" PRIu64 " kind=%" PRIu64
+                      " target=%" PRIu64 " bit=%" PRIu64,
+                      r.ts, r.c, r.a, r.b);
+        break;
+      case TraceRecordType::kWindow:
+        std::snprintf(buf, sizeof(buf),
+                      "window cycle=%" PRIu64 " instructions=%" PRIu64
+                      " detailed=%" PRIu64,
+                      r.ts, r.a, r.b);
+        break;
+      case TraceRecordType::kSummary:
+        std::snprintf(buf, sizeof(buf),
+                      "summary records=%" PRIu64 " commits=%" PRIu64
+                      " last_ts=%" PRIu64,
+                      r.a, r.b, r.c);
+        break;
+      default:
+        std::snprintf(buf, sizeof(buf), "unknown type=%u",
+                      static_cast<unsigned>(r.type));
+        break;
+    }
+    return buf;
+}
+
+namespace {
+
+bool
+sameRecord(const TraceRecord &a, const TraceRecord &b)
+{
+    return a.type == b.type && std::strcmp(a.name, b.name) == 0 &&
+           std::strcmp(a.cat, b.cat) == 0 && a.tid == b.tid &&
+           a.ts == b.ts && a.a == b.a && a.b == b.b && a.c == b.c;
+}
+
+std::string
+sideDesc(bool have, const TraceRecord &r, const TraceReader &reader)
+{
+    if (have)
+        return describeRecord(r);
+    if (!reader.valid())
+        return "<error: " + reader.error() + ">";
+    return "<end of stream>";
+}
+
+}  // namespace
+
+TraceDiff
+diffStreams(const std::string &path_a, const std::string &path_b)
+{
+    TraceDiff out;
+    TraceReader ra(path_a);
+    TraceReader rb(path_b);
+    TraceRecord a;
+    TraceRecord b;
+    for (u64 index = 0;; ++index) {
+        const bool ha = ra.next(&a);
+        const bool hb = rb.next(&b);
+        if (!ha && !hb && ra.valid() && rb.valid()) {
+            out.identical = true;
+            out.index = index;
+            return out;
+        }
+        if (!ha || !hb || !sameRecord(a, b)) {
+            out.identical = false;
+            out.index = index;
+            out.a_desc = sideDesc(ha, a, ra);
+            out.b_desc = sideDesc(hb, b, rb);
+            return out;
+        }
+    }
+}
+
+}  // namespace flexcore

@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Streaming, bounded-memory binary trace format ("FXTR").
+ *
+ * The Chrome trace-event buffer (common/trace_event.h) holds every
+ * event in memory until the end of the run, which cannot survive long
+ * runs and is why PR 2 forbade tracing under threaded dispatch and
+ * sampled timing. This module is the streaming alternative: a
+ * `TraceStreamWriter` is a `TraceSink` that *encodes each emission as
+ * a compact length-prefixed binary record and flushes it through a
+ * fixed-size ring to a file*, so memory stays O(1) no matter how long
+ * the run is, and richer records (instruction commits, fault-injection
+ * marks, sampling-window boundaries) ride along without bloating the
+ * Chrome JSON path.
+ *
+ * ## On-disk layout (all integers little-endian)
+ *
+ *     +0  magic   4 bytes  'F' 'X' 'T' 'R'
+ *     +4  version u32      currently 1
+ *     +8  records...
+ *
+ * Each record is `u16 length` followed by `length` bytes: a `u8 type`
+ * and a type-specific payload. Unknown record types can therefore be
+ * skipped, making the format forward-extensible. Record types:
+ *
+ * | type          | id | payload                                       |
+ * |---------------|----|-----------------------------------------------|
+ * | kString       | 1  | u16 string_id, then the bytes of the name     |
+ * | kCounter      | 2  | u16 name_id, u64 ts, u64 value                |
+ * | kComplete     | 3  | u16 name_id, u16 cat_id, u8 tid, u64 ts, u64 dur |
+ * | kInstant      | 4  | u16 name_id, u16 cat_id, u8 tid, u64 ts       |
+ * | kCommit       | 5  | u64 cycle, u32 pc, u32 inst                   |
+ * | kFaultMark    | 6  | u64 cycle, u8 kind, u64 target, u8 bit        |
+ * | kWindow       | 7  | u64 cycle, u64 instructions, u8 detailed      |
+ * | kSummary      | 8  | u64 records, u64 commits, u64 last_ts         |
+ *
+ * Event/category names are interned: the first use of a name emits a
+ * kString record assigning it the next id, and every later reference
+ * is two bytes. A kSummary record is appended by finish() as an
+ * integrity footer (`records` counts every record before it, kString
+ * records included).
+ *
+ * `TraceReader` decodes a stream record by record; `renderChromeJson`
+ * replays the counter/complete/instant records through a TraceBuffer,
+ * so on runs whose event sequence matches a buffered run the exported
+ * JSON is byte-identical to `--trace-json` (cmp-gated in CI);
+ * `diffStreams` reports the first record where two streams diverge.
+ */
+
+#ifndef FLEXCORE_COMMON_TRACE_STREAM_H_
+#define FLEXCORE_COMMON_TRACE_STREAM_H_
+
+#include <cstdio>
+#include <deque>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/trace_event.h"
+#include "common/types.h"
+
+namespace flexcore {
+
+/** Binary record types (the on-disk `u8 type` values). */
+enum class TraceRecordType : u8 {
+    kString = 1,
+    kCounter = 2,
+    kComplete = 3,
+    kInstant = 4,
+    kCommit = 5,
+    kFaultMark = 6,
+    kWindow = 7,
+    kSummary = 8,
+};
+
+inline constexpr char kTraceMagic[4] = {'F', 'X', 'T', 'R'};
+inline constexpr u32 kTraceVersion = 1;
+
+/**
+ * TraceSink that encodes every emission into the FXTR byte stream.
+ * Writes go through a fixed-capacity buffer flushed to the file
+ * whenever it fills, so memory use is constant for arbitrarily long
+ * runs. finish() appends the kSummary footer and closes the file; the
+ * destructor calls it if the caller did not. I/O errors are fatal
+ * (FLEX_FATAL), matching TraceBuffer::write().
+ */
+class TraceStreamWriter final : public TraceSink
+{
+  public:
+    /** Opens @p path for writing and emits the header. */
+    explicit TraceStreamWriter(const std::string &path);
+    ~TraceStreamWriter() override;
+
+    TraceStreamWriter(const TraceStreamWriter &) = delete;
+    TraceStreamWriter &operator=(const TraceStreamWriter &) = delete;
+
+    void counter(const char *name, Cycle ts, u64 value) override;
+    void complete(const char *name, const char *cat, u32 tid,
+                  Cycle start, Cycle end) override;
+    void instant(const char *name, const char *cat, u32 tid,
+                 Cycle ts) override;
+    void commit(Cycle now, Addr pc, u32 inst) override;
+    void faultMark(Cycle now, u8 kind, u64 target, u8 bit) override;
+    void window(Cycle now, u64 instructions, bool detailed) override;
+
+    /** Append the kSummary footer, flush, and close. Idempotent. */
+    void finish();
+
+    u64 recordCount() const { return records_; }
+
+  private:
+    u16 intern(const char *name);
+    void beginRecord(TraceRecordType type);
+    void endRecord();
+    void flushBuffer();
+    void put8(u8 v) { scratch_.push_back(v); }
+    void put16(u16 v);
+    void put32(u32 v);
+    void put64(u64 v);
+
+    std::string path_;
+    std::FILE *file_ = nullptr;
+    std::vector<u8> buffer_;    //!< pending bytes, flushed at capacity
+    std::vector<u8> scratch_;   //!< the record being encoded
+    u64 records_ = 0;
+    u64 commits_ = 0;
+    u64 last_ts_ = 0;
+    bool finished_ = false;
+
+    /**
+     * Name interning. Names are string literals addressed by pointer
+     * at the call sites, but the same literal can have distinct
+     * addresses across translation units, so a pointer-keyed fast path
+     * backs onto a content-keyed map that owns the canonical ids.
+     */
+    std::unordered_map<const void *, u16> by_pointer_;
+    std::map<std::string, u16> by_content_;
+};
+
+/** One decoded record. String fields point into the reader's intern
+ * table and stay valid for the reader's lifetime. */
+struct TraceRecord
+{
+    TraceRecordType type = TraceRecordType::kSummary;
+    const char *name = "";   //!< kCounter/kComplete/kInstant/kString
+    const char *cat = "";    //!< kComplete/kInstant
+    u32 tid = 0;
+    u64 ts = 0;       //!< event timestamp / cycle of the record
+    u64 a = 0;        //!< counter value | dur | pc | target | instructions | records
+    u64 b = 0;        //!< inst | bit | detailed flag | commits
+    u64 c = 0;        //!< fault kind | summary last_ts
+};
+
+/** Sequential decoder for a FXTR stream. */
+class TraceReader
+{
+  public:
+    /** Open @p path; on failure returns with valid() == false and an
+     * explanation in error(). */
+    explicit TraceReader(const std::string &path);
+    ~TraceReader();
+
+    TraceReader(const TraceReader &) = delete;
+    TraceReader &operator=(const TraceReader &) = delete;
+
+    bool valid() const { return error_.empty(); }
+    const std::string &error() const { return error_; }
+
+    /**
+     * Decode the next record into @p out. Returns false at a clean end
+     * of stream *or* on a malformed record — check valid() to tell the
+     * two apart. kString records are consumed internally (they update
+     * the intern table) and never surfaced.
+     */
+    bool next(TraceRecord *out);
+
+    u64 recordsRead() const { return records_read_; }
+
+  private:
+    const char *internedName(u16 id);
+    bool fail(const std::string &why);
+
+    std::FILE *file_ = nullptr;
+    std::string error_;
+    u64 records_read_ = 0;
+    /** id -> name; deque keeps addresses stable as it grows. */
+    std::deque<std::string> names_;
+};
+
+/**
+ * Replay the Chrome-phase records (kCounter/kComplete/kInstant) of the
+ * stream at @p path through a TraceBuffer and return its JSON — the
+ * `flexcore-trace export --chrome` engine. Returns false and sets
+ * @p error on a malformed stream.
+ */
+bool renderChromeJson(const std::string &path, std::string *json,
+                      std::string *error);
+
+/** Result of comparing two streams record by record. */
+struct TraceDiff
+{
+    bool identical = false;
+    u64 index = 0;            //!< first diverging record (0-based)
+    std::string a_desc;       //!< human-readable decoded record, or
+    std::string b_desc;       //!< "<end of stream>" / "<error: ...>"
+};
+
+/** Compare two streams; fills @p out with the first divergence. */
+TraceDiff diffStreams(const std::string &path_a,
+                      const std::string &path_b);
+
+/** One line of human-readable decode, for diff output and tests. */
+std::string describeRecord(const TraceRecord &r);
+
+}  // namespace flexcore
+
+#endif  // FLEXCORE_COMMON_TRACE_STREAM_H_

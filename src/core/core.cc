@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "common/log.h"
+#include "core/profile.h"
 #include "faults/injector.h"
 #include "isa/encoding.h"
 
@@ -176,6 +177,8 @@ Core::tick(Cycle now)
     step();
     ++cycles_;
     ++*bucket_counters_[static_cast<unsigned>(bucket_)];
+    if (profile_)
+        profile_->add(attributionPc(), bucket_);
     if (trace_)
         traceEpisode();
 
@@ -185,6 +188,10 @@ Core::tick(Cycle now)
         bucket_sum += c->value();
     assert(bucket_sum == cycles_.value() &&
            "cycle buckets must sum to total cycles");
+    // The profiler keeps a running total, so the companion invariant —
+    // per-PC attribution sums to core.cycles — is O(1) to check here.
+    assert((!profile_ || profile_->total() == cycles_.value()) &&
+           "per-PC profile must sum to total cycles");
 #endif
 }
 
@@ -231,6 +238,8 @@ Core::advanceIdle(u64 k, CycleBucket bucket)
     // where a bucket transition would have been observed.
     ++now_;
     bucket_ = bucket;
+    if (profile_)
+        profile_->add(attributionPc(), bucket, k);
     if (trace_)
         traceEpisode();
     now_ += k - 1;
@@ -924,6 +933,8 @@ Core::finishInstruction()
             fault_injector_->onCommit(instructions_.value(), now_);
         if (tracer_)
             tracer_(now_, cur_.pkt.pc, cur_.pkt.di);
+        if (trace_)
+            trace_->commit(now_, cur_.pkt.pc, cur_.pkt.inst);
         if (swmon_) {
             sw_expansion_.clear();
             swmon_->expand(cur_.pkt.di, cur_.pkt.addr, &sw_expansion_);

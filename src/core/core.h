@@ -32,6 +32,7 @@
 namespace flexcore {
 
 class FaultInjector;
+class PcProfile;
 
 struct CoreParams
 {
@@ -116,6 +117,30 @@ class Core
     void setTraceSink(TraceSink *sink) { trace_ = sink; }
     /** Close the open stall episode (call once at end of run). */
     void flushTrace();
+
+    /**
+     * Attach a per-PC cycle profiler (null = off, the default). Every
+     * tick then charges its bucket to attributionPc() as well; attach
+     * before the first cycle so the profile total tracks core.cycles
+     * exactly (debug-asserted every tick). Costs one branch when null.
+     */
+    void setProfile(PcProfile *profile) { profile_ = profile; }
+
+    /**
+     * The PC a profiled cycle is charged to: a fetch wait (I-miss
+     * service or its bus queueing) charges the PC being fetched; every
+     * other cycle charges the in-flight commit packet's PC — the
+     * instruction committing, stalling, or draining. Well-defined for
+     * idle stretches too: both stretch buckets (kLatency, and the
+     * kWaitBus family) keep this value constant across the stretch, so
+     * advanceIdle() attributes exactly as k single ticks would.
+     */
+    Addr
+    attributionPc() const
+    {
+        return (state_ == State::kWaitBus && wait_is_fetch_) ? pc_
+                                                             : cur_.pkt.pc;
+    }
 
     /** Load an assembled program and reset architectural state. */
     void loadProgram(const Program &program);
@@ -305,6 +330,7 @@ class Core
     FaultInjector *fault_injector_ = nullptr;
     Tracer tracer_;
     TraceSink *trace_ = nullptr;
+    PcProfile *profile_ = nullptr;
 
     // Architectural state.
     RegWindowFile regs_;

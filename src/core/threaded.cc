@@ -1007,6 +1007,12 @@ ThreadedEngine::warm(u64 max_instructions)
         ++c.committed_by_type_[pkt.opcode];
         if (c.tracer_)
             c.tracer_(c.now_, pkt.pc, pkt.di);
+        // Streamed commit records keep the instruction log complete
+        // across functional warming; now_ is frozen between detailed
+        // windows, so these records all carry the window-boundary
+        // cycle (bracketed by the kWindow records System emits).
+        if (c.trace_)
+            c.trace_->commit(c.now_, pkt.pc, pkt.inst);
         warmForward(pkt);
         if (!c.halted_ && (flags & kHCpread) && c.iface_) {
             // 'read from co-processor': the monitor's BFIFO value lands

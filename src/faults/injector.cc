@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/trace_event.h"
 #include "sim/system.h"
 
 namespace flexcore {
@@ -97,6 +98,10 @@ FaultInjector::apply(const FaultSpec &spec, Cycle now)
         ++log_.applied;
         if (log_.first_cycle == kCycleNever)
             log_.first_cycle = now;
+        if (trace_) {
+            trace_->faultMark(now, static_cast<u8>(spec.kind),
+                              spec.target, static_cast<u8>(spec.bit));
+        }
     } else {
         ++log_.skipped;
     }

@@ -24,6 +24,7 @@
 namespace flexcore {
 
 class System;
+class TraceSink;
 
 /** What the injector actually did during the run. */
 struct InjectionLog
@@ -67,6 +68,10 @@ class FaultInjector
 
     const InjectionLog &log() const { return log_; }
 
+    /** Attach a trace sink (System::attachTrace forwards it): every
+     * *applied* fault then emits a kFaultMark stream record. */
+    void setTraceSink(TraceSink *sink) { trace_ = sink; }
+
   private:
     void applyDueCycleFaults(Cycle now);
     void apply(const FaultSpec &spec, Cycle now);
@@ -77,6 +82,7 @@ class FaultInjector
     size_t cycle_idx_ = 0;
     size_t commit_idx_ = 0;
     InjectionLog log_;
+    TraceSink *trace_ = nullptr;
 };
 
 }  // namespace flexcore

@@ -76,10 +76,29 @@ Fabric::boundary(Cycle now)
             freeze_run_ = 0;
         }
     }
+    if (trace_ && !frozen_ && freeze_start_ != kCycleNever) {
+        trace_->complete("fabric_freeze", "fabric", 3, freeze_start_,
+                         now);
+        freeze_start_ = kCycleNever;
+    }
     if (frozen_)
         ++meta_stall_cycles_;
     else
         fabricCycle(now);
+    // A freeze that began inside fabricCycle() opens its episode at
+    // this boundary, mirroring meta_stall_cycles_ accounting.
+    if (trace_ && frozen_ && freeze_start_ == kCycleNever)
+        freeze_start_ = now;
+}
+
+void
+Fabric::flushTrace(Cycle now)
+{
+    if (trace_ && freeze_start_ != kCycleNever && now > freeze_start_) {
+        trace_->complete("fabric_freeze", "fabric", 3, freeze_start_,
+                         now);
+        freeze_start_ = kCycleNever;
+    }
 }
 
 void

@@ -96,6 +96,15 @@ class Fabric
     /** True while a meta refill / table walk is in flight on the bus. */
     bool frozen() const { return frozen_; }
 
+    /**
+     * Attach a trace sink (null = off). Frozen stretches then emit
+     * `fabric_freeze` duration events on tid 3, independent of the
+     * freeze-run histogram (which needs SystemConfig::histograms).
+     */
+    void setTraceSink(TraceSink *sink) { trace_ = sink; }
+    /** Close an open freeze episode (end of run). */
+    void flushTrace(Cycle now);
+
     u64 packetsProcessed() const { return packets_.value(); }
     u64 metaStallCycles() const { return meta_stall_cycles_.value(); }
     u64 tlbMisses() const { return tlb_misses_.value(); }
@@ -173,6 +182,15 @@ class Fabric
     u32 pending_extra_input_block_ = 0;   // e.g. LUT decode w/o predecode
 
     u64 freeze_run_ = 0;   //!< fabric cycles in the current frozen run
+
+    TraceSink *trace_ = nullptr;
+    /** Core cycle the open freeze episode started (kCycleNever: none).
+     * Episodes open and close at fabric-clock boundaries, so they can
+     * never span a quiescent fast-forward stretch (the fabric is not
+     * idle while frozen, nor until the post-unfreeze boundary has
+     * processed the pending packet) — trace output stays byte-identical
+     * with fast-forward on or off, like the core's episodes. */
+    Cycle freeze_start_ = kCycleNever;
 
     StatGroup stats_;
     Counter packets_;

@@ -188,6 +188,8 @@ runCampaign(const std::vector<CampaignJob> &jobs,
                     request.workload(job.workload);
                 else
                     request.source(job.workload.source);
+                if (opts.profile_top)
+                    request.profileJson(opts.profile_top);
                 row.outcome = request.stats(opts.stat_paths).run();
                 report(done.fetch_add(1, std::memory_order_acq_rel) + 1);
             });
@@ -312,6 +314,12 @@ campaignJson(std::string_view name,
                        "\": " + std::to_string(row.outcome.stats[s].second);
             }
             out += "}";
+        }
+        if (!row.outcome.profile_json.empty()) {
+            // Per-PC attribution rides only on rows whose campaign
+            // requested it, so existing files keep their old bytes.
+            out += ", \"profile\": ";
+            out += row.outcome.profile_json;
         }
         out += "}";
         out += (i + 1 < results.size()) ? ",\n" : "\n";

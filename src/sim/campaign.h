@@ -100,6 +100,13 @@ struct CampaignOptions
      * FLEX_FATAL.
      */
     std::vector<std::string> stat_paths;
+    /**
+     * When > 0, attach a per-PC profiler (core/profile.h) to every job
+     * and embed its hotspot report (top profile_top PCs per cycle
+     * bucket) in each JSON row as a "profile" object. 0 (default)
+     * leaves existing campaign files byte-identical.
+     */
+    u32 profile_top = 0;
 };
 
 /**

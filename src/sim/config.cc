@@ -128,7 +128,6 @@ configErrorName(ConfigError::Code code)
         return "bad_sample_window";
       case ConfigError::Code::kThreadedHistograms:
         return "threaded_histograms";
-      case ConfigError::Code::kThreadedTrace: return "threaded_trace";
       case ConfigError::Code::kSamplingHistograms:
         return "sampling_histograms";
       case ConfigError::Code::kSamplingTrace: return "sampling_trace";
@@ -211,12 +210,11 @@ SystemConfig::finalize()
             "populate per-cycle histograms; use --exec-mode interp for "
             "histogram runs");
     }
-    if (exec_mode == ExecMode::kThreaded && trace_events) {
-        return configError(
-            ConfigError::Code::kThreadedTrace,
-            "threaded dispatch cannot capture full trace-event files; "
-            "use --exec-mode interp for --trace-json runs");
-    }
+    // Note trace capture (trace_events) is legal under kThreaded: a
+    // run with a trace sink attached falls back from burst dispatch to
+    // the per-cycle interpreter loop (System::run), which produces a
+    // byte-identical trace — and the streaming binary trace needs no
+    // flag at all (tools attach a TraceStreamWriter directly).
     if (sample_period != 0 || sample_window != 0) {
         if (sample_window == 0 || sample_period == 0 ||
             sample_window > sample_period) {

@@ -95,7 +95,6 @@ struct ConfigError
         kBadFaultPlan,      //!< a FaultSpec fails static validation
         kBadSampleWindow,   //!< sample_window/sample_period inconsistent
         kThreadedHistograms, //!< threaded dispatch + per-cycle histograms
-        kThreadedTrace,     //!< threaded dispatch + trace-event capture
         kSamplingHistograms, //!< sampled timing + per-cycle histograms
         kSamplingTrace,     //!< sampled timing + trace-event capture
         kSamplingExecMode,  //!< sampled timing + non-default exec_mode
@@ -131,9 +130,10 @@ struct SystemConfig
      * identical to kInterp (same cycles, traces, stats, verdicts) but
      * dispatches committed instructions through function-pointer
      * superblocks instead of the per-cycle state machine. Incompatible
-     * with per-cycle histogram sampling and trace-event capture, which
-     * are inherently per-tick observations (finalize() rejects the
-     * combination). See docs/performance.md.
+     * with per-cycle histogram sampling (finalize() rejects the
+     * combination); attaching a trace sink is legal — the run then
+     * falls back to the per-cycle loop, producing a byte-identical
+     * trace at interpreter speed. See docs/performance.md.
      */
     ExecMode exec_mode = ExecMode::kInterp;
 
@@ -154,10 +154,12 @@ struct SystemConfig
     u64 sample_period = 0;  //!< instructions per sampling unit (0 = off)
 
     /**
-     * Set (by SimRequest) when a trace-event sink is attached, so
-     * finalize() can reject trace capture under threaded dispatch or
-     * sampled timing — both skip the per-cycle episode bookkeeping
-     * full traces depend on.
+     * Set (by SimRequest) when a *buffering* trace sink (TraceBuffer)
+     * is attached, so finalize() can reject buffer-everything capture
+     * under sampled timing, whose warmed stretches skip the per-cycle
+     * episode bookkeeping full traces depend on. The streaming binary
+     * trace (TraceStreamWriter) does not set this: it is legal under
+     * sampling, with kWindow records marking the boundaries.
      */
     bool trace_events = false;
 

@@ -2,6 +2,7 @@
 
 #include "assembler/assembler.h"
 #include "common/log.h"
+#include "core/profile.h"
 
 namespace flexcore {
 
@@ -28,17 +29,32 @@ SimRequest::run()
         prog = Assembler::assembleOrDie(src);
     }
 
-    // Mark trace capture before finalize() (which System's constructor
-    // runs) so threaded-dispatch and sampled-timing configs reject it
-    // with a typed error instead of silently missing events.
+    // Mark buffered trace capture before finalize() (which System's
+    // constructor runs) so sampled-timing configs reject it with a
+    // typed error instead of silently missing events. The streaming
+    // sink deliberately does not set the flag: it is legal everywhere.
     if (trace_)
         config_.trace_events = true;
+    if (trace_ && trace_stream_) {
+        FLEX_FATAL("SimRequest has one trace-sink slot: use trace() or "
+                   "traceStream(), not both");
+    }
 
     const bool fault_run = !config_.faults.empty();
     System system(std::move(config_));
+    // The profiler attaches before load(): load() sizes its table for
+    // the program text, and attribution must start at cycle zero for
+    // the profile total to equal core.cycles.
+    PcProfile local_profile;
+    PcProfile *profile =
+        profile_ ? profile_ : (profile_top_ ? &local_profile : nullptr);
+    if (profile)
+        system.attachProfile(profile);
     system.load(prog);
     if (trace_)
         system.attachTrace(trace_);
+    if (trace_stream_)
+        system.attachTrace(trace_stream_);
     if (tracer_)
         system.core().setTracer(std::move(tracer_));
 
@@ -101,6 +117,8 @@ SimRequest::run()
         outcome.stats_json = system.stats().json();
     if (stats_dump_)
         outcome.stats_text = system.stats().dump();
+    if (profile_top_ && profile)
+        outcome.profile_json = profile->json(profile_top_);
     return outcome;
 }
 

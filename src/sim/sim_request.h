@@ -55,6 +55,8 @@ struct SimOutcome
     std::string stats_json;
     /** Flat stats-tree text dump (empty unless statsDump() requested). */
     std::string stats_text;
+    /** Canonical per-PC hotspot report (empty unless profileJson()). */
+    std::string profile_json;
 };
 
 class SimRequest
@@ -133,11 +135,53 @@ class SimRequest
         return *this;
     }
 
-    /** Attach a Chrome trace-event sink for the run (null = off). */
+    /**
+     * Attach a *buffering* Chrome trace-event sink for the run (null =
+     * off). Sets SystemConfig::trace_events so sampled-timing configs
+     * reject it with a typed error. For the streaming binary trace use
+     * traceStream() instead.
+     */
     SimRequest &
     trace(TraceSink *sink)
     {
         trace_ = sink;
+        return *this;
+    }
+
+    /**
+     * Attach a streaming binary trace writer (common/trace_stream.h).
+     * Legal in every exec mode and under sampled timing (window
+     * boundaries become kWindow records). Mutually exclusive with
+     * trace() — there is one sink slot per run.
+     */
+    SimRequest &
+    traceStream(TraceSink *writer)
+    {
+        trace_stream_ = writer;
+        return *this;
+    }
+
+    /**
+     * Attach an externally owned per-PC profiler; it is (re)sized and
+     * zeroed at program load and filled during the run. See
+     * src/core/profile.h.
+     */
+    SimRequest &
+    profile(PcProfile *profile)
+    {
+        profile_ = profile;
+        return *this;
+    }
+
+    /**
+     * Capture the canonical per-PC hotspot report (top @p top_n PCs
+     * per bucket) into SimOutcome::profile_json. Uses the profiler
+     * from profile() when one is attached, else an internal one.
+     */
+    SimRequest &
+    profileJson(u32 top_n = 10)
+    {
+        profile_top_ = top_n;
         return *this;
     }
 
@@ -166,6 +210,9 @@ class SimRequest
     bool stats_json_ = false;
     bool stats_dump_ = false;
     TraceSink *trace_ = nullptr;
+    TraceSink *trace_stream_ = nullptr;
+    PcProfile *profile_ = nullptr;
+    u32 profile_top_ = 0;   //!< 0 = no profile_json capture
     Core::Tracer tracer_;
 };
 

@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "common/log.h"
+#include "core/profile.h"
 #include "core/threaded.h"
 #include "extensions/registry.h"
 #include "faults/injector.h"
@@ -74,6 +75,8 @@ void
 System::load(const Program &program)
 {
     core_->loadProgram(program);
+    if (profile_)
+        profile_->onProgramLoad(program.base(), program.size());
     if (monitor_) {
         monitor_->reset();
         monitor_->onProgramLoad(program.base(), program.size());
@@ -97,7 +100,18 @@ System::attachTrace(TraceSink *sink)
     trace_ = sink;
     core_->setTraceSink(sink);
     bus_->setTraceSink(sink);
+    if (fabric_)
+        fabric_->setTraceSink(sink);
+    if (injector_)
+        injector_->setTraceSink(sink);
     traced_ffifo_depth_ = 0;
+}
+
+void
+System::attachProfile(PcProfile *profile)
+{
+    profile_ = profile;
+    core_->setProfile(profile);
 }
 
 void
@@ -189,14 +203,19 @@ System::run()
     bool hung = false;
     // Burst dispatch requires the commit fast path to be exactly the
     // inline one: no per-commit fault hooks, no watchdog bookkeeping,
-    // no ALU fault injection, no software-instrumentation expansion.
-    // Any of those falls back to the interpreter loops below, which
-    // produce identical results by definition (kThreaded only changes
-    // how eligible cycles are dispatched, never what they do).
+    // no ALU fault injection, no software-instrumentation expansion,
+    // and no per-cycle observers (a trace sink or a profiler needs
+    // every cycle to pass through Core::tick()). Any of those falls
+    // back to the interpreter loops below, which produce identical
+    // results by definition (kThreaded only changes how eligible
+    // cycles are dispatched, never what they do) — so a streaming
+    // trace of a threaded run is byte-identical to the interp trace,
+    // and a threaded run without observers keeps its full burst speed.
     const bool burstable = config_.exec_mode == ExecMode::kThreaded &&
                            !injector_ && wd == 0 &&
                            config_.fault_rate == 0.0 &&
-                           config_.mode != ImplMode::kSoftware;
+                           config_.mode != ImplMode::kSoftware &&
+                           !trace_ && !profile_;
     if (burstable) {
         while (!core_->halted() && now_ < config_.max_cycles) {
             // The engine consumes every provably plain fetch/latency
@@ -294,6 +313,8 @@ System::runSampled()
         // the system reaches a sampling boundary (core drained,
         // refills and store-buffer writes finished; any still-queued
         // forward packets are drained functionally by warm()).
+        if (trace_)
+            trace_->window(now_, core_->instructions(), true);
         const u64 start_insts = core_->instructions();
         const u64 detail_target = start_insts + window;
         while (!core_->halted() && now_ < config_.max_cycles &&
@@ -325,6 +346,8 @@ System::runSampled()
         // Functional warming for the remainder of the sampling unit.
         const u64 executed = core_->instructions() - start_insts;
         if (executed < period) {
+            if (trace_)
+                trace_->window(now_, core_->instructions(), false);
             engine_->warm(period - executed);
             last_progress = core_->instructions() + core_->microOps();
             if (wd)
@@ -358,6 +381,8 @@ RunResult
 System::finishRun(bool hung, u64 wd)
 {
     core_->flushTrace();
+    if (fabric_)
+        fabric_->flushTrace(now_);
     bus_->flushObservers();
 
     RunResult result;

@@ -17,6 +17,7 @@
 namespace flexcore {
 
 class FaultInjector;
+class PcProfile;
 class ThreadedEngine;
 
 /** Outcome of a simulation run. */
@@ -78,10 +79,20 @@ class System
     void tick();
 
     /**
-     * Attach a Chrome trace-event sink to the core and bus (null
-     * detaches). run() closes open episodes when the run ends.
+     * Attach a trace sink — a buffering `TraceBuffer` or a streaming
+     * `TraceStreamWriter` — to the core, bus, fabric, and fault
+     * injector (null detaches). run() closes open episodes when the
+     * run ends.
      */
     void attachTrace(TraceSink *sink);
+
+    /**
+     * Attach a per-PC cycle profiler (null detaches). Attach before
+     * load(): load() sizes the profile table for the program's text
+     * segment, and attribution must start at cycle zero for the
+     * profile total to equal core.cycles.
+     */
+    void attachProfile(PcProfile *profile);
 
     const SystemConfig &config() const { return config_; }
     Memory &memory() { return *memory_; }
@@ -129,6 +140,7 @@ class System
      * byte-identical with fast-forwarding on or off. */
     Cycle watchdog_deadline_ = kCycleNever;
     TraceSink *trace_ = nullptr;
+    PcProfile *profile_ = nullptr;
     size_t traced_ffifo_depth_ = 0;
 };
 

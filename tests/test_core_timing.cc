@@ -387,7 +387,7 @@ TEST(CycleAccounting, TraceSinkRecordsStallEpisodes)
     config.monitor = MonitorKind::kDift;
     config.mode = ImplMode::kFlexFabric;
     System system(config);
-    TraceSink sink;
+    TraceBuffer sink;
     system.attachTrace(&sink);
     system.load(Assembler::assembleOrDie(scenarioDiftAttack().source));
     const RunResult result = system.run();
@@ -413,7 +413,7 @@ TEST(CycleAccounting, TraceDoesNotPerturbTiming)
     SystemConfig config2 = config;
     config2.histograms = true;
     System traced(config2);
-    TraceSink sink;
+    TraceBuffer sink;
     traced.attachTrace(&sink);
     traced.load(Assembler::assembleOrDie(scenarioDiftBenign().source));
     const RunResult observed = traced.run();

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Per-PC cycle attribution (core/profile.h). The load-bearing claim is
+ * *exact accountability at instruction grain*: the profiler's cells sum
+ * to the core's ten cycle-bucket counters bucket by bucket — and hence
+ * to core.cycles — for every monitor on the paper grid, under both
+ * execution engines, with fast-forwarding on or off. The debug build
+ * additionally asserts the running total every tick (core.cc); these
+ * tests prove the end-to-end equality a release build relies on.
+ */
+
+#include <string>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "assembler/assembler.h"
+#include "core/profile.h"
+#include "sim/sim_request.h"
+#include "sim/system.h"
+#include "test_json_util.h"
+#include "workloads/workload.h"
+
+namespace flexcore {
+namespace {
+
+Workload
+workloadByName(const std::string &name)
+{
+    return name == "sha" ? makeSha(WorkloadScale::kTest)
+                         : makeBasicmath(WorkloadScale::kTest);
+}
+
+SystemConfig
+gridConfig(MonitorKind monitor, ExecMode exec)
+{
+    SystemConfig config;
+    config.monitor = monitor;
+    config.mode = monitor == MonitorKind::kNone ? ImplMode::kBaseline
+                                                : ImplMode::kFlexFabric;
+    config.exec_mode = exec;
+    return config;
+}
+
+/** {monitor} x {workload} x {exec engine}: attribution is exact. */
+class ProfileAccounting
+    : public ::testing::TestWithParam<
+          std::tuple<MonitorKind, const char *, ExecMode>>
+{
+};
+
+TEST_P(ProfileAccounting, CellsSumToBucketCountersExactly)
+{
+    const auto [monitor, name, exec] = GetParam();
+    const Workload workload = workloadByName(name);
+
+    System system(gridConfig(monitor, exec));
+    PcProfile profile;
+    system.attachProfile(&profile);
+    system.load(Assembler::assembleOrDie(workload.source));
+    const RunResult result = system.run();
+    ASSERT_EQ(result.exit, RunResult::Exit::kExited);
+    ASSERT_EQ(result.console, workload.expected_console);
+
+    const Core &core = system.core();
+    EXPECT_EQ(profile.total(), core.cycles());
+    EXPECT_EQ(profile.total(), result.cycles);
+    for (unsigned b = 0; b < PcProfile::kNumBuckets; ++b) {
+        const auto bucket = static_cast<Core::CycleBucket>(b);
+        EXPECT_EQ(profile.bucketTotal(bucket), core.cyclesIn(bucket))
+            << "bucket " << Core::cycleBucketName(bucket);
+    }
+    // Attribution PCs stay inside the program text: nothing lands in
+    // the overflow row on a clean run.
+    EXPECT_EQ(profile.overflowTotal(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperGrid, ProfileAccounting,
+    ::testing::Combine(::testing::Values(MonitorKind::kNone,
+                                         MonitorKind::kUmc,
+                                         MonitorKind::kDift,
+                                         MonitorKind::kBc,
+                                         MonitorKind::kSec),
+                       ::testing::Values("sha", "basicmath"),
+                       ::testing::Values(ExecMode::kInterp,
+                                         ExecMode::kThreaded)),
+    [](const auto &info) {
+        const MonitorKind monitor = std::get<0>(info.param);
+        std::string label = monitor == MonitorKind::kNone
+                                ? "baseline"
+                                : std::string(monitorKindName(monitor));
+        label += '_';
+        label += std::get<1>(info.param);
+        label += '_';
+        label += execModeName(std::get<2>(info.param));
+        return label;
+    });
+
+/**
+ * Fast-forwarding charges bulk idle stretches through the same
+ * attribution hook one cycle at a time would use, so the entire
+ * profile — not just the totals — is identical with it on or off.
+ */
+TEST(Profile, FastForwardDoesNotChangeAttribution)
+{
+    const Workload workload = makeSha(WorkloadScale::kTest);
+    auto profileJson = [&](bool fast_forward) {
+        SystemConfig config =
+            gridConfig(MonitorKind::kDift, ExecMode::kInterp);
+        config.fast_forward = fast_forward;
+        const SimOutcome out = SimRequest(config)
+                                   .workload(workload)
+                                   .profileJson(10)
+                                   .run();
+        return out.profile_json;
+    };
+    const std::string on = profileJson(true);
+    const std::string off = profileJson(false);
+    EXPECT_FALSE(on.empty());
+    EXPECT_EQ(on, off);
+}
+
+/** The hotspot report is strict JSON with the documented shape. */
+TEST(Profile, JsonReportIsValidAndCoversEveryBucket)
+{
+    const Workload workload = makeSha(WorkloadScale::kTest);
+    const SimOutcome out =
+        SimRequest(gridConfig(MonitorKind::kUmc, ExecMode::kInterp))
+            .workload(workload)
+            .profileJson(5)
+            .run();
+
+    std::string error;
+    ASSERT_TRUE(testjson::isValidJson(out.profile_json, &error))
+        << error << "\n"
+        << out.profile_json;
+    // Every one of the ten buckets appears in both the totals object
+    // and the top-N lists, even when empty.
+    for (unsigned b = 0; b < PcProfile::kNumBuckets; ++b) {
+        const std::string key =
+            "\"" +
+            std::string(Core::cycleBucketName(
+                static_cast<Core::CycleBucket>(b))) +
+            "\":";
+        EXPECT_NE(out.profile_json.find(key), std::string::npos)
+            << key;
+    }
+    EXPECT_NE(out.profile_json.find("\"pcs\": ["), std::string::npos);
+    EXPECT_NE(out.profile_json.find("\"top\": {"), std::string::npos);
+}
+
+/**
+ * SimRequest wires an external profiler identically to the internal
+ * one, and the JSON "cycles" field carries the grand total.
+ */
+TEST(Profile, ExternalProfilerMatchesReportedCycles)
+{
+    const Workload workload = makeBasicmath(WorkloadScale::kTest);
+    PcProfile profile;
+    const SimOutcome out =
+        SimRequest(gridConfig(MonitorKind::kBc, ExecMode::kInterp))
+            .workload(workload)
+            .profile(&profile)
+            .profileJson(3)
+            .run();
+    EXPECT_EQ(profile.total(), out.result.cycles);
+    const std::string cycles_field =
+        "\"cycles\": " + std::to_string(out.result.cycles);
+    EXPECT_NE(out.profile_json.find(cycles_field), std::string::npos)
+        << out.profile_json;
+}
+
+}  // namespace
+}  // namespace flexcore

@@ -283,8 +283,6 @@ TEST(SamplingConfig, ErrorNamesAreStable)
               "bad_sample_window");
     EXPECT_EQ(configErrorName(ConfigError::Code::kThreadedHistograms),
               "threaded_histograms");
-    EXPECT_EQ(configErrorName(ConfigError::Code::kThreadedTrace),
-              "threaded_trace");
     EXPECT_EQ(configErrorName(ConfigError::Code::kSamplingHistograms),
               "sampling_histograms");
     EXPECT_EQ(configErrorName(ConfigError::Code::kSamplingTrace),

@@ -15,7 +15,7 @@ namespace {
 
 TEST(TraceEvent, EmptySinkRendersValidJson)
 {
-    TraceSink sink;
+    TraceBuffer sink;
     EXPECT_TRUE(sink.empty());
     const std::string json = sink.json();
     std::string error;
@@ -26,7 +26,7 @@ TEST(TraceEvent, EmptySinkRendersValidJson)
 
 TEST(TraceEvent, AllEventKindsRenderValidJson)
 {
-    TraceSink sink;
+    TraceBuffer sink;
     sink.counter("ffifo_occupancy", 10, 3);
     sink.complete("dmiss_wait", "core", 1, 20, 50);
     sink.instant("monitor_trap", "core", 1, 60);
@@ -49,7 +49,7 @@ TEST(TraceEvent, AllEventKindsRenderValidJson)
 
 TEST(TraceEvent, CompleteClampsReversedInterval)
 {
-    TraceSink sink;
+    TraceBuffer sink;
     sink.complete("x", "c", 0, 10, 10);
     sink.complete("y", "c", 0, 10, 5);
     const std::string json = sink.json();
@@ -62,7 +62,7 @@ TEST(TraceEvent, CompleteClampsReversedInterval)
 
 TEST(TraceEvent, ClearEmptiesTheBuffer)
 {
-    TraceSink sink;
+    TraceBuffer sink;
     sink.instant("a", "c", 0, 1);
     sink.clear();
     EXPECT_TRUE(sink.empty());
@@ -71,7 +71,7 @@ TEST(TraceEvent, ClearEmptiesTheBuffer)
 
 TEST(TraceEvent, WriteRoundTripsThroughDisk)
 {
-    TraceSink sink;
+    TraceBuffer sink;
     sink.counter("depth", 0, 1);
     sink.counter("depth", 5, 0);
 

@@ -1,0 +1,370 @@
+/**
+ * @file
+ * Streaming binary trace (common/trace_stream.h). Three load-bearing
+ * claims: (1) the FXTR byte stream round-trips — every record written
+ * comes back with the same fields, in order, behind a validated header
+ * and summary footer; (2) the Chrome export replayed from a stream is
+ * byte-identical to what the buffering TraceBuffer would have written
+ * for the same run (the `flexcore-trace export --chrome` contract, also
+ * cmp-gated in CI); (3) the stream is legal and identical under
+ * threaded dispatch, and legal under sampled timing where window
+ * boundaries become explicit records.
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "assembler/assembler.h"
+#include "common/trace_event.h"
+#include "common/trace_stream.h"
+#include "faults/fault_plan.h"
+#include "sim/sim_request.h"
+#include "workloads/workload.h"
+
+namespace flexcore {
+namespace {
+
+std::string
+tempPath(const std::string &name)
+{
+    return ::testing::TempDir() + "/" + name;
+}
+
+std::string
+readFileBytes(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in.good()) << path;
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+}
+
+SystemConfig
+fabricConfig(MonitorKind monitor, ExecMode exec = ExecMode::kInterp)
+{
+    SystemConfig config;
+    config.monitor = monitor;
+    config.mode = monitor == MonitorKind::kNone ? ImplMode::kBaseline
+                                                : ImplMode::kFlexFabric;
+    config.exec_mode = exec;
+    return config;
+}
+
+TEST(TraceStream, WriteReadRoundTripsEveryRecordKind)
+{
+    const std::string path = tempPath("roundtrip.fxtr");
+    {
+        TraceStreamWriter writer(path);
+        writer.counter("ffifo_occupancy", 10, 3);
+        writer.complete("dmiss_wait", "core", 1, 20, 50);
+        writer.instant("monitor_trap", "core", 1, 60);
+        writer.commit(61, 0x1000, 0x9de3bfa0u);
+        writer.faultMark(70, 2, 0x2040, 5);
+        writer.window(80, 1234, true);
+        writer.window(90, 2000, false);
+        writer.finish();
+    }
+
+    TraceReader reader(path);
+    ASSERT_TRUE(reader.valid()) << reader.error();
+    TraceRecord r;
+
+    ASSERT_TRUE(reader.next(&r));
+    EXPECT_EQ(r.type, TraceRecordType::kCounter);
+    EXPECT_STREQ(r.name, "ffifo_occupancy");
+    EXPECT_EQ(r.ts, 10u);
+    EXPECT_EQ(r.a, 3u);
+
+    ASSERT_TRUE(reader.next(&r));
+    EXPECT_EQ(r.type, TraceRecordType::kComplete);
+    EXPECT_STREQ(r.name, "dmiss_wait");
+    EXPECT_STREQ(r.cat, "core");
+    EXPECT_EQ(r.tid, 1u);
+    EXPECT_EQ(r.ts, 20u);
+    EXPECT_EQ(r.a, 30u);   // duration, clamped end - start
+
+    ASSERT_TRUE(reader.next(&r));
+    EXPECT_EQ(r.type, TraceRecordType::kInstant);
+    EXPECT_STREQ(r.name, "monitor_trap");
+    EXPECT_EQ(r.ts, 60u);
+
+    ASSERT_TRUE(reader.next(&r));
+    EXPECT_EQ(r.type, TraceRecordType::kCommit);
+    EXPECT_EQ(r.ts, 61u);
+    EXPECT_EQ(r.a, 0x1000u);
+    EXPECT_EQ(r.b, 0x9de3bfa0u);
+
+    ASSERT_TRUE(reader.next(&r));
+    EXPECT_EQ(r.type, TraceRecordType::kFaultMark);
+    EXPECT_EQ(r.ts, 70u);
+    EXPECT_EQ(r.c, 2u);        // fault kind
+    EXPECT_EQ(r.a, 0x2040u);   // target
+    EXPECT_EQ(r.b, 5u);        // bit
+
+    ASSERT_TRUE(reader.next(&r));
+    EXPECT_EQ(r.type, TraceRecordType::kWindow);
+    EXPECT_EQ(r.ts, 80u);
+    EXPECT_EQ(r.a, 1234u);
+    EXPECT_EQ(r.b, 1u);
+
+    ASSERT_TRUE(reader.next(&r));
+    EXPECT_EQ(r.type, TraceRecordType::kWindow);
+    EXPECT_EQ(r.b, 0u);
+
+    ASSERT_TRUE(reader.next(&r));
+    EXPECT_EQ(r.type, TraceRecordType::kSummary);
+    EXPECT_EQ(r.b, 1u);   // one commit
+
+    EXPECT_FALSE(reader.next(&r));
+    EXPECT_TRUE(reader.valid());   // clean EOF, not a decode error
+    std::remove(path.c_str());
+}
+
+TEST(TraceStream, RejectsBadMagic)
+{
+    const std::string path = tempPath("badmagic.fxtr");
+    {
+        std::ofstream out(path, std::ios::binary);
+        const char header[8] = {'N', 'O', 'P', 'E', 1, 0, 0, 0};
+        out.write(header, sizeof(header));
+    }
+    TraceReader reader(path);
+    EXPECT_FALSE(reader.valid());
+    EXPECT_NE(reader.error().find("magic"), std::string::npos);
+    std::remove(path.c_str());
+}
+
+/** The Chrome-export contract on the interp matrix: byte identity. */
+class ChromeExport : public ::testing::TestWithParam<MonitorKind>
+{
+};
+
+TEST_P(ChromeExport, MatchesBufferedTraceByteForByte)
+{
+    const MonitorKind monitor = GetParam();
+    const Workload workload = makeSha(WorkloadScale::kTest);
+    const std::string path = tempPath("chrome.fxtr");
+
+    TraceBuffer buffered;
+    SimRequest(fabricConfig(monitor))
+        .workload(workload)
+        .trace(&buffered)
+        .run();
+
+    {
+        TraceStreamWriter writer(path);
+        SimRequest(fabricConfig(monitor))
+            .workload(workload)
+            .traceStream(&writer)
+            .run();
+        writer.finish();
+    }
+
+    std::string exported, error;
+    ASSERT_TRUE(renderChromeJson(path, &exported, &error)) << error;
+    EXPECT_EQ(exported, buffered.json());
+    std::remove(path.c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(InterpMatrix, ChromeExport,
+                         ::testing::Values(MonitorKind::kNone,
+                                           MonitorKind::kUmc,
+                                           MonitorKind::kDift,
+                                           MonitorKind::kSec),
+                         [](const auto &info) {
+                             return info.param == MonitorKind::kNone
+                                        ? std::string("baseline")
+                                        : std::string(monitorKindName(
+                                              info.param));
+                         });
+
+/**
+ * PR 2 forbade tracing under threaded dispatch; the stream lifts that.
+ * A threaded run with a sink attached falls back to the per-cycle loop
+ * and must produce the *same file bytes* as the interp run.
+ */
+TEST(TraceStream, ThreadedStreamIsByteIdenticalToInterp)
+{
+    const Workload workload = makeSha(WorkloadScale::kTest);
+    auto streamBytes = [&](ExecMode exec) {
+        const std::string path = tempPath(
+            std::string("exec_") +
+            std::string(execModeName(exec)) + ".fxtr");
+        {
+            TraceStreamWriter writer(path);
+            SimRequest(fabricConfig(MonitorKind::kDift, exec))
+                .workload(workload)
+                .traceStream(&writer)
+                .run();
+            writer.finish();
+        }
+        std::string bytes = readFileBytes(path);
+        std::remove(path.c_str());
+        return bytes;
+    };
+    const std::string interp = streamBytes(ExecMode::kInterp);
+    const std::string threaded = streamBytes(ExecMode::kThreaded);
+    EXPECT_FALSE(interp.empty());
+    EXPECT_EQ(interp, threaded);
+}
+
+/** Threaded + buffered trace_events now finalizes and traces too. */
+TEST(TraceStream, ThreadedBufferedTraceMatchesInterp)
+{
+    const Workload workload = makeSha(WorkloadScale::kTest);
+    auto traceJson = [&](ExecMode exec) {
+        TraceBuffer sink;
+        SimRequest(fabricConfig(MonitorKind::kUmc, exec))
+            .workload(workload)
+            .trace(&sink)
+            .run();
+        return sink.json();
+    };
+    EXPECT_EQ(traceJson(ExecMode::kInterp),
+              traceJson(ExecMode::kThreaded));
+}
+
+/**
+ * Sampled timing accepts the stream writer (the buffering sink is
+ * still rejected there) and brackets every warmed stretch in window
+ * records: detailed windows open with detailed=1, warm stretches with
+ * detailed=0, and commits keep flowing during warming.
+ */
+TEST(TraceStream, SampledRunRecordsWindowBoundaries)
+{
+    const Workload workload = makeSha(WorkloadScale::kTest);
+    const std::string path = tempPath("sampled.fxtr");
+    SystemConfig config = fabricConfig(MonitorKind::kDift);
+    config.sample_window = 500;
+    config.sample_period = 2'000;
+    {
+        TraceStreamWriter writer(path);
+        const SimOutcome out = SimRequest(config)
+                                   .workload(workload)
+                                   .traceStream(&writer)
+                                   .run();
+        ASSERT_TRUE(out.result.sampled);
+        writer.finish();
+    }
+
+    TraceReader reader(path);
+    ASSERT_TRUE(reader.valid()) << reader.error();
+    u64 detailed = 0;
+    u64 warm = 0;
+    u64 commits = 0;
+    TraceRecord r;
+    while (reader.next(&r)) {
+        if (r.type == TraceRecordType::kWindow)
+            ++(r.b ? detailed : warm);
+        if (r.type == TraceRecordType::kCommit)
+            ++commits;
+    }
+    EXPECT_TRUE(reader.valid()) << reader.error();
+    EXPECT_GT(detailed, 0u);
+    EXPECT_GT(warm, 0u);
+    EXPECT_GT(commits, 0u);
+    std::remove(path.c_str());
+}
+
+TEST(TraceStream, DiffReportsSelfIdentityAndFirstDivergence)
+{
+    const std::string a = tempPath("diff_a.fxtr");
+    const std::string b = tempPath("diff_b.fxtr");
+    {
+        TraceStreamWriter wa(a);
+        wa.commit(1, 0x1000, 1);
+        wa.commit(2, 0x1004, 2);
+        wa.finish();
+        TraceStreamWriter wb(b);
+        wb.commit(1, 0x1000, 1);
+        wb.commit(2, 0x1008, 2);   // diverges here
+        wb.finish();
+    }
+
+    const TraceDiff self = diffStreams(a, a);
+    EXPECT_TRUE(self.identical);
+
+    const TraceDiff cross = diffStreams(a, b);
+    EXPECT_FALSE(cross.identical);
+    EXPECT_EQ(cross.index, 1u);
+    EXPECT_NE(cross.a_desc.find("0x00001004"), std::string::npos)
+        << cross.a_desc;
+    EXPECT_NE(cross.b_desc.find("0x00001008"), std::string::npos)
+        << cross.b_desc;
+    std::remove(a.c_str());
+    std::remove(b.c_str());
+}
+
+/** Fault injections leave kFaultMark records carrying the spec. */
+TEST(TraceStream, FaultInjectionLeavesMarkRecords)
+{
+    const Workload workload = makeSha(WorkloadScale::kTest);
+    const std::string path = tempPath("fault.fxtr");
+    SystemConfig config = fabricConfig(MonitorKind::kSec);
+    std::string error;
+    ASSERT_TRUE(parseFaultSpec("reg@c500:t130:b3",
+                               &config.faults.specs.emplace_back(),
+                               &error))
+        << error;
+    {
+        TraceStreamWriter writer(path);
+        SimRequest(config)
+            .workload(workload)
+            .verify(false)
+            .traceStream(&writer)
+            .run();
+        writer.finish();
+    }
+
+    TraceReader reader(path);
+    ASSERT_TRUE(reader.valid()) << reader.error();
+    std::vector<TraceRecord> marks;
+    TraceRecord r;
+    while (reader.next(&r)) {
+        if (r.type == TraceRecordType::kFaultMark)
+            marks.push_back(r);
+    }
+    ASSERT_EQ(marks.size(), 1u);
+    EXPECT_EQ(marks[0].ts, 500u);   // the exact scheduled cycle
+    EXPECT_EQ(marks[0].a, 130u);    // target register
+    EXPECT_EQ(marks[0].b, 3u);      // bit
+    std::remove(path.c_str());
+}
+
+/** Commit records carry the committing PC and raw instruction word. */
+TEST(TraceStream, CommitRecordsMatchInstructionCount)
+{
+    const Workload workload = makeSha(WorkloadScale::kTest);
+    const std::string path = tempPath("commits.fxtr");
+    u64 instructions = 0;
+    {
+        TraceStreamWriter writer(path);
+        const SimOutcome out =
+            SimRequest(fabricConfig(MonitorKind::kNone))
+                .workload(workload)
+                .traceStream(&writer)
+                .run();
+        instructions = out.result.instructions;
+        writer.finish();
+    }
+
+    TraceReader reader(path);
+    ASSERT_TRUE(reader.valid()) << reader.error();
+    u64 commits = 0;
+    TraceRecord r;
+    while (reader.next(&r)) {
+        if (r.type == TraceRecordType::kCommit)
+            ++commits;
+    }
+    EXPECT_EQ(commits, instructions);
+    std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace flexcore

@@ -5,19 +5,59 @@
  *   flexcore-asm prog.s                  # listing (addr, word, disasm)
  *   flexcore-asm --hex prog.s            # one hex word per line
  *   flexcore-asm --symbols prog.s        # symbol table
+ *   flexcore-asm --annotate prof.json prog.s   # listing + cycle totals
+ *
+ * --annotate joins a --profile-json report (flexcore-run and friends)
+ * against the listing: each instruction line gains the total cycles
+ * the profiler attributed to its PC, turning the hotspot report into
+ * source-level annotation.
  */
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <fstream>
+#include <map>
 #include <sstream>
 #include <string>
 
 #include "assembler/assembler.h"
 #include "common/cliopts.h"
+#include "common/types.h"
 #include "extensions/registry.h"
 #include "isa/disasm.h"
 
 using namespace flexcore;
+
+namespace {
+
+/**
+ * Extract the (pc, total) pairs from a canonical --profile-json
+ * report's "pcs" array. The report is machine-written with a fixed
+ * field order (core/profile.cc), so a targeted scan is exact; this is
+ * not a general JSON parser.
+ */
+std::map<Addr, u64>
+loadProfileTotals(const std::string &json)
+{
+    std::map<Addr, u64> totals;
+    static const std::string kPc = "{\"pc\": \"";
+    size_t at = 0;
+    while ((at = json.find(kPc, at)) != std::string::npos) {
+        at += kPc.size();
+        const Addr pc =
+            static_cast<Addr>(std::strtoul(json.c_str() + at, nullptr, 16));
+        const size_t total_at = json.find("\"total\": ", at);
+        if (total_at == std::string::npos)
+            break;
+        totals[pc] = std::strtoull(
+            json.c_str() + total_at + std::strlen("\"total\": "), nullptr,
+            10);
+    }
+    return totals;
+}
+
+}  // namespace
 
 int
 main(int argc, char **argv)
@@ -26,11 +66,15 @@ main(int argc, char **argv)
     bool symbols = false;
     bool list_monitors = false;
     std::string path;
+    std::string annotate_path;
 
     cli::Parser parser("flexcore-asm",
                        "assemble a SPARC-subset program");
     parser.flag("--hex", &hex, "emit one hex word per line");
     parser.flag("--symbols", &symbols, "emit the symbol table");
+    parser.option("--annotate", &annotate_path, "PROFILE.json",
+                  "annotate the listing with per-PC cycle totals from "
+                  "a --profile-json report");
     parser.flag("--list-monitors", &list_monitors,
                 "list every registered monitoring extension and exit");
     parser.positional("program.s", &path, /*required=*/false);
@@ -68,11 +112,33 @@ main(int argc, char **argv)
         return 0;
     }
 
+    std::map<Addr, u64> totals;
+    if (!annotate_path.empty()) {
+        std::ifstream profile_file(annotate_path);
+        if (!profile_file) {
+            std::fprintf(stderr, "cannot open %s\n",
+                         annotate_path.c_str());
+            return 2;
+        }
+        std::stringstream profile_text;
+        profile_text << profile_file.rdbuf();
+        totals = loadProfileTotals(profile_text.str());
+    }
+
     for (Addr addr = program.base(); addr + 4 <= program.end();
          addr += 4) {
         const u32 word = program.wordAt(addr);
         if (hex) {
             std::printf("%08x\n", word);
+        } else if (!annotate_path.empty()) {
+            const auto it = totals.find(addr);
+            if (it != totals.end())
+                std::printf("%10llu  0x%08x  %08x  %s\n",
+                            static_cast<unsigned long long>(it->second),
+                            addr, word, disassemble(word, addr).c_str());
+            else
+                std::printf("%10s  0x%08x  %08x  %s\n", ".", addr, word,
+                            disassemble(word, addr).c_str());
         } else {
             std::printf("0x%08x  %08x  %s\n", addr, word,
                         disassemble(word, addr).c_str());

@@ -21,10 +21,13 @@
 #include <unistd.h>
 
 #include "common/cliopts.h"
+#include "common/ioutil.h"
 #include "common/log.h"
 #include "common/threadpool.h"
+#include "core/profile.h"
 #include "extensions/registry.h"
 #include "faults/coverage.h"
+#include "sim/sim_request.h"
 
 using namespace flexcore;
 
@@ -134,6 +137,11 @@ main(int argc, char **argv)
                 "disable the live progress line");
     parser.flag("--list-monitors", &list_monitors,
                 "list every registered monitoring extension and exit");
+    std::string profile_json_path;
+    parser.option("--profile-json", &profile_json_path, "FILE",
+                  "also profile the golden (fault-free) run of every "
+                  "monitor x workload cell and write the per-PC "
+                  "hotspot reports to FILE (- = stdout)");
     parser.footer(
         "The coverage JSON goes to stdout (or --out FILE); the summary\n"
         "table and progress go to stderr. Output bytes are identical\n"
@@ -222,6 +230,33 @@ main(int argc, char **argv)
             return 2;
         }
         std::fclose(file);
+    }
+
+    // Profile the *golden* run of each cell: the fault-free baseline a
+    // trial's divergence is judged against, and the natural place to
+    // ask "where does this monitored workload spend its cycles".
+    if (!profile_json_path.empty()) {
+        std::string profiles = "{";
+        bool first = true;
+        for (MonitorKind monitor : spec.monitors) {
+            for (const Workload &workload : spec.workloads) {
+                SystemConfig config = spec.base;
+                config.monitor = monitor;
+                const SimOutcome golden = SimRequest(std::move(config))
+                                              .workload(workload)
+                                              .profileJson(10)
+                                              .run();
+                if (!first)
+                    profiles += ", ";
+                first = false;
+                profiles += "\"";
+                profiles += monitorKindName(monitor);
+                profiles += "/" + workload.name + "\": ";
+                profiles += golden.profile_json;
+            }
+        }
+        profiles += "}";
+        writeTextOrStdout(profile_json_path, profiles);
     }
 
     std::fputs(faultCovSummary(result).c_str(), stderr);

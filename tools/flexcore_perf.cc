@@ -19,8 +19,12 @@
 #include <string>
 #include <vector>
 
+#include <sys/resource.h>
+
 #include "common/cliopts.h"
+#include "common/ioutil.h"
 #include "common/log.h"
+#include "core/profile.h"
 #include "extensions/registry.h"
 #include "sim/sim_request.h"
 
@@ -101,7 +105,20 @@ struct RowResult
     double host_seconds = 0;
     double cycles_per_sec = 0;
     double host_mips = 0;
+    /** Process max-RSS high-water mark (KB) observed after this row.
+     * Monotone across rows — the per-row delta is what grew it. */
+    u64 max_rss_kb = 0;
 };
+
+u64
+currentMaxRssKb()
+{
+    struct rusage usage = {};
+    if (getrusage(RUSAGE_SELF, &usage) != 0)
+        return 0;
+    // Linux reports ru_maxrss in kilobytes already.
+    return static_cast<u64>(usage.ru_maxrss);
+}
 
 }  // namespace
 
@@ -131,6 +148,13 @@ main(int argc, char **argv)
     bool list_monitors = false;
     parser.flag("--list-monitors", &list_monitors,
                 "list every registered monitoring extension and exit");
+    std::string profile_json_path;
+    parser.option("--profile-json", &profile_json_path, "FILE",
+                  "after the timed matrix, rerun each row once untimed "
+                  "with the per-PC profiler attached and write the "
+                  "hotspot reports to FILE (- = stdout); the timed "
+                  "numbers above are never measured with the profiler "
+                  "on");
     parser.parseOrExit(argc, argv);
 
     if (list_monitors) {
@@ -145,9 +169,11 @@ main(int argc, char **argv)
     const std::vector<Workload> programs = {makeSha(scale),
                                             makeBasicmath(scale)};
 
-    std::printf("%-10s %12s %12s %9s %16s %10s\n", "config", "cycles",
-                "insts", "host_s", "cycles/sec", "host MIPS");
+    std::printf("%-10s %12s %12s %9s %16s %10s %10s\n", "config",
+                "cycles", "insts", "host_s", "cycles/sec", "host MIPS",
+                "maxrss_kb");
     std::vector<RowResult> results;
+    const auto wall_start = std::chrono::steady_clock::now();
     for (const MatrixRow &row : kMatrix) {
         RowResult r;
         r.name = rowName(row);
@@ -184,14 +210,20 @@ main(int argc, char **argv)
                     static_cast<double>(insts) / sec / 1e6;
             }
         }
-        std::printf("%-10s %12llu %12llu %9.3f %16.0f %10.3f\n",
+        r.max_rss_kb = currentMaxRssKb();
+        std::printf("%-10s %12llu %12llu %9.3f %16.0f %10.3f %10llu\n",
                     r.name.c_str(),
                     static_cast<unsigned long long>(r.cycles),
                     static_cast<unsigned long long>(r.instructions),
-                    r.host_seconds, r.cycles_per_sec, r.host_mips);
+                    r.host_seconds, r.cycles_per_sec, r.host_mips,
+                    static_cast<unsigned long long>(r.max_rss_kb));
         std::fflush(stdout);
         results.push_back(std::move(r));
     }
+    const double wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      wall_start)
+            .count();
 
     if (!quick) {
         std::printf("\nspeedup vs pre-overhaul reference (same-host "
@@ -206,12 +238,45 @@ main(int argc, char **argv)
         }
     }
 
+    // The per-PC profile is captured in separate, untimed runs so the
+    // timed matrix above never pays the attribution cost.
+    if (!profile_json_path.empty()) {
+        std::string profiles = "{";
+        bool first = true;
+        for (const MatrixRow &row : kMatrix) {
+            if (row.sampled)
+                continue;   // estimates; attribution covers detail only
+            for (const Workload &w : programs) {
+                SystemConfig config;
+                config.monitor = row.monitor;
+                config.mode = row.mode;
+                config.exec_mode = row.exec;
+                config.fast_forward = !no_fast_forward;
+                const SimOutcome out = SimRequest(std::move(config))
+                                           .workload(w)
+                                           .profileJson(10)
+                                           .run();
+                if (!first)
+                    profiles += ", ";
+                first = false;
+                profiles += "\"" + rowName(row) + "/" + w.name + "\": ";
+                profiles += out.profile_json;
+            }
+        }
+        profiles += "}";
+        writeTextOrStdout(profile_json_path, profiles);
+    }
+
     if (no_json)
         return 0;
     std::string json;
     json += "{\n  \"bench\": \"perf\",\n  \"scale\": \"";
     json += quick ? "test" : "full";
     json += "\",\n  \"reps\": " + std::to_string(reps);
+    char wall_buf[48];
+    std::snprintf(wall_buf, sizeof(wall_buf),
+                  ",\n  \"wall_seconds\": %.6f", wall_seconds);
+    json += wall_buf;
     json += ",\n  \"reference\": [\n";
     for (size_t i = 0; i < std::size(kPreChangeReference); ++i) {
         char buf[128];
@@ -231,10 +296,12 @@ main(int argc, char **argv)
             buf, sizeof(buf),
             "    {\"config\": \"%s\", \"cycles\": %llu, "
             "\"instructions\": %llu, \"host_seconds\": %.6f, "
-            "\"cycles_per_sec\": %.0f, \"host_mips\": %.3f}%s\n",
+            "\"cycles_per_sec\": %.0f, \"host_mips\": %.3f, "
+            "\"max_rss_kb\": %llu}%s\n",
             r.name.c_str(), static_cast<unsigned long long>(r.cycles),
             static_cast<unsigned long long>(r.instructions),
             r.host_seconds, r.cycles_per_sec, r.host_mips,
+            static_cast<unsigned long long>(r.max_rss_kb),
             i + 1 < results.size() ? "," : "");
         json += buf;
     }

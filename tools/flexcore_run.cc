@@ -14,12 +14,16 @@
 
 #include <cstdio>
 #include <fstream>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "assembler/assembler.h"
 #include "common/cliopts.h"
+#include "common/ioutil.h"
+#include "common/trace_stream.h"
+#include "core/profile.h"
 #include "extensions/registry.h"
 #include "faults/fault_plan.h"
 #include "isa/disasm.h"
@@ -43,6 +47,9 @@ main(int argc, char **argv)
     std::string path;
     std::string stats_json_path;
     std::string trace_json_path;
+    std::string trace_out_path;
+    std::string profile_json_path;
+    u32 profile_top = 10;
     std::vector<std::string> inject_specs;
     std::string fault_plan_path;
 
@@ -101,11 +108,21 @@ main(int argc, char **argv)
                   "see docs/fault_injection.md)");
     parser.flag("--stats", &dump_stats, "dump the statistics tree");
     parser.option("--stats-json", &stats_json_path, "FILE",
-                  "write the statistics tree to FILE as canonical JSON");
+                  "write the statistics tree to FILE as canonical JSON "
+                  "(- = stdout)");
+    parser.option("--profile-json", &profile_json_path, "FILE",
+                  "write the per-PC cycle-attribution hotspot report to "
+                  "FILE as canonical JSON (- = stdout)");
+    parser.option("--profile-top", &profile_top, "N",
+                  "PCs per bucket in the --profile-json top lists "
+                  "(default 10)");
     parser.flag("--trace", &trace, "print every committed instruction");
     parser.option("--trace-json", &trace_json_path, "FILE",
                   "write a Chrome trace-event file to FILE (open in "
                   "Perfetto or chrome://tracing)");
+    parser.option("--trace-out", &trace_out_path, "FILE",
+                  "stream a binary FXTR trace to FILE (O(1) memory; "
+                  "inspect with flexcore-trace)");
     parser.flag("--no-fast-forward", &no_fast_forward,
                 "disable quiescent-stretch fast-forwarding (results are "
                 "identical either way; this exists to prove it)");
@@ -118,7 +135,9 @@ main(int argc, char **argv)
     parser.footer(
         "Streams: the simulated program's console output goes to stdout\n"
         "(flushed first); the run summary, --stats dump, and --trace\n"
-        "disassembly go to stderr, so stdout stays clean for piping.\n");
+        "disassembly go to stderr, so stdout stays clean for piping.\n"
+        "With --stats-json - or --profile-json -, that JSON document\n"
+        "claims stdout and the program console moves to stderr.\n");
     parser.parseOrExit(argc, argv);
 
     if (list_monitors) {
@@ -203,19 +222,33 @@ main(int argc, char **argv)
     // Observability output implies histogram sampling: the JSON should
     // carry populated occupancy/queue-depth distributions. Threaded
     // dispatch and sampled timing skip per-cycle bookkeeping, so the
-    // implication is suppressed there (an explicit --trace-json still
-    // reaches finalize() and is rejected with a typed error).
+    // implication is suppressed there (an explicit --trace-json under
+    // sampling still reaches finalize() and is rejected with a typed
+    // error; under threaded it is legal and falls back to the per-cycle
+    // loop).
     if ((!stats_json_path.empty() || !trace_json_path.empty()) &&
         !no_histograms && config.exec_mode == ExecMode::kInterp &&
         config.sample_period == 0) {
         config.histograms = true;
     }
+    if (!trace_json_path.empty() && !trace_out_path.empty()) {
+        std::fprintf(stderr, "--trace-json and --trace-out are mutually "
+                             "exclusive (one trace sink per run)\n");
+        return 2;
+    }
 
     SimRequest request(config);
     request.program(std::move(program));
-    TraceSink sink;
+    TraceBuffer sink;
     if (!trace_json_path.empty())
         request.trace(&sink);
+    std::optional<TraceStreamWriter> stream;
+    if (!trace_out_path.empty()) {
+        stream.emplace(trace_out_path);
+        request.traceStream(&*stream);
+    }
+    if (!profile_json_path.empty())
+        request.profileJson(profile_top);
     if (trace) {
         request.tracer(
             [](Cycle cycle, Addr pc, const Instruction &inst) {
@@ -231,10 +264,16 @@ main(int argc, char **argv)
     const SimOutcome outcome = request.run();
     const RunResult &result = outcome.result;
 
-    std::fputs(result.console.c_str(), stdout);
+    // When a JSON report claims stdout (--stats-json - / --profile-json
+    // -), the simulated console moves to stderr so stdout stays a
+    // single machine-readable document for piping.
+    const bool json_on_stdout = isStdoutPath(stats_json_path) ||
+                                isStdoutPath(profile_json_path);
+    std::fputs(result.console.c_str(),
+               json_on_stdout ? stderr : stdout);
     // Flush the program's console before any stderr reporting so the
     // two streams interleave sensibly when merged (e.g. under 2>&1).
-    std::fflush(stdout);
+    std::fflush(json_on_stdout ? stderr : stdout);
     if (!quiet) {
         std::fprintf(stderr,
                      "[flexcore-run] %s: %s after %llu cycles, %llu "
@@ -294,19 +333,14 @@ main(int argc, char **argv)
     }
     if (dump_stats)
         std::fputs(outcome.stats_text.c_str(), stderr);
-    if (!stats_json_path.empty()) {
-        std::FILE *out = std::fopen(stats_json_path.c_str(), "w");
-        if (!out) {
-            std::fprintf(stderr, "cannot open %s\n",
-                         stats_json_path.c_str());
-            return 2;
-        }
-        std::fwrite(outcome.stats_json.data(), 1,
-                    outcome.stats_json.size(), out);
-        std::fclose(out);
-    }
+    if (!stats_json_path.empty())
+        writeTextOrStdout(stats_json_path, outcome.stats_json);
+    if (!profile_json_path.empty())
+        writeTextOrStdout(profile_json_path, outcome.profile_json);
     if (!trace_json_path.empty())
         sink.write(trace_json_path);
+    if (stream)
+        stream->finish();
 
     switch (result.exit) {
       case RunResult::Exit::kExited:

@@ -77,6 +77,8 @@ main(int argc, char **argv)
     std::string exec_mode_name;
     u64 sample_window = 0;
     u64 sample_period = 0;
+    bool profile_json = false;
+    u32 profile_top = 0;
 
     cli::Parser parser("flexcore-sweep",
                        "run a design-space campaign");
@@ -113,6 +115,12 @@ main(int argc, char **argv)
     parser.list("--stat", &options.stat_paths, "PATH",
                 "embed this dotted counter path (e.g. core.cycles) in "
                 "every result row; repeatable");
+    parser.flag("--profile-json", &profile_json,
+                "embed the per-PC cycle-attribution hotspot report in "
+                "every result row as a \"profile\" object");
+    parser.option("--profile-top", &profile_top, "N",
+                  "PCs per bucket in embedded profiles (default 10; "
+                  "implies --profile-json)");
     parser.flag("--no-progress", &no_progress,
                 "disable the live progress line");
     parser.flag("--list-monitors", &list_monitors,
@@ -128,6 +136,8 @@ main(int argc, char **argv)
     if (no_progress)
         options.progress = false;
     options.label = grid;
+    if (profile_json || profile_top)
+        options.profile_top = profile_top ? profile_top : 10;
 
     SweepSpec spec = makeGrid(grid, scale);
     if (max_cycles)

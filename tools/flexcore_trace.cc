@@ -1,0 +1,514 @@
+/**
+ * @file
+ * flexcore-trace: inspect streaming binary (FXTR) traces produced by
+ * `flexcore-run --trace-out` (and the other tools' --trace-out flags).
+ *
+ *   flexcore-trace report trace.fxtr          # JSON summary to stdout
+ *   flexcore-trace export --chrome trace.fxtr -o trace.json
+ *   flexcore-trace diff a.fxtr b.fxtr         # first divergence
+ *   flexcore-trace stats trace.fxtr           # histograms to stdout
+ *
+ * `report` aggregates the stream into a canonical JSON document:
+ * record counts by type, the per-name event taxonomy (stall episodes
+ * with total duration, instants, counters), commit hotspots (top PCs
+ * by committed instructions), fault-injection marks, and sampling
+ * windows. `export --chrome` replays the Chrome-phase records through
+ * the buffering renderer, producing output byte-identical to what
+ * `--trace-json` would have written for the same run (CI cmp-gates
+ * this). `diff` decodes two streams side by side and prints the first
+ * diverging record (exit 0 identical, 1 different, 2 usage/IO error).
+ * `stats` renders log2-bucketed duration histograms per episode name
+ * and counter value ranges.
+ *
+ * Subcommand parsing is hand-rolled: cli::Parser supports a single
+ * positional, and diff needs two.
+ */
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/ioutil.h"
+#include "common/trace_stream.h"
+
+using namespace flexcore;
+
+namespace {
+
+void
+appendU64(std::string *out, u64 v)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+    *out += buf;
+}
+
+void
+appendHexPc(std::string *out, u64 pc)
+{
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "0x%08" PRIx64, pc);
+    *out += buf;
+}
+
+/** Escape is unnecessary for our event names (identifiers), but keep
+ * the JSON well-formed even if a future name carries specials. */
+std::string
+jsonString(const std::string &s)
+{
+    std::string out = "\"";
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+struct EpisodeAgg
+{
+    u64 count = 0;
+    u64 total_dur = 0;
+    u64 max_dur = 0;
+};
+
+struct CounterAgg
+{
+    u64 count = 0;
+    u64 min = ~u64{0};
+    u64 max = 0;
+    u64 last = 0;
+};
+
+struct StreamAgg
+{
+    std::map<std::string, u64> record_counts;   //!< by type name
+    std::map<std::string, EpisodeAgg> episodes; //!< kComplete by name
+    std::map<std::string, u64> instants;        //!< kInstant by name
+    std::map<std::string, CounterAgg> counters; //!< kCounter by name
+    std::map<u64, u64> commits_by_pc;
+    u64 commits = 0;
+    u64 first_commit_cycle = 0;
+    u64 last_commit_cycle = 0;
+    u64 fault_marks = 0;
+    u64 windows_detailed = 0;
+    u64 windows_warm = 0;
+    u64 last_ts = 0;
+    bool has_summary = false;
+    u64 summary_records = 0;
+    u64 summary_commits = 0;
+    u64 summary_last_ts = 0;
+    /** Per-episode-name log2 duration histogram (stats subcommand). */
+    std::map<std::string, std::map<unsigned, u64>> dur_hist;
+};
+
+unsigned
+log2Bucket(u64 v)
+{
+    unsigned b = 0;
+    while (v > 1) {
+        v >>= 1;
+        ++b;
+    }
+    return b;
+}
+
+const char *
+recordTypeName(TraceRecordType t)
+{
+    switch (t) {
+      case TraceRecordType::kString: return "string";
+      case TraceRecordType::kCounter: return "counter";
+      case TraceRecordType::kComplete: return "complete";
+      case TraceRecordType::kInstant: return "instant";
+      case TraceRecordType::kCommit: return "commit";
+      case TraceRecordType::kFaultMark: return "fault_mark";
+      case TraceRecordType::kWindow: return "window";
+      case TraceRecordType::kSummary: return "summary";
+    }
+    return "unknown";
+}
+
+bool
+aggregate(const std::string &path, StreamAgg *agg, std::string *error)
+{
+    TraceReader reader(path);
+    if (!reader.valid()) {
+        *error = reader.error();
+        return false;
+    }
+    TraceRecord r;
+    while (reader.next(&r)) {
+        ++agg->record_counts[recordTypeName(r.type)];
+        switch (r.type) {
+          case TraceRecordType::kCounter: {
+            CounterAgg &c = agg->counters[r.name];
+            ++c.count;
+            c.min = std::min(c.min, r.a);
+            c.max = std::max(c.max, r.a);
+            c.last = r.a;
+            agg->last_ts = std::max(agg->last_ts, r.ts);
+            break;
+          }
+          case TraceRecordType::kComplete: {
+            EpisodeAgg &e = agg->episodes[r.name];
+            ++e.count;
+            e.total_dur += r.a;
+            e.max_dur = std::max(e.max_dur, r.a);
+            ++agg->dur_hist[r.name][log2Bucket(r.a)];
+            agg->last_ts = std::max(agg->last_ts, r.ts + r.a);
+            break;
+          }
+          case TraceRecordType::kInstant:
+            ++agg->instants[r.name];
+            agg->last_ts = std::max(agg->last_ts, r.ts);
+            break;
+          case TraceRecordType::kCommit:
+            if (agg->commits == 0)
+                agg->first_commit_cycle = r.ts;
+            ++agg->commits;
+            agg->last_commit_cycle = r.ts;
+            ++agg->commits_by_pc[r.a];
+            agg->last_ts = std::max(agg->last_ts, r.ts);
+            break;
+          case TraceRecordType::kFaultMark:
+            ++agg->fault_marks;
+            agg->last_ts = std::max(agg->last_ts, r.ts);
+            break;
+          case TraceRecordType::kWindow:
+            if (r.b)
+                ++agg->windows_detailed;
+            else
+                ++agg->windows_warm;
+            break;
+          case TraceRecordType::kSummary:
+            agg->has_summary = true;
+            agg->summary_records = r.a;
+            agg->summary_commits = r.b;
+            agg->summary_last_ts = r.c;
+            break;
+          case TraceRecordType::kString:
+            break;  // consumed by the reader, never surfaced
+        }
+    }
+    if (!reader.valid()) {
+        *error = reader.error();
+        return false;
+    }
+    return true;
+}
+
+int
+cmdReport(const std::string &path, u32 top_n, const std::string &out_path)
+{
+    StreamAgg agg;
+    std::string error;
+    if (!aggregate(path, &agg, &error)) {
+        std::fprintf(stderr, "flexcore-trace: %s: %s\n", path.c_str(),
+                     error.c_str());
+        return 2;
+    }
+
+    std::string out;
+    out.reserve(1024);
+    out += "{\"commits\": {\"count\": ";
+    appendU64(&out, agg.commits);
+    out += ", \"first_cycle\": ";
+    appendU64(&out, agg.first_commit_cycle);
+    out += ", \"last_cycle\": ";
+    appendU64(&out, agg.last_commit_cycle);
+    out += ", \"top_pcs\": [";
+    {
+        std::vector<std::pair<u64, u64>> rows;   // (count, pc)
+        rows.reserve(agg.commits_by_pc.size());
+        for (const auto &[pc, n] : agg.commits_by_pc)
+            rows.emplace_back(n, pc);
+        std::sort(rows.begin(), rows.end(), [](const auto &a,
+                                               const auto &b) {
+            if (a.first != b.first)
+                return a.first > b.first;
+            return a.second < b.second;
+        });
+        if (rows.size() > top_n)
+            rows.resize(top_n);
+        for (size_t i = 0; i < rows.size(); ++i) {
+            if (i)
+                out += ", ";
+            out += "{\"count\": ";
+            appendU64(&out, rows[i].first);
+            out += ", \"pc\": \"";
+            appendHexPc(&out, rows[i].second);
+            out += "\"}";
+        }
+    }
+    out += "], \"unique_pcs\": ";
+    appendU64(&out, agg.commits_by_pc.size());
+    out += "}, \"counters\": {";
+    {
+        bool first = true;
+        for (const auto &[name, c] : agg.counters) {
+            if (!first)
+                out += ", ";
+            first = false;
+            out += jsonString(name);
+            out += ": {\"count\": ";
+            appendU64(&out, c.count);
+            out += ", \"last\": ";
+            appendU64(&out, c.last);
+            out += ", \"max\": ";
+            appendU64(&out, c.max);
+            out += ", \"min\": ";
+            appendU64(&out, c.count ? c.min : 0);
+            out += '}';
+        }
+    }
+    out += "}, \"episodes\": {";
+    {
+        bool first = true;
+        for (const auto &[name, e] : agg.episodes) {
+            if (!first)
+                out += ", ";
+            first = false;
+            out += jsonString(name);
+            out += ": {\"count\": ";
+            appendU64(&out, e.count);
+            out += ", \"max_cycles\": ";
+            appendU64(&out, e.max_dur);
+            out += ", \"total_cycles\": ";
+            appendU64(&out, e.total_dur);
+            out += '}';
+        }
+    }
+    out += "}, \"fault_marks\": ";
+    appendU64(&out, agg.fault_marks);
+    out += ", \"instants\": {";
+    {
+        bool first = true;
+        for (const auto &[name, n] : agg.instants) {
+            if (!first)
+                out += ", ";
+            first = false;
+            out += jsonString(name);
+            out += ": ";
+            appendU64(&out, n);
+        }
+    }
+    out += "}, \"last_ts\": ";
+    appendU64(&out, agg.last_ts);
+    out += ", \"records\": {";
+    {
+        bool first = true;
+        for (const auto &[name, n] : agg.record_counts) {
+            if (!first)
+                out += ", ";
+            first = false;
+            out += jsonString(name);
+            out += ": ";
+            appendU64(&out, n);
+        }
+    }
+    out += "}, \"summary\": ";
+    if (agg.has_summary) {
+        out += "{\"commits\": ";
+        appendU64(&out, agg.summary_commits);
+        out += ", \"last_ts\": ";
+        appendU64(&out, agg.summary_last_ts);
+        out += ", \"records\": ";
+        appendU64(&out, agg.summary_records);
+        out += '}';
+    } else {
+        out += "null";
+    }
+    out += ", \"windows\": {\"detailed\": ";
+    appendU64(&out, agg.windows_detailed);
+    out += ", \"warm\": ";
+    appendU64(&out, agg.windows_warm);
+    out += "}}";
+
+    writeTextOrStdout(out_path, out);
+    return 0;
+}
+
+int
+cmdStats(const std::string &path, const std::string &out_path)
+{
+    StreamAgg agg;
+    std::string error;
+    if (!aggregate(path, &agg, &error)) {
+        std::fprintf(stderr, "flexcore-trace: %s: %s\n", path.c_str(),
+                     error.c_str());
+        return 2;
+    }
+
+    // Duration histograms: per episode name, counts of episodes whose
+    // duration falls in [2^k, 2^(k+1)) cycles (bucket 0 is 0-1).
+    std::string out;
+    out.reserve(512);
+    out += "{\"duration_log2_histograms\": {";
+    bool first = true;
+    for (const auto &[name, hist] : agg.dur_hist) {
+        if (!first)
+            out += ", ";
+        first = false;
+        out += jsonString(name);
+        out += ": {";
+        bool first_bucket = true;
+        for (const auto &[bucket, n] : hist) {
+            if (!first_bucket)
+                out += ", ";
+            first_bucket = false;
+            out += '"';
+            appendU64(&out, u64{1} << bucket);
+            out += "\": ";
+            appendU64(&out, n);
+        }
+        out += '}';
+    }
+    out += "}, \"commit_gap_note\": \"gaps between commit cycles "
+           "include stall episodes; see report episodes\", "
+           "\"episode_means\": {";
+    first = true;
+    for (const auto &[name, e] : agg.episodes) {
+        if (!first)
+            out += ", ";
+        first = false;
+        out += jsonString(name);
+        out += ": ";
+        appendU64(&out, e.count ? e.total_dur / e.count : 0);
+    }
+    out += "}}";
+
+    writeTextOrStdout(out_path, out);
+    return 0;
+}
+
+int
+cmdExport(const std::string &path, const std::string &out_path)
+{
+    std::string json, error;
+    if (!renderChromeJson(path, &json, &error)) {
+        std::fprintf(stderr, "flexcore-trace: %s: %s\n", path.c_str(),
+                     error.c_str());
+        return 2;
+    }
+    // The Chrome renderer's output already ends in a newline and must
+    // stay byte-identical to --trace-json, so bypass the trailing-
+    // newline normalization for the file case.
+    if (isStdoutPath(out_path)) {
+        std::fwrite(json.data(), 1, json.size(), stdout);
+        std::fflush(stdout);
+        return 0;
+    }
+    std::FILE *out = std::fopen(out_path.c_str(), "wb");
+    if (!out) {
+        std::fprintf(stderr, "flexcore-trace: cannot open %s\n",
+                     out_path.c_str());
+        return 2;
+    }
+    std::fwrite(json.data(), 1, json.size(), out);
+    std::fclose(out);
+    return 0;
+}
+
+int
+cmdDiff(const std::string &path_a, const std::string &path_b)
+{
+    const TraceDiff diff = diffStreams(path_a, path_b);
+    if (diff.identical) {
+        std::printf("identical\n");
+        return 0;
+    }
+    std::printf("streams diverge at record %" PRIu64 "\n", diff.index);
+    std::printf("  a (%s): %s\n", path_a.c_str(), diff.a_desc.c_str());
+    std::printf("  b (%s): %s\n", path_b.c_str(), diff.b_desc.c_str());
+    return 1;
+}
+
+int
+usage(FILE *to)
+{
+    std::fputs(
+        "usage: flexcore-trace <subcommand> [args]\n"
+        "\n"
+        "  report FILE [--top N] [-o OUT]   aggregate summary (canonical\n"
+        "                                   JSON; default stdout)\n"
+        "  export --chrome FILE [-o OUT]    render Chrome trace-event\n"
+        "                                   JSON, byte-identical to what\n"
+        "                                   --trace-json writes for the\n"
+        "                                   same run (default stdout)\n"
+        "  diff A B                         first diverging record\n"
+        "                                   (exit 0 identical, 1 differ)\n"
+        "  stats FILE [-o OUT]              duration histograms\n"
+        "\n"
+        "FILE is a binary FXTR stream from --trace-out. OUT of -\n"
+        "means stdout (the default).\n",
+        to);
+    return to == stdout ? 0 : 2;
+}
+
+}  // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> args(argv + 1, argv + argc);
+    if (args.empty())
+        return usage(stderr);
+    const std::string cmd = args[0];
+    if (cmd == "-h" || cmd == "--help" || cmd == "help")
+        return usage(stdout);
+
+    std::string out_path = "-";
+    u32 top_n = 10;
+    bool chrome = false;
+    std::vector<std::string> positional;
+    for (size_t i = 1; i < args.size(); ++i) {
+        const std::string &a = args[i];
+        if (a == "-o" || a == "--out") {
+            if (++i == args.size()) {
+                std::fprintf(stderr, "%s needs a value\n", a.c_str());
+                return 2;
+            }
+            out_path = args[i];
+        } else if (a == "--top") {
+            if (++i == args.size()) {
+                std::fprintf(stderr, "--top needs a value\n");
+                return 2;
+            }
+            top_n = static_cast<u32>(std::strtoul(args[i].c_str(),
+                                                  nullptr, 0));
+        } else if (a == "--chrome") {
+            chrome = true;
+        } else if (a == "-h" || a == "--help") {
+            return usage(stdout);
+        } else if (!a.empty() && a[0] == '-' && a != "-") {
+            std::fprintf(stderr, "unknown option %s\n", a.c_str());
+            return usage(stderr);
+        } else {
+            positional.push_back(a);
+        }
+    }
+
+    if (cmd == "report" && positional.size() == 1)
+        return cmdReport(positional[0], top_n, out_path);
+    if (cmd == "stats" && positional.size() == 1)
+        return cmdStats(positional[0], out_path);
+    if (cmd == "export" && positional.size() == 1) {
+        if (!chrome) {
+            std::fprintf(stderr, "export needs a format flag "
+                                 "(--chrome)\n");
+            return 2;
+        }
+        return cmdExport(positional[0], out_path);
+    }
+    if (cmd == "diff" && positional.size() == 2)
+        return cmdDiff(positional[0], positional[1]);
+
+    std::fprintf(stderr, "bad arguments for '%s'\n", cmd.c_str());
+    return usage(stderr);
+}
