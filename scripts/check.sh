@@ -182,4 +182,23 @@ if command -v python3 >/dev/null 2>&1; then
     python3 -m json.tool "$tmpdir/profile_stdout.json" > /dev/null
 fi
 
+echo "== simulation service =="
+# flexcore-serve: drive it with the load generator at 1 and 8 clients,
+# then hold the wire-identity gate — stats JSON served over the socket
+# is byte-identical to what flexcore-run writes locally for the same
+# configuration (docs/serve.md).
+rm -f "$tmpdir/serve.sock"
+./build/tools/flexcore-serve --listen "unix:$tmpdir/serve.sock" \
+    --quiet --max-requests 9 &
+serve_pid=$!
+./build/tools/flexcore-loadgen --connect "unix:$tmpdir/serve.sock" \
+    --source programs/hello.s --monitor dift --clients 1 --requests 1 \
+    --stats-json "$tmpdir/serve_remote.json"
+./build/tools/flexcore-loadgen --connect "unix:$tmpdir/serve.sock" \
+    --workload sha --clients 8 --requests 1
+wait "$serve_pid"
+./build/tools/flexcore-run --monitor dift --quiet \
+    --stats-json "$tmpdir/serve_local.json" programs/hello.s > /dev/null
+cmp "$tmpdir/serve_local.json" "$tmpdir/serve_remote.json"
+
 echo "All checks passed."

@@ -12,6 +12,8 @@
 
 #include <cstdio>
 #include <fstream>
+#include <iostream>
+#include <sstream>
 #include <string>
 
 #include "common/log.h"
@@ -23,6 +25,28 @@ inline bool
 isStdoutPath(const std::string &path)
 {
     return path == "-";
+}
+
+/**
+ * Read all of @p path into @p text, or all of stdin when the path is
+ * "-" (the input-side mirror of the "-" output convention). Returns
+ * false when the file cannot be opened; the caller owns the error
+ * message (it knows the flag the path came from).
+ */
+inline bool
+readTextOrStdin(const std::string &path, std::string *text)
+{
+    std::stringstream buffer;
+    if (isStdoutPath(path)) {
+        buffer << std::cin.rdbuf();
+    } else {
+        std::ifstream file(path, std::ios::binary);
+        if (!file)
+            return false;
+        buffer << file.rdbuf();
+    }
+    *text = buffer.str();
+    return true;
 }
 
 /**

@@ -1,0 +1,338 @@
+#include "common/json.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace flexcore {
+
+const JsonValue *
+JsonValue::find(std::string_view key) const
+{
+    if (type != Type::kObject)
+        return nullptr;
+    for (const auto &[name, value] : object) {
+        if (name == key)
+            return &value;
+    }
+    return nullptr;
+}
+
+namespace {
+
+class Parser
+{
+  public:
+    Parser(std::string_view text, std::string *error)
+        : text_(text), error_(error)
+    {
+    }
+
+    bool
+    parse(JsonValue *out)
+    {
+        skipWs();
+        if (!parseValue(out, 0))
+            return false;
+        skipWs();
+        if (pos_ != text_.size())
+            return fail("trailing characters after the document");
+        return true;
+    }
+
+  private:
+    static constexpr int kMaxDepth = 64;
+
+    bool
+    fail(const std::string &why)
+    {
+        if (error_ && error_->empty()) {
+            *error_ = "JSON parse error at offset " +
+                      std::to_string(pos_) + ": " + why;
+        }
+        return false;
+    }
+
+    char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_];
+            if (c != ' ' && c != '\t' && c != '\n' && c != '\r')
+                break;
+            ++pos_;
+        }
+    }
+
+    bool
+    consumeIf(char c)
+    {
+        if (peek() != c)
+            return false;
+        ++pos_;
+        return true;
+    }
+
+    bool
+    expect(char c)
+    {
+        if (consumeIf(c))
+            return true;
+        return fail(std::string("expected '") + c + "'");
+    }
+
+    bool
+    literal(std::string_view word)
+    {
+        if (text_.substr(pos_, word.size()) != word)
+            return fail("bad literal");
+        pos_ += word.size();
+        return true;
+    }
+
+    bool
+    parseValue(JsonValue *out, int depth)
+    {
+        if (depth > kMaxDepth)
+            return fail("nesting too deep");
+        skipWs();
+        switch (peek()) {
+          case '{': return parseObject(out, depth);
+          case '[': return parseArray(out, depth);
+          case '"':
+            out->type = JsonValue::Type::kString;
+            return parseString(&out->str);
+          case 't':
+            out->type = JsonValue::Type::kBool;
+            out->boolean = true;
+            return literal("true");
+          case 'f':
+            out->type = JsonValue::Type::kBool;
+            out->boolean = false;
+            return literal("false");
+          case 'n':
+            out->type = JsonValue::Type::kNull;
+            return literal("null");
+          default:
+            return parseNumber(out);
+        }
+    }
+
+    bool
+    parseObject(JsonValue *out, int depth)
+    {
+        out->type = JsonValue::Type::kObject;
+        ++pos_;   // '{'
+        skipWs();
+        if (consumeIf('}'))
+            return true;
+        while (true) {
+            skipWs();
+            std::string key;
+            if (!parseString(&key))
+                return false;
+            for (const auto &[name, value] : out->object) {
+                (void)value;
+                if (name == key)
+                    return fail("duplicate key \"" + key + "\"");
+            }
+            skipWs();
+            if (!expect(':'))
+                return false;
+            JsonValue member;
+            if (!parseValue(&member, depth + 1))
+                return false;
+            out->object.emplace_back(std::move(key), std::move(member));
+            skipWs();
+            if (consumeIf(','))
+                continue;
+            return expect('}');
+        }
+    }
+
+    bool
+    parseArray(JsonValue *out, int depth)
+    {
+        out->type = JsonValue::Type::kArray;
+        ++pos_;   // '['
+        skipWs();
+        if (consumeIf(']'))
+            return true;
+        while (true) {
+            JsonValue element;
+            if (!parseValue(&element, depth + 1))
+                return false;
+            out->array.push_back(std::move(element));
+            skipWs();
+            if (consumeIf(','))
+                continue;
+            return expect(']');
+        }
+    }
+
+    /** Append one Unicode code point as UTF-8. */
+    static void
+    appendUtf8(std::string *out, u32 cp)
+    {
+        if (cp < 0x80) {
+            *out += static_cast<char>(cp);
+        } else if (cp < 0x800) {
+            *out += static_cast<char>(0xc0 | (cp >> 6));
+            *out += static_cast<char>(0x80 | (cp & 0x3f));
+        } else if (cp < 0x10000) {
+            *out += static_cast<char>(0xe0 | (cp >> 12));
+            *out += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+            *out += static_cast<char>(0x80 | (cp & 0x3f));
+        } else {
+            *out += static_cast<char>(0xf0 | (cp >> 18));
+            *out += static_cast<char>(0x80 | ((cp >> 12) & 0x3f));
+            *out += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+            *out += static_cast<char>(0x80 | (cp & 0x3f));
+        }
+    }
+
+    bool
+    parseHex4(u32 *out)
+    {
+        u32 value = 0;
+        for (int i = 0; i < 4; ++i) {
+            const char c = peek();
+            u32 digit;
+            if (c >= '0' && c <= '9')
+                digit = static_cast<u32>(c - '0');
+            else if (c >= 'a' && c <= 'f')
+                digit = static_cast<u32>(c - 'a' + 10);
+            else if (c >= 'A' && c <= 'F')
+                digit = static_cast<u32>(c - 'A' + 10);
+            else
+                return fail("bad \\u escape");
+            value = value << 4 | digit;
+            ++pos_;
+        }
+        *out = value;
+        return true;
+    }
+
+    bool
+    parseString(std::string *out)
+    {
+        if (!expect('"'))
+            return false;
+        out->clear();
+        while (true) {
+            if (pos_ >= text_.size())
+                return fail("unterminated string");
+            const char c = text_[pos_++];
+            if (c == '"')
+                return true;
+            if (static_cast<unsigned char>(c) < 0x20)
+                return fail("unescaped control character in string");
+            if (c != '\\') {
+                *out += c;
+                continue;
+            }
+            if (pos_ >= text_.size())
+                return fail("unterminated escape");
+            const char esc = text_[pos_++];
+            switch (esc) {
+              case '"': *out += '"'; break;
+              case '\\': *out += '\\'; break;
+              case '/': *out += '/'; break;
+              case 'b': *out += '\b'; break;
+              case 'f': *out += '\f'; break;
+              case 'n': *out += '\n'; break;
+              case 'r': *out += '\r'; break;
+              case 't': *out += '\t'; break;
+              case 'u': {
+                u32 cp = 0;
+                if (!parseHex4(&cp))
+                    return false;
+                if (cp >= 0xd800 && cp < 0xdc00) {
+                    // Surrogate pair: the low half must follow.
+                    if (!consumeIf('\\') || !consumeIf('u'))
+                        return fail("unpaired surrogate");
+                    u32 lo = 0;
+                    if (!parseHex4(&lo))
+                        return false;
+                    if (lo < 0xdc00 || lo > 0xdfff)
+                        return fail("bad low surrogate");
+                    cp = 0x10000 + ((cp - 0xd800) << 10) + (lo - 0xdc00);
+                } else if (cp >= 0xdc00 && cp < 0xe000) {
+                    return fail("unpaired surrogate");
+                }
+                appendUtf8(out, cp);
+                break;
+              }
+              default:
+                return fail("unknown escape");
+            }
+        }
+    }
+
+    bool
+    parseNumber(JsonValue *out)
+    {
+        const size_t start = pos_;
+        bool negative = false;
+        if (consumeIf('-'))
+            negative = true;
+        if (!std::isdigit(static_cast<unsigned char>(peek())))
+            return fail("expected a value");
+        // Leading zero may not be followed by more digits (RFC 8259).
+        if (peek() == '0' && pos_ + 1 < text_.size() &&
+            std::isdigit(static_cast<unsigned char>(text_[pos_ + 1])))
+            return fail("leading zero in number");
+        bool integral = true;
+        bool overflow = false;
+        u64 magnitude = 0;
+        while (std::isdigit(static_cast<unsigned char>(peek()))) {
+            const u64 digit = static_cast<u64>(peek() - '0');
+            if (magnitude > (~u64{0} - digit) / 10)
+                overflow = true;
+            else
+                magnitude = magnitude * 10 + digit;
+            ++pos_;
+        }
+        if (consumeIf('.')) {
+            integral = false;
+            if (!std::isdigit(static_cast<unsigned char>(peek())))
+                return fail("digits must follow the decimal point");
+            while (std::isdigit(static_cast<unsigned char>(peek())))
+                ++pos_;
+        }
+        if (peek() == 'e' || peek() == 'E') {
+            integral = false;
+            ++pos_;
+            if (peek() == '+' || peek() == '-')
+                ++pos_;
+            if (!std::isdigit(static_cast<unsigned char>(peek())))
+                return fail("digits must follow the exponent");
+            while (std::isdigit(static_cast<unsigned char>(peek())))
+                ++pos_;
+        }
+        out->type = JsonValue::Type::kNumber;
+        const std::string copy(text_.substr(start, pos_ - start));
+        out->num = std::strtod(copy.c_str(), nullptr);
+        out->is_uint = integral && !negative && !overflow;
+        out->uint = out->is_uint ? magnitude : 0;
+        return true;
+    }
+
+    std::string_view text_;
+    std::string *error_;
+    size_t pos_ = 0;
+};
+
+}  // namespace
+
+bool
+parseJson(std::string_view text, JsonValue *out, std::string *error)
+{
+    if (error)
+        error->clear();
+    *out = JsonValue{};
+    return Parser(text, error).parse(out);
+}
+
+}  // namespace flexcore

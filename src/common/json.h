@@ -1,0 +1,74 @@
+/**
+ * @file
+ * General JSON parsing for wire-schema consumers (the SimRequest /
+ * SimResponse API, flexcore-serve, flexcore-loadgen). The emit side of
+ * the codebase stays hand-rendered (common/jsonutil.h) so byte layout
+ * is under our control; this is the matching *read* side: a strict
+ * RFC 8259 recursive-descent parser into a JsonValue tree that
+ * preserves object key order and distinguishes unsigned-integral
+ * numbers (the common case for counters) from general doubles.
+ *
+ * Parsing never aborts the process: malformed input returns false with
+ * a position-bearing message, which the serve path maps to a typed
+ * kBadRequest error response instead of a dropped connection.
+ */
+
+#ifndef FLEXCORE_COMMON_JSON_H_
+#define FLEXCORE_COMMON_JSON_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+
+namespace flexcore {
+
+class JsonValue
+{
+  public:
+    enum class Type : u8 {
+        kNull,
+        kBool,
+        kNumber,
+        kString,
+        kArray,
+        kObject,
+    };
+
+    Type type = Type::kNull;
+    bool boolean = false;
+    /** Numbers keep both renderings: num is always valid; uint is
+     * valid (and exact) iff is_uint — negative or fractional values
+     * clear it. */
+    double num = 0.0;
+    u64 uint = 0;
+    bool is_uint = false;
+    std::string str;
+    std::vector<JsonValue> array;
+    /** Members in document order (duplicate keys are a parse error). */
+    std::vector<std::pair<std::string, JsonValue>> object;
+
+    bool isNull() const { return type == Type::kNull; }
+    bool isBool() const { return type == Type::kBool; }
+    bool isNumber() const { return type == Type::kNumber; }
+    bool isString() const { return type == Type::kString; }
+    bool isArray() const { return type == Type::kArray; }
+    bool isObject() const { return type == Type::kObject; }
+
+    /** Object member lookup; null when absent or not an object. */
+    const JsonValue *find(std::string_view key) const;
+};
+
+/**
+ * Parse one complete JSON document. Returns false with a
+ * human-readable explanation (including the byte offset) in @p error
+ * on any syntax violation, trailing garbage, or duplicate object key.
+ */
+bool parseJson(std::string_view text, JsonValue *out,
+               std::string *error);
+
+}  // namespace flexcore
+
+#endif  // FLEXCORE_COMMON_JSON_H_

@@ -1,0 +1,321 @@
+#include "common/netio.h"
+
+#include <netdb.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+namespace flexcore::netio {
+
+namespace {
+
+bool
+fail(std::string *error, std::string why)
+{
+    if (error && error->empty())
+        *error = std::move(why);
+    return false;
+}
+
+std::string
+errnoText()
+{
+    return std::strerror(errno);
+}
+
+/** send() with MSG_NOSIGNAL so a hung-up peer yields EPIPE, not a
+ * process-killing SIGPIPE. */
+bool
+sendAll(int fd, const void *data, size_t size)
+{
+    const char *p = static_cast<const char *>(data);
+    while (size > 0) {
+        const ssize_t n = ::send(fd, p, size, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        p += n;
+        size -= static_cast<size_t>(n);
+    }
+    return true;
+}
+
+/** Read exactly @p size bytes; returns bytes read (short = EOF/error). */
+size_t
+recvAll(int fd, void *data, size_t size)
+{
+    char *p = static_cast<char *>(data);
+    size_t got = 0;
+    while (got < size) {
+        const ssize_t n = ::recv(fd, p + got, size - got, 0);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            break;
+        }
+        if (n == 0)
+            break;
+        got += static_cast<size_t>(n);
+    }
+    return got;
+}
+
+bool
+fillUnixAddr(const std::string &path, sockaddr_un *addr,
+             std::string *error)
+{
+    std::memset(addr, 0, sizeof(*addr));
+    addr->sun_family = AF_UNIX;
+    if (path.size() >= sizeof(addr->sun_path)) {
+        return fail(error, "unix socket path too long: " + path);
+    }
+    std::memcpy(addr->sun_path, path.c_str(), path.size() + 1);
+    return true;
+}
+
+/** Resolve a tcp endpoint; returns a connected or bound fd, or -1. */
+int
+tcpSocket(const Endpoint &endpoint, bool listen_side,
+          std::string *error)
+{
+    addrinfo hints{};
+    hints.ai_family = AF_UNSPEC;
+    hints.ai_socktype = SOCK_STREAM;
+    if (listen_side)
+        hints.ai_flags = AI_PASSIVE;
+    const std::string port = std::to_string(endpoint.port);
+    addrinfo *list = nullptr;
+    const int rc = ::getaddrinfo(
+        endpoint.host.empty() ? nullptr : endpoint.host.c_str(),
+        port.c_str(), &hints, &list);
+    if (rc != 0) {
+        fail(error, std::string("cannot resolve ") +
+                        endpointString(endpoint) + ": " +
+                        ::gai_strerror(rc));
+        return -1;
+    }
+    int fd = -1;
+    for (addrinfo *ai = list; ai; ai = ai->ai_next) {
+        fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+        if (fd < 0)
+            continue;
+        if (listen_side) {
+            const int one = 1;
+            ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one,
+                         sizeof(one));
+            if (::bind(fd, ai->ai_addr, ai->ai_addrlen) == 0)
+                break;
+        } else {
+            if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0)
+                break;
+        }
+        ::close(fd);
+        fd = -1;
+    }
+    ::freeaddrinfo(list);
+    if (fd < 0) {
+        fail(error, (listen_side ? "cannot bind " : "cannot connect to ") +
+                        endpointString(endpoint) + ": " + errnoText());
+    }
+    return fd;
+}
+
+}  // namespace
+
+bool
+parseEndpoint(std::string_view text, Endpoint *out, std::string *error)
+{
+    if (text.rfind("unix:", 0) == 0) {
+        out->is_unix = true;
+        out->path = std::string(text.substr(5));
+        if (out->path.empty())
+            return fail(error, "unix endpoint needs a path");
+        return true;
+    }
+    if (text.rfind("tcp:", 0) == 0) {
+        const std::string_view rest = text.substr(4);
+        const size_t colon = rest.rfind(':');
+        if (colon == std::string_view::npos || colon + 1 >= rest.size()) {
+            return fail(error,
+                        "tcp endpoint must be tcp:HOST:PORT, got \"" +
+                            std::string(text) + "\"");
+        }
+        out->is_unix = false;
+        out->host = std::string(rest.substr(0, colon));
+        const std::string port_text(rest.substr(colon + 1));
+        char *end = nullptr;
+        const unsigned long port = std::strtoul(port_text.c_str(), &end, 10);
+        if (*end != '\0' || port == 0 || port > 0xffff) {
+            return fail(error,
+                        "bad tcp port \"" + port_text + "\"");
+        }
+        out->port = static_cast<u16>(port);
+        return true;
+    }
+    return fail(error,
+                "endpoint must start with unix: or tcp:, got \"" +
+                    std::string(text) + "\"");
+}
+
+std::string
+endpointString(const Endpoint &endpoint)
+{
+    if (endpoint.is_unix)
+        return "unix:" + endpoint.path;
+    return "tcp:" + endpoint.host + ":" + std::to_string(endpoint.port);
+}
+
+int
+listenOn(const Endpoint &endpoint, std::string *error)
+{
+    int fd = -1;
+    if (endpoint.is_unix) {
+        sockaddr_un addr;
+        if (!fillUnixAddr(endpoint.path, &addr, error))
+            return -1;
+        fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        if (fd < 0) {
+            fail(error, "cannot create socket: " + errnoText());
+            return -1;
+        }
+        // The server owns its path: a stale file from a previous run
+        // (crash, kill -9) must not block startup.
+        ::unlink(endpoint.path.c_str());
+        if (::bind(fd, reinterpret_cast<sockaddr *>(&addr),
+                   sizeof(addr)) != 0) {
+            fail(error, "cannot bind " + endpointString(endpoint) +
+                            ": " + errnoText());
+            ::close(fd);
+            return -1;
+        }
+    } else {
+        fd = tcpSocket(endpoint, /*listen_side=*/true, error);
+        if (fd < 0)
+            return -1;
+    }
+    if (::listen(fd, 64) != 0) {
+        fail(error, "cannot listen on " + endpointString(endpoint) +
+                        ": " + errnoText());
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+int
+acceptClient(int listen_fd)
+{
+    for (;;) {
+        const int fd = ::accept(listen_fd, nullptr, nullptr);
+        if (fd >= 0)
+            return fd;
+        if (errno == EINTR)
+            continue;
+        return -1;
+    }
+}
+
+int
+connectTo(const Endpoint &endpoint, std::string *error)
+{
+    if (!endpoint.is_unix)
+        return tcpSocket(endpoint, /*listen_side=*/false, error);
+    sockaddr_un addr;
+    if (!fillUnixAddr(endpoint.path, &addr, error))
+        return -1;
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+        fail(error, "cannot create socket: " + errnoText());
+        return -1;
+    }
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        fail(error, "cannot connect to " + endpointString(endpoint) +
+                        ": " + errnoText());
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+int
+connectWithRetry(const Endpoint &endpoint, int attempts, int delay_ms,
+                 std::string *error)
+{
+    for (int i = 0; i < attempts; ++i) {
+        std::string attempt_error;
+        const int fd = connectTo(endpoint, &attempt_error);
+        if (fd >= 0)
+            return fd;
+        if (i + 1 == attempts)
+            return fail(error, attempt_error), -1;
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(delay_ms));
+    }
+    return fail(error, "no connect attempts made"), -1;
+}
+
+bool
+sendFrame(int fd, std::string_view payload)
+{
+    const u32 size = static_cast<u32>(payload.size());
+    if (payload.size() > kMaxFrameBytes)
+        return false;
+    u8 prefix[4] = {
+        static_cast<u8>(size),
+        static_cast<u8>(size >> 8),
+        static_cast<u8>(size >> 16),
+        static_cast<u8>(size >> 24),
+    };
+    return sendAll(fd, prefix, sizeof(prefix)) &&
+           sendAll(fd, payload.data(), payload.size());
+}
+
+bool
+recvFrame(int fd, std::string *payload, std::string *error)
+{
+    if (error)
+        error->clear();
+    u8 prefix[4];
+    const size_t got = recvAll(fd, prefix, sizeof(prefix));
+    if (got == 0)
+        return false;   // clean EOF between frames
+    if (got != sizeof(prefix))
+        return fail(error, "truncated frame length prefix");
+    const u32 size = u32{prefix[0]} | (u32{prefix[1]} << 8) |
+                     (u32{prefix[2]} << 16) | (u32{prefix[3]} << 24);
+    if (size > kMaxFrameBytes) {
+        return fail(error, "frame of " + std::to_string(size) +
+                               " bytes exceeds the " +
+                               std::to_string(kMaxFrameBytes) +
+                               "-byte limit");
+    }
+    payload->resize(size);
+    if (size > 0 && recvAll(fd, payload->data(), size) != size)
+        return fail(error, "truncated frame payload");
+    return true;
+}
+
+void
+shutdownSocket(int fd)
+{
+    if (fd >= 0)
+        ::shutdown(fd, SHUT_RDWR);
+}
+
+void
+closeSocket(int fd)
+{
+    if (fd >= 0)
+        ::close(fd);
+}
+
+}  // namespace flexcore::netio

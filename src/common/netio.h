@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Minimal POSIX socket plumbing for flexcore-serve and its clients:
+ * endpoint parsing ("unix:/path/to.sock" or "tcp:host:port"), blocking
+ * listen/accept/connect, and the length-prefixed frame protocol both
+ * sides speak — every message is a `u32` little-endian payload length
+ * followed by exactly that many bytes (docs/serve.md).
+ *
+ * Everything returns errors by value (false / -1 plus a message);
+ * nothing here is fatal, because a misbehaving peer must never take
+ * the server down.
+ */
+
+#ifndef FLEXCORE_COMMON_NETIO_H_
+#define FLEXCORE_COMMON_NETIO_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/types.h"
+
+namespace flexcore::netio {
+
+/** Upper bound on a frame payload; larger prefixes are a protocol
+ * error (a desynchronized or hostile peer, not a real request). */
+inline constexpr u32 kMaxFrameBytes = 256u * 1024 * 1024;
+
+/** A parsed "unix:PATH" or "tcp:HOST:PORT" address. */
+struct Endpoint
+{
+    bool is_unix = true;
+    std::string path;   //!< unix: filesystem path of the socket
+    std::string host;   //!< tcp: numeric or named host
+    u16 port = 0;       //!< tcp only
+};
+
+/** Parse an endpoint string; false + message for malformed input. */
+bool parseEndpoint(std::string_view text, Endpoint *out,
+                   std::string *error);
+
+/** Render an endpoint back to its canonical string form. */
+std::string endpointString(const Endpoint &endpoint);
+
+/**
+ * Create, bind, and listen. Unix endpoints unlink a stale socket file
+ * first (the server owns its path). Returns the listening fd, or -1
+ * with @p error set.
+ */
+int listenOn(const Endpoint &endpoint, std::string *error);
+
+/** Accept one client; -1 on error (including listener shutdown). */
+int acceptClient(int listen_fd);
+
+/** Connect to a server; returns the fd or -1 with @p error set. */
+int connectTo(const Endpoint &endpoint, std::string *error);
+
+/**
+ * connectTo with retry, for scripts that start the server and the
+ * client back to back: retries @p attempts times, sleeping
+ * @p delay_ms between tries, so the client never races the listener.
+ */
+int connectWithRetry(const Endpoint &endpoint, int attempts,
+                     int delay_ms, std::string *error);
+
+/** Write one frame (u32 LE length + payload). False on any I/O error. */
+bool sendFrame(int fd, std::string_view payload);
+
+/**
+ * Read one frame. Returns false with an empty @p error on clean EOF
+ * (the peer hung up between frames) and with a message for truncated
+ * frames or oversized length prefixes.
+ */
+bool recvFrame(int fd, std::string *payload, std::string *error);
+
+/**
+ * shutdown(2) both directions (idempotent for fd < 0). Unlike close(),
+ * this wakes a thread blocked in accept()/recv() on the fd — it is how
+ * a server's shutdown op kicks the accept loop awake from another
+ * thread. The fd itself stays allocated until closeSocket().
+ */
+void shutdownSocket(int fd);
+
+/** Close a socket fd (idempotent for fd < 0). */
+void closeSocket(int fd);
+
+}  // namespace flexcore::netio
+
+#endif  // FLEXCORE_COMMON_NETIO_H_

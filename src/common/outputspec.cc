@@ -1,0 +1,256 @@
+#include "common/outputspec.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/cliopts.h"
+#include "common/ioutil.h"
+#include "common/trace_event.h"
+#include "extensions/registry.h"
+#include "faults/fault_plan.h"
+
+namespace flexcore {
+
+void
+OutputSpec::attach(cli::Parser *parser, u32 groups)
+{
+    groups_ = groups;
+    if (groups & kSpecExecMode) {
+        parser->option("--exec-mode", &exec_mode_name, "MODE",
+                       "execution engine: interp (golden, default) or "
+                       "threaded (function-pointer superblock dispatch; "
+                       "identical results, faster)");
+    }
+    if (groups & kSpecSampling) {
+        parser->option("--sample-window", &sample_window, "N",
+                       "sampled timing: detailed instructions per "
+                       "sampling unit (requires --sample-period)");
+        parser->option("--sample-period", &sample_period, "N",
+                       "sampled timing: instructions per sampling unit; "
+                       "the first --sample-window of each unit in full "
+                       "detail, the rest functionally warmed (cycles "
+                       "become a CPI-extrapolated estimate)");
+    }
+    if (groups & kSpecMaxCycles) {
+        parser->option("--max-cycles", &max_cycles, "N",
+                       "simulation cycle limit (0 = default)");
+    }
+    if (groups & kSpecWatchdog) {
+        parser->option("--watchdog-commits", &watchdog_commits, "N",
+                       "end a run as a hang after N consecutive cycles "
+                       "without a commit (0 = off)");
+    }
+    if (groups & kSpecFaults) {
+        parser->list("--inject", &inject_specs, "SPEC",
+                     "schedule one fault, e.g. reg@i1200:t17:b3 or "
+                     "mem@c5000:t0x2040:b5 or ffifo@c900:t2:b12:fsrcv1; "
+                     "repeatable");
+        parser->option("--fault-plan", &fault_plan_path, "FILE",
+                       "load a fault plan (JSON document or compact "
+                       "specs, see docs/fault_injection.md)");
+    }
+    if (groups & kSpecStatsJson) {
+        parser->option("--stats-json", &stats_json_path, "FILE",
+                       "write the statistics tree to FILE as canonical "
+                       "JSON (- = stdout)");
+    }
+    if (groups & kSpecProfileFile) {
+        parser->option("--profile-json", &profile_json_path, "FILE",
+                       "write the per-PC cycle-attribution hotspot "
+                       "report to FILE as canonical JSON (- = stdout)");
+    }
+    if (groups & kSpecProfileEmbed) {
+        parser->flag("--profile-json", &profile_embed,
+                     "embed the per-PC cycle-attribution hotspot report "
+                     "in every result row as a \"profile\" object");
+    }
+    if (groups & (kSpecProfileFile | kSpecProfileEmbed)) {
+        parser->option("--profile-top", &profile_top, "N",
+                       (groups & kSpecProfileEmbed)
+                           ? "PCs per bucket in embedded profiles "
+                             "(default 10; implies --profile-json)"
+                           : "PCs per bucket in the --profile-json top "
+                             "lists (default 10)");
+    }
+    if (groups & kSpecTrace) {
+        parser->option("--trace-json", &trace_json_path, "FILE",
+                       "write a Chrome trace-event file to FILE (open "
+                       "in Perfetto or chrome://tracing)");
+        parser->option("--trace-out", &trace_out_path, "FILE",
+                       "stream a binary FXTR trace to FILE (O(1) "
+                       "memory; inspect with flexcore-trace)");
+    }
+    if (groups & kSpecFastForward) {
+        parser->flag("--no-fast-forward", &no_fast_forward,
+                     "disable quiescent-stretch fast-forwarding "
+                     "(results are identical either way; this exists "
+                     "to prove it)");
+    }
+    if (groups & kSpecHistograms) {
+        parser->flag("--no-histograms", &no_histograms,
+                     "suppress the histogram sampling that --stats-json "
+                     "normally implies (for byte-comparing stats "
+                     "against an --exec-mode threaded run, which cannot "
+                     "sample)");
+    }
+    if (groups & kSpecListMonitors) {
+        parser->flag("--list-monitors", &list_monitors,
+                     "list every registered monitoring extension and "
+                     "exit");
+    }
+}
+
+bool
+OutputSpec::handledListMonitors() const
+{
+    if (!list_monitors)
+        return false;
+    std::fputs(listMonitorsText().c_str(), stdout);
+    return true;
+}
+
+bool
+OutputSpec::apply(SystemConfig *config, const char *tool) const
+{
+    if (!exec_mode_name.empty() &&
+        !parseExecMode(exec_mode_name, &config->exec_mode)) {
+        std::fprintf(stderr,
+                     "%s: unknown exec mode '%s' (interp or threaded)\n",
+                     tool, exec_mode_name.c_str());
+        return false;
+    }
+    if (groups_ & kSpecSampling) {
+        config->sample_window = sample_window;
+        config->sample_period = sample_period;
+    }
+    if ((groups_ & kSpecMaxCycles) && max_cycles != 0)
+        config->max_cycles = max_cycles;
+    if (groups_ & kSpecWatchdog)
+        config->watchdog_commits = watchdog_commits;
+    if (no_fast_forward)
+        config->fast_forward = false;
+
+    if (!fault_plan_path.empty()) {
+        std::ifstream plan_file(fault_plan_path);
+        if (!plan_file) {
+            std::fprintf(stderr, "%s: cannot open %s\n", tool,
+                         fault_plan_path.c_str());
+            return false;
+        }
+        std::stringstream plan_text;
+        plan_text << plan_file.rdbuf();
+        std::string error;
+        if (!parseFaultPlan(plan_text.str(), &config->faults, &error)) {
+            std::fprintf(stderr, "%s: %s: %s\n", tool,
+                         fault_plan_path.c_str(), error.c_str());
+            return false;
+        }
+    }
+    for (const std::string &text : inject_specs) {
+        FaultSpec spec;
+        std::string error;
+        if (!parseFaultSpec(text, &spec, &error)) {
+            std::fprintf(stderr, "%s: --inject %s: %s\n", tool,
+                         text.c_str(), error.c_str());
+            return false;
+        }
+        config->faults.specs.push_back(spec);
+    }
+    if (groups_ & kSpecFaults) {
+        if (std::string why = validateFaultPlan(config->faults);
+            !why.empty()) {
+            std::fprintf(stderr, "%s: invalid fault plan: %s\n", tool,
+                         why.c_str());
+            return false;
+        }
+    }
+
+    if (!trace_json_path.empty() && !trace_out_path.empty()) {
+        std::fprintf(stderr,
+                     "%s: --trace-json and --trace-out are mutually "
+                     "exclusive (one trace sink per run)\n",
+                     tool);
+        return false;
+    }
+    // Observability output implies histogram sampling: the JSON should
+    // carry populated occupancy/queue-depth distributions. Threaded
+    // dispatch and sampled timing skip per-cycle bookkeeping, so the
+    // implication is suppressed there (an explicit --trace-json under
+    // sampling still reaches finalize() and is rejected with a typed
+    // error; under threaded it is legal and falls back to the
+    // per-cycle loop).
+    if ((!stats_json_path.empty() || !trace_json_path.empty()) &&
+        !no_histograms && config->exec_mode == ExecMode::kInterp &&
+        config->sample_period == 0) {
+        config->histograms = true;
+    }
+    return true;
+}
+
+bool
+OutputSpec::profileRequested() const
+{
+    return !profile_json_path.empty() || profile_embed ||
+           ((groups_ & kSpecProfileEmbed) && profile_top != 0);
+}
+
+u32
+OutputSpec::effectiveProfileTop() const
+{
+    return profile_top != 0 ? profile_top : 10;
+}
+
+bool
+OutputSpec::jsonOnStdout() const
+{
+    // --trace-json/--trace-out on stdout claim it too: interleaving a
+    // trace document (or a binary FXTR stream) with the simulated
+    // console would corrupt both.
+    return isStdoutPath(stats_json_path) ||
+           isStdoutPath(profile_json_path) ||
+           isStdoutPath(trace_json_path) ||
+           isStdoutPath(trace_out_path);
+}
+
+void
+OutputSpec::configureRequest(
+    SimRequest *request, TraceBuffer *trace_sink,
+    std::optional<TraceStreamWriter> *trace_out) const
+{
+    if (!stats_json_path.empty())
+        request->statsJson();
+    if (profileRequested())
+        request->profileJson(effectiveProfileTop());
+    if (!trace_json_path.empty() && trace_sink)
+        request->trace(trace_sink);
+    if (!trace_out_path.empty() && trace_out) {
+        trace_out->emplace(trace_out_path);
+        request->traceStream(&**trace_out);
+    }
+}
+
+void
+OutputSpec::configureWireRequest(SimRequest *request) const
+{
+    if (!stats_json_path.empty())
+        request->statsJson();
+    if (profileRequested())
+        request->profileJson(effectiveProfileTop());
+    if (!trace_out_path.empty())
+        request->traceFxtr();
+}
+
+void
+OutputSpec::writeOutputs(const SimOutcome &outcome,
+                         TraceBuffer *trace_sink) const
+{
+    if (!stats_json_path.empty())
+        writeTextOrStdout(stats_json_path, outcome.stats_json);
+    if (!profile_json_path.empty())
+        writeTextOrStdout(profile_json_path, outcome.profile_json);
+    if (!trace_json_path.empty() && trace_sink)
+        trace_sink->write(trace_json_path);
+}
+
+}  // namespace flexcore

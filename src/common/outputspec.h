@@ -1,0 +1,137 @@
+/**
+ * @file
+ * OutputSpec: the flag surface the flexcore tools share. Before this
+ * existed, every CLI re-declared (and subtly re-implemented) the same
+ * options — --exec-mode, --sample-window/--sample-period,
+ * --inject/--fault-plan, --watchdog-commits, --stats-json,
+ * --profile-json/--profile-top, --trace-json/--trace-out,
+ * --no-fast-forward/--no-histograms, --list-monitors — so help text,
+ * validation, and the histograms implication drifted between tools.
+ *
+ * A tool now declares which groups it exposes (a bitmask), attaches
+ * them to its cli::Parser, and after parsing calls apply() to resolve
+ * names into a SystemConfig with uniform error reporting. The
+ * configureRequest()/writeOutputs() pair transfers the output selection
+ * onto a SimRequest and writes the artifacts afterwards, and
+ * configureWireRequest() does the same for a request that travels over
+ * the wire to flexcore-serve (where the sinks live server-side).
+ */
+
+#ifndef FLEXCORE_COMMON_OUTPUTSPEC_H_
+#define FLEXCORE_COMMON_OUTPUTSPEC_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/trace_stream.h"
+#include "sim/sim_request.h"
+
+namespace flexcore::cli {
+class Parser;
+}
+
+namespace flexcore {
+
+class TraceBuffer;
+
+/** Flag groups a tool opts into (bitwise-or for OutputSpec::attach). */
+enum : u32 {
+    kSpecExecMode = 1u << 0,      //!< --exec-mode
+    kSpecSampling = 1u << 1,      //!< --sample-window / --sample-period
+    kSpecFaults = 1u << 2,        //!< --inject / --fault-plan
+    kSpecWatchdog = 1u << 3,      //!< --watchdog-commits
+    kSpecMaxCycles = 1u << 4,     //!< --max-cycles
+    kSpecStatsJson = 1u << 5,     //!< --stats-json FILE
+    kSpecProfileFile = 1u << 6,   //!< --profile-json FILE, --profile-top
+    kSpecProfileEmbed = 1u << 7,  //!< --profile-json flag, --profile-top
+    kSpecTrace = 1u << 8,         //!< --trace-json / --trace-out
+    kSpecFastForward = 1u << 9,   //!< --no-fast-forward
+    kSpecHistograms = 1u << 10,   //!< --no-histograms
+    kSpecListMonitors = 1u << 11, //!< --list-monitors
+};
+
+class OutputSpec
+{
+  public:
+    /**
+     * Declare the selected flag @p groups on @p parser. Call once,
+     * before parseOrExit(); defaults may be preset on the public
+     * members first (e.g. faultcov's 50 000-commit watchdog).
+     */
+    void attach(cli::Parser *parser, u32 groups);
+
+    /**
+     * Handle --list-monitors: when given, print the registry listing
+     * to stdout and return true (the tool should exit 0).
+     */
+    bool handledListMonitors() const;
+
+    /**
+     * Resolve the parsed values into @p config: exec-mode name,
+     * sampling parameters, watchdog/cycle limits, fast-forward, the
+     * fault plan (file + --inject specs, validated), the
+     * --trace-json/--trace-out exclusivity check, and the histograms
+     * implication (a stats/trace JSON request on an unsampled interp
+     * run turns on histogram sampling unless --no-histograms).
+     * Returns false after printing a "tool: why" line to stderr; the
+     * caller should exit 2.
+     */
+    bool apply(SystemConfig *config, const char *tool) const;
+
+    /** Any profile output requested (file path or embed flag)? */
+    bool profileRequested() const;
+
+    /** --profile-top with the shared default of 10 applied. */
+    u32 effectiveProfileTop() const;
+
+    /** True when a "-" output claims stdout (console must move). */
+    bool jsonOnStdout() const;
+
+    /**
+     * Transfer the output selection onto a local @p request and attach
+     * the caller-owned trace sinks: @p trace_sink backs --trace-json,
+     * @p trace_out is emplaced for --trace-out (pass nulls for tools
+     * without the trace group).
+     */
+    void configureRequest(SimRequest *request, TraceBuffer *trace_sink,
+                          std::optional<TraceStreamWriter> *trace_out)
+        const;
+
+    /**
+     * Transfer the output selection onto a request bound for
+     * flexcore-serve: statsJson/profileJson become response fields and
+     * --trace-out becomes a traceFxtr request (the server renders into
+     * memory and ships the bytes back in a second frame).
+     */
+    void configureWireRequest(SimRequest *request) const;
+
+    /** Write the requested artifacts after the run ("-" = stdout). */
+    void writeOutputs(const SimOutcome &outcome,
+                      TraceBuffer *trace_sink) const;
+
+    // Raw parsed values; tools read what they need after parseOrExit.
+    std::string exec_mode_name;
+    u64 sample_window = 0;
+    u64 sample_period = 0;
+    std::vector<std::string> inject_specs;
+    std::string fault_plan_path;
+    u64 watchdog_commits = 0;
+    u64 max_cycles = 0;   //!< 0 = keep the config default
+    std::string stats_json_path;
+    std::string profile_json_path;
+    bool profile_embed = false;
+    u32 profile_top = 0;   //!< 0 = the shared default of 10
+    std::string trace_json_path;
+    std::string trace_out_path;
+    bool no_fast_forward = false;
+    bool no_histograms = false;
+    bool list_monitors = false;
+
+  private:
+    u32 groups_ = 0;
+};
+
+}  // namespace flexcore
+
+#endif  // FLEXCORE_COMMON_OUTPUTSPEC_H_

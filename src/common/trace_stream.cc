@@ -1,5 +1,6 @@
 #include "common/trace_stream.h"
 
+#include <algorithm>
 #include <cinttypes>
 #include <cstring>
 
@@ -39,9 +40,26 @@ load64(const u8 *p)
 TraceStreamWriter::TraceStreamWriter(const std::string &path)
     : path_(path)
 {
-    file_ = std::fopen(path.c_str(), "wb");
-    if (!file_)
-        FLEX_FATAL("cannot open '", path, "' for writing");
+    if (path == "-") {
+        file_ = stdout;
+    } else {
+        file_ = std::fopen(path.c_str(), "wb");
+        if (!file_)
+            FLEX_FATAL("cannot open '", path, "' for writing");
+        close_file_ = true;
+    }
+    writeHeader();
+}
+
+TraceStreamWriter::TraceStreamWriter(std::string *sink)
+    : path_("<memory>"), sink_(sink)
+{
+    writeHeader();
+}
+
+void
+TraceStreamWriter::writeHeader()
+{
     buffer_.reserve(kFlushBytes + 512);
     buffer_.insert(buffer_.end(), kTraceMagic, kTraceMagic + 4);
     put32(kTraceVersion);
@@ -101,9 +119,16 @@ TraceStreamWriter::flushBuffer()
 {
     if (buffer_.empty())
         return;
+    if (sink_) {
+        sink_->append(reinterpret_cast<const char *>(buffer_.data()),
+                      buffer_.size());
+        buffer_.clear();
+        return;
+    }
     if (std::fwrite(buffer_.data(), 1, buffer_.size(), file_) !=
         buffer_.size()) {
-        std::fclose(file_);
+        if (close_file_)
+            std::fclose(file_);
         file_ = nullptr;
         FLEX_FATAL("short write to '", path_, "'");
     }
@@ -223,7 +248,7 @@ TraceStreamWriter::finish()
     if (finished_)
         return;
     finished_ = true;
-    if (!file_)
+    if (!file_ && !sink_)
         return;
     beginRecord(TraceRecordType::kSummary);
     put64(records_);   // record count *before* this footer
@@ -231,8 +256,14 @@ TraceStreamWriter::finish()
     put64(last_ts_);
     endRecord();
     flushBuffer();
-    std::fclose(file_);
-    file_ = nullptr;
+    if (file_) {
+        if (close_file_)
+            std::fclose(file_);
+        else
+            std::fflush(file_);   // stdout stays open for the caller
+        file_ = nullptr;
+    }
+    sink_ = nullptr;
 }
 
 // ---------------------------------------------------------------------------
@@ -240,13 +271,30 @@ TraceStreamWriter::finish()
 
 TraceReader::TraceReader(const std::string &path)
 {
-    file_ = std::fopen(path.c_str(), "rb");
-    if (!file_) {
-        error_ = "cannot open '" + path + "'";
-        return;
+    if (path == "-") {
+        file_ = stdin;
+    } else {
+        file_ = std::fopen(path.c_str(), "rb");
+        if (!file_) {
+            error_ = "cannot open '" + path + "'";
+            return;
+        }
+        close_file_ = true;
     }
+    readHeader();
+}
+
+TraceReader::TraceReader(const void *data, size_t size)
+    : mem_(static_cast<const u8 *>(data)), mem_size_(size)
+{
+    readHeader();
+}
+
+void
+TraceReader::readHeader()
+{
     u8 header[8];
-    if (std::fread(header, 1, sizeof(header), file_) != sizeof(header)) {
+    if (readBytes(header, sizeof(header)) != sizeof(header)) {
         fail("truncated header");
         return;
     }
@@ -261,8 +309,28 @@ TraceReader::TraceReader(const std::string &path)
 
 TraceReader::~TraceReader()
 {
-    if (file_)
+    if (file_ && close_file_)
         std::fclose(file_);
+}
+
+size_t
+TraceReader::readBytes(void *out, size_t n)
+{
+    if (mem_) {
+        const size_t take = std::min(n, mem_size_ - mem_pos_);
+        std::memcpy(out, mem_ + mem_pos_, take);
+        mem_pos_ += take;
+        return take;
+    }
+    return std::fread(out, 1, n, file_);
+}
+
+bool
+TraceReader::atEnd() const
+{
+    if (mem_)
+        return mem_pos_ >= mem_size_;
+    return std::feof(file_) != 0;
 }
 
 bool
@@ -284,12 +352,12 @@ TraceReader::internedName(u16 id)
 bool
 TraceReader::next(TraceRecord *out)
 {
-    if (!file_ || !error_.empty())
+    if ((!file_ && !mem_) || !error_.empty())
         return false;
     for (;;) {
         u8 len_bytes[2];
-        const size_t got = std::fread(len_bytes, 1, 2, file_);
-        if (got == 0 && std::feof(file_))
+        const size_t got = readBytes(len_bytes, 2);
+        if (got == 0 && atEnd())
             return false;   // clean end of stream
         if (got != 2)
             return fail("truncated record length");
@@ -297,7 +365,7 @@ TraceReader::next(TraceRecord *out)
         if (len < 1)
             return fail("empty record");
         u8 payload[0xffff];
-        if (std::fread(payload, 1, len, file_) != len)
+        if (readBytes(payload, len) != len)
             return fail("truncated record payload");
         ++records_read_;
         const TraceRecordType type =

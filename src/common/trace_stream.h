@@ -88,8 +88,17 @@ inline constexpr u32 kTraceVersion = 1;
 class TraceStreamWriter final : public TraceSink
 {
   public:
-    /** Opens @p path for writing and emits the header. */
+    /** Opens @p path ("-" = stdout, switched to binary) for writing and
+     * emits the header. */
     explicit TraceStreamWriter(const std::string &path);
+    /**
+     * Memory-sink mode: append the encoded stream to @p sink instead of
+     * a file — how flexcore-serve ships a requested trace back over the
+     * socket without touching the filesystem. @p sink must outlive the
+     * writer; its final contents (after finish()) are byte-identical to
+     * a file written from the same run.
+     */
+    explicit TraceStreamWriter(std::string *sink);
     ~TraceStreamWriter() override;
 
     TraceStreamWriter(const TraceStreamWriter &) = delete;
@@ -119,8 +128,12 @@ class TraceStreamWriter final : public TraceSink
     void put32(u32 v);
     void put64(u64 v);
 
+    void writeHeader();
+
     std::string path_;
     std::FILE *file_ = nullptr;
+    bool close_file_ = false;     //!< false for stdout / memory sinks
+    std::string *sink_ = nullptr; //!< memory-sink mode when non-null
     std::vector<u8> buffer_;    //!< pending bytes, flushed at capacity
     std::vector<u8> scratch_;   //!< the record being encoded
     u64 records_ = 0;
@@ -156,9 +169,12 @@ struct TraceRecord
 class TraceReader
 {
   public:
-    /** Open @p path; on failure returns with valid() == false and an
-     * explanation in error(). */
+    /** Open @p path ("-" = stdin, switched to binary); on failure
+     * returns with valid() == false and an explanation in error(). */
     explicit TraceReader(const std::string &path);
+    /** Decode an in-memory stream (the bytes a memory-sink writer or a
+     * serve response produced). @p data must outlive the reader. */
+    TraceReader(const void *data, size_t size);
     ~TraceReader();
 
     TraceReader(const TraceReader &) = delete;
@@ -180,8 +196,16 @@ class TraceReader
   private:
     const char *internedName(u16 id);
     bool fail(const std::string &why);
+    /** Read up to @p n bytes from the file or the memory buffer. */
+    size_t readBytes(void *out, size_t n);
+    bool atEnd() const;
+    void readHeader();
 
     std::FILE *file_ = nullptr;
+    bool close_file_ = false;       //!< false for stdin / memory input
+    const u8 *mem_ = nullptr;       //!< memory-input mode when non-null
+    size_t mem_size_ = 0;
+    size_t mem_pos_ = 0;
     std::string error_;
     u64 records_read_ = 0;
     /** id -> name; deque keeps addresses stable as it grows. */

@@ -454,29 +454,35 @@ parseFaultPlan(std::string_view text, FaultPlan *out, std::string *error)
 }
 
 std::string
+faultSpecJson(const FaultSpec &spec)
+{
+    char buf[160];
+    std::snprintf(
+        buf, sizeof(buf),
+        "{\"kind\": \"%s\", \"trigger\": \"%s\", \"when\": %llu, "
+        "\"target\": %u, \"bit\": %u",
+        std::string(faultKindName(spec.kind)).c_str(),
+        spec.trigger == FaultTrigger::kCycle ? "cycle" : "commit",
+        static_cast<unsigned long long>(spec.when), spec.target,
+        spec.bit);
+    std::string out = buf;
+    if (spec.kind == FaultKind::kFfifoFlip) {
+        out += ", \"field\": \"";
+        out += packetFieldName(spec.field);
+        out += "\"";
+    }
+    out += "}";
+    return out;
+}
+
+std::string
 faultPlanJson(const FaultPlan &plan)
 {
     std::string out = "{\"faults\": [";
     for (size_t i = 0; i < plan.specs.size(); ++i) {
-        const FaultSpec &spec = plan.specs[i];
         if (i > 0)
             out += ", ";
-        char buf[160];
-        std::snprintf(
-            buf, sizeof(buf),
-            "{\"kind\": \"%s\", \"trigger\": \"%s\", \"when\": %llu, "
-            "\"target\": %u, \"bit\": %u",
-            std::string(faultKindName(spec.kind)).c_str(),
-            spec.trigger == FaultTrigger::kCycle ? "cycle" : "commit",
-            static_cast<unsigned long long>(spec.when), spec.target,
-            spec.bit);
-        out += buf;
-        if (spec.kind == FaultKind::kFfifoFlip) {
-            out += ", \"field\": \"";
-            out += packetFieldName(spec.field);
-            out += "\"";
-        }
-        out += "}";
+        out += faultSpecJson(plan.specs[i]);
     }
     out += "]}";
     return out;

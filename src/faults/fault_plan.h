@@ -111,6 +111,9 @@ bool parseFaultPlan(std::string_view text, FaultPlan *out,
 /** Canonical JSON rendering of a plan (inverse of the JSON parse). */
 std::string faultPlanJson(const FaultPlan &plan);
 
+/** One spec as a JSON object (the element shape of faultPlanJson). */
+std::string faultSpecJson(const FaultSpec &spec);
+
 /**
  * Static validation: bit widths per kind (32 for kRegFlip/kFfifoFlip,
  * 8 for shadow/memory/meta flips), register targets below the physical

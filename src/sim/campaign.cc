@@ -7,6 +7,7 @@
 #include <mutex>
 #include <set>
 
+#include "common/ioutil.h"
 #include "common/jsonutil.h"
 #include "common/log.h"
 #include "common/threadpool.h"
@@ -332,15 +333,10 @@ void
 writeCampaignJson(const std::string &path, std::string_view name,
                   const std::vector<CampaignResult> &results)
 {
-    std::FILE *file = std::fopen(path.c_str(), "w");
-    if (!file)
-        FLEX_FATAL("cannot open '", path, "' for writing");
-    const std::string json = campaignJson(name, results);
-    if (std::fwrite(json.data(), 1, json.size(), file) != json.size()) {
-        std::fclose(file);
-        FLEX_FATAL("short write to '", path, "'");
-    }
-    std::fclose(file);
+    // The document already ends in a newline, so the shared writer's
+    // trailing-newline normalization keeps existing files byte-stable
+    // while adding the "-" = stdout convention.
+    writeTextOrStdout(path, campaignJson(name, results));
 }
 
 }  // namespace flexcore

@@ -130,7 +130,8 @@ const CampaignResult *findResult(
 std::string campaignJson(std::string_view name,
                          const std::vector<CampaignResult> &results);
 
-/** Write campaignJson to @p path (FLEX_FATAL on I/O failure). */
+/** Write campaignJson to @p path ("-" = stdout; FLEX_FATAL on I/O
+ * failure). */
 void writeCampaignJson(const std::string &path, std::string_view name,
                        const std::vector<CampaignResult> &results);
 

@@ -89,6 +89,32 @@ parseExecMode(std::string_view name, ExecMode *mode)
     return false;
 }
 
+bool
+parseImplMode(std::string_view name, ImplMode *mode)
+{
+    static constexpr ImplMode kAll[] = {
+        ImplMode::kBaseline, ImplMode::kAsic, ImplMode::kFlexFabric,
+        ImplMode::kSoftware};
+    for (ImplMode candidate : kAll) {
+        const std::string_view want = implModeName(candidate);
+        if (name.size() != want.size())
+            continue;
+        bool match = true;
+        for (size_t i = 0; i < name.size(); ++i) {
+            if (std::tolower(static_cast<unsigned char>(name[i])) !=
+                want[i]) {
+                match = false;
+                break;
+            }
+        }
+        if (match) {
+            *mode = candidate;
+            return true;
+        }
+    }
+    return false;
+}
+
 std::unique_ptr<Monitor>
 makeMonitor(MonitorKind kind, unsigned dift_tag_bits)
 {
@@ -135,8 +161,59 @@ configErrorName(ConfigError::Code code)
         return "sampling_exec_mode";
       case ConfigError::Code::kSamplingSoftware:
         return "sampling_software";
+      case ConfigError::Code::kBadRequest: return "bad_request";
+      case ConfigError::Code::kBadVersion: return "bad_version";
+      case ConfigError::Code::kBadMonitor: return "bad_monitor";
+      case ConfigError::Code::kBadImplMode: return "bad_impl_mode";
+      case ConfigError::Code::kBadExecMode: return "bad_exec_mode";
+      case ConfigError::Code::kBadWorkload: return "bad_workload";
+      case ConfigError::Code::kBadSource: return "bad_source";
     }
     return "?";
+}
+
+bool
+parseConfigErrorName(std::string_view name, ConfigError::Code *code)
+{
+    static constexpr ConfigError::Code kAll[] = {
+        ConfigError::Code::kNone,
+        ConfigError::Code::kMissingMonitor,
+        ConfigError::Code::kMonitorOnBaseline,
+        ConfigError::Code::kBadDiftTagBits,
+        ConfigError::Code::kStrayFlexPeriod,
+        ConfigError::Code::kBadCycleLimit,
+        ConfigError::Code::kBadWatchdog,
+        ConfigError::Code::kBadFaultPlan,
+        ConfigError::Code::kBadSampleWindow,
+        ConfigError::Code::kThreadedHistograms,
+        ConfigError::Code::kSamplingHistograms,
+        ConfigError::Code::kSamplingTrace,
+        ConfigError::Code::kSamplingExecMode,
+        ConfigError::Code::kSamplingSoftware,
+        ConfigError::Code::kBadRequest,
+        ConfigError::Code::kBadVersion,
+        ConfigError::Code::kBadMonitor,
+        ConfigError::Code::kBadImplMode,
+        ConfigError::Code::kBadExecMode,
+        ConfigError::Code::kBadWorkload,
+        ConfigError::Code::kBadSource,
+    };
+    for (ConfigError::Code candidate : kAll) {
+        if (name == configErrorName(candidate)) {
+            *code = candidate;
+            return true;
+        }
+    }
+    return false;
+}
+
+ConfigError
+makeConfigError(ConfigError::Code code, std::string message)
+{
+    ConfigError error;
+    error.code = code;
+    error.message = std::move(message);
+    return error;
 }
 
 namespace {
@@ -144,10 +221,7 @@ namespace {
 ConfigError
 configError(ConfigError::Code code, std::string message)
 {
-    ConfigError error;
-    error.code = code;
-    error.message = std::move(message);
-    return error;
+    return makeConfigError(code, std::move(message));
 }
 
 }  // namespace

@@ -55,6 +55,9 @@ std::string_view execModeName(ExecMode mode);
 /** Case-insensitive parse of "interp" / "threaded". */
 bool parseExecMode(std::string_view name, ExecMode *mode);
 
+/** Case-insensitive parse of "baseline"/"asic"/"flexcore"/"software". */
+bool parseImplMode(std::string_view name, ImplMode *mode);
+
 /**
  * Case-insensitive parse of a monitor name ("none", any canonical
  * extension name, or a registered alias such as "refcount"). Returns
@@ -99,6 +102,15 @@ struct ConfigError
         kSamplingTrace,     //!< sampled timing + trace-event capture
         kSamplingExecMode,  //!< sampled timing + non-default exec_mode
         kSamplingSoftware,  //!< sampled timing + software instrumentation
+
+        // ---- Wire-schema (SimRequest JSON) request errors ----
+        kBadRequest,        //!< malformed JSON or schema violation
+        kBadVersion,        //!< missing/unsupported "v" field
+        kBadMonitor,        //!< unknown monitor name
+        kBadImplMode,       //!< unknown implementation-mode name
+        kBadExecMode,       //!< unknown exec-mode name
+        kBadWorkload,       //!< unknown workload name or scale
+        kBadSource,         //!< request source fails to assemble
     };
 
     Code code = Code::kNone;
@@ -108,6 +120,18 @@ struct ConfigError
 };
 
 std::string_view configErrorName(ConfigError::Code code);
+
+/**
+ * Inverse of configErrorName (exact match; "none" maps to kNone).
+ * Returns false for unknown names — used when decoding a SimResponse
+ * received over the wire.
+ */
+bool parseConfigErrorName(std::string_view name,
+                          ConfigError::Code *code);
+
+/** Build a ConfigError in one expression (falsy iff code is kNone). */
+ConfigError makeConfigError(ConfigError::Code code,
+                            std::string message);
 
 struct SystemConfig
 {

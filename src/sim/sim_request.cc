@@ -1,17 +1,546 @@
 #include "sim/sim_request.h"
 
 #include "assembler/assembler.h"
+#include "common/json.h"
+#include "common/jsonutil.h"
 #include "common/log.h"
 #include "core/profile.h"
 
 namespace flexcore {
+
+SimRequest &
+SimRequest::workloadByName(std::string_view name, WorkloadScale scale)
+{
+    Workload wl;
+    if (!makeWorkload(name, scale, &wl)) {
+        FLEX_FATAL("unknown workload '", std::string(name), "' (known: ",
+                   knownWorkloadNames(), ")");
+    }
+    workload_ = std::move(wl);
+    workload_name_ = std::string(name);
+    workload_scale_ = scale;
+    verify_ = true;
+    return *this;
+}
+
+const std::string *
+SimRequest::sourceText() const
+{
+    if (workload_)
+        return &workload_->source;
+    if (source_)
+        return &*source_;
+    return nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// Wire schema v1
+//
+// {"v": 1,
+//  "config": {"monitor": ..., "mode": ..., "exec_mode": ...,
+//             "flex_period": N, "dift_tag_bits": N, "fifo_depth": N,
+//             "mcache_bytes": N, "icache_bytes": N, "dcache_bytes": N,
+//             "precise_exceptions": B, "histograms": B,
+//             "fast_forward": B, "max_cycles": N, "watchdog_commits": N,
+//             "sample_window": N, "sample_period": N, "fault_rate": F,
+//             "fault_seed": N, "faults": [...]},
+//  "input": {"workload": "...", "scale": "..."} | {"source": "..."},
+//  "verify": B,
+//  "output": {"stats": [...], "stats_json": B, "stats_dump": B,
+//             "profile_top": N, "trace_fxtr": B}}
+//
+// toJson always emits every field in this order; fromJson treats every
+// field except "v" and "input" as optional (omitted = default) and
+// rejects unknown keys, so typos fail loudly instead of silently
+// running a different experiment.
+
+std::string
+SimRequest::toJson() const
+{
+    if (program_)
+        FLEX_FATAL("SimRequest::toJson: a raw program() image is not "
+                   "serializable; use source() or workloadByName()");
+    if (workload_ && workload_name_.empty())
+        FLEX_FATAL("SimRequest::toJson: an ad-hoc workload() object is "
+                   "not serializable; use workloadByName()");
+    if (!workload_ && !source_)
+        FLEX_FATAL("SimRequest::toJson: request has no serializable "
+                   "input (source or named workload)");
+    if (trace_ || trace_stream_ || profile_ || tracer_)
+        FLEX_FATAL("SimRequest::toJson: attached sinks/hooks are "
+                   "process-local and not serializable; request wire "
+                   "outputs via statsJson()/profileJson()/traceFxtr()");
+
+    std::string out;
+    out.reserve(512);
+    out += "{\"v\": " + std::to_string(kWireVersion);
+
+    out += ", \"config\": {\"monitor\": \"";
+    out += monitorKindName(config_.monitor);
+    out += "\", \"mode\": \"";
+    out += implModeName(config_.mode);
+    out += "\", \"exec_mode\": \"";
+    out += execModeName(config_.exec_mode);
+    out += "\", \"flex_period\": " + std::to_string(config_.flex_period);
+    out += ", \"dift_tag_bits\": " +
+           std::to_string(config_.dift_tag_bits);
+    out += ", \"fifo_depth\": " +
+           std::to_string(config_.iface.fifo_depth);
+    out += ", \"mcache_bytes\": " +
+           std::to_string(config_.fabric.meta_cache.size_bytes);
+    out += ", \"icache_bytes\": " +
+           std::to_string(config_.core.icache.size_bytes);
+    out += ", \"dcache_bytes\": " +
+           std::to_string(config_.core.dcache.size_bytes);
+    out += std::string(", \"precise_exceptions\": ") +
+           (config_.precise_exceptions ? "true" : "false");
+    out += std::string(", \"histograms\": ") +
+           (config_.histograms ? "true" : "false");
+    out += std::string(", \"fast_forward\": ") +
+           (config_.fast_forward ? "true" : "false");
+    out += ", \"max_cycles\": " + std::to_string(config_.max_cycles);
+    out += ", \"watchdog_commits\": " +
+           std::to_string(config_.watchdog_commits);
+    out += ", \"sample_window\": " +
+           std::to_string(config_.sample_window);
+    out += ", \"sample_period\": " +
+           std::to_string(config_.sample_period);
+    out += ", \"fault_rate\": " + jsonDouble(config_.fault_rate);
+    out += ", \"fault_seed\": " + std::to_string(config_.fault_seed);
+    out += ", \"faults\": [";
+    for (size_t i = 0; i < config_.faults.specs.size(); ++i) {
+        if (i > 0)
+            out += ", ";
+        out += faultSpecJson(config_.faults.specs[i]);
+    }
+    out += "]}";
+
+    out += ", \"input\": {";
+    if (!workload_name_.empty()) {
+        out += "\"workload\": \"" + jsonEscape(workload_name_) +
+               "\", \"scale\": \"";
+        out += workloadScaleName(workload_scale_);
+        out += "\"";
+    } else {
+        out += "\"source\": \"" + jsonEscape(*source_) + "\"";
+    }
+    out += "}";
+
+    out += std::string(", \"verify\": ") + (verify_ ? "true" : "false");
+
+    out += ", \"output\": {\"stats\": [";
+    for (size_t i = 0; i < stat_paths_.size(); ++i) {
+        if (i > 0)
+            out += ", ";
+        out += "\"" + jsonEscape(stat_paths_[i]) + "\"";
+    }
+    out += "]";
+    out += std::string(", \"stats_json\": ") +
+           (stats_json_ ? "true" : "false");
+    out += std::string(", \"stats_dump\": ") +
+           (stats_dump_ ? "true" : "false");
+    out += ", \"profile_top\": " + std::to_string(profile_top_);
+    out += std::string(", \"trace_fxtr\": ") +
+           (trace_fxtr_ ? "true" : "false");
+    out += "}}";
+    return out;
+}
+
+namespace {
+
+bool
+wireFail(ConfigError *error, ConfigError::Code code, std::string why)
+{
+    if (error)
+        *error = makeConfigError(code, std::move(why));
+    return false;
+}
+
+bool
+badRequest(ConfigError *error, std::string why)
+{
+    return wireFail(error, ConfigError::Code::kBadRequest,
+                    std::move(why));
+}
+
+bool
+getBool(const JsonValue &v, std::string_view key, bool *out,
+        ConfigError *error)
+{
+    if (!v.isBool()) {
+        return badRequest(error, "\"" + std::string(key) +
+                                     "\" must be a boolean");
+    }
+    *out = v.boolean;
+    return true;
+}
+
+bool
+getU64(const JsonValue &v, std::string_view key, u64 *out,
+       ConfigError *error)
+{
+    if (!v.isNumber() || !v.is_uint) {
+        return badRequest(error, "\"" + std::string(key) +
+                                     "\" must be a non-negative integer");
+    }
+    *out = v.uint;
+    return true;
+}
+
+bool
+getU32(const JsonValue &v, std::string_view key, u32 *out,
+       ConfigError *error)
+{
+    u64 wide = 0;
+    if (!getU64(v, key, &wide, error))
+        return false;
+    if (wide > 0xffffffffULL) {
+        return badRequest(error, "\"" + std::string(key) +
+                                     "\" does not fit in 32 bits");
+    }
+    *out = static_cast<u32>(wide);
+    return true;
+}
+
+bool
+getString(const JsonValue &v, std::string_view key, std::string *out,
+          ConfigError *error)
+{
+    if (!v.isString()) {
+        return badRequest(error, "\"" + std::string(key) +
+                                     "\" must be a string");
+    }
+    *out = v.str;
+    return true;
+}
+
+bool
+parseWireFaultSpec(const JsonValue &v, FaultSpec *out,
+                   ConfigError *error)
+{
+    if (!v.isObject())
+        return badRequest(error, "each fault must be an object");
+    bool have_kind = false;
+    bool have_when = false;
+    for (const auto &[key, value] : v.object) {
+        if (key == "kind") {
+            std::string name;
+            if (!getString(value, key, &name, error))
+                return false;
+            if (!parseFaultKind(name, &out->kind)) {
+                return badRequest(error,
+                                  "unknown fault kind \"" + name + "\"");
+            }
+            have_kind = true;
+        } else if (key == "trigger") {
+            std::string name;
+            if (!getString(value, key, &name, error))
+                return false;
+            if (name == "cycle") {
+                out->trigger = FaultTrigger::kCycle;
+            } else if (name == "commit") {
+                out->trigger = FaultTrigger::kCommit;
+            } else {
+                return badRequest(error, "fault trigger must be "
+                                         "\"cycle\" or \"commit\"");
+            }
+        } else if (key == "when") {
+            if (!getU64(value, key, &out->when, error))
+                return false;
+            have_when = true;
+        } else if (key == "target") {
+            if (!getU32(value, key, &out->target, error))
+                return false;
+        } else if (key == "bit") {
+            if (!getU32(value, key, &out->bit, error))
+                return false;
+        } else if (key == "field") {
+            std::string name;
+            if (!getString(value, key, &name, error))
+                return false;
+            if (!parsePacketField(name, &out->field)) {
+                return badRequest(
+                    error, "unknown packet field \"" + name + "\"");
+            }
+        } else {
+            return badRequest(error,
+                              "unknown fault key \"" + key + "\"");
+        }
+    }
+    if (!have_kind || !have_when)
+        return badRequest(error, "a fault needs \"kind\" and \"when\"");
+    return true;
+}
+
+bool
+parseWireConfig(const JsonValue &v, SystemConfig *config,
+                ConfigError *error)
+{
+    if (!v.isObject())
+        return badRequest(error, "\"config\" must be an object");
+    for (const auto &[key, value] : v.object) {
+        if (key == "monitor") {
+            std::string name;
+            if (!getString(value, key, &name, error))
+                return false;
+            if (!parseMonitorKind(name, &config->monitor)) {
+                return wireFail(error, ConfigError::Code::kBadMonitor,
+                                "unknown monitor \"" + name + "\"");
+            }
+        } else if (key == "mode") {
+            std::string name;
+            if (!getString(value, key, &name, error))
+                return false;
+            if (!parseImplMode(name, &config->mode)) {
+                return wireFail(error, ConfigError::Code::kBadImplMode,
+                                "unknown mode \"" + name + "\"");
+            }
+        } else if (key == "exec_mode") {
+            std::string name;
+            if (!getString(value, key, &name, error))
+                return false;
+            if (!parseExecMode(name, &config->exec_mode)) {
+                return wireFail(error, ConfigError::Code::kBadExecMode,
+                                "unknown exec_mode \"" + name + "\"");
+            }
+        } else if (key == "flex_period") {
+            if (!getU32(value, key, &config->flex_period, error))
+                return false;
+        } else if (key == "dift_tag_bits") {
+            if (!getU32(value, key, &config->dift_tag_bits, error))
+                return false;
+        } else if (key == "fifo_depth") {
+            if (!getU32(value, key, &config->iface.fifo_depth, error))
+                return false;
+        } else if (key == "mcache_bytes") {
+            if (!getU32(value, key, &config->fabric.meta_cache.size_bytes,
+                        error))
+                return false;
+        } else if (key == "icache_bytes") {
+            if (!getU32(value, key, &config->core.icache.size_bytes,
+                        error))
+                return false;
+        } else if (key == "dcache_bytes") {
+            if (!getU32(value, key, &config->core.dcache.size_bytes,
+                        error))
+                return false;
+        } else if (key == "precise_exceptions") {
+            if (!getBool(value, key, &config->precise_exceptions, error))
+                return false;
+        } else if (key == "histograms") {
+            if (!getBool(value, key, &config->histograms, error))
+                return false;
+        } else if (key == "fast_forward") {
+            if (!getBool(value, key, &config->fast_forward, error))
+                return false;
+        } else if (key == "max_cycles") {
+            if (!getU64(value, key, &config->max_cycles, error))
+                return false;
+        } else if (key == "watchdog_commits") {
+            if (!getU64(value, key, &config->watchdog_commits, error))
+                return false;
+        } else if (key == "sample_window") {
+            if (!getU64(value, key, &config->sample_window, error))
+                return false;
+        } else if (key == "sample_period") {
+            if (!getU64(value, key, &config->sample_period, error))
+                return false;
+        } else if (key == "fault_rate") {
+            if (!value.isNumber() || value.num < 0) {
+                return badRequest(error, "\"fault_rate\" must be a "
+                                         "non-negative number");
+            }
+            config->fault_rate = value.num;
+        } else if (key == "fault_seed") {
+            if (!getU64(value, key, &config->fault_seed, error))
+                return false;
+        } else if (key == "faults") {
+            if (!value.isArray())
+                return badRequest(error, "\"faults\" must be an array");
+            for (const JsonValue &element : value.array) {
+                FaultSpec spec;
+                if (!parseWireFaultSpec(element, &spec, error))
+                    return false;
+                config->faults.specs.push_back(spec);
+            }
+        } else {
+            return badRequest(error,
+                              "unknown config key \"" + key + "\"");
+        }
+    }
+    return true;
+}
+
+}  // namespace
+
+bool
+SimRequest::fromJson(std::string_view text, SimRequest *out,
+                     ConfigError *error)
+{
+    JsonValue doc;
+    std::string parse_error;
+    if (!parseJson(text, &doc, &parse_error))
+        return badRequest(error, parse_error);
+    return fromJson(doc, out, error);
+}
+
+bool
+SimRequest::fromJson(const JsonValue &doc, SimRequest *out,
+                     ConfigError *error)
+{
+    if (!doc.isObject())
+        return badRequest(error, "request must be a JSON object");
+
+    const JsonValue *v = nullptr;
+    const JsonValue *config = nullptr;
+    const JsonValue *input = nullptr;
+    const JsonValue *verify = nullptr;
+    const JsonValue *output = nullptr;
+    for (const auto &[key, value] : doc.object) {
+        if (key == "v")
+            v = &value;
+        else if (key == "config")
+            config = &value;
+        else if (key == "input")
+            input = &value;
+        else if (key == "verify")
+            verify = &value;
+        else if (key == "output")
+            output = &value;
+        else
+            return badRequest(error,
+                              "unknown request key \"" + key + "\"");
+    }
+
+    if (!v || !v->isNumber() || !v->is_uint) {
+        return wireFail(error, ConfigError::Code::kBadVersion,
+                        "request needs an integer \"v\" version field");
+    }
+    if (v->uint != kWireVersion) {
+        return wireFail(error, ConfigError::Code::kBadVersion,
+                        "unsupported request version " +
+                            std::to_string(v->uint) + " (this build "
+                            "speaks version " +
+                            std::to_string(kWireVersion) + ")");
+    }
+
+    SimRequest req;
+    if (config && !parseWireConfig(*config, &req.config_, error))
+        return false;
+
+    if (!input)
+        return badRequest(error, "request needs an \"input\" object");
+    if (!input->isObject())
+        return badRequest(error, "\"input\" must be an object");
+    std::string workload_name;
+    std::string scale_name;
+    bool have_scale = false;
+    for (const auto &[key, value] : input->object) {
+        if (key == "workload") {
+            if (!getString(value, key, &workload_name, error))
+                return false;
+        } else if (key == "scale") {
+            if (!getString(value, key, &scale_name, error))
+                return false;
+            have_scale = true;
+        } else if (key == "source") {
+            std::string source;
+            if (!getString(value, key, &source, error))
+                return false;
+            req.source_ = std::move(source);
+        } else {
+            return badRequest(error,
+                              "unknown input key \"" + key + "\"");
+        }
+    }
+    if (!workload_name.empty()) {
+        if (req.source_) {
+            return badRequest(error, "input has both \"workload\" and "
+                                     "\"source\"; pick one");
+        }
+        WorkloadScale scale = WorkloadScale::kTest;
+        if (have_scale && !parseWorkloadScale(scale_name, &scale)) {
+            return wireFail(error, ConfigError::Code::kBadWorkload,
+                            "unknown workload scale \"" + scale_name +
+                                "\" (use \"test\" or \"full\")");
+        }
+        Workload wl;
+        if (!makeWorkload(workload_name, scale, &wl)) {
+            return wireFail(error, ConfigError::Code::kBadWorkload,
+                            "unknown workload \"" + workload_name +
+                                "\" (known: " + knownWorkloadNames() +
+                                ")");
+        }
+        req.workload_ = std::move(wl);
+        req.workload_name_ = workload_name;
+        req.workload_scale_ = scale;
+        req.verify_ = true;
+    } else if (have_scale) {
+        return badRequest(error,
+                          "\"scale\" is only meaningful with a "
+                          "\"workload\" input");
+    } else if (!req.source_) {
+        return badRequest(error, "input needs a \"workload\" name or a "
+                                 "\"source\" string");
+    }
+
+    if (verify && !getBool(*verify, "verify", &req.verify_, error))
+        return false;
+    if (req.verify_ && !req.workload_) {
+        return badRequest(error, "\"verify\" requires a workload input "
+                                 "(the golden output comes from it)");
+    }
+
+    if (output) {
+        if (!output->isObject())
+            return badRequest(error, "\"output\" must be an object");
+        for (const auto &[key, value] : output->object) {
+            if (key == "stats") {
+                if (!value.isArray()) {
+                    return badRequest(error,
+                                      "\"stats\" must be an array");
+                }
+                for (const JsonValue &element : value.array) {
+                    std::string path;
+                    if (!getString(element, "stats[]", &path, error))
+                        return false;
+                    req.stat_paths_.push_back(std::move(path));
+                }
+            } else if (key == "stats_json") {
+                if (!getBool(value, key, &req.stats_json_, error))
+                    return false;
+            } else if (key == "stats_dump") {
+                if (!getBool(value, key, &req.stats_dump_, error))
+                    return false;
+            } else if (key == "profile_top") {
+                if (!getU32(value, key, &req.profile_top_, error))
+                    return false;
+            } else if (key == "trace_fxtr") {
+                if (!getBool(value, key, &req.trace_fxtr_, error))
+                    return false;
+            } else {
+                return badRequest(error,
+                                  "unknown output key \"" + key + "\"");
+            }
+        }
+    }
+
+    *out = std::move(req);
+    if (error)
+        *error = {};
+    return true;
+}
 
 SimOutcome
 SimRequest::run()
 {
     const int inputs = (source_ ? 1 : 0) + (program_ ? 1 : 0) +
                        (workload_ ? 1 : 0);
-    if (inputs != 1) {
+    if (program_ && preassembled_) {
+        FLEX_FATAL("SimRequest: program() and preassembled() are "
+                   "mutually exclusive");
+    }
+    if (inputs != 1 && !(inputs == 0 && preassembled_)) {
         FLEX_FATAL("SimRequest needs exactly one of source()/program()/"
                    "workload(), got ", inputs);
     }
@@ -20,13 +549,18 @@ SimRequest::run()
                    "console output comes from it)");
     }
 
-    Program prog;
-    if (program_) {
-        prog = std::move(*program_);
+    Program assembled;
+    const Program *prog = nullptr;
+    if (preassembled_) {
+        prog = preassembled_.get();
+    } else if (program_) {
+        assembled = std::move(*program_);
+        prog = &assembled;
     } else {
         const std::string &src =
             workload_ ? workload_->source : *source_;
-        prog = Assembler::assembleOrDie(src);
+        assembled = Assembler::assembleOrDie(src);
+        prog = &assembled;
     }
 
     // Mark buffered trace capture before finalize() (which System's
@@ -50,7 +584,7 @@ SimRequest::run()
         profile_ ? profile_ : (profile_top_ ? &local_profile : nullptr);
     if (profile)
         system.attachProfile(profile);
-    system.load(prog);
+    system.load(*prog);
     if (trace_)
         system.attachTrace(trace_);
     if (trace_stream_)

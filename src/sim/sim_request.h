@@ -14,13 +14,26 @@
  * runs to completion, optionally verifies console output against the
  * workload's golden model, and captures every requested observability
  * surface into the returned SimOutcome.
+ *
+ * SimRequest is also the simulator's *wire schema*: toJson() renders a
+ * canonical, versioned JSON document and fromJson() reconstructs an
+ * equivalent request from one, mapping every malformed input to a
+ * typed ConfigError (never a fatal). The round trip is exact for every
+ * serializable request — `fromJson(toJson(r))` produces byte-identical
+ * run output — which is what lets flexcore-serve execute requests
+ * built by remote clients (docs/serve.md). Requests carrying
+ * process-local state (raw Program images, trace-sink pointers,
+ * tracer hooks, ad-hoc Workload objects) are not serializable;
+ * toJson() on one is fatal.
  */
 
 #ifndef FLEXCORE_SIM_SIM_REQUEST_H_
 #define FLEXCORE_SIM_SIM_REQUEST_H_
 
+#include <memory>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -30,6 +43,8 @@
 #include "workloads/workload.h"
 
 namespace flexcore {
+
+class JsonValue;
 
 /** Everything an experiment needs from one run. */
 struct SimOutcome
@@ -62,6 +77,11 @@ struct SimOutcome
 class SimRequest
 {
   public:
+    /** Wire-schema version accepted and emitted by to/fromJson. */
+    static constexpr u32 kWireVersion = 1;
+
+    SimRequest() = default;
+
     explicit SimRequest(SystemConfig config) : config_(std::move(config))
     {
     }
@@ -92,6 +112,30 @@ class SimRequest
     {
         workload_ = std::move(wl);
         verify_ = true;
+        return *this;
+    }
+
+    /**
+     * Run a named suite workload ("sha", "gmac", ..., "qsort") at the
+     * given scale; fatal for unknown names (use fromJson for typed
+     * rejection). Unlike workload(), the request stays serializable:
+     * toJson() emits the name + scale, not the generated source.
+     */
+    SimRequest &workloadByName(std::string_view name,
+                               WorkloadScale scale = WorkloadScale::kTest);
+
+    /**
+     * Supply an already-assembled image for the run, skipping the
+     * assembly step. Composes with workload()/workloadByName()/source()
+     * — the named input still provides the golden console output and
+     * the wire identity; the program is trusted to be its assembly.
+     * This is flexcore-serve's cache-hit path: the shared_ptr lets many
+     * concurrent runs reference one immutable image.
+     */
+    SimRequest &
+    preassembled(std::shared_ptr<const Program> prog)
+    {
+        preassembled_ = std::move(prog);
         return *this;
     }
 
@@ -194,9 +238,87 @@ class SimRequest
     }
 
     /**
+     * Request the FXTR streaming binary trace in the wire schema
+     * ("output": {"trace_fxtr": true}). SimRequest itself carries no
+     * sink — the executor (serveSimRequest, flexcore-serve) attaches a
+     * TraceStreamWriter when this is set.
+     */
+    SimRequest &
+    traceFxtr(bool on = true)
+    {
+        trace_fxtr_ = on;
+        return *this;
+    }
+
+    // ---- Read-side accessors (serve / loadgen / tests) ----
+
+    const SystemConfig &config() const { return config_; }
+    SystemConfig &mutableConfig() { return config_; }
+
+    /**
+     * The assembly text this request would run: the raw source, or the
+     * workload's generated source. Null for program()-only requests.
+     * This is the content-address flexcore-serve hashes for its
+     * assembled-program cache.
+     */
+    const std::string *sourceText() const;
+
+    bool hasWorkload() const { return workload_.has_value(); }
+    /** Empty unless the workload came from workloadByName(). */
+    const std::string &workloadName() const { return workload_name_; }
+    WorkloadScale workloadScale() const { return workload_scale_; }
+    bool verifyRequested() const { return verify_; }
+    const std::vector<std::string> &statPaths() const
+    {
+        return stat_paths_;
+    }
+    bool statsJsonRequested() const { return stats_json_; }
+    bool statsDumpRequested() const { return stats_dump_; }
+    u32 profileTop() const { return profile_top_; }
+    bool traceFxtrRequested() const { return trace_fxtr_; }
+
+    /**
+     * Validate and resolve the embedded config in place, returning the
+     * typed error instead of System's fatal. Idempotent; run() after a
+     * successful finalizeConfig() behaves identically.
+     */
+    [[nodiscard]] ConfigError finalizeConfig()
+    {
+        return config_.finalize();
+    }
+
+    // ---- Wire schema (versioned, canonical) ----
+
+    /**
+     * Render the canonical v1 JSON document: every field is emitted,
+     * always in the same order, so equal requests produce equal bytes.
+     * Fatal for non-serializable requests (raw program()/workload()
+     * inputs, attached sinks/hooks) — serialize intent, not pointers.
+     */
+    std::string toJson() const;
+
+    /**
+     * Reconstruct a request from a v1 document. Strict: unknown keys,
+     * wrong types, and schema violations are rejected with a typed
+     * ConfigError (kBadRequest / kBadVersion / kBadMonitor /
+     * kBadImplMode / kBadExecMode / kBadWorkload), never a fatal.
+     * Structural validation only — cross-field constraints are left to
+     * finalizeConfig() so wire clients get the same kBad* codes local
+     * CLI users do.
+     */
+    static bool fromJson(std::string_view text, SimRequest *out,
+                         ConfigError *error);
+
+    /** fromJson over an already-parsed document (the serve path, which
+     * extracts the request as a subtree of its protocol envelope). */
+    static bool fromJson(const JsonValue &doc, SimRequest *out,
+                         ConfigError *error);
+
+    /**
      * Execute the request. Exactly one of source()/program()/workload()
-     * must have been set; anything else is fatal (a misbuilt experiment
-     * should fail loudly, not fall back to something else).
+     * (or a lone preassembled()) must have been set; anything else is
+     * fatal (a misbuilt experiment should fail loudly, not fall back to
+     * something else).
      */
     SimOutcome run();
 
@@ -205,10 +327,14 @@ class SimRequest
     std::optional<std::string> source_;
     std::optional<Program> program_;
     std::optional<Workload> workload_;
+    std::shared_ptr<const Program> preassembled_;
+    std::string workload_name_;   //!< set by workloadByName() only
+    WorkloadScale workload_scale_ = WorkloadScale::kTest;
     bool verify_ = false;
     std::vector<std::string> stat_paths_;
     bool stats_json_ = false;
     bool stats_dump_ = false;
+    bool trace_fxtr_ = false;
     TraceSink *trace_ = nullptr;
     TraceSink *trace_stream_ = nullptr;
     PcProfile *profile_ = nullptr;

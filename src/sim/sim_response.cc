@@ -1,0 +1,561 @@
+#include "sim/sim_response.h"
+
+#include <optional>
+
+#include "assembler/assembler.h"
+#include "common/json.h"
+#include "common/jsonutil.h"
+#include "common/log.h"
+#include "common/trace_stream.h"
+#include "core/trap.h"
+#include "faults/outcome.h"
+
+namespace flexcore {
+
+u64
+fnv1a64(std::string_view data)
+{
+    // Same constants as campaign.cc's jobSeed: a pure function of the
+    // bytes, so the cache key never depends on arrival order.
+    u64 hash = 0xcbf29ce484222325ull;
+    for (char c : data) {
+        hash ^= static_cast<u8>(c);
+        hash *= 0x100000001b3ull;
+    }
+    return hash;
+}
+
+// ---------------------------------------------------------------------------
+// ProgramCache
+
+std::shared_ptr<const Program>
+ProgramCache::lookup(u64 hash)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = programs_.find(hash);
+    if (it == programs_.end()) {
+        ++misses_;
+        return nullptr;
+    }
+    ++hits_;
+    return it->second;
+}
+
+void
+ProgramCache::insert(u64 hash, std::shared_ptr<const Program> program)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    programs_.try_emplace(hash, std::move(program));
+}
+
+u64
+ProgramCache::hits() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return hits_;
+}
+
+u64
+ProgramCache::misses() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return misses_;
+}
+
+size_t
+ProgramCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return programs_.size();
+}
+
+// ---------------------------------------------------------------------------
+// Response wire schema
+
+namespace {
+
+constexpr RunResult::Exit kAllExits[] = {
+    RunResult::Exit::kExited,    RunResult::Exit::kMonitorTrap,
+    RunResult::Exit::kCoreTrap,  RunResult::Exit::kMaxCycles,
+    RunResult::Exit::kHang,
+};
+
+constexpr TrapKind kAllTrapKinds[] = {
+    TrapKind::kNone,        TrapKind::kMonitor,
+    TrapKind::kDivByZero,   TrapKind::kMemAlign,
+    TrapKind::kIllegalInstr, TrapKind::kWindowError,
+    TrapKind::kBadSyscall,
+};
+
+bool
+parseExitName(std::string_view name, RunResult::Exit *out)
+{
+    for (RunResult::Exit exit : kAllExits) {
+        if (name == exitName(exit)) {
+            *out = exit;
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+parseTrapKindName(std::string_view name, TrapKind *out)
+{
+    for (TrapKind kind : kAllTrapKinds) {
+        if (name == trapKindName(kind)) {
+            *out = kind;
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+parseFaultOutcomeName(std::string_view name, FaultOutcome *out)
+{
+    for (unsigned i = 0; i < kNumFaultOutcomes; ++i) {
+        const auto candidate = static_cast<FaultOutcome>(i);
+        if (name == faultOutcomeName(candidate)) {
+            *out = candidate;
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+appendJsonString(std::string *out, std::string_view key,
+                 std::string_view value)
+{
+    *out += "\"";
+    *out += key;
+    *out += "\": \"";
+    *out += jsonEscape(value);
+    *out += "\"";
+}
+
+std::string
+runResultJson(const RunResult &r)
+{
+    std::string out = "{\"exit\": \"";
+    out += exitName(r.exit);
+    out += "\", \"exit_code\": " + std::to_string(r.exit_code);
+    out += ", \"trap_kind\": \"";
+    out += trapKindName(r.trap.kind);
+    out += "\", \"trap_pc\": " + std::to_string(r.trap.pc);
+    out += ", ";
+    appendJsonString(&out, "trap_reason", r.trap_reason);
+    out += ", \"trap_inst\": " + std::to_string(r.trap_inst);
+    out += ", \"cycles\": " + std::to_string(r.cycles);
+    out += ", \"instructions\": " + std::to_string(r.instructions);
+    out += ", ";
+    appendJsonString(&out, "console", r.console);
+    out += std::string(", \"sampled\": ") + (r.sampled ? "true" : "false");
+    out += ", \"estimated_cycles\": " + std::to_string(r.estimated_cycles);
+    out += ", \"detailed_cycles\": " + std::to_string(r.detailed_cycles);
+    out += ", \"detailed_instructions\": " +
+           std::to_string(r.detailed_instructions);
+    out += "}";
+    return out;
+}
+
+std::string
+faultReportJson(const FaultReport &f)
+{
+    std::string out = "{\"outcome\": \"";
+    out += faultOutcomeName(f.outcome);
+    out += "\", \"applied\": " + std::to_string(f.applied);
+    out += ", \"skipped\": " + std::to_string(f.skipped);
+    out += ", \"first_injection_cycle\": " +
+           std::to_string(f.first_injection_cycle);
+    out += ", \"detection_latency\": " +
+           std::to_string(f.detection_latency);
+    out += "}";
+    return out;
+}
+
+bool
+docFail(std::string *error, std::string why)
+{
+    if (error && error->empty())
+        *error = std::move(why);
+    return false;
+}
+
+bool
+docString(const JsonValue &v, std::string_view key, std::string *out,
+          std::string *error)
+{
+    if (!v.isString()) {
+        return docFail(error, "\"" + std::string(key) +
+                                  "\" must be a string");
+    }
+    *out = v.str;
+    return true;
+}
+
+bool
+docU64(const JsonValue &v, std::string_view key, u64 *out,
+       std::string *error)
+{
+    if (!v.isNumber() || !v.is_uint) {
+        return docFail(error, "\"" + std::string(key) +
+                                  "\" must be a non-negative integer");
+    }
+    *out = v.uint;
+    return true;
+}
+
+bool
+docU32(const JsonValue &v, std::string_view key, u32 *out,
+       std::string *error)
+{
+    u64 wide = 0;
+    if (!docU64(v, key, &wide, error))
+        return false;
+    if (wide > 0xffffffffULL) {
+        return docFail(error, "\"" + std::string(key) +
+                                  "\" does not fit in 32 bits");
+    }
+    *out = static_cast<u32>(wide);
+    return true;
+}
+
+bool
+docBool(const JsonValue &v, std::string_view key, bool *out,
+        std::string *error)
+{
+    if (!v.isBool()) {
+        return docFail(error, "\"" + std::string(key) +
+                                  "\" must be a boolean");
+    }
+    *out = v.boolean;
+    return true;
+}
+
+bool
+parseRunResult(const JsonValue &v, RunResult *out, std::string *error)
+{
+    if (!v.isObject())
+        return docFail(error, "\"result\" must be an object");
+    for (const auto &[key, value] : v.object) {
+        if (key == "exit") {
+            std::string name;
+            if (!docString(value, key, &name, error))
+                return false;
+            if (!parseExitName(name, &out->exit))
+                return docFail(error, "unknown exit \"" + name + "\"");
+        } else if (key == "exit_code") {
+            if (!docU32(value, key, &out->exit_code, error))
+                return false;
+        } else if (key == "trap_kind") {
+            std::string name;
+            if (!docString(value, key, &name, error))
+                return false;
+            if (!parseTrapKindName(name, &out->trap.kind)) {
+                return docFail(error,
+                               "unknown trap kind \"" + name + "\"");
+            }
+        } else if (key == "trap_pc") {
+            u64 pc = 0;
+            if (!docU64(value, key, &pc, error))
+                return false;
+            out->trap.pc = static_cast<Addr>(pc);
+        } else if (key == "trap_reason") {
+            if (!docString(value, key, &out->trap_reason, error))
+                return false;
+        } else if (key == "trap_inst") {
+            if (!docU32(value, key, &out->trap_inst, error))
+                return false;
+        } else if (key == "cycles") {
+            if (!docU64(value, key, &out->cycles, error))
+                return false;
+        } else if (key == "instructions") {
+            if (!docU64(value, key, &out->instructions, error))
+                return false;
+        } else if (key == "console") {
+            if (!docString(value, key, &out->console, error))
+                return false;
+        } else if (key == "sampled") {
+            if (!docBool(value, key, &out->sampled, error))
+                return false;
+        } else if (key == "estimated_cycles") {
+            if (!docU64(value, key, &out->estimated_cycles, error))
+                return false;
+        } else if (key == "detailed_cycles") {
+            if (!docU64(value, key, &out->detailed_cycles, error))
+                return false;
+        } else if (key == "detailed_instructions") {
+            if (!docU64(value, key, &out->detailed_instructions, error))
+                return false;
+        } else {
+            return docFail(error,
+                           "unknown result key \"" + key + "\"");
+        }
+    }
+    return true;
+}
+
+bool
+parseFaultReport(const JsonValue &v, FaultReport *out,
+                 std::string *error)
+{
+    if (!v.isObject())
+        return docFail(error, "\"fault\" must be an object or null");
+    for (const auto &[key, value] : v.object) {
+        if (key == "outcome") {
+            std::string name;
+            if (!docString(value, key, &name, error))
+                return false;
+            if (!parseFaultOutcomeName(name, &out->outcome)) {
+                return docFail(error,
+                               "unknown fault outcome \"" + name + "\"");
+            }
+        } else if (key == "applied") {
+            if (!docU64(value, key, &out->applied, error))
+                return false;
+        } else if (key == "skipped") {
+            if (!docU64(value, key, &out->skipped, error))
+                return false;
+        } else if (key == "first_injection_cycle") {
+            if (!docU64(value, key, &out->first_injection_cycle, error))
+                return false;
+        } else if (key == "detection_latency") {
+            if (!value.isNumber()) {
+                return docFail(error, "\"detection_latency\" must be "
+                                      "a number");
+            }
+            out->detection_latency =
+                value.is_uint ? static_cast<s64>(value.uint)
+                              : static_cast<s64>(value.num);
+        } else {
+            return docFail(error, "unknown fault key \"" + key + "\"");
+        }
+    }
+    return true;
+}
+
+}  // namespace
+
+std::string
+simResponseJson(const SimResponse &response)
+{
+    std::string out = "{\"v\": " + std::to_string(SimRequest::kWireVersion);
+    if (response.error) {
+        out += ", \"ok\": false, \"error\": {\"code\": \"";
+        out += configErrorName(response.error.code);
+        out += "\", ";
+        appendJsonString(&out, "message", response.error.message);
+        out += "}}";
+        return out;
+    }
+    out += ", \"ok\": true";
+    out += std::string(", \"cache_hit\": ") +
+           (response.cache_hit ? "true" : "false");
+    out += ", \"source_hash\": " + std::to_string(response.source_hash);
+    out += ", \"result\": " + runResultJson(response.result);
+    out += ", \"fault\": ";
+    out += response.fault_run ? faultReportJson(response.fault) : "null";
+    out += ", ";
+    appendJsonString(&out, "golden_diff", response.golden_diff);
+    out += ", \"stats\": [";
+    for (size_t i = 0; i < response.stats.size(); ++i) {
+        if (i > 0)
+            out += ", ";
+        out += "{";
+        appendJsonString(&out, "path", response.stats[i].first);
+        out += ", \"value\": " + std::to_string(response.stats[i].second);
+        out += "}";
+    }
+    out += "], ";
+    appendJsonString(&out, "stats_json", response.stats_json);
+    out += ", ";
+    appendJsonString(&out, "stats_dump", response.stats_text);
+    out += ", ";
+    appendJsonString(&out, "profile_json", response.profile_json);
+    out += ", \"trace_bytes\": " + std::to_string(response.trace_bytes);
+    out += "}";
+    return out;
+}
+
+bool
+simResponseFromJson(std::string_view text, SimResponse *out,
+                    std::string *error)
+{
+    if (error)
+        error->clear();
+    *out = SimResponse{};
+    JsonValue doc;
+    std::string parse_error;
+    if (!parseJson(text, &doc, &parse_error))
+        return docFail(error, parse_error);
+    if (!doc.isObject())
+        return docFail(error, "response must be a JSON object");
+
+    bool ok = false;
+    bool have_ok = false;
+    const JsonValue *fault = nullptr;
+    for (const auto &[key, value] : doc.object) {
+        if (key == "v") {
+            u64 version = 0;
+            if (!docU64(value, key, &version, error))
+                return false;
+            if (version != SimRequest::kWireVersion) {
+                return docFail(error, "unsupported response version " +
+                                          std::to_string(version));
+            }
+        } else if (key == "ok") {
+            if (!docBool(value, key, &ok, error))
+                return false;
+            have_ok = true;
+        } else if (key == "error") {
+            if (!value.isObject())
+                return docFail(error, "\"error\" must be an object");
+            std::string code_name;
+            for (const auto &[ekey, evalue] : value.object) {
+                if (ekey == "code") {
+                    if (!docString(evalue, ekey, &code_name, error))
+                        return false;
+                } else if (ekey == "message") {
+                    if (!docString(evalue, ekey, &out->error.message,
+                                   error))
+                        return false;
+                } else {
+                    return docFail(error, "unknown error key \"" +
+                                              ekey + "\"");
+                }
+            }
+            if (!parseConfigErrorName(code_name, &out->error.code)) {
+                return docFail(error, "unknown error code \"" +
+                                          code_name + "\"");
+            }
+        } else if (key == "cache_hit") {
+            if (!docBool(value, key, &out->cache_hit, error))
+                return false;
+        } else if (key == "source_hash") {
+            if (!docU64(value, key, &out->source_hash, error))
+                return false;
+        } else if (key == "result") {
+            if (!parseRunResult(value, &out->result, error))
+                return false;
+        } else if (key == "fault") {
+            fault = &value;
+        } else if (key == "golden_diff") {
+            if (!docString(value, key, &out->golden_diff, error))
+                return false;
+        } else if (key == "stats") {
+            if (!value.isArray())
+                return docFail(error, "\"stats\" must be an array");
+            for (const JsonValue &element : value.array) {
+                if (!element.isObject()) {
+                    return docFail(error,
+                                   "each stats entry must be an object");
+                }
+                std::string path;
+                u64 sample = 0;
+                for (const auto &[skey, svalue] : element.object) {
+                    if (skey == "path") {
+                        if (!docString(svalue, skey, &path, error))
+                            return false;
+                    } else if (skey == "value") {
+                        if (!docU64(svalue, skey, &sample, error))
+                            return false;
+                    } else {
+                        return docFail(error, "unknown stats key \"" +
+                                                  skey + "\"");
+                    }
+                }
+                out->stats.emplace_back(std::move(path), sample);
+            }
+        } else if (key == "stats_json") {
+            if (!docString(value, key, &out->stats_json, error))
+                return false;
+        } else if (key == "stats_dump") {
+            if (!docString(value, key, &out->stats_text, error))
+                return false;
+        } else if (key == "profile_json") {
+            if (!docString(value, key, &out->profile_json, error))
+                return false;
+        } else if (key == "trace_bytes") {
+            if (!docU64(value, key, &out->trace_bytes, error))
+                return false;
+        } else {
+            return docFail(error,
+                           "unknown response key \"" + key + "\"");
+        }
+    }
+    if (!have_ok)
+        return docFail(error, "response needs an \"ok\" field");
+    if (!ok && !out->error) {
+        return docFail(error,
+                       "error response carries no \"error\" object");
+    }
+    if (fault && !fault->isNull()) {
+        out->fault_run = true;
+        if (!parseFaultReport(*fault, &out->fault, error))
+            return false;
+    }
+    return true;
+}
+
+// ---------------------------------------------------------------------------
+// serveSimRequest
+
+SimResponse
+serveSimRequest(SimRequest request, ProgramCache *cache,
+                std::string *trace_out)
+{
+    SimResponse response;
+    if (ConfigError err = request.finalizeConfig()) {
+        response.error = std::move(err);
+        return response;
+    }
+    response.fault_run = !request.config().faults.empty();
+
+    if (const std::string *src = request.sourceText()) {
+        response.source_hash = fnv1a64(*src);
+        std::shared_ptr<const Program> cached =
+            cache ? cache->lookup(response.source_hash) : nullptr;
+        if (cached) {
+            response.cache_hit = true;
+            request.preassembled(std::move(cached));
+        } else {
+            auto fresh = std::make_shared<Program>();
+            Assembler assembler;
+            if (!assembler.assemble(*src, fresh.get())) {
+                response.error =
+                    makeConfigError(ConfigError::Code::kBadSource,
+                                    assembler.errorText());
+                return response;
+            }
+            if (cache)
+                cache->insert(response.source_hash, fresh);
+            request.preassembled(std::move(fresh));
+        }
+    }
+
+    std::optional<TraceStreamWriter> writer;
+    if (request.traceFxtrRequested() && trace_out) {
+        trace_out->clear();
+        writer.emplace(trace_out);
+        request.traceStream(&*writer);
+    }
+
+    SimOutcome outcome = request.run();
+    if (writer) {
+        writer->finish();
+        response.trace_bytes = trace_out->size();
+    }
+
+    response.result = std::move(outcome.result);
+    response.fault = outcome.fault;
+    response.golden_diff = std::move(outcome.golden_diff);
+    response.stats = std::move(outcome.stats);
+    response.stats_json = std::move(outcome.stats_json);
+    response.stats_text = std::move(outcome.stats_text);
+    response.profile_json = std::move(outcome.profile_json);
+    return response;
+}
+
+}  // namespace flexcore

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * SimResponse: the structured result of executing one wire-schema
+ * SimRequest, plus the server-side executor (serveSimRequest) and the
+ * content-addressed cache of assembled programs it consults.
+ *
+ * A response is either an error — a typed ConfigError (the same kBad*
+ * family SystemConfig::finalize() produces) with a human-readable
+ * message — or a success carrying the RunResult, the fault verdict for
+ * fault runs, sampled counters, and the canonical stats/profile JSON
+ * documents. The canonical documents are embedded as *escaped JSON
+ * strings*, not nested objects, so a client can extract them with a
+ * plain unescape and land on bytes identical to what flexcore-run
+ * writes locally — the property the serve smoke test cmp(1)-gates
+ * (docs/serve.md).
+ */
+
+#ifndef FLEXCORE_SIM_SIM_RESPONSE_H_
+#define FLEXCORE_SIM_SIM_RESPONSE_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "sim/sim_request.h"
+
+namespace flexcore {
+
+/** Structured outcome of one served request. */
+struct SimResponse
+{
+    /** Falsy = success; else the typed rejection (kBadRequest, ...). */
+    ConfigError error;
+
+    /** True when the assembled program came from the server cache. */
+    bool cache_hit = false;
+    /** FNV-1a 64 of the request's assembly source (0 for program-less
+     * errors); the cache key. */
+    u64 source_hash = 0;
+
+    RunResult result;
+    bool fault_run = false;   //!< the request carried a fault plan
+    FaultReport fault;        //!< valid iff fault_run
+    std::string golden_diff;  //!< bounded first-difference (SDC only)
+
+    /** Requested (path, value) counter samples, request order. */
+    std::vector<std::pair<std::string, u64>> stats;
+    std::string stats_json;    //!< canonical stats document, exact bytes
+    std::string stats_text;    //!< flat stats dump
+    std::string profile_json;  //!< canonical per-PC hotspot report
+
+    /**
+     * Size of the FXTR trace that accompanies this response (0 = none).
+     * The trace bytes themselves travel out of band — as a second
+     * length-prefixed frame on the socket — because embedding a binary
+     * stream in JSON would bloat it by ~2x.
+     */
+    u64 trace_bytes = 0;
+};
+
+/** Canonical JSON rendering of a response (docs/serve.md). */
+std::string simResponseJson(const SimResponse &response);
+
+/**
+ * Decode a response document (the client side). Returns false with an
+ * explanation for malformed documents; a well-formed *error response*
+ * returns true with @p out ->error set.
+ */
+bool simResponseFromJson(std::string_view text, SimResponse *out,
+                         std::string *error);
+
+/** FNV-1a 64 over a byte string (the program-cache content address). */
+u64 fnv1a64(std::string_view data);
+
+/**
+ * Thread-safe content-addressed cache of assembled programs, keyed by
+ * the FNV-1a 64 hash of the assembly source text. Values are immutable
+ * and shared: concurrent runs reference one Program image while each
+ * System keeps its own µop tables (pre-decode state is per-core and
+ * rebuilt lazily, so sharing the image is safe). Unbounded by design —
+ * a benchmark suite is a handful of sources; an eviction policy would
+ * be speculation.
+ */
+class ProgramCache
+{
+  public:
+    /** Null when the hash is absent. Counts a hit or a miss. */
+    std::shared_ptr<const Program> lookup(u64 hash);
+
+    /** Insert (first writer wins; later duplicates are dropped). */
+    void insert(u64 hash, std::shared_ptr<const Program> program);
+
+    u64 hits() const;
+    u64 misses() const;
+    size_t size() const;
+
+  private:
+    mutable std::mutex mutex_;
+    std::unordered_map<u64, std::shared_ptr<const Program>> programs_;
+    u64 hits_ = 0;
+    u64 misses_ = 0;
+};
+
+/**
+ * Execute one request the way flexcore-serve does: finalize the config
+ * (typed error on rejection), resolve the program through @p cache
+ * (assembling on a miss; assembly diagnostics become kBadSource),
+ * attach a memory-sink FXTR writer when the request asks for a trace
+ * and @p trace_out is non-null, run, and package every requested
+ * surface. @p cache may be null (no caching — every call assembles).
+ *
+ * Functional-verification failures on non-fault runs remain fatal even
+ * here: a golden-output mismatch means the simulator is broken, not
+ * the request.
+ */
+SimResponse serveSimRequest(SimRequest request, ProgramCache *cache,
+                            std::string *trace_out);
+
+}  // namespace flexcore
+
+#endif  // FLEXCORE_SIM_SIM_RESPONSE_H_

@@ -14,6 +14,75 @@ benchmarkSuite(WorkloadScale scale)
     };
 }
 
+std::string_view
+workloadScaleName(WorkloadScale scale)
+{
+    switch (scale) {
+      case WorkloadScale::kTest: return "test";
+      case WorkloadScale::kFull: return "full";
+    }
+    return "?";
+}
+
+bool
+parseWorkloadScale(std::string_view name, WorkloadScale *scale)
+{
+    if (name == "test") {
+        *scale = WorkloadScale::kTest;
+        return true;
+    }
+    if (name == "full") {
+        *scale = WorkloadScale::kFull;
+        return true;
+    }
+    return false;
+}
+
+namespace {
+
+struct WorkloadEntry
+{
+    std::string_view name;
+    Workload (*make)(WorkloadScale);
+};
+
+// Table IV order first, then the off-suite stress test.
+constexpr WorkloadEntry kWorkloads[] = {
+    {"sha", makeSha},
+    {"gmac", makeGmac},
+    {"stringsearch", makeStringsearch},
+    {"fft", makeFft},
+    {"basicmath", makeBasicmath},
+    {"bitcount", makeBitcount},
+    {"qsort", makeQsort},
+};
+
+}  // namespace
+
+bool
+makeWorkload(std::string_view name, WorkloadScale scale, Workload *out)
+{
+    for (const WorkloadEntry &entry : kWorkloads) {
+        if (entry.name == name) {
+            *out = entry.make(scale);
+            return true;
+        }
+    }
+    return false;
+}
+
+std::string
+knownWorkloadNames()
+{
+    std::string names;
+    for (const WorkloadEntry &entry : kWorkloads) {
+        if (!names.empty())
+            names += ", ";
+        names += entry.name;
+    }
+    return names;
+}
+
 std::string
 runtimePrologue()
 {

@@ -44,6 +44,23 @@ Workload makeBitcount(WorkloadScale scale);
 /** All six benchmarks of the paper's evaluation, in Table IV order. */
 std::vector<Workload> benchmarkSuite(WorkloadScale scale);
 
+/** "test" / "full" — the wire names of WorkloadScale. */
+std::string_view workloadScaleName(WorkloadScale scale);
+
+/** Inverse of workloadScaleName; false for unknown names. */
+bool parseWorkloadScale(std::string_view name, WorkloadScale *scale);
+
+/**
+ * Materialize one workload by name ("sha", "gmac", "stringsearch",
+ * "fft", "basicmath", "bitcount", or the off-suite "qsort") without
+ * generating the rest of the suite. Returns false for unknown names.
+ */
+bool makeWorkload(std::string_view name, WorkloadScale scale,
+                  Workload *out);
+
+/** Comma-separated list of every makeWorkload name (error messages). */
+std::string knownWorkloadNames();
+
 /** Common runtime prologue: `_start` sets up the stack, calls main,
  * and exits with main's return value. */
 std::string runtimePrologue();

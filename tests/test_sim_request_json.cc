@@ -1,0 +1,457 @@
+/**
+ * @file
+ * Wire-schema tests for SimRequest/SimResponse (docs/serve.md):
+ *
+ *  - the canonical round trip: fromJson(toJson(r)) re-renders to the
+ *    same bytes and *runs* to byte-identical output, fuzzed across
+ *    every serializable field;
+ *  - strict rejection: each class of malformed document maps to its
+ *    typed kBad* ConfigError, never a fatal;
+ *  - the serve executor + ProgramCache: hit/miss accounting, shared
+ *    program images, typed errors for bad source/config, FXTR trace
+ *    sizing, and the SimResponse JSON round trip.
+ */
+
+#include "sim/sim_request.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "faults/fault_plan.h"
+#include "sim/sim_response.h"
+
+namespace flexcore {
+namespace {
+
+const char *const kTinyProgram =
+    "        .org 0x1000\n"
+    "_start: set 0x003ffff0, %sp\n"
+    "        mov 72, %o0\n"
+    "        ta 1\n"
+    "        mov 40, %o0\n"
+    "        add %o0, 2, %o0\n"
+    "        ta 0\n"
+    "        nop\n";
+
+ConfigError::Code
+rejectionCode(const std::string &text)
+{
+    SimRequest request;
+    ConfigError error;
+    EXPECT_FALSE(SimRequest::fromJson(text, &request, &error));
+    EXPECT_FALSE(error.message.empty());
+    return error.code;
+}
+
+// ---- Round trip ----
+
+TEST(SimRequestJson, DefaultSourceRequestRoundTrips)
+{
+    SimRequest request;
+    request.source(kTinyProgram);
+    const std::string wire = request.toJson();
+
+    SimRequest decoded;
+    ConfigError error;
+    ASSERT_TRUE(SimRequest::fromJson(wire, &decoded, &error))
+        << error.message;
+    EXPECT_FALSE(error);
+    EXPECT_EQ(decoded.toJson(), wire);
+}
+
+TEST(SimRequestJson, EveryFieldRoundTripsExactly)
+{
+    SystemConfig config;
+    config.monitor = MonitorKind::kDift;
+    config.mode = ImplMode::kFlexFabric;
+    config.exec_mode = ExecMode::kInterp;
+    config.flex_period = 3;
+    config.dift_tag_bits = 4;
+    config.iface.fifo_depth = 48;
+    config.fabric.meta_cache.size_bytes = 8192;
+    config.core.icache.size_bytes = 16384;
+    config.core.dcache.size_bytes = 32768;
+    config.precise_exceptions = true;
+    config.histograms = true;
+    config.fast_forward = false;
+    config.max_cycles = 123'456'789;
+    config.watchdog_commits = 70'000;
+    config.sample_window = 100;
+    config.sample_period = 1000;
+    config.fault_rate = 1e-7;
+    config.fault_seed = 0xdeadbeef;
+    FaultSpec spec;
+    std::string spec_error;
+    ASSERT_TRUE(parseFaultSpec("reg@i1200:t17:b3", &spec, &spec_error))
+        << spec_error;
+    config.faults.specs.push_back(spec);
+    ASSERT_TRUE(
+        parseFaultSpec("ffifo@c900:t2:b12:fsrcv1", &spec, &spec_error))
+        << spec_error;
+    config.faults.specs.push_back(spec);
+
+    SimRequest request(config);
+    request.workloadByName("sha", WorkloadScale::kFull)
+        .verify(false)
+        .stats({"core.cycles", "core.commits"})
+        .statsJson()
+        .statsDump()
+        .profileJson(7)
+        .traceFxtr();
+
+    const std::string wire = request.toJson();
+    SimRequest decoded;
+    ConfigError error;
+    ASSERT_TRUE(SimRequest::fromJson(wire, &decoded, &error))
+        << error.message;
+    EXPECT_EQ(decoded.toJson(), wire);
+
+    EXPECT_EQ(decoded.workloadName(), "sha");
+    EXPECT_EQ(decoded.workloadScale(), WorkloadScale::kFull);
+    EXPECT_FALSE(decoded.verifyRequested());
+    EXPECT_EQ(decoded.statPaths(),
+              (std::vector<std::string>{"core.cycles", "core.commits"}));
+    EXPECT_TRUE(decoded.statsJsonRequested());
+    EXPECT_TRUE(decoded.statsDumpRequested());
+    EXPECT_EQ(decoded.profileTop(), 7u);
+    EXPECT_TRUE(decoded.traceFxtrRequested());
+    EXPECT_EQ(decoded.config().monitor, MonitorKind::kDift);
+    EXPECT_EQ(decoded.config().faults.specs.size(), 2u);
+    EXPECT_EQ(decoded.config().fault_rate, 1e-7);
+}
+
+/**
+ * Fuzz: random draws over the whole serializable field space must
+ * re-render to identical bytes after a decode. Structural round-trip
+ * only — many drawn configs would fail finalize(), which is fine: the
+ * wire layer is strict about *schema*, finalize() about *semantics*.
+ */
+TEST(SimRequestJson, FuzzedRequestsReRenderIdentically)
+{
+    std::mt19937_64 rng(0xf1e2c0de);
+    const MonitorKind monitors[] = {
+        MonitorKind::kNone, MonitorKind::kUmc,      MonitorKind::kDift,
+        MonitorKind::kBc,   MonitorKind::kSec,      MonitorKind::kProf,
+        MonitorKind::kMemProt, MonitorKind::kWatch,
+        MonitorKind::kRefCount};
+    const ImplMode modes[] = {ImplMode::kBaseline, ImplMode::kAsic,
+                              ImplMode::kFlexFabric,
+                              ImplMode::kSoftware};
+    const char *const workloads[] = {"sha", "gmac", "qsort",
+                                     "bitcount"};
+
+    for (int i = 0; i < 200; ++i) {
+        SystemConfig config;
+        config.monitor = monitors[rng() % std::size(monitors)];
+        config.mode = modes[rng() % std::size(modes)];
+        config.exec_mode = (rng() & 1) ? ExecMode::kThreaded
+                                       : ExecMode::kInterp;
+        config.flex_period = static_cast<u32>(rng() % 9);
+        config.dift_tag_bits = (rng() & 1) ? 4 : 1;
+        config.iface.fifo_depth = static_cast<u32>(1 + rng() % 128);
+        config.fabric.meta_cache.size_bytes =
+            static_cast<u32>(1u << (5 + rng() % 10));
+        config.precise_exceptions = rng() & 1;
+        config.histograms = rng() & 1;
+        config.fast_forward = rng() & 1;
+        config.max_cycles = rng() % 1'000'000'000;
+        config.watchdog_commits = rng() % 100'000;
+        if (rng() & 1) {
+            config.sample_window = 1 + rng() % 1000;
+            config.sample_period =
+                config.sample_window + rng() % 10'000;
+        }
+        config.fault_rate = (rng() & 1) ? 0.0 : 1.0 / double(1 + rng() % 100);
+        config.fault_seed = rng();
+        if (rng() % 4 == 0) {
+            FaultSpec spec;
+            std::string why;
+            ASSERT_TRUE(parseFaultSpec("mem@c5000:t0x2040:b5", &spec,
+                                       &why));
+            spec.when = rng() % 100'000;
+            spec.bit = static_cast<u32>(rng() % 32);
+            config.faults.specs.push_back(spec);
+        }
+
+        SimRequest request(config);
+        if (rng() & 1) {
+            request.workloadByName(workloads[rng() % std::size(workloads)],
+                                   (rng() & 1) ? WorkloadScale::kFull
+                                               : WorkloadScale::kTest);
+            request.verify(rng() & 1);
+        } else {
+            request.source(std::string(kTinyProgram) + "! nonce " +
+                           std::to_string(rng()) + "\n");
+        }
+        if (rng() & 1)
+            request.stats({"core.cycles"});
+        request.statsJson(rng() & 1);
+        request.statsDump(rng() & 1);
+        if (rng() & 1)
+            request.profileJson(static_cast<u32>(1 + rng() % 50));
+        request.traceFxtr(rng() & 1);
+
+        const std::string wire = request.toJson();
+        SimRequest decoded;
+        ConfigError error;
+        ASSERT_TRUE(SimRequest::fromJson(wire, &decoded, &error))
+            << "iteration " << i << ": " << error.message << "\n"
+            << wire;
+        EXPECT_EQ(decoded.toJson(), wire) << "iteration " << i;
+    }
+}
+
+/** The decoded request must *run* byte-identically, not just re-render. */
+TEST(SimRequestJson, DecodedRequestRunsByteIdentically)
+{
+    SimRequest request;
+    request.source(kTinyProgram).statsJson().profileJson(5).stats(
+        {"core.cycles", "core.commits"});
+    request.mutableConfig().histograms = true;
+
+    SimRequest decoded;
+    ConfigError error;
+    ASSERT_TRUE(
+        SimRequest::fromJson(request.toJson(), &decoded, &error))
+        << error.message;
+
+    SimOutcome a = request.run();
+    SimOutcome b = decoded.run();
+    EXPECT_EQ(a.result.exit, b.result.exit);
+    EXPECT_EQ(a.result.exit_code, b.result.exit_code);
+    EXPECT_EQ(a.result.cycles, b.result.cycles);
+    EXPECT_EQ(a.result.instructions, b.result.instructions);
+    EXPECT_EQ(a.result.console, b.result.console);
+    EXPECT_EQ(a.stats, b.stats);
+    ASSERT_FALSE(a.stats_json.empty());
+    EXPECT_EQ(a.stats_json, b.stats_json);
+    ASSERT_FALSE(a.profile_json.empty());
+    EXPECT_EQ(a.profile_json, b.profile_json);
+}
+
+TEST(SimRequestJson, DecodedWorkloadRequestVerifies)
+{
+    SimRequest request;
+    request.workloadByName("sha").statsJson();
+    SimRequest decoded;
+    ConfigError error;
+    ASSERT_TRUE(
+        SimRequest::fromJson(request.toJson(), &decoded, &error))
+        << error.message;
+    EXPECT_TRUE(decoded.verifyRequested());
+
+    // A verified run: a golden-output mismatch would be fatal here.
+    SimOutcome a = request.run();
+    SimOutcome b = decoded.run();
+    EXPECT_EQ(a.result.cycles, b.result.cycles);
+    EXPECT_EQ(a.stats_json, b.stats_json);
+}
+
+// ---- Typed rejection ----
+
+TEST(SimRequestJson, RejectsMalformedDocumentsWithTypedErrors)
+{
+    using Code = ConfigError::Code;
+
+    // Parse / structure.
+    EXPECT_EQ(rejectionCode("not json"), Code::kBadRequest);
+    EXPECT_EQ(rejectionCode("[1, 2]"), Code::kBadRequest);
+    EXPECT_EQ(rejectionCode(
+                  R"({"v": 1, "input": {"source": "x"}, "bogus": 1})"),
+              Code::kBadRequest);
+
+    // Version.
+    EXPECT_EQ(rejectionCode(R"({"input": {"source": "x"}})"),
+              Code::kBadVersion);
+    EXPECT_EQ(rejectionCode(R"({"v": "1", "input": {"source": "x"}})"),
+              Code::kBadVersion);
+    EXPECT_EQ(rejectionCode(R"({"v": 999, "input": {"source": "x"}})"),
+              Code::kBadVersion);
+
+    // Config enums get their own codes...
+    EXPECT_EQ(rejectionCode(R"({"v": 1, "config": {"monitor": "wat"},
+                                "input": {"source": "x"}})"),
+              Code::kBadMonitor);
+    EXPECT_EQ(rejectionCode(R"({"v": 1, "config": {"mode": "wat"},
+                                "input": {"source": "x"}})"),
+              Code::kBadImplMode);
+    EXPECT_EQ(rejectionCode(R"({"v": 1, "config": {"exec_mode": "wat"},
+                                "input": {"source": "x"}})"),
+              Code::kBadExecMode);
+    // ...while unknown keys and type violations are kBadRequest.
+    EXPECT_EQ(rejectionCode(R"({"v": 1, "config": {"warp_factor": 9},
+                                "input": {"source": "x"}})"),
+              Code::kBadRequest);
+    EXPECT_EQ(rejectionCode(R"({"v": 1, "config": {"max_cycles": -4},
+                                "input": {"source": "x"}})"),
+              Code::kBadRequest);
+    EXPECT_EQ(rejectionCode(
+                  R"({"v": 1, "config": {"fifo_depth": 4294967296},
+                                "input": {"source": "x"}})"),
+              Code::kBadRequest);
+
+    // Faults.
+    EXPECT_EQ(rejectionCode(
+                  R"({"v": 1, "config": {"faults": [{"when": 5}]},
+                                "input": {"source": "x"}})"),
+              Code::kBadRequest);
+    EXPECT_EQ(
+        rejectionCode(
+            R"({"v": 1,
+                "config": {"faults": [{"kind": "wat", "when": 5}]},
+                "input": {"source": "x"}})"),
+        Code::kBadRequest);
+
+    // Input.
+    EXPECT_EQ(rejectionCode(R"({"v": 1})"), Code::kBadRequest);
+    EXPECT_EQ(rejectionCode(R"({"v": 1, "input": {}})"),
+              Code::kBadRequest);
+    EXPECT_EQ(rejectionCode(
+                  R"({"v": 1, "input": {"workload": "sha",
+                                        "source": "x"}})"),
+              Code::kBadRequest);
+    EXPECT_EQ(rejectionCode(R"({"v": 1, "input": {"scale": "test"}})"),
+              Code::kBadRequest);
+    EXPECT_EQ(rejectionCode(R"({"v": 1, "input": {"workload": "wat"}})"),
+              Code::kBadWorkload);
+    EXPECT_EQ(rejectionCode(
+                  R"({"v": 1, "input": {"workload": "sha",
+                                        "scale": "huge"}})"),
+              Code::kBadWorkload);
+
+    // Verify needs a golden model to verify against.
+    EXPECT_EQ(rejectionCode(R"({"v": 1, "input": {"source": "x"},
+                                "verify": true})"),
+              Code::kBadRequest);
+
+    // Output.
+    EXPECT_EQ(rejectionCode(R"({"v": 1, "input": {"source": "x"},
+                                "output": {"wat": true}})"),
+              Code::kBadRequest);
+    EXPECT_EQ(rejectionCode(R"({"v": 1, "input": {"source": "x"},
+                                "output": {"stats": "core.cycles"}})"),
+              Code::kBadRequest);
+}
+
+TEST(SimRequestJson, FromJsonOverParsedSubtreeMatchesTextPath)
+{
+    SimRequest request;
+    request.workloadByName("sha").statsJson();
+    const std::string wire = request.toJson();
+    const std::string envelope =
+        "{\"op\": \"sim\", \"request\": " + wire + "}";
+
+    JsonValue doc;
+    std::string parse_error;
+    ASSERT_TRUE(parseJson(envelope, &doc, &parse_error)) << parse_error;
+    const JsonValue *subtree = doc.find("request");
+    ASSERT_NE(subtree, nullptr);
+
+    SimRequest decoded;
+    ConfigError error;
+    ASSERT_TRUE(SimRequest::fromJson(*subtree, &decoded, &error))
+        << error.message;
+    EXPECT_EQ(decoded.toJson(), wire);
+}
+
+// ---- serveSimRequest + ProgramCache ----
+
+TEST(SimResponseServe, CacheHitsShareOneProgramImage)
+{
+    ProgramCache cache;
+    SimRequest first;
+    first.source(kTinyProgram).statsJson();
+    SimResponse a = serveSimRequest(first, &cache, nullptr);
+    ASSERT_FALSE(a.error) << a.error.message;
+    EXPECT_FALSE(a.cache_hit);
+
+    SimRequest second;
+    second.source(kTinyProgram).statsJson();
+    SimResponse b = serveSimRequest(second, &cache, nullptr);
+    ASSERT_FALSE(b.error) << b.error.message;
+    EXPECT_TRUE(b.cache_hit);
+    EXPECT_EQ(a.source_hash, b.source_hash);
+    EXPECT_EQ(cache.hits(), 1u);
+    EXPECT_EQ(cache.misses(), 1u);
+    EXPECT_EQ(cache.size(), 1u);
+
+    // The cache-hit run is observationally identical to the cold one.
+    EXPECT_EQ(a.result.cycles, b.result.cycles);
+    EXPECT_EQ(a.result.console, b.result.console);
+    EXPECT_EQ(a.stats_json, b.stats_json);
+}
+
+TEST(SimResponseServe, BadSourceAndBadConfigAreTypedErrors)
+{
+    SimRequest bad_source;
+    bad_source.source("definitely not sparc\n");
+    SimResponse a = serveSimRequest(bad_source, nullptr, nullptr);
+    EXPECT_EQ(a.error.code, ConfigError::Code::kBadSource);
+
+    SimRequest bad_config;
+    bad_config.source(kTinyProgram);
+    bad_config.mutableConfig().monitor = MonitorKind::kDift;
+    bad_config.mutableConfig().mode = ImplMode::kFlexFabric;
+    bad_config.mutableConfig().dift_tag_bits = 3;
+    SimResponse b = serveSimRequest(bad_config, nullptr, nullptr);
+    EXPECT_EQ(b.error.code, ConfigError::Code::kBadDiftTagBits);
+}
+
+TEST(SimResponseServe, TraceBytesMatchOutOfBandFrame)
+{
+    SimRequest request;
+    request.source(kTinyProgram).traceFxtr();
+    std::string trace;
+    SimResponse response = serveSimRequest(request, nullptr, &trace);
+    ASSERT_FALSE(response.error) << response.error.message;
+    EXPECT_FALSE(trace.empty());
+    EXPECT_EQ(response.trace_bytes, trace.size());
+}
+
+TEST(SimResponseServe, ResponseJsonRoundTrips)
+{
+    SimRequest request;
+    request.source(kTinyProgram)
+        .stats({"core.cycles"})
+        .statsJson()
+        .profileJson(3);
+    SimResponse sent = serveSimRequest(request, nullptr, nullptr);
+    ASSERT_FALSE(sent.error) << sent.error.message;
+
+    SimResponse received;
+    std::string why;
+    ASSERT_TRUE(
+        simResponseFromJson(simResponseJson(sent), &received, &why))
+        << why;
+    EXPECT_FALSE(received.error);
+    EXPECT_EQ(received.cache_hit, sent.cache_hit);
+    EXPECT_EQ(received.source_hash, sent.source_hash);
+    EXPECT_EQ(received.result.exit, sent.result.exit);
+    EXPECT_EQ(received.result.exit_code, sent.result.exit_code);
+    EXPECT_EQ(received.result.cycles, sent.result.cycles);
+    EXPECT_EQ(received.result.instructions, sent.result.instructions);
+    EXPECT_EQ(received.result.console, sent.result.console);
+    EXPECT_EQ(received.stats, sent.stats);
+    EXPECT_EQ(received.stats_json, sent.stats_json);
+    EXPECT_EQ(received.profile_json, sent.profile_json);
+    EXPECT_EQ(received.trace_bytes, sent.trace_bytes);
+
+    // Error responses survive the trip with their typed code.
+    SimResponse error_sent;
+    error_sent.error = makeConfigError(ConfigError::Code::kBadMonitor,
+                                       "unknown monitor \"wat\"");
+    SimResponse error_received;
+    ASSERT_TRUE(simResponseFromJson(simResponseJson(error_sent),
+                                    &error_received, &why))
+        << why;
+    EXPECT_EQ(error_received.error.code,
+              ConfigError::Code::kBadMonitor);
+    EXPECT_EQ(error_received.error.message, "unknown monitor \"wat\"");
+}
+
+}  // namespace
+}  // namespace flexcore

@@ -23,6 +23,8 @@
 
 #include "assembler/assembler.h"
 #include "common/cliopts.h"
+#include "common/ioutil.h"
+#include "common/outputspec.h"
 #include "common/types.h"
 #include "extensions/registry.h"
 #include "isa/disasm.h"
@@ -64,9 +66,9 @@ main(int argc, char **argv)
 {
     bool hex = false;
     bool symbols = false;
-    bool list_monitors = false;
     std::string path;
     std::string annotate_path;
+    OutputSpec ospec;
 
     cli::Parser parser("flexcore-asm",
                        "assemble a SPARC-subset program");
@@ -75,32 +77,27 @@ main(int argc, char **argv)
     parser.option("--annotate", &annotate_path, "PROFILE.json",
                   "annotate the listing with per-PC cycle totals from "
                   "a --profile-json report");
-    parser.flag("--list-monitors", &list_monitors,
-                "list every registered monitoring extension and exit");
+    ospec.attach(&parser, kSpecListMonitors);
     parser.positional("program.s", &path, /*required=*/false);
     parser.parseOrExit(argc, argv);
 
-    if (list_monitors) {
-        std::fputs(listMonitorsText().c_str(), stdout);
+    if (ospec.handledListMonitors())
         return 0;
-    }
     if (path.empty()) {
         std::fprintf(stderr, "missing program.s\n%s\n",
                      parser.usageLine().c_str());
         return 2;
     }
 
-    std::ifstream file(path);
-    if (!file) {
+    std::string source;
+    if (!readTextOrStdin(path, &source)) {
         std::fprintf(stderr, "cannot open %s\n", path.c_str());
         return 2;
     }
-    std::stringstream source;
-    source << file.rdbuf();
 
     Assembler assembler;
     Program program;
-    if (!assembler.assemble(source.str(), &program)) {
+    if (!assembler.assemble(source, &program)) {
         std::fprintf(stderr, "%s: assembly failed\n%s", path.c_str(),
                      assembler.errorText().c_str());
         return 1;

@@ -23,6 +23,7 @@
 #include "common/cliopts.h"
 #include "common/ioutil.h"
 #include "common/log.h"
+#include "common/outputspec.h"
 #include "common/threadpool.h"
 #include "core/profile.h"
 #include "extensions/registry.h"
@@ -87,15 +88,13 @@ main(int argc, char **argv)
     CampaignOptions options;
     options.progress = isatty(STDERR_FILENO);
     bool no_progress = false;
-    bool no_fast_forward = false;
     bool require_detections = false;
-    bool list_monitors = false;
     u32 jobs_opt = 0;
-    std::string exec_mode_name;
+    OutputSpec ospec;
+    ospec.watchdog_commits = 50'000;
 
     FaultCovSpec spec;
     spec.base.mode = ImplMode::kFlexFabric;
-    spec.base.watchdog_commits = 50'000;
 
     cli::Parser parser("flexcore-faultcov",
                        "run a fault-injection detection-coverage "
@@ -117,53 +116,34 @@ main(int argc, char **argv)
                                      : WorkloadScale::kFull;
                   },
                   "workload input size (default test)");
-    parser.option("--watchdog-commits", &spec.base.watchdog_commits, "N",
-                  "no-commit watchdog threshold per run (default 50000)");
     parser.option("--jobs", &jobs_opt, "N",
                   "worker threads (default: all hardware threads)");
-    parser.option("--exec-mode", &exec_mode_name, "MODE",
-                  "execution engine: interp (default) or threaded "
-                  "(fault runs fall back to the interpreter loop, so "
-                  "results are identical either way)");
     parser.option("--out", &out, "FILE",
-                  "write the coverage JSON to FILE (default stdout)");
-    parser.flag("--no-fast-forward", &no_fast_forward,
-                "disable quiescent-stretch fast-forwarding (results "
-                "are identical either way; this exists to prove it)");
+                  "write the coverage JSON to FILE (default stdout; "
+                  "- also means stdout)");
     parser.flag("--require-detections", &require_detections,
                 "exit 3 unless every monitor detected at least one "
                 "fault (CI smoke gate)");
     parser.flag("--no-progress", &no_progress,
                 "disable the live progress line");
-    parser.flag("--list-monitors", &list_monitors,
-                "list every registered monitoring extension and exit");
-    std::string profile_json_path;
-    parser.option("--profile-json", &profile_json_path, "FILE",
-                  "also profile the golden (fault-free) run of every "
-                  "monitor x workload cell and write the per-PC "
-                  "hotspot reports to FILE (- = stdout)");
+    ospec.attach(&parser,
+                 kSpecExecMode | kSpecWatchdog | kSpecProfileFile |
+                     kSpecFastForward | kSpecListMonitors);
     parser.footer(
         "The coverage JSON goes to stdout (or --out FILE); the summary\n"
         "table and progress go to stderr. Output bytes are identical\n"
         "for any --jobs value and with or without fast-forwarding.\n");
     parser.parseOrExit(argc, argv);
 
-    if (list_monitors) {
-        std::fputs(listMonitorsText().c_str(), stdout);
+    if (ospec.handledListMonitors())
         return 0;
-    }
 
     options.jobs = jobs_opt;
     if (no_progress)
         options.progress = false;
     options.label = "faultcov";
-    if (no_fast_forward)
-        spec.base.fast_forward = false;
-    if (!exec_mode_name.empty() &&
-        !parseExecMode(exec_mode_name, &spec.base.exec_mode)) {
-        FLEX_FATAL("unknown exec mode '", exec_mode_name,
-                   "' (interp or threaded)");
-    }
+    if (!ospec.apply(&spec.base, "flexcore-faultcov"))
+        return 2;
 
     for (const std::string &name : splitCommas(monitors))
         spec.monitors.push_back(parseMonitor(name));
@@ -213,39 +193,25 @@ main(int argc, char **argv)
                                       start)
             .count();
 
-    const std::string json = faultCovJson(spec, result);
-    if (out.empty()) {
-        std::fwrite(json.data(), 1, json.size(), stdout);
-        std::fflush(stdout);
-    } else {
-        std::FILE *file = std::fopen(out.c_str(), "w");
-        if (!file) {
-            std::fprintf(stderr, "cannot open %s\n", out.c_str());
-            return 2;
-        }
-        if (std::fwrite(json.data(), 1, json.size(), file) !=
-            json.size()) {
-            std::fclose(file);
-            std::fprintf(stderr, "short write to %s\n", out.c_str());
-            return 2;
-        }
-        std::fclose(file);
-    }
+    // The document ends in a newline already, so the shared writer
+    // keeps the bytes identical; "-" (or no --out at all) is stdout.
+    writeTextOrStdout(out.empty() ? "-" : out, faultCovJson(spec, result));
 
     // Profile the *golden* run of each cell: the fault-free baseline a
     // trial's divergence is judged against, and the natural place to
     // ask "where does this monitored workload spend its cycles".
-    if (!profile_json_path.empty()) {
+    if (!ospec.profile_json_path.empty()) {
         std::string profiles = "{";
         bool first = true;
         for (MonitorKind monitor : spec.monitors) {
             for (const Workload &workload : spec.workloads) {
                 SystemConfig config = spec.base;
                 config.monitor = monitor;
-                const SimOutcome golden = SimRequest(std::move(config))
-                                              .workload(workload)
-                                              .profileJson(10)
-                                              .run();
+                const SimOutcome golden =
+                    SimRequest(std::move(config))
+                        .workload(workload)
+                        .profileJson(ospec.effectiveProfileTop())
+                        .run();
                 if (!first)
                     profiles += ", ";
                 first = false;
@@ -256,7 +222,7 @@ main(int argc, char **argv)
             }
         }
         profiles += "}";
-        writeTextOrStdout(profile_json_path, profiles);
+        writeTextOrStdout(ospec.profile_json_path, profiles);
     }
 
     std::fputs(faultCovSummary(result).c_str(), stderr);

@@ -1,0 +1,516 @@
+/**
+ * @file
+ * flexcore-loadgen: client and load generator for flexcore-serve.
+ * Builds one wire-schema SimRequest from the same flag surface the
+ * local tools use (common/outputspec.h — so a served run is configured
+ * exactly like a `flexcore-run` of the same flags), then drives the
+ * server with it from N concurrent connections and reports latency
+ * percentiles and throughput.
+ *
+ *   flexcore-loadgen --connect unix:/tmp/flexcore.sock --workload sha
+ *   flexcore-loadgen --connect tcp:127.0.0.1:7421 --clients 8 \
+ *                    --requests 16
+ *   flexcore-loadgen --connect unix:s.sock --stats-json served.json \
+ *                    --shutdown          # extract served stats, stop
+ *   flexcore-loadgen --connect unix:s.sock --bench \
+ *                    --bench-out BENCH_serve.json
+ *
+ * --bench runs the standard ladder (1, 8, and 64 concurrent clients)
+ * plus a cache cold-vs-warm phase (unique sources force assembly;
+ * repeated sources hit the server's content-addressed program cache)
+ * and writes the results as BENCH_serve.json.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/cliopts.h"
+#include "common/ioutil.h"
+#include "common/jsonutil.h"
+#include "common/netio.h"
+#include "common/outputspec.h"
+#include "extensions/registry.h"
+#include "sim/sim_response.h"
+
+using namespace flexcore;
+
+namespace {
+
+constexpr int kConnectAttempts = 50;
+constexpr int kConnectDelayMs = 100;
+
+/** Wrap a request document in the protocol envelope. */
+std::string
+simEnvelope(const std::string &request_json)
+{
+    return "{\"op\": \"sim\", \"request\": " + request_json + "}";
+}
+
+struct PhaseResult
+{
+    u64 requests = 0;
+    u64 errors = 0;
+    double wall_seconds = 0;
+    std::vector<double> latencies_ms;   //!< merged, unsorted
+
+    double
+    percentileMs(double p) const
+    {
+        if (latencies_ms.empty())
+            return 0;
+        std::vector<double> sorted = latencies_ms;
+        std::sort(sorted.begin(), sorted.end());
+        const size_t at = std::min(
+            sorted.size() - 1,
+            static_cast<size_t>(p * static_cast<double>(sorted.size())));
+        return sorted[at];
+    }
+
+    double
+    requestsPerSec() const
+    {
+        return wall_seconds > 0
+                   ? static_cast<double>(requests) / wall_seconds
+                   : 0;
+    }
+};
+
+/**
+ * One client: connect, issue every envelope in order, record
+ * latencies. Each envelope may be followed by a binary trace frame
+ * (per @p trace_frames); the first fully-decoded response is stored
+ * into @p first_response / @p first_trace when non-null.
+ */
+void
+clientLoop(const netio::Endpoint &endpoint,
+           const std::vector<std::string> *envelopes, bool trace_frames,
+           std::vector<double> *latencies_ms, u64 *errors,
+           SimResponse *first_response, std::string *first_trace,
+           std::string *fail)
+{
+    std::string error;
+    const int fd = netio::connectWithRetry(endpoint, kConnectAttempts,
+                                           kConnectDelayMs, &error);
+    if (fd < 0) {
+        *fail = error;
+        return;
+    }
+    bool first = true;
+    for (const std::string &envelope : *envelopes) {
+        const auto t0 = std::chrono::steady_clock::now();
+        std::string payload;
+        if (!netio::sendFrame(fd, envelope) ||
+            !netio::recvFrame(fd, &payload, &error)) {
+            *fail = error.empty() ? "server closed the connection"
+                                  : error;
+            break;
+        }
+        SimResponse response;
+        std::string decode_error;
+        if (!simResponseFromJson(payload, &response, &decode_error)) {
+            *fail = "bad response: " + decode_error;
+            break;
+        }
+        std::string trace;
+        if (trace_frames && !response.error &&
+            !netio::recvFrame(fd, &trace, &error)) {
+            *fail = "missing trace frame: " + error;
+            break;
+        }
+        latencies_ms->push_back(
+            std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - t0)
+                .count());
+        if (response.error) {
+            ++*errors;
+            if (first && fail->empty()) {
+                *fail = std::string(
+                            configErrorName(response.error.code)) +
+                        ": " + response.error.message;
+            }
+        } else if (first) {
+            if (first_response)
+                *first_response = std::move(response);
+            if (first_trace)
+                *first_trace = std::move(trace);
+        }
+        first = false;
+    }
+    netio::closeSocket(fd);
+}
+
+/** Drive @p clients concurrent connections, @p envelopes each. */
+PhaseResult
+runPhase(const netio::Endpoint &endpoint, unsigned clients,
+         const std::vector<std::string> &envelopes, bool trace_frames,
+         SimResponse *first_response, std::string *first_trace)
+{
+    PhaseResult phase;
+    std::vector<std::vector<double>> latencies(clients);
+    std::vector<u64> errors(clients, 0);
+    std::vector<std::string> fails(clients);
+    std::vector<std::thread> threads;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (unsigned c = 0; c < clients; ++c) {
+        threads.emplace_back(clientLoop, std::cref(endpoint), &envelopes,
+                             trace_frames, &latencies[c], &errors[c],
+                             c == 0 ? first_response : nullptr,
+                             c == 0 ? first_trace : nullptr, &fails[c]);
+    }
+    for (std::thread &t : threads)
+        t.join();
+    phase.wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      t0)
+            .count();
+    for (unsigned c = 0; c < clients; ++c) {
+        phase.requests += latencies[c].size();
+        phase.errors += errors[c];
+        phase.latencies_ms.insert(phase.latencies_ms.end(),
+                                  latencies[c].begin(),
+                                  latencies[c].end());
+        if (!fails[c].empty())
+            std::fprintf(stderr, "[flexcore-loadgen] client %u: %s\n",
+                         c, fails[c].c_str());
+    }
+    return phase;
+}
+
+double
+meanMs(const std::vector<double> &samples)
+{
+    if (samples.empty())
+        return 0;
+    double total = 0;
+    for (double s : samples)
+        total += s;
+    return total / static_cast<double>(samples.size());
+}
+
+/** Send one control op ({"op": "..."}) on a fresh connection. */
+bool
+sendOp(const netio::Endpoint &endpoint, const char *op,
+       std::string *reply, std::string *error)
+{
+    const int fd = netio::connectWithRetry(endpoint, kConnectAttempts,
+                                           kConnectDelayMs, error);
+    if (fd < 0)
+        return false;
+    const std::string envelope =
+        std::string("{\"op\": \"") + op + "\"}";
+    const bool ok = netio::sendFrame(fd, envelope) &&
+                    netio::recvFrame(fd, reply, error);
+    netio::closeSocket(fd);
+    return ok;
+}
+
+}  // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string connect = "unix:flexcore.sock";
+    std::string workload_name = "sha";
+    std::string scale_name = "test";
+    std::string source_path;
+    std::string monitor_name;
+    bool mode_given = false;
+    u32 clients = 1;
+    u32 requests = 1;
+    bool bench = false;
+    std::string bench_out = "BENCH_serve.json";
+    bool do_shutdown = false;
+    bool print_response = false;
+    SystemConfig config;
+    OutputSpec ospec;
+
+    cli::Parser parser("flexcore-loadgen",
+                       "drive a flexcore-serve instance");
+    parser.option("--connect", &connect, "ENDPOINT",
+                  "server endpoint, unix:PATH or tcp:HOST:PORT "
+                  "(default unix:flexcore.sock)");
+    parser.option("--workload", &workload_name, "NAME",
+                  "suite workload to request (default sha)");
+    parser.choice("--scale", {"test", "full"},
+                  [&](size_t i) { scale_name = i == 0 ? "test" : "full"; },
+                  "workload input size (default test)");
+    parser.option("--source", &source_path, "FILE",
+                  "send this .s file instead of a named workload "
+                  "(- = stdin; no golden verification)");
+    parser.option("--monitor", &monitor_name, "NAME",
+                  "monitoring extension: none, " + knownMonitorNames() +
+                      " (default none)");
+    parser.choice("--mode", {"baseline", "asic", "flexcore", "software"},
+                  [&](size_t i) {
+                      static const ImplMode modes[] = {
+                          ImplMode::kBaseline, ImplMode::kAsic,
+                          ImplMode::kFlexFabric, ImplMode::kSoftware};
+                      config.mode = modes[i];
+                      mode_given = true;
+                  },
+                  "implementation mode (default flexcore when a "
+                  "monitor is set)");
+    parser.option("--clients", &clients, "N",
+                  "concurrent connections (default 1)");
+    parser.option("--requests", &requests, "N",
+                  "requests per connection (default 1)");
+    parser.flag("--bench", &bench,
+                "run the benchmark ladder (1, 8, 64 clients) plus a "
+                "cache cold/warm phase and write --bench-out");
+    parser.option("--bench-out", &bench_out, "FILE",
+                  "benchmark result JSON (default BENCH_serve.json, "
+                  "- = stdout)");
+    parser.flag("--shutdown", &do_shutdown,
+                "send a shutdown op when done");
+    parser.flag("--print-response", &print_response,
+                "print the first response document to stdout");
+    ospec.attach(&parser,
+                 kSpecExecMode | kSpecSampling | kSpecFaults |
+                     kSpecWatchdog | kSpecMaxCycles | kSpecStatsJson |
+                     kSpecProfileFile | kSpecTrace | kSpecFastForward |
+                     kSpecHistograms | kSpecListMonitors);
+    parser.footer(
+        "--stats-json/--profile-json/--trace-out request those outputs\n"
+        "from the server and write the returned bytes locally, so\n"
+        "`flexcore-loadgen --stats-json a.json` and `flexcore-run\n"
+        "--stats-json b.json` of the same configuration produce\n"
+        "byte-identical documents (CI cmp-gates this).\n");
+    parser.parseOrExit(argc, argv);
+
+    if (ospec.handledListMonitors())
+        return 0;
+    if (!ospec.trace_json_path.empty()) {
+        std::fprintf(stderr,
+                     "flexcore-loadgen: --trace-json is not available "
+                     "over the wire; use --trace-out (FXTR) and "
+                     "`flexcore-trace export --chrome`\n");
+        return 2;
+    }
+    if (!monitor_name.empty() &&
+        !parseMonitorKind(monitor_name, &config.monitor)) {
+        std::fprintf(stderr,
+                     "flexcore-loadgen: unknown monitor '%s' (known: "
+                     "none, %s)\n",
+                     monitor_name.c_str(), knownMonitorNames().c_str());
+        return 2;
+    }
+    if (config.monitor != MonitorKind::kNone && !mode_given)
+        config.mode = ImplMode::kFlexFabric;
+    if (!ospec.apply(&config, "flexcore-loadgen"))
+        return 2;
+
+    netio::Endpoint endpoint;
+    std::string error;
+    if (!netio::parseEndpoint(connect, &endpoint, &error)) {
+        std::fprintf(stderr, "flexcore-loadgen: %s\n", error.c_str());
+        return 2;
+    }
+
+    // Build the one request every connection repeats. The wire schema
+    // carries intent (names, flags), not process-local state, so the
+    // same document produces the same run on any server.
+    WorkloadScale scale = WorkloadScale::kTest;
+    parseWorkloadScale(scale_name, &scale);
+    std::string source_text;
+    SimRequest request(config);
+    if (!source_path.empty()) {
+        if (!readTextOrStdin(source_path, &source_text)) {
+            std::fprintf(stderr, "flexcore-loadgen: cannot open %s\n",
+                         source_path.c_str());
+            return 2;
+        }
+        request.source(source_text);
+    } else {
+        // Pre-check the name: workloadByName() is fatal on unknowns,
+        // and a typo deserves a usage error, not a crash dump.
+        Workload probe;
+        if (!makeWorkload(workload_name, scale, &probe)) {
+            std::fprintf(stderr,
+                         "flexcore-loadgen: unknown workload '%s' "
+                         "(known: %s)\n",
+                         workload_name.c_str(),
+                         knownWorkloadNames().c_str());
+            return 2;
+        }
+        request.workloadByName(workload_name, scale);
+    }
+    ospec.configureWireRequest(&request);
+    const std::string request_json = request.toJson();
+    const bool want_trace = request.traceFxtrRequested();
+
+    const std::vector<std::string> envelopes(
+        requests, simEnvelope(request_json));
+
+    int exit_code = 0;
+    SimResponse first_response;
+    std::string first_trace;
+
+    if (!bench) {
+        const PhaseResult phase =
+            runPhase(endpoint, clients, envelopes, want_trace,
+                     &first_response, &first_trace);
+        std::fprintf(stderr,
+                     "[flexcore-loadgen] %llu requests (%u clients x "
+                     "%u), %llu errors, %.2fs, %.1f req/s, p50 %.1fms, "
+                     "p99 %.1fms\n",
+                     static_cast<unsigned long long>(phase.requests),
+                     clients, requests,
+                     static_cast<unsigned long long>(phase.errors),
+                     phase.wall_seconds, phase.requestsPerSec(),
+                     phase.percentileMs(0.50), phase.percentileMs(0.99));
+        if (phase.errors > 0 ||
+            phase.requests !=
+                static_cast<u64>(clients) * static_cast<u64>(requests))
+            exit_code = 1;
+    } else {
+        // ---- Benchmark mode: the ladder plus cold/warm caching ----
+        std::string json = "{\n  \"bench\": \"serve\",\n";
+        json += "  \"endpoint\": \"" + jsonEscape(connect) + "\",\n";
+        if (!source_path.empty()) {
+            json += "  \"source\": \"" + jsonEscape(source_path) +
+                    "\",\n";
+        } else {
+            json += "  \"workload\": \"" + jsonEscape(workload_name) +
+                    "\",\n  \"scale\": \"" + jsonEscape(scale_name) +
+                    "\",\n";
+        }
+        json += "  \"monitor\": \"";
+        json += monitorKindName(config.monitor);
+        json += "\",\n  \"mode\": \"";
+        json += implModeName(config.mode);
+        json += "\",\n  \"requests_per_client\": " +
+                std::to_string(requests) + ",\n  \"ladder\": [\n";
+
+        const unsigned kLadder[] = {1, 8, 64};
+        for (size_t i = 0; i < std::size(kLadder); ++i) {
+            const unsigned c = kLadder[i];
+            const PhaseResult phase = runPhase(
+                endpoint, c, envelopes, want_trace,
+                i == 0 ? &first_response : nullptr,
+                i == 0 ? &first_trace : nullptr);
+            if (phase.errors > 0)
+                exit_code = 1;
+            char buf[192];
+            std::snprintf(
+                buf, sizeof(buf),
+                "    {\"clients\": %u, \"requests\": %llu, "
+                "\"wall_seconds\": %.6f, \"requests_per_sec\": %.1f, "
+                "\"p50_ms\": %.3f, \"p99_ms\": %.3f}%s\n",
+                c, static_cast<unsigned long long>(phase.requests),
+                phase.wall_seconds, phase.requestsPerSec(),
+                phase.percentileMs(0.50), phase.percentileMs(0.99),
+                i + 1 < std::size(kLadder) ? "," : "");
+            json += buf;
+            std::fprintf(stderr,
+                         "[flexcore-loadgen] ladder %2u clients: %.1f "
+                         "req/s, p50 %.1fms, p99 %.1fms\n",
+                         c, phase.requestsPerSec(),
+                         phase.percentileMs(0.50),
+                         phase.percentileMs(0.99));
+        }
+        json += "  ],\n";
+
+        // Cold vs warm: unique sources defeat the content-addressed
+        // cache (every request assembles); a repeated source hits it
+        // after the first miss. The workload's own source is the
+        // subject so cold and warm run the same program.
+        std::string base_source = source_text;
+        if (base_source.empty()) {
+            Workload wl;
+            makeWorkload(workload_name, scale, &wl);
+            base_source = wl.source;
+        }
+        constexpr unsigned kCacheSamples = 8;
+        std::vector<std::string> cold;
+        for (unsigned i = 0; i < kCacheSamples; ++i) {
+            SimRequest cold_request(config);
+            cold_request.source(base_source + "\n! cache-bust " +
+                                std::to_string(i) + "\n");
+            cold.push_back(simEnvelope(cold_request.toJson()));
+        }
+        SimRequest warm_request(config);
+        warm_request.source(base_source + "\n! cache-warm\n");
+        const std::vector<std::string> warm(
+            kCacheSamples, simEnvelope(warm_request.toJson()));
+
+        const PhaseResult cold_phase =
+            runPhase(endpoint, 1, cold, false, nullptr, nullptr);
+        const PhaseResult warm_phase =
+            runPhase(endpoint, 1, warm, false, nullptr, nullptr);
+        if (cold_phase.errors > 0 || warm_phase.errors > 0)
+            exit_code = 1;
+        // Drop the warm phase's first sample: it is the one legitimate
+        // miss that populates the cache entry.
+        std::vector<double> warm_hits = warm_phase.latencies_ms;
+        if (!warm_hits.empty())
+            warm_hits.erase(warm_hits.begin());
+        const double cold_ms = meanMs(cold_phase.latencies_ms);
+        const double warm_ms = meanMs(warm_hits);
+        char buf[224];
+        std::snprintf(
+            buf, sizeof(buf),
+            "  \"cache\": {\"cold_samples\": %u, \"cold_mean_ms\": "
+            "%.3f, \"warm_samples\": %zu, \"warm_mean_ms\": %.3f, "
+            "\"speedup\": %.3f}\n}\n",
+            kCacheSamples, cold_ms, warm_hits.size(), warm_ms,
+            warm_ms > 0 ? cold_ms / warm_ms : 0.0);
+        json += buf;
+        std::fprintf(stderr,
+                     "[flexcore-loadgen] cache: cold %.1fms, warm "
+                     "%.1fms (%.2fx)\n",
+                     cold_ms, warm_ms,
+                     warm_ms > 0 ? cold_ms / warm_ms : 0.0);
+
+        writeTextOrStdout(bench_out, json);
+        if (!isStdoutPath(bench_out))
+            std::fprintf(stderr, "[flexcore-loadgen] wrote %s\n",
+                         bench_out.c_str());
+    }
+
+    // Local artifacts from the first served response: the byte-exact
+    // documents the server captured (the cmp-gate surface).
+    if (!ospec.stats_json_path.empty() &&
+        !first_response.stats_json.empty())
+        writeTextOrStdout(ospec.stats_json_path,
+                          first_response.stats_json);
+    if (!ospec.profile_json_path.empty() &&
+        !first_response.profile_json.empty())
+        writeTextOrStdout(ospec.profile_json_path,
+                          first_response.profile_json);
+    if (!ospec.trace_out_path.empty() && !first_trace.empty()) {
+        if (isStdoutPath(ospec.trace_out_path)) {
+            std::fwrite(first_trace.data(), 1, first_trace.size(),
+                        stdout);
+            std::fflush(stdout);
+        } else {
+            std::FILE *f =
+                std::fopen(ospec.trace_out_path.c_str(), "wb");
+            if (!f) {
+                std::fprintf(stderr,
+                             "flexcore-loadgen: cannot open %s\n",
+                             ospec.trace_out_path.c_str());
+                return 2;
+            }
+            std::fwrite(first_trace.data(), 1, first_trace.size(), f);
+            std::fclose(f);
+        }
+    }
+    if (print_response)
+        writeTextOrStdout("-", simResponseJson(first_response));
+
+    if (do_shutdown) {
+        std::string reply;
+        if (!sendOp(endpoint, "shutdown", &reply, &error)) {
+            std::fprintf(stderr,
+                         "flexcore-loadgen: shutdown failed: %s\n",
+                         error.c_str());
+            return exit_code ? exit_code : 1;
+        }
+    }
+    return exit_code;
+}

@@ -24,6 +24,7 @@
 #include "common/cliopts.h"
 #include "common/ioutil.h"
 #include "common/log.h"
+#include "common/outputspec.h"
 #include "core/profile.h"
 #include "extensions/registry.h"
 #include "sim/sim_request.h"
@@ -139,28 +140,17 @@ main(int argc, char **argv)
                   "repetitions per row, best wins (default: 2 full, "
                   "1 quick)");
     parser.option("--out", &out_path, "FILE",
-                  "result JSON path (default BENCH_perf.json)");
+                  "result JSON path (default BENCH_perf.json, "
+                  "- = stdout)");
     parser.flag("--no-json", &no_json, "disable the JSON output");
-    bool no_fast_forward = false;
-    parser.flag("--no-fast-forward", &no_fast_forward,
-                "measure with quiescence fast-forwarding disabled "
-                "(isolates its contribution)");
-    bool list_monitors = false;
-    parser.flag("--list-monitors", &list_monitors,
-                "list every registered monitoring extension and exit");
-    std::string profile_json_path;
-    parser.option("--profile-json", &profile_json_path, "FILE",
-                  "after the timed matrix, rerun each row once untimed "
-                  "with the per-PC profiler attached and write the "
-                  "hotspot reports to FILE (- = stdout); the timed "
-                  "numbers above are never measured with the profiler "
-                  "on");
+    OutputSpec ospec;
+    ospec.attach(&parser, kSpecFastForward | kSpecProfileFile |
+                              kSpecListMonitors);
     parser.parseOrExit(argc, argv);
 
-    if (list_monitors) {
-        std::fputs(listMonitorsText().c_str(), stdout);
+    if (ospec.handledListMonitors())
         return 0;
-    }
+    const bool no_fast_forward = ospec.no_fast_forward;
 
     const WorkloadScale scale =
         quick ? WorkloadScale::kTest : WorkloadScale::kFull;
@@ -240,7 +230,7 @@ main(int argc, char **argv)
 
     // The per-PC profile is captured in separate, untimed runs so the
     // timed matrix above never pays the attribution cost.
-    if (!profile_json_path.empty()) {
+    if (!ospec.profile_json_path.empty()) {
         std::string profiles = "{";
         bool first = true;
         for (const MatrixRow &row : kMatrix) {
@@ -252,10 +242,11 @@ main(int argc, char **argv)
                 config.mode = row.mode;
                 config.exec_mode = row.exec;
                 config.fast_forward = !no_fast_forward;
-                const SimOutcome out = SimRequest(std::move(config))
-                                           .workload(w)
-                                           .profileJson(10)
-                                           .run();
+                const SimOutcome out =
+                    SimRequest(std::move(config))
+                        .workload(w)
+                        .profileJson(ospec.effectiveProfileTop())
+                        .run();
                 if (!first)
                     profiles += ", ";
                 first = false;
@@ -264,7 +255,7 @@ main(int argc, char **argv)
             }
         }
         profiles += "}";
-        writeTextOrStdout(profile_json_path, profiles);
+        writeTextOrStdout(ospec.profile_json_path, profiles);
     }
 
     if (no_json)
@@ -306,12 +297,9 @@ main(int argc, char **argv)
         json += buf;
     }
     json += "  ]\n}\n";
-    std::FILE *out = std::fopen(out_path.c_str(), "w");
-    if (!out)
-        FLEX_FATAL("cannot open '", out_path, "' for writing");
-    std::fwrite(json.data(), 1, json.size(), out);
-    std::fclose(out);
-    std::fprintf(stderr, "[flexcore-perf] wrote %s\n",
-                 out_path.c_str());
+    writeTextOrStdout(out_path, json);
+    if (!isStdoutPath(out_path))
+        std::fprintf(stderr, "[flexcore-perf] wrote %s\n",
+                     out_path.c_str());
     return 0;
 }

@@ -13,19 +13,16 @@
  */
 
 #include <cstdio>
-#include <fstream>
 #include <optional>
-#include <sstream>
 #include <string>
-#include <vector>
 
 #include "assembler/assembler.h"
 #include "common/cliopts.h"
 #include "common/ioutil.h"
+#include "common/outputspec.h"
 #include "common/trace_stream.h"
 #include "core/profile.h"
 #include "extensions/registry.h"
-#include "faults/fault_plan.h"
 #include "isa/disasm.h"
 #include "sim/sim_request.h"
 
@@ -39,27 +36,15 @@ main(int argc, char **argv)
     bool dump_stats = false;
     bool trace = false;
     bool quiet = false;
-    bool no_fast_forward = false;
-    bool no_histograms = false;
-    bool list_monitors = false;
     std::string monitor_name;
-    std::string exec_mode_name;
     std::string path;
-    std::string stats_json_path;
-    std::string trace_json_path;
-    std::string trace_out_path;
-    std::string profile_json_path;
-    u32 profile_top = 10;
-    std::vector<std::string> inject_specs;
-    std::string fault_plan_path;
+    OutputSpec spec;
 
     cli::Parser parser("flexcore-run",
                        "assemble and run a SPARC-subset program");
     parser.option("--monitor", &monitor_name, "NAME",
                   "monitoring extension: none, " + knownMonitorNames() +
                       " (aliases accepted; default none)");
-    parser.flag("--list-monitors", &list_monitors,
-                "list every registered monitoring extension and exit");
     parser.choice("--mode", {"baseline", "asic", "flexcore", "software"},
                   [&](size_t i) {
                       static const ImplMode modes[] = {
@@ -80,70 +65,28 @@ main(int argc, char **argv)
                   "DIFT taint width (1 or 4)");
     parser.flag("--precise", &config.precise_exceptions,
                 "precise monitor exceptions");
-    parser.option("--exec-mode", &exec_mode_name, "MODE",
-                  "execution engine: interp (golden, default) or "
-                  "threaded (function-pointer superblock dispatch; "
-                  "identical results, faster)");
-    parser.option("--sample-window", &config.sample_window, "N",
-                  "sampled timing: detailed instructions per sampling "
-                  "unit (requires --sample-period)");
-    parser.option("--sample-period", &config.sample_period, "N",
-                  "sampled timing: instructions per sampling unit; the "
-                  "first --sample-window of each run in full detail, "
-                  "the rest functionally warmed (cycles become a "
-                  "CPI-extrapolated estimate)");
     parser.option("--fault-rate", &config.fault_rate, "P",
                   "ALU transient-fault probability");
-    parser.option("--max-cycles", &config.max_cycles, "N",
-                  "simulation cycle limit");
-    parser.option("--watchdog-commits", &config.watchdog_commits, "N",
-                  "end the run as a hang after N consecutive cycles "
-                  "without a commit (0 = off)");
-    parser.list("--inject", &inject_specs, "SPEC",
-                "schedule one fault, e.g. reg@i1200:t17:b3 or "
-                "mem@c5000:t0x2040:b5 or ffifo@c900:t2:b12:fsrcv1; "
-                "repeatable");
-    parser.option("--fault-plan", &fault_plan_path, "FILE",
-                  "load a fault plan (JSON document or compact specs, "
-                  "see docs/fault_injection.md)");
     parser.flag("--stats", &dump_stats, "dump the statistics tree");
-    parser.option("--stats-json", &stats_json_path, "FILE",
-                  "write the statistics tree to FILE as canonical JSON "
-                  "(- = stdout)");
-    parser.option("--profile-json", &profile_json_path, "FILE",
-                  "write the per-PC cycle-attribution hotspot report to "
-                  "FILE as canonical JSON (- = stdout)");
-    parser.option("--profile-top", &profile_top, "N",
-                  "PCs per bucket in the --profile-json top lists "
-                  "(default 10)");
     parser.flag("--trace", &trace, "print every committed instruction");
-    parser.option("--trace-json", &trace_json_path, "FILE",
-                  "write a Chrome trace-event file to FILE (open in "
-                  "Perfetto or chrome://tracing)");
-    parser.option("--trace-out", &trace_out_path, "FILE",
-                  "stream a binary FXTR trace to FILE (O(1) memory; "
-                  "inspect with flexcore-trace)");
-    parser.flag("--no-fast-forward", &no_fast_forward,
-                "disable quiescent-stretch fast-forwarding (results are "
-                "identical either way; this exists to prove it)");
-    parser.flag("--no-histograms", &no_histograms,
-                "suppress the histogram sampling that --stats-json "
-                "normally implies (for byte-comparing stats against an "
-                "--exec-mode threaded run, which cannot sample)");
     parser.flag("--quiet", &quiet, "suppress the run summary");
+    spec.attach(&parser,
+                kSpecExecMode | kSpecSampling | kSpecFaults |
+                    kSpecWatchdog | kSpecMaxCycles | kSpecStatsJson |
+                    kSpecProfileFile | kSpecTrace | kSpecFastForward |
+                    kSpecHistograms | kSpecListMonitors);
     parser.positional("program.s", &path, /*required=*/false);
     parser.footer(
         "Streams: the simulated program's console output goes to stdout\n"
         "(flushed first); the run summary, --stats dump, and --trace\n"
         "disassembly go to stderr, so stdout stays clean for piping.\n"
         "With --stats-json - or --profile-json -, that JSON document\n"
-        "claims stdout and the program console moves to stderr.\n");
+        "claims stdout and the program console moves to stderr.\n"
+        "program.s of - reads the program from stdin.\n");
     parser.parseOrExit(argc, argv);
 
-    if (list_monitors) {
-        std::fputs(listMonitorsText().c_str(), stdout);
+    if (spec.handledListMonitors())
         return 0;
-    }
     if (path.empty()) {
         std::fprintf(stderr, "missing program.s\n%s\n",
                      parser.usageLine().c_str());
@@ -158,97 +101,30 @@ main(int argc, char **argv)
         return 2;
     }
 
-    if (!exec_mode_name.empty() &&
-        !parseExecMode(exec_mode_name, &config.exec_mode)) {
-        std::fprintf(stderr,
-                     "unknown exec mode '%s' (interp or threaded)\n",
-                     exec_mode_name.c_str());
-        return 2;
-    }
-
     if (config.monitor != MonitorKind::kNone && !mode_given)
         config.mode = ImplMode::kFlexFabric;
-    if (no_fast_forward)
-        config.fast_forward = false;
-
-    if (!fault_plan_path.empty()) {
-        std::ifstream plan_file(fault_plan_path);
-        if (!plan_file) {
-            std::fprintf(stderr, "cannot open %s\n",
-                         fault_plan_path.c_str());
-            return 2;
-        }
-        std::stringstream plan_text;
-        plan_text << plan_file.rdbuf();
-        std::string error;
-        if (!parseFaultPlan(plan_text.str(), &config.faults, &error)) {
-            std::fprintf(stderr, "%s: %s\n", fault_plan_path.c_str(),
-                         error.c_str());
-            return 2;
-        }
-    }
-    for (const std::string &text : inject_specs) {
-        FaultSpec spec;
-        std::string error;
-        if (!parseFaultSpec(text, &spec, &error)) {
-            std::fprintf(stderr, "--inject %s: %s\n", text.c_str(),
-                         error.c_str());
-            return 2;
-        }
-        config.faults.specs.push_back(spec);
-    }
-    if (std::string why = validateFaultPlan(config.faults);
-        !why.empty()) {
-        std::fprintf(stderr, "invalid fault plan: %s\n", why.c_str());
+    if (!spec.apply(&config, "flexcore-run"))
         return 2;
-    }
 
-    std::ifstream file(path);
-    if (!file) {
+    std::string source;
+    if (!readTextOrStdin(path, &source)) {
         std::fprintf(stderr, "cannot open %s\n", path.c_str());
         return 2;
     }
-    std::stringstream source;
-    source << file.rdbuf();
 
     Assembler assembler;
     Program program;
-    if (!assembler.assemble(source.str(), &program)) {
+    if (!assembler.assemble(source, &program)) {
         std::fprintf(stderr, "%s: assembly failed\n%s", path.c_str(),
                      assembler.errorText().c_str());
         return 1;
     }
 
-    // Observability output implies histogram sampling: the JSON should
-    // carry populated occupancy/queue-depth distributions. Threaded
-    // dispatch and sampled timing skip per-cycle bookkeeping, so the
-    // implication is suppressed there (an explicit --trace-json under
-    // sampling still reaches finalize() and is rejected with a typed
-    // error; under threaded it is legal and falls back to the per-cycle
-    // loop).
-    if ((!stats_json_path.empty() || !trace_json_path.empty()) &&
-        !no_histograms && config.exec_mode == ExecMode::kInterp &&
-        config.sample_period == 0) {
-        config.histograms = true;
-    }
-    if (!trace_json_path.empty() && !trace_out_path.empty()) {
-        std::fprintf(stderr, "--trace-json and --trace-out are mutually "
-                             "exclusive (one trace sink per run)\n");
-        return 2;
-    }
-
     SimRequest request(config);
     request.program(std::move(program));
     TraceBuffer sink;
-    if (!trace_json_path.empty())
-        request.trace(&sink);
     std::optional<TraceStreamWriter> stream;
-    if (!trace_out_path.empty()) {
-        stream.emplace(trace_out_path);
-        request.traceStream(&*stream);
-    }
-    if (!profile_json_path.empty())
-        request.profileJson(profile_top);
+    spec.configureRequest(&request, &sink, &stream);
     if (trace) {
         request.tracer(
             [](Cycle cycle, Addr pc, const Instruction &inst) {
@@ -257,8 +133,6 @@ main(int argc, char **argv)
                              disassemble(inst, pc).c_str());
             });
     }
-    if (!stats_json_path.empty())
-        request.statsJson();
     if (dump_stats)
         request.statsDump();
     const SimOutcome outcome = request.run();
@@ -267,8 +141,7 @@ main(int argc, char **argv)
     // When a JSON report claims stdout (--stats-json - / --profile-json
     // -), the simulated console moves to stderr so stdout stays a
     // single machine-readable document for piping.
-    const bool json_on_stdout = isStdoutPath(stats_json_path) ||
-                                isStdoutPath(profile_json_path);
+    const bool json_on_stdout = spec.jsonOnStdout();
     std::fputs(result.console.c_str(),
                json_on_stdout ? stderr : stdout);
     // Flush the program's console before any stderr reporting so the
@@ -333,12 +206,7 @@ main(int argc, char **argv)
     }
     if (dump_stats)
         std::fputs(outcome.stats_text.c_str(), stderr);
-    if (!stats_json_path.empty())
-        writeTextOrStdout(stats_json_path, outcome.stats_json);
-    if (!profile_json_path.empty())
-        writeTextOrStdout(profile_json_path, outcome.profile_json);
-    if (!trace_json_path.empty())
-        sink.write(trace_json_path);
+    spec.writeOutputs(outcome, &sink);
     if (stream)
         stream->finish();
 

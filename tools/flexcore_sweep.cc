@@ -20,6 +20,7 @@
 
 #include "common/cliopts.h"
 #include "common/log.h"
+#include "common/outputspec.h"
 #include "common/threadpool.h"
 #include "extensions/registry.h"
 #include "sim/campaign.h"
@@ -70,15 +71,8 @@ main(int argc, char **argv)
     options.progress = isatty(STDERR_FILENO);
     std::string out = "sweep.json";
     bool no_progress = false;
-    bool list_monitors = false;
     u32 jobs_opt = 0;
-    u64 max_cycles = 0;
-    u64 watchdog_commits = 0;
-    std::string exec_mode_name;
-    u64 sample_window = 0;
-    u64 sample_period = 0;
-    bool profile_json = false;
-    u32 profile_top = 0;
+    OutputSpec ospec;
 
     cli::Parser parser("flexcore-sweep",
                        "run a design-space campaign");
@@ -98,60 +92,32 @@ main(int argc, char **argv)
                   "workload input size (default full)");
     parser.option("--jobs", &jobs_opt, "N",
                   "worker threads (default: all hardware threads)");
-    parser.option("--max-cycles", &max_cycles, "N",
-                  "per-job simulation cycle limit (0 = default)");
-    parser.option("--watchdog-commits", &watchdog_commits, "N",
-                  "per-job no-commit watchdog threshold (0 = off)");
-    parser.option("--exec-mode", &exec_mode_name, "MODE",
-                  "execution engine for every job: interp (default) or "
-                  "threaded (identical results, faster)");
-    parser.option("--sample-window", &sample_window, "N",
-                  "sampled timing: detailed instructions per unit");
-    parser.option("--sample-period", &sample_period, "N",
-                  "sampled timing: instructions per sampling unit "
-                  "(cycles become CPI-extrapolated estimates)");
     parser.option("--out", &out, "FILE",
-                  "write merged JSON (default sweep.json)");
+                  "write merged JSON (default sweep.json, - = stdout)");
     parser.list("--stat", &options.stat_paths, "PATH",
                 "embed this dotted counter path (e.g. core.cycles) in "
                 "every result row; repeatable");
-    parser.flag("--profile-json", &profile_json,
-                "embed the per-PC cycle-attribution hotspot report in "
-                "every result row as a \"profile\" object");
-    parser.option("--profile-top", &profile_top, "N",
-                  "PCs per bucket in embedded profiles (default 10; "
-                  "implies --profile-json)");
     parser.flag("--no-progress", &no_progress,
                 "disable the live progress line");
-    parser.flag("--list-monitors", &list_monitors,
-                "list every registered monitoring extension and exit");
+    ospec.attach(&parser,
+                 kSpecExecMode | kSpecSampling | kSpecWatchdog |
+                     kSpecMaxCycles | kSpecProfileEmbed |
+                     kSpecListMonitors);
     parser.parseOrExit(argc, argv);
 
-    if (list_monitors) {
-        std::fputs(listMonitorsText().c_str(), stdout);
+    if (ospec.handledListMonitors())
         return 0;
-    }
 
     options.jobs = jobs_opt;
     if (no_progress)
         options.progress = false;
     options.label = grid;
-    if (profile_json || profile_top)
-        options.profile_top = profile_top ? profile_top : 10;
+    if (ospec.profileRequested())
+        options.profile_top = ospec.effectiveProfileTop();
 
     SweepSpec spec = makeGrid(grid, scale);
-    if (max_cycles)
-        spec.base.max_cycles = max_cycles;
-    spec.base.watchdog_commits = watchdog_commits;
-    if (!exec_mode_name.empty() &&
-        !parseExecMode(exec_mode_name, &spec.base.exec_mode)) {
-        std::fprintf(stderr,
-                     "unknown exec mode '%s' (interp or threaded)\n",
-                     exec_mode_name.c_str());
+    if (!ospec.apply(&spec.base, "flexcore-sweep"))
         return 2;
-    }
-    spec.base.sample_window = sample_window;
-    spec.base.sample_period = sample_period;
     if (ConfigError error = SystemConfig(spec.base).finalize()) {
         std::fprintf(stderr, "flexcore-sweep: %s\n",
                      error.message.c_str());

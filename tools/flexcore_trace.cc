@@ -445,8 +445,10 @@ usage(FILE *to)
         "                                   (exit 0 identical, 1 differ)\n"
         "  stats FILE [-o OUT]              duration histograms\n"
         "\n"
-        "FILE is a binary FXTR stream from --trace-out. OUT of -\n"
-        "means stdout (the default).\n",
+        "FILE is a binary FXTR stream from --trace-out; a FILE of -\n"
+        "reads the stream from stdin (so `flexcore-run --trace-out - |\n"
+        "flexcore-trace report -` needs no temp file). OUT of - means\n"
+        "stdout (the default).\n",
         to);
     return to == stdout ? 0 : 2;
 }
