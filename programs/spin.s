@@ -1,0 +1,16 @@
+; Deliberately non-terminating: an infinite loop that keeps committing
+; instructions, so it defeats every in-simulation bound short of
+; max_cycles — the no-commit watchdog sees steady progress and
+; fast-forward never finds an idle stretch. Exists to exercise the
+; serving layer's wall-clock deadline (docs/serve.md): submitted with
+; --default-deadline-ms it must come back as a typed deadline_exceeded
+; error while the server keeps serving.
+;
+;   ./build/tools/flexcore-run --max-cycles 100000 programs/spin.s
+;
+        .org 0x1000
+_start: set 0x003ffff0, %sp
+        mov 0, %g2
+spin:   add %g2, 1, %g2         ; commit forever
+        ba spin
+        nop

@@ -201,4 +201,61 @@ wait "$serve_pid"
     --stats-json "$tmpdir/serve_local.json" programs/hello.s > /dev/null
 cmp "$tmpdir/serve_local.json" "$tmpdir/serve_remote.json"
 
+echo "== serve resilience: deadline =="
+# A non-terminating program (programs/spin.s defeats the watchdog and
+# fast-forward) submitted under a wall-clock deadline must come back
+# as a typed deadline_exceeded error within 2x the deadline, and the
+# server must keep serving afterwards (docs/serve.md).
+rm -f "$tmpdir/serve_dl.sock"
+./build/tools/flexcore-serve --listen "unix:$tmpdir/serve_dl.sock" \
+    --quiet --default-deadline-ms 300 --max-requests 1 &
+serve_pid=$!
+dl_start="$(date +%s)"
+./build/tools/flexcore-loadgen --connect "unix:$tmpdir/serve_dl.sock" \
+    --source programs/spin.s --requests 1 \
+    > "$tmpdir/serve_dl.out" 2>&1 || true
+dl_elapsed=$(( $(date +%s) - dl_start ))
+grep -q deadline_exceeded "$tmpdir/serve_dl.out"
+# 2x a 300 ms deadline rounds to 1 s of wall clock; allow 2 s for a
+# loaded CI box (the unit test pins the tight bound).
+[ "$dl_elapsed" -le 2 ] || {
+    echo "deadline took ${dl_elapsed}s, expected <= 2s" >&2
+    exit 1
+}
+./build/tools/flexcore-loadgen --connect "unix:$tmpdir/serve_dl.sock" \
+    --workload sha --requests 1
+wait "$serve_pid"
+
+echo "== serve resilience: chaos =="
+# Deterministic protocol chaos concurrent with a well-behaved client:
+# the good client's served stats must stay byte-identical to a local
+# run, and the server must drain to exit 0 (docs/serve.md).
+rm -f "$tmpdir/serve_chaos.sock"
+./build/tools/flexcore-serve --listen "unix:$tmpdir/serve_chaos.sock" \
+    --quiet --max-frame-bytes 65536 --frame-timeout-ms 500 &
+serve_pid=$!
+./build/tools/flexcore-chaos --connect "unix:$tmpdir/serve_chaos.sock" \
+    --seed 7 --clients 2 --attacks 10 --quiet &
+chaos_pid=$!
+./build/tools/flexcore-loadgen --connect "unix:$tmpdir/serve_chaos.sock" \
+    --source programs/hello.s --monitor dift --clients 3 --requests 2 \
+    --stats-json "$tmpdir/chaos_remote.json"
+wait "$chaos_pid"
+./build/tools/flexcore-loadgen --connect "unix:$tmpdir/serve_chaos.sock" \
+    --requests 0 --shutdown
+wait "$serve_pid"
+cmp "$tmpdir/serve_local.json" "$tmpdir/chaos_remote.json"
+
+echo "== serve resilience: SIGTERM drain =="
+# kill -TERM must converge to a clean exit 0: the handler writes one
+# byte to the self-pipe, the accept loop drains, every thread joins.
+rm -f "$tmpdir/serve_drain.sock"
+./build/tools/flexcore-serve --listen "unix:$tmpdir/serve_drain.sock" \
+    --quiet --drain-timeout-ms 2000 &
+serve_pid=$!
+./build/tools/flexcore-loadgen --connect "unix:$tmpdir/serve_drain.sock" \
+    --workload sha --requests 1
+kill -TERM "$serve_pid"
+wait "$serve_pid"
+
 echo "All checks passed."

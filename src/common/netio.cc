@@ -1,6 +1,8 @@
 #include "common/netio.h"
 
+#include <fcntl.h>
 #include <netdb.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
@@ -246,21 +248,73 @@ connectTo(const Endpoint &endpoint, std::string *error)
     return fd;
 }
 
-int
-connectWithRetry(const Endpoint &endpoint, int attempts, int delay_ms,
-                 std::string *error)
+u32
+backoffDelayMs(u32 base_ms, u32 max_ms, u32 attempt, Rng *rng)
 {
+    if (base_ms == 0)
+        base_ms = 1;
+    // Shift saturates well before attempt 32 would overflow: 16 doubles
+    // of any base >= 1 ms already exceeds every sane max_ms cap.
+    const u32 shift = attempt < 16 ? attempt : 16;
+    u64 cap = u64{base_ms} << shift;
+    if (cap > max_ms)
+        cap = max_ms;
+    if (cap < base_ms)
+        cap = base_ms;
+    // Jitter into [cap/2, cap]: enough spread to decorrelate clients
+    // that started in lockstep, never less than half the ramp.
+    const u32 half = static_cast<u32>(cap / 2);
+    return half + static_cast<u32>(rng->below(cap - half + 1));
+}
+
+int
+connectWithBackoff(const Endpoint &endpoint, int attempts, u32 base_ms,
+                   u32 max_ms, u64 jitter_seed, u32 *retries_out,
+                   std::string *error)
+{
+    Rng rng(jitter_seed);
+    if (retries_out)
+        *retries_out = 0;
     for (int i = 0; i < attempts; ++i) {
         std::string attempt_error;
         const int fd = connectTo(endpoint, &attempt_error);
         if (fd >= 0)
             return fd;
+        if (retries_out)
+            *retries_out = static_cast<u32>(i + 1);
         if (i + 1 == attempts)
             return fail(error, attempt_error), -1;
-        std::this_thread::sleep_for(
-            std::chrono::milliseconds(delay_ms));
+        std::this_thread::sleep_for(std::chrono::milliseconds(
+            backoffDelayMs(base_ms, max_ms, static_cast<u32>(i),
+                           &rng)));
     }
     return fail(error, "no connect attempts made"), -1;
+}
+
+bool
+setNonBlocking(int fd)
+{
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    if (flags < 0)
+        return false;
+    return ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+bool
+waitReadable(int fd, int timeout_ms)
+{
+    pollfd pfd{};
+    pfd.fd = fd;
+    pfd.events = POLLIN;
+    for (;;) {
+        const int rc = ::poll(&pfd, 1, timeout_ms);
+        if (rc > 0)
+            return (pfd.revents & (POLLIN | POLLHUP | POLLERR)) != 0;
+        if (rc == 0)
+            return false;
+        if (errno != EINTR)
+            return false;
+    }
 }
 
 bool
@@ -304,11 +358,170 @@ recvFrame(int fd, std::string *payload, std::string *error)
     return true;
 }
 
+bool
+sendFrameLimited(int fd, std::string_view payload, int timeout_ms)
+{
+    if (payload.size() > kMaxFrameBytes)
+        return false;
+    using clock = std::chrono::steady_clock;
+    const clock::time_point deadline =
+        clock::now() + std::chrono::milliseconds(
+                           timeout_ms < 0 ? 0 : timeout_ms);
+    const auto remainingMs = [&]() -> int {
+        if (timeout_ms < 0)
+            return -1;
+        const auto left =
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                deadline - clock::now())
+                .count();
+        return left > 0 ? static_cast<int>(left) : 0;
+    };
+    const auto sendTimed = [&](const void *data, size_t size) -> bool {
+        const char *p = static_cast<const char *>(data);
+        while (size > 0) {
+            const ssize_t n = ::send(fd, p, size, MSG_NOSIGNAL);
+            if (n >= 0) {
+                p += n;
+                size -= static_cast<size_t>(n);
+                continue;
+            }
+            if (errno == EINTR)
+                continue;
+            if (errno != EAGAIN && errno != EWOULDBLOCK)
+                return false;
+            // Peer's receive window is full; wait for POLLOUT within
+            // the remaining budget. A peer that never drains (slow
+            // loris on the response path) burns at most timeout_ms.
+            const int wait_ms = remainingMs();
+            if (wait_ms == 0)
+                return false;
+            pollfd pfd{};
+            pfd.fd = fd;
+            pfd.events = POLLOUT;
+            const int rc = ::poll(&pfd, 1, wait_ms);
+            if (rc == 0)
+                return false;
+            if (rc < 0 && errno != EINTR)
+                return false;
+        }
+        return true;
+    };
+    const u32 size = static_cast<u32>(payload.size());
+    const u8 prefix[4] = {
+        static_cast<u8>(size),
+        static_cast<u8>(size >> 8),
+        static_cast<u8>(size >> 16),
+        static_cast<u8>(size >> 24),
+    };
+    return sendTimed(prefix, sizeof(prefix)) &&
+           sendTimed(payload.data(), payload.size());
+}
+
+RecvStatus
+recvFrameLimited(int fd, std::string *payload, u32 max_bytes,
+                 int idle_timeout_ms, int frame_timeout_ms,
+                 std::string *error)
+{
+    if (error)
+        error->clear();
+    using clock = std::chrono::steady_clock;
+    clock::time_point frame_deadline{};
+    bool started = false;
+
+    const auto remainingMs = [&]() -> int {
+        if (!started)
+            return idle_timeout_ms;
+        if (frame_timeout_ms < 0)
+            return -1;
+        const auto left =
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                frame_deadline - clock::now())
+                .count();
+        return left > 0 ? static_cast<int>(left) : 0;
+    };
+
+    // Read exactly @p size bytes, poll-gated: the idle budget governs
+    // the wait for the very first byte, the frame budget everything
+    // after it. Distinguishes clean EOF (before any byte) from a
+    // truncated frame (after some).
+    const auto recvTimed = [&](void *data, size_t size) -> RecvStatus {
+        char *p = static_cast<char *>(data);
+        size_t got = 0;
+        while (got < size) {
+            const int wait_ms = remainingMs();
+            if (started && wait_ms == 0)
+                return RecvStatus::kFrameTimeout;
+            if (!waitReadable(fd, wait_ms))
+                return started ? RecvStatus::kFrameTimeout
+                               : RecvStatus::kIdleTimeout;
+            const ssize_t n = ::recv(fd, p + got, size - got, 0);
+            if (n < 0) {
+                if (errno == EINTR || errno == EAGAIN ||
+                    errno == EWOULDBLOCK)
+                    continue;
+                fail(error, "recv: " + errnoText());
+                return RecvStatus::kError;
+            }
+            if (n == 0) {
+                if (!started)
+                    return RecvStatus::kEof;
+                fail(error, "peer hung up mid-frame");
+                return RecvStatus::kError;
+            }
+            got += static_cast<size_t>(n);
+            if (!started) {
+                started = true;
+                if (frame_timeout_ms >= 0)
+                    frame_deadline =
+                        clock::now() +
+                        std::chrono::milliseconds(frame_timeout_ms);
+            }
+        }
+        return RecvStatus::kFrame;
+    };
+
+    u8 prefix[4];
+    const RecvStatus prefix_status = recvTimed(prefix, sizeof(prefix));
+    if (prefix_status != RecvStatus::kFrame)
+        return prefix_status;
+    const u32 size = u32{prefix[0]} | (u32{prefix[1]} << 8) |
+                     (u32{prefix[2]} << 16) | (u32{prefix[3]} << 24);
+    if (size > max_bytes) {
+        // Deliberately do NOT resize the payload buffer: a hostile
+        // 4-byte prefix must never turn into a real allocation.
+        fail(error, "frame of " + std::to_string(size) +
+                        " bytes exceeds the " +
+                        std::to_string(max_bytes) + "-byte limit");
+        return RecvStatus::kTooLarge;
+    }
+    payload->resize(size);
+    if (size > 0) {
+        const RecvStatus body_status =
+            recvTimed(payload->data(), size);
+        if (body_status == RecvStatus::kEof) {
+            // Unreachable in practice (started is already true), but
+            // a mid-frame EOF must never masquerade as a clean one.
+            fail(error, "peer hung up mid-frame");
+            return RecvStatus::kError;
+        }
+        if (body_status != RecvStatus::kFrame)
+            return body_status;
+    }
+    return RecvStatus::kFrame;
+}
+
 void
 shutdownSocket(int fd)
 {
     if (fd >= 0)
         ::shutdown(fd, SHUT_RDWR);
+}
+
+void
+shutdownSocketRead(int fd)
+{
+    if (fd >= 0)
+        ::shutdown(fd, SHUT_RD);
 }
 
 void

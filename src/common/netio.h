@@ -17,12 +17,15 @@
 #include <string>
 #include <string_view>
 
+#include "common/rng.h"
 #include "common/types.h"
 
 namespace flexcore::netio {
 
-/** Upper bound on a frame payload; larger prefixes are a protocol
- * error (a desynchronized or hostile peer, not a real request). */
+/** Hard upper bound on a frame payload; larger prefixes are a
+ * protocol error (a desynchronized or hostile peer, not a real
+ * request). Servers enforce a much smaller configurable cap on top of
+ * this (flexcore-serve --max-frame-bytes). */
 inline constexpr u32 kMaxFrameBytes = 256u * 1024 * 1024;
 
 /** A parsed "unix:PATH" or "tcp:HOST:PORT" address. */
@@ -55,15 +58,46 @@ int acceptClient(int listen_fd);
 int connectTo(const Endpoint &endpoint, std::string *error);
 
 /**
- * connectTo with retry, for scripts that start the server and the
- * client back to back: retries @p attempts times, sleeping
- * @p delay_ms between tries, so the client never races the listener.
+ * Backoff delay before retry number @p attempt (0-based): an
+ * exponential ramp from @p base_ms capped at @p max_ms, jittered
+ * uniformly into [cap/2, cap] by @p rng. Pure given the Rng state, so
+ * a key-derived seed makes every client's retry schedule deterministic
+ * (and different clients never thundering-herd in phase).
  */
-int connectWithRetry(const Endpoint &endpoint, int attempts,
-                     int delay_ms, std::string *error);
+u32 backoffDelayMs(u32 base_ms, u32 max_ms, u32 attempt, Rng *rng);
+
+/**
+ * connectTo with bounded exponential backoff, for scripts that start
+ * the server and the client back to back and for clients riding out a
+ * briefly-overloaded listener: up to @p attempts tries, sleeping
+ * backoffDelayMs(base_ms, max_ms, k) between try k and k+1, jitter
+ * seeded by @p jitter_seed (derive it from a stable per-client key).
+ * On success @p retries_out (if non-null) receives the number of
+ * failed attempts that preceded it.
+ */
+int connectWithBackoff(const Endpoint &endpoint, int attempts,
+                       u32 base_ms, u32 max_ms, u64 jitter_seed,
+                       u32 *retries_out, std::string *error);
+
+/** Put a socket into non-blocking mode (servers pair this with the
+ * timed frame I/O below so no peer can park a thread forever). */
+bool setNonBlocking(int fd);
+
+/** Poll @p fd for readability; true when readable, false on timeout
+ * or poll error. @p timeout_ms < 0 waits forever. */
+bool waitReadable(int fd, int timeout_ms);
 
 /** Write one frame (u32 LE length + payload). False on any I/O error. */
 bool sendFrame(int fd, std::string_view payload);
+
+/**
+ * sendFrame with an overall wall-clock budget: each blocked write
+ * waits in poll(POLLOUT) for the remaining budget, so a peer that
+ * stops reading (slow-loris on the response path) costs at most
+ * @p timeout_ms before the frame is abandoned. @p timeout_ms < 0
+ * means no budget (identical to sendFrame).
+ */
+bool sendFrameLimited(int fd, std::string_view payload, int timeout_ms);
 
 /**
  * Read one frame. Returns false with an empty @p error on clean EOF
@@ -72,6 +106,31 @@ bool sendFrame(int fd, std::string_view payload);
  */
 bool recvFrame(int fd, std::string *payload, std::string *error);
 
+/** Outcome of recvFrameLimited (the server-side receive path). */
+enum class RecvStatus : u8 {
+    kFrame,        //!< one complete frame in @p payload
+    kEof,          //!< clean EOF before any byte of a frame
+    kIdleTimeout,  //!< no first byte within idle_timeout_ms
+    kFrameTimeout, //!< frame started but did not finish in time
+    kTooLarge,     //!< length prefix exceeds max_bytes (nothing read)
+    kError,        //!< truncated frame or I/O error
+};
+
+/**
+ * Read one frame defensively. @p idle_timeout_ms bounds the wait for
+ * the frame's *first* byte (< 0 = forever); once a byte has arrived
+ * the whole frame must complete within @p frame_timeout_ms (< 0 =
+ * forever) — that is what defeats slow-loris writes. A length prefix
+ * above @p max_bytes returns kTooLarge *without allocating or reading
+ * the claimed payload*, so a hostile 4-byte prefix can never balloon
+ * server memory; the caller should answer with a typed error and drop
+ * the connection (the stream is desynchronized past repair). Works on
+ * blocking and non-blocking fds alike.
+ */
+RecvStatus recvFrameLimited(int fd, std::string *payload, u32 max_bytes,
+                            int idle_timeout_ms, int frame_timeout_ms,
+                            std::string *error);
+
 /**
  * shutdown(2) both directions (idempotent for fd < 0). Unlike close(),
  * this wakes a thread blocked in accept()/recv() on the fd — it is how
@@ -79,6 +138,14 @@ bool recvFrame(int fd, std::string *payload, std::string *error);
  * thread. The fd itself stays allocated until closeSocket().
  */
 void shutdownSocket(int fd);
+
+/**
+ * shutdown(2) the read side only (idempotent for fd < 0). Wakes a
+ * thread parked in recv()/poll() with EOF while leaving the write
+ * side intact — how drain unsticks idle connection readers without
+ * cutting a response that is still being written on the same fd.
+ */
+void shutdownSocketRead(int fd);
 
 /** Close a socket fd (idempotent for fd < 0). */
 void closeSocket(int fd);

@@ -42,8 +42,13 @@ classifyFaultRun(const RunResult &result, const InjectionLog &log,
         break;
       case RunResult::Exit::kHang:
       case RunResult::Exit::kMaxCycles:
+      case RunResult::Exit::kDeadline:
         // kMaxCycles is a hang the watchdog was not armed (or too
         // slow) to catch; both mean the program never finished.
+        // kDeadline (the serving layer cancelled the run) is an
+        // incomplete observation — callers should not reach this with
+        // a cancelled run, but if one does, "never finished" is the
+        // honest classification.
         report.outcome = FaultOutcome::kHang;
         break;
       case RunResult::Exit::kExited:

@@ -1,0 +1,491 @@
+#include "serve/server.h"
+
+#include <poll.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+
+#include "common/json.h"
+
+namespace flexcore::serve {
+
+namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+/** Render the small non-sim replies by hand (fixed field order). */
+std::string
+okJson(const char *op)
+{
+    return std::string("{\"ok\": true, \"op\": \"") + op + "\"}";
+}
+
+/** A typed error rendered exactly like a SimResponse rejection. */
+std::string
+typedErrorJson(ConfigError::Code code, std::string message)
+{
+    SimResponse response;
+    response.error = makeConfigError(code, std::move(message));
+    return simResponseJson(response);
+}
+
+std::string
+badRequestJson(std::string message)
+{
+    return typedErrorJson(ConfigError::Code::kBadRequest,
+                          std::move(message));
+}
+
+}  // namespace
+
+Server::Server(ThreadPool *pool, ProgramCache *cache,
+               ServeLimits limits)
+    : pool_(pool), cache_(cache), limits_(limits),
+      start_time_(SteadyClock::now())
+{
+}
+
+Server::~Server()
+{
+    netio::closeSocket(listen_fd_);
+    if (wake_read_fd_ >= 0)
+        ::close(wake_read_fd_);
+    if (wake_write_fd_ >= 0)
+        ::close(wake_write_fd_);
+}
+
+bool
+Server::listen(const netio::Endpoint &endpoint, std::string *error)
+{
+    endpoint_ = endpoint;
+    listen_fd_ = netio::listenOn(endpoint_, error);
+    if (listen_fd_ < 0)
+        return false;
+    int pipe_fds[2];
+    if (::pipe(pipe_fds) != 0) {
+        if (error)
+            *error = "cannot create wake pipe";
+        netio::closeSocket(listen_fd_);
+        listen_fd_ = -1;
+        return false;
+    }
+    wake_read_fd_ = pipe_fds[0];
+    wake_write_fd_ = pipe_fds[1];
+    // The write end must never block inside a signal handler.
+    netio::setNonBlocking(wake_write_fd_);
+    return true;
+}
+
+void
+Server::beginShutdown()
+{
+    if (draining_.exchange(true))
+        return;
+    // shutdown(2) on the listener kicks the accept loop out of a
+    // blocking accept (close() would not); the wake byte covers the
+    // poll it may be sitting in instead.
+    netio::shutdownSocket(listen_fd_);
+    if (wake_write_fd_ >= 0) {
+        const char byte = 1;
+        [[maybe_unused]] const ssize_t n =
+            ::write(wake_write_fd_, &byte, 1);
+    }
+}
+
+void
+Server::noteSimServed()
+{
+    const u64 served = sims_.fetch_add(1) + 1;
+    if (limits_.max_requests != 0 && served >= limits_.max_requests)
+        beginShutdown();
+}
+
+std::string
+Server::statsJson() const
+{
+    std::string out = "{\"ok\": true, \"op\": \"stats\", \"sims\": " +
+                      std::to_string(sims_.load()) + ", \"errors\": " +
+                      std::to_string(errors_.load());
+    out += ", \"cache\": ";
+    if (cache_) {
+        out += "{\"hits\": " + std::to_string(cache_->hits()) +
+               ", \"misses\": " + std::to_string(cache_->misses()) +
+               ", \"entries\": " + std::to_string(cache_->size()) + "}";
+    } else {
+        out += "null";
+    }
+    out += ", \"threads\": " + std::to_string(pool_->threadCount()) +
+           "}";
+    return out;
+}
+
+std::string
+Server::healthJson() const
+{
+    const u64 uptime_ms = static_cast<u64>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            SteadyClock::now() - start_time_)
+            .count());
+    std::string out = "{\"ok\": true, \"op\": \"health\"";
+    out += std::string(", \"draining\": ") +
+           (draining_.load() ? "true" : "false");
+    out += ", \"conns\": " + std::to_string(conns_.load());
+    out += ", \"pending\": " + std::to_string(pending_.load());
+    out += ", \"running\": " + std::to_string(running_.load());
+    out += ", \"sims\": " + std::to_string(sims_.load());
+    out += ", \"errors\": " + std::to_string(errors_.load());
+    out += ", \"shed\": " + std::to_string(shed_.load());
+    out += ", \"uptime_ms\": " + std::to_string(uptime_ms);
+    out += ", \"cache\": ";
+    if (cache_) {
+        out += "{\"hits\": " + std::to_string(cache_->hits()) +
+               ", \"misses\": " + std::to_string(cache_->misses()) +
+               ", \"entries\": " + std::to_string(cache_->size()) + "}";
+    } else {
+        out += "null";
+    }
+    out += ", \"threads\": " + std::to_string(pool_->threadCount()) +
+           "}";
+    return out;
+}
+
+Server::Reply
+Server::handlePayload(std::string_view payload)
+{
+    Reply reply;
+    JsonValue doc;
+    std::string parse_error;
+    if (!parseJson(payload, &doc, &parse_error)) {
+        errors_.fetch_add(1);
+        reply.frame = badRequestJson("request frame is not valid "
+                                     "JSON: " +
+                                     parse_error);
+        return reply;
+    }
+    const JsonValue *op = doc.find("op");
+    if (!doc.isObject() || !op || !op->isString()) {
+        errors_.fetch_add(1);
+        reply.frame = badRequestJson(
+            "request must be an object with a string \"op\" field");
+        return reply;
+    }
+
+    if (op->str == "ping") {
+        reply.frame = okJson("ping");
+        return reply;
+    }
+    if (op->str == "stats") {
+        reply.frame = statsJson();
+        return reply;
+    }
+    if (op->str == "health") {
+        reply.frame = healthJson();
+        return reply;
+    }
+    if (op->str == "shutdown") {
+        beginShutdown();
+        reply.frame = okJson("shutdown");
+        return reply;
+    }
+    if (op->str != "sim") {
+        errors_.fetch_add(1);
+        reply.frame = badRequestJson(
+            "unknown op \"" + op->str +
+            "\" (expected ping, stats, health, sim, or shutdown)");
+        return reply;
+    }
+
+    // ---- op: sim — admission control first, decode second ----
+    if (draining_.load()) {
+        errors_.fetch_add(1);
+        shed_.fetch_add(1);
+        reply.frame = typedErrorJson(
+            ConfigError::Code::kShuttingDown,
+            "server is draining; no new simulations");
+        return reply;
+    }
+    if (limits_.max_pending != 0 &&
+        pending_.load() >= limits_.max_pending) {
+        // Racy by design: two connections can both pass the check and
+        // overshoot by at most the connection count — shedding is a
+        // back-pressure valve, not an exact semaphore.
+        errors_.fetch_add(1);
+        shed_.fetch_add(1);
+        reply.frame = typedErrorJson(
+            ConfigError::Code::kOverloaded,
+            "pending queue full (" +
+                std::to_string(limits_.max_pending) +
+                " requests waiting); retry with backoff");
+        return reply;
+    }
+
+    const JsonValue *request_doc = doc.find("request");
+    if (!request_doc) {
+        errors_.fetch_add(1);
+        reply.frame =
+            badRequestJson("op \"sim\" needs a \"request\" object");
+        return reply;
+    }
+    SimRequest request;
+    ConfigError decode_error;
+    if (!SimRequest::fromJson(*request_doc, &request, &decode_error)) {
+        errors_.fetch_add(1);
+        SimResponse rejection;
+        rejection.error = decode_error;
+        reply.frame = simResponseJson(rejection);
+        return reply;
+    }
+    if (limits_.max_request_cycles != 0 &&
+        request.mutableConfig().max_cycles >
+            limits_.max_request_cycles) {
+        // A deterministic budget clamp, complementary to the
+        // wall-clock deadline: exceeding it is a plain kMaxCycles
+        // result, not an error.
+        request.mutableConfig().max_cycles = limits_.max_request_cycles;
+    }
+
+    // The deadline counts from admission: time spent waiting for a
+    // pool worker burns it too (the whole point — a saturated server
+    // must not let requests wait forever).
+    CancelToken token(&drain_token_);
+    if (limits_.default_deadline_ms > 0)
+        token.deadlineAfterMs(limits_.default_deadline_ms);
+
+    const bool want_trace = request.traceFxtrRequested();
+    const auto t0 = SteadyClock::now();
+    std::string trace;
+    SimResponse response;
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool done = false;
+    pending_.fetch_add(1);
+    pool_->submit([&] {
+        pending_.fetch_sub(1);
+        running_.fetch_add(1);
+        SimResponse r =
+            serveSimRequest(std::move(request), cache_,
+                            want_trace ? &trace : nullptr, &token);
+        running_.fetch_sub(1);
+        std::lock_guard<std::mutex> lock(mutex);
+        response = std::move(r);
+        done = true;
+        cv.notify_one();
+    });
+    {
+        std::unique_lock<std::mutex> lock(mutex);
+        cv.wait(lock, [&] { return done; });
+    }
+    const double ms = std::chrono::duration<double, std::milli>(
+                          SteadyClock::now() - t0)
+                          .count();
+
+    if (response.error)
+        errors_.fetch_add(1);
+    else
+        noteSimServed();
+    if (!limits_.quiet) {
+        std::fprintf(
+            stderr,
+            "[flexcore-serve] sim #%llu %s cycles=%llu cache=%s "
+            "%.1fms\n",
+            static_cast<unsigned long long>(sims_.load()),
+            response.error
+                ? configErrorName(response.error.code).data()
+                : exitName(response.result.exit).data(),
+            static_cast<unsigned long long>(response.result.cycles),
+            response.cache_hit ? "hit" : "miss", ms);
+    }
+    reply.frame = simResponseJson(response);
+    if (want_trace && !response.error) {
+        reply.trace = std::move(trace);
+        reply.has_trace = true;
+    }
+    return reply;
+}
+
+void
+Server::serveConnection(int fd)
+{
+    // Non-blocking + poll-budgeted I/O: no peer can park this thread.
+    netio::setNonBlocking(fd);
+    int idle_spent_ms = 0;
+    for (;;) {
+        if (draining_.load())
+            break;
+        // Short poll slices so the loop notices drain mode promptly;
+        // the idle budget accumulates across slices.
+        int slice_ms = 200;
+        if (limits_.idle_timeout_ms >= 0) {
+            const int left = limits_.idle_timeout_ms - idle_spent_ms;
+            slice_ms = left < slice_ms ? left : slice_ms;
+        }
+        std::string payload;
+        std::string error;
+        const netio::RecvStatus status = netio::recvFrameLimited(
+            fd, &payload, limits_.max_frame_bytes, slice_ms,
+            limits_.frame_timeout_ms, &error);
+        if (status == netio::RecvStatus::kIdleTimeout) {
+            idle_spent_ms += slice_ms;
+            if (limits_.idle_timeout_ms >= 0 &&
+                idle_spent_ms >= limits_.idle_timeout_ms) {
+                if (!limits_.quiet)
+                    std::fprintf(stderr, "[flexcore-serve] reaping "
+                                         "idle connection\n");
+                break;
+            }
+            continue;
+        }
+        if (status == netio::RecvStatus::kTooLarge) {
+            // The stream is desynchronized past repair (we never read
+            // the claimed payload): answer typed, then drop.
+            errors_.fetch_add(1);
+            netio::sendFrameLimited(
+                fd,
+                typedErrorJson(ConfigError::Code::kFrameTooLarge,
+                               error),
+                limits_.frame_timeout_ms);
+            break;
+        }
+        if (status != netio::RecvStatus::kFrame) {
+            if (status == netio::RecvStatus::kError &&
+                !error.empty() && !limits_.quiet)
+                std::fprintf(stderr, "[flexcore-serve] client: %s\n",
+                             error.c_str());
+            break;  // kEof, kFrameTimeout, kError
+        }
+        idle_spent_ms = 0;
+        const Reply reply = handlePayload(payload);
+        if (!netio::sendFrameLimited(fd, reply.frame,
+                                     limits_.frame_timeout_ms))
+            break;
+        if (reply.has_trace &&
+            !netio::sendFrameLimited(fd, reply.trace,
+                                     limits_.frame_timeout_ms))
+            break;
+        if (reply.close)
+            break;
+    }
+    {
+        std::lock_guard<std::mutex> lock(conn_mutex_);
+        for (size_t i = 0; i < conn_fds_.size(); ++i) {
+            if (conn_fds_[i] == fd) {
+                conn_fds_[i] = conn_fds_.back();
+                conn_fds_.pop_back();
+                break;
+            }
+        }
+    }
+    netio::closeSocket(fd);
+    conns_.fetch_sub(1);
+}
+
+void
+Server::acceptLoop()
+{
+    while (!draining_.load()) {
+        pollfd pfds[2];
+        pfds[0].fd = listen_fd_;
+        pfds[0].events = POLLIN;
+        pfds[0].revents = 0;
+        pfds[1].fd = wake_read_fd_;
+        pfds[1].events = POLLIN;
+        pfds[1].revents = 0;
+        const int rc = ::poll(pfds, 2, -1);
+        if (rc < 0) {
+            if (errno == EINTR)
+                continue;
+            break;
+        }
+        if (pfds[1].revents != 0)
+            break;  // wake byte: a signal handler requested drain
+        if (pfds[0].revents == 0)
+            continue;
+        const int fd = netio::acceptClient(listen_fd_);
+        if (fd < 0)
+            break;  // listener shut down (shutdown op / max-requests)
+        if (limits_.max_conns != 0 &&
+            conns_.load() >= limits_.max_conns) {
+            errors_.fetch_add(1);
+            shed_.fetch_add(1);
+            netio::sendFrameLimited(
+                fd,
+                typedErrorJson(ConfigError::Code::kOverloaded,
+                               "connection limit reached (" +
+                                   std::to_string(limits_.max_conns) +
+                                   "); retry with backoff"),
+                limits_.frame_timeout_ms);
+            netio::closeSocket(fd);
+            continue;
+        }
+        conns_.fetch_add(1);
+        std::lock_guard<std::mutex> lock(conn_mutex_);
+        conn_fds_.push_back(fd);
+        conn_threads_.emplace_back(&Server::serveConnection, this, fd);
+    }
+    beginShutdown();  // idempotent: covers the wake-fd path
+}
+
+void
+Server::drain()
+{
+    // Phase 1: give in-flight simulations the drain budget.
+    const bool bounded = limits_.drain_timeout_ms >= 0;
+    const auto deadline =
+        SteadyClock::now() +
+        std::chrono::milliseconds(bounded ? limits_.drain_timeout_ms
+                                          : 0);
+    while (pending_.load() + running_.load() > 0) {
+        if (bounded && SteadyClock::now() >= deadline) {
+            // Phase 2: budget spent — one cancel reclaims every
+            // worker (each request token is a child of this one).
+            if (!limits_.quiet)
+                std::fprintf(stderr,
+                             "[flexcore-serve] drain timeout: "
+                             "cancelling %u in-flight sims\n",
+                             pending_.load() + running_.load());
+            drain_token_.cancel();
+            break;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    // Cancelled runs unwind within milliseconds (System polls the
+    // token every ~64Ki simulated cycles) and their deadline_exceeded
+    // responses still get written before the connections close.
+    while (pending_.load() + running_.load() > 0)
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    // Kick connections still parked in a read so nobody waits out a
+    // full poll slice, then join everything. Read side only: a
+    // connection thread may still be writing its final response (the
+    // counters hit zero before the reply is serialized), and cutting
+    // the write would lose a response the sim already earned.
+    {
+        std::lock_guard<std::mutex> lock(conn_mutex_);
+        for (int fd : conn_fds_)
+            netio::shutdownSocketRead(fd);
+    }
+    for (std::thread &t : conn_threads_)
+        t.join();
+    conn_threads_.clear();
+}
+
+void
+Server::serve()
+{
+    start_time_ = SteadyClock::now();
+    std::fprintf(stderr,
+                 "[flexcore-serve] listening on %s (%u workers, "
+                 "cache %s)\n",
+                 netio::endpointString(endpoint_).c_str(),
+                 pool_->threadCount(), cache_ ? "on" : "off");
+    acceptLoop();
+    drain();
+    netio::closeSocket(listen_fd_);
+    listen_fd_ = -1;
+    if (endpoint_.is_unix)
+        ::unlink(endpoint_.path.c_str());
+}
+
+}  // namespace flexcore::serve

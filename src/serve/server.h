@@ -1,0 +1,186 @@
+/**
+ * @file
+ * The flexcore-serve engine as a library: protocol handling, admission
+ * control, request deadlines, and graceful drain, separated from the
+ * thin CLI in tools/flexcore_serve.cc so tests can drive the protocol
+ * loop without sockets (tests/test_serve_resilience.cc feeds
+ * handlePayload() raw fuzzed bytes) and the chaos harness has a stable
+ * surface to attack.
+ *
+ * Resilience model (docs/serve.md):
+ *
+ *  - **Deadlines.** Every sim request gets a CancelToken chained to
+ *    the server-wide drain token and armed with --default-deadline-ms.
+ *    System::run() polls it every ~64Ki simulated cycles, so a
+ *    non-terminating program is cut within milliseconds of expiry and
+ *    the worker thread is reclaimed; the client sees a typed
+ *    `deadline_exceeded` response and the server keeps serving.
+ *    --max-request-cycles independently clamps the simulated-cycle
+ *    budget (a deterministic bound; exceeding it is kMaxCycles).
+ *
+ *  - **Overload shedding.** --max-pending bounds sim requests admitted
+ *    but not yet running; past it the server fails fast with a typed
+ *    `overloaded` response instead of queueing unboundedly.
+ *    --max-conns bounds concurrent connections the same way. The
+ *    `health` op reports depth/in-flight/cache/uptime so load
+ *    balancers can back off before the shed point.
+ *
+ *  - **Graceful drain.** SIGTERM/SIGINT (via the self-pipe wake fd) or
+ *    the `shutdown` op stop the accept loop; in-flight simulations get
+ *    --drain-timeout-ms to finish before the drain token cancels them
+ *    all; new sims are refused with `shutting_down`; idle connections
+ *    are reaped by the poll-based read timeouts. The server then joins
+ *    every thread and exits 0.
+ *
+ *  - **Hostile peers.** Frames are read with recvFrameLimited: an
+ *    oversized length prefix (> --max-frame-bytes) is answered with a
+ *    typed `frame_too_large` error and the connection dropped without
+ *    ever allocating the claimed size; a frame that starts but stalls
+ *    (slow loris) times out after --frame-timeout-ms; responses are
+ *    written with the same budget so a peer that stops reading cannot
+ *    park a thread either.
+ */
+
+#ifndef FLEXCORE_SERVE_SERVER_H_
+#define FLEXCORE_SERVE_SERVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "common/cancel.h"
+#include "common/netio.h"
+#include "common/threadpool.h"
+#include "sim/sim_response.h"
+
+namespace flexcore::serve {
+
+/** Every resilience knob, in flag order (tools/flexcore_serve.cc). */
+struct ServeLimits
+{
+    /** Largest frame a client may send; prefixes above it get a typed
+     * frame_too_large rejection with no allocation. Far below the
+     * 256 MiB protocol hard bound on purpose: the biggest legitimate
+     * request is a few hundred KiB of assembly source. */
+    u32 max_frame_bytes = 8u * 1024 * 1024;
+    /** Wall-clock deadline per sim request, ms (0 = none). Counts from
+     * admission, so queue wait burns deadline too. */
+    long default_deadline_ms = 0;
+    /** Clamp on each request's simulated-cycle budget (0 = none). */
+    u64 max_request_cycles = 0;
+    /** Max sim requests admitted but not yet running (0 = unbounded);
+     * past it new sims are shed with a typed `overloaded` error. */
+    u32 max_pending = 0;
+    /** Max concurrent connections (0 = unbounded); excess connections
+     * get one `overloaded` frame and are closed. */
+    u32 max_conns = 0;
+    /** Reap a connection idle (no frame started) this long, ms
+     * (< 0 = never). */
+    int idle_timeout_ms = -1;
+    /** Budget for one frame to finish once started, and for one
+     * response write, ms (< 0 = unbounded). The slow-loris bound. */
+    int frame_timeout_ms = 10'000;
+    /** How long drain mode lets in-flight sims finish before the
+     * drain token cancels them (< 0 = wait forever). */
+    int drain_timeout_ms = 5'000;
+    /** Stop after N successful sims (0 = run until shutdown). */
+    u64 max_requests = 0;
+    bool quiet = false;
+};
+
+class Server
+{
+  public:
+    /** @p cache may be null (no program cache). The pool and cache
+     * must outlive the server. */
+    Server(ThreadPool *pool, ProgramCache *cache, ServeLimits limits);
+    ~Server();
+
+    /** Bind + listen + create the wake pipe; false with @p error set
+     * on failure. Call once, before serve(). */
+    bool listen(const netio::Endpoint &endpoint, std::string *error);
+
+    /**
+     * Accept and serve until a shutdown trigger (shutdown op, wake-fd
+     * byte, --max-requests), then drain: stop accepting, give
+     * in-flight sims drain_timeout_ms, cancel stragglers, join every
+     * connection thread. Returns when the server is fully quiesced.
+     */
+    void serve();
+
+    /**
+     * Enter drain mode from any thread. Signal handlers must NOT call
+     * this (it takes locks); they write one byte to wakeWriteFd()
+     * instead and the accept loop calls this.
+     */
+    void beginShutdown();
+
+    /** Self-pipe write end for async-signal-safe shutdown requests
+     * (write one byte from the SIGTERM/SIGINT handler). -1 before
+     * listen(). */
+    int wakeWriteFd() const { return wake_write_fd_; }
+
+    /** What the connection loop does with one handled payload. */
+    struct Reply
+    {
+        std::string frame;       //!< primary response document
+        std::string trace;       //!< out-of-band FXTR frame
+        bool has_trace = false;  //!< send @p trace as a second frame
+        bool close = false;      //!< drop the connection after sending
+    };
+
+    /**
+     * Handle one received payload — the whole protocol lives here,
+     * socket-free, so fuzz tests can feed arbitrary bytes and assert
+     * "typed error out, never a crash". Thread-safe (one call per
+     * connection thread).
+     */
+    Reply handlePayload(std::string_view payload);
+
+    // ---- Final-report counters ----
+    u64 sims() const { return sims_.load(); }
+    u64 errors() const { return errors_.load(); }
+    u64 shed() const { return shed_.load(); }
+    const ServeLimits &limits() const { return limits_; }
+
+  private:
+    void acceptLoop();
+    void drain();
+    void serveConnection(int fd);
+    std::string healthJson() const;
+    std::string statsJson() const;
+    void noteSimServed();
+
+    ThreadPool *pool_;
+    ProgramCache *cache_;
+    ServeLimits limits_;
+
+    netio::Endpoint endpoint_;
+    int listen_fd_ = -1;
+    int wake_read_fd_ = -1;
+    int wake_write_fd_ = -1;
+
+    /** Parent of every request token; cancelled at drain timeout. */
+    CancelToken drain_token_;
+    std::atomic<bool> draining_{false};
+
+    std::atomic<u64> sims_{0};     //!< successful sim responses
+    std::atomic<u64> errors_{0};   //!< typed error responses
+    std::atomic<u64> shed_{0};     //!< overloaded/shutting_down refusals
+    std::atomic<u32> pending_{0};  //!< admitted, not yet running
+    std::atomic<u32> running_{0};  //!< executing on the pool
+    std::atomic<u32> conns_{0};    //!< live connections
+    std::chrono::steady_clock::time_point start_time_{};
+
+    std::mutex conn_mutex_;
+    std::vector<std::thread> conn_threads_;
+    std::vector<int> conn_fds_;  //!< live fds (for drain kick)
+};
+
+}  // namespace flexcore::serve
+
+#endif  // FLEXCORE_SERVE_SERVER_H_

@@ -168,6 +168,12 @@ configErrorName(ConfigError::Code code)
       case ConfigError::Code::kBadExecMode: return "bad_exec_mode";
       case ConfigError::Code::kBadWorkload: return "bad_workload";
       case ConfigError::Code::kBadSource: return "bad_source";
+      case ConfigError::Code::kDeadlineExceeded:
+        return "deadline_exceeded";
+      case ConfigError::Code::kOverloaded: return "overloaded";
+      case ConfigError::Code::kShuttingDown: return "shutting_down";
+      case ConfigError::Code::kFrameTooLarge:
+        return "frame_too_large";
     }
     return "?";
 }
@@ -197,6 +203,10 @@ parseConfigErrorName(std::string_view name, ConfigError::Code *code)
         ConfigError::Code::kBadExecMode,
         ConfigError::Code::kBadWorkload,
         ConfigError::Code::kBadSource,
+        ConfigError::Code::kDeadlineExceeded,
+        ConfigError::Code::kOverloaded,
+        ConfigError::Code::kShuttingDown,
+        ConfigError::Code::kFrameTooLarge,
     };
     for (ConfigError::Code candidate : kAll) {
         if (name == configErrorName(candidate)) {

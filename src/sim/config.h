@@ -111,6 +111,12 @@ struct ConfigError
         kBadExecMode,       //!< unknown exec-mode name
         kBadWorkload,       //!< unknown workload name or scale
         kBadSource,         //!< request source fails to assemble
+
+        // ---- Serving errors (flexcore-serve resilience layer) ----
+        kDeadlineExceeded,  //!< request deadline/cycle clamp hit
+        kOverloaded,        //!< admission control shed the request
+        kShuttingDown,      //!< server draining; no new simulations
+        kFrameTooLarge,     //!< frame length prefix above the serve cap
     };
 
     Code code = Code::kNone;

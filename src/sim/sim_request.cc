@@ -591,6 +591,8 @@ SimRequest::run()
         system.attachTrace(trace_stream_);
     if (tracer_)
         system.core().setTracer(std::move(tracer_));
+    if (cancel_)
+        system.setCancel(cancel_);
 
     SimOutcome outcome;
     outcome.result = system.run();
@@ -608,7 +610,11 @@ SimRequest::run()
             outcome.golden_diff = boundedDiff(
                 workload_->expected_console, outcome.result.console);
         }
-    } else if (verify_) {
+    } else if (verify_ &&
+               outcome.result.exit != RunResult::Exit::kDeadline) {
+        // A cancelled run is reported as kDeadline, not verified: it
+        // was cut off mid-flight, so "did not exit cleanly" would be
+        // the cancellation's fault, not the workload's.
         if (outcome.result.exit != RunResult::Exit::kExited) {
             FLEX_FATAL("workload '", workload_->name,
                        "' did not exit cleanly: ",

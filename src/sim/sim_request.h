@@ -238,6 +238,21 @@ class SimRequest
     }
 
     /**
+     * Attach a cooperative cancel token (common/cancel.h); the token
+     * must outlive run(). A cancelled/expired token ends the run with
+     * RunResult::Exit::kDeadline — reported, never verified (a
+     * cancelled run has no business FLEX_FATALing on a console
+     * mismatch it never got to produce). Executor-side state: tokens
+     * do not serialize, and the serving layer attaches its own.
+     */
+    SimRequest &
+    cancel(const CancelToken *token)
+    {
+        cancel_ = token;
+        return *this;
+    }
+
+    /**
      * Request the FXTR streaming binary trace in the wire schema
      * ("output": {"trace_fxtr": true}). SimRequest itself carries no
      * sink — the executor (serveSimRequest, flexcore-serve) attaches a
@@ -339,6 +354,7 @@ class SimRequest
     TraceSink *trace_stream_ = nullptr;
     PcProfile *profile_ = nullptr;
     u32 profile_top_ = 0;   //!< 0 = no profile_json capture
+    const CancelToken *cancel_ = nullptr;
     Core::Tracer tracer_;
 };
 

@@ -77,7 +77,7 @@ namespace {
 constexpr RunResult::Exit kAllExits[] = {
     RunResult::Exit::kExited,    RunResult::Exit::kMonitorTrap,
     RunResult::Exit::kCoreTrap,  RunResult::Exit::kMaxCycles,
-    RunResult::Exit::kHang,
+    RunResult::Exit::kHang,      RunResult::Exit::kDeadline,
 };
 
 constexpr TrapKind kAllTrapKinds[] = {
@@ -504,9 +504,18 @@ simResponseFromJson(std::string_view text, SimResponse *out,
 
 SimResponse
 serveSimRequest(SimRequest request, ProgramCache *cache,
-                std::string *trace_out)
+                std::string *trace_out, const CancelToken *cancel)
 {
     SimResponse response;
+    if (cancel && cancel->expired()) {
+        // The request spent its whole deadline queued (or the server
+        // is past drain-timeout); don't burn cycles on a run whose
+        // answer nobody is waiting for.
+        response.error = makeConfigError(
+            ConfigError::Code::kDeadlineExceeded,
+            "deadline expired before the simulation started");
+        return response;
+    }
     if (ConfigError err = request.finalizeConfig()) {
         response.error = std::move(err);
         return response;
@@ -542,10 +551,26 @@ serveSimRequest(SimRequest request, ProgramCache *cache,
         request.traceStream(&*writer);
     }
 
+    if (cancel)
+        request.cancel(cancel);
     SimOutcome outcome = request.run();
+    if (outcome.result.exit == RunResult::Exit::kDeadline) {
+        // Mid-run cancellation: surface the typed error; the partial
+        // RunResult still rides along in response.result for
+        // diagnostics (cycles burned before the cut).
+        response.error = makeConfigError(
+            ConfigError::Code::kDeadlineExceeded,
+            "deadline exceeded: " + outcome.result.trap_reason);
+    }
     if (writer) {
         writer->finish();
-        response.trace_bytes = trace_out->size();
+        // An error response carries no out-of-band trace frame (the
+        // wire document omits trace_bytes on errors, and sending an
+        // unannounced frame would desynchronize the stream).
+        if (!response.error)
+            response.trace_bytes = trace_out->size();
+        else
+            trace_out->clear();
     }
 
     response.result = std::move(outcome.result);

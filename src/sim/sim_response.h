@@ -113,12 +113,19 @@ class ProgramCache
  * and @p trace_out is non-null, run, and package every requested
  * surface. @p cache may be null (no caching — every call assembles).
  *
+ * @p cancel (nullable) is the request's cooperative cancel token: an
+ * already-expired token fails fast with kDeadlineExceeded before the
+ * run starts (the request sat in a queue past its deadline), and one
+ * expiring mid-run ends the simulation with Exit::kDeadline, mapped
+ * here to the same typed kDeadlineExceeded error.
+ *
  * Functional-verification failures on non-fault runs remain fatal even
  * here: a golden-output mismatch means the simulator is broken, not
  * the request.
  */
 SimResponse serveSimRequest(SimRequest request, ProgramCache *cache,
-                            std::string *trace_out);
+                            std::string *trace_out,
+                            const CancelToken *cancel = nullptr);
 
 }  // namespace flexcore
 

@@ -20,9 +20,25 @@ exitName(RunResult::Exit exit)
       case RunResult::Exit::kCoreTrap: return "core_trap";
       case RunResult::Exit::kMaxCycles: return "max_cycles";
       case RunResult::Exit::kHang: return "hang";
+      case RunResult::Exit::kDeadline: return "deadline";
     }
     return "?";
 }
+
+namespace {
+
+/**
+ * Simulated cycles between CancelToken polls. One steady_clock read
+ * per 64Ki cycles is noise next to the work those cycles do, yet even
+ * the slowest configurations clear that many cycles in well under a
+ * millisecond — so a deadline is honored within milliseconds of
+ * expiry no matter what the guest program does (commit loops defeat
+ * the watchdog; never-idle loops defeat fast-forward; neither defeats
+ * a cycle counter).
+ */
+constexpr Cycle kCancelCheckCycles = 65536;
+
+}  // namespace
 
 System::System(SystemConfig config)
     : config_(std::move(config)), stats_("system")
@@ -201,6 +217,9 @@ System::run()
 
     const u64 wd = config_.watchdog_commits;
     bool hung = false;
+    bool cancelled = false;
+    next_cancel_check_ = cancel_ ? now_ + kCancelCheckCycles
+                                 : kCycleNever;
     // Burst dispatch requires the commit fast path to be exactly the
     // inline one: no per-commit fault hooks, no watchdog bookkeeping,
     // no ALU fault injection, no software-instrumentation expansion,
@@ -221,7 +240,19 @@ System::run()
             // The engine consumes every provably plain fetch/latency
             // cycle; anything else (misses, FIFO waits, micro-ops,
             // traps, drains) is handed back to the interpreter tick.
-            now_ = engine_->burst(now_, config_.max_cycles);
+            // A cancel token clamps the burst at its next poll cycle;
+            // burst boundaries are not observable, so results stay
+            // byte-identical to the unclamped run.
+            now_ = engine_->burst(
+                now_, std::min(config_.max_cycles,
+                               next_cancel_check_));
+            if (cancel_ && now_ >= next_cancel_check_) {
+                next_cancel_check_ = now_ + kCancelCheckCycles;
+                if (cancel_->expired()) {
+                    cancelled = true;
+                    break;
+                }
+            }
             if (core_->halted() || now_ >= config_.max_cycles)
                 break;
             tick();
@@ -229,26 +260,43 @@ System::run()
                 fastForward();
         }
     } else if (!injector_ && wd == 0) {
-        // Hot path: identical to the pre-watchdog loops, zero extra
-        // work per cycle when neither feature is in use.
-        if (config_.fast_forward) {
-            while (!core_->halted() && now_ < config_.max_cycles) {
-                tick();
-                // idleCandidate() is a two-branch filter for the same
-                // states idleStretch() can accept, so skipping
-                // fastForward() on other cycles changes nothing.
-                if (core_->idleCandidate())
-                    fastForward();
+        // Hot path: identical per-cycle work to the pre-watchdog
+        // loops. A cancel token only chunks the loop — the inner
+        // bound is a constant between polls, so the tick sequence
+        // (and therefore every result) is unchanged, and a run
+        // without a token collapses to a single chunk.
+        while (!core_->halted() && now_ < config_.max_cycles) {
+            const Cycle bound =
+                std::min(config_.max_cycles, next_cancel_check_);
+            if (config_.fast_forward) {
+                while (!core_->halted() && now_ < bound) {
+                    tick();
+                    // idleCandidate() is a two-branch filter for the
+                    // same states idleStretch() can accept, so
+                    // skipping fastForward() elsewhere changes
+                    // nothing. A stretch may overshoot the poll
+                    // bound; the poll below catches up.
+                    if (core_->idleCandidate())
+                        fastForward();
+                }
+            } else {
+                while (!core_->halted() && now_ < bound)
+                    tick();
             }
-        } else {
-            while (!core_->halted() && now_ < config_.max_cycles)
-                tick();
+            if (cancel_ && now_ >= next_cancel_check_) {
+                next_cancel_check_ = now_ + kCancelCheckCycles;
+                if (cancel_->expired()) {
+                    cancelled = true;
+                    break;
+                }
+            }
         }
     } else {
         // Monitored loop: tracks commit progress (instructions plus
         // micro-ops, so long window spill/fill sequences count) for
-        // the no-commit watchdog, and lets fastForward() cap stretches
-        // at fault triggers and the watchdog deadline.
+        // the no-commit watchdog, lets fastForward() cap stretches
+        // at fault triggers and the watchdog deadline, and polls the
+        // cancel token every kCancelCheckCycles.
         u64 last_progress = core_->instructions() + core_->microOps();
         watchdog_deadline_ = wd ? now_ + wd : kCycleNever;
         while (!core_->halted() && now_ < config_.max_cycles) {
@@ -272,10 +320,17 @@ System::run()
                     break;
                 }
             }
+            if (now_ >= next_cancel_check_) {
+                next_cancel_check_ = now_ + kCancelCheckCycles;
+                if (cancel_->expired()) {
+                    cancelled = true;
+                    break;
+                }
+            }
         }
         watchdog_deadline_ = kCycleNever;
     }
-    return finishRun(hung, wd);
+    return finishRun(hung, cancelled, wd);
 }
 
 bool
@@ -303,9 +358,12 @@ System::runSampled()
     const u64 period = config_.sample_period;
     const u64 wd = config_.watchdog_commits;
     bool hung = false;
+    bool cancelled = false;
     u64 detailed_insts = 0;
     u64 last_progress = core_->instructions() + core_->microOps();
     watchdog_deadline_ = wd ? now_ + wd : kCycleNever;
+    next_cancel_check_ = cancel_ ? now_ + kCancelCheckCycles
+                                 : kCycleNever;
 
     while (!core_->halted() && now_ < config_.max_cycles) {
         // Detailed window: exact cycle-accurate simulation until
@@ -338,9 +396,17 @@ System::runSampled()
                     break;
                 }
             }
+            if (now_ >= next_cancel_check_) {
+                next_cancel_check_ = now_ + kCancelCheckCycles;
+                if (cancel_->expired()) {
+                    cancelled = true;
+                    break;
+                }
+            }
         }
         detailed_insts += core_->instructions() - start_insts;
-        if (hung || core_->halted() || now_ >= config_.max_cycles)
+        if (hung || cancelled || core_->halted() ||
+            now_ >= config_.max_cycles)
             break;
 
         // Functional warming for the remainder of the sampling unit.
@@ -352,11 +418,18 @@ System::runSampled()
             last_progress = core_->instructions() + core_->microOps();
             if (wd)
                 watchdog_deadline_ = now_ + wd;
+            // Warming advances instructions but not now_, so the
+            // cycle-gated poll above cannot fire during it; one
+            // explicit poll per warmed stretch bounds its latency.
+            if (cancel_ && cancel_->expired()) {
+                cancelled = true;
+                break;
+            }
         }
     }
     watchdog_deadline_ = kCycleNever;
 
-    RunResult result = finishRun(hung, wd);
+    RunResult result = finishRun(hung, cancelled, wd);
     result.sampled = true;
     result.detailed_cycles = now_;
     result.detailed_instructions = detailed_insts;
@@ -378,7 +451,7 @@ System::runSampled()
 }
 
 RunResult
-System::finishRun(bool hung, u64 wd)
+System::finishRun(bool hung, bool cancelled, u64 wd)
 {
     core_->flushTrace();
     if (fabric_)
@@ -391,7 +464,11 @@ System::finishRun(bool hung, u64 wd)
     result.console = core_->consoleOutput();
     result.exit_code = core_->exitCode();
     result.trap = core_->trap();
-    if (hung) {
+    if (cancelled) {
+        result.exit = RunResult::Exit::kDeadline;
+        result.trap_reason = "cancelled after " +
+                             std::to_string(now_) + " cycles";
+    } else if (hung) {
         result.exit = RunResult::Exit::kHang;
         result.trap_reason = "no commit in " + std::to_string(wd) +
                              " cycles (watchdog)";

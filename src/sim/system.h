@@ -12,6 +12,7 @@
 #include <memory>
 #include <string>
 
+#include "common/cancel.h"
 #include "sim/config.h"
 
 namespace flexcore {
@@ -29,6 +30,7 @@ struct RunResult
         kCoreTrap,      //!< core-detected error (div-by-zero, ...)
         kMaxCycles,     //!< cycle limit reached
         kHang,          //!< no-commit watchdog fired (wedged pipeline)
+        kDeadline,      //!< cancelled via CancelToken (wall-clock)
     };
 
     Exit exit = Exit::kMaxCycles;
@@ -87,6 +89,18 @@ class System
     void attachTrace(TraceSink *sink);
 
     /**
+     * Attach a cooperative cancel token (null detaches; set before
+     * run()). The run loops poll it every ~64Ki simulated cycles —
+     * cheap enough to be invisible, frequent enough that an expired
+     * token ends even a never-committing, never-idle program within
+     * milliseconds — and return Exit::kDeadline with all state intact.
+     * Simulated results up to the cancellation point are unchanged;
+     * with no token attached the run loops are byte-for-byte the old
+     * ones (the checks live on the monitored/burst-clamp paths only).
+     */
+    void setCancel(const CancelToken *cancel) { cancel_ = cancel; }
+
+    /**
      * Attach a per-PC cycle profiler (null detaches). Attach before
      * load(): load() sizes the profile table for the program's text
      * segment, and attribution must start at cycle zero for the
@@ -114,7 +128,7 @@ class System
     /** Sampled-timing run loop (SystemConfig::sample_period > 0). */
     RunResult runSampled();
     /** Shared run() epilogue: flush observers, classify the exit. */
-    RunResult finishRun(bool hung, u64 wd);
+    RunResult finishRun(bool hung, bool cancelled, u64 wd);
     /** A state functional warming may take over from: core drained,
      * store buffer empty, bus idle, fabric not frozen, no pending
      * trap. Queued forward packets are fine — warm() drains them
@@ -139,6 +153,11 @@ class System
      * fastForward() caps bulk skips here so the kHang cycle count is
      * byte-identical with fast-forwarding on or off. */
     Cycle watchdog_deadline_ = kCycleNever;
+    /** Cooperative cancellation (null = feature off, zero cost). */
+    const CancelToken *cancel_ = nullptr;
+    /** Next simulated cycle at which cancel_ is polled; refreshed to
+     * now_ + kCancelCheckCycles after every poll. */
+    Cycle next_cancel_check_ = kCycleNever;
     TraceSink *trace_ = nullptr;
     PcProfile *profile_ = nullptr;
     size_t traced_ffifo_depth_ = 0;

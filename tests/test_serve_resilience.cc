@@ -1,0 +1,460 @@
+/**
+ * @file
+ * Resilience-layer tests: cooperative cancellation (CancelToken +
+ * System deadline exits), defensive frame I/O (recvFrameLimited
+ * against truncation, oversize, slow peers), deterministic backoff,
+ * and a seeded malformed-payload fuzz of the server's protocol loop —
+ * the "never crashes, always answers typed" property the chaos gate
+ * then re-checks over real sockets. Runs under the ASan/UBSan and
+ * TSan CI jobs.
+ */
+
+#include "serve/server.h"
+
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <thread>
+
+#include "assembler/assembler.h"
+#include "common/cancel.h"
+#include "common/json.h"
+#include "common/netio.h"
+#include "common/rng.h"
+#include "common/threadpool.h"
+#include "sim/sim_request.h"
+#include "sim/sim_response.h"
+#include "sim/system.h"
+
+namespace flexcore {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/** Commits an instruction every cycle, forever: defeats the watchdog
+ * (steady progress) and fast-forward (never idle). Only max_cycles or
+ * a cancel token can end it. */
+constexpr const char *kSpinSource = R"(
+        .org 0x1000
+_start: set 0x003ffff0, %sp
+        mov 0, %g2
+spin:   add %g2, 1, %g2
+        ba spin
+        nop
+)";
+
+constexpr const char *kTinySource = R"(
+        .org 0x1000
+_start: set 0x003ffff0, %sp
+        mov 0, %o0
+        ta 0
+        nop
+)";
+
+double
+elapsedMs(Clock::time_point t0)
+{
+    return std::chrono::duration<double, std::milli>(Clock::now() - t0)
+        .count();
+}
+
+// ---- CancelToken ----
+
+TEST(CancelToken, ManualCancelIsSticky)
+{
+    CancelToken token;
+    EXPECT_FALSE(token.expired());
+    token.cancel();
+    EXPECT_TRUE(token.expired());
+    EXPECT_TRUE(token.expired());
+}
+
+TEST(CancelToken, DeadlineExpires)
+{
+    CancelToken token;
+    token.deadlineAfterMs(20);
+    EXPECT_TRUE(token.hasDeadline());
+    EXPECT_FALSE(token.expired());
+    std::this_thread::sleep_for(std::chrono::milliseconds(40));
+    EXPECT_TRUE(token.expired());
+}
+
+TEST(CancelToken, ParentChainPropagates)
+{
+    CancelToken parent;
+    CancelToken child(&parent);
+    EXPECT_FALSE(child.expired());
+    parent.cancel();
+    EXPECT_TRUE(child.expired());
+    EXPECT_FALSE(parent.hasDeadline());
+}
+
+// ---- System deadline exits ----
+
+TEST(SystemDeadline, NonTerminatingProgramIsCutByDeadline)
+{
+    SystemConfig config;
+    config.max_cycles = 4'000'000'000ull;  // far beyond the deadline
+    System system(config);
+    system.load(Assembler::assembleOrDie(kSpinSource));
+    CancelToken token;
+    token.deadlineAfterMs(80);
+    system.setCancel(&token);
+    const auto t0 = Clock::now();
+    const RunResult result = system.run();
+    EXPECT_EQ(result.exit, RunResult::Exit::kDeadline);
+    EXPECT_GT(result.cycles, 0u);
+    // The 2x-deadline acceptance bound, with slack for a loaded CI
+    // box; the poll itself fires every ~64Ki simulated cycles.
+    EXPECT_LT(elapsedMs(t0), 2000.0);
+}
+
+TEST(SystemDeadline, ThreadedBurstsHonorTheDeadline)
+{
+    SystemConfig config;
+    config.max_cycles = 4'000'000'000ull;
+    config.exec_mode = ExecMode::kThreaded;
+    System system(config);
+    system.load(Assembler::assembleOrDie(kSpinSource));
+    CancelToken token;
+    token.deadlineAfterMs(80);
+    system.setCancel(&token);
+    const auto t0 = Clock::now();
+    const RunResult result = system.run();
+    EXPECT_EQ(result.exit, RunResult::Exit::kDeadline);
+    EXPECT_LT(elapsedMs(t0), 2000.0);
+}
+
+TEST(SystemDeadline, CrossThreadCancelReclaimsTheRun)
+{
+    SystemConfig config;
+    config.max_cycles = 4'000'000'000ull;
+    System system(config);
+    system.load(Assembler::assembleOrDie(kSpinSource));
+    CancelToken token;
+    system.setCancel(&token);
+    RunResult result;
+    std::thread worker([&] { result = system.run(); });
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    token.cancel();
+    worker.join();
+    EXPECT_EQ(result.exit, RunResult::Exit::kDeadline);
+}
+
+TEST(SystemDeadline, UnexpiredTokenChangesNothing)
+{
+    // The zero-cost claim, functionally: an armed-but-unexpired token
+    // must leave the simulated results byte-identical (the cancel
+    // checks live off the committed path).
+    for (const ExecMode mode :
+         {ExecMode::kInterp, ExecMode::kThreaded}) {
+        SystemConfig base;
+        base.max_cycles = 300'000;
+        base.exec_mode = mode;
+        System plain(base);
+        plain.load(Assembler::assembleOrDie(kSpinSource));
+        const RunResult without = plain.run();
+
+        System tokened(base);
+        tokened.load(Assembler::assembleOrDie(kSpinSource));
+        CancelToken token;
+        token.deadlineAfterMs(600'000);  // never expires in-test
+        tokened.setCancel(&token);
+        const RunResult with = tokened.run();
+
+        EXPECT_EQ(without.exit, RunResult::Exit::kMaxCycles);
+        EXPECT_EQ(with.exit, without.exit);
+        EXPECT_EQ(with.cycles, without.cycles);
+        EXPECT_EQ(with.instructions, without.instructions);
+    }
+}
+
+// ---- serveSimRequest deadline mapping ----
+
+TEST(ServeDeadline, PreExpiredTokenFailsFastWithTypedError)
+{
+    SimRequest request;
+    request.source(kSpinSource);
+    CancelToken token;
+    token.cancel();
+    const SimResponse response =
+        serveSimRequest(std::move(request), nullptr, nullptr, &token);
+    EXPECT_EQ(response.error.code,
+              ConfigError::Code::kDeadlineExceeded);
+}
+
+TEST(ServeDeadline, MidRunExpiryMapsToDeadlineExceeded)
+{
+    SimRequest request;
+    SystemConfig config;
+    config.max_cycles = 4'000'000'000ull;
+    request = SimRequest(config);
+    request.source(kSpinSource);
+    CancelToken token;
+    token.deadlineAfterMs(80);
+    const SimResponse response =
+        serveSimRequest(std::move(request), nullptr, nullptr, &token);
+    EXPECT_EQ(response.error.code,
+              ConfigError::Code::kDeadlineExceeded);
+    EXPECT_EQ(response.result.exit, RunResult::Exit::kDeadline);
+}
+
+// ---- recvFrameLimited: defensive frame input ----
+
+class FramePipe : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds_), 0);
+    }
+
+    void
+    TearDown() override
+    {
+        netio::closeSocket(fds_[0]);
+        netio::closeSocket(fds_[1]);
+    }
+
+    int fds_[2] = {-1, -1};
+};
+
+TEST_F(FramePipe, RoundTripsAFrame)
+{
+    ASSERT_TRUE(netio::sendFrame(fds_[0], "hello frames"));
+    std::string payload;
+    std::string error;
+    EXPECT_EQ(netio::recvFrameLimited(fds_[1], &payload, 4096, 1000,
+                                      1000, &error),
+              netio::RecvStatus::kFrame);
+    EXPECT_EQ(payload, "hello frames");
+}
+
+TEST_F(FramePipe, OversizedPrefixRejectedWithoutAllocation)
+{
+    // A hostile 4-byte prefix claiming ~1 GiB: the receiver must
+    // reject it from the prefix alone, never sizing the buffer.
+    const u8 prefix[4] = {0x00, 0x00, 0x00, 0x40};
+    ASSERT_EQ(::send(fds_[0], prefix, 4, 0), 4);
+    std::string payload;
+    std::string error;
+    EXPECT_EQ(netio::recvFrameLimited(fds_[1], &payload, 65536, 1000,
+                                      1000, &error),
+              netio::RecvStatus::kTooLarge);
+    EXPECT_LT(payload.capacity(), 1u << 20);
+    EXPECT_NE(error.find("exceeds"), std::string::npos);
+}
+
+TEST_F(FramePipe, IdleTimeoutFiresBeforeFirstByte)
+{
+    std::string payload;
+    std::string error;
+    const auto t0 = Clock::now();
+    EXPECT_EQ(netio::recvFrameLimited(fds_[1], &payload, 4096, 50,
+                                      1000, &error),
+              netio::RecvStatus::kIdleTimeout);
+    EXPECT_LT(elapsedMs(t0), 1000.0);
+}
+
+TEST_F(FramePipe, SlowLorisHitsTheFrameTimeout)
+{
+    // Two bytes of prefix, then silence: the frame has started, so
+    // the (short) frame budget governs, not the (long) idle budget.
+    const u8 partial[2] = {0x08, 0x00};
+    ASSERT_EQ(::send(fds_[0], partial, 2, 0), 2);
+    std::string payload;
+    std::string error;
+    const auto t0 = Clock::now();
+    EXPECT_EQ(netio::recvFrameLimited(fds_[1], &payload, 4096, 5000,
+                                      100, &error),
+              netio::RecvStatus::kFrameTimeout);
+    EXPECT_LT(elapsedMs(t0), 3000.0);
+}
+
+TEST_F(FramePipe, CleanEofBeforeAnyByte)
+{
+    netio::closeSocket(fds_[0]);
+    fds_[0] = -1;
+    std::string payload;
+    std::string error;
+    EXPECT_EQ(netio::recvFrameLimited(fds_[1], &payload, 4096, 1000,
+                                      1000, &error),
+              netio::RecvStatus::kEof);
+    EXPECT_TRUE(error.empty());
+}
+
+TEST_F(FramePipe, MidFrameHangupIsAnError)
+{
+    const u8 bytes[7] = {0x0a, 0x00, 0x00, 0x00, 'a', 'b', 'c'};
+    ASSERT_EQ(::send(fds_[0], bytes, 7, 0), 7);
+    netio::closeSocket(fds_[0]);
+    fds_[0] = -1;
+    std::string payload;
+    std::string error;
+    EXPECT_EQ(netio::recvFrameLimited(fds_[1], &payload, 4096, 1000,
+                                      1000, &error),
+              netio::RecvStatus::kError);
+    EXPECT_FALSE(error.empty());
+}
+
+TEST_F(FramePipe, SeededRandomByteStreamsNeverCrashTheReader)
+{
+    // Malformed-frame fuzz at the I/O layer: whatever bytes arrive,
+    // recvFrameLimited returns a status — no crash, no unbounded
+    // allocation. (ASan/UBSan/TSan jobs run this too.)
+    Rng rng(0x5eedf00dULL);
+    for (int round = 0; round < 50; ++round) {
+        const size_t count = 1 + rng.below(64);
+        std::string bytes(count, '\0');
+        for (size_t i = 0; i < count; ++i)
+            bytes[i] = static_cast<char>(rng.below(256));
+        ASSERT_EQ(::send(fds_[0], bytes.data(), bytes.size(), 0),
+                  static_cast<ssize_t>(bytes.size()));
+        std::string payload;
+        std::string error;
+        const netio::RecvStatus status = netio::recvFrameLimited(
+            fds_[1], &payload, 4096, 20, 20, &error);
+        EXPECT_LT(payload.capacity(), 1u << 20);
+        if (status == netio::RecvStatus::kTooLarge ||
+            status == netio::RecvStatus::kError) {
+            // Stream desynchronized: drain and start a fresh pipe,
+            // like the server dropping the connection.
+            TearDown();
+            SetUp();
+        }
+    }
+}
+
+// ---- backoff determinism ----
+
+TEST(Backoff, DelaysAreDeterministicPerSeed)
+{
+    Rng a(42), b(42), c(43);
+    bool any_differs = false;
+    for (u32 attempt = 0; attempt < 12; ++attempt) {
+        const u32 da = netio::backoffDelayMs(5, 500, attempt, &a);
+        const u32 db = netio::backoffDelayMs(5, 500, attempt, &b);
+        const u32 dc = netio::backoffDelayMs(5, 500, attempt, &c);
+        EXPECT_EQ(da, db);
+        any_differs = any_differs || da != dc;
+    }
+    EXPECT_TRUE(any_differs) << "different seeds should decorrelate";
+}
+
+TEST(Backoff, DelaysRampAndStayWithinTheJitterBand)
+{
+    Rng rng(7);
+    for (u32 attempt = 0; attempt < 20; ++attempt) {
+        u64 cap = u64{5} << (attempt < 16 ? attempt : 16);
+        if (cap > 500)
+            cap = 500;
+        const u32 delay = netio::backoffDelayMs(5, 500, attempt, &rng);
+        EXPECT_GE(delay, cap / 2) << "attempt " << attempt;
+        EXPECT_LE(delay, cap) << "attempt " << attempt;
+    }
+}
+
+// ---- Server protocol loop: ops + seeded malformed-payload fuzz ----
+
+class ServerLoop : public ::testing::Test
+{
+  protected:
+    ServerLoop() : pool_(1) { limits_.quiet = true; }
+
+    serve::ServeLimits limits_;
+    ThreadPool pool_;
+};
+
+TEST_F(ServerLoop, HealthReportsCountersWithFixedShape)
+{
+    ProgramCache cache;
+    serve::Server server(&pool_, &cache, limits_);
+    const serve::Server::Reply reply =
+        server.handlePayload("{\"op\": \"health\"}");
+    JsonValue doc;
+    std::string error;
+    ASSERT_TRUE(parseJson(reply.frame, &doc, &error)) << reply.frame;
+    EXPECT_TRUE(doc.find("ok")->boolean);
+    EXPECT_EQ(doc.find("pending")->uint, 0u);
+    EXPECT_EQ(doc.find("running")->uint, 0u);
+    EXPECT_NE(doc.find("uptime_ms"), nullptr);
+    EXPECT_NE(doc.find("cache"), nullptr);
+    EXPECT_FALSE(doc.find("draining")->boolean);
+}
+
+TEST_F(ServerLoop, SimRequestRunsAndShutdownShedsNewSims)
+{
+    serve::Server server(&pool_, nullptr, limits_);
+    const std::string envelope =
+        "{\"op\": \"sim\", \"request\": {\"v\": 1, "
+        "\"input\": {\"source\": " +
+        [] {
+            std::string out;
+            out += '"';
+            for (const char *p = kTinySource; *p; ++p) {
+                if (*p == '\n')
+                    out += "\\n";
+                else if (*p == '"')
+                    out += "\\\"";
+                else
+                    out += *p;
+            }
+            out += '"';
+            return out;
+        }() +
+        "}}}";
+    serve::Server::Reply reply = server.handlePayload(envelope);
+    SimResponse response;
+    std::string error;
+    ASSERT_TRUE(simResponseFromJson(reply.frame, &response, &error));
+    EXPECT_FALSE(response.error) << response.error.message;
+    EXPECT_EQ(response.result.exit, RunResult::Exit::kExited);
+    EXPECT_EQ(server.sims(), 1u);
+
+    server.beginShutdown();
+    reply = server.handlePayload(envelope);
+    ASSERT_TRUE(simResponseFromJson(reply.frame, &response, &error));
+    EXPECT_EQ(response.error.code, ConfigError::Code::kShuttingDown);
+    EXPECT_EQ(server.shed(), 1u);
+}
+
+TEST_F(ServerLoop, SeededFuzzAlwaysAnswersValidTypedJson)
+{
+    serve::Server server(&pool_, nullptr, limits_);
+    Rng rng(0xc0ffeeULL);
+    const std::string valid =
+        "{\"op\": \"sim\", \"request\": {\"v\": 1}}";
+    for (int round = 0; round < 300; ++round) {
+        std::string payload;
+        if (round % 3 == 0) {
+            // Pure random bytes.
+            const size_t count = rng.below(200);
+            payload.resize(count);
+            for (size_t i = 0; i < count; ++i)
+                payload[i] = static_cast<char>(rng.below(256));
+        } else {
+            // A valid envelope with random bytes flipped.
+            payload = valid;
+            const u64 flips = 1 + rng.below(6);
+            for (u64 i = 0; i < flips; ++i)
+                payload[rng.below(payload.size())] =
+                    static_cast<char>(rng.below(256));
+        }
+        const serve::Server::Reply reply =
+            server.handlePayload(payload);
+        ASSERT_FALSE(reply.frame.empty());
+        JsonValue doc;
+        std::string error;
+        ASSERT_TRUE(parseJson(reply.frame, &doc, &error))
+            << "round " << round << ": " << reply.frame;
+        ASSERT_NE(doc.find("ok"), nullptr);
+    }
+    // The loop above never submitted a successful sim.
+    EXPECT_EQ(server.sims(), 0u);
+}
+
+}  // namespace
+}  // namespace flexcore

@@ -1,0 +1,257 @@
+/**
+ * @file
+ * flexcore-chaos: a deterministic network-chaos client for
+ * flexcore-serve. Each client derives its own xorshift64* stream from
+ * a stable key (fnv1a64("chaos/SEED/CLIENT"), the campaign runner's
+ * seeding idiom), so a given --seed replays the exact same byte-level
+ * attack sequence every run — a failure found in CI reproduces on a
+ * laptop with the same flags.
+ *
+ *   flexcore-chaos --connect unix:s.sock --seed 7 --clients 4 \
+ *                  --attacks 50
+ *
+ * The repertoire, one fresh connection per attack:
+ *   - truncated length prefix (1-3 bytes, then disconnect)
+ *   - garbage length prefix (4 random bytes — usually an absurd
+ *     claimed size the server must reject without allocating)
+ *   - mid-frame disconnect (honest prefix, partial payload, hangup)
+ *   - slow-loris (a valid frame dribbled one byte at a time)
+ *   - corrupted envelope (valid JSON with random bytes flipped)
+ *   - framed garbage (honest prefix, random payload bytes)
+ *
+ * The tool never asserts on what the server answers — a typed error
+ * frame, a dropped connection, and a timeout are all acceptable. What
+ * matters is measured elsewhere: the acceptance gate (scripts/check.sh,
+ * tests/CMakeLists.txt tool.serve.chaos) runs chaos clients
+ * concurrently with a well-behaved client and requires that client's
+ * served stats to stay byte-identical to a local run, and the server
+ * to drain cleanly to exit 0. Chaos must be invisible to correct
+ * traffic; this tool only exits non-zero if it could not run the
+ * campaign at all (e.g. the server was never reachable).
+ */
+
+#include <sys/socket.h>
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/cliopts.h"
+#include "common/netio.h"
+#include "common/rng.h"
+#include "sim/sim_response.h"
+
+using namespace flexcore;
+
+namespace {
+
+constexpr int kConnectAttempts = 30;
+constexpr u32 kBackoffBaseMs = 5;
+constexpr u32 kBackoffMaxMs = 500;
+/** Bound on waiting for a reply the server may legitimately not send. */
+constexpr int kReplyTimeoutMs = 2000;
+
+struct ChaosTally
+{
+    u64 attacks = 0;
+    u64 replies = 0;         //!< typed error frames the server sent back
+    u64 connect_failures = 0;
+};
+
+/** Raw bytes (no framing). Best effort: chaos writes may be cut short
+ * by the server dropping us mid-attack, which is fine. */
+void
+sendRaw(int fd, const std::string &bytes)
+{
+    size_t off = 0;
+    while (off < bytes.size()) {
+        const ssize_t n = ::send(fd, bytes.data() + off,
+                                 bytes.size() - off, MSG_NOSIGNAL);
+        if (n <= 0)
+            return;
+        off += static_cast<size_t>(n);
+    }
+}
+
+std::string
+framePrefix(u32 size)
+{
+    std::string out(4, '\0');
+    out[0] = static_cast<char>(size);
+    out[1] = static_cast<char>(size >> 8);
+    out[2] = static_cast<char>(size >> 16);
+    out[3] = static_cast<char>(size >> 24);
+    return out;
+}
+
+std::string
+randomBytes(Rng *rng, size_t count)
+{
+    std::string out(count, '\0');
+    for (size_t i = 0; i < count; ++i)
+        out[i] = static_cast<char>(rng->below(256));
+    return out;
+}
+
+/** Drain one reply frame if the server sends one within the budget. */
+bool
+tryReadReply(int fd)
+{
+    std::string payload;
+    std::string error;
+    return netio::recvFrameLimited(fd, &payload, netio::kMaxFrameBytes,
+                                   kReplyTimeoutMs, kReplyTimeoutMs,
+                                   &error) == netio::RecvStatus::kFrame;
+}
+
+/** One attack on one fresh connection. Returns true if a reply frame
+ * came back (server answered with a typed error). */
+bool
+attackOnce(int fd, Rng *rng)
+{
+    const std::string envelope = "{\"op\": \"ping\"}";
+    switch (rng->below(6)) {
+      case 0: {
+        // Truncated length prefix: 1-3 bytes, then hangup.
+        sendRaw(fd, framePrefix(static_cast<u32>(envelope.size()))
+                        .substr(0, 1 + rng->below(3)));
+        return false;
+      }
+      case 1: {
+        // Garbage length prefix: 4 random bytes. Often claims a
+        // gigantic frame — the server must reject without allocating.
+        sendRaw(fd, randomBytes(rng, 4));
+        return tryReadReply(fd);
+      }
+      case 2: {
+        // Mid-frame disconnect: honest prefix, partial payload, gone.
+        const u32 claimed = 16 + static_cast<u32>(rng->below(4096));
+        sendRaw(fd, framePrefix(claimed));
+        sendRaw(fd, randomBytes(rng, rng->below(claimed)));
+        return false;
+      }
+      case 3: {
+        // Slow-loris: a valid frame dribbled a byte at a time. The
+        // server's --frame-timeout-ms decides how long to indulge us.
+        const std::string frame =
+            framePrefix(static_cast<u32>(envelope.size())) + envelope;
+        for (char byte : frame) {
+            sendRaw(fd, std::string(1, byte));
+            std::this_thread::sleep_for(std::chrono::milliseconds(
+                1 + rng->below(10)));
+        }
+        return tryReadReply(fd);
+      }
+      case 4: {
+        // Corrupted envelope: flip random bytes in valid JSON.
+        std::string bad = envelope;
+        const u64 flips = 1 + rng->below(4);
+        for (u64 i = 0; i < flips; ++i)
+            bad[rng->below(bad.size())] =
+                static_cast<char>(rng->below(256));
+        netio::sendFrame(fd, bad);
+        return tryReadReply(fd);
+      }
+      default: {
+        // Framed garbage: honest prefix, random payload.
+        netio::sendFrame(fd, randomBytes(rng, 8 + rng->below(256)));
+        return tryReadReply(fd);
+      }
+    }
+}
+
+void
+chaosClient(const netio::Endpoint &endpoint, u64 seed, unsigned index,
+            u64 attacks, ChaosTally *tally)
+{
+    Rng rng(fnv1a64("chaos/" + std::to_string(seed) + "/" +
+                    std::to_string(index)));
+    for (u64 i = 0; i < attacks; ++i) {
+        std::string error;
+        const int fd = netio::connectWithBackoff(
+            endpoint, kConnectAttempts, kBackoffBaseMs, kBackoffMaxMs,
+            rng.next64(), nullptr, &error);
+        if (fd < 0) {
+            ++tally->connect_failures;
+            continue;
+        }
+        ++tally->attacks;
+        if (attackOnce(fd, &rng))
+            ++tally->replies;
+        netio::closeSocket(fd);
+    }
+}
+
+}  // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string connect = "unix:flexcore.sock";
+    u64 seed = 1;
+    u32 clients = 4;
+    u64 attacks = 50;
+    bool quiet = false;
+
+    cli::Parser parser("flexcore-chaos",
+                       "throw deterministic protocol chaos at a "
+                       "flexcore-serve instance");
+    parser.option("--connect", &connect, "ENDPOINT",
+                  "server endpoint, unix:PATH or tcp:HOST:PORT "
+                  "(default unix:flexcore.sock)");
+    parser.option("--seed", &seed, "N",
+                  "base seed; each client derives its stream from "
+                  "fnv1a64(\"chaos/SEED/CLIENT\") so runs replay "
+                  "byte-for-byte (default 1)");
+    parser.option("--clients", &clients, "N",
+                  "concurrent chaos clients (default 4)");
+    parser.option("--attacks", &attacks, "N",
+                  "attacks per client, one fresh connection each "
+                  "(default 50)");
+    parser.flag("--quiet", &quiet, "suppress the summary line");
+    parser.footer(
+        "Exit 0 = the campaign ran (whatever the server answered).\n"
+        "The real assertions live in the acceptance gate: a\n"
+        "well-behaved client running concurrently must see served\n"
+        "stats byte-identical to a local run, and the server must\n"
+        "drain to exit 0. See docs/serve.md.\n");
+    parser.parseOrExit(argc, argv);
+
+    netio::Endpoint endpoint;
+    std::string error;
+    if (!netio::parseEndpoint(connect, &endpoint, &error)) {
+        std::fprintf(stderr, "flexcore-chaos: %s\n", error.c_str());
+        return 2;
+    }
+
+    std::vector<ChaosTally> tallies(clients);
+    std::vector<std::thread> threads;
+    for (unsigned c = 0; c < clients; ++c)
+        threads.emplace_back(chaosClient, std::cref(endpoint), seed, c,
+                             attacks, &tallies[c]);
+    for (std::thread &t : threads)
+        t.join();
+
+    ChaosTally total;
+    for (const ChaosTally &t : tallies) {
+        total.attacks += t.attacks;
+        total.replies += t.replies;
+        total.connect_failures += t.connect_failures;
+    }
+    if (!quiet) {
+        std::fprintf(stderr,
+                     "[flexcore-chaos] %llu attacks from %u clients "
+                     "(seed %llu): %llu typed replies, %llu connect "
+                     "failures\n",
+                     static_cast<unsigned long long>(total.attacks),
+                     clients, static_cast<unsigned long long>(seed),
+                     static_cast<unsigned long long>(total.replies),
+                     static_cast<unsigned long long>(
+                         total.connect_failures));
+    }
+    // Unreachable server for every single attack = the campaign never
+    // ran; anything else is a successful chaos run.
+    return total.attacks == 0 ? 1 : 0;
+}

@@ -41,8 +41,24 @@ using namespace flexcore;
 
 namespace {
 
-constexpr int kConnectAttempts = 50;
-constexpr int kConnectDelayMs = 100;
+/**
+ * Connect retry policy: bounded exponential backoff (5 ms doubling to
+ * a 500 ms cap) with deterministic key-derived jitter — every client
+ * hashes its own stable key into a seed, so retry schedules are
+ * reproducible run to run yet decorrelated client to client (no
+ * thundering herd when a fleet starts against a not-yet-listening
+ * server). Worst case ~12 s before giving up.
+ */
+constexpr int kConnectAttempts = 30;
+constexpr u32 kBackoffBaseMs = 5;
+constexpr u32 kBackoffMaxMs = 500;
+
+/** Key-derived jitter seed (same idiom as the campaign runner). */
+u64
+jitterSeed(const std::string &key)
+{
+    return fnv1a64(key);
+}
 
 /** Wrap a request document in the protocol envelope. */
 std::string
@@ -57,6 +73,7 @@ struct PhaseResult
     u64 errors = 0;
     double wall_seconds = 0;
     std::vector<double> latencies_ms;   //!< merged, unsorted
+    std::vector<u32> connect_retries;   //!< per client, client order
 
     double
     percentileMs(double p) const
@@ -89,13 +106,14 @@ struct PhaseResult
 void
 clientLoop(const netio::Endpoint &endpoint,
            const std::vector<std::string> *envelopes, bool trace_frames,
-           std::vector<double> *latencies_ms, u64 *errors,
-           SimResponse *first_response, std::string *first_trace,
-           std::string *fail)
+           u64 seed, std::vector<double> *latencies_ms, u64 *errors,
+           u32 *retries, SimResponse *first_response,
+           std::string *first_trace, std::string *fail)
 {
     std::string error;
-    const int fd = netio::connectWithRetry(endpoint, kConnectAttempts,
-                                           kConnectDelayMs, &error);
+    const int fd = netio::connectWithBackoff(
+        endpoint, kConnectAttempts, kBackoffBaseMs, kBackoffMaxMs,
+        seed, retries, &error);
     if (fd < 0) {
         *fail = error;
         return;
@@ -153,12 +171,16 @@ runPhase(const netio::Endpoint &endpoint, unsigned clients,
     PhaseResult phase;
     std::vector<std::vector<double>> latencies(clients);
     std::vector<u64> errors(clients, 0);
+    std::vector<u32> retries(clients, 0);
     std::vector<std::string> fails(clients);
     std::vector<std::thread> threads;
     const auto t0 = std::chrono::steady_clock::now();
     for (unsigned c = 0; c < clients; ++c) {
         threads.emplace_back(clientLoop, std::cref(endpoint), &envelopes,
-                             trace_frames, &latencies[c], &errors[c],
+                             trace_frames,
+                             jitterSeed("loadgen/client/" +
+                                        std::to_string(c)),
+                             &latencies[c], &errors[c], &retries[c],
                              c == 0 ? first_response : nullptr,
                              c == 0 ? first_trace : nullptr, &fails[c]);
     }
@@ -171,6 +193,7 @@ runPhase(const netio::Endpoint &endpoint, unsigned clients,
     for (unsigned c = 0; c < clients; ++c) {
         phase.requests += latencies[c].size();
         phase.errors += errors[c];
+        phase.connect_retries.push_back(retries[c]);
         phase.latencies_ms.insert(phase.latencies_ms.end(),
                                   latencies[c].begin(),
                                   latencies[c].end());
@@ -179,6 +202,29 @@ runPhase(const netio::Endpoint &endpoint, unsigned clients,
                          c, fails[c].c_str());
     }
     return phase;
+}
+
+u64
+totalRetries(const PhaseResult &phase)
+{
+    u64 total = 0;
+    for (u32 r : phase.connect_retries)
+        total += r;
+    return total;
+}
+
+/** Render per-client retry counts as a JSON array. */
+std::string
+retriesJson(const PhaseResult &phase)
+{
+    std::string out = "[";
+    for (size_t i = 0; i < phase.connect_retries.size(); ++i) {
+        if (i > 0)
+            out += ", ";
+        out += std::to_string(phase.connect_retries[i]);
+    }
+    out += "]";
+    return out;
 }
 
 double
@@ -197,8 +243,9 @@ bool
 sendOp(const netio::Endpoint &endpoint, const char *op,
        std::string *reply, std::string *error)
 {
-    const int fd = netio::connectWithRetry(endpoint, kConnectAttempts,
-                                           kConnectDelayMs, error);
+    const int fd = netio::connectWithBackoff(
+        endpoint, kConnectAttempts, kBackoffBaseMs, kBackoffMaxMs,
+        jitterSeed(std::string("loadgen/op/") + op), nullptr, error);
     if (fd < 0)
         return false;
     const std::string envelope =
@@ -356,11 +403,13 @@ main(int argc, char **argv)
                      &first_response, &first_trace);
         std::fprintf(stderr,
                      "[flexcore-loadgen] %llu requests (%u clients x "
-                     "%u), %llu errors, %.2fs, %.1f req/s, p50 %.1fms, "
-                     "p99 %.1fms\n",
+                     "%u), %llu errors, %llu connect retries, %.2fs, "
+                     "%.1f req/s, p50 %.1fms, p99 %.1fms\n",
                      static_cast<unsigned long long>(phase.requests),
                      clients, requests,
                      static_cast<unsigned long long>(phase.errors),
+                     static_cast<unsigned long long>(
+                         totalRetries(phase)),
                      phase.wall_seconds, phase.requestsPerSec(),
                      phase.percentileMs(0.50), phase.percentileMs(0.99));
         if (phase.errors > 0 ||
@@ -400,12 +449,15 @@ main(int argc, char **argv)
                 buf, sizeof(buf),
                 "    {\"clients\": %u, \"requests\": %llu, "
                 "\"wall_seconds\": %.6f, \"requests_per_sec\": %.1f, "
-                "\"p50_ms\": %.3f, \"p99_ms\": %.3f}%s\n",
+                "\"p50_ms\": %.3f, \"p99_ms\": %.3f, "
+                "\"connect_retries\": ",
                 c, static_cast<unsigned long long>(phase.requests),
                 phase.wall_seconds, phase.requestsPerSec(),
-                phase.percentileMs(0.50), phase.percentileMs(0.99),
-                i + 1 < std::size(kLadder) ? "," : "");
+                phase.percentileMs(0.50), phase.percentileMs(0.99));
             json += buf;
+            json += retriesJson(phase);
+            json += "}";
+            json += i + 1 < std::size(kLadder) ? ",\n" : "\n";
             std::fprintf(stderr,
                          "[flexcore-loadgen] ladder %2u clients: %.1f "
                          "req/s, p50 %.1fms, p99 %.1fms\n",

@@ -166,7 +166,8 @@ main(int argc, char **argv)
                          std::string(trapKindName(result.trap.kind))
                              .c_str(),
                          result.trap.detail.c_str(), result.trap.pc);
-        if (result.exit == RunResult::Exit::kHang)
+        if (result.exit == RunResult::Exit::kHang ||
+            result.exit == RunResult::Exit::kDeadline)
             std::fprintf(stderr, " (%s)", result.trap_reason.c_str());
         if (result.sampled) {
             std::fprintf(
@@ -221,6 +222,8 @@ main(int argc, char **argv)
         return 124;
       case RunResult::Exit::kHang:
         return 123;
+      case RunResult::Exit::kDeadline:
+        return 122;
     }
     return 1;
 }

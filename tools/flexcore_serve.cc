@@ -13,232 +13,47 @@
  * Protocol (length-prefixed JSON frames; docs/serve.md):
  *   -> {"op": "ping"}                     <- {"ok": true, ...}
  *   -> {"op": "stats"}                    <- server + cache counters
+ *   -> {"op": "health"}                   <- queue depth, in-flight,
+ *                                            cache, uptime
  *   -> {"op": "sim", "request": {...}}    <- SimResponse document
  *        (+ one binary FXTR frame when the request set trace_fxtr)
- *   -> {"op": "shutdown"}                 <- {"ok": true}, server exits
+ *   -> {"op": "shutdown"}                 <- {"ok": true}, drain + exit
  *
- * Concurrency: one lightweight thread per connection parses frames and
- * writes replies; the simulations themselves are scheduled onto the
- * shared work-stealing ThreadPool (--jobs), so a burst of clients
- * saturates the cores without oversubscribing them. Assembled programs
- * are cached content-addressed by source hash; concurrent requests for
- * the same workload share one immutable Program image.
- *
- * A malformed or hostile frame never takes the server down: every
- * failure maps to a typed error response (the kBad* ConfigError family)
- * or, at worst, to dropping that one connection.
+ * The engine itself — accept loop, admission control, deadlines,
+ * drain — lives in src/serve/server.{h,cc}; this file is flag parsing
+ * plus the SIGTERM/SIGINT self-pipe hookup. See docs/serve.md for the
+ * full resilience semantics and the error taxonomy.
  */
 
-#include <atomic>
-#include <chrono>
-#include <condition_variable>
+#include <csignal>
 #include <cstdio>
-#include <mutex>
 #include <string>
-#include <thread>
-#include <vector>
 
 #include <unistd.h>
 
 #include "common/cliopts.h"
-#include "common/json.h"
-#include "common/jsonutil.h"
 #include "common/netio.h"
 #include "common/threadpool.h"
-#include "extensions/registry.h"
+#include "serve/server.h"
 #include "sim/sim_response.h"
 
 using namespace flexcore;
 
 namespace {
 
-struct ServerState
-{
-    netio::Endpoint endpoint;
-    int listen_fd = -1;
-    ThreadPool *pool = nullptr;
-    ProgramCache *cache = nullptr;   //!< null when --no-cache
-    bool quiet = false;
-    u64 max_requests = 0;            //!< 0 = unlimited
-    std::atomic<u64> sims{0};        //!< sim requests served
-    std::atomic<u64> errors{0};      //!< error responses sent
-    std::atomic<bool> shutdown{false};
-};
-
-/** Render the small non-sim replies by hand (fixed field order). */
-std::string
-okJson(const char *op)
-{
-    return std::string("{\"ok\": true, \"op\": \"") + op + "\"}";
-}
-
-std::string
-statsJson(const ServerState &state)
-{
-    std::string out = "{\"ok\": true, \"op\": \"stats\", \"sims\": " +
-                      std::to_string(state.sims.load()) +
-                      ", \"errors\": " +
-                      std::to_string(state.errors.load());
-    out += ", \"cache\": ";
-    if (state.cache) {
-        out += "{\"hits\": " + std::to_string(state.cache->hits()) +
-               ", \"misses\": " + std::to_string(state.cache->misses()) +
-               ", \"entries\": " + std::to_string(state.cache->size()) +
-               "}";
-    } else {
-        out += "null";
-    }
-    out += ", \"threads\": " +
-           std::to_string(state.pool->threadCount()) + "}";
-    return out;
-}
-
-std::string
-errorJson(const std::string &message)
-{
-    SimResponse response;
-    response.error =
-        makeConfigError(ConfigError::Code::kBadRequest, message);
-    return simResponseJson(response);
-}
-
-/**
- * Run one sim request on the pool and block this connection thread
- * until it finishes. The pool is the concurrency throttle: with C
- * clients and J workers, at most J simulations run at once and the
- * rest queue in submission order.
- */
-SimResponse
-runOnPool(ServerState *state, SimRequest request, std::string *trace)
-{
-    SimResponse response;
-    std::mutex mutex;
-    std::condition_variable cv;
-    bool done = false;
-    state->pool->submit([&] {
-        SimResponse r =
-            serveSimRequest(std::move(request), state->cache, trace);
-        std::lock_guard<std::mutex> lock(mutex);
-        response = std::move(r);
-        done = true;
-        cv.notify_one();
-    });
-    std::unique_lock<std::mutex> lock(mutex);
-    cv.wait(lock, [&] { return done; });
-    return response;
-}
-
-/** One reply (+ optional trace frame); false = drop the connection. */
-bool
-handleFrame(ServerState *state, int fd, const std::string &payload)
-{
-    JsonValue doc;
-    std::string parse_error;
-    if (!parseJson(payload, &doc, &parse_error)) {
-        state->errors.fetch_add(1);
-        return netio::sendFrame(fd,
-                                errorJson("request frame is not valid "
-                                          "JSON: " +
-                                          parse_error));
-    }
-    const JsonValue *op = doc.find("op");
-    if (!doc.isObject() || !op || !op->isString()) {
-        state->errors.fetch_add(1);
-        return netio::sendFrame(
-            fd, errorJson("request must be an object with a string "
-                          "\"op\" field"));
-    }
-
-    if (op->str == "ping")
-        return netio::sendFrame(fd, okJson("ping"));
-    if (op->str == "stats")
-        return netio::sendFrame(fd, statsJson(*state));
-    if (op->str == "shutdown") {
-        state->shutdown.store(true);
-        // shutdown(2) on the listener kicks the accept loop out of its
-        // blocking accept (close() would not); in-flight connections
-        // finish their frames.
-        netio::shutdownSocket(state->listen_fd);
-        return netio::sendFrame(fd, okJson("shutdown"));
-    }
-    if (op->str != "sim") {
-        state->errors.fetch_add(1);
-        return netio::sendFrame(
-            fd, errorJson("unknown op \"" + op->str +
-                          "\" (expected ping, stats, sim, or "
-                          "shutdown)"));
-    }
-
-    const JsonValue *request_doc = doc.find("request");
-    if (!request_doc) {
-        state->errors.fetch_add(1);
-        return netio::sendFrame(
-            fd, errorJson("op \"sim\" needs a \"request\" object"));
-    }
-    SimRequest request;
-    ConfigError error;
-    if (!SimRequest::fromJson(*request_doc, &request, &error)) {
-        state->errors.fetch_add(1);
-        SimResponse rejection;
-        rejection.error = error;
-        return netio::sendFrame(fd, simResponseJson(rejection));
-    }
-
-    const bool want_trace = request.traceFxtrRequested();
-    const auto t0 = std::chrono::steady_clock::now();
-    std::string trace;
-    SimResponse response = runOnPool(state, std::move(request),
-                                     want_trace ? &trace : nullptr);
-    const double ms =
-        std::chrono::duration<double, std::milli>(
-            std::chrono::steady_clock::now() - t0)
-            .count();
-
-    if (response.error) {
-        state->errors.fetch_add(1);
-    } else {
-        const u64 served = state->sims.fetch_add(1) + 1;
-        if (state->max_requests != 0 &&
-            served >= state->max_requests &&
-            !state->shutdown.exchange(true)) {
-            netio::shutdownSocket(state->listen_fd);
-        }
-    }
-    if (!state->quiet) {
-        std::fprintf(stderr,
-                     "[flexcore-serve] sim #%llu %s cycles=%llu "
-                     "cache=%s %.1fms\n",
-                     static_cast<unsigned long long>(state->sims.load()),
-                     response.error
-                         ? configErrorName(response.error.code).data()
-                         : exitName(response.result.exit).data(),
-                     static_cast<unsigned long long>(
-                         response.result.cycles),
-                     response.cache_hit ? "hit" : "miss", ms);
-    }
-    if (!netio::sendFrame(fd, simResponseJson(response)))
-        return false;
-    if (want_trace && !response.error)
-        return netio::sendFrame(fd, trace);
-    return true;
-}
+/** Self-pipe write end; the only state a signal handler touches. */
+volatile sig_atomic_t g_wake_armed = 0;
+int g_wake_fd = -1;
 
 void
-serveConnection(ServerState *state, int fd)
+onTermSignal(int)
 {
-    for (;;) {
-        std::string payload;
-        std::string error;
-        if (!netio::recvFrame(fd, &payload, &error)) {
-            if (!error.empty() && !state->quiet)
-                std::fprintf(stderr, "[flexcore-serve] client: %s\n",
-                             error.c_str());
-            break;
-        }
-        if (!handleFrame(state, fd, payload))
-            break;
+    // Async-signal-safe: one write(2), nothing else. The accept loop
+    // polls the read end and runs the actual (lock-taking) drain.
+    if (g_wake_armed) {
+        const char byte = 1;
+        [[maybe_unused]] const ssize_t n = ::write(g_wake_fd, &byte, 1);
     }
-    netio::closeSocket(fd);
 }
 
 }  // namespace
@@ -248,7 +63,12 @@ main(int argc, char **argv)
 {
     std::string listen = "unix:flexcore.sock";
     u32 jobs = 0;
-    u64 max_requests = 0;
+    serve::ServeLimits limits;
+    u64 deadline_ms = 0;
+    u32 max_frame = limits.max_frame_bytes;
+    u32 idle_timeout = 0;
+    u32 frame_timeout = static_cast<u32>(limits.frame_timeout_ms);
+    u32 drain_timeout = static_cast<u32>(limits.drain_timeout_ms);
     bool no_cache = false;
     bool quiet = false;
 
@@ -260,10 +80,39 @@ main(int argc, char **argv)
     parser.option("--jobs", &jobs, "N",
                   "simulation worker threads (default: all hardware "
                   "threads)");
-    parser.option("--max-requests", &max_requests, "N",
-                  "stop accepting new connections after N successful "
-                  "sim requests (0 = run until shutdown; for smoke "
-                  "tests)");
+    parser.option("--max-requests", &limits.max_requests, "N",
+                  "drain and exit after N successful sim requests "
+                  "(0 = run until shutdown; for smoke tests)");
+    parser.option("--default-deadline-ms", &deadline_ms, "MS",
+                  "wall-clock deadline per sim request, counted from "
+                  "admission; expiry returns a typed "
+                  "deadline_exceeded error (0 = none)");
+    parser.option("--max-request-cycles", &limits.max_request_cycles,
+                  "N",
+                  "clamp each request's simulated-cycle budget "
+                  "(0 = none; exceeding the clamp is a normal "
+                  "max_cycles result)");
+    parser.option("--max-pending", &limits.max_pending, "N",
+                  "max sim requests admitted but not yet running; "
+                  "past it new sims get a typed overloaded error "
+                  "(0 = unbounded)");
+    parser.option("--max-conns", &limits.max_conns, "N",
+                  "max concurrent connections; excess connections get "
+                  "one overloaded frame and are closed (0 = "
+                  "unbounded)");
+    parser.option("--max-frame-bytes", &max_frame, "BYTES",
+                  "largest request frame accepted; bigger length "
+                  "prefixes get a typed frame_too_large rejection "
+                  "without allocating the claimed size (default 8 "
+                  "MiB)");
+    parser.option("--idle-timeout-ms", &idle_timeout, "MS",
+                  "reap connections idle this long (0 = never)");
+    parser.option("--frame-timeout-ms", &frame_timeout, "MS",
+                  "budget for a started frame (read or write) to "
+                  "finish — the slow-loris bound (default 10000)");
+    parser.option("--drain-timeout-ms", &drain_timeout, "MS",
+                  "on shutdown, how long in-flight sims may finish "
+                  "before they are cancelled (default 5000)");
     parser.flag("--no-cache", &no_cache,
                 "disable the assembled-program cache (every request "
                 "assembles from source)");
@@ -271,52 +120,52 @@ main(int argc, char **argv)
     parser.footer(
         "Speak the protocol with flexcore-loadgen, or by hand: each\n"
         "frame is a u32 little-endian length followed by that many\n"
-        "bytes of JSON. See docs/serve.md for the request schema.\n");
+        "bytes of JSON. See docs/serve.md for the request schema,\n"
+        "resilience semantics, and the error taxonomy. SIGTERM/SIGINT\n"
+        "drain gracefully: in-flight sims finish (bounded by\n"
+        "--drain-timeout-ms), new sims get shutting_down, exit 0.\n");
     parser.parseOrExit(argc, argv);
 
-    ServerState state;
+    limits.default_deadline_ms = static_cast<long>(deadline_ms);
+    limits.max_frame_bytes = max_frame;
+    limits.idle_timeout_ms =
+        idle_timeout == 0 ? -1 : static_cast<int>(idle_timeout);
+    limits.frame_timeout_ms = static_cast<int>(frame_timeout);
+    limits.drain_timeout_ms = static_cast<int>(drain_timeout);
+    limits.quiet = quiet;
+
+    netio::Endpoint endpoint;
     std::string error;
-    if (!netio::parseEndpoint(listen, &state.endpoint, &error)) {
-        std::fprintf(stderr, "flexcore-serve: %s\n", error.c_str());
-        return 2;
-    }
-    state.listen_fd = netio::listenOn(state.endpoint, &error);
-    if (state.listen_fd < 0) {
+    if (!netio::parseEndpoint(listen, &endpoint, &error)) {
         std::fprintf(stderr, "flexcore-serve: %s\n", error.c_str());
         return 2;
     }
 
     ThreadPool pool(jobs);
     ProgramCache cache;
-    state.pool = &pool;
-    state.cache = no_cache ? nullptr : &cache;
-    state.quiet = quiet;
-    state.max_requests = max_requests;
-
-    std::fprintf(stderr,
-                 "[flexcore-serve] listening on %s (%u workers, "
-                 "cache %s)\n",
-                 netio::endpointString(state.endpoint).c_str(),
-                 pool.threadCount(), no_cache ? "off" : "on");
-
-    std::vector<std::thread> connections;
-    for (;;) {
-        const int fd = netio::acceptClient(state.listen_fd);
-        if (fd < 0)
-            break;   // listener closed by shutdown/max-requests
-        connections.emplace_back(serveConnection, &state, fd);
+    serve::Server server(&pool, no_cache ? nullptr : &cache, limits);
+    if (!server.listen(endpoint, &error)) {
+        std::fprintf(stderr, "flexcore-serve: %s\n", error.c_str());
+        return 2;
     }
-    for (std::thread &t : connections)
-        t.join();
-    netio::closeSocket(state.listen_fd);
-    if (state.endpoint.is_unix)
-        ::unlink(state.endpoint.path.c_str());
+
+    g_wake_fd = server.wakeWriteFd();
+    g_wake_armed = 1;
+    struct sigaction sa = {};
+    sa.sa_handler = onTermSignal;
+    ::sigaction(SIGTERM, &sa, nullptr);
+    ::sigaction(SIGINT, &sa, nullptr);
+    ::signal(SIGPIPE, SIG_IGN);
+
+    server.serve();
+    g_wake_armed = 0;
 
     std::fprintf(stderr,
-                 "[flexcore-serve] served %llu sims (%llu errors), "
-                 "cache %llu hits / %llu misses\n",
-                 static_cast<unsigned long long>(state.sims.load()),
-                 static_cast<unsigned long long>(state.errors.load()),
+                 "[flexcore-serve] served %llu sims (%llu errors, "
+                 "%llu shed), cache %llu hits / %llu misses\n",
+                 static_cast<unsigned long long>(server.sims()),
+                 static_cast<unsigned long long>(server.errors()),
+                 static_cast<unsigned long long>(server.shed()),
                  static_cast<unsigned long long>(cache.hits()),
                  static_cast<unsigned long long>(cache.misses()));
     return 0;
