@@ -1,0 +1,63 @@
+; Cross-core taint flow (docs/multicore.md): core 0 reads "network
+; input" (tainted by the OS with m.setmtag), copies it into the
+; coherent shared window, and publishes a flag; core 1 spins on the
+; flag, loads the tainted word, and dispatches through it. The taint
+; rides the shared window's tag store from core 0's monitor to core
+; 1's, so DIFT traps the indirect jump on a core that never touched
+; the tainted source.
+;
+;   ./build/tools/flexcore-run --cores 2 programs/taint_xcore.s
+;       -> exits cleanly (the published word is a legal code address)
+;
+;   ./build/tools/flexcore-run --cores 2 --monitor dift \
+;         programs/taint_xcore.s
+;       -> core 1's DIFT monitor traps the jump through the
+;          cross-core tainted pointer (exit status 125)
+;
+; Single-core runs take only the producer path and exit cleanly, so
+; the program is also a --cores 1 smoke input.
+;
+        .org 0x1000
+_start: set 0x003ffff0, %sp
+        ta 3                    ; %o0 = this core's index
+        cmp %o0, 0
+        bne consumer
+        nop
+
+        ; ---- core 0: producer ----
+        ; The OS taints the "network" word; the load propagates the
+        ; taint into %o1, the store carries it into the shared window.
+        set input, %l0
+        m.setmtag [%l0], 1
+        ld [%l0], %o1
+        set 0x30000000, %l1     ; coherent shared window base
+        st %o1, [%l1]           ; tainted payload first...
+        mov 1, %o2
+        st %o2, [%l1+4]         ; ...then the publish flag
+        mov 0, %o0
+        ta 0
+        nop
+
+        ; ---- core 1: consumer ----
+consumer:
+        set 0x30000000, %l1
+wait:   ld [%l1+4], %o3         ; spin until core 0 publishes
+        cmp %o3, 0
+        be wait
+        nop
+        mov 64, %o4             ; settle: let both fabrics drain
+settle: subcc %o4, 1, %o4
+        bne settle
+        nop
+        ld [%l1], %l4           ; cross-core tainted pointer
+        jmpl %l4, %o7           ; DIFT traps here; baseline just calls
+        nop
+        mov 0, %o0
+        ta 0
+        nop
+
+handler: retl
+        nop
+
+        .align 4
+input:  .word handler           ; "network input": a legal code address

@@ -126,6 +126,36 @@ echo "== fault coverage =="
     --require-detections
 cmp "$tmpdir/faultcov_serial.json" "$tmpdir/faultcov_parallel.json"
 
+echo "== multi-core =="
+# --cores 1 is byte-identical to the pre-multi-core simulator: stats
+# JSON and the FXTR commit trace of a monitored run must match the
+# checked-in goldens bit for bit (docs/multicore.md).
+./build/tools/flexcore-run --monitor dift --quiet \
+    --stats-json "$tmpdir/mc_stats.json" \
+    --trace-out "$tmpdir/mc_trace.fxtr" programs/fibonacci.s > /dev/null
+cmp tests/data/golden_cores1_stats.json "$tmpdir/mc_stats.json"
+cmp tests/data/golden_cores1_trace.fxtr "$tmpdir/mc_trace.fxtr"
+# N-core runs are deterministic: two identical 2-core shared-fabric
+# runs produce byte-identical stats, and the cores sweep grid is
+# byte-identical for any --jobs value.
+./build/tools/flexcore-run --cores 2 --fabric-sharing shared \
+    --monitor dift --quiet --stats-json "$tmpdir/mc2_a.json" \
+    programs/fibonacci.s > /dev/null
+./build/tools/flexcore-run --cores 2 --fabric-sharing shared \
+    --monitor dift --quiet --stats-json "$tmpdir/mc2_b.json" \
+    programs/fibonacci.s > /dev/null
+cmp "$tmpdir/mc2_a.json" "$tmpdir/mc2_b.json"
+./build/tools/flexcore-sweep --grid cores --scale test --jobs 1 \
+    --out "$tmpdir/cores_serial.json" --no-progress
+./build/tools/flexcore-sweep --grid cores --scale test --jobs "$jobs" \
+    --out "$tmpdir/cores_parallel.json" --no-progress
+cmp "$tmpdir/cores_serial.json" "$tmpdir/cores_parallel.json"
+# Cross-core taint: caught under DIFT, clean unmonitored.
+./build/tools/flexcore-run --cores 2 --monitor dift \
+    programs/taint_xcore.s 2>&1 | grep -q monitor_trap
+./build/tools/flexcore-run --cores 2 --quiet \
+    programs/taint_xcore.s > /dev/null
+
 echo "== perf smoke =="
 ./build/tools/flexcore-perf --quick --out "$tmpdir/BENCH_perf.json" \
     > /dev/null

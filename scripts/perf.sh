@@ -2,9 +2,11 @@
 # Host-throughput benchmark of the simulator itself: builds (Release)
 # and runs flexcore-perf over the fixed {baseline, umc, dift, bc} x
 # {sha, basicmath} matrix — each config in interp and threaded exec
-# mode, plus a sampled-timing dift row — writing BENCH_perf.json next
-# to the repo root. Pass --quick for the test-scale CI smoke variant (fast, but
-# not comparable with the tracked full-scale baseline).
+# mode, plus a sampled-timing dift row and dift rows at 2 and 4 cores
+# on the shared fabric (docs/multicore.md) — writing BENCH_perf.json
+# next to the repo root. Pass --quick for the test-scale CI smoke
+# variant (fast, but not comparable with the tracked full-scale
+# baseline).
 #
 #   scripts/perf.sh            # full matrix, best of 2 reps
 #   scripts/perf.sh --quick    # smoke

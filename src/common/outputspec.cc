@@ -45,7 +45,7 @@ OutputSpec::attach(cli::Parser *parser, u32 groups)
         parser->list("--inject", &inject_specs, "SPEC",
                      "schedule one fault, e.g. reg@i1200:t17:b3 or "
                      "mem@c5000:t0x2040:b5 or ffifo@c900:t2:b12:fsrcv1; "
-                     "repeatable");
+                     "a trailing :cN targets core N; repeatable");
         parser->option("--fault-plan", &fault_plan_path, "FILE",
                        "load a fault plan (JSON document or compact "
                        "specs, see docs/fault_injection.md)");
@@ -94,6 +94,15 @@ OutputSpec::attach(cli::Parser *parser, u32 groups)
                      "against an --exec-mode threaded run, which cannot "
                      "sample)");
     }
+    if (groups & kSpecCores) {
+        parser->option("--cores", &cores, "N",
+                       "number of cores (default 1; multi-core runs are "
+                       "interpreter-only, see docs/multicore.md)");
+        parser->option("--fabric-sharing", &fabric_sharing_name, "KIND",
+                       "multi-core fabric topology: per_core (default, "
+                       "one fabric per core) or shared (one fabric "
+                       "time-multiplexed across cores)");
+    }
     if (groups & kSpecListMonitors) {
         parser->flag("--list-monitors", &list_monitors,
                      "list every registered monitoring extension and "
@@ -130,6 +139,18 @@ OutputSpec::apply(SystemConfig *config, const char *tool) const
         config->watchdog_commits = watchdog_commits;
     if (no_fast_forward)
         config->fast_forward = false;
+    if (groups_ & kSpecCores) {
+        config->num_cores = cores;
+        if (!fabric_sharing_name.empty() &&
+            !parseFabricSharing(fabric_sharing_name,
+                                &config->fabric_sharing)) {
+            std::fprintf(stderr,
+                         "%s: unknown fabric sharing '%s' (per_core or "
+                         "shared)\n",
+                         tool, fabric_sharing_name.c_str());
+            return false;
+        }
+    }
 
     if (!fault_plan_path.empty()) {
         std::ifstream plan_file(fault_plan_path);

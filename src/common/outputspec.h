@@ -49,6 +49,7 @@ enum : u32 {
     kSpecFastForward = 1u << 9,   //!< --no-fast-forward
     kSpecHistograms = 1u << 10,   //!< --no-histograms
     kSpecListMonitors = 1u << 11, //!< --list-monitors
+    kSpecCores = 1u << 12,        //!< --cores / --fabric-sharing
 };
 
 class OutputSpec
@@ -127,6 +128,8 @@ class OutputSpec
     bool no_fast_forward = false;
     bool no_histograms = false;
     bool list_monitors = false;
+    u32 cores = 1;                     //!< --cores
+    std::string fabric_sharing_name;   //!< --fabric-sharing
 
   private:
     u32 groups_ = 0;

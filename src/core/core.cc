@@ -255,7 +255,10 @@ void
 Core::step()
 {
     // Imprecise monitor exception, taken at the next commit boundary.
-    if (iface_ && iface_->trapPending()) {
+    // On a shared (time-multiplexed) interface the trap is attributed
+    // to the offending packet's core; only that core takes it.
+    if (iface_ && iface_->trapPending() &&
+        iface_->trapCore() == core_id_) {
         takeMonitorTrap();
         return;
     }
@@ -287,15 +290,15 @@ Core::step()
         tryCommit();
         break;
       case State::kWaitAck:
-        if (iface_->ackReady()) {
-            iface_->consumeAck();
+        if (iface_->ackReady(core_id_)) {
+            iface_->consumeAck(core_id_);
             finishInstruction();
         } else {
             bucket_ = CycleBucket::kAckWait;
         }
         break;
       case State::kWaitBfifo:
-        if (auto value = iface_->popBfifo()) {
+        if (auto value = iface_->popBfifo(core_id_)) {
             regs_.write(cur_.cpread_rd, *value);
             finishInstruction();
         } else {
@@ -391,6 +394,7 @@ Core::fetchTimingOk()
     BusRequest req;
     req.op = BusOp::kReadLine;
     req.addr = pc_ & ~(params_.icache.line_bytes - 1);
+    req.port = bus_port_;
     req.on_start = [this]() { bus_serving_us_ = true; };
     req.on_complete = [this]() {
         const Cache::FillResult fill =
@@ -448,6 +452,21 @@ Core::decodedFetch()
 }
 
 void
+Core::notifyPeersOfStore(Addr addr)
+{
+    // Write-through MESI-lite: a remote store to the coherent window
+    // drops the peer's cached copy (timing) and any stale decoded µops
+    // (functional, self-modifying code across cores). The functional
+    // data is already coherent — the window aliases one backing Memory.
+    if (addr - shared_base_ >= shared_size_)
+        return;
+    for (Core *peer : coherence_peers_) {
+        peer->dcache_.invalidateLine(addr);
+        peer->invalidateUopsAt(addr);
+    }
+}
+
+void
 Core::invalidateUopsAt(Addr addr)
 {
     // Self-modifying-code safety: a store into text that is currently
@@ -471,6 +490,7 @@ Core::execMicroOp()
     cur_.is_micro = true;
     cur_.skip_offer = !op.forward;
     cur_.pkt.pc = pc_;
+    cur_.pkt.core = core_id_;
 
     switch (op.kind) {
       case MicroOp::Kind::kAlu:
@@ -499,6 +519,7 @@ Core::execMicroOp()
             BusRequest req;
             req.op = BusOp::kReadLine;
             req.addr = line;
+            req.port = bus_port_;
             req.on_start = [this]() { bus_serving_us_ = true; };
             req.on_complete = [this, line]() {
                 dcache_.fill(line);
@@ -513,6 +534,8 @@ Core::execMicroOp()
         if (op.forward) {
             mem_->write32(op.addr, op.store_value);
             invalidateUopsAt(op.addr);
+            if (!coherence_peers_.empty())
+                notifyPeersOfStore(op.addr);
         }
         cur_.pkt.opcode = kTypeStoreWord;
         cur_.pkt.addr = op.addr;
@@ -624,6 +647,7 @@ Core::executeInstruction(const Uop &uop)
     pkt.dest = 0;
     pkt.wants_ack = false;
     pkt.pc = pc_;
+    pkt.core = core_id_;
     pkt.inst = inst.raw;
     pkt.opcode = static_cast<u8>(inst.type);
     pkt.di = inst;
@@ -741,6 +765,8 @@ Core::executeInstruction(const Uop &uop)
           default: mem_->write16(ea, static_cast<u16>(value)); break;
         }
         invalidateUopsAt(ea);
+        if (!coherence_peers_.empty())
+            notifyPeersOfStore(ea);
         pkt.res = value;
         // DEST carries the store-data register so monitors can read
         // its tag.
@@ -835,6 +861,9 @@ Core::executeInstruction(const Uop &uop)
                 console_ +=
                     std::to_string(static_cast<s32>(regs_.read(kRegO0)));
                 break;
+              case SysTrap::kCoreId:
+                regs_.write(kRegO0, core_id_);
+                break;
               default:
                 raiseTrap(TrapKind::kBadSyscall, pc_,
                           "unknown software trap " +
@@ -887,6 +916,7 @@ Core::executeInstruction(const Uop &uop)
         BusRequest req;
         req.op = BusOp::kReadLine;
         req.addr = line;
+        req.port = bus_port_;
         req.on_start = [this]() { bus_serving_us_ = true; };
         req.on_complete = [this, line]() {
             dcache_.fill(line);

@@ -84,6 +84,37 @@ class Core
 
     Core(StatGroup *parent, Memory *memory, Bus *bus, CoreParams params);
 
+    /**
+     * This core's index in a multi-core system (0, the default, on
+     * single-core). Sets the CommitPacket core tag, the bus arbitration
+     * port, the per-core interface lane (CACK/BFIFO/TRAP routing), and
+     * the value the coreid software trap returns. Call before the
+     * first tick; System does.
+     */
+    void
+    setCoreId(u8 id)
+    {
+        core_id_ = id;
+        bus_port_ = id;
+        store_buffer_.setBusPort(id);
+    }
+    u8 coreId() const { return core_id_; }
+
+    /**
+     * Write-through coherence over the shared window: a store by this
+     * core into [base, base+size) invalidates the matching D-cache
+     * line and any decoded µops in every peer. Peers exclude this core
+     * (System passes the other cores). Single-core systems never call
+     * this, so the store path pays only an empty-vector check.
+     */
+    void
+    setCoherence(Addr base, u32 size, std::vector<Core *> peers)
+    {
+        shared_base_ = base;
+        shared_size_ = size;
+        coherence_peers_ = std::move(peers);
+    }
+
     /** Attach the FlexCore interface (null = unmodified baseline). */
     void attachInterface(FlexInterface *iface) { iface_ = iface; }
 
@@ -319,12 +350,20 @@ class Core
     void enqueueWindowFill();
     unsigned windowSlot(unsigned window, unsigned arch_reg) const;
 
+    /** Shared-window store: invalidate the line in every peer core. */
+    void notifyPeersOfStore(Addr addr);
+
     u32 operand2(const Instruction &inst) const;
     void advancePc();
 
     Memory *mem_;
     Bus *bus_;
     CoreParams params_;
+    u8 core_id_ = 0;
+    u8 bus_port_ = 0;
+    Addr shared_base_ = 0;           //!< coherent window (multi-core)
+    u32 shared_size_ = 0;
+    std::vector<Core *> coherence_peers_;
     FlexInterface *iface_ = nullptr;
     const SoftwareMonitor *swmon_ = nullptr;
     FaultInjector *fault_injector_ = nullptr;

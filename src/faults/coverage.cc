@@ -76,7 +76,7 @@ belowClamped(Rng *rng, u64 bound)
  */
 FaultSpec
 drawFault(FaultKind kind, Rng *rng, const GoldenRef &golden, Addr base,
-          u32 image_bytes)
+          u32 image_bytes, u32 num_cores)
 {
     FaultSpec spec;
     spec.kind = kind;
@@ -120,6 +120,13 @@ drawFault(FaultKind kind, Rng *rng, const GoldenRef &golden, Addr base,
         spec.bit = rng->below(32);
         break;
     }
+    // Multi-core campaigns spread trials over every core's state, so
+    // cross-core scenarios (flip one core's state, detect through
+    // another's monitor or the shared fabric) arise naturally. The
+    // extra draw happens only when num_cores > 1: single-core RNG
+    // streams — and therefore existing coverage JSON — are untouched.
+    if (num_cores > 1)
+        spec.core = rng->below(num_cores);
     return spec;
 }
 
@@ -202,7 +209,8 @@ runFaultCoverage(const FaultCovSpec &spec, const CampaignOptions &opts)
                     meta.monitor = monitor;
                     meta.model = model;
                     meta.spec = drawFault(model, &rng, golden,
-                                          image_base, image_bytes);
+                                          image_base, image_bytes,
+                                          spec.base.num_cores);
 
                     CampaignJob job;
                     job.key = key;

@@ -82,6 +82,10 @@ formatFaultSpec(const FaultSpec &spec)
         out += ":f";
         out += packetFieldName(spec.field);
     }
+    if (spec.core != 0) {
+        out += ":c";
+        out += std::to_string(spec.core);
+    }
     return out;
 }
 
@@ -143,6 +147,18 @@ parseFaultSpec(std::string_view text, FaultSpec *out, std::string *error)
         u64 number = 0;
         switch (tag) {
           case 'c':
+            // The first cN is the cycle trigger; a second one (after
+            // the trigger is known) selects the target core.
+            if (have_trigger) {
+                if (!parseU64(value, &number) || number > ~u32{0}) {
+                    return fail(error, "bad core '" + std::string(part) +
+                                           "' in '" + std::string(text) +
+                                           "'");
+                }
+                spec.core = static_cast<u32>(number);
+                break;
+            }
+            [[fallthrough]];
           case 'i':
             if (have_trigger || !parseU64(value, &number)) {
                 return fail(error, "bad trigger '" + std::string(part) +
@@ -376,6 +392,11 @@ class PlanJsonParser
                     if (!parseNumber(&value) || value > 31)
                         return fail("bad \"bit\"");
                     spec->bit = static_cast<u32>(value);
+                } else if (key == "core") {
+                    u64 value = 0;
+                    if (!parseNumber(&value) || value > ~u32{0})
+                        return fail("bad \"core\"");
+                    spec->core = static_cast<u32>(value);
                 } else {
                     return fail("unknown key \"" + key + "\"");
                 }
@@ -470,6 +491,10 @@ faultSpecJson(const FaultSpec &spec)
         out += ", \"field\": \"";
         out += packetFieldName(spec.field);
         out += "\"";
+    }
+    if (spec.core != 0) {
+        out += ", \"core\": ";
+        out += std::to_string(spec.core);
     }
     out += "}";
     return out;

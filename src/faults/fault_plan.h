@@ -66,20 +66,30 @@ struct FaultSpec
     u32 target = 0;
     u32 bit = 0;     //!< bit to flip within the targeted element
     PacketField field = PacketField::kRes;   //!< kFfifoFlip only
+    /**
+     * Core whose state the fault targets (register file, store buffer,
+     * per-core monitor meta-data, ...). 0 on single-core systems;
+     * SystemConfig::finalize() rejects plans naming a core at or above
+     * num_cores.
+     */
+    u32 core = 0;
 };
 
 /**
  * Compact one-fault spec syntax (CLI `--inject`, JSON "spec" echoes):
  *
- *   KIND@TRIGGER:tTARGET:bBIT[:fFIELD]
+ *   KIND@TRIGGER:tTARGET:bBIT[:fFIELD][:cCORE]
  *
  * where KIND is reg|shadow|mem|meta|ffifo|sb, TRIGGER is cN (cycle N)
  * or iN (commit index N), TARGET accepts decimal or 0x hex, and FIELD
- * (ffifo only) is res|srcv1|srcv2|addr|dest. Examples:
+ * (ffifo only) is res|srcv1|srcv2|addr|dest. A trailing cN after the
+ * trigger names the target core on multi-core systems (the leading cN
+ * is always the trigger; a second one is the core). Examples:
  *
  *   reg@i1200:t17:b3       flip bit 3 of phys reg 17 after commit 1200
  *   mem@c5000:t0x2040:b5   flip bit 5 of byte 0x2040 at cycle 5000
  *   ffifo@c900:t2:b12:fsrcv1
+ *   reg@i800:t17:b3:c1     same flip, but in core 1's register file
  */
 std::string formatFaultSpec(const FaultSpec &spec);
 /** Parse the compact syntax; on failure returns false and sets @p error. */

@@ -34,14 +34,17 @@ FaultInjector::applyDueCycleFaults(Cycle now)
 void
 FaultInjector::apply(const FaultSpec &spec, Cycle now)
 {
+    // spec.core names the target core's state element; finalize()
+    // guarantees it is in range, and on single-core systems it is
+    // always 0 so every lookup below resolves to the classic target.
     bool applied = true;
     switch (spec.kind) {
       case FaultKind::kRegFlip:
-        sys_->core().regs().flipBitPhys(spec.target, spec.bit);
+        sys_->core(spec.core).regs().flipBitPhys(spec.target, spec.bit);
         break;
 
       case FaultKind::kShadowRegFlip:
-        if (Monitor *monitor = sys_->monitor())
+        if (Monitor *monitor = sys_->monitorForCore(spec.core))
             monitor->regTags().flipBit(static_cast<u16>(spec.target),
                                        spec.bit);
         else
@@ -49,14 +52,14 @@ FaultInjector::apply(const FaultSpec &spec, Cycle now)
         break;
 
       case FaultKind::kMemFlip:
-        sys_->memory().flipBit(spec.target, spec.bit);
+        sys_->memoryAt(spec.core).flipBit(spec.target, spec.bit);
         // The flipped byte may sit in decoded text; force a re-decode
         // so the corrupted word is what actually executes.
-        sys_->core().invalidateUopsAt(spec.target);
+        sys_->core(spec.core).invalidateUopsAt(spec.target);
         break;
 
       case FaultKind::kMetaFlip:
-        if (Monitor *monitor = sys_->monitor()) {
+        if (Monitor *monitor = sys_->monitorForCore(spec.core)) {
             TagStore &tags = monitor->memTags();
             tags.write(spec.target,
                        tags.read(spec.target) ^
@@ -67,9 +70,9 @@ FaultInjector::apply(const FaultSpec &spec, Cycle now)
         break;
 
       case FaultKind::kFfifoFlip: {
+        FlexInterface *iface = sys_->ifaceForCore(spec.core);
         CommitPacket *pkt =
-            sys_->iface() ? sys_->iface()->queuedPacket(spec.target)
-                          : nullptr;
+            iface ? iface->queuedPacket(spec.target) : nullptr;
         if (!pkt) {
             applied = false;   // empty FIFO (or no interface at all)
             break;
@@ -89,8 +92,8 @@ FaultInjector::apply(const FaultSpec &spec, Cycle now)
       }
 
       case FaultKind::kSbFlip:
-        applied = sys_->core().storeBuffer().corruptEntry(spec.target,
-                                                          spec.bit);
+        applied = sys_->core(spec.core).storeBuffer().corruptEntry(
+            spec.target, spec.bit);
         break;
     }
 

@@ -52,6 +52,7 @@ Fabric::tlbLookup(Addr meta_addr)
     BusRequest req;
     req.op = BusOp::kReadLine;
     req.addr = vpn << params_.tlb.page_shift;
+    req.port = bus_port_;
     req.on_complete = [this, vpn]() {
         TlbEntry &victim = tlb_[vpn % tlb_.size()];
         victim.valid = true;
@@ -136,12 +137,14 @@ Fabric::metaAccess(const MetaAccess &op)
     BusRequest req;
     req.op = BusOp::kReadLine;
     req.addr = line;
+    req.port = bus_port_;
     req.on_complete = [this, line, dirty]() {
         const Cache::FillResult fill = meta_cache_.fill(line, dirty);
         if (fill.evicted_dirty) {
             BusRequest wb;
             wb.op = BusOp::kWriteLine;
             wb.addr = fill.victim_addr;
+            wb.port = bus_port_;
             bus_->request(std::move(wb));
         }
         // The access that missed is complete once the line arrives.
@@ -166,14 +169,15 @@ Fabric::fabricCycle(Cycle now)
         while (pipe_count_ > 0 && pipe_[pipe_head_].remaining == 0) {
             const InFlight &done = pipe_[pipe_head_];
             if (done.trap) {
-                monitor_->noteTrap(done.trap_reason ? done.trap_reason
-                                                    : "check failed");
-                iface_->raiseTrap(done.pc);
+                monitorFor(done.core)
+                    ->noteTrap(done.trap_reason ? done.trap_reason
+                                                : "check failed");
+                iface_->raiseTrap(done.pc, done.core);
             }
             if (done.has_bfifo)
-                iface_->pushBfifo(done.bfifo);
+                iface_->pushBfifo(done.bfifo, done.core);
             if (done.wants_ack)
-                iface_->signalAck();
+                iface_->signalAck(done.core);
             pipe_head_ = (pipe_head_ + 1) & pipe_mask_;
             --pipe_count_;
         }
@@ -209,7 +213,7 @@ Fabric::fabricCycle(Cycle now)
     ++packets_;
 
     MonitorResult result;
-    monitor_->process(*packet, &result);
+    monitorFor(packet->core)->process(*packet, &result);
 
     // Expand sub-word writes into read-modify-write pairs when the
     // bit-granularity write feature is disabled (§III-D ablation).
@@ -231,6 +235,7 @@ Fabric::fabricCycle(Cycle now)
     pending_effects_.has_bfifo = result.has_bfifo;
     pending_effects_.bfifo = result.bfifo;
     pending_effects_.pc = packet->pc;
+    pending_effects_.core = packet->core;
     iface_->popFront();   // last use of the peeked packet
     pending_idx_ = 0;
     // Without core-side pre-decoding, the monitor needs its own

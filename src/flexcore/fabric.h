@@ -93,6 +93,23 @@ class Fabric
     Monitor *monitor() { return monitor_; }
     const FabricParams &params() const { return params_; }
 
+    /** Bus arbitration port for meta refills/walks (default 0). A
+     * per-core fabric uses its core's port; a shared fabric keeps 0. */
+    void setBusPort(u8 port) { bus_port_ = port; }
+
+    /**
+     * Shared-topology monitor bank: one monitor instance per core, all
+     * of the same kind, so each core's shadow/meta-data state stays
+     * private while one time-multiplexed fabric does the processing.
+     * Packets dispatch to @p bank[packet.core]; bank[0] must equal the
+     * constructor's monitor. Unset (the default, and always for
+     * per-core fabrics) every packet goes to the constructor's monitor.
+     */
+    void setMonitorBank(std::vector<Monitor *> bank)
+    {
+        monitor_bank_ = std::move(bank);
+    }
+
     /** True while a meta refill / table walk is in flight on the bus. */
     bool frozen() const { return frozen_; }
 
@@ -125,6 +142,7 @@ class Fabric
         bool has_bfifo = false;
         u32 bfifo = 0;
         Addr pc = 0;
+        u8 core = 0;         // routes CACK/BFIFO/TRAP (shared fabric)
     };
 
     /** One fabric-clock boundary: freeze bookkeeping + fabricCycle. */
@@ -135,13 +153,22 @@ class Fabric
     /** TLB lookup; returns false if frozen on a table walk. */
     bool tlbLookup(Addr meta_addr);
 
+    /** Monitor handling @p core's packets (bank lookup or the default). */
+    Monitor *
+    monitorFor(u8 core) const
+    {
+        return monitor_bank_.empty() ? monitor_ : monitor_bank_[core];
+    }
+
     FlexInterface *iface_;
     Bus *bus_;
     Monitor *monitor_;
+    std::vector<Monitor *> monitor_bank_;   //!< shared topology only
     FabricParams params_;
     MetaCache meta_cache_;
 
     u32 divider_ = 0;
+    u8 bus_port_ = 0;              // bus arbitration port for refills
     bool frozen_ = false;          // waiting on a meta refill
     u32 decode_phase_ = 0;         // LUT-decoder occupancy (no predecode)
     /**

@@ -32,6 +32,13 @@ FlexInterface::FlexInterface(StatGroup *parent, Params params)
     // instead of a divide; occupancy stays bounded by fifo_depth.
     fifo_.resize(std::bit_ceil(std::max<u32>(params_.fifo_depth, 1)));
     fifo_mask_ = static_cast<u32>(fifo_.size()) - 1;
+    bfifo_.resize(1);
+}
+
+void
+FlexInterface::setNumCores(u32 cores)
+{
+    bfifo_.resize(std::max<u32>(cores, 1));
 }
 
 CommitAction
@@ -83,21 +90,23 @@ FlexInterface::popReady(Cycle now)
 }
 
 std::optional<u32>
-FlexInterface::popBfifo()
+FlexInterface::popBfifo(u8 core)
 {
-    if (bfifo_.empty())
+    std::deque<u32> &lane = bfifo_[core];
+    if (lane.empty())
         return std::nullopt;
-    const u32 value = bfifo_.front();
-    bfifo_.pop_front();
+    const u32 value = lane.front();
+    lane.pop_front();
     return value;
 }
 
 void
-FlexInterface::raiseTrap(Addr pc)
+FlexInterface::raiseTrap(Addr pc, u8 core)
 {
     if (!trap_pending_) {
         trap_pending_ = true;
         trap_pc_ = pc;
+        trap_core_ = core;
     }
     ++traps_;
 }

@@ -37,6 +37,15 @@ class FlexInterface
 
     FlexInterface(StatGroup *parent, Params params);
 
+    /**
+     * Size the per-core response state (BFIFO lanes, CACK flags) for a
+     * shared (time-multiplexed) interface serving @p cores cores.
+     * Defaults to 1; per-core interfaces never call it. Cores offer in
+     * core-index order within a cycle, which is the push arbitration —
+     * deterministic by construction (docs/multicore.md).
+     */
+    void setNumCores(u32 cores);
+
     Cfgr &cfgr() { return cfgr_; }
     const Cfgr &cfgr() const { return cfgr_; }
 
@@ -51,15 +60,20 @@ class FlexInterface
     /** TRAP signal from the fabric; sticky until acknowledged (PACK). */
     bool trapPending() const { return trap_pending_; }
     Addr trapPc() const { return trap_pc_; }
+    /** Core whose packet raised the pending trap (0 single-core). */
+    u8 trapCore() const { return trap_core_; }
     /** PACK: acknowledge the trap. */
     void ackTrap() { trap_pending_ = false; }
 
-    /** CACK arrived for the in-flight wait-ack instruction. */
-    bool ackReady() const { return ack_ready_; }
-    void consumeAck() { ack_ready_ = false; }
+    /** CACK arrived for @p core's in-flight wait-ack instruction. */
+    bool ackReady(u8 core = 0) const
+    {
+        return (ack_ready_mask_ & (1u << core)) != 0;
+    }
+    void consumeAck(u8 core = 0) { ack_ready_mask_ &= ~(1u << core); }
 
-    /** Pop a BFIFO value if available ('read from co-processor'). */
-    std::optional<u32> popBfifo();
+    /** Pop a BFIFO value for @p core ('read from co-processor'). */
+    std::optional<u32> popBfifo(u8 core = 0);
 
     /** EMPTY: no packet queued and the fabric pipeline is drained. */
     bool empty() const { return fifo_count_ == 0 && fabric_idle_; }
@@ -92,14 +106,18 @@ class FlexInterface
     /** Fabric reports pipeline-idle status each fabric cycle. */
     void setFabricIdle(bool idle) { fabric_idle_ = idle; }
 
-    /** CACK for a completed wait-ack packet. */
-    void signalAck() { ack_ready_ = true; }
+    /** CACK for @p core's completed wait-ack packet. */
+    void signalAck(u8 core = 0) { ack_ready_mask_ |= 1u << core; }
 
-    /** Push a 'read from co-processor' return value. */
-    void pushBfifo(u32 value) { bfifo_.push_back(value); }
+    /** Push a 'read from co-processor' return value for @p core. */
+    void pushBfifo(u32 value, u8 core = 0)
+    {
+        bfifo_[core].push_back(value);
+    }
 
-    /** Fabric raises an exception (imprecise; PC is informational). */
-    void raiseTrap(Addr pc);
+    /** Fabric raises an exception (imprecise; PC is informational).
+     * @p core attributes it to the offending packet's core. */
+    void raiseTrap(Addr pc, u8 core = 0);
 
     /**
      * Fault-injection hook: mutable access to the @p pick-th queued
@@ -169,11 +187,13 @@ class FlexInterface
     u32 fifo_mask_ = 0;
     u32 fifo_head_ = 0;
     u32 fifo_count_ = 0;
-    std::deque<u32> bfifo_;
+    /** One BFIFO lane per core (index 0 is the whole single-core FIFO). */
+    std::vector<std::deque<u32>> bfifo_;
     bool fabric_idle_ = true;
-    bool ack_ready_ = false;
+    u32 ack_ready_mask_ = 0;   //!< CACK flags, one bit per core
     bool trap_pending_ = false;
     Addr trap_pc_ = 0;
+    u8 trap_core_ = 0;
 
     StatGroup stats_;
     Counter forwarded_;

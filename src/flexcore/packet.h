@@ -42,6 +42,13 @@ struct CommitPacket
 
     /** True if the fabric must acknowledge (CFGR wait-ack class). */
     bool wants_ack = false;
+
+    /**
+     * Issuing core index. Always 0 on single-core systems; on a shared
+     * (time-multiplexed) fabric it routes CACK/BFIFO/TRAP responses and
+     * selects the monitor's per-core shadow bank (docs/multicore.md).
+     */
+    u8 core = 0;
 };
 
 /** Description of one Table II field, for the interface report. */

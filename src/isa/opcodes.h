@@ -125,6 +125,7 @@ enum class SysTrap : u8 {
     kExit = 0,       // halt simulation; exit code in %o0
     kPutChar = 1,    // console output of the low byte of %o0
     kPutInt = 2,     // console output of %o0 as decimal
+    kCoreId = 3,     // %o0 = this core's index (0 on single-core)
 };
 
 /** Human-readable mnemonic for an opcode. */

@@ -21,6 +21,7 @@ busOpName(BusOp op)
 
 Bus::Bus(StatGroup *parent, const SdramTimings &timings)
     : timings_(timings),
+      ports_(1),
       stats_("bus", parent),
       line_reads_(&stats_, "line_reads", "cache line refills"),
       line_writes_(&stats_, "line_writes", "dirty line writebacks"),
@@ -37,6 +38,15 @@ Bus::Bus(StatGroup *parent, const SdramTimings &timings)
 }
 
 void
+Bus::setNumPorts(u32 ports)
+{
+    assert(ports >= 1);
+    assert(queued_ == 0 && !active_);
+    ports_.resize(ports);
+    rr_next_ = 0;
+}
+
+void
 Bus::request(BusRequest req)
 {
     switch (req.op) {
@@ -44,11 +54,13 @@ Bus::request(BusRequest req)
       case BusOp::kWriteLine: ++line_writes_; break;
       case BusOp::kWriteWord: ++word_writes_; break;
     }
-    queue_.push_back(std::move(req));
+    assert(req.port < ports_.size());
+    ports_[req.port].push_back(std::move(req));
+    ++queued_;
     if (!active_)
         startNext();
-    if (trace_ && queue_.size() != traced_depth_) {
-        traced_depth_ = queue_.size();
+    if (trace_ && queued_ != traced_depth_) {
+        traced_depth_ = queued_;
         trace_->counter("bus_queue_depth", now_, traced_depth_);
     }
 }
@@ -56,8 +68,16 @@ Bus::request(BusRequest req)
 void
 Bus::startNext()
 {
-    current_ = std::move(queue_.front());
-    queue_.pop_front();
+    // Round-robin grant: scan from the port after the last winner.
+    // With one port this always picks port 0 — exact FCFS.
+    const u32 nports = static_cast<u32>(ports_.size());
+    u32 port = rr_next_;
+    while (ports_[port].empty())
+        port = port + 1 < nports ? port + 1 : 0;
+    current_ = std::move(ports_[port].front());
+    ports_[port].pop_front();
+    --queued_;
+    rr_next_ = port + 1 < nports ? port + 1 : 0;
     remaining_ = timings_.cost(current_.op);
     active_ = true;
     current_start_ = now_;
@@ -79,17 +99,17 @@ Bus::tickBusy()
             }
             // Move the callback out first: it may enqueue new requests.
             auto done = std::move(current_.on_complete);
-            if (!queue_.empty())
+            if (queued_ != 0)
                 startNext();
             if (done)
                 done();
         }
     }
-    queue_cycles_ += queue_.size();
+    queue_cycles_ += queued_;
     if (sampling_)
-        queue_depth_.add(queue_.size());
-    if (trace_ && queue_.size() != traced_depth_) {
-        traced_depth_ = queue_.size();
+        queue_depth_.add(queued_);
+    if (trace_ && queued_ != traced_depth_) {
+        traced_depth_ = queued_;
         trace_->counter("bus_queue_depth", now_, traced_depth_);
     }
     ++now_;
@@ -101,7 +121,7 @@ Bus::advanceIdle(u64 cycles)
     // Preconditions guarantee no completion (and hence no callback, no
     // dequeue, no trace event) can occur inside the stretch, so the
     // per-cycle effects reduce to counter accrual.
-    assert(queue_.empty());
+    assert(queued_ == 0);
     assert(!active_ || remaining_ > cycles);
     if (active_) {
         busy_cycles_ += cycles;

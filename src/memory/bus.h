@@ -1,9 +1,13 @@
 /**
  * @file
- * Shared memory bus with an FCFS transaction queue. The main core's
- * I/D refills, the write-through store buffer, and the meta-data
- * cache's refills/writebacks all compete here; a long meta-data refill
- * therefore delays core misses exactly as described in §V-C.
+ * Shared memory bus with per-port transaction queues and deterministic
+ * round-robin arbitration. Every core's I/D refills and write-through
+ * store buffer, plus the meta-data cache's refills/writebacks, compete
+ * here; a long meta-data refill therefore delays core misses exactly
+ * as described in §V-C. With a single port (the default) the
+ * round-robin grant degenerates to the original FCFS queue, bit for
+ * bit; multi-core systems call setNumPorts(N) and tag each request
+ * with its issuing core's port (docs/multicore.md).
  */
 
 #ifndef FLEXCORE_MEMORY_BUS_H_
@@ -11,6 +15,7 @@
 
 #include <deque>
 #include <functional>
+#include <vector>
 
 #include "common/stats.h"
 #include "common/trace_event.h"
@@ -35,6 +40,8 @@ struct BusRequest
      * May be empty.
      */
     std::function<void()> on_start;
+    /** Request port (core index); 0 for single-core and shared users. */
+    u8 port = 0;
 };
 
 class Bus
@@ -42,7 +49,15 @@ class Bus
   public:
     Bus(StatGroup *parent, const SdramTimings &timings);
 
-    /** Enqueue a transaction (FCFS). */
+    /**
+     * Size the arbitration ports (default 1). Within a port requests
+     * are FCFS; across ports the grant rotates round-robin from the
+     * port after the last winner, so the interleave is a pure function
+     * of the request schedule (deterministic for any host).
+     */
+    void setNumPorts(u32 ports);
+
+    /** Enqueue a transaction on its port's queue. */
     void request(BusRequest req);
 
     /**
@@ -53,7 +68,7 @@ class Bus
     void
     tick()
     {
-        if (active_ || sampling_ || trace_ || !queue_.empty()) {
+        if (active_ || sampling_ || trace_ || queued_ != 0) {
             tickBusy();
             return;
         }
@@ -61,16 +76,16 @@ class Bus
     }
 
     /** True when no transaction is active or queued. */
-    bool idle() const { return !active_ && queue_.empty(); }
+    bool idle() const { return !active_ && queued_ == 0; }
 
-    /** Transactions waiting behind the active one. */
-    size_t queueDepth() const { return queue_.size(); }
+    /** Transactions waiting behind the active one (all ports). */
+    size_t queueDepth() const { return queued_; }
 
     /** Cycles until the active transaction completes (0 when idle). */
     u32 remainingCycles() const { return active_ ? remaining_ : 0; }
 
     /**
-     * Bulk-advance @p cycles quiescent cycles at once: the queue must
+     * Bulk-advance @p cycles quiescent cycles at once: all queues must
      * be empty and any active transaction must have more than @p cycles
      * remaining, so the only per-cycle work is counter accrual. Charges
      * exactly what @p cycles calls to tick() would.
@@ -97,7 +112,10 @@ class Bus
     void tickBusy();
 
     SdramTimings timings_;
-    std::deque<BusRequest> queue_;
+    /** Per-port FCFS queues; ports_.size() is the port count. */
+    std::vector<std::deque<BusRequest>> ports_;
+    size_t queued_ = 0;       //!< total requests across all ports
+    u32 rr_next_ = 0;         //!< round-robin scan start
     bool active_ = false;
     BusRequest current_;
     u32 remaining_ = 0;

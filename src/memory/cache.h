@@ -110,6 +110,31 @@ class Cache
     /** Invalidate everything (used between benchmark runs). */
     void invalidateAll();
 
+    /**
+     * Coherence hook: drop the line covering @p addr if present,
+     * without touching LRU state or the hit/miss statistics. Returns
+     * true when a line was invalidated. Used by the multi-core
+     * write-through coherence point — a remote store to a shared
+     * address invalidates the local copy, so the next local access
+     * misses and refills over the bus (docs/multicore.md).
+     */
+    bool
+    invalidateLine(Addr addr)
+    {
+        const u32 set = setIndex(addr);
+        const u32 tag = tagOf(addr);
+        Line *base = &lines_[static_cast<size_t>(set) * params_.assoc];
+        for (u32 way = 0; way < params_.assoc; ++way) {
+            Line &line = base[way];
+            if (line.valid && line.tag == tag) {
+                line.valid = false;
+                line.dirty = false;
+                return true;
+            }
+        }
+        return false;
+    }
+
     u64 hits() const { return hits_.value(); }
     u64 misses() const { return misses_.value(); }
 

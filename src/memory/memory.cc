@@ -8,12 +8,31 @@ namespace flexcore {
 
 const u8 Memory::kZeroPage[Memory::kPageSize] = {};
 
+void
+Memory::setSharedWindow(Memory *backing, Addr base, u32 size)
+{
+    if ((base & (kPageSize - 1)) != 0 || (size & (kPageSize - 1)) != 0)
+        FLEX_PANIC("shared window must be page-aligned");
+    shared_ = backing;
+    shared_base_ = base;
+    shared_size_ = size;
+}
+
 u8 *
 Memory::pageFor(Addr addr)
 {
     const u32 page = addr >> kPageShift;
     if (page == last_page_idx_)
         return last_page_;
+    if (shared_ && addr - shared_base_ < shared_size_) {
+        // Shared-window pages live in (and are owned by) the backing
+        // memory; they are stable heap blocks, so caching one in this
+        // memory's one-entry page cache is safe.
+        u8 *block = shared_->pageFor(addr);
+        last_page_idx_ = page;
+        last_page_ = block;
+        return block;
+    }
     auto it = pages_.find(page);
     if (it == pages_.end()) {
         auto storage = std::make_unique<u8[]>(kPageSize);
@@ -31,8 +50,10 @@ Memory::pageForRead(Addr addr) const
     const u32 page = addr >> kPageShift;
     if (page == last_page_idx_)
         return last_page_;
-    const auto it = pages_.find(page);
-    if (it == pages_.end())
+    const Memory *owner =
+        (shared_ && addr - shared_base_ < shared_size_) ? shared_ : this;
+    const auto it = owner->pages_.find(page);
+    if (it == owner->pages_.end())
         return kZeroPage;   // uncached: a write may allocate it later
     last_page_idx_ = page;
     last_page_ = it->second.get();

@@ -50,9 +50,23 @@ class Memory
     /** Number of pages that have been touched. */
     size_t allocatedPages() const { return pages_.size(); }
 
+    /**
+     * Alias @p size bytes at @p base (both page-aligned) onto
+     * @p backing's storage: accesses in the window read and write the
+     * backing memory's pages, so every Memory sharing one backing sees
+     * the same bytes there. This is the multi-core coherent window
+     * (docs/multicore.md); single-core systems never set one and pay
+     * nothing on the cached-page fast path.
+     */
+    void setSharedWindow(Memory *backing, Addr base, u32 size);
+
   private:
     u8 *pageFor(Addr addr);
     const u8 *pageForRead(Addr addr) const;
+
+    Memory *shared_ = nullptr;   //!< backing store for the window
+    Addr shared_base_ = 0;
+    u32 shared_size_ = 0;
 
     std::unordered_map<u32, std::unique_ptr<u8[]>> pages_;
     // One-entry page cache: consecutive accesses overwhelmingly land in

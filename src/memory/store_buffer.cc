@@ -30,6 +30,7 @@ StoreBuffer::issueHead()
     BusRequest req;
     req.op = BusOp::kWriteWord;
     req.addr = entries_.front();
+    req.port = bus_port_;
     req.on_complete = [this]() {
         entries_.pop_front();
         draining_ = false;

@@ -21,6 +21,9 @@ class StoreBuffer
   public:
     StoreBuffer(StatGroup *parent, Bus *bus, u32 depth = 8);
 
+    /** Bus arbitration port drains issue on (the owning core's port). */
+    void setBusPort(u8 port) { bus_port_ = port; }
+
     /** True when no entry can be accepted this cycle. */
     bool full() const { return entries_.size() >= depth_; }
     bool empty() const { return entries_.empty() && !draining_; }
@@ -64,6 +67,7 @@ class StoreBuffer
 
     Bus *bus_;
     u32 depth_;
+    u8 bus_port_ = 0;
     std::deque<Addr> entries_;
     bool draining_ = false;   // head entry is on the bus
 

@@ -93,6 +93,8 @@ class TagStore
         const u32 page = data_addr >> kPageShift;
         if (page == last_page_)
             return last_tags_[wordIndex(data_addr)];
+        if (shared_ && data_addr - shared_base_ < shared_size_)
+            return shared_->read(data_addr);
         const u8 *tags = findPage(page);
         return tags ? tags[wordIndex(data_addr)] : 0;
     }
@@ -105,6 +107,10 @@ class TagStore
             last_tags_[wordIndex(data_addr)] = tag;
             return;
         }
+        if (shared_ && data_addr - shared_base_ < shared_size_) {
+            shared_->write(data_addr, tag);
+            return;
+        }
         u8 *tags = findPage(page);
         if (!tags) {
             if (tag == 0)
@@ -115,6 +121,23 @@ class TagStore
     }
 
     void clear();
+
+    /**
+     * Route tags for the multi-core coherent window to @p backing, so
+     * every core's monitor sees one set of tags for shared data — the
+     * meta-data leg of cross-core information flow (docs/multicore.md).
+     * The local last-page cache never holds window pages (window
+     * addresses are delegated before they reach findPage/createPage),
+     * so the fast path above stays sound. Single-core systems never
+     * set a window and only pay a null check after a last-page miss.
+     */
+    void
+    setSharedWindow(TagStore *backing, Addr base, u32 size)
+    {
+        shared_ = backing;
+        shared_base_ = base;
+        shared_size_ = size;
+    }
 
   private:
     /** Sentinel above any reachable page index (Addr is 32-bit, so
@@ -147,6 +170,9 @@ class TagStore
 
     std::vector<Slot> slots_;
     size_t used_ = 0;
+    TagStore *shared_ = nullptr;   //!< backing for the coherent window
+    Addr shared_base_ = 0;
+    u32 shared_size_ = 0;
     // Last-page cache. The tag arrays are heap blocks owned through
     // stable unique_ptrs, so growing the slot table never invalidates
     // the cached pointer.

@@ -7,6 +7,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdio>
+#include <thread>
 
 #include "common/json.h"
 
@@ -139,6 +140,11 @@ Server::healthJson() const
     out += ", \"errors\": " + std::to_string(errors_.load());
     out += ", \"shed\": " + std::to_string(shed_.load());
     out += ", \"uptime_ms\": " + std::to_string(uptime_ms);
+    // Capacity facts for load balancers: the worker count actually
+    // serving simulations, and what the host could provide.
+    out += ", \"workers\": " + std::to_string(pool_->threadCount());
+    out += ", \"hardware_concurrency\": " +
+           std::to_string(std::thread::hardware_concurrency());
     out += ", \"cache\": ";
     if (cache_) {
         out += "{\"hits\": " + std::to_string(cache_->hits()) +

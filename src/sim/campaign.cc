@@ -24,13 +24,14 @@ struct ResolvedPoint
     u32 period = 0;
     u32 fifo = 0;
     u32 dcache = 0;
+    u32 cores = 1;
 };
 
 }  // namespace
 
 std::string
 jobKey(std::string_view workload, MonitorKind monitor, ImplMode mode,
-       u32 flex_period, u32 fifo_depth, u32 dcache_bytes)
+       u32 flex_period, u32 fifo_depth, u32 dcache_bytes, u32 cores)
 {
     std::string key;
     key += workload;
@@ -42,6 +43,12 @@ jobKey(std::string_view workload, MonitorKind monitor, ImplMode mode,
     std::snprintf(buf, sizeof(buf), "|p%u|f%u|d%u", flex_period,
                   fifo_depth, dcache_bytes);
     key += buf;
+    if (cores != 1) {
+        // Suffix only on multi-core jobs: single-core keys (and the
+        // seeds hashed from them) keep their pre-multi-core bytes.
+        std::snprintf(buf, sizeof(buf), "|c%u", cores);
+        key += buf;
+    }
     return key;
 }
 
@@ -70,13 +77,19 @@ expandSweep(const SweepSpec &spec)
     std::set<std::string> seen;
     const u32 base_fifo = spec.base.iface.fifo_depth;
     const u32 base_dcache = spec.base.core.dcache.size_bytes;
-    for (ImplMode mode : spec.modes) {
+    for (u32 cores : spec.core_counts) {
+      for (ImplMode mode : spec.modes) {
         for (MonitorKind monitor : spec.monitors) {
             for (u32 period : spec.flex_periods) {
                 for (u32 fifo : spec.fifo_depths) {
                     for (u32 dcache : spec.dcache_bytes) {
+                        // Multi-core is interpreter-hardware only;
+                        // finalize() rejects software instrumentation.
+                        if (mode == ImplMode::kSoftware && cores > 1)
+                            continue;
                         ResolvedPoint pt;
                         pt.mode = mode;
+                        pt.cores = cores ? cores : 1;
                         pt.dcache = dcache ? dcache : base_dcache;
                         switch (mode) {
                           case ImplMode::kBaseline:
@@ -107,13 +120,14 @@ expandSweep(const SweepSpec &spec)
                         }
                         const std::string id = jobKey(
                             "", pt.monitor, pt.mode, pt.period, pt.fifo,
-                            pt.dcache);
+                            pt.dcache, pt.cores);
                         if (seen.insert(id).second)
                             points.push_back(pt);
                     }
                 }
             }
         }
+      }
     }
 
     std::vector<CampaignJob> jobs;
@@ -122,11 +136,12 @@ expandSweep(const SweepSpec &spec)
         for (const ResolvedPoint &pt : points) {
             CampaignJob job;
             job.key = jobKey(workload.name, pt.monitor, pt.mode,
-                             pt.period, pt.fifo, pt.dcache);
+                             pt.period, pt.fifo, pt.dcache, pt.cores);
             job.workload = workload;
             job.config = spec.base;
             job.config.monitor = pt.monitor;
             job.config.mode = pt.mode;
+            job.config.num_cores = pt.cores;
             // flex_period is only valid (and only meaningful) in
             // fabric mode; the resolved period still identifies ASIC
             // rows (period 1) in the key and the result table.
@@ -183,6 +198,7 @@ runCampaign(const std::vector<CampaignJob> &jobs,
                         ? job.config.iface.fifo_depth
                         : 0;
                 row.dcache_bytes = job.config.core.dcache.size_bytes;
+                row.cores = job.config.num_cores;
                 row.seed = job.config.fault_seed;
                 SimRequest request(job.config);
                 if (opts.verify)
@@ -272,6 +288,13 @@ campaignJson(std::string_view name,
             row.outcome.meta_misses, row.outcome.meta_accesses,
             row.outcome.fwd_fraction);
         out += buf;
+        if (row.cores != 1) {
+            // The core count rides only on multi-core rows, so every
+            // pre-multi-core campaign file keeps its old bytes.
+            std::snprintf(buf, sizeof(buf), ", \"cores\": %u",
+                          row.cores);
+            out += buf;
+        }
         const RunResult &rr = row.outcome.result;
         if (rr.exit == RunResult::Exit::kMonitorTrap ||
             rr.exit == RunResult::Exit::kCoreTrap ||

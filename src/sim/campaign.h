@@ -45,6 +45,7 @@ struct CampaignResult
     u32 flex_period = 0;     //!< resolved divisor (0 off the fabric)
     u32 fifo_depth = 0;      //!< resolved FFIFO depth (0 off the fabric)
     u32 dcache_bytes = 0;
+    u32 cores = 1;           //!< number of cores in the job's system
     u64 seed = 0;            //!< the job's fault_seed
     SimOutcome outcome;
 };
@@ -69,16 +70,22 @@ struct SweepSpec
     std::vector<u32> flex_periods{0};   //!< 0 = per-monitor default
     std::vector<u32> fifo_depths{0};    //!< 0 = base config's depth
     std::vector<u32> dcache_bytes{0};   //!< 0 = base config's D$ size
+    /** Core-count axis (docs/multicore.md); the fabric topology comes
+     * from base.fabric_sharing. Software mode skips points above one
+     * core (finalize() would reject the combination). */
+    std::vector<u32> core_counts{1};
     SystemConfig base;                  //!< template for every job
 };
 
 /**
  * Canonical identity of one job. The same parameters always produce
- * the same key, independent of how or when the job was created.
+ * the same key, independent of how or when the job was created. A
+ * "|cN" suffix appears only for multi-core jobs, so every pre-existing
+ * single-core key (and its derived seed) is byte-identical.
  */
 std::string jobKey(std::string_view workload, MonitorKind monitor,
                    ImplMode mode, u32 flex_period, u32 fifo_depth,
-                   u32 dcache_bytes);
+                   u32 dcache_bytes, u32 cores = 1);
 
 /** Deterministic per-job seed: FNV-1a 64 over the key bytes. */
 u64 jobSeed(std::string_view key);

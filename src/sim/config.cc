@@ -89,6 +89,40 @@ parseExecMode(std::string_view name, ExecMode *mode)
     return false;
 }
 
+std::string_view
+fabricSharingName(FabricSharing sharing)
+{
+    switch (sharing) {
+      case FabricSharing::kPerCore: return "per_core";
+      case FabricSharing::kShared: return "shared";
+    }
+    return "?";
+}
+
+bool
+parseFabricSharing(std::string_view name, FabricSharing *sharing)
+{
+    auto matches = [&name](std::string_view want) {
+        if (name.size() != want.size())
+            return false;
+        for (size_t i = 0; i < name.size(); ++i) {
+            if (std::tolower(static_cast<unsigned char>(name[i])) !=
+                want[i])
+                return false;
+        }
+        return true;
+    };
+    if (matches("per_core")) {
+        *sharing = FabricSharing::kPerCore;
+        return true;
+    }
+    if (matches("shared")) {
+        *sharing = FabricSharing::kShared;
+        return true;
+    }
+    return false;
+}
+
 bool
 parseImplMode(std::string_view name, ImplMode *mode)
 {
@@ -161,6 +195,9 @@ configErrorName(ConfigError::Code code)
         return "sampling_exec_mode";
       case ConfigError::Code::kSamplingSoftware:
         return "sampling_software";
+      case ConfigError::Code::kBadCores: return "bad_cores";
+      case ConfigError::Code::kBadFabricSharing:
+        return "bad_fabric_sharing";
       case ConfigError::Code::kBadRequest: return "bad_request";
       case ConfigError::Code::kBadVersion: return "bad_version";
       case ConfigError::Code::kBadMonitor: return "bad_monitor";
@@ -196,6 +233,8 @@ parseConfigErrorName(std::string_view name, ConfigError::Code *code)
         ConfigError::Code::kSamplingTrace,
         ConfigError::Code::kSamplingExecMode,
         ConfigError::Code::kSamplingSoftware,
+        ConfigError::Code::kBadCores,
+        ConfigError::Code::kBadFabricSharing,
         ConfigError::Code::kBadRequest,
         ConfigError::Code::kBadVersion,
         ConfigError::Code::kBadMonitor,
@@ -333,6 +372,51 @@ SystemConfig::finalize()
                 "sampled timing cannot warm through software "
                 "instrumentation (the expansion is timing-driven); use "
                 "asic/flexcore mode or drop the sampling flags");
+        }
+    }
+    if (num_cores == 0 || num_cores > kMaxCores) {
+        return configError(
+            ConfigError::Code::kBadCores,
+            "num_cores must be 1.." + std::to_string(kMaxCores) +
+                ", not " + std::to_string(num_cores));
+    }
+    if (num_cores > 1) {
+        // Multi-core runs are interpreter-only: every engine that
+        // bypasses the per-cycle loop (burst dispatch, sampled
+        // warming, software expansion) reasons about exactly one core,
+        // and the buffering trace sink has no core column.
+        if (exec_mode == ExecMode::kThreaded) {
+            return configError(
+                ConfigError::Code::kBadCores,
+                "multi-core runs are interpreter-only; drop "
+                "--exec-mode threaded or run with --cores 1");
+        }
+        if (sample_period != 0 || sample_window != 0) {
+            return configError(
+                ConfigError::Code::kBadCores,
+                "sampled timing models exactly one core; drop the "
+                "sampling flags or run with --cores 1");
+        }
+        if (mode == ImplMode::kSoftware) {
+            return configError(
+                ConfigError::Code::kBadCores,
+                "software instrumentation models exactly one core; "
+                "use asic/flexcore mode or run with --cores 1");
+        }
+        if (trace_events) {
+            return configError(
+                ConfigError::Code::kBadCores,
+                "trace-event capture has no core column; use the "
+                "binary --trace-out stream or run with --cores 1");
+        }
+    }
+    for (const FaultSpec &spec : faults.specs) {
+        if (spec.core >= num_cores) {
+            return configError(
+                ConfigError::Code::kBadFaultPlan,
+                "fault spec targets core " + std::to_string(spec.core) +
+                    " but the system has " + std::to_string(num_cores) +
+                    (num_cores == 1 ? " core" : " cores"));
         }
     }
 

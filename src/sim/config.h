@@ -48,12 +48,25 @@ enum class ExecMode : u8 {
     kThreaded,  //!< function-pointer superblock bursts over the µop cache
 };
 
+/**
+ * Fabric topology for multi-core systems (docs/multicore.md). With one
+ * core the two are identical — one core, one fabric either way.
+ */
+enum class FabricSharing : u8 {
+    kPerCore,  //!< one fabric + interface instance per core
+    kShared,   //!< one fabric time-multiplexed across all cores
+};
+
 std::string_view monitorKindName(MonitorKind kind);
 std::string_view implModeName(ImplMode mode);
 std::string_view execModeName(ExecMode mode);
+std::string_view fabricSharingName(FabricSharing sharing);
 
 /** Case-insensitive parse of "interp" / "threaded". */
 bool parseExecMode(std::string_view name, ExecMode *mode);
+
+/** Case-insensitive parse of "per_core" / "shared". */
+bool parseFabricSharing(std::string_view name, FabricSharing *sharing);
 
 /** Case-insensitive parse of "baseline"/"asic"/"flexcore"/"software". */
 bool parseImplMode(std::string_view name, ImplMode *mode);
@@ -102,6 +115,8 @@ struct ConfigError
         kSamplingTrace,     //!< sampled timing + trace-event capture
         kSamplingExecMode,  //!< sampled timing + non-default exec_mode
         kSamplingSoftware,  //!< sampled timing + software instrumentation
+        kBadCores,          //!< num_cores out of range or bad combo
+        kBadFabricSharing,  //!< unknown fabric-sharing topology name
 
         // ---- Wire-schema (SimRequest JSON) request errors ----
         kBadRequest,        //!< malformed JSON or schema violation
@@ -141,8 +156,40 @@ ConfigError makeConfigError(ConfigError::Code code,
 
 struct SystemConfig
 {
+    /** Most cores a System will instantiate (arbitrary sanity bound). */
+    static constexpr u32 kMaxCores = 8;
+
+    /**
+     * Coherent shared-memory window for multi-core runs. Each core of
+     * an N-core system owns a private functional memory (all cores
+     * load the same program image, so identical addresses name
+     * per-core copies); accesses inside this window hit one memory
+     * shared by every core, and stores to it are the coherence point:
+     * remote D-cache lines and µops covering the address are
+     * invalidated. Single-core systems have one memory and never
+     * consult the window. See docs/multicore.md.
+     */
+    static constexpr Addr kSharedWindowBase = 0x30000000;
+    static constexpr u32 kSharedWindowBytes = 64 * 1024;
+    /** Per-core stack offset: core i's initial %sp is stack_top minus
+     * i times this, so the N private stacks stay disjoint even though
+     * each core owns a private memory (uniform layout aids debugging). */
+    static constexpr u32 kStackStridePerCore = 64 * 1024;
+
     MonitorKind monitor = MonitorKind::kNone;
     ImplMode mode = ImplMode::kBaseline;
+
+    /**
+     * Number of cores (1..kMaxCores). Multi-core runs are interpreter
+     * only: finalize() rejects threaded dispatch, sampled timing,
+     * software instrumentation, and buffering trace capture when
+     * num_cores > 1 (kBadCores). num_cores == 1 is the pre-refactor
+     * system, bit for bit.
+     */
+    u32 num_cores = 1;
+
+    /** Fabric topology for num_cores > 1 (ignored with one core). */
+    FabricSharing fabric_sharing = FabricSharing::kPerCore;
 
     CoreParams core;
     SdramTimings sdram;

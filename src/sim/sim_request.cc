@@ -38,6 +38,7 @@ SimRequest::sourceText() const
 //
 // {"v": 1,
 //  "config": {"monitor": ..., "mode": ..., "exec_mode": ...,
+//             ["cores": N, "fabric_sharing": "per_core"|"shared",]
 //             "flex_period": N, "dift_tag_bits": N, "fifo_depth": N,
 //             "mcache_bytes": N, "icache_bytes": N, "dcache_bytes": N,
 //             "precise_exceptions": B, "histograms": B,
@@ -52,7 +53,10 @@ SimRequest::sourceText() const
 // toJson always emits every field in this order; fromJson treats every
 // field except "v" and "input" as optional (omitted = default) and
 // rejects unknown keys, so typos fail loudly instead of silently
-// running a different experiment.
+// running a different experiment. Multi-core fields ("cores",
+// "fabric_sharing", a fault's "core") are emitted only when they hold
+// non-default values, so every single-core request — and every
+// pre-multi-core client — round-trips byte-identically under v1.
 
 std::string
 SimRequest::toJson() const
@@ -81,7 +85,14 @@ SimRequest::toJson() const
     out += implModeName(config_.mode);
     out += "\", \"exec_mode\": \"";
     out += execModeName(config_.exec_mode);
-    out += "\", \"flex_period\": " + std::to_string(config_.flex_period);
+    out += "\"";
+    if (config_.num_cores != 1) {
+        out += ", \"cores\": " + std::to_string(config_.num_cores);
+        out += ", \"fabric_sharing\": \"";
+        out += fabricSharingName(config_.fabric_sharing);
+        out += "\"";
+    }
+    out += ", \"flex_period\": " + std::to_string(config_.flex_period);
     out += ", \"dift_tag_bits\": " +
            std::to_string(config_.dift_tag_bits);
     out += ", \"fifo_depth\": " +
@@ -262,6 +273,9 @@ parseWireFaultSpec(const JsonValue &v, FaultSpec *out,
                 return badRequest(
                     error, "unknown packet field \"" + name + "\"");
             }
+        } else if (key == "core") {
+            if (!getU32(value, key, &out->core, error))
+                return false;
         } else {
             return badRequest(error,
                               "unknown fault key \"" + key + "\"");
@@ -302,6 +316,18 @@ parseWireConfig(const JsonValue &v, SystemConfig *config,
             if (!parseExecMode(name, &config->exec_mode)) {
                 return wireFail(error, ConfigError::Code::kBadExecMode,
                                 "unknown exec_mode \"" + name + "\"");
+            }
+        } else if (key == "cores") {
+            if (!getU32(value, key, &config->num_cores, error))
+                return false;
+        } else if (key == "fabric_sharing") {
+            std::string name;
+            if (!getString(value, key, &name, error))
+                return false;
+            if (!parseFabricSharing(name, &config->fabric_sharing)) {
+                return wireFail(
+                    error, ConfigError::Code::kBadFabricSharing,
+                    "unknown fabric_sharing \"" + name + "\"");
             }
         } else if (key == "flex_period") {
             if (!getU32(value, key, &config->flex_period, error))
@@ -576,14 +602,21 @@ SimRequest::run()
 
     const bool fault_run = !config_.faults.empty();
     System system(std::move(config_));
-    // The profiler attaches before load(): load() sizes its table for
-    // the program text, and attribution must start at cycle zero for
-    // the profile total to equal core.cycles.
-    PcProfile local_profile;
-    PcProfile *profile =
-        profile_ ? profile_ : (profile_top_ ? &local_profile : nullptr);
-    if (profile)
-        system.attachProfile(profile);
+    const u32 ncores = system.numCores();
+    // Profilers attach before load(): load() sizes each table for the
+    // program text, and attribution must start at cycle zero for each
+    // profile total to equal its core's cycles. An external profile_
+    // observes core 0 only; profile_top_ gets one table per core.
+    std::vector<PcProfile> local_profiles;
+    PcProfile *profile = profile_;
+    if (!profile && profile_top_) {
+        local_profiles.resize(ncores);
+        profile = &local_profiles[0];
+    }
+    if (profile_)
+        system.attachProfile(profile_);
+    for (u32 i = 0; i < local_profiles.size(); ++i)
+        system.attachProfileAt(i, &local_profiles[i]);
     system.load(*prog);
     if (trace_)
         system.attachTrace(trace_);
@@ -597,18 +630,28 @@ SimRequest::run()
     SimOutcome outcome;
     outcome.result = system.run();
 
+    // On an N-core system every core runs the same image and the
+    // run's console is the per-core consoles concatenated in core
+    // order, so the golden output is N copies of the single-core
+    // expectation (registered workloads never diverge by core id).
+    std::string expected_console;
+    if (workload_) {
+        for (u32 i = 0; i < ncores; ++i)
+            expected_console += workload_->expected_console;
+    }
+
     if (fault_run) {
         // Fault runs are classified, never fatally verified: a wrong
         // exit or console is the experiment's *observation*.
         const std::string *golden =
-            workload_ ? &workload_->expected_console : nullptr;
+            workload_ ? &expected_console : nullptr;
         const InjectionLog log = system.injector()
                                      ? system.injector()->log()
                                      : InjectionLog{};
         outcome.fault = classifyFaultRun(outcome.result, log, golden);
         if (outcome.fault.outcome == FaultOutcome::kSdc) {
             outcome.golden_diff = boundedDiff(
-                workload_->expected_console, outcome.result.console);
+                expected_console, outcome.result.console);
         }
     } else if (verify_ &&
                outcome.result.exit != RunResult::Exit::kDeadline) {
@@ -623,10 +666,10 @@ SimRequest::run()
                        outcome.result.cycles, " cycles at pc=",
                        outcome.result.trap.pc);
         }
-        if (outcome.result.console != workload_->expected_console) {
+        if (outcome.result.console != expected_console) {
             FLEX_FATAL("workload '", workload_->name,
                        "' output mismatch: ",
-                       boundedDiff(workload_->expected_console,
+                       boundedDiff(expected_console,
                                    outcome.result.console));
         }
     }
@@ -657,8 +700,22 @@ SimRequest::run()
         outcome.stats_json = system.stats().json();
     if (stats_dump_)
         outcome.stats_text = system.stats().dump();
-    if (profile_top_ && profile)
-        outcome.profile_json = profile->json(profile_top_);
+    if (profile_top_ && profile) {
+        if (local_profiles.size() > 1) {
+            // Per-core tables: each core's profile provably sums to
+            // that core's cycles, so emit one object per core.
+            std::string &json = outcome.profile_json;
+            json = "{\"cores\": [";
+            for (size_t i = 0; i < local_profiles.size(); ++i) {
+                if (i > 0)
+                    json += ", ";
+                json += local_profiles[i].json(profile_top_);
+            }
+            json += "]}";
+        } else {
+            outcome.profile_json = profile->json(profile_top_);
+        }
+    }
     return outcome;
 }
 

@@ -72,6 +72,9 @@ System::System(SystemConfig config)
                                           config_.fault_seed);
     }
 
+    if (config_.num_cores > 1)
+        buildExtraCores();
+
     if (!config_.faults.empty()) {
         injector_ = std::make_unique<FaultInjector>(this, config_.faults);
         core_->setFaultInjector(injector_.get());
@@ -85,6 +88,88 @@ System::System(SystemConfig config)
     }
 }
 
+void
+System::buildExtraCores()
+{
+    const u32 ncores = config_.num_cores;
+    const Addr wbase = SystemConfig::kSharedWindowBase;
+    const u32 wbytes = SystemConfig::kSharedWindowBytes;
+    const bool hardware = config_.mode == ImplMode::kAsic ||
+                          config_.mode == ImplMode::kFlexFabric;
+
+    bus_->setNumPorts(ncores);
+    // Private memory per core, aliased onto one backing store over the
+    // coherent window: each core runs its own copy of the image (the
+    // contention workload), and only window accesses observe peers.
+    shared_mem_ = std::make_unique<Memory>();
+    memory_->setSharedWindow(shared_mem_.get(), wbase, wbytes);
+    if (hardware) {
+        shared_tags_ = std::make_unique<TagStore>();
+        monitor_->memTags().setSharedWindow(shared_tags_.get(), wbase,
+                                            wbytes);
+        iface_->setNumCores(ncores);
+    }
+
+    for (u32 i = 1; i < ncores; ++i) {
+        auto group = std::make_unique<StatGroup>("c" + std::to_string(i),
+                                                 &stats_);
+        auto mem = std::make_unique<Memory>();
+        mem->setSharedWindow(shared_mem_.get(), wbase, wbytes);
+        CoreParams core_params = config_.core;
+        core_params.stack_top -= i * SystemConfig::kStackStridePerCore;
+        auto core = std::make_unique<Core>(group.get(), mem.get(),
+                                           bus_.get(), core_params);
+        core->setCoreId(static_cast<u8>(i));
+        if (config_.fault_rate > 0.0) {
+            core->alu().enableFaultInjection(config_.fault_rate,
+                                             config_.fault_seed + i);
+        }
+        if (hardware) {
+            auto mon = makeMonitor(config_.monitor, config_.dift_tag_bits);
+            mon->memTags().setSharedWindow(shared_tags_.get(), wbase,
+                                           wbytes);
+            if (config_.fabric_sharing == FabricSharing::kPerCore) {
+                auto ifc = std::make_unique<FlexInterface>(group.get(),
+                                                           config_.iface);
+                ifc->setNumCores(ncores);
+                auto fab = std::make_unique<Fabric>(group.get(), ifc.get(),
+                                                    bus_.get(), mon.get(),
+                                                    config_.fabric);
+                fab->setBusPort(static_cast<u8>(i));
+                core->attachInterface(ifc.get());
+                extra_ifaces_.push_back(std::move(ifc));
+                extra_fabrics_.push_back(std::move(fab));
+            } else {
+                core->attachInterface(iface_.get());
+            }
+            extra_monitors_.push_back(std::move(mon));
+        }
+        extra_memories_.push_back(std::move(mem));
+        extra_cores_.push_back(std::move(core));
+        core_groups_.push_back(std::move(group));
+    }
+    extra_profiles_.assign(ncores - 1, nullptr);
+
+    if (hardware && config_.fabric_sharing == FabricSharing::kShared) {
+        std::vector<Monitor *> bank;
+        bank.push_back(monitor_.get());
+        for (auto &mon : extra_monitors_)
+            bank.push_back(mon.get());
+        fabric_->setMonitorBank(std::move(bank));
+    }
+
+    // Write-through coherence: each core invalidates every peer's
+    // cached window lines (and stale decoded µops) on a window store.
+    for (u32 i = 0; i < ncores; ++i) {
+        std::vector<Core *> peers;
+        for (u32 j = 0; j < ncores; ++j) {
+            if (j != i)
+                peers.push_back(&core(j));
+        }
+        core(i).setCoherence(wbase, wbytes, std::move(peers));
+    }
+}
+
 System::~System() = default;
 
 void
@@ -93,20 +178,40 @@ System::load(const Program &program)
     core_->loadProgram(program);
     if (profile_)
         profile_->onProgramLoad(program.base(), program.size());
-    if (monitor_) {
-        monitor_->reset();
-        monitor_->onProgramLoad(program.base(), program.size());
-        programCfgr(config_.monitor, &iface_->cfgr());
-        if (config_.precise_exceptions) {
-            // Precise monitoring (§III-C): commit waits for the
-            // co-processor's acknowledgement on every forwarded class.
-            Cfgr &cfgr = iface_->cfgr();
-            for (unsigned t = 0; t < kNumInstrTypes; ++t) {
-                const auto type = static_cast<InstrType>(t);
-                if (cfgr.policy(type) != ForwardPolicy::kIgnore)
-                    cfgr.setPolicy(type, ForwardPolicy::kWaitAck);
-            }
+    // Every extra core runs its own copy of the image out of its
+    // private memory; the coherent-window backing starts zeroed.
+    for (u32 i = 1; i < config_.num_cores; ++i) {
+        core(i).loadProgram(program);
+        if (extra_profiles_[i - 1]) {
+            extra_profiles_[i - 1]->onProgramLoad(program.base(),
+                                                  program.size());
         }
+    }
+    if (monitor_) {
+        if (shared_tags_)
+            shared_tags_->clear();
+        for (u32 i = 0; i < config_.num_cores; ++i) {
+            Monitor *mon = monitorForCore(i);
+            mon->reset();
+            mon->onProgramLoad(program.base(), program.size());
+        }
+        const auto configure = [this](FlexInterface *ifc) {
+            programCfgr(config_.monitor, &ifc->cfgr());
+            if (config_.precise_exceptions) {
+                // Precise monitoring (§III-C): commit waits for the
+                // co-processor's acknowledgement on every forwarded
+                // class.
+                Cfgr &cfgr = ifc->cfgr();
+                for (unsigned t = 0; t < kNumInstrTypes; ++t) {
+                    const auto type = static_cast<InstrType>(t);
+                    if (cfgr.policy(type) != ForwardPolicy::kIgnore)
+                        cfgr.setPolicy(type, ForwardPolicy::kWaitAck);
+                }
+            }
+        };
+        configure(iface_.get());
+        for (auto &ifc : extra_ifaces_)
+            configure(ifc.get());
     }
 }
 
@@ -131,8 +236,23 @@ System::attachProfile(PcProfile *profile)
 }
 
 void
+System::attachProfileAt(u32 i, PcProfile *profile)
+{
+    if (i == 0) {
+        attachProfile(profile);
+        return;
+    }
+    extra_profiles_[i - 1] = profile;
+    core(i).setProfile(profile);
+}
+
+void
 System::tick()
 {
+    if (!extra_cores_.empty()) {
+        tickMulti();
+        return;
+    }
     if (injector_)
         injector_->onCycle(now_);
     bus_->tick();
@@ -148,6 +268,35 @@ System::tick()
             trace_->counter("ffifo_occupancy", now_,
                             traced_ffifo_depth_);
         }
+    }
+    ++now_;
+}
+
+void
+System::tickMulti()
+{
+    // Deterministic total order every cycle: injector, bus, fabrics
+    // (core-index order), then each core and its store buffer in core-
+    // index order. Cores offering to a shared interface therefore push
+    // in index order within the cycle — that tick order *is* the FFIFO
+    // arbitration, with no randomness to seed (docs/multicore.md).
+    if (injector_)
+        injector_->onCycle(now_);
+    bus_->tick();
+    if (fabric_)
+        fabric_->tick(now_);
+    for (auto &fab : extra_fabrics_)
+        fab->tick(now_);
+    core_->tick(now_);
+    core_->storeBuffer().tick();
+    for (auto &c : extra_cores_) {
+        c->tick(now_);
+        c->storeBuffer().tick();
+    }
+    if (config_.histograms && iface_) {
+        iface_->sampleOccupancy();
+        for (auto &ifc : extra_ifaces_)
+            ifc->sampleOccupancy();
     }
     ++now_;
 }
@@ -212,6 +361,8 @@ System::fastForward()
 RunResult
 System::run()
 {
+    if (!extra_cores_.empty())
+        return runMulti();
     if (config_.sample_period != 0)
         return runSampled();
 
@@ -330,6 +481,169 @@ System::run()
         }
         watchdog_deadline_ = kCycleNever;
     }
+    return finishRun(hung, cancelled, wd);
+}
+
+bool
+System::multiRunDone()
+{
+    // The run ends when every core has halted (each exits via its own
+    // `ta 0`), or as soon as any core halts on a trap: the trap is the
+    // run's result (a monitor detection, or a core-detected error),
+    // and letting the other cores run on would only blur its cycle
+    // attribution.
+    bool all_halted = true;
+    for (u32 i = 0; i < config_.num_cores; ++i) {
+        const Core &c = core(i);
+        if (!c.halted())
+            all_halted = false;
+        else if (c.trap().pending())
+            return true;
+    }
+    return all_halted;
+}
+
+u64
+System::totalProgress()
+{
+    u64 progress = 0;
+    for (u32 i = 0; i < config_.num_cores; ++i)
+        progress += core(i).instructions() + core(i).microOps();
+    return progress;
+}
+
+void
+System::fastForwardMulti()
+{
+    // All-cores quiescence: every fabric idle, every FFIFO and store
+    // buffer empty, and every still-running core in a provable idle
+    // stretch. Core::idleStretch() already demands an idle (or
+    // exclusively-ours) bus, so with several active cores this only
+    // fires when all of them sit in fixed-latency stalls — but those
+    // lockstep stretches are exactly where a naive multi-core loop
+    // burns its cycles.
+    if (now_ >= config_.max_cycles)
+        return;
+    if (fabric_ && !fabric_->idle())
+        return;
+    for (auto &fab : extra_fabrics_) {
+        if (!fab->idle())
+            return;
+    }
+    if (iface_ && iface_->fifoSize() != 0)
+        return;
+    for (auto &ifc : extra_ifaces_) {
+        if (ifc->fifoSize() != 0)
+            return;
+    }
+    struct Pending
+    {
+        Core *core;
+        Core::CycleBucket bucket;
+    };
+    Pending pending[SystemConfig::kMaxCores];
+    u32 npending = 0;
+    u64 k = config_.max_cycles - now_;
+    for (u32 i = 0; i < config_.num_cores; ++i) {
+        Core &c = core(i);
+        if (c.halted())
+            continue;
+        if (!c.storeBuffer().empty())
+            return;
+        const Core::IdleStretch stretch = c.idleStretch();
+        if (stretch.cycles == 0)
+            return;
+        k = std::min<u64>(k, stretch.cycles);
+        pending[npending++] = {&c, stretch.bucket};
+    }
+    if (npending == 0)
+        return;
+    if (injector_) {
+        const Cycle next = injector_->nextCycleTrigger();
+        if (next != kCycleNever)
+            k = std::min<u64>(k, next > now_ ? next - now_ : 0);
+    }
+    if (watchdog_deadline_ != kCycleNever)
+        k = std::min<u64>(k, watchdog_deadline_ - now_);
+    if (k == 0)
+        return;
+#ifndef NDEBUG
+    // Lockstep verification, as in the single-core path: single-step
+    // the stretch and assert every active core charged its predicted
+    // bucket on every one of the k cycles.
+    u64 cycles_before[SystemConfig::kMaxCores];
+    u64 bucket_before[SystemConfig::kMaxCores];
+    for (u32 p = 0; p < npending; ++p) {
+        cycles_before[p] = pending[p].core->cycles();
+        bucket_before[p] = pending[p].core->cyclesIn(pending[p].bucket);
+    }
+    for (u64 i = 0; i < k; ++i)
+        tickMulti();
+    for (u32 p = 0; p < npending; ++p) {
+        assert(pending[p].core->cycles() == cycles_before[p] + k &&
+               "multi-core fast-forward must advance every active core");
+        assert(pending[p].core->cyclesIn(pending[p].bucket) ==
+                   bucket_before[p] + k &&
+               "multi-core fast-forward must charge predicted buckets");
+    }
+#else
+    for (u32 p = 0; p < npending; ++p)
+        pending[p].core->advanceIdle(k, pending[p].bucket);
+    bus_->advanceIdle(k);
+    if (fabric_)
+        fabric_->advanceIdle(k);
+    for (auto &fab : extra_fabrics_)
+        fab->advanceIdle(k);
+    if (config_.histograms && iface_) {
+        iface_->sampleOccupancy(k);
+        for (auto &ifc : extra_ifaces_)
+            ifc->sampleOccupancy(k);
+    }
+    now_ += k;
+#endif
+}
+
+RunResult
+System::runMulti()
+{
+    // Multi-core runs always use the monitored-loop shape: totalled
+    // commit progress feeds the watchdog, fast-forward demands
+    // all-cores quiescence, and the cancel token is polled on the
+    // same cycle grid as the single-core loops.
+    const u64 wd = config_.watchdog_commits;
+    bool hung = false;
+    bool cancelled = false;
+    u64 last_progress = totalProgress();
+    watchdog_deadline_ = wd ? now_ + wd : kCycleNever;
+    next_cancel_check_ = cancel_ ? now_ + kCancelCheckCycles
+                                 : kCycleNever;
+    while (!multiRunDone() && now_ < config_.max_cycles) {
+        tickMulti();
+        const u64 progress = totalProgress();
+        if (progress != last_progress) {
+            last_progress = progress;
+            if (wd)
+                watchdog_deadline_ = now_ + wd;
+        } else if (now_ >= watchdog_deadline_) {
+            hung = true;
+            break;
+        }
+        if (config_.fast_forward) {
+            fastForwardMulti();
+            if (now_ >= watchdog_deadline_) {
+                hung = true;
+                break;
+            }
+        }
+        if (now_ >= next_cancel_check_) {
+            next_cancel_check_ = now_ + kCancelCheckCycles;
+            if (cancel_->expired()) {
+                cancelled = true;
+                break;
+            }
+        }
+    }
+    watchdog_deadline_ = kCycleNever;
     return finishRun(hung, cancelled, wd);
 }
 
@@ -458,12 +772,34 @@ System::finishRun(bool hung, bool cancelled, u64 wd)
         fabric_->flushTrace(now_);
     bus_->flushObservers();
 
+    // The report core: the first (lowest-index) core that trapped —
+    // the event that ended a multi-core run — or core 0 otherwise.
+    // Single-core, this is always core 0 and the classification below
+    // reduces exactly to the classic one (a trap implies halted, and
+    // an unhalted core implies no trap).
+    u32 report_core = 0;
+    for (u32 i = 0; i < config_.num_cores; ++i) {
+        if (core(i).trap().pending()) {
+            report_core = i;
+            break;
+        }
+    }
+    Core &reporter = core(report_core);
+    bool all_halted = true;
+    u64 instructions = 0;
+    std::string console;
+    for (u32 i = 0; i < config_.num_cores; ++i) {
+        all_halted = all_halted && core(i).halted();
+        instructions += core(i).instructions();
+        console += core(i).consoleOutput();
+    }
+
     RunResult result;
     result.cycles = now_;
-    result.instructions = core_->instructions();
-    result.console = core_->consoleOutput();
+    result.instructions = instructions;
+    result.console = std::move(console);
     result.exit_code = core_->exitCode();
-    result.trap = core_->trap();
+    result.trap = reporter.trap();
     if (cancelled) {
         result.exit = RunResult::Exit::kDeadline;
         result.trap_reason = "cancelled after " +
@@ -472,22 +808,23 @@ System::finishRun(bool hung, bool cancelled, u64 wd)
         result.exit = RunResult::Exit::kHang;
         result.trap_reason = "no commit in " + std::to_string(wd) +
                              " cycles (watchdog)";
-    } else if (!core_->halted()) {
-        result.exit = RunResult::Exit::kMaxCycles;
-    } else if (core_->trap().kind == TrapKind::kMonitor) {
+    } else if (reporter.trap().kind == TrapKind::kMonitor) {
         result.exit = RunResult::Exit::kMonitorTrap;
         if (monitor_)
-            result.trap_reason = monitor_->lastTrapReason();
-    } else if (core_->trap().pending()) {
+            result.trap_reason =
+                monitorForCore(report_core)->lastTrapReason();
+    } else if (reporter.trap().pending()) {
         result.exit = RunResult::Exit::kCoreTrap;
-        result.trap_reason = core_->trap().detail;
+        result.trap_reason = reporter.trap().detail;
+    } else if (!all_halted) {
+        result.exit = RunResult::Exit::kMaxCycles;
     } else {
         result.exit = RunResult::Exit::kExited;
     }
     if ((result.exit == RunResult::Exit::kMonitorTrap ||
          result.exit == RunResult::Exit::kCoreTrap) &&
         (result.trap.pc & 3u) == 0) {
-        result.trap_inst = memory_->read32(result.trap.pc);
+        result.trap_inst = memoryAt(report_core).read32(result.trap.pc);
     }
     return result;
 }

@@ -1,9 +1,14 @@
 /**
  * @file
- * The full simulated system: memory, shared bus, Leon3-class core,
- * and (depending on the configuration) the FlexCore interface, the
- * reconfigurable fabric or ASIC extension, or a software
- * instrumentation model.
+ * The full simulated system: one or more Leon3-class cores on a shared
+ * round-robin bus, per-core private memory with a coherent shared
+ * window, and (depending on the configuration) the FlexCore interface
+ * and reconfigurable fabric — one instance per core, or one
+ * time-multiplexed fabric serving every core (SystemConfig::
+ * fabric_sharing) — an ASIC extension, or a software instrumentation
+ * model. Single-core configurations (the default) construct exactly
+ * the classic topology and are byte-identical to it; see
+ * docs/multicore.md for the multi-core model.
  */
 
 #ifndef FLEXCORE_SIM_SYSTEM_H_
@@ -11,6 +16,7 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "common/cancel.h"
 #include "sim/config.h"
@@ -101,20 +107,66 @@ class System
     void setCancel(const CancelToken *cancel) { cancel_ = cancel; }
 
     /**
-     * Attach a per-PC cycle profiler (null detaches). Attach before
-     * load(): load() sizes the profile table for the program's text
-     * segment, and attribution must start at cycle zero for the
+     * Attach a per-PC cycle profiler to core 0 (null detaches). Attach
+     * before load(): load() sizes the profile table for the program's
+     * text segment, and attribution must start at cycle zero for the
      * profile total to equal core.cycles.
      */
     void attachProfile(PcProfile *profile);
 
+    /**
+     * Attach a profiler to core @p i. Each core needs its own table —
+     * the per-core invariant (profile total == that core's cycles)
+     * is debug-asserted every tick, so the per-core tables provably
+     * sum to the per-core cycle counters.
+     */
+    void attachProfileAt(u32 i, PcProfile *profile);
+
     const SystemConfig &config() const { return config_; }
+    u32 numCores() const { return config_.num_cores; }
     Memory &memory() { return *memory_; }
     Bus &bus() { return *bus_; }
+    /** Core 0 — kept for the (overwhelming) single-core call sites.
+     * Multi-core-aware code should use core(i). */
     Core &core() { return *core_; }
+    /** Core @p i (0-based; i < numCores()). */
+    Core &
+    core(u32 i)
+    {
+        return i == 0 ? *core_ : *extra_cores_[i - 1];
+    }
+    /** Core @p i's private functional memory. */
+    Memory &
+    memoryAt(u32 i)
+    {
+        return i == 0 ? *memory_ : *extra_memories_[i - 1];
+    }
     FlexInterface *iface() { return iface_.get(); }
     Fabric *fabric() { return fabric_.get(); }
     Monitor *monitor() { return monitor_.get(); }
+    /** The interface serving core @p i (the shared one, or core i's). */
+    FlexInterface *
+    ifaceForCore(u32 i)
+    {
+        if (i == 0 || config_.fabric_sharing == FabricSharing::kShared)
+            return iface_.get();
+        return extra_ifaces_[i - 1].get();
+    }
+    /** The fabric processing core @p i's packets. */
+    Fabric *
+    fabricForCore(u32 i)
+    {
+        if (i == 0 || config_.fabric_sharing == FabricSharing::kShared)
+            return fabric_.get();
+        return extra_fabrics_[i - 1].get();
+    }
+    /** The monitor instance holding core @p i's meta-data state (one
+     * per core in both fabric topologies). */
+    Monitor *
+    monitorForCore(u32 i)
+    {
+        return i == 0 ? monitor_.get() : extra_monitors_[i - 1].get();
+    }
     StatGroup &stats() { return stats_; }
     Cycle cycles() const { return now_; }
 
@@ -122,11 +174,25 @@ class System
     const FaultInjector *injector() const { return injector_.get(); }
 
   private:
+    /** Construct cores 1..N-1 and wire coherence + fabric topology. */
+    void buildExtraCores();
+
     /** Bulk-skip one quiescent stretch, if the system is in one. */
     void fastForward();
 
     /** Sampled-timing run loop (SystemConfig::sample_period > 0). */
     RunResult runSampled();
+    /** Multi-core run loop (num_cores > 1; interpreter only). */
+    RunResult runMulti();
+    /** One multi-core cycle: bus, fabrics, cores in index order. */
+    void tickMulti();
+    /** All-cores quiescent bulk skip (multi-core fast-forward). */
+    void fastForwardMulti();
+    /** True when the run is over: every core halted, or any core
+     * halted on a trap (the trap ends the whole run). */
+    bool multiRunDone();
+    /** Commit progress summed over all cores (watchdog food). */
+    u64 totalProgress();
     /** Shared run() epilogue: flush observers, classify the exit. */
     RunResult finishRun(bool hung, bool cancelled, u64 wd);
     /** A state functional warming may take over from: core drained,
@@ -143,6 +209,26 @@ class System
     std::unique_ptr<Monitor> monitor_;
     std::unique_ptr<FlexInterface> iface_;
     std::unique_ptr<Fabric> fabric_;
+    /**
+     * Cores 1..N-1 of a multi-core system (index i-1 is core i); all
+     * empty on single-core, where construction is byte-identical to
+     * the classic topology. Core 0 stays in the flat members above —
+     * and keeps the flat legacy stat names — while each extra core's
+     * components live under a "cI" wrapper stat group. Every core has
+     * its own monitor instance (private shadow/meta-data state); in
+     * the shared-fabric topology the extra interface/fabric vectors
+     * stay empty and the one fabric dispatches over a monitor bank.
+     */
+    std::vector<std::unique_ptr<StatGroup>> core_groups_;
+    std::vector<std::unique_ptr<Memory>> extra_memories_;
+    std::vector<std::unique_ptr<Core>> extra_cores_;
+    std::vector<std::unique_ptr<Monitor>> extra_monitors_;
+    std::vector<std::unique_ptr<FlexInterface>> extra_ifaces_;
+    std::vector<std::unique_ptr<Fabric>> extra_fabrics_;
+    /** Backing for the coherent shared window (multi-core only):
+     * functional data and, under a monitor, its tags. */
+    std::unique_ptr<Memory> shared_mem_;
+    std::unique_ptr<TagStore> shared_tags_;
     std::unique_ptr<FaultInjector> injector_;
     /** Threaded-dispatch/warming engine; constructed only when
      * exec_mode is kThreaded or sampled timing is on. */
@@ -160,6 +246,9 @@ class System
     Cycle next_cancel_check_ = kCycleNever;
     TraceSink *trace_ = nullptr;
     PcProfile *profile_ = nullptr;
+    /** Profilers attached to cores 1..N-1 (index i-1; may hold nulls).
+     * Tracked so load() can size each table like core 0's. */
+    std::vector<PcProfile *> extra_profiles_;
     size_t traced_ffifo_depth_ = 0;
 };
 

@@ -1,0 +1,282 @@
+/**
+ * @file
+ * Multi-core system tests (docs/multicore.md): N-core construction
+ * and clean exit in both fabric topologies, the kCoreId syscall and
+ * per-core console concatenation, shared-window coherence, end-to-end
+ * cross-core DIFT detection through the shared tag store, run-to-run
+ * determinism, per-core profile invariants, core-indexed fault-plan
+ * parsing, the campaign core-count axis, and the wire schema's
+ * default-elision of the multi-core fields.
+ */
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "assembler/assembler.h"
+#include "core/profile.h"
+#include "faults/fault_plan.h"
+#include "sim/campaign.h"
+#include "sim/sim_request.h"
+#include "sim/system.h"
+
+namespace flexcore {
+namespace {
+
+std::string
+readProgram(const char *name)
+{
+    const std::string path =
+        std::string(FLEXCORE_TEST_DATA_DIR "/../../programs/") + name;
+    std::ifstream file(path);
+    EXPECT_TRUE(file.is_open()) << "cannot open " << path;
+    std::stringstream source;
+    source << file.rdbuf();
+    return source.str();
+}
+
+/** Every core prints its own index, then exits cleanly. */
+constexpr char kCoreIdSource[] = R"(
+        .org 0x1000
+_start: set 0x003ffff0, %sp
+        ta 3
+        ta 2
+        mov 0, %o0
+        ta 0
+        nop
+)";
+
+SystemConfig
+multiConfig(u32 cores, FabricSharing sharing,
+            MonitorKind monitor = MonitorKind::kNone)
+{
+    SystemConfig config;
+    config.num_cores = cores;
+    config.fabric_sharing = sharing;
+    config.monitor = monitor;
+    config.mode = monitor == MonitorKind::kNone ? ImplMode::kBaseline
+                                                : ImplMode::kFlexFabric;
+    config.max_cycles = 2'000'000;
+    return config;
+}
+
+SimOutcome
+run(SystemConfig config, const std::string &source)
+{
+    return SimRequest(std::move(config)).source(source).statsJson().run();
+}
+
+TEST(Multicore, CoreIdSyscallAndConsoleConcatenation)
+{
+    // Single-core: core id 0, the pre-refactor behavior.
+    const SimOutcome one =
+        run(multiConfig(1, FabricSharing::kPerCore), kCoreIdSource);
+    EXPECT_EQ(one.result.exit, RunResult::Exit::kExited);
+    EXPECT_EQ(one.result.console, "0");
+
+    // N cores print their indices; consoles concatenate in core order.
+    for (const FabricSharing sharing :
+         {FabricSharing::kPerCore, FabricSharing::kShared}) {
+        const SimOutcome four =
+            run(multiConfig(4, sharing), kCoreIdSource);
+        EXPECT_EQ(four.result.exit, RunResult::Exit::kExited);
+        EXPECT_EQ(four.result.console, "0123");
+        // Every core ran the whole program, so commit counts sum.
+        EXPECT_EQ(four.result.instructions, 4 * one.result.instructions);
+    }
+}
+
+TEST(Multicore, SharedWindowCoherenceLetsBaselineExitCleanly)
+{
+    // taint_xcore's consumer spins on a flag core 0 publishes through
+    // the coherent shared window; without coherence the run would hit
+    // max_cycles. Unmonitored, the dispatch is a legal call.
+    const std::string source = readProgram("taint_xcore.s");
+    for (const FabricSharing sharing :
+         {FabricSharing::kPerCore, FabricSharing::kShared}) {
+        const SimOutcome out = run(multiConfig(2, sharing), source);
+        EXPECT_EQ(out.result.exit, RunResult::Exit::kExited)
+            << "sharing=" << static_cast<int>(sharing);
+    }
+    // Single-core takes only the producer path.
+    const SimOutcome one =
+        run(multiConfig(1, FabricSharing::kPerCore), source);
+    EXPECT_EQ(one.result.exit, RunResult::Exit::kExited);
+}
+
+TEST(Multicore, CrossCoreTaintDetectedByDift)
+{
+    // Core 0 taints a word and publishes it; core 1 jumps through it.
+    // The taint crosses cores via the shared window's tag store, so
+    // core 1's DIFT monitor traps in both fabric topologies.
+    const std::string source = readProgram("taint_xcore.s");
+    for (const FabricSharing sharing :
+         {FabricSharing::kPerCore, FabricSharing::kShared}) {
+        const SimOutcome out = run(
+            multiConfig(2, sharing, MonitorKind::kDift), source);
+        EXPECT_EQ(out.result.exit, RunResult::Exit::kMonitorTrap)
+            << "sharing=" << static_cast<int>(sharing);
+        EXPECT_FALSE(out.result.trap_reason.empty());
+    }
+}
+
+TEST(Multicore, RunsAreDeterministic)
+{
+    // Same config, same program, twice: byte-identical stats JSON in
+    // both topologies (the multi-core determinism contract).
+    const std::string source = readProgram("taint_xcore.s");
+    for (const FabricSharing sharing :
+         {FabricSharing::kPerCore, FabricSharing::kShared}) {
+        const SimOutcome a = run(
+            multiConfig(2, sharing, MonitorKind::kDift), source);
+        const SimOutcome b = run(
+            multiConfig(2, sharing, MonitorKind::kDift), source);
+        EXPECT_EQ(a.result.cycles, b.result.cycles);
+        EXPECT_EQ(a.stats_json, b.stats_json);
+    }
+}
+
+TEST(Multicore, PerCoreProfilesSumToPerCoreCycles)
+{
+    SystemConfig config =
+        multiConfig(2, FabricSharing::kShared, MonitorKind::kDift);
+    System system(std::move(config));
+    PcProfile p0;
+    PcProfile p1;
+    system.attachProfileAt(0, &p0);
+    system.attachProfileAt(1, &p1);
+    system.load(Assembler::assembleOrDie(readProgram("taint_xcore.s")));
+    const RunResult result = system.run();
+    EXPECT_EQ(result.exit, RunResult::Exit::kMonitorTrap);
+    // Each table covers exactly its core's cycle counter: core 0 keeps
+    // the flat legacy stat names, core 1 lives under the "c1" group.
+    EXPECT_EQ(p0.total(), system.stats().lookup("core.cycles"));
+    EXPECT_EQ(p1.total(), system.stats().lookup("c1.core.cycles"));
+    EXPECT_GT(p1.total(), 0u);
+}
+
+TEST(Multicore, FaultPlanCoreSyntaxRoundTrips)
+{
+    FaultSpec spec;
+    std::string error;
+    ASSERT_TRUE(parseFaultSpec("reg@i800:t17:b3:c1", &spec, &error))
+        << error;
+    EXPECT_EQ(spec.trigger, FaultTrigger::kCommit);
+    EXPECT_EQ(spec.when, 800u);
+    EXPECT_EQ(spec.target, 17u);
+    EXPECT_EQ(spec.core, 1u);
+    EXPECT_EQ(formatFaultSpec(spec), "reg@i800:t17:b3:c1");
+
+    // A cycle trigger followed by a core selector: the first c is the
+    // trigger, the second is the core.
+    ASSERT_TRUE(parseFaultSpec("mem@c5000:t0x2040:b5:c2", &spec, &error))
+        << error;
+    EXPECT_EQ(spec.trigger, FaultTrigger::kCycle);
+    EXPECT_EQ(spec.when, 5000u);
+    EXPECT_EQ(spec.core, 2u);
+
+    // Single-core specs keep their old rendering: no :c0 suffix.
+    FaultSpec plain;
+    ASSERT_TRUE(parseFaultSpec("reg@i800:t17:b3", &plain, &error));
+    EXPECT_EQ(plain.core, 0u);
+    EXPECT_EQ(formatFaultSpec(plain), "reg@i800:t17:b3");
+}
+
+TEST(Multicore, FinalizeRejectsOutOfRangeFaultCore)
+{
+    SystemConfig config = multiConfig(2, FabricSharing::kPerCore);
+    FaultSpec spec;
+    std::string error;
+    ASSERT_TRUE(parseFaultSpec("reg@i800:t17:b3:c2", &spec, &error));
+    config.faults.specs.push_back(spec);
+    const ConfigError bad = config.finalize();
+    EXPECT_EQ(bad.code, ConfigError::Code::kBadFaultPlan);
+}
+
+TEST(Multicore, FinalizeRejectsBadCoreCombos)
+{
+    SystemConfig config = multiConfig(0, FabricSharing::kPerCore);
+    EXPECT_EQ(config.finalize().code, ConfigError::Code::kBadCores);
+
+    config = multiConfig(SystemConfig::kMaxCores + 1,
+                         FabricSharing::kPerCore);
+    EXPECT_EQ(config.finalize().code, ConfigError::Code::kBadCores);
+
+    // Multi-core is interpreter-only.
+    config = multiConfig(2, FabricSharing::kPerCore);
+    config.exec_mode = ExecMode::kThreaded;
+    EXPECT_EQ(config.finalize().code, ConfigError::Code::kBadCores);
+}
+
+TEST(Multicore, SweepCoreAxisSuffixesOnlyMultiCoreKeys)
+{
+    SweepSpec spec;
+    spec.name = "cores";
+    Workload wl;
+    wl.name = "tiny";
+    wl.source = kCoreIdSource;
+    spec.workloads = {wl};
+    spec.monitors = {MonitorKind::kDift};
+    spec.modes = {ImplMode::kFlexFabric};
+    spec.core_counts = {1, 2};
+    spec.base.fabric_sharing = FabricSharing::kShared;
+    const auto jobs = expandSweep(spec);
+    ASSERT_EQ(jobs.size(), 2u);
+    // Single-core keys (and their FNV seeds) keep pre-multi-core
+    // bytes; the 2-core job carries the |c2 suffix and the core count.
+    EXPECT_EQ(jobs[0].key.find("|c"), std::string::npos);
+    EXPECT_EQ(jobs[0].config.num_cores, 1u);
+    EXPECT_NE(jobs[1].key.find("|c2"), std::string::npos);
+    EXPECT_EQ(jobs[1].config.num_cores, 2u);
+    EXPECT_EQ(jobs[0].config.fault_seed, jobSeed(jobs[0].key));
+}
+
+TEST(Multicore, WireSchemaElidesDefaultsAndRoundTrips)
+{
+    // A single-core request serializes without the multi-core keys, so
+    // pre-multi-core clients and goldens keep their bytes.
+    SimRequest plain;
+    plain.source(kCoreIdSource);
+    EXPECT_EQ(plain.toJson().find("\"cores\""), std::string::npos);
+    EXPECT_EQ(plain.toJson().find("fabric_sharing"), std::string::npos);
+
+    SystemConfig config = multiConfig(2, FabricSharing::kShared);
+    SimRequest multi(std::move(config));
+    multi.source(kCoreIdSource);
+    const std::string json = multi.toJson();
+    EXPECT_NE(json.find("\"cores\": 2"), std::string::npos);
+    EXPECT_NE(json.find("\"fabric_sharing\": \"shared\""),
+              std::string::npos);
+
+    SimRequest parsed;
+    ConfigError error;
+    ASSERT_TRUE(SimRequest::fromJson(json, &parsed, &error))
+        << error.message;
+    EXPECT_EQ(parsed.toJson(), json);
+    const SimOutcome out = parsed.run();
+    EXPECT_EQ(out.result.exit, RunResult::Exit::kExited);
+    EXPECT_EQ(out.result.console, "01");
+}
+
+TEST(Multicore, CoreIndexedFaultHitsOnlyTheTargetCore)
+{
+    // Flip a register on core 1 late in the run; core 0's stream is
+    // untouched, so the fault plan's core field is what selects the
+    // victim. The run still completes (either cleanly or with the
+    // corruption surfacing on core 1).
+    SystemConfig config = multiConfig(2, FabricSharing::kShared);
+    FaultSpec spec;
+    std::string error;
+    ASSERT_TRUE(parseFaultSpec("reg@c50:t17:b3:c1", &spec, &error));
+    config.faults.specs.push_back(spec);
+    ASSERT_FALSE(config.finalize());
+    const SimOutcome out = SimRequest(std::move(config))
+                               .source(kCoreIdSource)
+                               .run();
+    ASSERT_NE(out.result.exit, RunResult::Exit::kMaxCycles);
+}
+
+}  // namespace
+}  // namespace flexcore

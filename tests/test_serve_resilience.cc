@@ -383,6 +383,13 @@ TEST_F(ServerLoop, HealthReportsCountersWithFixedShape)
     EXPECT_NE(doc.find("uptime_ms"), nullptr);
     EXPECT_NE(doc.find("cache"), nullptr);
     EXPECT_FALSE(doc.find("draining")->boolean);
+    // Capacity facts for load balancers: this server runs one worker,
+    // and the host concurrency is whatever the machine reports.
+    ASSERT_NE(doc.find("workers"), nullptr);
+    EXPECT_EQ(doc.find("workers")->uint, 1u);
+    ASSERT_NE(doc.find("hardware_concurrency"), nullptr);
+    EXPECT_EQ(doc.find("hardware_concurrency")->uint,
+              std::thread::hardware_concurrency());
 }
 
 TEST_F(ServerLoop, SimRequestRunsAndShutdownShedsNewSims)

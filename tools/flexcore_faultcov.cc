@@ -128,7 +128,7 @@ main(int argc, char **argv)
                 "disable the live progress line");
     ospec.attach(&parser,
                  kSpecExecMode | kSpecWatchdog | kSpecProfileFile |
-                     kSpecFastForward | kSpecListMonitors);
+                     kSpecFastForward | kSpecListMonitors | kSpecCores);
     parser.footer(
         "The coverage JSON goes to stdout (or --out FILE); the summary\n"
         "table and progress go to stderr. Output bytes are identical\n"

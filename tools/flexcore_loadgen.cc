@@ -320,7 +320,7 @@ main(int argc, char **argv)
                  kSpecExecMode | kSpecSampling | kSpecFaults |
                      kSpecWatchdog | kSpecMaxCycles | kSpecStatsJson |
                      kSpecProfileFile | kSpecTrace | kSpecFastForward |
-                     kSpecHistograms | kSpecListMonitors);
+                     kSpecHistograms | kSpecListMonitors | kSpecCores);
     parser.footer(
         "--stats-json/--profile-json/--trace-out request those outputs\n"
         "from the server and write the returned bytes locally, so\n"

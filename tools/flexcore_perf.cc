@@ -39,6 +39,7 @@ struct MatrixRow
     ImplMode mode;
     ExecMode exec = ExecMode::kInterp;
     bool sampled = false;   //!< SMARTS sampled timing (window/period)
+    u32 cores = 1;          //!< multi-core rows use the shared fabric
 };
 
 /**
@@ -61,6 +62,13 @@ constexpr MatrixRow kMatrix[] = {
     {MonitorKind::kBc, ImplMode::kFlexFabric, ExecMode::kThreaded},
     {MonitorKind::kDift, ImplMode::kFlexFabric, ExecMode::kInterp,
      /*sampled=*/true},
+    // Multi-core host throughput: every simulated core multiplies the
+    // per-host-second work, so these rows track how the refactored
+    // tick loop scales with N (shared fabric, docs/multicore.md).
+    {MonitorKind::kDift, ImplMode::kFlexFabric, ExecMode::kInterp,
+     /*sampled=*/false, /*cores=*/2},
+    {MonitorKind::kDift, ImplMode::kFlexFabric, ExecMode::kInterp,
+     /*sampled=*/false, /*cores=*/4},
 };
 
 /** Sampled-row parameters: 10% detailed (window 2k of period 20k). */
@@ -77,6 +85,8 @@ rowName(const MatrixRow &row)
         name += "-threaded";
     if (row.sampled)
         name += "-sampled";
+    if (row.cores > 1)
+        name += "-" + std::to_string(row.cores) + "core";
     return name;
 }
 
@@ -180,6 +190,10 @@ main(int argc, char **argv)
                     config.sample_window = kSampleWindow;
                     config.sample_period = kSamplePeriod;
                 }
+                if (row.cores > 1) {
+                    config.num_cores = row.cores;
+                    config.fabric_sharing = FabricSharing::kShared;
+                }
                 config.fast_forward = !no_fast_forward;
                 const SimOutcome out =
                     SimRequest(std::move(config)).workload(w).run();
@@ -234,8 +248,9 @@ main(int argc, char **argv)
         std::string profiles = "{";
         bool first = true;
         for (const MatrixRow &row : kMatrix) {
-            if (row.sampled)
-                continue;   // estimates; attribution covers detail only
+            if (row.sampled || row.cores > 1)
+                continue;   // estimates / per-core tables; the profile
+                            // map keeps its single-core shape
             for (const Workload &w : programs) {
                 SystemConfig config;
                 config.monitor = row.monitor;

@@ -74,7 +74,7 @@ main(int argc, char **argv)
                 kSpecExecMode | kSpecSampling | kSpecFaults |
                     kSpecWatchdog | kSpecMaxCycles | kSpecStatsJson |
                     kSpecProfileFile | kSpecTrace | kSpecFastForward |
-                    kSpecHistograms | kSpecListMonitors);
+                    kSpecHistograms | kSpecListMonitors | kSpecCores);
     parser.positional("program.s", &path, /*required=*/false);
     parser.footer(
         "Streams: the simulated program's console output goes to stdout\n"

@@ -53,9 +53,16 @@ makeGrid(const std::string &grid, WorkloadScale scale)
         spec.monitors = {MonitorKind::kDift};
         spec.modes = {ImplMode::kBaseline, ImplMode::kFlexFabric};
         spec.dcache_bytes = {8 * 1024, 16 * 1024, 32 * 1024, 64 * 1024};
+    } else if (grid == "cores") {
+        // Table IV-style scaling study: DIFT overhead vs core count at
+        // fixed fabric bandwidth (one shared fabric regardless of N).
+        spec.monitors = {MonitorKind::kDift};
+        spec.modes = {ImplMode::kBaseline, ImplMode::kFlexFabric};
+        spec.core_counts = {1, 2, 4};
+        spec.base.fabric_sharing = FabricSharing::kShared;
     } else {
         FLEX_FATAL("unknown grid '", grid,
-                   "' (expected table4, fifo, or cache)");
+                   "' (expected table4, fifo, cache, or cores)");
     }
     return spec;
 }
@@ -76,11 +83,12 @@ main(int argc, char **argv)
 
     cli::Parser parser("flexcore-sweep",
                        "run a design-space campaign");
-    parser.choice("--grid", {"table4", "fifo", "cache"},
+    parser.choice("--grid", {"table4", "fifo", "cache", "cores"},
                   [&](size_t i) {
                       static const char *const names[] = {"table4",
                                                           "fifo",
-                                                          "cache"};
+                                                          "cache",
+                                                          "cores"};
                       grid = names[i];
                   },
                   "sweep grid (default table4)");
@@ -102,7 +110,7 @@ main(int argc, char **argv)
     ospec.attach(&parser,
                  kSpecExecMode | kSpecSampling | kSpecWatchdog |
                      kSpecMaxCycles | kSpecProfileEmbed |
-                     kSpecListMonitors);
+                     kSpecListMonitors | kSpecCores);
     parser.parseOrExit(argc, argv);
 
     if (ospec.handledListMonitors())
@@ -118,6 +126,10 @@ main(int argc, char **argv)
     SweepSpec spec = makeGrid(grid, scale);
     if (!ospec.apply(&spec.base, "flexcore-sweep"))
         return 2;
+    // --cores pins the core-count axis (the "cores" grid sweeps it);
+    // --fabric-sharing already landed on spec.base via apply().
+    if (ospec.cores != 1)
+        spec.core_counts = {ospec.cores};
     if (ConfigError error = SystemConfig(spec.base).finalize()) {
         std::fprintf(stderr, "flexcore-sweep: %s\n",
                      error.message.c_str());
